@@ -1,0 +1,26 @@
+//! # njc-arch — architecture and operating-system models
+//!
+//! The architecture *dependent* half of the null check optimization (paper
+//! §3.3, §4.2) consumes exactly three pieces of platform information, all
+//! captured by [`TrapModel`]:
+//!
+//! 1. does accessing the protected page **trap on reads**, **writes**, or
+//!    both (Windows/IA32: both; AIX/PowerPC: writes only — and reads of the
+//!    first page silently succeed, paper §1 and §3.3.1);
+//! 2. how large the **protected trap area** is — accesses at offsets beyond
+//!    it never trap (the paper's "BigOffset" case, Figure 5 (1));
+//! 3. what an **explicit null check costs** (IA32: compare + branch;
+//!    PowerPC: a 1-cycle `tw` conditional trap, §3.3.1/§5.4).
+//!
+//! [`CostModel`] assigns cycle costs to IR operations so the VM can report
+//! results whose *shape* matches the paper's measurements, and
+//! [`Platform`] bundles the two with presets for the machines the paper
+//! evaluates on.
+
+pub mod cost;
+pub mod platform;
+pub mod trap_model;
+
+pub use cost::CostModel;
+pub use platform::{ArchKind, OsKind, Platform};
+pub use trap_model::TrapModel;

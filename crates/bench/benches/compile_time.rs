@@ -1,0 +1,72 @@
+//! Criterion benchmark of the optimizer itself — the compile-time shape
+//! behind Tables 3–5: the two-phase null check optimization (NEW) versus
+//! the Whaley baseline (OLD), per pass and end-to-end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use njc_arch::{Platform, TrapModel};
+use njc_core::ctx::AnalysisCtx;
+use njc_core::{phase1, phase2, whaley};
+use njc_opt::ConfigKind;
+
+fn pipeline_configs(c: &mut Criterion) {
+    let p = Platform::windows_ia32();
+    let mut g = c.benchmark_group("pipeline");
+    for kind in [
+        ConfigKind::Full,
+        ConfigKind::Phase1Only,
+        ConfigKind::OldNullCheck,
+        ConfigKind::NoNullOptNoTrap,
+    ] {
+        // javac is the paper's slowest-to-compile benchmark.
+        let w = njc_workloads::specjvm98()
+            .into_iter()
+            .find(|w| w.name == "javac")
+            .unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("javac", format!("{kind:?}")),
+            &kind,
+            |b, kind| {
+                b.iter(|| {
+                    let mut m = w.module.clone();
+                    njc_opt::optimize_module(&mut m, &p, &kind.to_config(&p));
+                    m
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn nullcheck_passes(c: &mut Criterion) {
+    // The NEW (two-phase) vs OLD (forward-only) pass cost on one method —
+    // the paper's Table 4 observation: NEW ≈ 3× OLD, both small.
+    let w = njc_workloads::jbytemark()
+        .into_iter()
+        .find(|w| w.name == "Assignment")
+        .unwrap();
+    let main_id = w.module.function_by_name("main").unwrap();
+    let mut g = c.benchmark_group("nullcheck-pass");
+    g.bench_function("new-two-phase", |b| {
+        b.iter(|| {
+            let mut f = w.module.function(main_id).clone();
+            let ctx = AnalysisCtx::new(&w.module, TrapModel::windows_ia32());
+            let s1 = phase1::run(&ctx, &mut f);
+            let s2 = phase2::run(&ctx, &mut f);
+            (s1, s2)
+        })
+    });
+    g.bench_function("old-whaley", |b| {
+        b.iter(|| {
+            let mut f = w.module.function(main_id).clone();
+            whaley::run(&mut f)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = pipeline_configs, nullcheck_passes
+}
+criterion_main!(benches);

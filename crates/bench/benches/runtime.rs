@@ -1,0 +1,40 @@
+//! Criterion benchmark of workload execution per configuration — the
+//! runtime shape behind Tables 1–2: the fully optimized program must beat
+//! the baselines on the array kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use njc_arch::Platform;
+use njc_jit::{compile, execute};
+use njc_opt::ConfigKind;
+
+fn run_configs(c: &mut Criterion) {
+    let p = Platform::windows_ia32();
+    let mut g = c.benchmark_group("run");
+    g.sample_size(10);
+    for name in ["Assignment", "LU Decomposition", "Fourier"] {
+        let w = njc_workloads::jbytemark()
+            .into_iter()
+            .find(|w| w.name == name)
+            .unwrap();
+        for kind in [
+            ConfigKind::Full,
+            ConfigKind::OldNullCheck,
+            ConfigKind::NoNullOptNoTrap,
+        ] {
+            let compiled = compile(&w, &p, kind);
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("{kind:?}")),
+                &compiled,
+                |b, compiled| b.iter(|| execute(compiled, &p).unwrap().stats.cycles),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = run_configs
+}
+criterion_main!(benches);

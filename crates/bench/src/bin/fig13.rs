@@ -1,0 +1,8 @@
+//! Prints the paper's fig13 reproduction. See njc-bench docs.
+
+fn main() {
+    // Figure 13 is the chart form of Table 4's breakdown.
+
+    let mut h = njc_bench::Harness::new();
+    print!("{}", njc_bench::tables::table4(&mut h));
+}

@@ -1,0 +1,6 @@
+//! Prints the paper's fig8 reproduction. See njc-bench docs.
+
+fn main() {
+    let mut h = njc_bench::Harness::new();
+    print!("{}", njc_bench::tables::fig8(&mut h));
+}

@@ -1,0 +1,63 @@
+//! Static null check census: how many checks exist in the compiled code,
+//! and in what form, per workload × configuration — the static view behind
+//! the paper's "eliminates many null checks effectively and exploits the
+//! maximum use of hardware traps" (§1).
+//!
+//! ```text
+//! cargo run --release -p njc-bench --bin static_counts
+//! ```
+
+use njc_arch::Platform;
+use njc_core::phase1::count_checks;
+use njc_core::phase2::{count_exception_sites, count_explicit};
+use njc_jit::compile;
+use njc_opt::ConfigKind;
+
+fn main() {
+    let p = Platform::windows_ia32();
+    println!(
+        "{:22} {:>8} | {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}",
+        "", "original", "Full", "(sites)", "Old", "(sites)", "NoOpt", "(sites)"
+    );
+    println!(
+        "{:22} {:>8} | {:>17} | {:>17} | {:>17}",
+        "workload", "checks", "explicit remaining", "explicit remaining", "explicit remaining"
+    );
+    let line = "-".repeat(100);
+    println!("{line}");
+    let mut tot = [0usize; 7];
+    for w in njc_workloads::all() {
+        let original: usize = w.module.functions().iter().map(count_checks).sum();
+        let mut row = vec![original];
+        for kind in [
+            ConfigKind::Full,
+            ConfigKind::OldNullCheck,
+            ConfigKind::NoNullOptNoTrap,
+        ] {
+            let c = compile(&w, &p, kind);
+            let explicit: usize = c.module.functions().iter().map(count_explicit).sum();
+            let sites: usize = c.module.functions().iter().map(count_exception_sites).sum();
+            row.push(explicit);
+            row.push(sites);
+        }
+        println!(
+            "{:22} {:>8} | {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}",
+            w.name, row[0], row[1], row[2], row[3], row[4], row[5], row[6]
+        );
+        for (t, v) in tot.iter_mut().zip(&row) {
+            *t += v;
+        }
+    }
+    println!("{line}");
+    println!(
+        "{:22} {:>8} | {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}",
+        "TOTAL", tot[0], tot[1], tot[2], tot[3], tot[4], tot[5], tot[6]
+    );
+    println!(
+        "\n`explicit` = compare-and-trap instructions left in the code;\n\
+         `sites` = accesses marked as hardware-trap exception sites (zero-cost checks).\n\
+         The two-phase algorithm maximizes trap coverage; the few explicit checks it\n\
+         leaves sit on paths with no object access (the Figure 7 situation), off the\n\
+         hot loops — the dynamic counts in the tables are what the paper optimizes."
+    );
+}

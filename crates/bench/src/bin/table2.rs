@@ -1,0 +1,6 @@
+//! Prints the paper's table2 reproduction. See njc-bench docs.
+
+fn main() {
+    let mut h = njc_bench::Harness::new();
+    print!("{}", njc_bench::tables::table2(&mut h));
+}

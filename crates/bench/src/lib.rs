@@ -1,0 +1,40 @@
+//! # njc-bench — the paper's evaluation, regenerated
+//!
+//! One generator per table and figure of the paper's §5 (see
+//! [`tables`]), driven by the measurement [`harness`] against the
+//! [`paper`] reference numbers. The `report` binary regenerates
+//! everything; `table1` … `fig15` print individual artifacts:
+//!
+//! ```text
+//! cargo run --release -p njc-bench --bin report   # writes EXPERIMENTS.md content
+//! cargo run --release -p njc-bench --bin table1
+//! ```
+
+pub mod harness;
+pub mod paper;
+pub mod tables;
+
+pub use harness::{Cell, Harness};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_generator_produces_paper_and_measured_rows() {
+        let mut h = Harness::new();
+        let s = tables::fig8(&mut h);
+        assert!(s.contains("[measured]"));
+        assert!(s.contains("[paper]"));
+        assert!(s.contains("Assignment"));
+        assert!(s.contains("New Null Check (Phase1+Phase2)"));
+    }
+
+    #[test]
+    fn table5_reports_an_average() {
+        let mut h = Harness::new();
+        let s = tables::table5(&mut h);
+        assert!(s.contains("Measured average"));
+        assert!(s.contains("paper: +2.3%"));
+    }
+}

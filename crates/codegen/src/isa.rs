@@ -1,0 +1,272 @@
+//! The virtual target ISA.
+//!
+//! A deliberately simple load/store machine: unlimited virtual registers
+//! (one per IR variable — register allocation is out of scope, see the
+//! crate docs), linear code addressed by program counter, and *no*
+//! first-class null or bounds check control flow — checks are either real
+//! compare instructions ([`MInst::CheckNull`], lowered from explicit IR
+//! checks) or **nothing at all**: an implicit check is pure metadata, a PC
+//! in the function's [`crate::table::ExceptionSiteTable`].
+
+use njc_ir::{ClassId, Cond, ExceptionKind, FunctionId, Intrinsic, Type};
+
+/// A virtual register (one per IR local variable).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Reg(pub u32);
+
+impl Reg {
+    /// The register's frame-slot index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Integer ALU operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AluOp {
+    /// Wrapping add.
+    Add,
+    /// Wrapping subtract.
+    Sub,
+    /// Wrapping multiply.
+    Mul,
+    /// Java division (throws on zero; MIN/-1 wraps).
+    Div,
+    /// Java remainder.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left (amount masked to 6 bits).
+    Shl,
+    /// Arithmetic shift right.
+    Shr,
+    /// Logical shift right.
+    Ushr,
+}
+
+/// Float ALU operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaluOp {
+    /// Add.
+    Add,
+    /// Subtract.
+    Sub,
+    /// Multiply.
+    Mul,
+    /// Divide.
+    Div,
+    /// Remainder.
+    Rem,
+}
+
+/// One machine instruction. Branch targets are resolved PC indices within
+/// the owning function's code.
+#[derive(Clone, PartialEq, Debug)]
+pub enum MInst {
+    /// `dst = imm` (raw bits; the register file is untyped).
+    LoadImm {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate bits (ints as two's complement, floats as IEEE bits).
+        bits: u64,
+    },
+    /// `dst = src`.
+    Mov {
+        /// Destination.
+        dst: Reg,
+        /// Source.
+        src: Reg,
+    },
+    /// Integer ALU.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// Float ALU.
+    Falu {
+        /// Operation.
+        op: FaluOp,
+        /// Destination.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// `dst = -a` (int or float per `float`).
+    Neg {
+        /// Destination.
+        dst: Reg,
+        /// Operand.
+        a: Reg,
+        /// Float negate when true.
+        float: bool,
+    },
+    /// Int ↔ float conversion.
+    Cvt {
+        /// Destination.
+        dst: Reg,
+        /// Source.
+        src: Reg,
+        /// Convert *to* int when true, to float when false.
+        to_int: bool,
+    },
+    /// Float compare producing 0/1.
+    Fcmp {
+        /// Destination (int 0/1).
+        dst: Reg,
+        /// Condition.
+        cond: Cond,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// `dst = mem[base + imm + (index << 3)?]` — the effective address is
+    /// computed with real arithmetic; a null base puts it in the guard
+    /// page, which is the whole point.
+    Load {
+        /// Destination.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Optional scaled index register.
+        index: Option<Reg>,
+        /// Immediate byte offset.
+        imm: u64,
+    },
+    /// `mem[base + imm + (index << 3)?] = src`.
+    Store {
+        /// Value to store.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Optional scaled index register.
+        index: Option<Reg>,
+        /// Immediate byte offset.
+        imm: u64,
+    },
+    /// Conditional branch on two int registers.
+    Br {
+        /// Condition.
+        cond: Cond,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+        /// Target PC when the condition holds (falls through otherwise).
+        target: usize,
+    },
+    /// Unconditional jump.
+    Jmp {
+        /// Target PC.
+        target: usize,
+    },
+    /// Explicit null check: compare-and-trap (IA32) / `tw` (PPC). Raises
+    /// `NullPointerException` when the register is null.
+    CheckNull {
+        /// Checked register.
+        reg: Reg,
+    },
+    /// Bounds check: raises `ArrayIndexOutOfBoundsException` unless
+    /// `0 <= index < length`.
+    CheckBounds {
+        /// Index register.
+        index: Reg,
+        /// Length register.
+        length: Reg,
+    },
+    /// Runtime allocation call: object.
+    NewObj {
+        /// Destination (address).
+        dst: Reg,
+        /// Class to allocate.
+        class: ClassId,
+    },
+    /// Runtime allocation call: array.
+    NewArr {
+        /// Destination (address).
+        dst: Reg,
+        /// Element type (for the header tag).
+        elem: Type,
+        /// Length register.
+        len: Reg,
+    },
+    /// Direct call.
+    Call {
+        /// Callee.
+        target: FunctionId,
+        /// Argument registers (copied into the callee frame in order).
+        args: Vec<Reg>,
+        /// Register receiving the return value, if any.
+        dst: Option<Reg>,
+    },
+    /// Virtual call: loads the class tag from the receiver header (offset
+    /// 0) and dispatches by method name — the header load is the trapping
+    /// access.
+    CallVirtual {
+        /// Method name.
+        method: String,
+        /// Receiver register (argument 0).
+        receiver: Reg,
+        /// Remaining argument registers.
+        args: Vec<Reg>,
+        /// Return destination, if any.
+        dst: Option<Reg>,
+    },
+    /// Hardware math op / library call per platform.
+    Math {
+        /// Operation.
+        op: Intrinsic,
+        /// Destination.
+        dst: Reg,
+        /// Operand.
+        src: Reg,
+    },
+    /// Return, optionally with a value.
+    Ret {
+        /// Returned register.
+        src: Option<Reg>,
+    },
+    /// Software throw.
+    Throw {
+        /// Exception kind.
+        kind: ExceptionKind,
+    },
+    /// Observable output. Carries the IR type so machine traces can be
+    /// compared against interpreter traces value-for-value.
+    Observe {
+        /// Observed register.
+        src: Reg,
+        /// The observed value's IR type.
+        ty: Type,
+    },
+}
+
+impl MInst {
+    /// Whether this instruction performs a memory access whose null-base
+    /// fault could be an implicit null check (i.e. can appear in an
+    /// exception site table).
+    pub fn is_memory_access(&self) -> bool {
+        matches!(
+            self,
+            MInst::Load { .. } | MInst::Store { .. } | MInst::CallVirtual { .. }
+        )
+    }
+}

@@ -1,0 +1,469 @@
+//! Lowering from njc IR to the virtual machine code.
+//!
+//! The translation is mostly 1:1, with the null check semantics made
+//! physical:
+//!
+//! * an **explicit** [`njc_ir::Inst::NullCheck`] becomes a real
+//!   [`MInst::CheckNull`] instruction;
+//! * an **implicit** one becomes *nothing*;
+//! * an IR access marked as an exception site contributes the PC of its
+//!   lowered load/store to the function's [`ExceptionSiteTable`];
+//! * try regions become PC-range entries in the [`HandlerTable`].
+
+use std::collections::HashMap;
+
+use njc_ir::module::ARRAY_ELEMENTS_OFFSET;
+use njc_ir::{
+    BlockId, CallTarget, ConstValue, Function, Inst, Module, NullCheckKind, Op, Terminator, Type,
+};
+
+use crate::isa::{AluOp, FaluOp, MInst, Reg};
+use crate::table::{
+    ExceptionSiteTable, HandlerEntry, HandlerTable, MachineClass, MachineFunction, MachineModule,
+};
+
+fn alu_op(op: Op) -> AluOp {
+    match op {
+        Op::Add => AluOp::Add,
+        Op::Sub => AluOp::Sub,
+        Op::Mul => AluOp::Mul,
+        Op::Div => AluOp::Div,
+        Op::Rem => AluOp::Rem,
+        Op::And => AluOp::And,
+        Op::Or => AluOp::Or,
+        Op::Xor => AluOp::Xor,
+        Op::Shl => AluOp::Shl,
+        Op::Shr => AluOp::Shr,
+        Op::Ushr => AluOp::Ushr,
+    }
+}
+
+fn falu_op(op: Op) -> FaluOp {
+    match op {
+        Op::Add => FaluOp::Add,
+        Op::Sub => FaluOp::Sub,
+        Op::Mul => FaluOp::Mul,
+        Op::Div => FaluOp::Div,
+        Op::Rem => FaluOp::Rem,
+        other => panic!("operator {other:?} not defined on floats"),
+    }
+}
+
+fn const_bits(c: ConstValue) -> u64 {
+    match c {
+        ConstValue::Int(v) => v as u64,
+        ConstValue::Float(f) => f.to_bits(),
+        ConstValue::Null => 0,
+    }
+}
+
+/// Lowers one function.
+pub fn lower_function(module: &Module, func: &Function) -> MachineFunction {
+    let r = |v: njc_ir::VarId| Reg(v.0);
+    let mut code: Vec<MInst> = Vec::with_capacity(func.num_insts() * 2);
+    let mut sites = ExceptionSiteTable::new();
+    // A dedicated zero register for null comparisons in `ifnull` lowering.
+    let zero_reg = Reg(func.num_vars() as u32);
+    code.push(MInst::LoadImm {
+        dst: zero_reg,
+        bits: 0,
+    });
+
+    let mut block_pc: Vec<usize> = vec![0; func.num_blocks()];
+    // (code index, target block) pairs to patch once layout is known.
+    let mut fixups: Vec<(usize, BlockId)> = Vec::new();
+    // Per-block PC extents for the handler table.
+    let mut block_range: Vec<(usize, usize)> = vec![(0, 0); func.num_blocks()];
+
+    for b in func.blocks() {
+        block_pc[b.id.index()] = code.len();
+        let start = code.len();
+        for inst in &b.insts {
+            let site = inst.is_exception_site();
+            let at = code.len();
+            match inst {
+                Inst::Const { dst, value } => code.push(MInst::LoadImm {
+                    dst: r(*dst),
+                    bits: const_bits(*value),
+                }),
+                Inst::Move { dst, src } => code.push(MInst::Mov {
+                    dst: r(*dst),
+                    src: r(*src),
+                }),
+                Inst::BinOp {
+                    dst,
+                    op,
+                    lhs,
+                    rhs,
+                    ty,
+                } => match ty {
+                    Type::Float => code.push(MInst::Falu {
+                        op: falu_op(*op),
+                        dst: r(*dst),
+                        a: r(*lhs),
+                        b: r(*rhs),
+                    }),
+                    _ => code.push(MInst::Alu {
+                        op: alu_op(*op),
+                        dst: r(*dst),
+                        a: r(*lhs),
+                        b: r(*rhs),
+                    }),
+                },
+                Inst::Neg { dst, src, ty } => code.push(MInst::Neg {
+                    dst: r(*dst),
+                    a: r(*src),
+                    float: *ty == Type::Float,
+                }),
+                Inst::Convert { dst, src, to } => code.push(MInst::Cvt {
+                    dst: r(*dst),
+                    src: r(*src),
+                    to_int: *to == Type::Int,
+                }),
+                Inst::FCmp {
+                    dst,
+                    cond,
+                    lhs,
+                    rhs,
+                } => code.push(MInst::Fcmp {
+                    dst: r(*dst),
+                    cond: *cond,
+                    a: r(*lhs),
+                    b: r(*rhs),
+                }),
+                Inst::NullCheck { var, kind } => match kind {
+                    NullCheckKind::Explicit => code.push(MInst::CheckNull { reg: r(*var) }),
+                    NullCheckKind::Implicit => {
+                        // No code: the following marked access carries it.
+                    }
+                },
+                Inst::BoundCheck { index, length } => code.push(MInst::CheckBounds {
+                    index: r(*index),
+                    length: r(*length),
+                }),
+                Inst::GetField {
+                    dst, obj, field, ..
+                } => {
+                    code.push(MInst::Load {
+                        dst: r(*dst),
+                        base: r(*obj),
+                        index: None,
+                        imm: module.field_offset(*field),
+                    });
+                    if site {
+                        sites.insert(at);
+                    }
+                }
+                Inst::PutField {
+                    obj, field, value, ..
+                } => {
+                    code.push(MInst::Store {
+                        src: r(*value),
+                        base: r(*obj),
+                        index: None,
+                        imm: module.field_offset(*field),
+                    });
+                    if site {
+                        sites.insert(at);
+                    }
+                }
+                Inst::ArrayLength { dst, arr, .. } => {
+                    code.push(MInst::Load {
+                        dst: r(*dst),
+                        base: r(*arr),
+                        index: None,
+                        imm: 0,
+                    });
+                    if site {
+                        sites.insert(at);
+                    }
+                }
+                Inst::ArrayLoad {
+                    dst, arr, index, ..
+                } => {
+                    code.push(MInst::Load {
+                        dst: r(*dst),
+                        base: r(*arr),
+                        index: Some(r(*index)),
+                        imm: ARRAY_ELEMENTS_OFFSET,
+                    });
+                    if site {
+                        sites.insert(at);
+                    }
+                }
+                Inst::ArrayStore {
+                    arr, index, value, ..
+                } => {
+                    code.push(MInst::Store {
+                        src: r(*value),
+                        base: r(*arr),
+                        index: Some(r(*index)),
+                        imm: ARRAY_ELEMENTS_OFFSET,
+                    });
+                    if site {
+                        sites.insert(at);
+                    }
+                }
+                Inst::New { dst, class } => code.push(MInst::NewObj {
+                    dst: r(*dst),
+                    class: *class,
+                }),
+                Inst::NewArray { dst, elem, len } => code.push(MInst::NewArr {
+                    dst: r(*dst),
+                    elem: *elem,
+                    len: r(*len),
+                }),
+                Inst::Call {
+                    dst,
+                    target,
+                    receiver,
+                    args,
+                    ..
+                } => {
+                    let mut regs: Vec<Reg> = Vec::with_capacity(args.len() + 1);
+                    regs.extend(receiver.iter().map(|v| r(*v)));
+                    regs.extend(args.iter().map(|v| r(*v)));
+                    match target {
+                        CallTarget::Static(f) | CallTarget::Direct(f) => code.push(MInst::Call {
+                            target: *f,
+                            args: regs,
+                            dst: dst.map(r),
+                        }),
+                        CallTarget::Virtual { method, .. } => {
+                            code.push(MInst::CallVirtual {
+                                method: method.clone(),
+                                receiver: r(receiver.expect("virtual receiver")),
+                                args: args.iter().map(|v| r(*v)).collect(),
+                                dst: dst.map(r),
+                            });
+                            if site {
+                                sites.insert(at);
+                            }
+                        }
+                    }
+                }
+                Inst::IntrinsicOp {
+                    dst,
+                    intrinsic,
+                    src,
+                } => code.push(MInst::Math {
+                    op: *intrinsic,
+                    dst: r(*dst),
+                    src: r(*src),
+                }),
+                Inst::Observe { var } => code.push(MInst::Observe {
+                    src: r(*var),
+                    ty: func.var_type(*var),
+                }),
+            }
+        }
+        // Terminator.
+        match &b.term {
+            Terminator::Goto(t) => {
+                fixups.push((code.len(), *t));
+                code.push(MInst::Jmp { target: 0 });
+            }
+            Terminator::If {
+                cond,
+                lhs,
+                rhs,
+                then_bb,
+                else_bb,
+            } => {
+                fixups.push((code.len(), *then_bb));
+                code.push(MInst::Br {
+                    cond: *cond,
+                    a: r(*lhs),
+                    b: r(*rhs),
+                    target: 0,
+                });
+                fixups.push((code.len(), *else_bb));
+                code.push(MInst::Jmp { target: 0 });
+            }
+            Terminator::IfNull {
+                var,
+                on_null,
+                on_nonnull,
+            } => {
+                fixups.push((code.len(), *on_null));
+                code.push(MInst::Br {
+                    cond: njc_ir::Cond::Eq,
+                    a: r(*var),
+                    b: zero_reg,
+                    target: 0,
+                });
+                fixups.push((code.len(), *on_nonnull));
+                code.push(MInst::Jmp { target: 0 });
+            }
+            Terminator::Return(v) => code.push(MInst::Ret { src: v.map(r) }),
+            Terminator::Throw(k) => code.push(MInst::Throw { kind: *k }),
+        }
+        block_range[b.id.index()] = (start, code.len());
+    }
+
+    // Patch branch targets.
+    for (idx, target) in fixups {
+        let pc = block_pc[target.index()];
+        match &mut code[idx] {
+            MInst::Jmp { target } | MInst::Br { target, .. } => *target = pc,
+            other => unreachable!("fixup on non-branch {other:?}"),
+        }
+    }
+
+    // Handler table: one range entry per block in each try region.
+    let mut handlers = HandlerTable::default();
+    for b in func.blocks() {
+        if let Some(tr) = b.try_region {
+            let region = func.try_region(tr);
+            let (start, end) = block_range[b.id.index()];
+            handlers.entries.push(HandlerEntry {
+                start_pc: start,
+                end_pc: end,
+                catch: region.catch,
+                handler_pc: block_pc[region.handler.index()],
+                code_reg: region.exception_code_dst.map(r),
+            });
+        }
+    }
+
+    // Entry must be PC 0's continuation: we emitted the zero-reg constant
+    // first, then blocks in arena order — the IR entry is always block 0,
+    // laid out first, so execution starting at PC 0 flows into it.
+    assert_eq!(func.entry(), BlockId(0), "entry must be the first block");
+
+    MachineFunction {
+        name: func.name().to_string(),
+        code,
+        num_regs: func.num_vars() + 1,
+        num_params: func.params().len(),
+        ret: func.return_type(),
+        sites,
+        handlers,
+    }
+}
+
+/// Lowers a whole module.
+pub fn lower_module(module: &Module) -> MachineModule {
+    let functions = module
+        .functions()
+        .iter()
+        .map(|f| lower_function(module, f))
+        .collect();
+    let classes = (0..module.num_classes())
+        .map(|ci| {
+            let c = module.class(njc_ir::ClassId::new(ci));
+            MachineClass {
+                size: c.size,
+                methods: c
+                    .methods
+                    .iter()
+                    .map(|(name, f)| (name.clone(), f.index()))
+                    .collect::<HashMap<_, _>>(),
+            }
+        })
+        .collect();
+    MachineModule { functions, classes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use njc_ir::parse_function;
+
+    fn test_module() -> Module {
+        let mut m = Module::new("t");
+        m.add_class("C", &[("x", Type::Int)]);
+        m
+    }
+
+    #[test]
+    fn explicit_check_lowers_to_instruction_implicit_to_table() {
+        let m = test_module();
+        let f = parse_function(
+            "func f(v0: ref) -> int {\nbb0:\n  nullcheck v0\n  v1 = getfield v0, field0\n  v2 = getfield v0, field0 [site]\n  return v1\n}",
+        )
+        .unwrap();
+        let mf = lower_function(&m, &f);
+        let checks = mf
+            .code
+            .iter()
+            .filter(|i| matches!(i, MInst::CheckNull { .. }))
+            .count();
+        assert_eq!(checks, 1, "explicit check became an instruction");
+        assert_eq!(mf.sites.len(), 1, "marked access became a table entry");
+        // The site PC is the second load.
+        let load_pcs: Vec<usize> = mf
+            .code
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| matches!(i, MInst::Load { .. }))
+            .map(|(pc, _)| pc)
+            .collect();
+        assert_eq!(load_pcs.len(), 2);
+        assert!(!mf.sites.contains(load_pcs[0]));
+        assert!(mf.sites.contains(load_pcs[1]));
+    }
+
+    #[test]
+    fn implicit_check_instruction_emits_no_code() {
+        let m = test_module();
+        let f = parse_function(
+            "func f(v0: ref) -> int {\nbb0:\n  nullcheck! v0\n  v1 = getfield v0, field0 [site]\n  return v1\n}",
+        )
+        .unwrap();
+        let mf = lower_function(&m, &f);
+        assert!(mf
+            .code
+            .iter()
+            .all(|i| !matches!(i, MInst::CheckNull { .. })));
+    }
+
+    #[test]
+    fn branch_targets_are_patched() {
+        let m = test_module();
+        let f = parse_function(
+            "func f(v0: int) -> int {\n  locals v1: int\nbb0:\n  if lt v0, v0 then bb1 else bb2\nbb1:\n  v1 = const 1\n  goto bb3\nbb2:\n  v1 = const 2\n  goto bb3\nbb3:\n  return v1\n}",
+        )
+        .unwrap();
+        let mf = lower_function(&m, &f);
+        for inst in &mf.code {
+            match inst {
+                MInst::Jmp { target } | MInst::Br { target, .. } => {
+                    assert!(*target < mf.code.len(), "target {target} in range");
+                    assert_ne!(*target, 0, "no branch should target the preamble");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn try_region_produces_handler_ranges() {
+        let m = test_module();
+        let f = parse_function(
+            "func f(v0: ref) -> int {\n  locals v1: int v2: int\n  try0: handler bb2 catch npe -> v2\nbb0: [try0]\n  nullcheck v0\n  v1 = getfield v0, field0\n  goto bb1\nbb1: [try0]\n  observe v1\n  return v1\nbb2:\n  return v2\n}",
+        )
+        .unwrap();
+        let mf = lower_function(&m, &f);
+        assert_eq!(mf.handlers.entries.len(), 2, "one range per covered block");
+        for e in &mf.handlers.entries {
+            assert!(e.start_pc < e.end_pc);
+            assert_eq!(e.code_reg, Some(Reg(2)));
+        }
+    }
+
+    #[test]
+    fn module_lowering_carries_class_tables() {
+        let mut m = test_module();
+        let c = m.class_by_name("C").unwrap();
+        let f = parse_function(
+            "func get(v0: ref) -> int instance {\nbb0:\n  nullcheck v0\n  v1 = getfield v0, field0\n  return v1\n}",
+        )
+        .unwrap();
+        m.add_method(c, "get", f);
+        let mm = lower_module(&m);
+        assert_eq!(mm.classes.len(), 1);
+        assert_eq!(mm.classes[0].methods.get("get"), Some(&0));
+        assert!(mm.code_size() > 0);
+    }
+}

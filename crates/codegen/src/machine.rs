@@ -1,0 +1,587 @@
+//! The machine-level simulator: executes lowered code over the guarded
+//! memory, with trap dispatch through the PC-indexed tables.
+//!
+//! This is the faithful version of what the paper's runtime does: a
+//! hardware trap arrives with a faulting PC; the runtime consults the
+//! exception site table — a hit raises `NullPointerException` and unwinds
+//! through the handler ranges, a miss is a JIT bug
+//! ([`MachineFault::UnexpectedTrap`]).
+
+use njc_arch::Platform;
+use njc_ir::{Cond, ExceptionKind, Type};
+use njc_trap::{GuardedMemory, MemoryError};
+
+use crate::isa::{AluOp, FaluOp, MInst, Reg};
+use crate::table::MachineModule;
+
+/// Machine execution statistics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MachineStats {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Machine instructions retired.
+    pub insts: u64,
+    /// Explicit null check instructions executed.
+    pub explicit_null_checks: u64,
+    /// Hardware traps taken and dispatched via the site table.
+    pub traps_taken: u64,
+    /// Marked-site NPEs missed because the platform did not trap.
+    pub missed_npes: u64,
+}
+
+/// A non-recoverable machine failure (compiler bug or resource limit).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MachineFault {
+    /// Hardware trap at a PC absent from the exception site table.
+    UnexpectedTrap {
+        /// The function.
+        function: String,
+        /// The faulting PC.
+        pc: usize,
+    },
+    /// Access outside every allocation.
+    WildAccess {
+        /// The function.
+        function: String,
+        /// The wild address.
+        address: u64,
+    },
+    /// Instruction budget exhausted.
+    OutOfFuel,
+    /// Call depth exceeded.
+    StackOverflow,
+    /// Virtual dispatch failure.
+    BadDispatch {
+        /// The method.
+        method: String,
+    },
+    /// Unknown entry function.
+    NoSuchFunction(String),
+}
+
+impl std::fmt::Display for MachineFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineFault::UnexpectedTrap { function, pc } => {
+                write!(f, "hardware trap at unregistered pc {pc} in {function}")
+            }
+            MachineFault::WildAccess { function, address } => {
+                write!(f, "wild access at {address:#x} in {function}")
+            }
+            MachineFault::OutOfFuel => write!(f, "machine fuel exhausted"),
+            MachineFault::StackOverflow => write!(f, "machine call depth exceeded"),
+            MachineFault::BadDispatch { method } => write!(f, "dispatch of `{method}` failed"),
+            MachineFault::NoSuchFunction(n) => write!(f, "no function `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for MachineFault {}
+
+/// A typed observable value, compatible with [`njc_vm::Value`] semantics
+/// (compared bit-exactly for floats).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum MValue {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Reference address.
+    Ref(u64),
+}
+
+impl MValue {
+    fn from_bits(bits: u64, ty: Type) -> MValue {
+        match ty {
+            Type::Int => MValue::Int(bits as i64),
+            Type::Float => MValue::Float(f64::from_bits(bits)),
+            Type::Ref => MValue::Ref(bits),
+        }
+    }
+}
+
+/// The observable outcome of a machine run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MachineOutcome {
+    /// Return value of the entry function.
+    pub result: Option<MValue>,
+    /// Escaped exception, if any.
+    pub exception: Option<ExceptionKind>,
+    /// Observed values, in order.
+    pub trace: Vec<MValue>,
+    /// Statistics.
+    pub stats: MachineStats,
+}
+
+enum Flow {
+    Return(Option<u64>),
+    Threw(ExceptionKind),
+}
+
+/// The machine.
+pub struct Machine<'m> {
+    module: &'m MachineModule,
+    platform: Platform,
+    mem: GuardedMemory,
+    stats: MachineStats,
+    trace: Vec<MValue>,
+    fuel: u64,
+}
+
+const MAX_DEPTH: usize = 256;
+
+impl<'m> Machine<'m> {
+    /// Creates a machine for `module` on `platform`.
+    pub fn new(module: &'m MachineModule, platform: Platform) -> Self {
+        Machine {
+            module,
+            platform,
+            mem: GuardedMemory::new(platform.trap),
+            stats: MachineStats::default(),
+            trace: Vec::new(),
+            fuel: 200_000_000,
+        }
+    }
+
+    /// Overrides the instruction budget.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Runs `entry` (no arguments) to completion.
+    ///
+    /// # Errors
+    /// Returns a [`MachineFault`] on compiler bugs or resource exhaustion;
+    /// escaped Java exceptions are a normal outcome.
+    pub fn run(mut self, entry: &str) -> Result<MachineOutcome, MachineFault> {
+        let idx = self
+            .module
+            .function_by_name(entry)
+            .ok_or_else(|| MachineFault::NoSuchFunction(entry.to_string()))?;
+        let f = &self.module.functions[idx];
+        let ret_ty = f.ret;
+        let flow = self.call(idx, &[], 0)?;
+        let (result, exception) = match flow {
+            Flow::Return(bits) => (
+                bits.and_then(|b| ret_ty.map(|t| MValue::from_bits(b, t))),
+                None,
+            ),
+            Flow::Threw(k) => (None, Some(k)),
+        };
+        Ok(MachineOutcome {
+            result,
+            exception,
+            trace: self.trace,
+            stats: self.stats,
+        })
+    }
+
+    fn charge(&mut self, c: u64) {
+        self.stats.cycles += c;
+    }
+
+    fn retire(&mut self) -> Result<(), MachineFault> {
+        self.stats.insts += 1;
+        if self.stats.insts > self.fuel {
+            return Err(MachineFault::OutOfFuel);
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn call(&mut self, fidx: usize, args: &[u64], depth: usize) -> Result<Flow, MachineFault> {
+        if depth > MAX_DEPTH {
+            return Err(MachineFault::StackOverflow);
+        }
+        let func = &self.module.functions[fidx];
+        let cost = self.platform.cost;
+        let mut regs = vec![0u64; func.num_regs];
+        regs[..args.len()].copy_from_slice(args);
+        let mut pc = 0usize;
+
+        'dispatch: loop {
+            if pc >= func.code.len() {
+                panic!("{}: fell off code at pc {pc}", func.name);
+            }
+            self.retire()?;
+            // Exception raising helper: unwind through the handler table or
+            // propagate to the caller.
+            macro_rules! raise {
+                ($kind:expr, $at:expr) => {{
+                    self.charge(cost.throw_dispatch);
+                    match func.handlers.lookup($at, $kind) {
+                        Some(h) => {
+                            if let Some(code_reg) = h.code_reg {
+                                regs[code_reg.index()] = $kind.code() as u64;
+                            }
+                            pc = h.handler_pc;
+                            continue 'dispatch;
+                        }
+                        None => return Ok(Flow::Threw($kind)),
+                    }
+                }};
+            }
+
+            let inst = &func.code[pc];
+            match inst {
+                MInst::LoadImm { dst, bits } => {
+                    self.charge(cost.int_alu);
+                    regs[dst.index()] = *bits;
+                    pc += 1;
+                }
+                MInst::Mov { dst, src } => {
+                    self.charge(cost.int_alu);
+                    regs[dst.index()] = regs[src.index()];
+                    pc += 1;
+                }
+                MInst::Alu { op, dst, a, b } => {
+                    let x = regs[a.index()] as i64;
+                    let y = regs[b.index()] as i64;
+                    let v = match op {
+                        AluOp::Add => {
+                            self.charge(cost.int_alu);
+                            x.wrapping_add(y)
+                        }
+                        AluOp::Sub => {
+                            self.charge(cost.int_alu);
+                            x.wrapping_sub(y)
+                        }
+                        AluOp::Mul => {
+                            self.charge(cost.int_mul);
+                            x.wrapping_mul(y)
+                        }
+                        AluOp::Div | AluOp::Rem => {
+                            self.charge(cost.int_div);
+                            if y == 0 {
+                                raise!(ExceptionKind::Arithmetic, pc);
+                            }
+                            if x == i64::MIN && y == -1 {
+                                if *op == AluOp::Div {
+                                    x
+                                } else {
+                                    0
+                                }
+                            } else if *op == AluOp::Div {
+                                x / y
+                            } else {
+                                x % y
+                            }
+                        }
+                        AluOp::And => {
+                            self.charge(cost.int_alu);
+                            x & y
+                        }
+                        AluOp::Or => {
+                            self.charge(cost.int_alu);
+                            x | y
+                        }
+                        AluOp::Xor => {
+                            self.charge(cost.int_alu);
+                            x ^ y
+                        }
+                        AluOp::Shl => {
+                            self.charge(cost.int_alu);
+                            x.wrapping_shl(y as u32 & 63)
+                        }
+                        AluOp::Shr => {
+                            self.charge(cost.int_alu);
+                            x.wrapping_shr(y as u32 & 63)
+                        }
+                        AluOp::Ushr => {
+                            self.charge(cost.int_alu);
+                            ((x as u64).wrapping_shr(y as u32 & 63)) as i64
+                        }
+                    };
+                    regs[dst.index()] = v as u64;
+                    pc += 1;
+                }
+                MInst::Falu { op, dst, a, b } => {
+                    let x = f64::from_bits(regs[a.index()]);
+                    let y = f64::from_bits(regs[b.index()]);
+                    let v = match op {
+                        FaluOp::Add => {
+                            self.charge(cost.float_alu);
+                            x + y
+                        }
+                        FaluOp::Sub => {
+                            self.charge(cost.float_alu);
+                            x - y
+                        }
+                        FaluOp::Mul => {
+                            self.charge(cost.float_alu);
+                            x * y
+                        }
+                        FaluOp::Div => {
+                            self.charge(cost.float_div);
+                            x / y
+                        }
+                        FaluOp::Rem => {
+                            self.charge(cost.float_div);
+                            x % y
+                        }
+                    };
+                    regs[dst.index()] = v.to_bits();
+                    pc += 1;
+                }
+                MInst::Neg { dst, a, float } => {
+                    self.charge(cost.int_alu);
+                    regs[dst.index()] = if *float {
+                        (-f64::from_bits(regs[a.index()])).to_bits()
+                    } else {
+                        (regs[a.index()] as i64).wrapping_neg() as u64
+                    };
+                    pc += 1;
+                }
+                MInst::Cvt { dst, src, to_int } => {
+                    self.charge(cost.float_alu);
+                    regs[dst.index()] = if *to_int {
+                        (f64::from_bits(regs[src.index()]) as i64) as u64
+                    } else {
+                        ((regs[src.index()] as i64) as f64).to_bits()
+                    };
+                    pc += 1;
+                }
+                MInst::Fcmp { dst, cond, a, b } => {
+                    self.charge(cost.float_alu);
+                    let x = f64::from_bits(regs[a.index()]);
+                    let y = f64::from_bits(regs[b.index()]);
+                    let r = match cond {
+                        Cond::Eq => x == y,
+                        Cond::Ne => x != y,
+                        Cond::Lt => x < y,
+                        Cond::Le => x <= y,
+                        Cond::Gt => x > y,
+                        Cond::Ge => x >= y,
+                    };
+                    regs[dst.index()] = r as u64;
+                    pc += 1;
+                }
+                MInst::Load {
+                    dst,
+                    base,
+                    index,
+                    imm,
+                } => {
+                    self.charge(cost.load);
+                    let addr = effective(&regs, *base, *index, *imm);
+                    match self.mem.read_u64(addr) {
+                        Ok(out) => {
+                            if out.from_guard && func.sites.contains(pc) {
+                                self.stats.missed_npes += 1;
+                            }
+                            regs[dst.index()] = out.value;
+                            pc += 1;
+                        }
+                        Err(MemoryError::Trap(_)) => {
+                            if func.sites.contains(pc) {
+                                self.stats.traps_taken += 1;
+                                self.charge(cost.trap_taken);
+                                raise!(ExceptionKind::NullPointer, pc);
+                            }
+                            return Err(MachineFault::UnexpectedTrap {
+                                function: func.name.clone(),
+                                pc,
+                            });
+                        }
+                        Err(MemoryError::WildAccess { address, .. }) => {
+                            return Err(MachineFault::WildAccess {
+                                function: func.name.clone(),
+                                address,
+                            })
+                        }
+                    }
+                }
+                MInst::Store {
+                    src,
+                    base,
+                    index,
+                    imm,
+                } => {
+                    self.charge(cost.store);
+                    let addr = effective(&regs, *base, *index, *imm);
+                    match self.mem.write_u64(addr, regs[src.index()]) {
+                        Ok(()) => pc += 1,
+                        Err(MemoryError::Trap(_)) => {
+                            if func.sites.contains(pc) {
+                                self.stats.traps_taken += 1;
+                                self.charge(cost.trap_taken);
+                                raise!(ExceptionKind::NullPointer, pc);
+                            }
+                            return Err(MachineFault::UnexpectedTrap {
+                                function: func.name.clone(),
+                                pc,
+                            });
+                        }
+                        Err(MemoryError::WildAccess { address, .. }) => {
+                            return Err(MachineFault::WildAccess {
+                                function: func.name.clone(),
+                                address,
+                            })
+                        }
+                    }
+                }
+                MInst::Br { cond, a, b, target } => {
+                    self.charge(cost.branch);
+                    let x = regs[a.index()] as i64;
+                    let y = regs[b.index()] as i64;
+                    pc = if cond.eval(x, y) { *target } else { pc + 1 };
+                }
+                MInst::Jmp { target } => {
+                    self.charge(cost.branch);
+                    pc = *target;
+                }
+                MInst::CheckNull { reg } => {
+                    self.charge(cost.explicit_null_check);
+                    self.stats.explicit_null_checks += 1;
+                    if regs[reg.index()] == 0 {
+                        raise!(ExceptionKind::NullPointer, pc);
+                    }
+                    pc += 1;
+                }
+                MInst::CheckBounds { index, length } => {
+                    self.charge(cost.bound_check);
+                    let i = regs[index.index()] as i64;
+                    let l = regs[length.index()] as i64;
+                    if i < 0 || i >= l {
+                        raise!(ExceptionKind::ArrayIndex, pc);
+                    }
+                    pc += 1;
+                }
+                MInst::NewObj { dst, class } => {
+                    let c = &self.module.classes[class.index()];
+                    self.charge(cost.alloc_base + cost.alloc_per_slot * (c.size / 8));
+                    let addr = self.mem.alloc(c.size.max(8));
+                    self.mem
+                        .write_u64(addr, class.index() as u64 + 1)
+                        .expect("fresh allocation");
+                    regs[dst.index()] = addr;
+                    pc += 1;
+                }
+                MInst::NewArr { dst, elem, len } => {
+                    let l = regs[len.index()] as i64;
+                    if l < 0 {
+                        raise!(ExceptionKind::NegativeArraySize, pc);
+                    }
+                    self.charge(cost.alloc_base + cost.alloc_per_slot * l as u64);
+                    let addr = self.mem.alloc(16 + l as u64 * 8);
+                    self.mem
+                        .write_u64(addr, l as u64)
+                        .expect("fresh allocation");
+                    let tag = match elem {
+                        Type::Int => 1,
+                        Type::Float => 2,
+                        Type::Ref => 3,
+                    };
+                    self.mem.write_u64(addr + 8, tag).expect("fresh allocation");
+                    regs[dst.index()] = addr;
+                    pc += 1;
+                }
+                MInst::Call { target, args, dst } => {
+                    self.charge(cost.call_overhead);
+                    let vals: Vec<u64> = args.iter().map(|r| regs[r.index()]).collect();
+                    match self.call(target.index(), &vals, depth + 1)? {
+                        Flow::Return(v) => {
+                            if let (Some(d), Some(v)) = (dst, v) {
+                                regs[d.index()] = v;
+                            }
+                            pc += 1;
+                        }
+                        Flow::Threw(k) => raise!(k, pc),
+                    }
+                }
+                MInst::CallVirtual {
+                    method,
+                    receiver,
+                    args,
+                    dst,
+                } => {
+                    self.charge(cost.call_overhead + cost.virtual_dispatch + cost.load);
+                    // The dispatch load: header word at offset 0.
+                    let base = regs[receiver.index()];
+                    let tag = match self.mem.read_u64(base) {
+                        Ok(out) => {
+                            if out.from_guard && func.sites.contains(pc) {
+                                self.stats.missed_npes += 1;
+                            }
+                            out.value
+                        }
+                        Err(MemoryError::Trap(_)) => {
+                            if func.sites.contains(pc) {
+                                self.stats.traps_taken += 1;
+                                self.charge(cost.trap_taken);
+                                raise!(ExceptionKind::NullPointer, pc);
+                            }
+                            return Err(MachineFault::UnexpectedTrap {
+                                function: func.name.clone(),
+                                pc,
+                            });
+                        }
+                        Err(MemoryError::WildAccess { address, .. }) => {
+                            return Err(MachineFault::WildAccess {
+                                function: func.name.clone(),
+                                address,
+                            })
+                        }
+                    };
+                    if tag == 0 {
+                        return Err(MachineFault::BadDispatch {
+                            method: method.clone(),
+                        });
+                    }
+                    let class = &self.module.classes[(tag - 1) as usize];
+                    let callee =
+                        *class
+                            .methods
+                            .get(method)
+                            .ok_or_else(|| MachineFault::BadDispatch {
+                                method: method.clone(),
+                            })?;
+                    let mut vals: Vec<u64> = Vec::with_capacity(args.len() + 1);
+                    vals.push(base);
+                    vals.extend(args.iter().map(|r| regs[r.index()]));
+                    match self.call(callee, &vals, depth + 1)? {
+                        Flow::Return(v) => {
+                            if let (Some(d), Some(v)) = (dst, v) {
+                                regs[d.index()] = v;
+                            }
+                            pc += 1;
+                        }
+                        Flow::Threw(k) => raise!(k, pc),
+                    }
+                }
+                MInst::Math { op, dst, src } => {
+                    self.charge(if self.platform.has_fp_intrinsics {
+                        cost.intrinsic
+                    } else {
+                        cost.math_library_call
+                    });
+                    let x = f64::from_bits(regs[src.index()]);
+                    regs[dst.index()] = op.apply(x).to_bits();
+                    pc += 1;
+                }
+                MInst::Ret { src } => {
+                    self.charge(cost.branch);
+                    return Ok(Flow::Return(src.map(|r| regs[r.index()])));
+                }
+                MInst::Throw { kind } => {
+                    raise!(*kind, pc);
+                }
+                MInst::Observe { src, ty } => {
+                    self.charge(cost.observe);
+                    let v = MValue::from_bits(regs[src.index()], *ty);
+                    self.trace.push(v);
+                    pc += 1;
+                }
+            }
+        }
+    }
+}
+
+fn effective(regs: &[u64], base: Reg, index: Option<Reg>, imm: u64) -> u64 {
+    let mut addr = regs[base.index()].wrapping_add(imm);
+    if let Some(i) = index {
+        addr = addr.wrapping_add((regs[i.index()]).wrapping_mul(8));
+    }
+    addr
+}

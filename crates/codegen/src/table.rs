@@ -1,0 +1,191 @@
+//! The machine-level metadata tables: exception sites and handler ranges.
+//!
+//! This is the machinery the paper's implicit null checks actually rest
+//! on in a real JIT: the generated code contains **no instruction** for an
+//! implicit check, only an entry in a PC-indexed table. When the hardware
+//! delivers a trap, the runtime looks the faulting PC up — a hit means
+//! "this was a null check, raise `NullPointerException` here"; a miss
+//! means the compiler emitted a wild memory access and the VM aborts.
+//! (Paper §3.3.2: *"we must mark such an instruction as an exception
+//! site"*.)
+
+use std::collections::HashSet;
+
+use njc_ir::{CatchKind, Type};
+
+use crate::isa::Reg;
+
+/// The set of PCs whose memory access doubles as a null check.
+#[derive(Clone, Default, Debug)]
+pub struct ExceptionSiteTable {
+    sites: HashSet<usize>,
+}
+
+impl ExceptionSiteTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `pc` as an implicit null check site.
+    pub fn insert(&mut self, pc: usize) {
+        self.sites.insert(pc);
+    }
+
+    /// Whether a trap at `pc` is a legal null check.
+    pub fn contains(&self, pc: usize) -> bool {
+        self.sites.contains(&pc)
+    }
+
+    /// Number of registered sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether no sites are registered.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+}
+
+/// One handler range: exceptions raised at `start_pc..end_pc` whose kind
+/// matches `catch` transfer control to `handler_pc`.
+#[derive(Clone, Debug)]
+pub struct HandlerEntry {
+    /// First covered PC (inclusive).
+    pub start_pc: usize,
+    /// Last covered PC (exclusive).
+    pub end_pc: usize,
+    /// Catch filter.
+    pub catch: CatchKind,
+    /// Handler entry point.
+    pub handler_pc: usize,
+    /// Register receiving the exception code, if any.
+    pub code_reg: Option<Reg>,
+}
+
+/// Per-function handler table (searched in order; first match wins).
+#[derive(Clone, Default, Debug)]
+pub struct HandlerTable {
+    /// The entries.
+    pub entries: Vec<HandlerEntry>,
+}
+
+impl HandlerTable {
+    /// Finds the handler covering `pc` for exception `kind`.
+    pub fn lookup(&self, pc: usize, kind: njc_ir::ExceptionKind) -> Option<&HandlerEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.start_pc <= pc && pc < e.end_pc && e.catch.catches(kind))
+    }
+}
+
+/// A lowered function.
+#[derive(Clone, Debug)]
+pub struct MachineFunction {
+    /// Function name.
+    pub name: String,
+    /// Linear code.
+    pub code: Vec<crate::isa::MInst>,
+    /// Number of registers (parameters occupy `r0..`).
+    pub num_regs: usize,
+    /// Number of parameters.
+    pub num_params: usize,
+    /// Return type, if non-void.
+    pub ret: Option<Type>,
+    /// PC-indexed implicit null check sites.
+    pub sites: ExceptionSiteTable,
+    /// Exception handler ranges.
+    pub handlers: HandlerTable,
+}
+
+/// A lowered class: what virtual dispatch and allocation need at run time.
+#[derive(Clone, Debug)]
+pub struct MachineClass {
+    /// Object size in bytes (header included).
+    pub size: u64,
+    /// Method table: name → function index.
+    pub methods: std::collections::HashMap<String, usize>,
+}
+
+/// A lowered module.
+#[derive(Clone, Debug)]
+pub struct MachineModule {
+    /// Functions, indexed like the source module's.
+    pub functions: Vec<MachineFunction>,
+    /// Classes, indexed like the source module's.
+    pub classes: Vec<MachineClass>,
+}
+
+impl MachineModule {
+    /// Looks a function up by name.
+    pub fn function_by_name(&self, name: &str) -> Option<usize> {
+        self.functions.iter().position(|f| f.name == name)
+    }
+
+    /// Total machine instruction count (code size).
+    pub fn code_size(&self) -> usize {
+        self.functions.iter().map(|f| f.code.len()).sum()
+    }
+
+    /// Total implicit null check sites across all functions.
+    pub fn total_sites(&self) -> usize {
+        self.functions.iter().map(|f| f.sites.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use njc_ir::ExceptionKind;
+
+    #[test]
+    fn site_table_membership() {
+        let mut t = ExceptionSiteTable::new();
+        assert!(t.is_empty());
+        t.insert(7);
+        t.insert(7);
+        assert_eq!(t.len(), 1);
+        assert!(t.contains(7));
+        assert!(!t.contains(8));
+    }
+
+    #[test]
+    fn handler_lookup_respects_range_and_kind() {
+        let table = HandlerTable {
+            entries: vec![
+                HandlerEntry {
+                    start_pc: 10,
+                    end_pc: 20,
+                    catch: CatchKind::Only(ExceptionKind::NullPointer),
+                    handler_pc: 100,
+                    code_reg: None,
+                },
+                HandlerEntry {
+                    start_pc: 10,
+                    end_pc: 20,
+                    catch: CatchKind::Any,
+                    handler_pc: 200,
+                    code_reg: None,
+                },
+            ],
+        };
+        assert_eq!(
+            table
+                .lookup(15, ExceptionKind::NullPointer)
+                .unwrap()
+                .handler_pc,
+            100
+        );
+        assert_eq!(
+            table
+                .lookup(15, ExceptionKind::Arithmetic)
+                .unwrap()
+                .handler_pc,
+            200,
+            "first matching entry wins"
+        );
+        assert!(table.lookup(25, ExceptionKind::NullPointer).is_none());
+        assert!(table.lookup(9, ExceptionKind::NullPointer).is_none());
+    }
+}

@@ -1,0 +1,210 @@
+//! Shared analysis context: how instructions look to the null check
+//! optimizer under a given platform trap model.
+
+use njc_arch::TrapModel;
+use njc_ir::{Function, Inst, Module, SlotAccess, VarId};
+
+/// How a slot access behaves when its base reference is null, from the
+/// *compiler's* point of view.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessClass {
+    /// Guaranteed to raise a hardware trap: statically known offset inside
+    /// the protected area, and the platform traps for this access kind.
+    /// Eligible to carry an implicit null check (paper §4.2.1).
+    TrapGuaranteed,
+    /// Guaranteed *not* to fault: known offset inside the protected area on
+    /// a platform that silently satisfies this access kind (AIX reads).
+    /// A pending null check may sink straight past it, and the access
+    /// itself may be speculated above its null check (paper §3.3.1).
+    Silent,
+    /// May fault unpredictably: offset unknown at compile time (array
+    /// elements) or beyond the protected area (the "BigOffset" of
+    /// Figure 5 (1)). A pending check for the same base must be
+    /// materialized as an explicit check before this instruction.
+    Hazard,
+}
+
+/// Context shared by all analyses: the module (for field offsets) and the
+/// platform trap model.
+#[derive(Clone, Copy, Debug)]
+pub struct AnalysisCtx<'a> {
+    /// The module containing field layout information.
+    pub module: &'a Module,
+    /// The platform's trap capabilities.
+    pub trap: TrapModel,
+}
+
+impl<'a> AnalysisCtx<'a> {
+    /// Creates a context.
+    pub fn new(module: &'a Module, trap: TrapModel) -> Self {
+        AnalysisCtx { module, trap }
+    }
+
+    /// The slot access performed by `inst`, if any, with offsets resolved
+    /// through the module's field layout.
+    pub fn slot_access(&self, inst: &Inst) -> Option<SlotAccess> {
+        inst.slot_access(|f| self.module.field_offset(f))
+    }
+
+    /// Classifies the slot access performed by `inst` (if any) under the
+    /// trap model, returning the base variable and its [`AccessClass`].
+    pub fn classify_access(&self, inst: &Inst) -> Option<(VarId, AccessClass)> {
+        let sa = self.slot_access(inst)?;
+        let class = match sa.offset {
+            Some(off) if self.trap.access_traps(sa.kind, Some(off)) => AccessClass::TrapGuaranteed,
+            Some(off) if off < self.trap.trap_area_bytes => AccessClass::Silent,
+            _ => AccessClass::Hazard,
+        };
+        Some((sa.base, class))
+    }
+
+    /// The paper's *side-effecting instruction* predicate (§4.1.1 `Kill_bwd`,
+    /// §4.2.1 `Kill`): the instruction can throw an exception other than a
+    /// null pointer exception, or performs a memory write — including a
+    /// local variable write when the block lies in a try region.
+    ///
+    /// Side-effecting instructions are barriers: no null check may move
+    /// across them in either direction.
+    pub fn is_barrier(&self, inst: &Inst, in_try_region: bool) -> bool {
+        inst.is_side_effecting() || (in_try_region && inst.def().is_some())
+    }
+
+    /// Whether `block` of `func` lies inside a try region.
+    pub fn block_in_try(&self, func: &Function, block: njc_ir::BlockId) -> bool {
+        func.block(block).try_region.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use njc_ir::{AccessKind, FieldId, Type};
+
+    fn test_module() -> Module {
+        let mut m = Module::new("t");
+        m.add_class("C", &[("near", Type::Int)]);
+        m.add_class_with_offsets("Big", &[("far", Type::Int, 1 << 20)]);
+        m
+    }
+
+    fn getfield(field: FieldId) -> Inst {
+        Inst::GetField {
+            dst: VarId(1),
+            obj: VarId(0),
+            field,
+            exception_site: false,
+        }
+    }
+
+    #[test]
+    fn near_field_read_is_guaranteed_on_windows() {
+        let m = test_module();
+        let ctx = AnalysisCtx::new(&m, TrapModel::windows_ia32());
+        let f = m.field(m.class_by_name("C").unwrap(), "near").unwrap();
+        assert_eq!(
+            ctx.classify_access(&getfield(f)),
+            Some((VarId(0), AccessClass::TrapGuaranteed))
+        );
+    }
+
+    #[test]
+    fn near_field_read_is_silent_on_aix() {
+        let m = test_module();
+        let ctx = AnalysisCtx::new(&m, TrapModel::aix_ppc());
+        let f = m.field(m.class_by_name("C").unwrap(), "near").unwrap();
+        assert_eq!(
+            ctx.classify_access(&getfield(f)),
+            Some((VarId(0), AccessClass::Silent))
+        );
+        // ... but a write to the same offset is guaranteed to trap.
+        let w = Inst::PutField {
+            obj: VarId(0),
+            field: f,
+            value: VarId(1),
+            exception_site: false,
+        };
+        assert_eq!(
+            ctx.classify_access(&w),
+            Some((VarId(0), AccessClass::TrapGuaranteed))
+        );
+    }
+
+    #[test]
+    fn big_offset_is_hazard_everywhere() {
+        let m = test_module();
+        let f = m.field(m.class_by_name("Big").unwrap(), "far").unwrap();
+        for trap in [TrapModel::windows_ia32(), TrapModel::aix_ppc()] {
+            let ctx = AnalysisCtx::new(&m, trap);
+            assert_eq!(
+                ctx.classify_access(&getfield(f)),
+                Some((VarId(0), AccessClass::Hazard))
+            );
+        }
+    }
+
+    #[test]
+    fn array_element_access_is_hazard() {
+        let m = test_module();
+        let ctx = AnalysisCtx::new(&m, TrapModel::windows_ia32());
+        let load = Inst::ArrayLoad {
+            dst: VarId(1),
+            arr: VarId(0),
+            index: VarId(2),
+            ty: Type::Int,
+            exception_site: false,
+        };
+        assert_eq!(
+            ctx.classify_access(&load),
+            Some((VarId(0), AccessClass::Hazard))
+        );
+        // The arraylength read at offset 0 is the guaranteed trap.
+        let len = Inst::ArrayLength {
+            dst: VarId(1),
+            arr: VarId(0),
+            exception_site: false,
+        };
+        assert_eq!(
+            ctx.classify_access(&len),
+            Some((VarId(0), AccessClass::TrapGuaranteed))
+        );
+    }
+
+    #[test]
+    fn no_trap_model_has_no_guaranteed_accesses() {
+        let m = test_module();
+        let ctx = AnalysisCtx::new(&m, TrapModel::no_traps());
+        let f = m.field(m.class_by_name("C").unwrap(), "near").unwrap();
+        assert_eq!(
+            ctx.classify_access(&getfield(f)),
+            Some((VarId(0), AccessClass::Hazard))
+        );
+    }
+
+    #[test]
+    fn barrier_predicate_includes_try_local_writes() {
+        let m = test_module();
+        let ctx = AnalysisCtx::new(&m, TrapModel::windows_ia32());
+        let mv = Inst::Move {
+            dst: VarId(0),
+            src: VarId(1),
+        };
+        assert!(!ctx.is_barrier(&mv, false));
+        assert!(ctx.is_barrier(&mv, true), "local write in try region");
+        let store = Inst::PutField {
+            obj: VarId(0),
+            field: FieldId(0),
+            value: VarId(1),
+            exception_site: false,
+        };
+        assert!(ctx.is_barrier(&store, false), "memory write");
+        let nc = Inst::NullCheck {
+            var: VarId(0),
+            kind: njc_ir::NullCheckKind::Explicit,
+        };
+        assert!(
+            !ctx.is_barrier(&nc, false),
+            "null checks themselves are not barriers"
+        );
+        let _ = AccessKind::Read;
+    }
+}

@@ -1,0 +1,103 @@
+//! # njc-core — two-phase null pointer check elimination
+//!
+//! This crate is the reproduction of the paper's primary contribution
+//! (Kawahito, Komatsu, Nakatani: *Effective Null Pointer Check Elimination
+//! Utilizing Hardware Trap*, ASPLOS 2000): a null check optimizer split
+//! into an architecture-independent phase that moves checks **backward**
+//! and eliminates redundancy ([`phase1`], paper §4.1), and an architecture-
+//! dependent phase that moves checks **forward** and converts them to
+//! hardware traps ([`phase2`], paper §4.2).
+//!
+//! The previously known best algorithm — forward-dataflow elimination
+//! (Whaley) — is implemented in [`whaley`] as the evaluation baseline, and
+//! the pre-existing trivial trap conversion (Jalapeño/LaTTe style, §2.1)
+//! in [`trivial`].
+//!
+//! ## Example: the full two-phase treatment of a loop
+//!
+//! ```
+//! use njc_arch::TrapModel;
+//! use njc_core::{ctx::AnalysisCtx, phase1, phase2};
+//! use njc_ir::{parse_function, Module, Type};
+//!
+//! let mut module = Module::new("demo");
+//! module.add_class("C", &[("count", Type::Int)]);
+//! let mut f = parse_function(
+//!     "func sum(v0: ref, v1: int) -> int {\n\
+//!        locals v2: int v3: int\n\
+//!      bb0:\n  v2 = const 0\n  goto bb1\n\
+//!      bb1:\n  nullcheck v0\n  v3 = getfield v0, field0\n  v2 = add.int v2, v3\n  if lt v2, v1 then bb1 else bb2\n\
+//!      bb2:\n  return v2\n}",
+//! ).unwrap();
+//!
+//! let ctx = AnalysisCtx::new(&module, TrapModel::windows_ia32());
+//! let s1 = phase1::run(&ctx, &mut f);       // hoists the check to bb0
+//! assert_eq!(s1.eliminated, 1);
+//! let s2 = phase2::run(&ctx, &mut f);       // converts it to a hardware trap
+//! assert_eq!(phase2::count_explicit(&f), 0);
+//! ```
+
+pub mod ctx;
+pub mod nonnull;
+pub mod phase1;
+pub mod phase2;
+pub mod trivial;
+pub mod whaley;
+
+pub use ctx::{AccessClass, AnalysisCtx};
+pub use phase1::Phase1Stats;
+pub use phase2::Phase2Stats;
+pub use trivial::TrivialStats;
+pub use whaley::WhaleyStats;
+
+/// Aggregated statistics for a full null check optimization of one function.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct NullCheckStats {
+    /// Phase 1 statistics (zeroed when phase 1 did not run).
+    pub phase1: Phase1Stats,
+    /// Phase 2 statistics (zeroed when phase 2 did not run).
+    pub phase2: Phase2Stats,
+    /// Whaley baseline statistics (zeroed unless the baseline ran).
+    pub whaley: WhaleyStats,
+    /// Trivial conversion statistics (zeroed unless it ran).
+    pub trivial: TrivialStats,
+}
+
+impl NullCheckStats {
+    /// Merges per-function statistics into a module-wide aggregate.
+    pub fn merge(&mut self, other: &NullCheckStats) {
+        self.phase1.eliminated += other.phase1.eliminated;
+        self.phase1.inserted += other.phase1.inserted;
+        self.phase1.motion_iterations += other.phase1.motion_iterations;
+        self.phase1.nonnull_iterations += other.phase1.nonnull_iterations;
+        self.phase2.converted_implicit += other.phase2.converted_implicit;
+        self.phase2.explicit_inserted += other.phase2.explicit_inserted;
+        self.phase2.substituted += other.phase2.substituted;
+        self.phase2.motion_iterations += other.phase2.motion_iterations;
+        self.phase2.subst_iterations += other.phase2.subst_iterations;
+        self.whaley.eliminated += other.whaley.eliminated;
+        self.whaley.iterations += other.whaley.iterations;
+        self.trivial.converted += other.trivial.converted;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = NullCheckStats::default();
+        let mut b = NullCheckStats::default();
+        b.phase1.eliminated = 3;
+        b.phase2.converted_implicit = 2;
+        b.whaley.eliminated = 1;
+        b.trivial.converted = 4;
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.phase1.eliminated, 6);
+        assert_eq!(a.phase2.converted_implicit, 4);
+        assert_eq!(a.whaley.eliminated, 2);
+        assert_eq!(a.trivial.converted, 8);
+    }
+}

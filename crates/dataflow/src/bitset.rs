@@ -1,0 +1,364 @@
+//! A dense fixed-capacity bit set over `u64` words.
+//!
+//! Facts in the null check analyses are local variables, so sets are small
+//! and dense — a `Vec<u64>` beats hash sets by a wide margin and makes the
+//! meet operators single-word loops.
+
+use std::fmt;
+
+/// A fixed-capacity set of small integers (dataflow facts).
+///
+/// # Example
+/// ```
+/// use njc_dataflow::BitSet;
+/// let mut a = BitSet::new(70);
+/// a.insert(3);
+/// a.insert(69);
+/// let mut b = BitSet::new(70);
+/// b.insert(69);
+/// a.intersect_with(&b);
+/// assert_eq!(a.iter().collect::<Vec<_>>(), vec![69]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold facts `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Creates a set containing every fact in `0..capacity` (the ⊤ value of
+    /// intersection-meet analyses).
+    pub fn full(capacity: usize) -> Self {
+        let mut s = Self::new(capacity);
+        s.set_all();
+        s
+    }
+
+    /// The capacity (number of representable facts).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `i`; returns whether the set changed.
+    ///
+    /// # Panics
+    /// Panics if `i >= capacity`.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let changed = *w & mask == 0;
+        *w |= mask;
+        changed
+    }
+
+    /// Removes `i`; returns whether the set changed.
+    pub fn remove(&mut self, i: usize) -> bool {
+        if i >= self.capacity {
+            return false;
+        }
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let changed = *w & mask != 0;
+        *w &= !mask;
+        changed
+    }
+
+    /// Whether `i` is in the set.
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.capacity && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Inserts every element in `0..capacity`.
+    pub fn set_all(&mut self) {
+        self.words.fill(!0);
+        self.mask_tail();
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.capacity % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// `self ∪= other`; returns whether `self` changed.
+    ///
+    /// # Panics
+    /// Panics on capacity mismatch.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        self.check_capacity(other);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// `self ∩= other`; returns whether `self` changed.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        self.check_capacity(other);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a & b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// `self -= other`; returns whether `self` changed.
+    pub fn subtract(&mut self, other: &BitSet) -> bool {
+        self.check_capacity(other);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a & !b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// Replaces the contents of `self` with those of `other`.
+    pub fn copy_from(&mut self, other: &BitSet) {
+        self.check_capacity(other);
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of elements.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.check_capacity(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    fn check_capacity(&self, other: &BitSet) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "bit set capacity mismatch ({} vs {})",
+            self.capacity, other.capacity
+        );
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl fmt::Display for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, e) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects elements into a set sized to fit the largest element.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let elems: Vec<usize> = iter.into_iter().collect();
+        let cap = elems.iter().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(cap);
+        for e in elems {
+            s.insert(e);
+        }
+        s
+    }
+}
+
+/// Iterator over the elements of a [`BitSet`].
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(100);
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(5));
+        assert!(!s.contains(6));
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn full_respects_capacity_tail() {
+        let s = BitSet::full(70);
+        assert_eq!(s.count(), 70);
+        assert!(s.contains(69));
+        assert!(!s.contains(70));
+        let s = BitSet::full(64);
+        assert_eq!(s.count(), 64);
+    }
+
+    #[test]
+    fn set_ops() {
+        let a: BitSet = [1, 2, 3].into_iter().collect();
+        let b: BitSet = [2, 3].into_iter().collect();
+        let mut u = a.clone();
+        // align capacities
+        let mut b4 = BitSet::new(4);
+        for e in b.iter() {
+            b4.insert(e);
+        }
+        u.union_with(&b4);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        let mut i = a.clone();
+        i.intersect_with(&b4);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![2, 3]);
+        let mut d = a.clone();
+        d.subtract(&b4);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1]);
+        assert!(b4.is_subset(&a));
+        assert!(!a.is_subset(&b4));
+    }
+
+    #[test]
+    fn zero_capacity_set() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.iter().count(), 0);
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_beyond_capacity_panics() {
+        BitSet::new(4).insert(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn capacity_mismatch_panics() {
+        let mut a = BitSet::new(4);
+        let b = BitSet::new(5);
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s: BitSet = [0, 9].into_iter().collect();
+        assert_eq!(s.to_string(), "{0, 9}");
+        assert_eq!(format!("{s:?}"), "{0, 9}");
+    }
+
+    proptest! {
+        #[test]
+        fn union_is_commutative(xs in prop::collection::vec(0usize..200, 0..50),
+                                ys in prop::collection::vec(0usize..200, 0..50)) {
+            let mut a = BitSet::new(200);
+            for &x in &xs { a.insert(x); }
+            let mut b = BitSet::new(200);
+            for &y in &ys { b.insert(y); }
+            let mut ab = a.clone(); ab.union_with(&b);
+            let mut ba = b.clone(); ba.union_with(&a);
+            prop_assert_eq!(ab, ba);
+        }
+
+        #[test]
+        fn demorgan_subtract(xs in prop::collection::vec(0usize..200, 0..50),
+                             ys in prop::collection::vec(0usize..200, 0..50)) {
+            let mut a = BitSet::new(200);
+            for &x in &xs { a.insert(x); }
+            let mut b = BitSet::new(200);
+            for &y in &ys { b.insert(y); }
+            // a - b == a ∩ complement(b)
+            let mut lhs = a.clone();
+            lhs.subtract(&b);
+            let mut comp = BitSet::full(200);
+            comp.subtract(&b);
+            let mut rhs = a.clone();
+            rhs.intersect_with(&comp);
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn iter_round_trips(xs in prop::collection::vec(0usize..300, 0..80)) {
+            let mut s = BitSet::new(300);
+            let mut expected: Vec<usize> = xs.clone();
+            expected.sort_unstable();
+            expected.dedup();
+            for &x in &xs { s.insert(x); }
+            prop_assert_eq!(s.iter().collect::<Vec<_>>(), expected);
+            prop_assert_eq!(s.count(), s.iter().count());
+        }
+    }
+}

@@ -1,0 +1,440 @@
+//! A generic worklist solver for bit-vector dataflow problems over an IR
+//! function's CFG.
+//!
+//! Each analysis of the paper (§4.1.1, §4.1.2, §4.2.1, §4.2.2) is expressed
+//! as a [`Problem`]: a direction, a meet operator, a per-block transfer
+//! function, and a per-edge transfer function (which implements the paper's
+//! `Edge_try(m, n)` subtraction and the `∪ Earliest(m) ∪ Edge(m, n)` terms).
+//!
+//! Conventions:
+//! * **Forward**: `in(n) = MEET over preds m of edge(m, n, out(m))`,
+//!   `out(n) = transfer(n, in(n))`. The entry block additionally meets the
+//!   problem's [`Problem::boundary`] value (the "method entry edge").
+//! * **Backward**: `out(n) = MEET over succs m of edge(n, m, in(m))`,
+//!   `in(n) = transfer(n, out(n))`. Exit blocks (no successors) use the
+//!   boundary value as their `out`.
+//! * With [`Meet::Intersect`], blocks whose meet input set is empty (no
+//!   edges) start from the boundary; interior values are initialized to ⊤
+//!   (the full set) and refined downward.
+
+use njc_ir::{BlockId, Function};
+
+use crate::bitset::BitSet;
+
+/// Analysis direction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Facts flow from predecessors to successors.
+    Forward,
+    /// Facts flow from successors to predecessors.
+    Backward,
+}
+
+/// Meet operator applied where paths join.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Meet {
+    /// May-analysis: a fact holds if it holds on *some* path.
+    Union,
+    /// Must-analysis: a fact holds only if it holds on *all* paths.
+    Intersect,
+}
+
+/// A bit-vector dataflow problem over one [`Function`].
+pub trait Problem {
+    /// Analysis direction.
+    fn direction(&self) -> Direction;
+
+    /// Meet operator.
+    fn meet(&self) -> Meet;
+
+    /// Number of facts (bit positions).
+    fn num_facts(&self) -> usize;
+
+    /// The value flowing in over the boundary: into the entry block
+    /// (forward) or out of exit blocks (backward). Defaults to ∅.
+    fn boundary(&self) -> BitSet {
+        BitSet::new(self.num_facts())
+    }
+
+    /// The block transfer function: given the meet result (`in` for forward,
+    /// `out` for backward), compute the opposite side.
+    fn transfer(&self, block: BlockId, input: &BitSet, output: &mut BitSet);
+
+    /// The edge transfer function applied to a value as it crosses the CFG
+    /// edge `from → to`. `set` arrives holding the source-side value and may
+    /// be mutated in place (e.g. subtract `Edge_try`, add `Earliest`).
+    /// The default is the identity.
+    fn edge_transfer(&self, _from: BlockId, _to: BlockId, _set: &mut BitSet) {}
+
+    /// For **forward** problems: when true, the value carried across the
+    /// edge `from → to` is the source block's *input* set rather than its
+    /// output set. Exceptional (handler) edges use this: control can leave
+    /// the block at any throwing instruction, so the block-entry facts
+    /// (filtered by [`Problem::edge_transfer`]) are what reach the handler.
+    fn edge_uses_input(&self, _from: BlockId, _to: BlockId) -> bool {
+        false
+    }
+}
+
+/// The fixed point computed by [`solve`].
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// Per-block value at the block entry.
+    pub ins: Vec<BitSet>,
+    /// Per-block value at the block exit.
+    pub outs: Vec<BitSet>,
+    /// Number of passes over the block list until convergence.
+    pub iterations: usize,
+}
+
+impl Solution {
+    /// Value at the entry of `b`.
+    pub fn input(&self, b: BlockId) -> &BitSet {
+        &self.ins[b.index()]
+    }
+
+    /// Value at the exit of `b`.
+    pub fn output(&self, b: BlockId) -> &BitSet {
+        &self.outs[b.index()]
+    }
+}
+
+/// Iteration safety valve: `|blocks| * |facts| + 16` passes is far beyond
+/// the theoretical bound for monotone bit-vector frameworks; exceeding it
+/// indicates a non-monotone transfer function.
+fn max_iterations(func: &Function, facts: usize) -> usize {
+    func.num_blocks() * facts.max(1) + 16
+}
+
+/// Solves `problem` over `func` to a fixed point.
+///
+/// # Panics
+/// Panics if the iteration bound for monotone frameworks is exceeded
+/// (which would indicate a bug in the problem's transfer functions).
+pub fn solve(func: &Function, problem: &impl Problem) -> Solution {
+    let n = func.num_blocks();
+    let facts = problem.num_facts();
+    let meet = problem.meet();
+    let top = || match meet {
+        Meet::Union => BitSet::new(facts),
+        Meet::Intersect => BitSet::full(facts),
+    };
+
+    let mut ins: Vec<BitSet> = (0..n).map(|_| top()).collect();
+    let mut outs: Vec<BitSet> = (0..n).map(|_| top()).collect();
+    let preds = func.predecessors();
+    let boundary = problem.boundary();
+
+    // Process in an order that propagates facts quickly: RPO for forward,
+    // reverse RPO (≈ postorder) for backward.
+    let mut order = func.reverse_postorder();
+    if problem.direction() == Direction::Backward {
+        order.reverse();
+    }
+
+    let mut scratch = BitSet::new(facts);
+    let mut meet_acc = BitSet::new(facts);
+    let mut iterations = 0;
+    let limit = max_iterations(func, facts);
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= limit,
+            "dataflow failed to converge after {limit} passes (non-monotone transfer?)"
+        );
+        let mut changed = false;
+        for &b in &order {
+            match problem.direction() {
+                Direction::Forward => {
+                    // in(b) = MEET over preds of edge(pred, b, out(pred)),
+                    // with the boundary folded in at the entry block.
+                    let mut first = true;
+                    meet_acc.clear();
+                    if b == func.entry() {
+                        meet_acc.copy_from(&boundary);
+                        first = false;
+                    }
+                    for &p in &preds[b.index()] {
+                        if problem.edge_uses_input(p, b) {
+                            scratch.copy_from(&ins[p.index()]);
+                        } else {
+                            scratch.copy_from(&outs[p.index()]);
+                        }
+                        problem.edge_transfer(p, b, &mut scratch);
+                        if first {
+                            meet_acc.copy_from(&scratch);
+                            first = false;
+                        } else {
+                            match meet {
+                                Meet::Union => meet_acc.union_with(&scratch),
+                                Meet::Intersect => meet_acc.intersect_with(&scratch),
+                            };
+                        }
+                    }
+                    if first {
+                        // Unreachable non-entry block: keep ⊤.
+                        meet_acc.copy_from(&top());
+                    }
+                    if meet_acc != ins[b.index()] {
+                        ins[b.index()].copy_from(&meet_acc);
+                        changed = true;
+                    }
+                    problem.transfer(b, &ins[b.index()], &mut scratch);
+                    if scratch != outs[b.index()] {
+                        outs[b.index()].copy_from(&scratch);
+                        changed = true;
+                    }
+                }
+                Direction::Backward => {
+                    // out(b) = MEET over succs of edge(b, succ, in(succ)).
+                    // Blocks whose terminator exits the function participate
+                    // in the boundary meet even when they have exceptional
+                    // successors: control may leave through the return as
+                    // well as through the handler edge.
+                    let succs = func.successors(b);
+                    let mut first = true;
+                    meet_acc.clear();
+                    if succs.is_empty() || func.block(b).term.is_exit() {
+                        meet_acc.copy_from(&boundary);
+                        first = false;
+                    }
+                    for &s in &succs {
+                        scratch.copy_from(&ins[s.index()]);
+                        problem.edge_transfer(b, s, &mut scratch);
+                        if first {
+                            meet_acc.copy_from(&scratch);
+                            first = false;
+                        } else {
+                            match meet {
+                                Meet::Union => meet_acc.union_with(&scratch),
+                                Meet::Intersect => meet_acc.intersect_with(&scratch),
+                            };
+                        }
+                    }
+                    if meet_acc != outs[b.index()] {
+                        outs[b.index()].copy_from(&meet_acc);
+                        changed = true;
+                    }
+                    problem.transfer(b, &outs[b.index()], &mut scratch);
+                    if scratch != ins[b.index()] {
+                        ins[b.index()].copy_from(&scratch);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    Solution {
+        ins,
+        outs,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use njc_ir::{Cond, FuncBuilder, Type, VarId};
+
+    /// A must-analysis over the same CFG: intersection keeps only facts on
+    /// all paths.
+    struct MustPass {
+        facts: usize,
+        gen_in_block: Vec<Vec<usize>>,
+    }
+
+    impl Problem for MustPass {
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+        fn meet(&self) -> Meet {
+            Meet::Intersect
+        }
+        fn num_facts(&self) -> usize {
+            self.facts
+        }
+        fn transfer(&self, block: BlockId, input: &BitSet, output: &mut BitSet) {
+            output.copy_from(input);
+            for &g in &self.gen_in_block[block.index()] {
+                output.insert(g);
+            }
+        }
+    }
+
+    fn diamond() -> njc_ir::Function {
+        let mut b = FuncBuilder::new("d", &[Type::Int], Type::Int);
+        let x = b.param(0);
+        let z = b.iconst(0);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.br_if(Cond::Lt, x, z, t, e);
+        b.switch_to(t);
+        b.goto(j);
+        b.switch_to(e);
+        b.goto(j);
+        b.switch_to(j);
+        b.ret(Some(x));
+        b.finish()
+    }
+
+    #[test]
+    fn union_meet_joins_facts() {
+        let f = diamond();
+        // fact 0 generated in block 1 (then), fact 1 in block 2 (else).
+        struct GenPerBlock;
+        impl Problem for GenPerBlock {
+            fn direction(&self) -> Direction {
+                Direction::Forward
+            }
+            fn meet(&self) -> Meet {
+                Meet::Union
+            }
+            fn num_facts(&self) -> usize {
+                2
+            }
+            fn transfer(&self, block: BlockId, input: &BitSet, output: &mut BitSet) {
+                output.copy_from(input);
+                if block.index() == 1 {
+                    output.insert(0);
+                }
+                if block.index() == 2 {
+                    output.insert(1);
+                }
+            }
+        }
+        let sol = solve(&f, &GenPerBlock);
+        let join = &sol.ins[3];
+        assert!(join.contains(0) && join.contains(1), "union keeps both");
+    }
+
+    #[test]
+    fn intersect_meet_keeps_only_common_facts() {
+        let f = diamond();
+        let p = MustPass {
+            facts: 3,
+            // fact 2 generated on both branch blocks, 0 only on then,
+            // 1 only on else.
+            gen_in_block: vec![vec![], vec![0, 2], vec![1, 2], vec![]],
+        };
+        let sol = solve(&f, &p);
+        let join = &sol.ins[3];
+        assert!(!join.contains(0));
+        assert!(!join.contains(1));
+        assert!(join.contains(2), "fact on all paths survives intersection");
+    }
+
+    #[test]
+    fn loops_converge() {
+        // entry -> header <-> body, header -> exit
+        let mut b = FuncBuilder::new("l", &[Type::Int], Type::Int);
+        let n = b.param(0);
+        let zero = b.iconst(0);
+        let acc = b.var(Type::Int);
+        b.assign(acc, zero);
+        b.for_loop(zero, n, 1, |b, i| {
+            b.binop_into(acc, njc_ir::Op::Add, acc, i);
+        });
+        b.ret(Some(acc));
+        let f = b.finish();
+        let p = MustPass {
+            facts: 1,
+            gen_in_block: vec![vec![0]; f.num_blocks()],
+        };
+        let sol = solve(&f, &p);
+        assert!(sol.iterations <= f.num_blocks() + 2);
+        for b in f.blocks() {
+            assert!(sol.outs[b.id.index()].contains(0));
+        }
+    }
+
+    #[test]
+    fn backward_analysis_reaches_entry() {
+        // Liveness-like: fact = "return value variable live".
+        let f = diamond();
+        struct Live {
+            #[allow(dead_code)]
+            var: VarId,
+        }
+        impl Problem for Live {
+            fn direction(&self) -> Direction {
+                Direction::Backward
+            }
+            fn meet(&self) -> Meet {
+                Meet::Union
+            }
+            fn num_facts(&self) -> usize {
+                1
+            }
+            fn transfer(&self, _b: BlockId, input: &BitSet, output: &mut BitSet) {
+                output.copy_from(input);
+            }
+            fn boundary(&self) -> BitSet {
+                BitSet::new(1)
+            }
+        }
+        // Mark fact in the exit block by a custom transfer: simpler — verify
+        // structural propagation only: empty everywhere converges.
+        let sol = solve(&f, &Live { var: VarId(0) });
+        assert!(sol.ins.iter().all(|s| s.is_empty()));
+        let _ = sol.iterations;
+    }
+
+    #[test]
+    fn edge_transfer_subtracts_on_specific_edge() {
+        let f = diamond();
+        struct EdgeBlocked;
+        impl Problem for EdgeBlocked {
+            fn direction(&self) -> Direction {
+                Direction::Forward
+            }
+            fn meet(&self) -> Meet {
+                Meet::Union
+            }
+            fn num_facts(&self) -> usize {
+                1
+            }
+            fn boundary(&self) -> BitSet {
+                BitSet::new(1)
+            }
+            fn transfer(&self, block: BlockId, input: &BitSet, output: &mut BitSet) {
+                output.copy_from(input);
+                if block.index() == 0 {
+                    output.insert(0);
+                }
+            }
+            fn edge_transfer(&self, from: BlockId, to: BlockId, set: &mut BitSet) {
+                // Block the fact on the entry -> then edge.
+                if from.index() == 0 && to.index() == 1 {
+                    set.remove(0);
+                }
+            }
+        }
+        let sol = solve(&f, &EdgeBlocked);
+        assert!(!sol.ins[1].contains(0), "blocked on then edge");
+        assert!(sol.ins[2].contains(0), "flows on else edge");
+        assert!(sol.ins[3].contains(0), "union at join keeps else path");
+    }
+
+    #[test]
+    fn unreachable_block_gets_top_in_intersect() {
+        let mut b = FuncBuilder::new("u", &[], Type::Int);
+        let dead = b.new_block();
+        let v = b.iconst(1);
+        b.ret(Some(v));
+        b.switch_to(dead);
+        b.ret(Some(v));
+        let f = b.finish();
+        let p = MustPass {
+            facts: 2,
+            gen_in_block: vec![vec![], vec![]],
+        };
+        let sol = solve(&f, &p);
+        assert_eq!(sol.ins[dead.index()].count(), 2, "unreachable stays ⊤");
+        assert_eq!(sol.ins[f.entry().index()].count(), 0, "entry gets boundary");
+    }
+}

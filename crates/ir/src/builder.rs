@@ -1,0 +1,739 @@
+//! [`FuncBuilder`] — ergonomic construction of IR functions.
+//!
+//! The builder performs the paper's *null check splitting* (§3) on the fly:
+//! every field access, array access, array-length read, and receiver-taking
+//! call is preceded by an automatically emitted explicit
+//! [`Inst::NullCheck`], and every array element access is additionally
+//! preceded by an `arraylength` + [`Inst::BoundCheck`] pair — exactly the
+//! intermediate form of the paper's Figure 6 (2).
+
+use crate::block::{BasicBlock, Terminator};
+use crate::function::{CatchKind, Function, TryRegion};
+use crate::inst::{CallTarget, Cond, ExceptionKind, Inst, NullCheckKind, Op};
+use crate::module::{ClassId, FieldId, FunctionId};
+use crate::types::{BlockId, ConstValue, TryRegionId, Type, VarId};
+
+/// Builder for a single [`Function`].
+///
+/// # Example
+/// ```
+/// use njc_ir::{FuncBuilder, Type, Cond};
+/// let mut b = FuncBuilder::new("clamp", &[Type::Int], Type::Int);
+/// let x = b.param(0);
+/// let zero = b.iconst(0);
+/// let neg = b.new_block();
+/// let pos = b.new_block();
+/// b.br_if(Cond::Lt, x, zero, neg, pos);
+/// b.switch_to(neg);
+/// b.ret(Some(zero));
+/// b.switch_to(pos);
+/// b.ret(Some(x));
+/// let f = b.finish();
+/// assert_eq!(f.num_blocks(), 3);
+/// ```
+#[derive(Debug)]
+pub struct FuncBuilder {
+    name: String,
+    params: Vec<Type>,
+    ret: Option<Type>,
+    is_instance: bool,
+    var_types: Vec<Type>,
+    blocks: Vec<BasicBlock>,
+    try_regions: Vec<TryRegion>,
+    current: BlockId,
+    terminated: Vec<bool>,
+    started: Vec<bool>,
+    current_region: Option<TryRegionId>,
+}
+
+impl FuncBuilder {
+    /// Starts a function returning a value of type `ret`.
+    pub fn new(name: impl Into<String>, params: &[Type], ret: Type) -> Self {
+        Self::with_return(name, params, Some(ret))
+    }
+
+    /// Starts a `void` function.
+    pub fn new_void(name: impl Into<String>, params: &[Type]) -> Self {
+        Self::with_return(name, params, None)
+    }
+
+    fn with_return(name: impl Into<String>, params: &[Type], ret: Option<Type>) -> Self {
+        let entry = BasicBlock::new(BlockId(0));
+        FuncBuilder {
+            name: name.into(),
+            params: params.to_vec(),
+            ret,
+            is_instance: false,
+            var_types: params.to_vec(),
+            blocks: vec![entry],
+            try_regions: Vec::new(),
+            current: BlockId(0),
+            terminated: vec![false],
+            started: vec![true],
+            current_region: None,
+        }
+    }
+
+    /// Marks this function as an instance method: `v0` is the `this`
+    /// receiver, known non-null on entry.
+    ///
+    /// # Panics
+    /// Panics if the function has no parameters or `v0` is not a `ref`.
+    pub fn instance_method(&mut self) -> &mut Self {
+        assert!(
+            self.params.first() == Some(&Type::Ref),
+            "instance method needs a ref first parameter"
+        );
+        self.is_instance = true;
+        self
+    }
+
+    /// The `i`-th parameter variable.
+    pub fn param(&self, i: usize) -> VarId {
+        assert!(i < self.params.len(), "parameter index out of range");
+        VarId::new(i)
+    }
+
+    /// Allocates a fresh uninitialized variable.
+    pub fn var(&mut self, ty: Type) -> VarId {
+        let id = VarId::new(self.var_types.len());
+        self.var_types.push(ty);
+        id
+    }
+
+    // ---- straight-line emission ------------------------------------------
+
+    /// Appends a raw instruction to the current block.
+    ///
+    /// # Panics
+    /// Panics if the current block is already terminated.
+    pub fn emit(&mut self, inst: Inst) {
+        assert!(
+            !self.terminated[self.current.index()],
+            "block {} already terminated",
+            self.current
+        );
+        self.blocks[self.current.index()].insts.push(inst);
+    }
+
+    /// `dst = c` into a fresh variable.
+    pub fn const_val(&mut self, c: ConstValue) -> VarId {
+        let dst = self.var(c.ty());
+        self.emit(Inst::Const { dst, value: c });
+        dst
+    }
+
+    /// Integer constant into a fresh variable.
+    pub fn iconst(&mut self, v: i64) -> VarId {
+        self.const_val(ConstValue::Int(v))
+    }
+
+    /// Float constant into a fresh variable.
+    pub fn fconst(&mut self, v: f64) -> VarId {
+        self.const_val(ConstValue::Float(v))
+    }
+
+    /// `null` constant into a fresh variable.
+    pub fn null_ref(&mut self) -> VarId {
+        self.const_val(ConstValue::Null)
+    }
+
+    /// `dst = src` (assignment to an existing variable).
+    pub fn assign(&mut self, dst: VarId, src: VarId) {
+        self.emit(Inst::Move { dst, src });
+    }
+
+    /// `dst = c` (constant assignment to an existing variable).
+    pub fn assign_const(&mut self, dst: VarId, c: ConstValue) {
+        self.emit(Inst::Const { dst, value: c });
+    }
+
+    /// `lhs op rhs` into a fresh variable, typed after `lhs`.
+    pub fn binop(&mut self, op: Op, lhs: VarId, rhs: VarId) -> VarId {
+        let ty = self.var_types[lhs.index()];
+        let dst = self.var(ty);
+        self.emit(Inst::BinOp {
+            dst,
+            op,
+            lhs,
+            rhs,
+            ty,
+        });
+        dst
+    }
+
+    /// `lhs op rhs` into an existing destination variable.
+    pub fn binop_into(&mut self, dst: VarId, op: Op, lhs: VarId, rhs: VarId) {
+        let ty = self.var_types[lhs.index()];
+        self.emit(Inst::BinOp {
+            dst,
+            op,
+            lhs,
+            rhs,
+            ty,
+        });
+    }
+
+    /// `lhs + rhs`.
+    pub fn add(&mut self, lhs: VarId, rhs: VarId) -> VarId {
+        self.binop(Op::Add, lhs, rhs)
+    }
+
+    /// `lhs - rhs`.
+    pub fn sub(&mut self, lhs: VarId, rhs: VarId) -> VarId {
+        self.binop(Op::Sub, lhs, rhs)
+    }
+
+    /// `lhs * rhs`.
+    pub fn mul(&mut self, lhs: VarId, rhs: VarId) -> VarId {
+        self.binop(Op::Mul, lhs, rhs)
+    }
+
+    /// `lhs / rhs` (throws on integer division by zero).
+    pub fn div(&mut self, lhs: VarId, rhs: VarId) -> VarId {
+        self.binop(Op::Div, lhs, rhs)
+    }
+
+    /// `var + constant` convenience.
+    pub fn add_i(&mut self, lhs: VarId, c: i64) -> VarId {
+        let r = self.iconst(c);
+        self.add(lhs, r)
+    }
+
+    /// `-src`.
+    pub fn neg(&mut self, src: VarId) -> VarId {
+        let ty = self.var_types[src.index()];
+        let dst = self.var(ty);
+        self.emit(Inst::Neg { dst, src, ty });
+        dst
+    }
+
+    /// Int↔float conversion.
+    pub fn convert(&mut self, src: VarId, to: Type) -> VarId {
+        let dst = self.var(to);
+        self.emit(Inst::Convert { dst, src, to });
+        dst
+    }
+
+    /// Float comparison producing 0/1 int.
+    pub fn fcmp(&mut self, cond: Cond, lhs: VarId, rhs: VarId) -> VarId {
+        let dst = self.var(Type::Int);
+        self.emit(Inst::FCmp {
+            dst,
+            cond,
+            lhs,
+            rhs,
+        });
+        dst
+    }
+
+    /// Observes a value (adds it to the program's output trace).
+    pub fn observe(&mut self, var: VarId) {
+        self.emit(Inst::Observe { var });
+    }
+
+    // ---- memory accesses (with automatic null check splitting) ------------
+
+    /// Emits an explicit null check of `var`.
+    pub fn null_check(&mut self, var: VarId) {
+        self.emit(Inst::NullCheck {
+            var,
+            kind: NullCheckKind::Explicit,
+        });
+    }
+
+    /// `dst = obj.field`, preceded by `nullcheck obj`.
+    pub fn get_field(&mut self, obj: VarId, field: FieldId) -> VarId {
+        self.null_check(obj);
+        self.get_field_unchecked(obj, field)
+    }
+
+    /// `dst = obj.field` with **no** automatic null check — for constructing
+    /// already-optimized shapes in tests.
+    pub fn get_field_unchecked(&mut self, obj: VarId, field: FieldId) -> VarId {
+        // The destination type is unknown here (fields live in the module);
+        // default to Int and let `get_field_typed` override.
+        let dst = self.var(Type::Int);
+        self.emit(Inst::GetField {
+            dst,
+            obj,
+            field,
+            exception_site: false,
+        });
+        dst
+    }
+
+    /// `dst = obj.field` with an explicitly typed destination.
+    pub fn get_field_typed(&mut self, obj: VarId, field: FieldId, ty: Type) -> VarId {
+        self.null_check(obj);
+        let dst = self.var(ty);
+        self.emit(Inst::GetField {
+            dst,
+            obj,
+            field,
+            exception_site: false,
+        });
+        dst
+    }
+
+    /// `obj.field = value`, preceded by `nullcheck obj`.
+    pub fn put_field(&mut self, obj: VarId, field: FieldId, value: VarId) {
+        self.null_check(obj);
+        self.put_field_unchecked(obj, field, value);
+    }
+
+    /// `obj.field = value` with no automatic null check.
+    pub fn put_field_unchecked(&mut self, obj: VarId, field: FieldId, value: VarId) {
+        self.emit(Inst::PutField {
+            obj,
+            field,
+            value,
+            exception_site: false,
+        });
+    }
+
+    /// `dst = arraylength arr`, preceded by `nullcheck arr`.
+    pub fn array_length(&mut self, arr: VarId) -> VarId {
+        self.null_check(arr);
+        self.array_length_unchecked(arr)
+    }
+
+    /// `dst = arraylength arr` with no automatic null check.
+    pub fn array_length_unchecked(&mut self, arr: VarId) -> VarId {
+        let dst = self.var(Type::Int);
+        self.emit(Inst::ArrayLength {
+            dst,
+            arr,
+            exception_site: false,
+        });
+        dst
+    }
+
+    /// `dst = arr[index]` in full split form:
+    /// `nullcheck arr; len = arraylength arr; boundcheck index, len; load`.
+    pub fn array_load(&mut self, arr: VarId, index: VarId, ty: Type) -> VarId {
+        self.null_check(arr);
+        let len = self.array_length_unchecked(arr);
+        self.emit(Inst::BoundCheck { index, length: len });
+        let dst = self.var(ty);
+        self.emit(Inst::ArrayLoad {
+            dst,
+            arr,
+            index,
+            ty,
+            exception_site: false,
+        });
+        dst
+    }
+
+    /// `arr[index] = value` in full split form (see [`Self::array_load`]).
+    pub fn array_store(&mut self, arr: VarId, index: VarId, value: VarId, ty: Type) {
+        self.null_check(arr);
+        let len = self.array_length_unchecked(arr);
+        self.emit(Inst::BoundCheck { index, length: len });
+        self.emit(Inst::ArrayStore {
+            arr,
+            index,
+            value,
+            ty,
+            exception_site: false,
+        });
+    }
+
+    /// `dst = new class`.
+    pub fn new_object(&mut self, class: ClassId) -> VarId {
+        let dst = self.var(Type::Ref);
+        self.emit(Inst::New { dst, class });
+        dst
+    }
+
+    /// `dst = new elem[len]`.
+    pub fn new_array(&mut self, elem: Type, len: VarId) -> VarId {
+        let dst = self.var(Type::Ref);
+        self.emit(Inst::NewArray { dst, elem, len });
+        dst
+    }
+
+    /// Static call.
+    pub fn call_static(
+        &mut self,
+        target: FunctionId,
+        args: &[VarId],
+        ret: Option<Type>,
+    ) -> Option<VarId> {
+        let dst = ret.map(|t| self.var(t));
+        self.emit(Inst::Call {
+            dst,
+            target: CallTarget::Static(target),
+            receiver: None,
+            args: args.to_vec(),
+            exception_site: false,
+        });
+        dst
+    }
+
+    /// Virtual call through `receiver`, preceded by `nullcheck receiver`.
+    pub fn call_virtual(
+        &mut self,
+        class: ClassId,
+        method: impl Into<String>,
+        receiver: VarId,
+        args: &[VarId],
+        ret: Option<Type>,
+    ) -> Option<VarId> {
+        self.null_check(receiver);
+        let dst = ret.map(|t| self.var(t));
+        self.emit(Inst::Call {
+            dst,
+            target: CallTarget::Virtual {
+                class,
+                method: method.into(),
+            },
+            receiver: Some(receiver),
+            args: args.to_vec(),
+            exception_site: false,
+        });
+        dst
+    }
+
+    /// Devirtualized direct call, preceded by `nullcheck receiver`
+    /// (the Figure 1 requirement).
+    pub fn call_direct(
+        &mut self,
+        target: FunctionId,
+        receiver: VarId,
+        args: &[VarId],
+        ret: Option<Type>,
+    ) -> Option<VarId> {
+        self.null_check(receiver);
+        let dst = ret.map(|t| self.var(t));
+        self.emit(Inst::Call {
+            dst,
+            target: CallTarget::Direct(target),
+            receiver: Some(receiver),
+            args: args.to_vec(),
+            exception_site: false,
+        });
+        dst
+    }
+
+    // ---- control flow ------------------------------------------------------
+
+    /// Creates a new (not yet started) block.
+    pub fn new_block(&mut self) -> BlockId {
+        let id = BlockId::new(self.blocks.len());
+        self.blocks.push(BasicBlock::new(id));
+        self.terminated.push(false);
+        self.started.push(false);
+        id
+    }
+
+    /// Makes `bb` the current insertion block. The block inherits the
+    /// builder's current try region.
+    ///
+    /// # Panics
+    /// Panics if `bb` was already built (started and terminated elsewhere).
+    pub fn switch_to(&mut self, bb: BlockId) {
+        assert!(!self.started[bb.index()], "block {bb} already started");
+        self.started[bb.index()] = true;
+        self.blocks[bb.index()].try_region = self.current_region;
+        self.current = bb;
+    }
+
+    /// The current insertion block.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Terminates the current block with `term`.
+    fn terminate(&mut self, term: Terminator) {
+        assert!(
+            !self.terminated[self.current.index()],
+            "block {} already terminated",
+            self.current
+        );
+        self.blocks[self.current.index()].term = term;
+        self.terminated[self.current.index()] = true;
+    }
+
+    /// `goto bb`.
+    pub fn goto(&mut self, bb: BlockId) {
+        self.terminate(Terminator::Goto(bb));
+    }
+
+    /// Conditional branch on two int variables.
+    pub fn br_if(
+        &mut self,
+        cond: Cond,
+        lhs: VarId,
+        rhs: VarId,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    ) {
+        self.terminate(Terminator::If {
+            cond,
+            lhs,
+            rhs,
+            then_bb,
+            else_bb,
+        });
+    }
+
+    /// Branch on nullness of a reference.
+    pub fn br_ifnull(&mut self, var: VarId, on_null: BlockId, on_nonnull: BlockId) {
+        self.terminate(Terminator::IfNull {
+            var,
+            on_null,
+            on_nonnull,
+        });
+    }
+
+    /// Return.
+    pub fn ret(&mut self, value: Option<VarId>) {
+        self.terminate(Terminator::Return(value));
+    }
+
+    /// Throw.
+    pub fn throw(&mut self, kind: ExceptionKind) {
+        self.terminate(Terminator::Throw(kind));
+    }
+
+    // ---- try regions ---------------------------------------------------------
+
+    /// Declares a try region with the given handler block and catch kind.
+    /// Blocks are placed in the region via [`Self::set_try_region`].
+    pub fn add_try_region(
+        &mut self,
+        handler: BlockId,
+        catch: CatchKind,
+        exception_code_dst: Option<VarId>,
+    ) -> TryRegionId {
+        let id = TryRegionId::new(self.try_regions.len());
+        self.try_regions.push(TryRegion {
+            handler,
+            catch,
+            exception_code_dst,
+        });
+        id
+    }
+
+    /// Sets the try region applied to the *current* block (unless it is
+    /// already terminated) and every block subsequently started with
+    /// [`Self::switch_to`]. Pass `None` to leave the region.
+    pub fn set_try_region(&mut self, region: Option<TryRegionId>) {
+        self.current_region = region;
+        if !self.terminated[self.current.index()] {
+            self.blocks[self.current.index()].try_region = region;
+        }
+    }
+
+    // ---- structured helpers ---------------------------------------------------
+
+    /// Builds a canonical counted loop in *rotated* (guarded do-while)
+    /// form with a dedicated preheader — the shape a JIT's loop inversion
+    /// produces, and the shape the backward null check motion of the paper
+    /// needs: a check in the body is anticipated at the preheader's exit,
+    /// because the preheader only executes when the body will run at least
+    /// once.
+    ///
+    /// ```text
+    /// i = start
+    /// if i < end goto preheader else exit
+    /// preheader: goto body                 // landing pad for hoisted code
+    /// body:   <body(builder, i)> ; i = i + step
+    ///         if i < end goto body else exit
+    /// exit:   (becomes the current block)
+    /// ```
+    ///
+    /// `body` runs with the builder positioned in the loop body and receives
+    /// the counter variable; it must not terminate the body block.
+    pub fn for_loop(
+        &mut self,
+        start: VarId,
+        end: VarId,
+        step: i64,
+        body: impl FnOnce(&mut Self, VarId),
+    ) -> VarId {
+        let i = self.var(Type::Int);
+        self.assign(i, start);
+        let preheader = self.new_block();
+        let body_bb = self.new_block();
+        let exit = self.new_block();
+        self.br_if(Cond::Lt, i, end, preheader, exit);
+        self.switch_to(preheader);
+        self.goto(body_bb);
+        self.switch_to(body_bb);
+        body(self, i);
+        let one = self.iconst(step);
+        self.binop_into(i, Op::Add, i, one);
+        self.br_if(Cond::Lt, i, end, body_bb, exit);
+        self.switch_to(exit);
+        i
+    }
+
+    /// Builds a `do { body } while (i < end)` loop with a pre-initialized
+    /// counter — the shape of the paper's Figure 6.
+    pub fn do_while_loop(
+        &mut self,
+        start: VarId,
+        end: VarId,
+        step: i64,
+        body: impl FnOnce(&mut Self, VarId),
+    ) -> VarId {
+        let i = self.var(Type::Int);
+        self.assign(i, start);
+        let body_bb = self.new_block();
+        let exit = self.new_block();
+        self.goto(body_bb);
+        self.switch_to(body_bb);
+        body(self, i);
+        let s = self.iconst(step);
+        self.binop_into(i, Op::Add, i, s);
+        self.br_if(Cond::Lt, i, end, body_bb, exit);
+        self.switch_to(exit);
+        i
+    }
+
+    // ---- finalization ------------------------------------------------------------
+
+    /// Finishes the function.
+    ///
+    /// # Panics
+    /// Panics if any started block lacks a terminator.
+    pub fn finish(self) -> Function {
+        for (i, (&started, &done)) in self.started.iter().zip(&self.terminated).enumerate() {
+            assert!(
+                !started || done,
+                "block bb{i} was started but never terminated"
+            );
+        }
+        Function::from_parts(
+            self.name,
+            self.params,
+            self.ret,
+            self.is_instance,
+            self.var_types,
+            self.blocks,
+            BlockId(0),
+            self.try_regions,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_field_splits_null_check() {
+        let mut b = FuncBuilder::new("f", &[Type::Ref], Type::Int);
+        let p = b.param(0);
+        let v = b.get_field(p, FieldId(0));
+        b.ret(Some(v));
+        let f = b.finish();
+        let insts = &f.block(f.entry()).insts;
+        assert!(matches!(
+            insts[0],
+            Inst::NullCheck {
+                var,
+                kind: NullCheckKind::Explicit
+            } if var == p
+        ));
+        assert!(matches!(insts[1], Inst::GetField { .. }));
+    }
+
+    #[test]
+    fn array_load_emits_figure6_sequence() {
+        let mut b = FuncBuilder::new("f", &[Type::Ref, Type::Int], Type::Int);
+        let arr = b.param(0);
+        let idx = b.param(1);
+        let v = b.array_load(arr, idx, Type::Int);
+        b.ret(Some(v));
+        let f = b.finish();
+        let insts = &f.block(f.entry()).insts;
+        assert!(matches!(insts[0], Inst::NullCheck { .. }));
+        assert!(matches!(insts[1], Inst::ArrayLength { .. }));
+        assert!(matches!(insts[2], Inst::BoundCheck { .. }));
+        assert!(matches!(insts[3], Inst::ArrayLoad { .. }));
+    }
+
+    #[test]
+    fn for_loop_builds_expected_cfg() {
+        let mut b = FuncBuilder::new("f", &[Type::Int], Type::Int);
+        let n = b.param(0);
+        let zero = b.iconst(0);
+        let acc = b.var(Type::Int);
+        b.assign(acc, zero);
+        b.for_loop(zero, n, 1, |b, i| {
+            b.binop_into(acc, Op::Add, acc, i);
+        });
+        b.ret(Some(acc));
+        let f = b.finish();
+        // entry + preheader + body + exit (rotated form)
+        assert_eq!(f.num_blocks(), 4);
+        // entry guards: two successors (preheader and exit)
+        assert_eq!(f.successors(f.entry()).len(), 2);
+        // the preheader lands on the body, which loops on itself
+        let preheader = f.successors(f.entry())[0];
+        assert_eq!(f.successors(preheader).len(), 1);
+        let body = f.successors(preheader)[0];
+        assert!(f.successors(body).contains(&body), "self back edge");
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn emit_after_terminator_panics() {
+        let mut b = FuncBuilder::new("f", &[], Type::Int);
+        let v = b.iconst(0);
+        b.ret(Some(v));
+        b.iconst(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "never terminated")]
+    fn unterminated_block_panics_on_finish() {
+        let mut b = FuncBuilder::new("f", &[], Type::Int);
+        let bb = b.new_block();
+        let v = b.iconst(0);
+        b.ret(Some(v));
+        b.switch_to(bb);
+        b.iconst(1);
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn instance_method_requires_ref_receiver() {
+        let mut b = FuncBuilder::new("m", &[Type::Ref], Type::Int);
+        b.instance_method();
+        let z = b.iconst(0);
+        b.ret(Some(z));
+        assert!(b.finish().is_instance());
+    }
+
+    #[test]
+    #[should_panic(expected = "ref first parameter")]
+    fn instance_method_without_receiver_panics() {
+        let mut b = FuncBuilder::new("m", &[Type::Int], Type::Int);
+        b.instance_method();
+    }
+
+    #[test]
+    fn virtual_call_emits_null_check() {
+        let mut b = FuncBuilder::new("f", &[Type::Ref], Type::Int);
+        let r = b.param(0);
+        let v = b
+            .call_virtual(ClassId(0), "get", r, &[], Some(Type::Int))
+            .unwrap();
+        b.ret(Some(v));
+        let f = b.finish();
+        let insts = &f.block(f.entry()).insts;
+        assert!(matches!(insts[0], Inst::NullCheck { .. }));
+        assert!(matches!(
+            insts[1],
+            Inst::Call {
+                target: CallTarget::Virtual { .. },
+                ..
+            }
+        ));
+    }
+}

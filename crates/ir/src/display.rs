@@ -1,0 +1,327 @@
+//! Textual form of the IR.
+//!
+//! [`crate::Function`] implements [`std::fmt::Display`] producing a format
+//! that [`crate::parse`] can read back (print → parse is a round trip, which
+//! property tests verify). The syntax is deliberately close to the paper's
+//! examples: `nullcheck a`, `arraylength b`, `boundcheck i, len`, with
+//! implicit checks printed as `nullcheck! v` and trap exception sites
+//! suffixed `[site]`.
+
+use std::fmt;
+
+use crate::block::Terminator;
+use crate::function::{CatchKind, Function};
+use crate::inst::{CallTarget, Cond, ExceptionKind, Inst, NullCheckKind, Op};
+use crate::types::Type;
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Op::Add => "add",
+            Op::Sub => "sub",
+            Op::Mul => "mul",
+            Op::Div => "div",
+            Op::Rem => "rem",
+            Op::And => "and",
+            Op::Or => "or",
+            Op::Xor => "xor",
+            Op::Shl => "shl",
+            Op::Shr => "shr",
+            Op::Ushr => "ushr",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+            Cond::Ge => "ge",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Display for ExceptionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExceptionKind::NullPointer => write!(f, "npe"),
+            ExceptionKind::ArrayIndex => write!(f, "aioobe"),
+            ExceptionKind::Arithmetic => write!(f, "arith"),
+            ExceptionKind::NegativeArraySize => write!(f, "negsize"),
+            ExceptionKind::User(c) => write!(f, "user {c}"),
+        }
+    }
+}
+
+fn site(b: bool) -> &'static str {
+    if b {
+        " [site]"
+    } else {
+        ""
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Const { dst, value } => write!(f, "{dst} = const {value}"),
+            Inst::Move { dst, src } => write!(f, "{dst} = move {src}"),
+            Inst::BinOp {
+                dst,
+                op,
+                lhs,
+                rhs,
+                ty,
+            } => write!(f, "{dst} = {op}.{ty} {lhs}, {rhs}"),
+            Inst::Neg { dst, src, ty } => write!(f, "{dst} = neg.{ty} {src}"),
+            Inst::Convert { dst, src, to } => write!(f, "{dst} = convert.{to} {src}"),
+            Inst::NullCheck { var, kind } => match kind {
+                NullCheckKind::Explicit => write!(f, "nullcheck {var}"),
+                NullCheckKind::Implicit => write!(f, "nullcheck! {var}"),
+            },
+            Inst::BoundCheck { index, length } => write!(f, "boundcheck {index}, {length}"),
+            Inst::GetField {
+                dst,
+                obj,
+                field,
+                exception_site,
+            } => write!(
+                f,
+                "{dst} = getfield {obj}, {field}{}",
+                site(*exception_site)
+            ),
+            Inst::PutField {
+                obj,
+                field,
+                value,
+                exception_site,
+            } => write!(
+                f,
+                "putfield {obj}, {field}, {value}{}",
+                site(*exception_site)
+            ),
+            Inst::ArrayLength {
+                dst,
+                arr,
+                exception_site,
+            } => write!(f, "{dst} = arraylength {arr}{}", site(*exception_site)),
+            Inst::ArrayLoad {
+                dst,
+                arr,
+                index,
+                ty,
+                exception_site,
+            } => write!(
+                f,
+                "{dst} = aload.{ty} {arr}[{index}]{}",
+                site(*exception_site)
+            ),
+            Inst::ArrayStore {
+                arr,
+                index,
+                value,
+                ty,
+                exception_site,
+            } => write!(
+                f,
+                "astore.{ty} {arr}[{index}], {value}{}",
+                site(*exception_site)
+            ),
+            Inst::New { dst, class } => write!(f, "{dst} = new {class}"),
+            Inst::NewArray { dst, elem, len } => write!(f, "{dst} = newarray {elem}, {len}"),
+            Inst::Call {
+                dst,
+                target,
+                receiver,
+                args,
+                exception_site,
+            } => {
+                if let Some(d) = dst {
+                    write!(f, "{d} = ")?;
+                }
+                match target {
+                    CallTarget::Static(id) => write!(f, "call {id}(")?,
+                    CallTarget::Virtual { class, method } => write!(f, "vcall {class}.{method}(")?,
+                    CallTarget::Direct(id) => write!(f, "dcall {id}(")?,
+                }
+                let mut first = true;
+                if let Some(r) = receiver {
+                    write!(f, "{r};")?;
+                    first = args.is_empty();
+                    if !first {
+                        write!(f, " ")?;
+                    }
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                let _ = first;
+                write!(f, "){}", site(*exception_site))
+            }
+            Inst::IntrinsicOp {
+                dst,
+                intrinsic,
+                src,
+            } => write!(f, "{dst} = intrinsic {} {src}", intrinsic.method_name()),
+            Inst::FCmp {
+                dst,
+                cond,
+                lhs,
+                rhs,
+            } => write!(f, "{dst} = fcmp {cond} {lhs}, {rhs}"),
+            Inst::Observe { var } => write!(f, "observe {var}"),
+        }
+    }
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Goto(b) => write!(f, "goto {b}"),
+            Terminator::If {
+                cond,
+                lhs,
+                rhs,
+                then_bb,
+                else_bb,
+            } => write!(f, "if {cond} {lhs}, {rhs} then {then_bb} else {else_bb}"),
+            Terminator::IfNull {
+                var,
+                on_null,
+                on_nonnull,
+            } => write!(f, "ifnull {var} then {on_null} else {on_nonnull}"),
+            Terminator::Return(None) => write!(f, "return"),
+            Terminator::Return(Some(v)) => write!(f, "return {v}"),
+            Terminator::Throw(k) => write!(f, "throw {k}"),
+        }
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "func {}(", self.name())?;
+        for (i, p) in self.params().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "v{i}: {p}")?;
+        }
+        write!(f, ")")?;
+        if let Some(r) = self.return_type() {
+            write!(f, " -> {r}")?;
+        }
+        if self.is_instance() {
+            write!(f, " instance")?;
+        }
+        writeln!(f, " {{")?;
+        // Local variable declarations beyond the parameters.
+        if self.num_vars() > self.params().len() {
+            write!(f, "  locals")?;
+            for i in self.params().len()..self.num_vars() {
+                write!(f, " v{i}: {}", self.var_types()[i])?;
+            }
+            writeln!(f)?;
+        }
+        for (i, r) in self.try_regions().iter().enumerate() {
+            write!(f, "  try{i}: handler {} catch ", r.handler)?;
+            match r.catch {
+                CatchKind::Any => write!(f, "any")?,
+                CatchKind::Only(k) => write!(f, "{k}")?,
+            }
+            if let Some(v) = r.exception_code_dst {
+                write!(f, " -> {v}")?;
+            }
+            writeln!(f)?;
+        }
+        for b in self.blocks() {
+            write!(f, "{}:", b.id)?;
+            if let Some(tr) = b.try_region {
+                write!(f, " [{tr}]")?;
+            }
+            writeln!(f)?;
+            for inst in &b.insts {
+                writeln!(f, "  {inst}")?;
+            }
+            writeln!(f, "  {}", b.term)?;
+        }
+        writeln!(f, "}}")
+    }
+}
+
+/// Renders a [`Type`] keyword (used by the parser tests).
+pub fn type_name(ty: Type) -> &'static str {
+    match ty {
+        Type::Int => "int",
+        Type::Float => "float",
+        Type::Ref => "ref",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::module::FieldId;
+    use crate::types::VarId;
+
+    #[test]
+    fn inst_display_matches_paper_style() {
+        let nc = Inst::NullCheck {
+            var: VarId(3),
+            kind: NullCheckKind::Explicit,
+        };
+        assert_eq!(nc.to_string(), "nullcheck v3");
+        let imp = Inst::NullCheck {
+            var: VarId(3),
+            kind: NullCheckKind::Implicit,
+        };
+        assert_eq!(imp.to_string(), "nullcheck! v3");
+        let gf = Inst::GetField {
+            dst: VarId(1),
+            obj: VarId(0),
+            field: FieldId(2),
+            exception_site: true,
+        };
+        assert_eq!(gf.to_string(), "v1 = getfield v0, field2 [site]");
+    }
+
+    #[test]
+    fn terminator_display() {
+        let t = Terminator::If {
+            cond: Cond::Lt,
+            lhs: VarId(0),
+            rhs: VarId(1),
+            then_bb: crate::types::BlockId(1),
+            else_bb: crate::types::BlockId(2),
+        };
+        assert_eq!(t.to_string(), "if lt v0, v1 then bb1 else bb2");
+        assert_eq!(Terminator::Return(None).to_string(), "return");
+        assert_eq!(
+            Terminator::Throw(ExceptionKind::User(9)).to_string(),
+            "throw user 9"
+        );
+    }
+
+    #[test]
+    fn function_display_contains_blocks_and_locals() {
+        let mut b = FuncBuilder::new("f", &[Type::Ref], Type::Int);
+        let p = b.param(0);
+        let v = b.get_field(p, FieldId(0));
+        b.ret(Some(v));
+        let s = b.finish().to_string();
+        assert!(s.starts_with("func f(v0: ref) -> int {"));
+        assert!(s.contains("bb0:"));
+        assert!(s.contains("nullcheck v0"));
+        assert!(s.contains("locals v1: int"));
+        assert!(s.contains("return v1"));
+    }
+}

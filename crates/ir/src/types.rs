@@ -1,0 +1,175 @@
+//! Core identifier and value types shared across the IR.
+
+use std::fmt;
+
+/// Declares a dense `u32`-backed index newtype with the conventions used by
+/// every arena in this workspace: construction from a `usize`, an `index()`
+/// accessor, and `Display` with a sigil prefix.
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $sigil:expr) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an id from a dense arena index.
+            ///
+            /// # Panics
+            /// Panics if `index` does not fit in `u32`.
+            pub fn new(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id index overflow"))
+            }
+
+            /// Returns the dense arena index this id refers to.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $sigil, self.0)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Display::fmt(self, f)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A local variable slot within one [`crate::Function`].
+    ///
+    /// Null checks target local variables, so `VarId` doubles as the *fact*
+    /// index in every dataflow analysis of the null check optimizer ("the set
+    /// of null checks" in the paper is a set of target variables).
+    VarId,
+    "v"
+);
+id_type!(
+    /// A basic block within one [`crate::Function`].
+    BlockId,
+    "bb"
+);
+id_type!(
+    /// A try region within one [`crate::Function`].
+    TryRegionId,
+    "try"
+);
+
+/// The static type of a local variable.
+///
+/// The IR is deliberately small: 64-bit integers, 64-bit floats, and object
+/// references cover everything the paper's benchmarks exercise.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Type {
+    /// 64-bit signed integer (models Java `int`/`long`/`boolean`/`char`).
+    #[default]
+    Int,
+    /// 64-bit IEEE float (models Java `float`/`double`).
+    Float,
+    /// Object or array reference; may be `null`.
+    Ref,
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Float => write!(f, "float"),
+            Type::Ref => write!(f, "ref"),
+        }
+    }
+}
+
+/// A compile-time constant operand.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum ConstValue {
+    /// An integer constant.
+    Int(i64),
+    /// A floating point constant.
+    Float(f64),
+    /// The `null` reference.
+    Null,
+}
+
+impl ConstValue {
+    /// Returns the static [`Type`] of the constant.
+    pub fn ty(self) -> Type {
+        match self {
+            ConstValue::Int(_) => Type::Int,
+            ConstValue::Float(_) => Type::Float,
+            ConstValue::Null => Type::Ref,
+        }
+    }
+}
+
+impl fmt::Display for ConstValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstValue::Int(v) => write!(f, "{v}"),
+            ConstValue::Float(v) => write!(f, "{v:?}"),
+            ConstValue::Null => write!(f, "null"),
+        }
+    }
+}
+
+impl From<i64> for ConstValue {
+    fn from(v: i64) -> Self {
+        ConstValue::Int(v)
+    }
+}
+
+impl From<f64> for ConstValue {
+    fn from(v: f64) -> Self {
+        ConstValue::Float(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_display_uses_sigils() {
+        assert_eq!(VarId(3).to_string(), "v3");
+        assert_eq!(BlockId(0).to_string(), "bb0");
+        assert_eq!(TryRegionId(7).to_string(), "try7");
+    }
+
+    #[test]
+    fn id_round_trips_index() {
+        let v = VarId::new(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v, VarId(42));
+    }
+
+    #[test]
+    fn const_value_types() {
+        assert_eq!(ConstValue::Int(1).ty(), Type::Int);
+        assert_eq!(ConstValue::Float(1.0).ty(), Type::Float);
+        assert_eq!(ConstValue::Null.ty(), Type::Ref);
+    }
+
+    #[test]
+    fn const_value_display() {
+        assert_eq!(ConstValue::Int(-5).to_string(), "-5");
+        assert_eq!(ConstValue::Null.to_string(), "null");
+        assert_eq!(ConstValue::Float(1.5).to_string(), "1.5");
+    }
+
+    #[test]
+    fn const_value_from_primitives() {
+        assert_eq!(ConstValue::from(3i64), ConstValue::Int(3));
+        assert_eq!(ConstValue::from(2.0f64), ConstValue::Float(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "id index overflow")]
+    fn id_overflow_panics() {
+        let _ = VarId::new(usize::MAX);
+    }
+}

@@ -1,0 +1,463 @@
+//! IR verifier: structural and type well-formedness checks.
+//!
+//! Run [`verify`] on a single function, or [`verify_module`] to additionally
+//! check cross-function references (call targets, field ids, class ids).
+//! Every optimization pass in the workspace is tested to preserve
+//! verifiability.
+
+use std::fmt;
+
+use crate::block::Terminator;
+use crate::function::Function;
+use crate::inst::{CallTarget, Inst};
+use crate::module::Module;
+use crate::types::{BlockId, Type, VarId};
+
+/// A verification failure, with the location it was found at.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VerifyError {
+    /// The function name.
+    pub function: String,
+    /// The block, if the failure is block-local.
+    pub block: Option<BlockId>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.function)?;
+        if let Some(b) = self.block {
+            write!(f, "/{b}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+struct Checker<'a> {
+    func: &'a Function,
+    block: Option<BlockId>,
+    errors: Vec<VerifyError>,
+}
+
+impl<'a> Checker<'a> {
+    fn error(&mut self, message: String) {
+        self.errors.push(VerifyError {
+            function: self.func.name().to_string(),
+            block: self.block,
+            message,
+        });
+    }
+
+    fn check_var(&mut self, v: VarId, what: &str) {
+        if v.index() >= self.func.num_vars() {
+            self.error(format!("{what} {v} out of range"));
+        }
+    }
+
+    fn check_var_ty(&mut self, v: VarId, ty: Type, what: &str) {
+        self.check_var(v, what);
+        if v.index() < self.func.num_vars() && self.func.var_type(v) != ty {
+            self.error(format!(
+                "{what} {v} has type {}, expected {ty}",
+                self.func.var_type(v)
+            ));
+        }
+    }
+
+    fn check_block(&mut self, b: BlockId, what: &str) {
+        if b.index() >= self.func.num_blocks() {
+            self.error(format!("{what} {b} out of range"));
+        }
+    }
+}
+
+/// Verifies one function. Returns all failures found.
+///
+/// # Errors
+/// Returns `Err` with every [`VerifyError`] discovered; `Ok(())` when the
+/// function is well-formed.
+pub fn verify(func: &Function) -> Result<(), Vec<VerifyError>> {
+    let mut ck = Checker {
+        func,
+        block: None,
+        errors: Vec::new(),
+    };
+
+    if func.num_blocks() == 0 {
+        ck.error("function has no blocks".into());
+        return Err(ck.errors);
+    }
+    if func.entry().index() >= func.num_blocks() {
+        ck.error(format!("entry {} out of range", func.entry()));
+    }
+    for (i, ty) in func.params().iter().enumerate() {
+        if i >= func.num_vars() {
+            ck.error(format!("parameter v{i} missing from variable table"));
+        } else if func.var_type(VarId::new(i)) != *ty {
+            ck.error(format!("parameter v{i} type mismatch"));
+        }
+    }
+    if func.is_instance() && func.params().first() != Some(&Type::Ref) {
+        ck.error("instance method must take a ref receiver as v0".into());
+    }
+
+    // Try regions: handler in range and not inside its own region.
+    for (i, r) in func.try_regions().iter().enumerate() {
+        ck.check_block(r.handler, "try handler");
+        if r.handler.index() < func.num_blocks() {
+            let h = func.block(r.handler);
+            if h.try_region == Some(crate::types::TryRegionId::new(i)) {
+                ck.error(format!(
+                    "handler {} lies inside its own try region",
+                    r.handler
+                ));
+            }
+        }
+        if let Some(v) = r.exception_code_dst {
+            ck.check_var_ty(v, Type::Int, "exception code destination");
+        }
+    }
+
+    for b in func.blocks() {
+        ck.block = Some(b.id);
+        if let Some(tr) = b.try_region {
+            if tr.index() >= func.try_regions().len() {
+                ck.error(format!("try region {tr} out of range"));
+            }
+        }
+        for inst in &b.insts {
+            verify_inst(&mut ck, inst);
+        }
+        verify_terminator(&mut ck, &b.term, func);
+    }
+
+    if ck.errors.is_empty() {
+        Ok(())
+    } else {
+        Err(ck.errors)
+    }
+}
+
+fn verify_inst(ck: &mut Checker<'_>, inst: &Inst) {
+    // Generic range checks.
+    if let Some(d) = inst.def() {
+        ck.check_var(d, "destination");
+    }
+    for u in inst.uses() {
+        ck.check_var(u, "operand");
+    }
+    // Type-specific checks.
+    match inst {
+        Inst::Const { dst, value } => ck.check_var_ty(*dst, value.ty(), "const destination"),
+        Inst::Move { dst, src } => {
+            if dst.index() < ck.func.num_vars()
+                && src.index() < ck.func.num_vars()
+                && ck.func.var_type(*dst) != ck.func.var_type(*src)
+            {
+                ck.error(format!("move between mismatched types {dst} <- {src}"));
+            }
+        }
+        Inst::BinOp {
+            dst, lhs, rhs, ty, ..
+        } => {
+            if *ty == Type::Ref {
+                ck.error("binop over ref type".into());
+            }
+            ck.check_var_ty(*dst, *ty, "binop destination");
+            ck.check_var_ty(*lhs, *ty, "binop lhs");
+            ck.check_var_ty(*rhs, *ty, "binop rhs");
+        }
+        Inst::Neg { dst, src, ty } => {
+            if *ty == Type::Ref {
+                ck.error("neg over ref type".into());
+            }
+            ck.check_var_ty(*dst, *ty, "neg destination");
+            ck.check_var_ty(*src, *ty, "neg source");
+        }
+        Inst::Convert { dst, src, to } => {
+            ck.check_var_ty(*dst, *to, "convert destination");
+            if *to == Type::Ref {
+                ck.error("convert to ref type".into());
+            }
+            if src.index() < ck.func.num_vars() && ck.func.var_type(*src) == Type::Ref {
+                ck.error("convert from ref type".into());
+            }
+        }
+        Inst::NullCheck { var, .. } => ck.check_var_ty(*var, Type::Ref, "null check target"),
+        Inst::BoundCheck { index, length } => {
+            ck.check_var_ty(*index, Type::Int, "bound check index");
+            ck.check_var_ty(*length, Type::Int, "bound check length");
+        }
+        Inst::GetField { obj, .. } | Inst::PutField { obj, .. } => {
+            ck.check_var_ty(*obj, Type::Ref, "field access base");
+        }
+        Inst::ArrayLength { dst, arr, .. } => {
+            ck.check_var_ty(*arr, Type::Ref, "arraylength base");
+            ck.check_var_ty(*dst, Type::Int, "arraylength destination");
+        }
+        Inst::ArrayLoad {
+            dst,
+            arr,
+            index,
+            ty,
+            ..
+        } => {
+            ck.check_var_ty(*arr, Type::Ref, "array load base");
+            ck.check_var_ty(*index, Type::Int, "array load index");
+            ck.check_var_ty(*dst, *ty, "array load destination");
+        }
+        Inst::ArrayStore {
+            arr,
+            index,
+            value,
+            ty,
+            ..
+        } => {
+            ck.check_var_ty(*arr, Type::Ref, "array store base");
+            ck.check_var_ty(*index, Type::Int, "array store index");
+            ck.check_var_ty(*value, *ty, "array store value");
+        }
+        Inst::New { dst, .. } => ck.check_var_ty(*dst, Type::Ref, "new destination"),
+        Inst::NewArray { dst, len, .. } => {
+            ck.check_var_ty(*dst, Type::Ref, "newarray destination");
+            ck.check_var_ty(*len, Type::Int, "newarray length");
+        }
+        Inst::Call { receiver, .. } => {
+            if let Some(r) = receiver {
+                ck.check_var_ty(*r, Type::Ref, "call receiver");
+            }
+        }
+        Inst::IntrinsicOp { dst, src, .. } => {
+            ck.check_var_ty(*dst, Type::Float, "intrinsic destination");
+            ck.check_var_ty(*src, Type::Float, "intrinsic source");
+        }
+        Inst::FCmp { dst, lhs, rhs, .. } => {
+            ck.check_var_ty(*dst, Type::Int, "fcmp destination");
+            ck.check_var_ty(*lhs, Type::Float, "fcmp lhs");
+            ck.check_var_ty(*rhs, Type::Float, "fcmp rhs");
+        }
+        Inst::Observe { var } => ck.check_var(*var, "observed variable"),
+    }
+}
+
+fn verify_terminator(ck: &mut Checker<'_>, term: &Terminator, func: &Function) {
+    match term {
+        Terminator::Goto(t) => ck.check_block(*t, "goto target"),
+        Terminator::If {
+            lhs,
+            rhs,
+            then_bb,
+            else_bb,
+            ..
+        } => {
+            ck.check_var_ty(*lhs, Type::Int, "branch lhs");
+            ck.check_var_ty(*rhs, Type::Int, "branch rhs");
+            ck.check_block(*then_bb, "branch target");
+            ck.check_block(*else_bb, "branch target");
+        }
+        Terminator::IfNull {
+            var,
+            on_null,
+            on_nonnull,
+        } => {
+            ck.check_var_ty(*var, Type::Ref, "ifnull operand");
+            ck.check_block(*on_null, "ifnull target");
+            ck.check_block(*on_nonnull, "ifnull target");
+        }
+        Terminator::Return(v) => match (v, func.return_type()) {
+            (Some(v), Some(ty)) => ck.check_var_ty(*v, ty, "return value"),
+            (Some(_), None) => ck.error("value returned from void function".into()),
+            (None, Some(_)) => ck.error("missing return value".into()),
+            (None, None) => {}
+        },
+        Terminator::Throw(_) => {}
+    }
+}
+
+/// Verifies every function in a module, plus cross-references: call targets,
+/// field ids, class ids, and virtual method resolvability.
+///
+/// # Errors
+/// Returns every [`VerifyError`] discovered across the module.
+pub fn verify_module(module: &Module) -> Result<(), Vec<VerifyError>> {
+    let mut errors = Vec::new();
+    for func in module.functions() {
+        if let Err(mut e) = verify(func) {
+            errors.append(&mut e);
+        }
+        for b in func.blocks() {
+            for inst in &b.insts {
+                let mut report = |msg: String| {
+                    errors.push(VerifyError {
+                        function: func.name().to_string(),
+                        block: Some(b.id),
+                        message: msg,
+                    })
+                };
+                match inst {
+                    Inst::GetField { field, .. } | Inst::PutField { field, .. }
+                        if field.index() >= module.num_fields() =>
+                    {
+                        report(format!("{field} out of range"));
+                    }
+                    Inst::New { class, .. } if class.index() >= module.num_classes() => {
+                        report(format!("{class} out of range"));
+                    }
+                    Inst::Call {
+                        target,
+                        receiver,
+                        args,
+                        ..
+                    } => match target {
+                        CallTarget::Static(id) | CallTarget::Direct(id) => {
+                            if id.index() >= module.num_functions() {
+                                report(format!("call target {id} out of range"));
+                            } else {
+                                let callee = module.function(*id);
+                                let expected = callee.params().len();
+                                let got = args.len() + usize::from(receiver.is_some());
+                                if expected != got {
+                                    report(format!(
+                                        "call to {} passes {got} arguments, expected {expected}",
+                                        callee.name()
+                                    ));
+                                }
+                            }
+                        }
+                        CallTarget::Virtual { method, .. } => {
+                            if module.implementations_of(method).is_empty() {
+                                report(format!("virtual method `{method}` has no implementation"));
+                            }
+                        }
+                    },
+                    _ => {}
+                }
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::function::CatchKind;
+    use crate::module::FieldId;
+    use crate::types::ConstValue;
+
+    #[test]
+    fn well_formed_function_verifies() {
+        let mut b = FuncBuilder::new("ok", &[Type::Ref], Type::Int);
+        let p = b.param(0);
+        let v = b.get_field(p, FieldId(0));
+        b.ret(Some(v));
+        assert!(verify(&b.finish()).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_var_is_reported() {
+        let f =
+            crate::parse::parse_function("func f() -> int {\nbb0:\n  v5 = move v9\n  return v5\n}")
+                .unwrap();
+        // The parser grows the variable table, so force a bad function
+        // manually instead.
+        let mut bad = f;
+        bad.block_mut(BlockId(0)).insts.push(Inst::Move {
+            dst: VarId(99),
+            src: VarId(98),
+        });
+        let errs = verify(&bad).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("out of range")));
+    }
+
+    #[test]
+    fn null_check_of_int_var_is_rejected() {
+        let mut b = FuncBuilder::new("bad", &[Type::Int], Type::Int);
+        let p = b.param(0);
+        b.emit(Inst::NullCheck {
+            var: p,
+            kind: crate::inst::NullCheckKind::Explicit,
+        });
+        b.ret(Some(p));
+        let errs = verify(&b.finish()).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("null check target")));
+    }
+
+    #[test]
+    fn return_type_mismatch_is_rejected() {
+        let mut b = FuncBuilder::new("bad", &[], Type::Int);
+        let v = b.const_val(ConstValue::Float(1.0));
+        b.ret(Some(v));
+        let errs = verify(&b.finish()).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("return value")));
+    }
+
+    #[test]
+    fn handler_inside_own_region_is_rejected() {
+        let mut b = FuncBuilder::new("bad", &[], Type::Int);
+        let handler = b.new_block();
+        let region = b.add_try_region(handler, CatchKind::Any, None);
+        b.set_try_region(Some(region));
+        let v = b.iconst(0);
+        b.goto(handler);
+        b.switch_to(handler); // inherits the current (same) region — invalid
+        b.ret(Some(v));
+        let errs = verify(&b.finish()).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("own try region")));
+    }
+
+    #[test]
+    fn module_checks_call_arity() {
+        let mut m = Module::new("t");
+        let mut callee = FuncBuilder::new("callee", &[Type::Int, Type::Int], Type::Int);
+        let a = callee.param(0);
+        callee.ret(Some(a));
+        let callee_id = m.add_function(callee.finish());
+
+        let mut caller = FuncBuilder::new("caller", &[], Type::Int);
+        let x = caller.iconst(1);
+        let r = caller
+            .call_static(callee_id, &[x], Some(Type::Int))
+            .unwrap();
+        caller.ret(Some(r));
+        m.add_function(caller.finish());
+
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("passes 1 arguments")));
+    }
+
+    #[test]
+    fn module_checks_virtual_resolvability() {
+        let mut m = Module::new("t");
+        let c = m.add_class("C", &[]);
+        let mut f = FuncBuilder::new("f", &[Type::Ref], Type::Int);
+        let p = f.param(0);
+        let r = f
+            .call_virtual(c, "missing", p, &[], Some(Type::Int))
+            .unwrap();
+        f.ret(Some(r));
+        m.add_function(f.finish());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("no implementation")));
+    }
+
+    #[test]
+    fn verify_error_display_includes_location() {
+        let e = VerifyError {
+            function: "f".into(),
+            block: Some(BlockId(2)),
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "f/bb2: boom");
+    }
+}

@@ -1,0 +1,36 @@
+//! # njc-opt — supporting JIT optimizations and the Figure 2 pipeline
+//!
+//! The paper's null check optimizer does not act alone: phase 1 is
+//! *iterated* with array bounds check optimization and scalar replacement
+//! (Figure 2), and method inlining (via devirtualization) is what creates
+//! the explicit null checks phase 2 then minimizes (Figure 1). This crate
+//! provides those supporting passes and the [`pipeline`] driver with one
+//! [`pipeline::ConfigKind`] preset per evaluation configuration:
+//!
+//! * [`inline`] — devirtualization + method inlining
+//! * [`intrinsics`] — `Math.exp`-style hardware intrinsic substitution
+//!   (§5.4)
+//! * [`boundcheck`] — redundant array bounds check elimination
+//! * [`versioning`] — loop versioning for bounds check removal (gated by
+//!   hoisted null checks — the paper's §3.2 coupling)
+//! * [`scalar`] — redundant load elimination + loop invariant code motion,
+//!   with optional read speculation (§3.3.1)
+//! * [`sink`] — store sinking / register promotion (Figure 4 (5))
+//! * [`copyprop`], [`dce`] — cleanup
+//! * [`loops`] — dominators and natural loops
+//! * [`pipeline`] — the iterated driver and experiment configurations
+
+pub mod boundcheck;
+pub mod copyprop;
+pub mod dce;
+pub mod inline;
+pub mod intrinsics;
+pub mod loops;
+pub mod pipeline;
+pub mod scalar;
+pub mod sink;
+pub mod versioning;
+
+pub use inline::{InlineConfig, InlineStats};
+pub use pipeline::{optimize_module, ConfigKind, NullOpt, OptConfig, PipelineStats};
+pub use scalar::{ScalarConfig, ScalarStats};

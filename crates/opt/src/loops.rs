@@ -1,0 +1,244 @@
+//! Dominators and natural loop detection.
+//!
+//! The scalar replacement / loop invariant code motion pass needs to know
+//! where loops are and which blocks execute on every iteration. Both are
+//! classic bit-vector computations, small enough to run per-function on
+//! every pipeline iteration.
+
+use njc_dataflow::BitSet;
+use njc_ir::{BlockId, Function};
+
+/// Dominator sets: `doms[b]` contains every block that dominates `b`
+/// (including `b` itself).
+#[derive(Clone, Debug)]
+pub struct Dominators {
+    sets: Vec<BitSet>,
+}
+
+impl Dominators {
+    /// Computes dominators by the standard iterative bit-vector algorithm.
+    pub fn compute(func: &Function) -> Self {
+        let n = func.num_blocks();
+        let preds = func.predecessors();
+        let entry = func.entry().index();
+        let mut sets: Vec<BitSet> = (0..n).map(|_| BitSet::full(n)).collect();
+        sets[entry] = BitSet::new(n);
+        sets[entry].insert(entry);
+
+        let order = func.reverse_postorder();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &order {
+                let bi = b.index();
+                if bi == entry {
+                    continue;
+                }
+                let mut new = BitSet::full(n);
+                let mut any_pred = false;
+                for &p in &preds[bi] {
+                    new.intersect_with(&sets[p.index()]);
+                    any_pred = true;
+                }
+                if !any_pred {
+                    // Unreachable: dominated by everything (vacuous).
+                    new = BitSet::full(n);
+                }
+                new.insert(bi);
+                if new != sets[bi] {
+                    sets[bi] = new;
+                    changed = true;
+                }
+            }
+        }
+        Dominators { sets }
+    }
+
+    /// Whether `a` dominates `b`.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        self.sets[b.index()].contains(a.index())
+    }
+}
+
+/// A natural loop: a header plus the body of every back edge targeting it.
+#[derive(Clone, Debug)]
+pub struct NaturalLoop {
+    /// The loop header (the back edges' target).
+    pub header: BlockId,
+    /// Every block in the loop, including the header.
+    pub body: BitSet,
+    /// The sources of the loop's back edges.
+    pub latches: Vec<BlockId>,
+    /// The unique predecessor of the header outside the loop, if there is
+    /// exactly one (hoist target). `None` when the loop has no usable
+    /// preheader; such loops are skipped by LICM.
+    pub preheader: Option<BlockId>,
+}
+
+impl NaturalLoop {
+    /// Whether `b` is inside the loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.contains(b.index())
+    }
+}
+
+/// Finds every natural loop in `func`. Loops sharing a header are merged.
+/// Returns loops sorted innermost-first (smaller bodies first) so LICM can
+/// process nests inside-out.
+pub fn find_loops(func: &Function, doms: &Dominators) -> Vec<NaturalLoop> {
+    let n = func.num_blocks();
+    let preds = func.predecessors();
+    let mut by_header: Vec<Option<NaturalLoop>> = vec![None; n];
+
+    for b in func.blocks() {
+        for s in func.successors(b.id) {
+            if doms.dominates(s, b.id) {
+                // Back edge b -> s: collect the natural loop body.
+                let header = s;
+                let mut body = BitSet::new(n);
+                body.insert(header.index());
+                let mut stack = vec![b.id];
+                while let Some(x) = stack.pop() {
+                    if body.insert(x.index()) {
+                        for &p in &preds[x.index()] {
+                            stack.push(p);
+                        }
+                    }
+                }
+                let entry = by_header[header.index()].get_or_insert_with(|| NaturalLoop {
+                    header,
+                    body: BitSet::new(n),
+                    latches: Vec::new(),
+                    preheader: None,
+                });
+                entry.body.union_with(&body);
+                entry.body.insert(header.index());
+                entry.latches.push(b.id);
+            }
+        }
+    }
+
+    let mut loops: Vec<NaturalLoop> = by_header.into_iter().flatten().collect();
+    // Determine preheaders.
+    for l in &mut loops {
+        let outside: Vec<BlockId> = preds[l.header.index()]
+            .iter()
+            .copied()
+            .filter(|p| !l.body.contains(p.index()))
+            .collect();
+        l.preheader = match outside.as_slice() {
+            [p] => {
+                // The preheader must branch only to the header (otherwise an
+                // insertion there would execute on unrelated paths) and must
+                // not sit inside a different try region.
+                let only_to_header = func.successors(*p) == vec![l.header];
+                let same_region = func.block(*p).try_region == func.block(l.header).try_region;
+                (only_to_header && same_region).then_some(*p)
+            }
+            _ => None,
+        };
+    }
+    loops.sort_by_key(|l| l.body.count());
+    loops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use njc_ir::{FuncBuilder, Op, Type};
+
+    fn loop_func() -> Function {
+        let mut b = FuncBuilder::new("l", &[Type::Int], Type::Int);
+        let n = b.param(0);
+        let zero = b.iconst(0);
+        let acc = b.var(Type::Int);
+        b.assign(acc, zero);
+        b.for_loop(zero, n, 1, |b, i| {
+            b.binop_into(acc, Op::Add, acc, i);
+        });
+        b.ret(Some(acc));
+        b.finish()
+    }
+
+    #[test]
+    fn entry_dominates_everything() {
+        let f = loop_func();
+        let d = Dominators::compute(&f);
+        for b in f.blocks() {
+            assert!(d.dominates(f.entry(), b.id));
+            assert!(d.dominates(b.id, b.id));
+        }
+    }
+
+    #[test]
+    fn single_loop_found_with_preheader() {
+        let f = loop_func();
+        let d = Dominators::compute(&f);
+        let loops = find_loops(&f, &d);
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        // Rotated for_loop shape: entry(0) -> preheader(1) -> body(2),
+        // body -> body | exit(3).
+        assert_eq!(l.header, BlockId(2));
+        assert!(l.contains(BlockId(2)));
+        assert!(!l.contains(BlockId(1)));
+        assert!(!l.contains(BlockId(3)));
+        assert_eq!(l.preheader, Some(BlockId(1)));
+        assert_eq!(l.latches, vec![BlockId(2)]);
+    }
+
+    #[test]
+    fn nested_loops_sorted_innermost_first() {
+        let mut b = FuncBuilder::new("n2", &[Type::Int], Type::Int);
+        let n = b.param(0);
+        let zero = b.iconst(0);
+        let acc = b.var(Type::Int);
+        b.assign(acc, zero);
+        b.for_loop(zero, n, 1, |b, _i| {
+            b.for_loop(zero, n, 1, |b, j| {
+                b.binop_into(acc, Op::Add, acc, j);
+            });
+        });
+        b.ret(Some(acc));
+        let f = b.finish();
+        let d = Dominators::compute(&f);
+        let loops = find_loops(&f, &d);
+        assert_eq!(loops.len(), 2);
+        assert!(loops[0].body.count() < loops[1].body.count());
+        // The inner loop is contained in the outer one.
+        for x in loops[0].body.iter() {
+            assert!(loops[1].body.contains(x));
+        }
+        // Both have preheaders.
+        assert!(loops[0].preheader.is_some());
+        assert!(loops[1].preheader.is_some());
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let mut b = FuncBuilder::new("s", &[], Type::Int);
+        let v = b.iconst(3);
+        b.ret(Some(v));
+        let f = b.finish();
+        let d = Dominators::compute(&f);
+        assert!(find_loops(&f, &d).is_empty());
+    }
+
+    #[test]
+    fn do_while_loop_detected() {
+        let mut b = FuncBuilder::new("dw", &[Type::Int], Type::Int);
+        let n = b.param(0);
+        let zero = b.iconst(0);
+        let acc = b.var(Type::Int);
+        b.assign(acc, zero);
+        b.do_while_loop(zero, n, 1, |b, i| {
+            b.binop_into(acc, Op::Add, acc, i);
+        });
+        b.ret(Some(acc));
+        let f = b.finish();
+        let d = Dominators::compute(&f);
+        let loops = find_loops(&f, &d);
+        assert_eq!(loops.len(), 1);
+        assert!(loops[0].preheader.is_some());
+    }
+}

@@ -1,0 +1,639 @@
+//! The optimization pipeline of the paper's Figure 2, and the experiment
+//! configurations of §5.
+//!
+//! The architecture *independent* null check optimization (phase 1) is
+//! iterated together with array bounds check optimization and scalar
+//! replacement — each pass enables the next — and the architecture
+//! *dependent* optimization (phase 2) runs once at the end. The evaluation
+//! configurations of Tables 1–2 and 6–7 are all expressible as
+//! [`ConfigKind`] presets.
+
+use std::time::{Duration, Instant};
+
+use njc_arch::{Platform, TrapModel};
+use njc_core::ctx::AnalysisCtx;
+use njc_core::{phase1, phase2, trivial, whaley, NullCheckStats};
+use njc_ir::{FunctionId, Module};
+
+use crate::boundcheck;
+use crate::copyprop;
+use crate::dce;
+use crate::inline::{self, InlineConfig};
+use crate::intrinsics;
+use crate::scalar::{self, ScalarConfig};
+use crate::sink;
+use crate::versioning;
+
+/// Which null check optimization the configuration runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NullOpt {
+    /// No null check optimization at all.
+    None,
+    /// Whaley's forward elimination (the paper's "Old Null Check").
+    Whaley,
+    /// The paper's phase 1 (architecture independent), iterated.
+    Phase1,
+}
+
+/// A fully resolved pipeline configuration.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct OptConfig {
+    /// Display name (matches the paper's table row labels).
+    pub name: &'static str,
+    /// Null check optimization level.
+    pub null_opt: NullOpt,
+    /// Run the architecture dependent optimization (phase 2).
+    pub phase2: bool,
+    /// Apply the trivial trap conversion (when phase 2 is off).
+    pub trivial_trap: bool,
+    /// The trap model the *compiler* assumes. Usually the platform's; the
+    /// "No Hardware Trap" baseline uses [`TrapModel::no_traps`], and the
+    /// §5.4 "Illegal Implicit" configuration pretends reads trap on AIX.
+    pub compiler_trap: TrapModel,
+    /// Speculative hoisting of silent reads (§3.3.1, Tables 6–7).
+    pub speculation: bool,
+    /// Devirtualize + inline before optimizing.
+    pub inline: bool,
+    /// Number of phase1/boundcheck/scalar iterations (Figure 2's loop).
+    pub iterations: usize,
+    /// Loop versioning for bounds check removal (ablation toggle).
+    pub versioning: bool,
+    /// Store sinking / register promotion (ablation toggle).
+    pub sinking: bool,
+}
+
+/// Named configuration presets: one per row of the paper's tables.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ConfigKind {
+    /// "No Null Opt. (No Hardware Trap)" — explicit checks everywhere.
+    NoNullOptNoTrap,
+    /// "No Null Opt. (Hardware Trap)" — trivial trap conversion only.
+    NoNullOptTrap,
+    /// "Old Null Check" — Whaley's elimination + trivial conversion.
+    OldNullCheck,
+    /// "New Null Check (Phase1 only)".
+    Phase1Only,
+    /// "New Null Check (Phase1+Phase2)".
+    Full,
+    /// Reference second compiler (the HotSpot column stand-in; see
+    /// DESIGN.md §5 for the substitution rationale).
+    RefJit,
+    /// AIX "Speculation": phase 1, all checks explicit, reads speculated.
+    AixSpeculation,
+    /// AIX "No Speculation": phase 1, all checks explicit.
+    AixNoSpeculation,
+    /// AIX "No Null Check Optimization".
+    AixNoNullOpt,
+    /// AIX "Illegal Implicit (No Speculation)": the Intel phase 2 applied
+    /// on AIX, violating the Java specification (§5.4, experiment only).
+    AixIllegalImplicit,
+}
+
+impl ConfigKind {
+    /// Every Windows/IA32 configuration of Tables 1–2, in table row order.
+    pub fn table12_rows() -> [ConfigKind; 5] {
+        [
+            ConfigKind::Full,
+            ConfigKind::Phase1Only,
+            ConfigKind::OldNullCheck,
+            ConfigKind::NoNullOptTrap,
+            ConfigKind::NoNullOptNoTrap,
+        ]
+    }
+
+    /// Every AIX configuration of Tables 6–7, in table row order.
+    pub fn table67_rows() -> [ConfigKind; 4] {
+        [
+            ConfigKind::AixSpeculation,
+            ConfigKind::AixNoSpeculation,
+            ConfigKind::AixNoNullOpt,
+            ConfigKind::AixIllegalImplicit,
+        ]
+    }
+
+    /// Resolves the preset against a platform.
+    pub fn to_config(self, platform: &Platform) -> OptConfig {
+        let trap = platform.trap;
+        match self {
+            ConfigKind::NoNullOptNoTrap => OptConfig {
+                name: "No Null Opt. (No Hardware Trap)",
+                null_opt: NullOpt::None,
+                phase2: false,
+                trivial_trap: false,
+                compiler_trap: TrapModel::no_traps(),
+                speculation: false,
+                inline: true,
+                iterations: 3,
+                versioning: true,
+                sinking: true,
+            },
+            ConfigKind::NoNullOptTrap => OptConfig {
+                name: "No Null Opt. (Hardware Trap)",
+                null_opt: NullOpt::None,
+                phase2: false,
+                trivial_trap: true,
+                compiler_trap: trap,
+                speculation: false,
+                inline: true,
+                iterations: 3,
+                versioning: true,
+                sinking: true,
+            },
+            ConfigKind::OldNullCheck => OptConfig {
+                name: "Old Null Check",
+                null_opt: NullOpt::Whaley,
+                phase2: false,
+                trivial_trap: true,
+                compiler_trap: trap,
+                speculation: false,
+                inline: true,
+                iterations: 3,
+                versioning: true,
+                sinking: true,
+            },
+            ConfigKind::Phase1Only => OptConfig {
+                name: "New Null Check (Phase1 only)",
+                null_opt: NullOpt::Phase1,
+                phase2: false,
+                trivial_trap: true,
+                compiler_trap: trap,
+                speculation: false,
+                inline: true,
+                iterations: 3,
+                versioning: true,
+                sinking: true,
+            },
+            ConfigKind::Full => OptConfig {
+                name: "New Null Check (Phase1+Phase2)",
+                null_opt: NullOpt::Phase1,
+                phase2: true,
+                trivial_trap: false,
+                compiler_trap: trap,
+                speculation: false,
+                inline: true,
+                iterations: 3,
+                versioning: true,
+                sinking: true,
+            },
+            ConfigKind::RefJit => OptConfig {
+                name: "RefJit (HotSpot stand-in)",
+                null_opt: NullOpt::Whaley,
+                phase2: false,
+                trivial_trap: true,
+                compiler_trap: trap,
+                speculation: false,
+                inline: true,
+                iterations: 1,
+                versioning: true,
+                sinking: true,
+            },
+            ConfigKind::AixSpeculation => OptConfig {
+                name: "Speculation",
+                null_opt: NullOpt::Phase1,
+                phase2: false,
+                trivial_trap: false, // §5.4: all null checks explicit on AIX
+                compiler_trap: trap,
+                speculation: true,
+                inline: true,
+                iterations: 3,
+                versioning: true,
+                sinking: true,
+            },
+            ConfigKind::AixNoSpeculation => OptConfig {
+                name: "No Speculation",
+                null_opt: NullOpt::Phase1,
+                phase2: false,
+                trivial_trap: false,
+                compiler_trap: trap,
+                speculation: false,
+                inline: true,
+                iterations: 3,
+                versioning: true,
+                sinking: true,
+            },
+            ConfigKind::AixNoNullOpt => OptConfig {
+                name: "No Null Check Optimization",
+                null_opt: NullOpt::None,
+                phase2: false,
+                trivial_trap: false,
+                compiler_trap: trap,
+                speculation: false,
+                inline: true,
+                iterations: 3,
+                versioning: true,
+                sinking: true,
+            },
+            ConfigKind::AixIllegalImplicit => OptConfig {
+                name: "Illegal Implicit (No Speculation)",
+                null_opt: NullOpt::Phase1,
+                phase2: true,
+                trivial_trap: false,
+                // Pretend the platform traps on reads and writes — on AIX
+                // this is a lie and a NullPointerException may be missed
+                // (§5.4; the VM records the violation).
+                compiler_trap: TrapModel::windows_ia32(),
+                speculation: false,
+                inline: true,
+                iterations: 3,
+                versioning: true,
+                sinking: true,
+            },
+        }
+    }
+}
+
+/// Aggregate pipeline statistics, including per-pass wall-clock timings for
+/// the compile-time experiments (Tables 3–5).
+#[derive(Clone, Debug, Default)]
+pub struct PipelineStats {
+    /// Null check pass statistics.
+    pub null_checks: NullCheckStats,
+    /// Calls devirtualized / inlined.
+    pub inline: inline::InlineStats,
+    /// Intrinsic substitutions.
+    pub intrinsics: intrinsics::IntrinsicStats,
+    /// Bounds checks eliminated (redundancy + versioning).
+    pub boundchecks_eliminated: usize,
+    /// Loops versioned behind bounds guards.
+    pub loops_versioned: usize,
+    /// Fields promoted to registers across loops (store sinking).
+    pub fields_promoted: usize,
+    /// Scalar replacement totals.
+    pub scalar: scalar::ScalarStats,
+    /// Copy uses propagated.
+    pub copies_propagated: usize,
+    /// Dead instructions removed.
+    pub dead_removed: usize,
+    /// Per-pass wall-clock time, accumulated over all functions and
+    /// iterations. Keys: "nullcheck", "inline", "intrinsics", "boundcheck",
+    /// "scalar", "cleanup".
+    pub timings: Vec<(&'static str, Duration)>,
+}
+
+impl PipelineStats {
+    fn add_time(&mut self, pass: &'static str, d: Duration) {
+        if let Some(t) = self.timings.iter_mut().find(|(n, _)| *n == pass) {
+            t.1 += d;
+        } else {
+            self.timings.push((pass, d));
+        }
+    }
+
+    /// Total time spent in the null check optimization passes.
+    pub fn nullcheck_time(&self) -> Duration {
+        self.timings
+            .iter()
+            .filter(|(n, _)| *n == "nullcheck")
+            .map(|(_, d)| *d)
+            .sum()
+    }
+
+    /// Total time spent in all passes.
+    pub fn total_time(&self) -> Duration {
+        self.timings.iter().map(|(_, d)| *d).sum()
+    }
+}
+
+/// Runs the configured pipeline over every function of `module` in place.
+pub fn optimize_module(
+    module: &mut Module,
+    platform: &Platform,
+    config: &OptConfig,
+) -> PipelineStats {
+    let mut stats = PipelineStats::default();
+
+    // Intrinsic substitution (before inlining: an intrinsified call site is
+    // no longer a call, so it stops being an inline candidate or barrier).
+    if platform.has_fp_intrinsics {
+        let t = Instant::now();
+        stats.intrinsics = intrinsics::run(module);
+        stats.add_time("intrinsics", t.elapsed());
+    }
+
+    // Devirtualization + inlining (Figure 1 / §5.1 mtrt).
+    if config.inline {
+        let t = Instant::now();
+        stats.inline = inline::run(module, InlineConfig::default());
+        stats.add_time("inline", t.elapsed());
+    }
+
+    // Figure 2's iterated architecture-independent loop.
+    for _ in 0..config.iterations.max(1) {
+        for fi in 0..module.num_functions() {
+            let id = FunctionId::new(fi);
+            // Null check optimization.
+            let t = Instant::now();
+            match config.null_opt {
+                NullOpt::None => {}
+                NullOpt::Whaley => {
+                    let mut func = take_function(module, id);
+                    let s = whaley::run(&mut func);
+                    stats.null_checks.whaley.eliminated += s.eliminated;
+                    stats.null_checks.whaley.iterations += s.iterations;
+                    put_function(module, id, func);
+                }
+                NullOpt::Phase1 => {
+                    let mut func = take_function(module, id);
+                    let ctx = AnalysisCtx::new(module, config.compiler_trap);
+                    let s = phase1::run(&ctx, &mut func);
+                    stats.null_checks.phase1.eliminated += s.eliminated;
+                    stats.null_checks.phase1.inserted += s.inserted;
+                    stats.null_checks.phase1.motion_iterations += s.motion_iterations;
+                    stats.null_checks.phase1.nonnull_iterations += s.nonnull_iterations;
+                    put_function(module, id, func);
+                }
+            }
+            stats.add_time("nullcheck", t.elapsed());
+
+            // Array bounds check optimization.
+            let t = Instant::now();
+            {
+                let mut func = take_function(module, id);
+                stats.boundchecks_eliminated += boundcheck::run(&mut func).eliminated;
+                put_function(module, id, func);
+            }
+            stats.add_time("boundcheck", t.elapsed());
+
+            // Scalar replacement (with or without speculation).
+            let t = Instant::now();
+            {
+                let mut func = take_function(module, id);
+                let ctx = AnalysisCtx::new(module, config.compiler_trap);
+                let allow_spec =
+                    config.speculation && config.compiler_trap.reads_are_speculatable();
+                let s = scalar::run(
+                    &ctx,
+                    &mut func,
+                    ScalarConfig {
+                        speculation: allow_spec,
+                    },
+                );
+                stats.scalar.hoisted_loads += s.hoisted_loads;
+                stats.scalar.speculative_loads += s.speculative_loads;
+                stats.scalar.hoisted_pure += s.hoisted_pure;
+                stats.scalar.hoisted_boundchecks += s.hoisted_boundchecks;
+                stats.scalar.local_loads_reused += s.local_loads_reused;
+                // Store sinking (Figure 4 (5)) — only fires once the loop
+                // is check-free, i.e. after phase 1 did its part.
+                if config.sinking {
+                    let sk = sink::run(&ctx, &mut func);
+                    stats.fields_promoted += sk.promoted;
+                }
+                put_function(module, id, func);
+            }
+            stats.add_time("scalar", t.elapsed());
+
+            // Cleanup.
+            let t = Instant::now();
+            {
+                let mut func = take_function(module, id);
+                stats.copies_propagated += copyprop::run(&mut func).replaced_uses;
+                stats.dead_removed += dce::run(&mut func).removed;
+                put_function(module, id, func);
+            }
+            stats.add_time("cleanup", t.elapsed());
+        }
+    }
+
+    // Array bounds check optimization, part 2: loop versioning. Runs once
+    // after the iterated loop (versioning duplicates loop bodies, which
+    // would defeat later scalar-replacement rounds) — and it is effective
+    // only where scalar replacement could hoist the array lengths, i.e.
+    // where phase 1 hoisted the null checks first.
+    let t = Instant::now();
+    for fi in 0..module.num_functions() {
+        let id = FunctionId::new(fi);
+        let mut func = take_function(module, id);
+        if config.versioning {
+            let s = versioning::run(&mut func);
+            stats.loops_versioned += s.loops_versioned;
+            stats.boundchecks_eliminated += s.checks_removed;
+        }
+        // Clean up after the duplication, then give store sinking one more
+        // chance: versioned fast loops just lost their bounds checks and
+        // may now be promotable.
+        stats.copies_propagated += copyprop::run(&mut func).replaced_uses;
+        stats.dead_removed += dce::run(&mut func).removed;
+        if config.sinking {
+            let ctx = AnalysisCtx::new(module, config.compiler_trap);
+            stats.fields_promoted += sink::run(&ctx, &mut func).promoted;
+        }
+        put_function(module, id, func);
+    }
+    stats.add_time("boundcheck", t.elapsed());
+
+    // Architecture dependent phase (or the trivial conversion).
+    let t = Instant::now();
+    for fi in 0..module.num_functions() {
+        let id = FunctionId::new(fi);
+        let mut func = take_function(module, id);
+        let ctx = AnalysisCtx::new(module, config.compiler_trap);
+        if config.phase2 {
+            let s = phase2::run(&ctx, &mut func);
+            stats.null_checks.phase2.converted_implicit += s.converted_implicit;
+            stats.null_checks.phase2.explicit_inserted += s.explicit_inserted;
+            stats.null_checks.phase2.substituted += s.substituted;
+            stats.null_checks.phase2.motion_iterations += s.motion_iterations;
+            stats.null_checks.phase2.subst_iterations += s.subst_iterations;
+        } else if config.trivial_trap {
+            stats.null_checks.trivial.converted += trivial::run(&ctx, &mut func).converted;
+        }
+        put_function(module, id, func);
+    }
+    stats.add_time("nullcheck", t.elapsed());
+
+    // In debug builds, verify the whole module after optimization: any
+    // pass that produced ill-formed IR fails loudly here rather than
+    // confusingly in the VM.
+    #[cfg(debug_assertions)]
+    if let Err(errors) = njc_ir::verify_module(module) {
+        panic!(
+            "pipeline `{}` produced unverifiable IR: {}",
+            config.name,
+            errors
+                .iter()
+                .take(3)
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+    }
+
+    stats
+}
+
+/// Checks a function out of the module so passes can hold `&Module` (for
+/// field layout) while mutating the function.
+fn take_function(module: &mut Module, id: FunctionId) -> njc_ir::Function {
+    std::mem::replace(
+        module.function_mut(id),
+        njc_ir::Function::from_parts(
+            String::new(),
+            vec![],
+            None,
+            false,
+            vec![],
+            vec![njc_ir::BasicBlock::new(njc_ir::BlockId(0))],
+            njc_ir::BlockId(0),
+            vec![],
+        ),
+    )
+}
+
+fn put_function(module: &mut Module, id: FunctionId, func: njc_ir::Function) {
+    *module.function_mut(id) = func;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use njc_core::phase1::count_checks;
+    use njc_core::phase2::{count_exception_sites, count_explicit};
+    use njc_ir::{parse_function, verify_module, Type};
+
+    fn loop_module() -> Module {
+        let mut m = Module::new("t");
+        m.add_class("C", &[("f", Type::Int)]);
+        let f = parse_function(
+            "func sum(v0: ref, v1: int) -> int {\n  locals v2: int v3: int\nbb0:\n  v2 = const 0\n  goto bb1\nbb1:\n  nullcheck v0\n  v3 = getfield v0, field0\n  v2 = add.int v2, v3\n  if lt v2, v1 then bb1 else bb2\nbb2:\n  return v2\n}",
+        )
+        .unwrap();
+        m.add_function(f);
+        m
+    }
+
+    #[test]
+    fn full_config_leaves_no_explicit_checks_in_loop() {
+        let mut m = loop_module();
+        let p = Platform::windows_ia32();
+        let cfg = ConfigKind::Full.to_config(&p);
+        let stats = optimize_module(&mut m, &p, &cfg);
+        verify_module(&m).unwrap();
+        let f = m.function(m.function_by_name("sum").unwrap());
+        assert_eq!(count_explicit(f), 0, "{f}");
+        assert!(count_exception_sites(f) >= 1);
+        assert!(stats.null_checks.phase1.eliminated >= 1);
+        assert!(stats.scalar.hoisted_loads >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn baseline_keeps_explicit_check_in_loop() {
+        let mut m = loop_module();
+        let p = Platform::windows_ia32();
+        let cfg = ConfigKind::NoNullOptNoTrap.to_config(&p);
+        optimize_module(&mut m, &p, &cfg);
+        verify_module(&m).unwrap();
+        let f = m.function(m.function_by_name("sum").unwrap());
+        assert_eq!(count_checks(f), 1, "{f}");
+        assert_eq!(count_exception_sites(f), 0, "no trap reliance");
+        // The load stays inside the loop: no non-nullness at the preheader.
+        let loop_block = f.block(njc_ir::BlockId(1));
+        assert!(loop_block
+            .insts
+            .iter()
+            .any(|i| matches!(i, njc_ir::Inst::GetField { .. })));
+    }
+
+    #[test]
+    fn old_null_check_converts_trivially_but_cannot_hoist() {
+        let mut m = loop_module();
+        let p = Platform::windows_ia32();
+        let cfg = ConfigKind::OldNullCheck.to_config(&p);
+        let stats = optimize_module(&mut m, &p, &cfg);
+        let f = m.function(m.function_by_name("sum").unwrap());
+        // The in-loop check became implicit (free) but the load is still
+        // in the loop — §2.2's first drawback.
+        assert_eq!(count_explicit(f), 0, "{f}");
+        let loop_block = f.block(njc_ir::BlockId(1));
+        assert!(loop_block
+            .insts
+            .iter()
+            .any(|i| matches!(i, njc_ir::Inst::GetField { .. })));
+        assert_eq!(stats.null_checks.trivial.converted, 1);
+    }
+
+    #[test]
+    fn aix_speculation_config_hoists_silent_read() {
+        let mut m = loop_module();
+        let p = Platform::aix_ppc();
+        let cfg = ConfigKind::AixSpeculation.to_config(&p);
+        let stats = optimize_module(&mut m, &p, &cfg);
+        // phase1 hoists the check AND the load hoists; on AIX the check
+        // stays explicit.
+        let f = m.function(m.function_by_name("sum").unwrap());
+        assert!(stats.scalar.hoisted_loads >= 1, "{stats:?}\n{f}");
+        assert!(count_explicit(f) >= 1);
+        assert_eq!(count_exception_sites(f), 0, "no implicit checks on AIX");
+    }
+
+    #[test]
+    fn illegal_implicit_marks_read_sites_on_aix() {
+        let mut m = loop_module();
+        let p = Platform::aix_ppc();
+        let cfg = ConfigKind::AixIllegalImplicit.to_config(&p);
+        optimize_module(&mut m, &p, &cfg);
+        let f = m.function(m.function_by_name("sum").unwrap());
+        // The Intel phase 2 marked the read as a site even though AIX will
+        // not trap it — the (deliberate) §5.4 spec violation.
+        assert!(count_exception_sites(f) >= 1, "{f}");
+        assert_eq!(count_explicit(f), 0, "{f}");
+    }
+
+    #[test]
+    fn ablation_toggles_disable_their_passes() {
+        let p = Platform::windows_ia32();
+        let full = ConfigKind::Full.to_config(&p);
+        assert!(full.versioning && full.sinking);
+
+        // A loop whose bounds check is versionable under Full...
+        let mk = || {
+            let mut m = Module::new("t");
+            m.add_class("C", &[("f", njc_ir::Type::Int)]);
+            let f = njc_ir::parse_function(
+                "func work(v0: ref, v1: int) -> int {\n  locals v2: int v3: int v4: int v5: int v6: int\nbb0:\n  v2 = const 0\n  v6 = const 1\n  v3 = move v2\n  if lt v2, v1 then bb1 else bb3\nbb1:\n  goto bb2\nbb2:\n  nullcheck v0\n  v4 = arraylength v0\n  boundcheck v3, v4\n  v5 = aload.int v0[v3]\n  v2 = add.int v2, v5\n  v3 = add.int v3, v6\n  if lt v3, v1 then bb2 else bb3\nbb3:\n  return v2\n}",
+            )
+            .unwrap();
+            m.add_function(f);
+            m
+        };
+        let mut with = mk();
+        let s_on = optimize_module(&mut with, &p, &full);
+        let mut without = mk();
+        let s_off = optimize_module(
+            &mut without,
+            &p,
+            &OptConfig {
+                versioning: false,
+                ..full
+            },
+        );
+        assert!(s_on.loops_versioned > 0);
+        assert_eq!(s_off.loops_versioned, 0);
+    }
+
+    #[test]
+    fn all_presets_resolve_and_run() {
+        for kind in [
+            ConfigKind::NoNullOptNoTrap,
+            ConfigKind::NoNullOptTrap,
+            ConfigKind::OldNullCheck,
+            ConfigKind::Phase1Only,
+            ConfigKind::Full,
+            ConfigKind::RefJit,
+        ] {
+            let mut m = loop_module();
+            let p = Platform::windows_ia32();
+            let cfg = kind.to_config(&p);
+            let stats = optimize_module(&mut m, &p, &cfg);
+            verify_module(&m).unwrap();
+            assert!(stats.total_time() >= stats.nullcheck_time());
+        }
+        for kind in ConfigKind::table67_rows() {
+            let mut m = loop_module();
+            let p = Platform::aix_ppc();
+            let cfg = kind.to_config(&p);
+            optimize_module(&mut m, &p, &cfg);
+            verify_module(&m).unwrap();
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! # njc-trap — simulated MMU with a protected null page
+//!
+//! The paper's implicit null checks rely on the operating system delivering
+//! a hardware trap when the program dereferences a null pointer: the load or
+//! store computes an effective address `null + offset` that lands inside a
+//! protected page at the bottom of the address space.
+//!
+//! This crate reproduces that mechanism as a deterministic substrate:
+//! [`GuardedMemory`] is a flat byte-addressed memory whose first
+//! `trap_area_bytes` bytes form the guard region. Object allocation starts
+//! above the guard, the null reference is address `0`, and every read/write
+//! goes through the trap check:
+//!
+//! * access inside the guard region **and** the platform traps for that
+//!   access kind → [`HardwareTrap`] is raised (the VM then dispatches it to
+//!   a `NullPointerException` if the faulting site is a marked exception
+//!   site);
+//! * read inside the guard region on a platform that does *not* trap reads
+//!   (AIX) → the read **silently returns zero**, exactly the behaviour the
+//!   paper exploits for speculation (§3.3.1) and that makes the
+//!   "Illegal Implicit" configuration of §5.4 unsound;
+//! * access beyond the guard region with a null base (the "BigOffset" case
+//!   of Figure 5) → lands in ordinary memory and is reported as a
+//!   [`MemoryError::WildAccess`] so tests can detect the corruption a real
+//!   system would suffer.
+//!
+//! **Substitution note** (see DESIGN.md §5): a production JIT would install
+//! a real `SIGSEGV` handler. Signal handlers are process-global and
+//! interfere with test harnesses, so this simulated MMU exercises the same
+//! code path — effective-address computation, fault detection, exception
+//! site lookup — deterministically and portably.
+
+use std::fmt;
+
+use njc_arch::TrapModel;
+use njc_ir::AccessKind;
+
+/// A hardware trap raised by a guarded access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HardwareTrap {
+    /// The faulting effective address (inside the guard region).
+    pub address: u64,
+    /// Whether the faulting access was a read or a write.
+    pub kind: AccessKind,
+}
+
+impl fmt::Display for HardwareTrap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = match self.kind {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+        };
+        write!(
+            f,
+            "hardware trap: {k} of protected address {:#x}",
+            self.address
+        )
+    }
+}
+
+impl std::error::Error for HardwareTrap {}
+
+/// A non-trap memory failure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemoryError {
+    /// The access faulted in the guard region.
+    Trap(HardwareTrap),
+    /// The access fell outside every allocation — e.g. a null-base access
+    /// whose offset exceeds the guard region ("BigOffset" without an
+    /// explicit check). A real machine would silently corrupt or crash
+    /// here; we report it so the soundness tests can catch it.
+    WildAccess {
+        /// The wild effective address.
+        address: u64,
+        /// Read or write.
+        kind: AccessKind,
+    },
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::Trap(t) => t.fmt(f),
+            MemoryError::WildAccess { address, kind } => {
+                let k = match kind {
+                    AccessKind::Read => "read",
+                    AccessKind::Write => "write",
+                };
+                write!(f, "wild {k} at address {address:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+impl From<HardwareTrap> for MemoryError {
+    fn from(t: HardwareTrap) -> Self {
+        MemoryError::Trap(t)
+    }
+}
+
+/// Counters describing trap traffic, exposed for the experiment harness.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TrapStats {
+    /// Traps taken on reads.
+    pub read_traps: u64,
+    /// Traps taken on writes.
+    pub write_traps: u64,
+    /// Guard-region reads that were *silently satisfied* (AIX semantics).
+    pub silent_null_reads: u64,
+    /// Guard-region writes that were silently satisfied (no-trap models).
+    pub silent_null_writes: u64,
+}
+
+impl TrapStats {
+    /// Total traps taken.
+    pub fn total_traps(&self) -> u64 {
+        self.read_traps + self.write_traps
+    }
+}
+
+/// The result of a successfully *completed* guarded read: either real data,
+/// or zero synthesized for a silent guard-region read.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ReadOutcome {
+    /// The value read.
+    pub value: u64,
+    /// Whether the value was synthesized from the guard region (and is
+    /// therefore garbage from the program's point of view).
+    pub from_guard: bool,
+}
+
+/// A flat, byte-addressed memory with a protected guard region at address 0.
+///
+/// Addresses are `u64`; the null reference is address `0`. All accesses are
+/// 8-byte slots (the model's field/element size).
+///
+/// # Example
+/// ```
+/// use njc_trap::GuardedMemory;
+/// use njc_arch::TrapModel;
+/// use njc_ir::AccessKind;
+///
+/// let mut mem = GuardedMemory::new(TrapModel::windows_ia32());
+/// let obj = mem.alloc(32);
+/// mem.write_u64(obj + 8, 42).unwrap();
+/// assert_eq!(mem.read_u64(obj + 8).unwrap().value, 42);
+/// // Null dereference: effective address 8 lies in the guard page.
+/// assert!(mem.read_u64(8).is_err());
+/// ```
+#[derive(Clone, Debug)]
+pub struct GuardedMemory {
+    model: TrapModel,
+    /// Backing store, indexed from address 0 (the guard region is backed by
+    /// real zero bytes so silent reads return 0 naturally).
+    data: Vec<u8>,
+    /// Next allocation address.
+    brk: u64,
+    stats: TrapStats,
+}
+
+/// Minimum heap base: allocations never start inside the guard region, and
+/// never at address 0 even for trap-less models (address 0 must remain
+/// distinguishable as null).
+const MIN_HEAP_BASE: u64 = 64;
+
+impl GuardedMemory {
+    /// Creates a memory with the given trap model. The guard region spans
+    /// `model.trap_area_bytes` bytes from address 0.
+    pub fn new(model: TrapModel) -> Self {
+        let base = model.trap_area_bytes.max(MIN_HEAP_BASE);
+        GuardedMemory {
+            model,
+            data: vec![0; base as usize],
+            brk: base,
+            stats: TrapStats::default(),
+        }
+    }
+
+    /// The trap model in force.
+    pub fn model(&self) -> TrapModel {
+        self.model
+    }
+
+    /// Trap statistics so far.
+    pub fn stats(&self) -> TrapStats {
+        self.stats
+    }
+
+    /// Allocates `size` bytes of zeroed memory, 8-byte aligned, and returns
+    /// the base address (always above the guard region, never 0).
+    pub fn alloc(&mut self, size: u64) -> u64 {
+        let base = self.brk;
+        let size = size.div_ceil(8) * 8;
+        self.brk += size.max(8);
+        self.data.resize(self.brk as usize, 0);
+        base
+    }
+
+    /// Total bytes currently allocated (including the guard region).
+    pub fn footprint(&self) -> u64 {
+        self.brk
+    }
+
+    fn classify(&mut self, addr: u64, kind: AccessKind) -> Result<bool, MemoryError> {
+        // Returns Ok(true) when the access is a silent guard-region access.
+        if addr < self.model.trap_area_bytes {
+            if self.model.runtime_faults(kind, addr) {
+                match kind {
+                    AccessKind::Read => self.stats.read_traps += 1,
+                    AccessKind::Write => self.stats.write_traps += 1,
+                }
+                return Err(HardwareTrap {
+                    address: addr,
+                    kind,
+                }
+                .into());
+            }
+            match kind {
+                AccessKind::Read => self.stats.silent_null_reads += 1,
+                AccessKind::Write => self.stats.silent_null_writes += 1,
+            }
+            return Ok(true);
+        }
+        if addr + 8 > self.brk {
+            return Err(MemoryError::WildAccess {
+                address: addr,
+                kind,
+            });
+        }
+        Ok(false)
+    }
+
+    /// Reads the 8-byte slot at `addr`.
+    ///
+    /// # Errors
+    /// [`MemoryError::Trap`] when the access faults in the guard region;
+    /// [`MemoryError::WildAccess`] when it falls outside every allocation.
+    pub fn read_u64(&mut self, addr: u64) -> Result<ReadOutcome, MemoryError> {
+        let from_guard = self.classify(addr, AccessKind::Read)?;
+        if from_guard {
+            // AIX semantics: the first page reads as zero.
+            return Ok(ReadOutcome {
+                value: 0,
+                from_guard: true,
+            });
+        }
+        let i = addr as usize;
+        let value = u64::from_le_bytes(self.data[i..i + 8].try_into().expect("slot"));
+        Ok(ReadOutcome {
+            value,
+            from_guard: false,
+        })
+    }
+
+    /// Writes the 8-byte slot at `addr`.
+    ///
+    /// # Errors
+    /// Same conditions as [`Self::read_u64`]. A silent guard-region write
+    /// (trap-less models) is discarded.
+    pub fn write_u64(&mut self, addr: u64, value: u64) -> Result<(), MemoryError> {
+        let to_guard = self.classify(addr, AccessKind::Write)?;
+        if to_guard {
+            // Writes into the guard region on a non-write-trapping model are
+            // discarded: the backing page stays zero so later silent reads
+            // behave like a zero page.
+            return Ok(());
+        }
+        let i = addr as usize;
+        self.data[i..i + 8].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Whether `addr` is the null reference.
+    pub fn is_null(addr: u64) -> bool {
+        addr == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_above_guard_and_aligned() {
+        let mut m = GuardedMemory::new(TrapModel::windows_ia32());
+        let a = m.alloc(24);
+        assert!(a >= 4096);
+        assert_eq!(a % 8, 0);
+        let b = m.alloc(1);
+        assert!(b >= a + 24);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut m = GuardedMemory::new(TrapModel::windows_ia32());
+        let a = m.alloc(16);
+        m.write_u64(a, u64::MAX).unwrap();
+        m.write_u64(a + 8, 7).unwrap();
+        assert_eq!(m.read_u64(a).unwrap().value, u64::MAX);
+        assert_eq!(m.read_u64(a + 8).unwrap().value, 7);
+    }
+
+    #[test]
+    fn null_read_traps_on_windows() {
+        let mut m = GuardedMemory::new(TrapModel::windows_ia32());
+        let err = m.read_u64(16).unwrap_err();
+        assert_eq!(
+            err,
+            MemoryError::Trap(HardwareTrap {
+                address: 16,
+                kind: AccessKind::Read
+            })
+        );
+        assert_eq!(m.stats().read_traps, 1);
+    }
+
+    #[test]
+    fn null_read_is_silent_zero_on_aix() {
+        let mut m = GuardedMemory::new(TrapModel::aix_ppc());
+        let r = m.read_u64(16).unwrap();
+        assert_eq!(r.value, 0);
+        assert!(r.from_guard);
+        assert_eq!(m.stats().silent_null_reads, 1);
+        // But writes trap.
+        assert!(m.write_u64(16, 1).is_err());
+        assert_eq!(m.stats().write_traps, 1);
+    }
+
+    #[test]
+    fn big_offset_is_wild_not_trap() {
+        let mut m = GuardedMemory::new(TrapModel::windows_ia32());
+        // Null base + 1 MiB offset: beyond the guard region and beyond the
+        // heap — a wild access, exactly the Figure 5 (1) hazard.
+        let err = m.read_u64(1 << 20).unwrap_err();
+        assert!(matches!(err, MemoryError::WildAccess { .. }));
+        assert_eq!(m.stats().total_traps(), 0);
+    }
+
+    #[test]
+    fn big_offset_can_hit_live_heap() {
+        // Worse than wild: with a large enough heap, a null-base big-offset
+        // access silently reads *another object's* memory.
+        let mut m = GuardedMemory::new(TrapModel::windows_ia32());
+        let a = m.alloc(8192);
+        m.write_u64(a + 8, 0xDEAD).unwrap();
+        let offset_from_null = a + 8; // as if `null.field_at(a + 8)`
+        let r = m.read_u64(offset_from_null).unwrap();
+        assert_eq!(r.value, 0xDEAD, "silent corruption read");
+        assert!(!r.from_guard);
+    }
+
+    #[test]
+    fn silent_guard_write_is_discarded() {
+        let mut m = GuardedMemory::new(TrapModel {
+            trap_area_bytes: 4096,
+            traps_on_read: false,
+            traps_on_write: false,
+        });
+        m.write_u64(8, 99).unwrap();
+        assert_eq!(m.stats().silent_null_writes, 1);
+        assert_eq!(m.read_u64(8).unwrap().value, 0, "guard page stays zero");
+    }
+
+    #[test]
+    fn no_trap_model_still_reserves_null() {
+        let mut m = GuardedMemory::new(TrapModel::no_traps());
+        let a = m.alloc(8);
+        assert!(a >= MIN_HEAP_BASE);
+        assert!(GuardedMemory::is_null(0));
+        assert!(!GuardedMemory::is_null(a));
+    }
+
+    #[test]
+    fn trap_display_mentions_kind_and_address() {
+        let t = HardwareTrap {
+            address: 0x10,
+            kind: AccessKind::Write,
+        };
+        assert_eq!(
+            t.to_string(),
+            "hardware trap: write of protected address 0x10"
+        );
+    }
+}

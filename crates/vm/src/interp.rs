@@ -1,0 +1,849 @@
+//! The costed interpreter.
+//!
+//! Executes verified IR over the guarded memory, enforcing the Java
+//! exception contract the optimizer must preserve:
+//!
+//! * an **explicit** null check compares and throws (costing the platform's
+//!   compare-and-branch or conditional-trap cycles);
+//! * a slot access whose base is null computes a real effective address —
+//!   if the platform traps it **and the instruction is a marked exception
+//!   site**, a `NullPointerException` is raised (at hardware-trap cost);
+//!   if the platform traps it and the site is *not* marked, the program
+//!   counter was not a known exception site: a real JIT would crash, and
+//!   the VM reports [`Fault::UnexpectedTrap`] — a compiler soundness bug;
+//! * a silent guard-page read (AIX) returns zero and execution continues —
+//!   if the site was marked, the `NullPointerException` the program owed
+//!   was **missed**, which the VM counts ([`RunStats::missed_npes`]): that
+//!   is precisely the §5.4 "Illegal Implicit" spec violation;
+//! * an access that lands outside every allocation is a
+//!   [`Fault::WildAccess`] (the real-world consequence of skipping a
+//!   "BigOffset" check, Figure 5 (1)).
+
+use njc_arch::Platform;
+use njc_ir::{
+    BlockId, CallTarget, ExceptionKind, Function, FunctionId, Inst, Module, NullCheckKind, Op,
+    Terminator, Type, VarId,
+};
+use njc_trap::{GuardedMemory, MemoryError};
+
+use crate::heap::Heap;
+use crate::value::Value;
+
+/// Interpreter limits.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct VmConfig {
+    /// Maximum instructions executed before [`Fault::OutOfFuel`].
+    pub max_insts: u64,
+    /// Maximum call depth before [`Fault::StackOverflow`].
+    pub max_depth: usize,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            max_insts: 200_000_000,
+            max_depth: 256,
+        }
+    }
+}
+
+/// Execution statistics: the raw material of every table in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RunStats {
+    /// Simulated cycles (per the platform cost model).
+    pub cycles: u64,
+    /// Instructions executed (terminators included).
+    pub insts: u64,
+    /// Explicit null check instructions executed.
+    pub explicit_null_checks: u64,
+    /// Marked exception sites executed (implicit checks performed for free
+    /// by the hardware).
+    pub implicit_site_hits: u64,
+    /// Hardware traps taken (null pointers actually dereferenced).
+    pub traps_taken: u64,
+    /// NullPointerExceptions that *should* have been thrown but were
+    /// silently skipped (AIX reads under the Illegal Implicit
+    /// configuration).
+    pub missed_npes: u64,
+    /// Silent guard-page reads (benign under speculation).
+    pub silent_null_reads: u64,
+    /// Memory loads executed.
+    pub loads: u64,
+    /// Memory stores executed.
+    pub stores: u64,
+    /// Calls executed.
+    pub calls: u64,
+    /// Objects + arrays allocated.
+    pub allocations: u64,
+    /// Branches executed.
+    pub branches: u64,
+    /// Bounds checks executed.
+    pub bound_checks: u64,
+    /// Exceptions thrown (software or trap).
+    pub exceptions_thrown: u64,
+}
+
+/// A non-recoverable execution failure — not a Java exception but a broken
+/// program or compiler: these are test failures, never expected outcomes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Fault {
+    /// A hardware trap at an instruction not marked as an exception site
+    /// (the compiler moved or removed a null check unsoundly).
+    UnexpectedTrap {
+        /// Function where the trap happened.
+        function: String,
+        /// Block where the trap happened.
+        block: BlockId,
+    },
+    /// An access outside every allocation (e.g. unchecked BigOffset deref).
+    WildAccess {
+        /// Function where it happened.
+        function: String,
+        /// The wild address.
+        address: u64,
+    },
+    /// Instruction budget exhausted.
+    OutOfFuel,
+    /// Call depth exceeded.
+    StackOverflow,
+    /// Virtual dispatch failed (no such method, or a null method table was
+    /// read silently).
+    BadDispatch {
+        /// The method name.
+        method: String,
+    },
+    /// Entry function not found.
+    NoSuchFunction(String),
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::UnexpectedTrap { function, block } => {
+                write!(f, "unexpected hardware trap in {function}/{block} (unsound null check optimization)")
+            }
+            Fault::WildAccess { function, address } => {
+                write!(f, "wild memory access at {address:#x} in {function}")
+            }
+            Fault::OutOfFuel => write!(f, "instruction budget exhausted"),
+            Fault::StackOverflow => write!(f, "call depth exceeded"),
+            Fault::BadDispatch { method } => write!(f, "virtual dispatch of `{method}` failed"),
+            Fault::NoSuchFunction(n) => write!(f, "no function named `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+/// The observable outcome of a run: what equivalence checking compares.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Outcome {
+    /// The entry function's return value (`None` for void or when an
+    /// exception escaped).
+    pub result: Option<Value>,
+    /// The exception that escaped the entry function, if any.
+    pub exception: Option<ExceptionKind>,
+    /// Values observed via `observe` instructions, in order.
+    pub trace: Vec<Value>,
+    /// Execution statistics.
+    pub stats: RunStats,
+}
+
+impl Outcome {
+    /// Checks observational equivalence with another outcome (result,
+    /// escaped exception, and observation trace — statistics are expected
+    /// to differ).
+    ///
+    /// # Errors
+    /// Returns a description of the first difference.
+    pub fn assert_equivalent(&self, other: &Outcome) -> Result<(), String> {
+        if self.exception != other.exception {
+            return Err(format!(
+                "exception mismatch: {:?} vs {:?}",
+                self.exception, other.exception
+            ));
+        }
+        if self.result != other.result {
+            return Err(format!(
+                "result mismatch: {:?} vs {:?}",
+                self.result, other.result
+            ));
+        }
+        if self.trace != other.trace {
+            let i = self
+                .trace
+                .iter()
+                .zip(&other.trace)
+                .position(|(a, b)| a != b)
+                .unwrap_or(self.trace.len().min(other.trace.len()));
+            return Err(format!(
+                "trace mismatch at index {i}: {:?} vs {:?} (lengths {} vs {})",
+                self.trace.get(i),
+                other.trace.get(i),
+                self.trace.len(),
+                other.trace.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+enum BlockExit {
+    Jump(BlockId),
+    Return(Option<Value>),
+    Threw(ExceptionKind),
+}
+
+enum CallOutcome {
+    Return(Option<Value>),
+    Threw(ExceptionKind),
+}
+
+/// The interpreter.
+#[derive(Debug)]
+pub struct Vm<'m> {
+    module: &'m Module,
+    platform: Platform,
+    heap: Heap,
+    config: VmConfig,
+    stats: RunStats,
+    trace: Vec<Value>,
+}
+
+impl<'m> Vm<'m> {
+    /// Creates a VM for `module` on `platform` (the platform's trap model
+    /// governs the guarded memory).
+    pub fn new(module: &'m Module, platform: Platform) -> Self {
+        Vm {
+            module,
+            platform,
+            heap: Heap::new(GuardedMemory::new(platform.trap)),
+            config: VmConfig::default(),
+            stats: RunStats::default(),
+            trace: Vec::new(),
+        }
+    }
+
+    /// Overrides the default limits.
+    pub fn with_config(mut self, config: VmConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs `entry` with `args` and returns the outcome.
+    ///
+    /// # Errors
+    /// Returns a [`Fault`] for non-Java failures (compiler bugs, fuel,
+    /// stack overflow). Java exceptions escaping the entry function are a
+    /// *normal* outcome, recorded in [`Outcome::exception`].
+    pub fn run(mut self, entry: &str, args: &[Value]) -> Result<Outcome, Fault> {
+        let id = self
+            .module
+            .function_by_name(entry)
+            .ok_or_else(|| Fault::NoSuchFunction(entry.to_string()))?;
+        let outcome = self.call(id, args.to_vec(), 0)?;
+        let (result, exception) = match outcome {
+            CallOutcome::Return(v) => (v, None),
+            CallOutcome::Threw(e) => (None, Some(e)),
+        };
+        Ok(Outcome {
+            result,
+            exception,
+            trace: self.trace,
+            stats: self.stats,
+        })
+    }
+
+    fn charge(&mut self, cycles: u64) {
+        self.stats.cycles += cycles;
+    }
+
+    fn fuel(&mut self) -> Result<(), Fault> {
+        self.stats.insts += 1;
+        if self.stats.insts > self.config.max_insts {
+            Err(Fault::OutOfFuel)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn call(
+        &mut self,
+        id: FunctionId,
+        args: Vec<Value>,
+        depth: usize,
+    ) -> Result<CallOutcome, Fault> {
+        if depth > self.config.max_depth {
+            return Err(Fault::StackOverflow);
+        }
+        let func = self.module.function(id);
+        let mut locals: Vec<Value> = func
+            .var_types()
+            .iter()
+            .map(|&t| Value::default_of(t))
+            .collect();
+        debug_assert_eq!(args.len(), func.params().len(), "{}", func.name());
+        locals[..args.len()].copy_from_slice(&args);
+
+        let mut block_id = func.entry();
+        loop {
+            let exit = self.exec_block(func, block_id, &mut locals, depth)?;
+            match exit {
+                BlockExit::Jump(next) => block_id = next,
+                BlockExit::Return(v) => return Ok(CallOutcome::Return(v)),
+                BlockExit::Threw(kind) => {
+                    // Try-region dispatch.
+                    let region = func.block(block_id).try_region;
+                    if let Some(tr) = region {
+                        let r = func.try_region(tr);
+                        if r.catch.catches(kind) {
+                            self.charge(self.platform.cost.throw_dispatch);
+                            if let Some(dst) = r.exception_code_dst {
+                                locals[dst.index()] = Value::Int(kind.code());
+                            }
+                            block_id = r.handler;
+                            continue;
+                        }
+                    }
+                    return Ok(CallOutcome::Threw(kind));
+                }
+            }
+        }
+    }
+
+    fn exec_block(
+        &mut self,
+        func: &Function,
+        block_id: BlockId,
+        locals: &mut [Value],
+        depth: usize,
+    ) -> Result<BlockExit, Fault> {
+        let block = func.block(block_id);
+        for inst in &block.insts {
+            self.fuel()?;
+            if let Some(kind) = self.exec_inst(func, block_id, inst, locals, depth)? {
+                self.stats.exceptions_thrown += 1;
+                return Ok(BlockExit::Threw(kind));
+            }
+        }
+        self.fuel()?;
+        self.exec_terminator(func, block_id, locals)
+    }
+
+    fn exec_terminator(
+        &mut self,
+        func: &Function,
+        block_id: BlockId,
+        locals: &mut [Value],
+    ) -> Result<BlockExit, Fault> {
+        let cost = self.platform.cost;
+        match &func.block(block_id).term {
+            Terminator::Goto(t) => {
+                self.charge(cost.branch);
+                self.stats.branches += 1;
+                Ok(BlockExit::Jump(*t))
+            }
+            Terminator::If {
+                cond,
+                lhs,
+                rhs,
+                then_bb,
+                else_bb,
+            } => {
+                self.charge(cost.branch);
+                self.stats.branches += 1;
+                let l = locals[lhs.index()].as_int();
+                let r = locals[rhs.index()].as_int();
+                Ok(BlockExit::Jump(if cond.eval(l, r) {
+                    *then_bb
+                } else {
+                    *else_bb
+                }))
+            }
+            Terminator::IfNull {
+                var,
+                on_null,
+                on_nonnull,
+            } => {
+                self.charge(cost.branch);
+                self.stats.branches += 1;
+                Ok(BlockExit::Jump(if locals[var.index()].is_null() {
+                    *on_null
+                } else {
+                    *on_nonnull
+                }))
+            }
+            Terminator::Return(v) => {
+                self.charge(cost.branch);
+                Ok(BlockExit::Return(v.map(|v| locals[v.index()])))
+            }
+            Terminator::Throw(kind) => {
+                self.charge(cost.throw_dispatch);
+                self.stats.exceptions_thrown += 1;
+                Ok(BlockExit::Threw(*kind))
+            }
+        }
+    }
+
+    /// Executes one instruction; `Ok(Some(kind))` means it threw.
+    fn exec_inst(
+        &mut self,
+        func: &Function,
+        block_id: BlockId,
+        inst: &Inst,
+        locals: &mut [Value],
+        depth: usize,
+    ) -> Result<Option<ExceptionKind>, Fault> {
+        let cost = self.platform.cost;
+        match inst {
+            Inst::Const { dst, value } => {
+                self.charge(cost.int_alu);
+                locals[dst.index()] = match value {
+                    njc_ir::ConstValue::Int(v) => Value::Int(*v),
+                    njc_ir::ConstValue::Float(v) => Value::Float(*v),
+                    njc_ir::ConstValue::Null => Value::Ref(0),
+                };
+            }
+            Inst::Move { dst, src } => {
+                self.charge(cost.int_alu);
+                locals[dst.index()] = locals[src.index()];
+            }
+            Inst::BinOp {
+                dst,
+                op,
+                lhs,
+                rhs,
+                ty,
+            } => match ty {
+                Type::Int => {
+                    let l = locals[lhs.index()].as_int();
+                    let r = locals[rhs.index()].as_int();
+                    let v = match op {
+                        Op::Add => {
+                            self.charge(cost.int_alu);
+                            l.wrapping_add(r)
+                        }
+                        Op::Sub => {
+                            self.charge(cost.int_alu);
+                            l.wrapping_sub(r)
+                        }
+                        Op::Mul => {
+                            self.charge(cost.int_mul);
+                            l.wrapping_mul(r)
+                        }
+                        Op::Div | Op::Rem => {
+                            self.charge(cost.int_div);
+                            if r == 0 {
+                                self.charge(cost.throw_dispatch);
+                                return Ok(Some(ExceptionKind::Arithmetic));
+                            }
+                            if l == i64::MIN && r == -1 {
+                                if *op == Op::Div {
+                                    l
+                                } else {
+                                    0
+                                }
+                            } else if *op == Op::Div {
+                                l / r
+                            } else {
+                                l % r
+                            }
+                        }
+                        Op::And => {
+                            self.charge(cost.int_alu);
+                            l & r
+                        }
+                        Op::Or => {
+                            self.charge(cost.int_alu);
+                            l | r
+                        }
+                        Op::Xor => {
+                            self.charge(cost.int_alu);
+                            l ^ r
+                        }
+                        Op::Shl => {
+                            self.charge(cost.int_alu);
+                            l.wrapping_shl(r as u32 & 63)
+                        }
+                        Op::Shr => {
+                            self.charge(cost.int_alu);
+                            l.wrapping_shr(r as u32 & 63)
+                        }
+                        Op::Ushr => {
+                            self.charge(cost.int_alu);
+                            ((l as u64).wrapping_shr(r as u32 & 63)) as i64
+                        }
+                    };
+                    locals[dst.index()] = Value::Int(v);
+                }
+                Type::Float => {
+                    let l = locals[lhs.index()].as_float();
+                    let r = locals[rhs.index()].as_float();
+                    let v = match op {
+                        Op::Add => {
+                            self.charge(cost.float_alu);
+                            l + r
+                        }
+                        Op::Sub => {
+                            self.charge(cost.float_alu);
+                            l - r
+                        }
+                        Op::Mul => {
+                            self.charge(cost.float_alu);
+                            l * r
+                        }
+                        Op::Div => {
+                            self.charge(cost.float_div);
+                            l / r
+                        }
+                        Op::Rem => {
+                            self.charge(cost.float_div);
+                            l % r
+                        }
+                        other => panic!("operator {other:?} not defined on floats"),
+                    };
+                    locals[dst.index()] = Value::Float(v);
+                }
+                Type::Ref => panic!("binop over refs is unverifiable"),
+            },
+            Inst::Neg { dst, src, ty } => {
+                self.charge(cost.int_alu);
+                locals[dst.index()] = match ty {
+                    Type::Int => Value::Int(locals[src.index()].as_int().wrapping_neg()),
+                    Type::Float => Value::Float(-locals[src.index()].as_float()),
+                    Type::Ref => panic!("neg over ref"),
+                };
+            }
+            Inst::Convert { dst, src, to } => {
+                self.charge(cost.float_alu);
+                locals[dst.index()] = match (locals[src.index()], to) {
+                    (Value::Int(v), Type::Float) => Value::Float(v as f64),
+                    (Value::Float(v), Type::Int) => Value::Int(v as i64),
+                    (v, Type::Int) => Value::Int(v.as_int()),
+                    (v, Type::Float) => Value::Float(v.as_float()),
+                    (_, Type::Ref) => panic!("convert to ref"),
+                };
+            }
+            Inst::FCmp {
+                dst,
+                cond,
+                lhs,
+                rhs,
+            } => {
+                self.charge(cost.float_alu);
+                let l = locals[lhs.index()].as_float();
+                let r = locals[rhs.index()].as_float();
+                let b = match cond {
+                    njc_ir::Cond::Eq => l == r,
+                    njc_ir::Cond::Ne => l != r,
+                    njc_ir::Cond::Lt => l < r,
+                    njc_ir::Cond::Le => l <= r,
+                    njc_ir::Cond::Gt => l > r,
+                    njc_ir::Cond::Ge => l >= r,
+                };
+                locals[dst.index()] = Value::Int(b as i64);
+            }
+            Inst::NullCheck { var, kind } => match kind {
+                NullCheckKind::Explicit => {
+                    self.charge(cost.explicit_null_check);
+                    self.stats.explicit_null_checks += 1;
+                    if locals[var.index()].is_null() {
+                        self.charge(cost.throw_dispatch);
+                        return Ok(Some(ExceptionKind::NullPointer));
+                    }
+                }
+                NullCheckKind::Implicit => {
+                    // Documentation-only: the following marked site is the
+                    // real check. No code, no cost.
+                }
+            },
+            Inst::BoundCheck { index, length } => {
+                self.charge(cost.bound_check);
+                self.stats.bound_checks += 1;
+                let i = locals[index.index()].as_int();
+                let l = locals[length.index()].as_int();
+                if i < 0 || i >= l {
+                    self.charge(cost.throw_dispatch);
+                    return Ok(Some(ExceptionKind::ArrayIndex));
+                }
+            }
+            Inst::GetField {
+                dst,
+                obj,
+                field,
+                exception_site,
+            } => {
+                self.charge(cost.load);
+                self.stats.loads += 1;
+                if *exception_site {
+                    self.stats.implicit_site_hits += 1;
+                }
+                let base = locals[obj.index()].as_ref_addr();
+                let fd = self.module.field_decl(*field);
+                let addr = base.wrapping_add(fd.offset);
+                match self.mem_read(func, block_id, addr, *exception_site)? {
+                    Ok(bits) => locals[dst.index()] = Value::from_bits(bits, fd.ty),
+                    Err(kind) => return Ok(Some(kind)),
+                }
+            }
+            Inst::PutField {
+                obj,
+                field,
+                value,
+                exception_site,
+            } => {
+                self.charge(cost.store);
+                self.stats.stores += 1;
+                if *exception_site {
+                    self.stats.implicit_site_hits += 1;
+                }
+                let base = locals[obj.index()].as_ref_addr();
+                let fd = self.module.field_decl(*field);
+                let addr = base.wrapping_add(fd.offset);
+                let bits = locals[value.index()].to_bits();
+                if let Err(kind) = self.mem_write(func, block_id, addr, bits, *exception_site)? {
+                    return Ok(Some(kind));
+                }
+            }
+            Inst::ArrayLength {
+                dst,
+                arr,
+                exception_site,
+            } => {
+                self.charge(cost.load);
+                self.stats.loads += 1;
+                if *exception_site {
+                    self.stats.implicit_site_hits += 1;
+                }
+                let base = locals[arr.index()].as_ref_addr();
+                match self.mem_read(func, block_id, base, *exception_site)? {
+                    Ok(bits) => locals[dst.index()] = Value::Int(bits as i64),
+                    Err(kind) => return Ok(Some(kind)),
+                }
+            }
+            Inst::ArrayLoad {
+                dst,
+                arr,
+                index,
+                ty,
+                exception_site,
+            } => {
+                self.charge(cost.load);
+                self.stats.loads += 1;
+                if *exception_site {
+                    self.stats.implicit_site_hits += 1;
+                }
+                let base = locals[arr.index()].as_ref_addr();
+                let i = locals[index.index()].as_int();
+                let addr = Heap::element_addr(base, i);
+                match self.mem_read(func, block_id, addr, *exception_site)? {
+                    Ok(bits) => locals[dst.index()] = Value::from_bits(bits, *ty),
+                    Err(kind) => return Ok(Some(kind)),
+                }
+            }
+            Inst::ArrayStore {
+                arr,
+                index,
+                value,
+                exception_site,
+                ..
+            } => {
+                self.charge(cost.store);
+                self.stats.stores += 1;
+                if *exception_site {
+                    self.stats.implicit_site_hits += 1;
+                }
+                let base = locals[arr.index()].as_ref_addr();
+                let i = locals[index.index()].as_int();
+                let addr = Heap::element_addr(base, i);
+                let bits = locals[value.index()].to_bits();
+                if let Err(kind) = self.mem_write(func, block_id, addr, bits, *exception_site)? {
+                    return Ok(Some(kind));
+                }
+            }
+            Inst::New { dst, class } => {
+                let slots = Heap::object_slots(self.module, *class);
+                self.charge(cost.alloc_base + cost.alloc_per_slot * slots);
+                self.stats.allocations += 1;
+                let addr = self.heap.alloc_object(self.module, *class);
+                locals[dst.index()] = Value::Ref(addr);
+            }
+            Inst::NewArray { dst, elem, len } => {
+                let l = locals[len.index()].as_int();
+                if l < 0 {
+                    self.charge(cost.throw_dispatch);
+                    return Ok(Some(ExceptionKind::NegativeArraySize));
+                }
+                self.charge(cost.alloc_base + cost.alloc_per_slot * l as u64);
+                self.stats.allocations += 1;
+                let addr = self.heap.alloc_array(*elem, l as u64);
+                locals[dst.index()] = Value::Ref(addr);
+            }
+            Inst::Call {
+                dst,
+                target,
+                receiver,
+                args,
+                exception_site,
+            } => {
+                self.stats.calls += 1;
+                let callee = match target {
+                    CallTarget::Static(f) | CallTarget::Direct(f) => {
+                        self.charge(cost.call_overhead);
+                        *f
+                    }
+                    CallTarget::Virtual { method, .. } => {
+                        self.charge(cost.call_overhead + cost.virtual_dispatch);
+                        if *exception_site {
+                            self.stats.implicit_site_hits += 1;
+                        }
+                        // Dispatch reads the object header at offset 0.
+                        self.stats.loads += 1;
+                        let base =
+                            locals[receiver.expect("virtual call receiver").index()].as_ref_addr();
+                        match self.mem_read(func, block_id, base, *exception_site)? {
+                            Err(kind) => return Ok(Some(kind)),
+                            Ok(bits) => {
+                                if bits == 0 {
+                                    // A silently-read null method table: the
+                                    // jump goes into the weeds.
+                                    return Err(Fault::BadDispatch {
+                                        method: method.clone(),
+                                    });
+                                }
+                                let class = njc_ir::ClassId::new((bits - 1) as usize);
+                                self.module.resolve_virtual(class, method).ok_or_else(|| {
+                                    Fault::BadDispatch {
+                                        method: method.clone(),
+                                    }
+                                })?
+                            }
+                        }
+                    }
+                };
+                let mut actuals: Vec<Value> = Vec::with_capacity(args.len() + 1);
+                if let Some(r) = receiver {
+                    actuals.push(locals[r.index()]);
+                }
+                actuals.extend(args.iter().map(|a| locals[a.index()]));
+                match self.call(callee, actuals, depth + 1)? {
+                    CallOutcome::Return(v) => {
+                        if let (Some(d), Some(v)) = (dst, v) {
+                            locals[d.index()] = v;
+                        }
+                    }
+                    CallOutcome::Threw(kind) => return Ok(Some(kind)),
+                }
+            }
+            Inst::IntrinsicOp {
+                dst,
+                intrinsic,
+                src,
+            } => {
+                // §5.4: a hardware instruction on platforms that have it,
+                // an out-of-line library routine otherwise.
+                self.charge(if self.platform.has_fp_intrinsics {
+                    cost.intrinsic
+                } else {
+                    cost.math_library_call
+                });
+                let x = locals[src.index()].as_float();
+                locals[dst.index()] = Value::Float(intrinsic.apply(x));
+            }
+            Inst::Observe { var } => {
+                self.charge(cost.observe);
+                self.trace.push(locals[var.index()]);
+            }
+        }
+        let _ = VarId::new(0);
+        Ok(None)
+    }
+
+    /// A guarded read; `Ok(Err(kind))` is a Java exception, `Err(fault)` a
+    /// broken program.
+    fn mem_read(
+        &mut self,
+        func: &Function,
+        block_id: BlockId,
+        addr: u64,
+        site: bool,
+    ) -> Result<Result<u64, ExceptionKind>, Fault> {
+        match self.heap.mem.read_u64(addr) {
+            Ok(out) => {
+                if out.from_guard {
+                    self.stats.silent_null_reads += 1;
+                    if site {
+                        // The hardware was supposed to trap here but this
+                        // platform does not trap reads: the NPE is missed.
+                        self.stats.missed_npes += 1;
+                    }
+                    Ok(Ok(0))
+                } else {
+                    Ok(Ok(out.value))
+                }
+            }
+            Err(MemoryError::Trap(_)) => {
+                self.stats.traps_taken += 1;
+                if site {
+                    self.charge(self.platform.cost.trap_taken);
+                    Ok(Err(ExceptionKind::NullPointer))
+                } else {
+                    Err(Fault::UnexpectedTrap {
+                        function: func.name().to_string(),
+                        block: block_id,
+                    })
+                }
+            }
+            Err(MemoryError::WildAccess { address, .. }) => Err(Fault::WildAccess {
+                function: func.name().to_string(),
+                address,
+            }),
+        }
+    }
+
+    fn mem_write(
+        &mut self,
+        func: &Function,
+        block_id: BlockId,
+        addr: u64,
+        bits: u64,
+        site: bool,
+    ) -> Result<Result<(), ExceptionKind>, Fault> {
+        match self.heap.mem.write_u64(addr, bits) {
+            Ok(()) => {
+                // A discarded guard write only happens on models that trap
+                // neither reads nor writes; treat like the silent read.
+                Ok(Ok(()))
+            }
+            Err(MemoryError::Trap(_)) => {
+                self.stats.traps_taken += 1;
+                if site {
+                    self.charge(self.platform.cost.trap_taken);
+                    Ok(Err(ExceptionKind::NullPointer))
+                } else {
+                    Err(Fault::UnexpectedTrap {
+                        function: func.name().to_string(),
+                        block: block_id,
+                    })
+                }
+            }
+            Err(MemoryError::WildAccess { address, .. }) => Err(Fault::WildAccess {
+                function: func.name().to_string(),
+                address,
+            }),
+        }
+    }
+}
+
+/// Convenience: builds a VM and runs `entry`.
+///
+/// # Errors
+/// See [`Vm::run`].
+pub fn run_module(
+    module: &Module,
+    platform: Platform,
+    entry: &str,
+    args: &[Value],
+) -> Result<Outcome, Fault> {
+    Vm::new(module, platform).run(entry, args)
+}

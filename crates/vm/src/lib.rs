@@ -1,0 +1,344 @@
+//! # njc-vm — costed interpreter with simulated hardware traps
+//!
+//! Runs the IR on the [`njc_trap`] guarded memory under an
+//! [`njc_arch::Platform`] cost model, enforcing Java's precise exception
+//! semantics. The VM is both the *measurement* substrate (cycles, explicit
+//! checks, traps — the raw data behind every table of the paper) and the
+//! *correctness oracle*: optimized and unoptimized programs are compared
+//! for observational equivalence ([`Outcome::assert_equivalent`]), and an
+//! unsoundly moved null check surfaces as a [`Fault`].
+//!
+//! ```
+//! use njc_arch::Platform;
+//! use njc_ir::{parse_function, Module, Type};
+//! use njc_vm::{run_module, Value};
+//!
+//! let mut module = Module::new("demo");
+//! module.add_class("C", &[("x", Type::Int)]);
+//! module.add_function(parse_function(
+//!     "func main() -> int {\n  locals v0: ref v1: int v2: int\nbb0:\n  v0 = new class0\n  v1 = const 41\n  putfield v0, field0, v1\n  nullcheck v0\n  v2 = getfield v0, field0\n  v2 = add.int v2, v2\n  return v2\n}",
+//! ).unwrap());
+//! let out = run_module(&module, Platform::windows_ia32(), "main", &[]).unwrap();
+//! assert_eq!(out.result, Some(Value::Int(82)));
+//! ```
+
+pub mod heap;
+pub mod interp;
+pub mod value;
+
+pub use heap::Heap;
+pub use interp::{run_module, Fault, Outcome, RunStats, Vm, VmConfig};
+pub use value::Value;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use njc_arch::Platform;
+    use njc_ir::{parse_function, ExceptionKind, Module, Type};
+
+    fn module_with(src: &str) -> Module {
+        let mut m = Module::new("t");
+        m.add_class("C", &[("x", Type::Int), ("y", Type::Int)]);
+        m.add_class_with_offsets("Big", &[("far", Type::Int, 1 << 20)]);
+        m.add_function(parse_function(src).unwrap());
+        m
+    }
+
+    fn win() -> Platform {
+        Platform::windows_ia32()
+    }
+
+    #[test]
+    fn arithmetic_and_branches() {
+        let m = module_with(
+            "func main(v0: int) -> int {\n  locals v1: int v2: int\nbb0:\n  v1 = const 10\n  if lt v0, v1 then bb1 else bb2\nbb1:\n  v2 = add.int v0, v1\n  return v2\nbb2:\n  v2 = mul.int v0, v1\n  return v2\n}",
+        );
+        let out = run_module(&m, win(), "main", &[Value::Int(3)]).unwrap();
+        assert_eq!(out.result, Some(Value::Int(13)));
+        let out = run_module(&m, win(), "main", &[Value::Int(30)]).unwrap();
+        assert_eq!(out.result, Some(Value::Int(300)));
+    }
+
+    #[test]
+    fn field_round_trip_and_costs() {
+        let m = module_with(
+            "func main() -> int {\n  locals v0: ref v1: int v2: int\nbb0:\n  v0 = new class0\n  v1 = const 7\n  nullcheck v0\n  putfield v0, field0, v1\n  nullcheck v0\n  v2 = getfield v0, field0\n  return v2\n}",
+        );
+        let out = run_module(&m, win(), "main", &[]).unwrap();
+        assert_eq!(out.result, Some(Value::Int(7)));
+        assert_eq!(out.stats.explicit_null_checks, 2);
+        assert_eq!(out.stats.loads, 1);
+        assert_eq!(out.stats.stores, 1);
+        assert!(out.stats.cycles > 0);
+    }
+
+    #[test]
+    fn explicit_check_throws_npe_on_null() {
+        let m = module_with(
+            "func main(v0: ref) -> int {\n  locals v1: int\nbb0:\n  nullcheck v0\n  v1 = getfield v0, field0\n  return v1\n}",
+        );
+        let out = run_module(&m, win(), "main", &[Value::Ref(0)]).unwrap();
+        assert_eq!(out.exception, Some(ExceptionKind::NullPointer));
+        assert_eq!(out.result, None);
+        assert_eq!(out.stats.traps_taken, 0, "software check, no trap");
+    }
+
+    #[test]
+    fn marked_site_takes_hardware_trap() {
+        let m = module_with(
+            "func main(v0: ref) -> int {\n  locals v1: int\nbb0:\n  v1 = getfield v0, field0 [site]\n  return v1\n}",
+        );
+        let out = run_module(&m, win(), "main", &[Value::Ref(0)]).unwrap();
+        assert_eq!(out.exception, Some(ExceptionKind::NullPointer));
+        assert_eq!(out.stats.traps_taken, 1);
+        assert_eq!(out.stats.explicit_null_checks, 0);
+    }
+
+    #[test]
+    fn unmarked_null_deref_is_a_fault() {
+        let m = module_with(
+            "func main(v0: ref) -> int {\n  locals v1: int\nbb0:\n  v1 = getfield v0, field0\n  return v1\n}",
+        );
+        let err = run_module(&m, win(), "main", &[Value::Ref(0)]).unwrap_err();
+        assert!(matches!(err, Fault::UnexpectedTrap { .. }), "{err}");
+    }
+
+    #[test]
+    fn aix_silent_read_misses_npe_at_marked_site() {
+        // The §5.4 Illegal Implicit effect: a marked read on AIX does not
+        // trap; execution continues with garbage zero.
+        let m = module_with(
+            "func main(v0: ref) -> int {\n  locals v1: int\nbb0:\n  v1 = getfield v0, field0 [site]\n  return v1\n}",
+        );
+        let out = run_module(&m, Platform::aix_ppc(), "main", &[Value::Ref(0)]).unwrap();
+        assert_eq!(out.exception, None, "NPE silently missed");
+        assert_eq!(out.result, Some(Value::Int(0)), "garbage zero");
+        assert_eq!(out.stats.missed_npes, 1);
+    }
+
+    #[test]
+    fn aix_marked_write_traps() {
+        let m = module_with(
+            "func main(v0: ref, v1: int) -> int {\nbb0:\n  putfield v0, field0, v1 [site]\n  return v1\n}",
+        );
+        let out = run_module(
+            &m,
+            Platform::aix_ppc(),
+            "main",
+            &[Value::Ref(0), Value::Int(1)],
+        )
+        .unwrap();
+        assert_eq!(out.exception, Some(ExceptionKind::NullPointer));
+        assert_eq!(out.stats.traps_taken, 1);
+    }
+
+    #[test]
+    fn big_offset_null_deref_is_wild() {
+        let m = module_with(
+            "func main(v0: ref) -> int {\n  locals v1: int\nbb0:\n  v1 = getfield v0, field2 [site]\n  return v1\n}",
+        );
+        let err = run_module(&m, win(), "main", &[Value::Ref(0)]).unwrap_err();
+        assert!(matches!(err, Fault::WildAccess { .. }), "{err}");
+    }
+
+    #[test]
+    fn arrays_allocate_load_store() {
+        let m = module_with(
+            "func main() -> int {\n  locals v0: int v1: ref v2: int v3: int v4: int v5: int\nbb0:\n  v0 = const 4\n  v1 = newarray int, v0\n  v2 = const 2\n  v3 = const 99\n  nullcheck v1\n  v4 = arraylength v1\n  boundcheck v2, v4\n  astore.int v1[v2], v3\n  nullcheck v1\n  v4 = arraylength v1\n  boundcheck v2, v4\n  v5 = aload.int v1[v2]\n  return v5\n}",
+        );
+        let out = run_module(&m, win(), "main", &[]).unwrap();
+        assert_eq!(out.result, Some(Value::Int(99)));
+        assert_eq!(out.stats.allocations, 1);
+    }
+
+    #[test]
+    fn bound_check_throws_aioobe() {
+        let m = module_with(
+            "func main(v0: int) -> int {\n  locals v1: int v2: ref v3: int v4: int\nbb0:\n  v1 = const 3\n  v2 = newarray int, v1\n  nullcheck v2\n  v3 = arraylength v2\n  boundcheck v0, v3\n  v4 = aload.int v2[v0]\n  return v4\n}",
+        );
+        let out = run_module(&m, win(), "main", &[Value::Int(5)]).unwrap();
+        assert_eq!(out.exception, Some(ExceptionKind::ArrayIndex));
+        let out = run_module(&m, win(), "main", &[Value::Int(-1)]).unwrap();
+        assert_eq!(out.exception, Some(ExceptionKind::ArrayIndex));
+        let out = run_module(&m, win(), "main", &[Value::Int(2)]).unwrap();
+        assert_eq!(out.result, Some(Value::Int(0)));
+    }
+
+    #[test]
+    fn division_by_zero_throws() {
+        let m = module_with(
+            "func main(v0: int) -> int {\n  locals v1: int v2: int\nbb0:\n  v1 = const 0\n  v2 = div.int v0, v1\n  return v2\n}",
+        );
+        let out = run_module(&m, win(), "main", &[Value::Int(9)]).unwrap();
+        assert_eq!(out.exception, Some(ExceptionKind::Arithmetic));
+    }
+
+    #[test]
+    fn try_region_catches_and_delivers_code() {
+        let m = module_with(
+            "func main(v0: ref) -> int {\n  locals v1: int v2: int\n  try0: handler bb1 catch npe -> v2\nbb0: [try0]\n  nullcheck v0\n  v1 = getfield v0, field0\n  return v1\nbb1:\n  return v2\n}",
+        );
+        let out = run_module(&m, win(), "main", &[Value::Ref(0)]).unwrap();
+        assert_eq!(out.exception, None);
+        assert_eq!(
+            out.result,
+            Some(Value::Int(ExceptionKind::NullPointer.code()))
+        );
+    }
+
+    #[test]
+    fn uncaught_kind_propagates_past_handler() {
+        let m = module_with(
+            "func main(v0: int) -> int {\n  locals v1: int v2: int\n  try0: handler bb1 catch npe -> v2\nbb0: [try0]\n  v1 = const 0\n  v1 = div.int v0, v1\n  return v1\nbb1:\n  return v2\n}",
+        );
+        let out = run_module(&m, win(), "main", &[Value::Int(1)]).unwrap();
+        assert_eq!(out.exception, Some(ExceptionKind::Arithmetic));
+    }
+
+    #[test]
+    fn throw_terminator_and_user_catch() {
+        let m = module_with(
+            "func main() -> int {\n  locals v0: int\n  try0: handler bb1 catch user 7 -> v0\nbb0: [try0]\n  throw user 7\nbb1:\n  return v0\n}",
+        );
+        let out = run_module(&m, win(), "main", &[]).unwrap();
+        assert_eq!(out.result, Some(Value::Int(7)));
+    }
+
+    #[test]
+    fn calls_static_and_observe_trace() {
+        let mut m = Module::new("t");
+        m.add_function(
+            parse_function("func helper(v0: int) -> int {\n  locals v1: int\nbb0:\n  v1 = add.int v0, v0\n  return v1\n}").unwrap(),
+        );
+        m.add_function(
+            parse_function("func main(v0: int) -> int {\n  locals v1: int\nbb0:\n  observe v0\n  v1 = call fn0(v0)\n  observe v1\n  return v1\n}").unwrap(),
+        );
+        let out = run_module(&m, win(), "main", &[Value::Int(5)]).unwrap();
+        assert_eq!(out.result, Some(Value::Int(10)));
+        assert_eq!(out.trace, vec![Value::Int(5), Value::Int(10)]);
+        assert_eq!(out.stats.calls, 1);
+    }
+
+    #[test]
+    fn virtual_dispatch_selects_dynamic_class() {
+        let mut m = Module::new("t");
+        let a = m.add_class("A", &[]);
+        let b = m.add_class("B", &[]);
+        m.add_method(
+            a,
+            "get",
+            parse_function("func A_get(v0: ref) -> int instance {\n  locals v1: int\nbb0:\n  v1 = const 1\n  return v1\n}").unwrap(),
+        );
+        m.add_method(
+            b,
+            "get",
+            parse_function("func B_get(v0: ref) -> int instance {\n  locals v1: int\nbb0:\n  v1 = const 2\n  return v1\n}").unwrap(),
+        );
+        m.add_function(
+            parse_function(
+                "func main(v0: int) -> int {\n  locals v1: ref v2: int v3: int\nbb0:\n  if eq v0, v0 then bb1 else bb1\nbb1:\n  v1 = new class1\n  nullcheck v1\n  v2 = vcall class0.get(v1;)\n  return v2\n}",
+            )
+            .unwrap(),
+        );
+        let out = run_module(&m, win(), "main", &[Value::Int(0)]).unwrap();
+        assert_eq!(
+            out.result,
+            Some(Value::Int(2)),
+            "dispatches on dynamic class B"
+        );
+    }
+
+    #[test]
+    fn virtual_call_on_null_with_site_throws() {
+        let mut m = Module::new("t");
+        let a = m.add_class("A", &[]);
+        m.add_method(
+            a,
+            "get",
+            parse_function("func A_get(v0: ref) -> int instance {\n  locals v1: int\nbb0:\n  v1 = const 1\n  return v1\n}").unwrap(),
+        );
+        m.add_function(
+            parse_function(
+                "func main(v0: ref) -> int {\n  locals v1: int\nbb0:\n  v1 = vcall class0.get(v0;) [site]\n  return v1\n}",
+            )
+            .unwrap(),
+        );
+        let out = run_module(&m, win(), "main", &[Value::Ref(0)]).unwrap();
+        assert_eq!(out.exception, Some(ExceptionKind::NullPointer));
+        assert_eq!(out.stats.traps_taken, 1);
+    }
+
+    #[test]
+    fn fuel_limit_stops_infinite_loop() {
+        let m = module_with("func main() -> int {\n  locals v0: int\nbb0:\n  goto bb0\n}");
+        let err = Vm::new(&m, win())
+            .with_config(VmConfig {
+                max_insts: 1000,
+                max_depth: 16,
+            })
+            .run("main", &[])
+            .unwrap_err();
+        assert_eq!(err, Fault::OutOfFuel);
+    }
+
+    #[test]
+    fn stack_overflow_detected() {
+        let mut m = Module::new("t");
+        m.add_function(
+            parse_function("func r(v0: int) -> int {\n  locals v1: int\nbb0:\n  v1 = call fn0(v0)\n  return v1\n}").unwrap(),
+        );
+        let err = run_module(&m, win(), "r", &[Value::Int(0)]).unwrap_err();
+        assert_eq!(err, Fault::StackOverflow);
+    }
+
+    #[test]
+    fn negative_array_size_throws() {
+        let m = module_with(
+            "func main() -> int {\n  locals v0: int v1: ref\nbb0:\n  v0 = const -1\n  v1 = newarray int, v0\n  return v0\n}",
+        );
+        let out = run_module(&m, win(), "main", &[]).unwrap();
+        assert_eq!(out.exception, Some(ExceptionKind::NegativeArraySize));
+    }
+
+    #[test]
+    fn intrinsic_costs_differ_by_platform() {
+        let m = module_with(
+            "func main(v0: float) -> float {\n  locals v1: float\nbb0:\n  v1 = intrinsic exp v0\n  return v1\n}",
+        );
+        let out_win = run_module(&m, win(), "main", &[Value::Float(0.0)]).unwrap();
+        let out_ppc = run_module(&m, Platform::aix_ppc(), "main", &[Value::Float(0.0)]).unwrap();
+        assert_eq!(out_win.result, Some(Value::Float(1.0)));
+        assert_eq!(out_ppc.result, Some(Value::Float(1.0)));
+        assert!(
+            out_ppc.stats.cycles > out_win.stats.cycles,
+            "library call beats intrinsic: {} vs {}",
+            out_ppc.stats.cycles,
+            out_win.stats.cycles
+        );
+    }
+
+    #[test]
+    fn outcome_equivalence_detects_trace_difference() {
+        let a = Outcome {
+            result: Some(Value::Int(1)),
+            exception: None,
+            trace: vec![Value::Int(1), Value::Int(2)],
+            stats: RunStats::default(),
+        };
+        let mut b = a.clone();
+        assert!(a.assert_equivalent(&b).is_ok());
+        b.trace[1] = Value::Int(3);
+        let err = a.assert_equivalent(&b).unwrap_err();
+        assert!(err.contains("trace mismatch at index 1"), "{err}");
+    }
+
+    #[test]
+    fn implicit_check_instruction_is_free_documentation() {
+        let m = module_with(
+            "func main(v0: ref) -> int {\n  locals v1: int\nbb0:\n  nullcheck! v0\n  v1 = getfield v0, field0 [site]\n  return v1\n}",
+        );
+        let out = run_module(&m, win(), "main", &[Value::Ref(0)]).unwrap();
+        assert_eq!(out.exception, Some(ExceptionKind::NullPointer));
+        assert_eq!(out.stats.explicit_null_checks, 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! # njc-workloads — benchmark programs in the njc IR
+//!
+//! Reproductions of the access patterns of the paper's two benchmark
+//! suites, hand-written against the IR builder:
+//!
+//! * [`jbm`] — the ten jBYTEmark v0.9 kernels (Table 1 / Figures 8, 10, 14):
+//!   Numeric Sort, String Sort, Bitfield, FP Emulation, Fourier,
+//!   Assignment, IDEA encryption, Huffman Compression, Neural Net,
+//!   LU Decomposition.
+//! * [`spec`] — the seven SPECjvm98 programs (Table 2 / Figures 9, 11, 15):
+//!   mtrt, jess, compress, db, mpegaudio, jack, javac.
+//! * [`micro`] — the paper's figure examples (Figures 1/7, 3, 4, 6, the
+//!   BigOffset case of Figure 5), plus a null-seeded program whose
+//!   NullPointerException paths actually execute — the correctness
+//!   oracle's worst case.
+//!
+//! Each workload is a self-contained [`njc_ir::Module`] whose `main`
+//! returns an `int` checksum and `observe`s intermediate values, so
+//! optimized and unoptimized runs can be compared for observational
+//! equivalence. See DESIGN.md §5 for the substitution rationale (the
+//! original Java sources are not reproducible here; what the null check
+//! optimizations see is the *pattern* of object/array accesses, loop
+//! structure, and call structure, which these kernels preserve).
+
+pub mod jbm;
+pub mod math;
+pub mod micro;
+pub mod spec;
+
+use njc_ir::Module;
+
+/// Which suite a workload belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Suite {
+    /// jBYTEmark v0.9 (index; larger is better).
+    JByteMark,
+    /// SPECjvm98 (seconds; smaller is better).
+    SpecJvm98,
+    /// Paper figure micro-examples.
+    Micro,
+}
+
+/// A benchmark workload.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Display name, matching the paper's table column.
+    pub name: &'static str,
+    /// Suite membership.
+    pub suite: Suite,
+    /// The program.
+    pub module: Module,
+    /// Entry function (always takes no arguments, returns an int checksum).
+    pub entry: &'static str,
+    /// Abstract work units: the index computations scale by this so that
+    /// kernels of different sizes produce comparable numbers.
+    pub work_units: u64,
+}
+
+impl Workload {
+    fn new(name: &'static str, suite: Suite, module: Module, work_units: u64) -> Self {
+        Workload {
+            name,
+            suite,
+            module,
+            entry: "main",
+            work_units,
+        }
+    }
+}
+
+/// The ten jBYTEmark kernels, in the paper's Table 1 column order.
+pub fn jbytemark() -> Vec<Workload> {
+    vec![
+        Workload::new("Numeric Sort", Suite::JByteMark, jbm::numeric_sort(), 300),
+        Workload::new("String Sort", Suite::JByteMark, jbm::string_sort(), 120),
+        Workload::new("Bitfield", Suite::JByteMark, jbm::bitfield(), 4000),
+        Workload::new("FP Emulation", Suite::JByteMark, jbm::fp_emulation(), 1500),
+        Workload::new("Fourier", Suite::JByteMark, jbm::fourier(), 60),
+        Workload::new("Assignment", Suite::JByteMark, jbm::assignment(), 24),
+        Workload::new("IDEA encryption", Suite::JByteMark, jbm::idea(), 800),
+        Workload::new(
+            "Huffman Compression",
+            Suite::JByteMark,
+            jbm::huffman(),
+            2500,
+        ),
+        Workload::new("Neural Net", Suite::JByteMark, jbm::neural_net(), 40),
+        Workload::new("LU Decomposition", Suite::JByteMark, jbm::lu(), 20),
+    ]
+}
+
+/// The seven SPECjvm98 programs, in the paper's Table 2 column order.
+pub fn specjvm98() -> Vec<Workload> {
+    vec![
+        Workload::new("mtrt", Suite::SpecJvm98, spec::mtrt(), 900),
+        Workload::new("jess", Suite::SpecJvm98, spec::jess(), 700),
+        Workload::new("compress", Suite::SpecJvm98, spec::compress(), 4000),
+        Workload::new("db", Suite::SpecJvm98, spec::db(), 300),
+        Workload::new("mpegaudio", Suite::SpecJvm98, spec::mpegaudio(), 500),
+        Workload::new("jack", Suite::SpecJvm98, spec::jack(), 2000),
+        Workload::new("javac", Suite::SpecJvm98, spec::javac(), 400),
+    ]
+}
+
+/// Every macro workload (both suites).
+pub fn all() -> Vec<Workload> {
+    let mut v = jbytemark();
+    v.extend(specjvm98());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_workloads_verify() {
+        for w in all() {
+            njc_ir::verify_module(&w.module).unwrap_or_else(|e| {
+                panic!("{} failed to verify: {:?}", w.name, &e[..3.min(e.len())])
+            });
+        }
+    }
+
+    #[test]
+    fn suites_have_paper_cardinalities() {
+        assert_eq!(jbytemark().len(), 10);
+        assert_eq!(specjvm98().len(), 7);
+        assert_eq!(all().len(), 17);
+    }
+
+    #[test]
+    fn entry_points_exist_and_return_int() {
+        for w in all() {
+            let id = w
+                .module
+                .function_by_name(w.entry)
+                .unwrap_or_else(|| panic!("{} lacks entry {}", w.name, w.entry));
+            let f = w.module.function(id);
+            assert_eq!(f.params().len(), 0, "{}", w.name);
+            assert_eq!(f.return_type(), Some(njc_ir::Type::Int), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn names_match_paper_columns() {
+        let names: Vec<&str> = jbytemark().iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            [
+                "Numeric Sort",
+                "String Sort",
+                "Bitfield",
+                "FP Emulation",
+                "Fourier",
+                "Assignment",
+                "IDEA encryption",
+                "Huffman Compression",
+                "Neural Net",
+                "LU Decomposition"
+            ]
+        );
+        let names: Vec<&str> = specjvm98().iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            [
+                "mtrt",
+                "jess",
+                "compress",
+                "db",
+                "mpegaudio",
+                "jack",
+                "javac"
+            ]
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! `java.lang.Math` stand-ins: intrinsic-shaped wrapper functions.
+//!
+//! Each wrapper's body is a single [`njc_ir::Inst::IntrinsicOp`] plus a
+//! return — the shape `njc_opt::intrinsics` recognizes. On platforms with
+//! the hardware instruction (IA32) calls to these functions are replaced by
+//! the inline operation; elsewhere (PowerPC) they remain out-of-line calls
+//! and act as optimization barriers, reproducing the paper's §5.4
+//! `Math.exp` observation.
+
+use njc_ir::{FuncBuilder, FunctionId, Inst, Intrinsic, Module, Type};
+
+/// Handles to the math wrappers registered in a module.
+#[derive(Clone, Copy, Debug)]
+pub struct MathFns {
+    /// `Math.exp`.
+    pub exp: FunctionId,
+    /// `Math.sqrt`.
+    pub sqrt: FunctionId,
+    /// `Math.sin`.
+    pub sin: FunctionId,
+    /// `Math.cos`.
+    pub cos: FunctionId,
+}
+
+fn wrapper(module: &mut Module, name: &str, op: Intrinsic) -> FunctionId {
+    let mut b = FuncBuilder::new(name, &[Type::Float], Type::Float);
+    let x = b.param(0);
+    let r = b.var(Type::Float);
+    b.emit(Inst::IntrinsicOp {
+        dst: r,
+        intrinsic: op,
+        src: x,
+    });
+    b.ret(Some(r));
+    module.add_function(b.finish())
+}
+
+/// Registers the four wrappers used by the workloads.
+pub fn add_math(module: &mut Module) -> MathFns {
+    MathFns {
+        exp: wrapper(module, "Math_exp", Intrinsic::Exp),
+        sqrt: wrapper(module, "Math_sqrt", Intrinsic::Sqrt),
+        sin: wrapper(module, "Math_sin", Intrinsic::Sin),
+        cos: wrapper(module, "Math_cos", Intrinsic::Cos),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrappers_register_and_verify() {
+        let mut m = Module::new("t");
+        let fns = add_math(&mut m);
+        assert_eq!(m.num_functions(), 4);
+        njc_ir::verify_module(&m).unwrap();
+        assert_eq!(m.function(fns.exp).name(), "Math_exp");
+        assert_eq!(m.function(fns.cos).name(), "Math_cos");
+    }
+}

@@ -1,0 +1,397 @@
+//! The paper's figure examples as runnable micro-programs, plus a
+//! null-seeded stress program for the correctness oracle.
+
+use njc_ir::{CatchKind, Cond, ExceptionKind, FuncBuilder, Module, Op, Type};
+
+use crate::jbm::{if_then, lcg_step};
+
+/// Figure 1 / Figure 7: a small method with a branch that only touches
+/// `this` on one path, called through a receiver that may be null.
+///
+/// `main` calls `func` on a fresh object with both positive and negative
+/// arguments, then once more inside a try region with a null receiver —
+/// the NullPointerException must be thrown even on the path that never
+/// dereferences the receiver.
+pub fn figure1() -> Module {
+    let mut m = Module::new("figure1");
+    let c = m.add_class("C", &[("field1", Type::Int)]);
+    let field1 = m.field(c, "field1").unwrap();
+
+    // int func(int s1) { if (s1 < 0) return s1; else return this.field1; }
+    {
+        let mut b = FuncBuilder::new("func", &[Type::Ref, Type::Int], Type::Int);
+        b.instance_method();
+        let this = b.param(0);
+        let s1 = b.param(1);
+        let zero = b.iconst(0);
+        let neg = b.new_block();
+        let pos = b.new_block();
+        b.br_if(Cond::Lt, s1, zero, neg, pos);
+        b.switch_to(neg);
+        b.ret(Some(s1));
+        b.switch_to(pos);
+        let v = b.get_field(this, field1);
+        b.ret(Some(v));
+        m.add_method(c, "func", b.finish());
+    }
+
+    let mut b = FuncBuilder::new("main", &[], Type::Int);
+    let obj = b.new_object(c);
+    let seven = b.iconst(7);
+    b.put_field(obj, field1, seven);
+    let acc = b.var(Type::Int);
+    let zero = b.iconst(0);
+    b.assign(acc, zero);
+    // Hot loop: the inlined call's explicit check is what phase 2 earns
+    // its keep on.
+    let iters = b.iconst(200);
+    b.for_loop(zero, iters, 1, |b, i| {
+        let three = b.iconst(3);
+        let low = b.binop(Op::And, i, three);
+        let arg = b.sub(low, seven); // mixes negative arguments in
+        let r1 = b
+            .call_virtual(c, "func", obj, &[arg], Some(Type::Int))
+            .unwrap();
+        let r2 = b
+            .call_virtual(c, "func", obj, &[i], Some(Type::Int))
+            .unwrap();
+        let t = b.add(r1, r2);
+        b.binop_into(acc, Op::Add, acc, t);
+    });
+    // Null receiver inside a try region: the i < 0 path must still throw.
+    let handler = b.new_block();
+    let after = b.new_block();
+    let code = b.var(Type::Int);
+    let region = b.add_try_region(
+        handler,
+        CatchKind::Only(ExceptionKind::NullPointer),
+        Some(code),
+    );
+    let entry_try = b.new_block();
+    b.goto(entry_try);
+    b.set_try_region(Some(region));
+    b.switch_to(entry_try);
+    let nul = b.null_ref();
+    let minus = b.iconst(-5);
+    let r = b
+        .call_virtual(c, "func", nul, &[minus], Some(Type::Int))
+        .unwrap();
+    b.binop_into(acc, Op::Add, acc, r); // unreachable: the call throws
+    b.goto(after);
+    b.set_try_region(None);
+    b.switch_to(handler);
+    let thousand = b.iconst(1000);
+    b.binop_into(acc, Op::Add, acc, thousand);
+    b.goto(after);
+    b.switch_to(after);
+    b.observe(acc);
+    b.ret(Some(acc));
+    m.add_function(b.finish());
+    m
+}
+
+/// Figure 3: a partially redundant null check at a merge point.
+pub fn figure3() -> Module {
+    let mut m = Module::new("figure3");
+    let c = m.add_class("A", &[("f", Type::Int), ("g", Type::Int)]);
+    let ff = m.field(c, "f").unwrap();
+    let fg = m.field(c, "g").unwrap();
+
+    let mut b = FuncBuilder::new("main", &[], Type::Int);
+    let obj = b.new_object(c);
+    let one = b.iconst(1);
+    b.put_field(obj, ff, one);
+    let two = b.iconst(2);
+    b.put_field(obj, fg, two);
+    let acc = b.var(Type::Int);
+    let zero = b.iconst(0);
+    b.assign(acc, zero);
+    let iters = b.iconst(300);
+    b.for_loop(zero, iters, 1, |b, i| {
+        let m1 = b.iconst(1);
+        let low = b.binop(Op::And, i, m1);
+        // Left path touches a.f (its own check); right path does not.
+        if_then(b, Cond::Eq, low, zero, |b| {
+            let v = b.get_field(obj, ff);
+            b.binop_into(acc, Op::Add, acc, v);
+        });
+        // Merge: both paths need a.g — the partially redundant check.
+        let w = b.get_field(obj, fg);
+        b.binop_into(acc, Op::Add, acc, w);
+    });
+    b.observe(acc);
+    b.ret(Some(acc));
+    m.add_function(b.finish());
+    m
+}
+
+/// Figure 4: a loop whose first object access lies inside the loop — the
+/// loop invariant null check that forward-only analysis cannot hoist.
+pub fn figure4() -> Module {
+    let mut m = Module::new("figure4");
+    let c = m.add_class("A", &[("count", Type::Int)]);
+    let fcount = m.field(c, "count").unwrap();
+
+    let mut b = FuncBuilder::new("main", &[], Type::Int);
+    let obj = b.new_object(c);
+    let zero = b.iconst(0);
+    let limit = b.iconst(400);
+    // while (a.count < limit) a.count = a.count + 1  — reads and writes of
+    // the same field in the loop.
+    let header = b.new_block();
+    let body = b.new_block();
+    let exit = b.new_block();
+    b.goto(header);
+    b.switch_to(header);
+    let cur = b.get_field(obj, fcount);
+    b.br_if(Cond::Lt, cur, limit, body, exit);
+    b.switch_to(body);
+    let v = b.get_field(obj, fcount);
+    let one = b.iconst(1);
+    let v1 = b.add(v, one);
+    b.put_field(obj, fcount, v1);
+    b.goto(header);
+    b.switch_to(exit);
+    let fin = b.get_field(obj, fcount);
+    b.observe(fin);
+    b.ret(Some(fin));
+    let _ = zero;
+    m.add_function(b.finish());
+    m
+}
+
+/// Figure 6: `total += b[a.I++]` in a do-while — the null check of `b` is
+/// blocked by the write to `a.I`, but on AIX the `arraylength b` read can
+/// be speculated out of the loop. The loop lives in a worker whose
+/// parameters have unknown nullness, as in the paper's intermediate code.
+pub fn figure6() -> Module {
+    let mut m = Module::new("figure6");
+    let c = m.add_class("A", &[("i_field", Type::Int)]);
+    let fi = m.field(c, "i_field").unwrap();
+
+    // figure6_loop(a, arr, n): do { total += arr[a.I++]; } while (a.I < n)
+    let worker = {
+        let mut b = FuncBuilder::new(
+            "figure6_loop",
+            &[Type::Ref, Type::Ref, Type::Int],
+            Type::Int,
+        );
+        let a = b.param(0);
+        let arr = b.param(1);
+        let n = b.param(2);
+        let zero = b.iconst(0);
+        let total = b.var(Type::Int);
+        b.assign(total, zero);
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.goto(body);
+        b.switch_to(body);
+        {
+            let t1 = b.get_field(a, fi);
+            let one = b.iconst(1);
+            let t2 = b.add(t1, one);
+            b.put_field(a, fi, t2); // the memory-write barrier of Figure 6
+            let v = b.array_load(arr, t1, Type::Int);
+            b.binop_into(total, Op::Add, total, v);
+            let cur = b.get_field(a, fi);
+            b.br_if(Cond::Lt, cur, n, body, exit);
+        }
+        b.switch_to(exit);
+        b.ret(Some(total));
+        m.add_function(b.finish())
+    };
+
+    let mut b = FuncBuilder::new("main", &[], Type::Int);
+    let a = b.new_object(c);
+    let zero = b.iconst(0);
+    b.put_field(a, fi, zero);
+    let n = b.iconst(256);
+    let arr = b.new_array(Type::Int, n);
+    let state = b.var(Type::Int);
+    let seed = b.iconst(999);
+    b.assign(state, seed);
+    b.for_loop(zero, n, 1, |b, k| {
+        lcg_step(b, state);
+        let m8 = b.iconst(0xff);
+        let v = b.binop(Op::And, state, m8);
+        b.array_store(arr, k, v, Type::Int);
+    });
+    let total = b
+        .call_static(worker, &[a, arr, n], Some(Type::Int))
+        .unwrap();
+    b.observe(total);
+    b.ret(Some(total));
+    m.add_function(b.finish());
+    m
+}
+
+/// Figure 5 (1): a field beyond the protected trap area ("BigOffset") —
+/// its null check can never be implicit.
+pub fn big_offset() -> Module {
+    let mut m = Module::new("big_offset");
+    let big = m.add_class_with_offsets(
+        "Big",
+        &[("near", Type::Int, 8), ("far", Type::Int, 1 << 20)],
+    );
+    let f_near = m.field(big, "near").unwrap();
+    let f_far = m.field(big, "far").unwrap();
+
+    let mut b = FuncBuilder::new("main", &[], Type::Int);
+    let obj = b.new_object(big);
+    let zero = b.iconst(0);
+    let acc = b.var(Type::Int);
+    b.assign(acc, zero);
+    let iters = b.iconst(150);
+    b.for_loop(zero, iters, 1, |b, i| {
+        b.put_field(obj, f_near, i);
+        b.put_field(obj, f_far, i);
+        let nv = b.get_field(obj, f_near);
+        let fv = b.get_field(obj, f_far);
+        let t = b.add(nv, fv);
+        b.binop_into(acc, Op::Add, acc, t);
+    });
+    b.observe(acc);
+    b.ret(Some(acc));
+    m.add_function(b.finish());
+    m
+}
+
+/// A program whose NullPointerException paths actually run: references are
+/// conditionally null, dereferences happen inside try regions, and the
+/// handlers feed the checksum. The correctness oracle's worst case — any
+/// mishandled check motion changes the observable outcome.
+pub fn null_seeded() -> Module {
+    let mut m = Module::new("null_seeded");
+    let c = m.add_class("Cell", &[("v", Type::Int), ("next", Type::Ref)]);
+    let fv = m.field(c, "v").unwrap();
+    let fnext = m.field(c, "next").unwrap();
+
+    let mut b = FuncBuilder::new("main", &[], Type::Int);
+    let zero = b.iconst(0);
+    // Array of cells where every third slot is null.
+    let n = b.iconst(40);
+    let cells = b.new_array(Type::Ref, n);
+    let state = b.var(Type::Int);
+    let seed = b.iconst(123_123);
+    b.assign(state, seed);
+    b.for_loop(zero, n, 1, |b, i| {
+        lcg_step(b, state);
+        let three = b.iconst(3);
+        let two = b.iconst(2);
+        let low = b.binop(Op::And, i, three);
+        if_then(b, Cond::Ne, low, two, |b| {
+            let cell = b.new_object(c);
+            b.put_field(cell, fv, i);
+            b.array_store(cells, i, cell, Type::Ref);
+        });
+    });
+    // Link non-null cells into a chain (next of cell i -> cell i+1, which
+    // may be null).
+    let n1 = b.add_i(n, -1);
+    b.for_loop(zero, n1, 1, |b, i| {
+        let cur = b.array_load(cells, i, Type::Ref);
+        let skip = b.new_block();
+        let link = b.new_block();
+        b.br_ifnull(cur, skip, link);
+        b.switch_to(link);
+        let one = b.iconst(1);
+        let i1 = b.add(i, one);
+        let nxt = b.array_load(cells, i1, Type::Ref);
+        b.put_field(cur, fnext, nxt);
+        b.goto(skip);
+        b.switch_to(skip);
+    });
+
+    // Sweep: dereference every slot inside a try region; handlers count
+    // the NPEs. Both the exception count and the value sum are observable.
+    let acc = b.var(Type::Int);
+    b.assign(acc, zero);
+    let npes = b.var(Type::Int);
+    b.assign(npes, zero);
+    let rounds = b.iconst(25);
+    b.for_loop(zero, rounds, 1, |b, _r| {
+        b.for_loop(zero, n, 1, |b, i| {
+            let handler = b.new_block();
+            let after = b.new_block();
+            let tryb = b.new_block();
+            let code = b.var(Type::Int);
+            let region = b.add_try_region(
+                handler,
+                CatchKind::Only(ExceptionKind::NullPointer),
+                Some(code),
+            );
+            b.goto(tryb);
+            b.set_try_region(Some(region));
+            b.switch_to(tryb);
+            {
+                let cell = b.array_load(cells, i, Type::Ref);
+                let v = b.get_field(cell, fv); // throws on null slots
+                b.binop_into(acc, Op::Add, acc, v);
+                // Follow the chain one hop: next may be null too.
+                let nxt = b.get_field_typed(cell, fnext, Type::Ref);
+                let v2 = b.get_field(nxt, fv); // may throw again
+                b.binop_into(acc, Op::Add, acc, v2);
+            }
+            b.goto(after);
+            b.set_try_region(None);
+            b.switch_to(handler);
+            let one = b.iconst(1);
+            b.binop_into(npes, Op::Add, npes, one);
+            b.goto(after);
+            b.switch_to(after);
+        });
+    });
+    let sixteen = b.iconst(16);
+    let hi = b.binop(Op::Shl, npes, sixteen);
+    let out = b.add(acc, hi);
+    b.observe(acc);
+    b.observe(npes);
+    b.ret(Some(out));
+    m.add_function(b.finish());
+    m
+}
+
+/// All micro workloads with their names.
+pub fn all_micro() -> Vec<(&'static str, Module)> {
+    vec![
+        ("figure1", figure1()),
+        ("figure3", figure3()),
+        ("figure4", figure4()),
+        ("figure6", figure6()),
+        ("big_offset", big_offset()),
+        ("null_seeded", null_seeded()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use njc_ir::verify_module;
+
+    #[test]
+    fn every_micro_verifies() {
+        for (name, m) in all_micro() {
+            verify_module(&m).unwrap_or_else(|e| {
+                panic!(
+                    "{name}: {}",
+                    e.first().map(|x| x.to_string()).unwrap_or_default()
+                )
+            });
+        }
+    }
+
+    #[test]
+    fn big_offset_field_is_beyond_any_page() {
+        let m = big_offset();
+        let c = m.class_by_name("Big").unwrap();
+        let far = m.field(c, "far").unwrap();
+        assert!(m.field_offset(far) >= 65536);
+    }
+
+    #[test]
+    fn null_seeded_has_npe_handlers() {
+        let m = null_seeded();
+        let main = m.function(m.function_by_name("main").unwrap());
+        assert!(!main.try_regions().is_empty());
+    }
+}

@@ -1,0 +1,868 @@
+//! The seven SPECjvm98 programs (paper Table 2).
+//!
+//! As in the original suite, the hot code lives in worker methods whose
+//! array/object parameters have unknown nullness. Each kernel reproduces
+//! the documented workload character:
+//!
+//! * **mtrt** — ray tracing: vector objects accessed through *many small
+//!   accessor methods called frequently* — the explicit-null-check factory
+//!   that makes phase 2 particularly effective after inlining (§5.1);
+//! * **jess** — expert system: linked fact chains, branchy matching;
+//! * **compress** — LZW-style byte-array compression loops;
+//! * **db** — in-memory database: object records, field comparisons,
+//!   scan-based lookups;
+//! * **mpegaudio** — float filter banks (windowed dot products);
+//! * **jack** — parser/tokenizer: branch-dense scanning with a try region
+//!   for error handling;
+//! * **javac** — compiler: a small AST of linked node objects walked
+//!   repeatedly with an explicit work stack.
+
+use njc_ir::{Cond, FuncBuilder, Module, Op, Type};
+
+use crate::jbm::{if_then, if_then_else, lcg_fill, lcg_step};
+use crate::math::add_math;
+
+// ---------------------------------------------------------------------------
+// mtrt
+// ---------------------------------------------------------------------------
+
+/// mtrt: vectors as objects, small accessors, sphere intersection loops.
+pub fn mtrt() -> Module {
+    let mut m = Module::new("mtrt");
+    let vec3 = m.add_class(
+        "Vec3",
+        &[("x", Type::Float), ("y", Type::Float), ("z", Type::Float)],
+    );
+    let fx = m.field(vec3, "x").unwrap();
+    let fy = m.field(vec3, "y").unwrap();
+    let fz = m.field(vec3, "z").unwrap();
+
+    // Small accessor methods — called frequently, inlined by the JIT.
+    for (name, field) in [("getX", fx), ("getY", fy), ("getZ", fz)] {
+        let mut b = FuncBuilder::new(name, &[Type::Ref], Type::Float);
+        b.instance_method();
+        let this = b.param(0);
+        let v = b.get_field_typed(this, field, Type::Float);
+        b.ret(Some(v));
+        m.add_method(vec3, name, b.finish());
+    }
+    {
+        let mut b = FuncBuilder::new("dot", &[Type::Ref, Type::Ref], Type::Float);
+        b.instance_method();
+        let this = b.param(0);
+        let other = b.param(1);
+        let ax = b.get_field_typed(this, fx, Type::Float);
+        let bx = b.get_field_typed(other, fx, Type::Float);
+        let ay = b.get_field_typed(this, fy, Type::Float);
+        let by = b.get_field_typed(other, fy, Type::Float);
+        let az = b.get_field_typed(this, fz, Type::Float);
+        let bz = b.get_field_typed(other, fz, Type::Float);
+        let px = b.mul(ax, bx);
+        let py = b.mul(ay, by);
+        let pz = b.mul(az, bz);
+        let s1 = b.add(px, py);
+        let s = b.add(s1, pz);
+        b.ret(Some(s));
+        m.add_method(vec3, "dot", b.finish());
+    }
+
+    // trace(centers, dir, nrays, seed0) -> hits + scaled accumulator
+    let trace = {
+        let mut b = FuncBuilder::new(
+            "trace",
+            &[Type::Ref, Type::Ref, Type::Int, Type::Int, Type::Int],
+            Type::Int,
+        );
+        let centers = b.param(0);
+        let dir = b.param(1);
+        let nrays = b.param(2);
+        let seed0 = b.param(3);
+        let nspheres = b.param(4);
+        let zero = b.iconst(0);
+        let state = b.var(Type::Int);
+        b.assign(state, seed0);
+        let hits = b.var(Type::Int);
+        b.assign(hits, zero);
+        let accf = b.var(Type::Float);
+        let zf = b.fconst(0.0);
+        b.assign(accf, zf);
+        b.for_loop(zero, nrays, 1, |b, _r| {
+            lcg_step(b, state);
+            let m6 = b.iconst(0x3f);
+            let di = b.binop(Op::And, state, m6);
+            let df = b.convert(di, Type::Float);
+            let inv = b.fconst(1.0 / 64.0);
+            let dx = b.mul(df, inv);
+            b.put_field(dir, fx, dx);
+            let c2 = b.fconst(0.7);
+            b.put_field(dir, fy, c2);
+            let c3 = b.fconst(0.2);
+            b.put_field(dir, fz, c3);
+            b.for_loop(zero, nspheres, 1, |b, s| {
+                let c = b.array_load(centers, s, Type::Ref);
+                let d = b
+                    .call_virtual(vec3, "dot", c, &[dir], Some(Type::Float))
+                    .unwrap();
+                let cx = b
+                    .call_virtual(vec3, "getX", c, &[], Some(Type::Float))
+                    .unwrap();
+                let thresh = b.fconst(2.0);
+                let cmp = b.fcmp(Cond::Gt, d, thresh);
+                if_then(b, Cond::Ne, cmp, zero, |b| {
+                    let one = b.iconst(1);
+                    b.binop_into(hits, Op::Add, hits, one);
+                    b.binop_into(accf, Op::Add, accf, cx);
+                });
+            });
+        });
+        let scale = b.fconst(100.0);
+        let sa = b.mul(accf, scale);
+        let ai = b.convert(sa, Type::Int);
+        let out = b.add(hits, ai);
+        b.ret(Some(out));
+        m.add_function(b.finish())
+    };
+
+    let mut b = FuncBuilder::new("main", &[], Type::Int);
+    let zero = b.iconst(0);
+    let nspheres = b.iconst(12);
+    let centers = b.new_array(Type::Ref, nspheres);
+    let state = b.var(Type::Int);
+    let seed = b.iconst(299_792);
+    b.assign(state, seed);
+    b.for_loop(zero, nspheres, 1, |b, i| {
+        let c = b.new_object(vec3);
+        lcg_step(b, state);
+        let m8 = b.iconst(0xff);
+        let vi = b.binop(Op::And, state, m8);
+        let vf = b.convert(vi, Type::Float);
+        let inv = b.fconst(1.0 / 64.0);
+        let x = b.mul(vf, inv);
+        b.put_field(c, fx, x);
+        let half = b.fconst(0.5);
+        let y = b.mul(x, half);
+        b.put_field(c, fy, y);
+        let quarter = b.fconst(0.25);
+        let z = b.mul(x, quarter);
+        b.put_field(c, fz, z);
+        b.array_store(centers, i, c, Type::Ref);
+    });
+    let dir = b.new_object(vec3);
+    let nrays = b.iconst(900);
+    let seed2 = b.iconst(299_793);
+    let out = b
+        .call_static(
+            trace,
+            &[centers, dir, nrays, seed2, nspheres],
+            Some(Type::Int),
+        )
+        .unwrap();
+    b.observe(out);
+    b.ret(Some(out));
+    m.add_function(b.finish());
+    m
+}
+
+// ---------------------------------------------------------------------------
+// jess
+// ---------------------------------------------------------------------------
+
+/// jess: linked fact chains and branchy rule matching in a worker.
+pub fn jess() -> Module {
+    let mut m = Module::new("jess");
+    let fact = m.add_class(
+        "Fact",
+        &[
+            ("kind", Type::Int),
+            ("value", Type::Int),
+            ("next", Type::Ref),
+        ],
+    );
+    let f_kind = m.field(fact, "kind").unwrap();
+    let f_value = m.field(fact, "value").unwrap();
+    let f_next = m.field(fact, "next").unwrap();
+
+    // run_rounds(head, rounds) -> fired | failures<<16
+    let run_rounds = {
+        let mut b = FuncBuilder::new("run_rounds", &[Type::Ref, Type::Int], Type::Int);
+        let head = b.param(0);
+        let rounds = b.param(1);
+        let zero = b.iconst(0);
+        let fired = b.var(Type::Int);
+        b.assign(fired, zero);
+        let failures = b.var(Type::Int);
+        b.assign(failures, zero);
+        b.for_loop(zero, rounds, 1, |b, round| {
+            let cur = b.var(Type::Ref);
+            b.assign(cur, head);
+            let walk = b.new_block();
+            let body = b.new_block();
+            let done = b.new_block();
+            b.goto(walk);
+            b.switch_to(walk);
+            b.br_ifnull(cur, done, body);
+            b.switch_to(body);
+            {
+                let k = b.get_field(cur, f_kind);
+                let m3 = b.iconst(7);
+                let want = b.binop(Op::And, round, m3);
+                if_then(b, Cond::Eq, k, want, |b| {
+                    let v = b.get_field(cur, f_value);
+                    let lim = b.iconst(0x300);
+                    if_then_else(
+                        b,
+                        Cond::Lt,
+                        v,
+                        lim,
+                        |b| {
+                            let one = b.iconst(1);
+                            b.binop_into(fired, Op::Add, fired, one);
+                            let v2 = b.add(v, one);
+                            b.put_field(cur, f_value, v2);
+                        },
+                        |b| {
+                            let one = b.iconst(1);
+                            b.binop_into(failures, Op::Add, failures, one);
+                        },
+                    );
+                });
+                let nxt = b.get_field_typed(cur, f_next, Type::Ref);
+                b.assign(cur, nxt);
+            }
+            b.goto(walk);
+            b.switch_to(done);
+        });
+        let sixteen = b.iconst(16);
+        let fh = b.binop(Op::Shl, failures, sixteen);
+        let out = b.add(fired, fh);
+        b.ret(Some(out));
+        m.add_function(b.finish())
+    };
+
+    let mut b = FuncBuilder::new("main", &[], Type::Int);
+    let zero = b.iconst(0);
+    let nfacts = b.iconst(60);
+    let head = b.var(Type::Ref);
+    let nul = b.null_ref();
+    b.assign(head, nul);
+    let state = b.var(Type::Int);
+    let seed = b.iconst(314_000);
+    b.assign(state, seed);
+    b.for_loop(zero, nfacts, 1, |b, _i| {
+        let f = b.new_object(fact);
+        lcg_step(b, state);
+        let m3 = b.iconst(7);
+        let k = b.binop(Op::And, state, m3);
+        b.put_field(f, f_kind, k);
+        let mv = b.iconst(0x3ff);
+        let v = b.binop(Op::And, state, mv);
+        b.put_field(f, f_value, v);
+        b.put_field(f, f_next, head);
+        b.assign(head, f);
+    });
+    let rounds = b.iconst(40);
+    let out = b
+        .call_static(run_rounds, &[head, rounds], Some(Type::Int))
+        .unwrap();
+    b.observe(out);
+    b.ret(Some(out));
+    m.add_function(b.finish());
+    m
+}
+
+// ---------------------------------------------------------------------------
+// compress
+// ---------------------------------------------------------------------------
+
+/// compress: LZW-flavor hashing compression in worker methods.
+pub fn compress() -> Module {
+    let mut m = Module::new("compress");
+
+    // compress(input, htab, codes) -> ncodes
+    let comp = {
+        let mut b = FuncBuilder::new(
+            "compress",
+            &[Type::Ref, Type::Ref, Type::Ref, Type::Int],
+            Type::Int,
+        );
+        let input = b.param(0);
+        let htab = b.param(1);
+        let codes = b.param(2);
+        let n = b.param(3);
+        let zero = b.iconst(0);
+        let ncodes = b.var(Type::Int);
+        b.assign(ncodes, zero);
+        let prev = b.var(Type::Int);
+        b.assign(prev, zero);
+        b.for_loop(zero, n, 1, |b, i| {
+            let c = b.array_load(input, i, Type::Int);
+            let four = b.iconst(4);
+            let sh = b.binop(Op::Shl, prev, four);
+            let x = b.binop(Op::Xor, sh, c);
+            let hm = b.iconst(511);
+            let h = b.binop(Op::And, x, hm);
+            let entry = b.array_load(htab, h, Type::Int);
+            let key = b.add(c, sh);
+            if_then_else(
+                b,
+                Cond::Eq,
+                entry,
+                key,
+                |b| {
+                    b.assign(prev, key);
+                },
+                |b| {
+                    b.array_store(htab, h, key, Type::Int);
+                    b.array_store(codes, ncodes, prev, Type::Int);
+                    let one = b.iconst(1);
+                    b.binop_into(ncodes, Op::Add, ncodes, one);
+                    b.assign(prev, c);
+                },
+            );
+        });
+        b.ret(Some(ncodes));
+        m.add_function(b.finish())
+    };
+
+    // fold(codes, ncodes) -> rolling checksum
+    let fold = {
+        let mut b = FuncBuilder::new("fold", &[Type::Ref, Type::Int], Type::Int);
+        let codes = b.param(0);
+        let ncodes = b.param(1);
+        let zero = b.iconst(0);
+        let acc = b.var(Type::Int);
+        b.assign(acc, zero);
+        b.for_loop(zero, ncodes, 1, |b, i| {
+            let v = b.array_load(codes, i, Type::Int);
+            let x = b.binop(Op::Xor, acc, v);
+            let three = b.iconst(3);
+            let r = b.binop(Op::Shl, x, three);
+            let mask = b.iconst(0x0fff_ffff);
+            let r2 = b.binop(Op::And, r, mask);
+            let fold = b.binop(Op::Xor, r2, v);
+            b.assign(acc, fold);
+        });
+        b.ret(Some(acc));
+        m.add_function(b.finish())
+    };
+
+    let mut b = FuncBuilder::new("main", &[], Type::Int);
+    let n = b.iconst(4000);
+    let input = b.new_array(Type::Int, n);
+    lcg_fill(&mut b, input, n, 112_358, 0xff);
+    let hsize = b.iconst(512);
+    let htab = b.new_array(Type::Int, hsize);
+    let codes = b.new_array(Type::Int, n);
+    let ncodes = b
+        .call_static(comp, &[input, htab, codes, n], Some(Type::Int))
+        .unwrap();
+    let acc = b
+        .call_static(fold, &[codes, ncodes], Some(Type::Int))
+        .unwrap();
+    let t = b.add(acc, ncodes);
+    b.observe(ncodes);
+    b.observe(t);
+    b.ret(Some(t));
+    m.add_function(b.finish());
+    m
+}
+
+// ---------------------------------------------------------------------------
+// db
+// ---------------------------------------------------------------------------
+
+/// db: record objects, scan-based lookups, field comparisons in a worker.
+pub fn db() -> Module {
+    let mut m = Module::new("db");
+    let rec = m.add_class(
+        "Record",
+        &[
+            ("id", Type::Int),
+            ("balance", Type::Int),
+            ("touched", Type::Int),
+        ],
+    );
+    let f_id = m.field(rec, "id").unwrap();
+    let f_bal = m.field(rec, "balance").unwrap();
+    let f_touch = m.field(rec, "touched").unwrap();
+
+    // run_queries(table, queries, seed0) -> total
+    let run_queries = {
+        let mut b = FuncBuilder::new(
+            "run_queries",
+            &[Type::Ref, Type::Int, Type::Int, Type::Int],
+            Type::Int,
+        );
+        let table = b.param(0);
+        let queries = b.param(1);
+        let seed0 = b.param(2);
+        let n = b.param(3);
+        let zero = b.iconst(0);
+        let state = b.var(Type::Int);
+        b.assign(state, seed0);
+        let total = b.var(Type::Int);
+        b.assign(total, zero);
+        b.for_loop(zero, queries, 1, |b, q| {
+            lcg_step(b, state);
+            let key = b.var(Type::Int);
+            let km = b.iconst(127);
+            let k0 = b.binop(Op::And, state, km);
+            b.assign(key, k0);
+            b.for_loop(zero, n, 1, |b, i| {
+                let r = b.array_load(table, i, Type::Ref);
+                let id = b.get_field(r, f_id);
+                if_then(b, Cond::Eq, id, key, |b| {
+                    let bal = b.get_field(r, f_bal);
+                    let one = b.iconst(1);
+                    let nb = b.add(bal, one);
+                    b.put_field(r, f_bal, nb);
+                    let t = b.get_field(r, f_touch);
+                    let t2 = b.add(t, one);
+                    b.put_field(r, f_touch, t2);
+                });
+            });
+            let m63 = b.iconst(63);
+            let low = b.binop(Op::And, q, m63);
+            if_then(b, Cond::Eq, low, zero, |b| {
+                b.for_loop(zero, n, 1, |b, i| {
+                    let r = b.array_load(table, i, Type::Ref);
+                    let bal = b.get_field(r, f_bal);
+                    b.binop_into(total, Op::Add, total, bal);
+                    let big = b.iconst(0x0fff_ffff);
+                    b.binop_into(total, Op::And, total, big);
+                });
+            });
+        });
+        b.ret(Some(total));
+        m.add_function(b.finish())
+    };
+
+    let mut b = FuncBuilder::new("main", &[], Type::Int);
+    let zero = b.iconst(0);
+    let n = b.iconst(150);
+    let table = b.new_array(Type::Ref, n);
+    let state = b.var(Type::Int);
+    let seed = b.iconst(161_616);
+    b.assign(state, seed);
+    b.for_loop(zero, n, 1, |b, i| {
+        let r = b.new_object(rec);
+        b.put_field(r, f_id, i);
+        lcg_step(b, state);
+        let mask = b.iconst(0xffff);
+        let bal = b.binop(Op::And, state, mask);
+        b.put_field(r, f_bal, bal);
+        b.array_store(table, i, r, Type::Ref);
+    });
+    let queries = b.iconst(300);
+    let seed2 = b.iconst(161_617);
+    let total = b
+        .call_static(run_queries, &[table, queries, seed2, n], Some(Type::Int))
+        .unwrap();
+    b.observe(total);
+    b.ret(Some(total));
+    m.add_function(b.finish());
+    m
+}
+
+// ---------------------------------------------------------------------------
+// mpegaudio
+// ---------------------------------------------------------------------------
+
+/// mpegaudio: windowed float dot products (filter bank) in a worker.
+pub fn mpegaudio() -> Module {
+    let mut m = Module::new("mpegaudio");
+    let math = add_math(&mut m);
+
+    // filter(window, samples, frames) -> scaled sum
+    let filter = {
+        let mut b = FuncBuilder::new(
+            "filter",
+            &[Type::Ref, Type::Ref, Type::Int, Type::Int],
+            Type::Int,
+        );
+        let window = b.param(0);
+        let samples = b.param(1);
+        let frames = b.param(2);
+        let nwin = b.param(3);
+        let zero = b.iconst(0);
+        let acc = b.var(Type::Float);
+        let zf = b.fconst(0.0);
+        b.assign(acc, zf);
+        b.for_loop(zero, frames, 1, |b, f| {
+            let sum = b.var(Type::Float);
+            let z2 = b.fconst(0.0);
+            b.assign(sum, z2);
+            let thirty_two = b.iconst(32);
+            let base = b.mul(f, thirty_two);
+            b.for_loop(zero, nwin, 1, |b, k| {
+                let w = b.array_load(window, k, Type::Float);
+                let idx = b.add(base, k);
+                let s = b.array_load(samples, idx, Type::Float);
+                let p = b.mul(w, s);
+                b.binop_into(sum, Op::Add, sum, p);
+            });
+            b.binop_into(acc, Op::Add, acc, sum);
+        });
+        let scale = b.fconst(1000.0);
+        let sa = b.mul(acc, scale);
+        let out = b.convert(sa, Type::Int);
+        b.ret(Some(out));
+        m.add_function(b.finish())
+    };
+
+    let mut b = FuncBuilder::new("main", &[], Type::Int);
+    let zero = b.iconst(0);
+    let nwin = b.iconst(32);
+    let window = b.new_array(Type::Float, nwin);
+    b.for_loop(zero, nwin, 1, |b, i| {
+        let fi = b.convert(i, Type::Float);
+        let c = b.fconst(0.196349);
+        let x = b.mul(fi, c);
+        let s = b.call_static(math.sin, &[x], Some(Type::Float)).unwrap();
+        b.array_store(window, i, s, Type::Float);
+    });
+    let nsamp = b.iconst(2048);
+    let samples = b.new_array(Type::Float, nsamp);
+    let state = b.var(Type::Int);
+    let seed = b.iconst(441_000);
+    b.assign(state, seed);
+    b.for_loop(zero, nsamp, 1, |b, i| {
+        lcg_step(b, state);
+        let m8 = b.iconst(0xff);
+        let vi = b.binop(Op::And, state, m8);
+        let vf = b.convert(vi, Type::Float);
+        let sc = b.fconst(1.0 / 128.0);
+        let one = b.fconst(1.0);
+        let v0 = b.mul(vf, sc);
+        let v = b.sub(v0, one);
+        b.array_store(samples, i, v, Type::Float);
+        let _ = i;
+    });
+    let frames = b.iconst(60);
+    let out = b
+        .call_static(filter, &[window, samples, frames, nwin], Some(Type::Int))
+        .unwrap();
+    b.observe(out);
+    b.ret(Some(out));
+    m.add_function(b.finish());
+    m
+}
+
+// ---------------------------------------------------------------------------
+// jack
+// ---------------------------------------------------------------------------
+
+/// jack: tokenizer with a try region around the scan loop.
+pub fn jack() -> Module {
+    let mut m = Module::new("jack");
+
+    // scan(text) -> tokens | errors<<8 | idents<<16
+    let scan = {
+        let mut b = FuncBuilder::new("scan", &[Type::Ref, Type::Int], Type::Int);
+        let text = b.param(0);
+        let n = b.param(1);
+        let zero = b.iconst(0);
+        let tokens = b.var(Type::Int);
+        b.assign(tokens, zero);
+        let errors = b.var(Type::Int);
+        b.assign(errors, zero);
+        let idents = b.var(Type::Int);
+        b.assign(idents, zero);
+
+        let handler = b.new_block();
+        let after = b.new_block();
+        let code = b.var(Type::Int);
+        let region = b.add_try_region(handler, njc_ir::CatchKind::Any, Some(code));
+
+        let scan_loop = b.new_block();
+        let pos = b.var(Type::Int);
+        b.assign(pos, zero);
+        b.goto(scan_loop);
+
+        b.set_try_region(Some(region));
+        b.switch_to(scan_loop);
+        {
+            let body = b.new_block();
+            b.br_if(Cond::Ge, pos, n, after, body);
+            b.switch_to(body);
+            let c = b.array_load(text, pos, Type::Int);
+            let one = b.iconst(1);
+            b.binop_into(pos, Op::Add, pos, one);
+            let letter = b.iconst(65);
+            let bang = b.iconst(33);
+            if_then_else(
+                &mut b,
+                Cond::Ge,
+                c,
+                letter,
+                |b| {
+                    b.binop_into(idents, Op::Add, idents, one);
+                    let skip = b.new_block();
+                    let done = b.new_block();
+                    b.goto(skip);
+                    b.switch_to(skip);
+                    {
+                        let cont = b.new_block();
+                        b.br_if(Cond::Ge, pos, n, done, cont);
+                        b.switch_to(cont);
+                        let c2 = b.array_load(text, pos, Type::Int);
+                        let more = b.new_block();
+                        b.br_if(Cond::Ge, c2, letter, more, done);
+                        b.switch_to(more);
+                        b.binop_into(pos, Op::Add, pos, one);
+                        b.goto(skip);
+                    }
+                    b.switch_to(done);
+                },
+                |b| {
+                    if_then_else(
+                        b,
+                        Cond::Eq,
+                        c,
+                        bang,
+                        |b| {
+                            b.binop_into(errors, Op::Add, errors, one);
+                        },
+                        |b| {
+                            b.binop_into(tokens, Op::Add, tokens, one);
+                        },
+                    );
+                },
+            );
+            b.goto(scan_loop);
+        }
+        b.set_try_region(None);
+        b.switch_to(handler);
+        {
+            let one = b.iconst(1);
+            b.binop_into(errors, Op::Add, errors, one);
+            b.goto(after);
+        }
+        b.switch_to(after);
+        let eight = b.iconst(8);
+        let e = b.binop(Op::Shl, errors, eight);
+        let t0 = b.add(tokens, e);
+        let sixteen = b.iconst(16);
+        let id = b.binop(Op::Shl, idents, sixteen);
+        let out = b.add(t0, id);
+        b.ret(Some(out));
+        m.add_function(b.finish())
+    };
+
+    let mut b = FuncBuilder::new("main", &[], Type::Int);
+    let n = b.iconst(2000);
+    let text = b.new_array(Type::Int, n);
+    lcg_fill(&mut b, text, n, 777_777, 0x7f);
+    let out = b.call_static(scan, &[text, n], Some(Type::Int)).unwrap();
+    b.observe(out);
+    b.ret(Some(out));
+    m.add_function(b.finish());
+    m
+}
+
+// ---------------------------------------------------------------------------
+// javac
+// ---------------------------------------------------------------------------
+
+/// javac: build a small expression AST (linked node objects) and evaluate
+/// it repeatedly with an explicit work stack, in a worker.
+pub fn javac() -> Module {
+    let mut m = Module::new("javac");
+    let node = m.add_class(
+        "Node",
+        &[
+            ("op", Type::Int),
+            ("value", Type::Int),
+            ("left", Type::Ref),
+            ("right", Type::Ref),
+        ],
+    );
+    let f_op = m.field(node, "op").unwrap();
+    let f_val = m.field(node, "value").unwrap();
+    let f_left = m.field(node, "left").unwrap();
+    let f_right = m.field(node, "right").unwrap();
+
+    // eval(root, stack, passes) -> folded sum
+    let eval = {
+        let mut b = FuncBuilder::new("eval", &[Type::Ref, Type::Ref, Type::Int], Type::Int);
+        let root = b.param(0);
+        let stack = b.param(1);
+        let passes = b.param(2);
+        let zero = b.iconst(0);
+        let acc = b.var(Type::Int);
+        b.assign(acc, zero);
+        b.for_loop(zero, passes, 1, |b, p| {
+            let sp = b.var(Type::Int);
+            b.assign(sp, zero);
+            b.array_store(stack, sp, root, Type::Ref);
+            let one = b.iconst(1);
+            b.binop_into(sp, Op::Add, sp, one);
+            let walk = b.new_block();
+            let body = b.new_block();
+            let done = b.new_block();
+            b.goto(walk);
+            b.switch_to(walk);
+            b.br_if(Cond::Gt, sp, zero, body, done);
+            b.switch_to(body);
+            {
+                b.binop_into(sp, Op::Sub, sp, one);
+                let nd = b.array_load(stack, sp, Type::Ref);
+                let v = b.get_field(nd, f_val);
+                let op = b.get_field(nd, f_op);
+                let t = b.add(v, op);
+                b.binop_into(acc, Op::Add, acc, t);
+                let mask = b.iconst(0x0fff_ffff);
+                b.binop_into(acc, Op::And, acc, mask);
+                let l = b.get_field_typed(nd, f_left, Type::Ref);
+                let push_l = b.new_block();
+                let try_r = b.new_block();
+                b.br_ifnull(l, try_r, push_l);
+                b.switch_to(push_l);
+                b.array_store(stack, sp, l, Type::Ref);
+                b.binop_into(sp, Op::Add, sp, one);
+                b.goto(try_r);
+                b.switch_to(try_r);
+                let r = b.get_field_typed(nd, f_right, Type::Ref);
+                let push_r = b.new_block();
+                let cont = b.new_block();
+                b.br_ifnull(r, cont, push_r);
+                b.switch_to(push_r);
+                b.array_store(stack, sp, r, Type::Ref);
+                b.binop_into(sp, Op::Add, sp, one);
+                b.goto(cont);
+                b.switch_to(cont);
+            }
+            b.goto(walk);
+            b.switch_to(done);
+            let _ = p;
+        });
+        b.ret(Some(acc));
+        m.add_function(b.finish())
+    };
+
+    let mut b = FuncBuilder::new("main", &[], Type::Int);
+    let zero = b.iconst(0);
+    let nn = b.iconst(127);
+    let nodes = b.new_array(Type::Ref, nn);
+    let state = b.var(Type::Int);
+    let seed = b.iconst(101_010);
+    b.assign(state, seed);
+    b.for_loop(zero, nn, 1, |b, i| {
+        let nd = b.new_object(node);
+        lcg_step(b, state);
+        let two = b.iconst(2);
+        let opm = b.binop(Op::And, state, two);
+        b.put_field(nd, f_op, opm);
+        let vm = b.iconst(0xff);
+        let v = b.binop(Op::And, state, vm);
+        b.put_field(nd, f_val, v);
+        b.array_store(nodes, i, nd, Type::Ref);
+    });
+    let inner = b.iconst(63);
+    b.for_loop(zero, inner, 1, |b, i| {
+        let nd = b.array_load(nodes, i, Type::Ref);
+        let one = b.iconst(1);
+        let two = b.iconst(2);
+        let li = b.mul(i, two);
+        let li = b.add(li, one);
+        let ri = b.add(li, one);
+        let l = b.array_load(nodes, li, Type::Ref);
+        let r = b.array_load(nodes, ri, Type::Ref);
+        b.put_field(nd, f_left, l);
+        b.put_field(nd, f_right, r);
+    });
+    let passes = b.iconst(25);
+    let stack = b.new_array(Type::Ref, nn);
+    let root = b.array_load(nodes, zero, Type::Ref);
+    let acc = b
+        .call_static(eval, &[root, stack, passes], Some(Type::Int))
+        .unwrap();
+    b.observe(acc);
+    b.ret(Some(acc));
+    m.add_function(b.finish());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use njc_ir::verify_module;
+
+    #[test]
+    fn every_program_verifies() {
+        for (name, m) in [
+            ("mtrt", mtrt()),
+            ("jess", jess()),
+            ("compress", compress()),
+            ("db", db()),
+            ("mpegaudio", mpegaudio()),
+            ("jack", jack()),
+            ("javac", javac()),
+        ] {
+            verify_module(&m).unwrap_or_else(|e| {
+                panic!(
+                    "{name}: {}",
+                    e.first().map(|x| x.to_string()).unwrap_or_default()
+                )
+            });
+        }
+    }
+
+    #[test]
+    fn mtrt_is_accessor_heavy() {
+        let m = mtrt();
+        assert!(m.function_by_name("getX").is_some());
+        assert!(m.function_by_name("dot").is_some());
+        let trace = m.function(m.function_by_name("trace").unwrap());
+        let vcalls = trace
+            .blocks()
+            .iter()
+            .flat_map(|bb| &bb.insts)
+            .filter(|i| {
+                matches!(
+                    i,
+                    njc_ir::Inst::Call {
+                        target: njc_ir::CallTarget::Virtual { .. },
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert!(vcalls >= 2, "got {vcalls}");
+    }
+
+    #[test]
+    fn jack_has_a_try_region() {
+        let m = jack();
+        let scan = m.function(m.function_by_name("scan").unwrap());
+        assert_eq!(scan.try_regions().len(), 1);
+        assert!(scan.blocks().iter().any(|b| b.try_region.is_some()));
+    }
+
+    #[test]
+    fn jess_walks_ref_chains() {
+        let m = jess();
+        let f = m.function(m.function_by_name("run_rounds").unwrap());
+        let has_ifnull = f
+            .blocks()
+            .iter()
+            .any(|b| matches!(b.term, njc_ir::Terminator::IfNull { .. }));
+        assert!(has_ifnull);
+    }
+
+    #[test]
+    fn workers_take_ref_params() {
+        for (m, worker) in [
+            (mtrt(), "trace"),
+            (jess(), "run_rounds"),
+            (compress(), "compress"),
+            (db(), "run_queries"),
+            (mpegaudio(), "filter"),
+            (jack(), "scan"),
+            (javac(), "eval"),
+        ] {
+            let f = m.function(m.function_by_name(worker).unwrap());
+            assert!(f.params().contains(&Type::Ref), "{worker}");
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Prints a compact version of the paper's headline comparison (Table 1 /
+//! Table 2 orderings) for a few representative workloads — a fast preview
+//! of what `cargo run --release -p njc-bench --bin report` produces in
+//! full.
+//!
+//! ```text
+//! cargo run --release --example paper_tables
+//! ```
+
+use njc_arch::Platform;
+use njc_jit::{compile, execute, jbm_index};
+use njc_opt::ConfigKind;
+
+fn main() {
+    let p = Platform::windows_ia32();
+    let picks = ["Assignment", "LU Decomposition", "Neural Net", "Fourier"];
+    println!(
+        "{:20} {:>10} {:>10} {:>10} {:>10}",
+        "jBYTEmark index", "Full", "Old", "NoOptTrap", "NoOptNoTr"
+    );
+    for w in njc_workloads::jbytemark() {
+        if !picks.contains(&w.name) {
+            continue;
+        }
+        let mut row = format!("{:20}", w.name);
+        for kind in [
+            ConfigKind::Full,
+            ConfigKind::OldNullCheck,
+            ConfigKind::NoNullOptTrap,
+            ConfigKind::NoNullOptNoTrap,
+        ] {
+            let out = execute(&compile(&w, &p, kind), &p).unwrap();
+            row += &format!(" {:>10.2}", jbm_index(w.work_units, out.stats.cycles, &p));
+        }
+        println!("{row}");
+    }
+    println!("\nLarger is better. The two-phase algorithm (Full) should lead on the");
+    println!("multidimensional-array kernels and tie on Fourier, as in the paper's Table 1.");
+}

@@ -1,0 +1,210 @@
+//! `njc` — command-line driver: optimize and run textual IR files.
+//!
+//! ```text
+//! njc <file.ir> [--config <name>] [--platform <name>] [--emit] [--run] [--all]
+//!
+//!   --config    full (default) | phase1 | old | trap | none | speculation |
+//!               no-speculation | illegal-implicit
+//!   --platform  ia32 (default) | aix | s390
+//!   --emit      print the optimized IR
+//!   --run       execute `main` and print the outcome (default when no --emit)
+//!   --all       compare every configuration side by side
+//! ```
+//!
+//! The input file contains one or more functions in the textual IR syntax
+//! (see `njc_ir::parse`), separated by blank lines. Classes referenced as
+//! `classN`/`fieldN` are synthesized automatically: eight classes with
+//! eight int fields each, so `field0..field63` and `class0..class7`
+//! resolve. A function named `main` taking no arguments is the entry point.
+
+use std::process::ExitCode;
+
+use njc_arch::Platform;
+use njc_ir::{Module, Type};
+use njc_opt::ConfigKind;
+use njc_vm::Vm;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: njc <file.ir> [--config full|phase1|old|trap|none|speculation|no-speculation|illegal-implicit] [--platform ia32|aix|s390] [--emit] [--run] [--all]"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_config(s: &str) -> Option<ConfigKind> {
+    Some(match s {
+        "full" => ConfigKind::Full,
+        "phase1" => ConfigKind::Phase1Only,
+        "old" => ConfigKind::OldNullCheck,
+        "trap" => ConfigKind::NoNullOptTrap,
+        "none" => ConfigKind::NoNullOptNoTrap,
+        "speculation" => ConfigKind::AixSpeculation,
+        "no-speculation" => ConfigKind::AixNoSpeculation,
+        "illegal-implicit" => ConfigKind::AixIllegalImplicit,
+        _ => return None,
+    })
+}
+
+fn parse_platform(s: &str) -> Option<Platform> {
+    Some(match s {
+        "ia32" | "windows" => Platform::windows_ia32(),
+        "aix" | "ppc" => Platform::aix_ppc(),
+        "s390" => Platform::linux_s390(),
+        _ => return None,
+    })
+}
+
+/// Builds a module from the file's functions plus synthetic classes so
+/// `classN` / `fieldN` references resolve.
+fn load_module(source: &str) -> Result<Module, String> {
+    let mut module = Module::new("cli");
+    for c in 0..8 {
+        let fields: Vec<(String, Type)> = (0..8).map(|f| (format!("f{f}"), Type::Int)).collect();
+        let refs: Vec<(&str, Type)> = fields.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        module.add_class(format!("C{c}"), &refs);
+    }
+    // Split on lines starting a new `func`.
+    let mut chunks: Vec<String> = Vec::new();
+    for line in source.lines() {
+        if line.trim_start().starts_with("func ") {
+            chunks.push(String::new());
+        }
+        if let Some(cur) = chunks.last_mut() {
+            cur.push_str(line);
+            cur.push('\n');
+        }
+    }
+    if chunks.is_empty() {
+        return Err("no functions found (expected lines starting with `func`)".into());
+    }
+    for chunk in &chunks {
+        let f = njc_ir::parse_function(chunk).map_err(|e| e.to_string())?;
+        module.add_function(f);
+    }
+    njc_ir::verify_module(&module).map_err(|e| {
+        e.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join("; ")
+    })?;
+    Ok(module)
+}
+
+fn run_one(
+    module: &Module,
+    platform: &Platform,
+    kind: ConfigKind,
+    emit: bool,
+    run: bool,
+) -> ExitCode {
+    let mut optimized = module.clone();
+    let config = kind.to_config(platform);
+    let stats = njc_opt::optimize_module(&mut optimized, platform, &config);
+    println!(
+        "config: {} on {} — phase1 eliminated {}, inserted {}; implicit conversions {}; \
+         trivial conversions {}; loads hoisted {}; loops versioned {}",
+        config.name,
+        platform.name,
+        stats.null_checks.phase1.eliminated,
+        stats.null_checks.phase1.inserted,
+        stats.null_checks.phase2.converted_implicit,
+        stats.null_checks.trivial.converted,
+        stats.scalar.hoisted_loads,
+        stats.loops_versioned,
+    );
+    if emit {
+        for f in optimized.functions() {
+            println!("{f}");
+        }
+    }
+    if run {
+        match Vm::new(&optimized, *platform).run("main", &[]) {
+            Ok(out) => {
+                println!(
+                    "result = {:?}  exception = {:?}  trace = {:?}",
+                    out.result, out.exception, out.trace
+                );
+                println!(
+                    "cycles = {}  insts = {}  explicit checks = {}  traps = {}  missed NPEs = {}",
+                    out.stats.cycles,
+                    out.stats.insts,
+                    out.stats.explicit_null_checks,
+                    out.stats.traps_taken,
+                    out.stats.missed_npes
+                );
+            }
+            Err(fault) => {
+                eprintln!("FAULT: {fault}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut kind = ConfigKind::Full;
+    let mut platform = Platform::windows_ia32();
+    let mut emit = false;
+    let mut run = false;
+    let mut all = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--config" => match it.next().and_then(|s| parse_config(s)) {
+                Some(k) => kind = k,
+                None => return usage(),
+            },
+            "--platform" => match it.next().and_then(|s| parse_platform(s)) {
+                Some(p) => platform = p,
+                None => return usage(),
+            },
+            "--emit" => emit = true,
+            "--run" => run = true,
+            "--all" => all = true,
+            "--help" | "-h" => return usage(),
+            other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
+            _ => return usage(),
+        }
+    }
+    let Some(file) = file else { return usage() };
+    if !emit && !run {
+        run = true;
+    }
+    let source = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("njc: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let module = match load_module(&source) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("njc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if all {
+        let kinds = [
+            ConfigKind::Full,
+            ConfigKind::Phase1Only,
+            ConfigKind::OldNullCheck,
+            ConfigKind::NoNullOptTrap,
+            ConfigKind::NoNullOptNoTrap,
+        ];
+        let mut code = ExitCode::SUCCESS;
+        for k in kinds {
+            let c = run_one(&module, &platform, k, emit, run);
+            if c != ExitCode::SUCCESS {
+                code = c;
+            }
+            println!();
+        }
+        code
+    } else {
+        run_one(&module, &platform, kind, emit, run)
+    }
+}

@@ -1,0 +1,15 @@
+//! # njc — facade for the null check elimination reproduction
+//!
+//! Re-exports the workspace crates under one roof. See README.md for the
+//! project overview and DESIGN.md for the system inventory.
+
+pub use njc_arch as arch;
+pub use njc_codegen as codegen;
+pub use njc_core as core;
+pub use njc_dataflow as dataflow;
+pub use njc_ir as ir;
+pub use njc_jit as jit;
+pub use njc_opt as opt;
+pub use njc_trap as trap;
+pub use njc_vm as vm;
+pub use njc_workloads as workloads;

@@ -1,0 +1,142 @@
+//! Full-matrix correctness: every workload × every configuration × both
+//! platforms must be observationally equivalent to the unoptimized
+//! program (except the deliberately-unsound Illegal Implicit experiment,
+//! which must record its missed NPEs instead).
+
+use njc_arch::Platform;
+use njc_jit::{check_equivalence, compile, execute, execute_unoptimized};
+use njc_opt::ConfigKind;
+
+#[test]
+fn windows_matrix_is_equivalent() {
+    let p = Platform::windows_ia32();
+    for w in njc_workloads::all() {
+        for kind in ConfigKind::table12_rows() {
+            check_equivalence(&w, &p, kind).unwrap_or_else(|e| panic!("equivalence failure: {e}"));
+        }
+        check_equivalence(&w, &p, ConfigKind::RefJit)
+            .unwrap_or_else(|e| panic!("equivalence failure: {e}"));
+    }
+}
+
+#[test]
+fn aix_matrix_is_equivalent_modulo_illegal_implicit() {
+    let p = Platform::aix_ppc();
+    for w in njc_workloads::all() {
+        for kind in ConfigKind::table67_rows() {
+            check_equivalence(&w, &p, kind).unwrap_or_else(|e| panic!("equivalence failure: {e}"));
+        }
+    }
+}
+
+#[test]
+fn micro_workloads_equivalent_on_both_platforms() {
+    for (name, module) in njc_workloads::micro::all_micro() {
+        let w = njc_workloads::Workload {
+            name: Box::leak(name.to_string().into_boxed_str()),
+            suite: njc_workloads::Suite::Micro,
+            module,
+            entry: "main",
+            work_units: 1,
+        };
+        for p in [Platform::windows_ia32(), Platform::aix_ppc()] {
+            for kind in [
+                ConfigKind::NoNullOptNoTrap,
+                ConfigKind::NoNullOptTrap,
+                ConfigKind::OldNullCheck,
+                ConfigKind::Phase1Only,
+                ConfigKind::Full,
+                ConfigKind::AixSpeculation,
+            ] {
+                check_equivalence(&w, &p, kind)
+                    .unwrap_or_else(|e| panic!("{name} on {}: {e}", p.name));
+            }
+        }
+    }
+}
+
+#[test]
+fn null_seeded_npe_paths_survive_all_sound_configs() {
+    // The stress case: NPEs actually fire. Every sound configuration must
+    // deliver the exact same exception pattern.
+    let micro = njc_workloads::micro::null_seeded();
+    let w = njc_workloads::Workload {
+        name: "null_seeded",
+        suite: njc_workloads::Suite::Micro,
+        module: micro,
+        entry: "main",
+        work_units: 1,
+    };
+    for p in [Platform::windows_ia32(), Platform::aix_ppc()] {
+        let base = execute_unoptimized(&w, &p).unwrap();
+        assert!(base.exception.is_none(), "NPEs are caught internally");
+        // The checksum encodes the NPE count; it must be nonzero.
+        let npes = base.trace[1];
+        assert_ne!(npes, njc_vm::Value::Int(0), "stress case exercises NPEs");
+        for kind in [
+            ConfigKind::NoNullOptTrap,
+            ConfigKind::OldNullCheck,
+            ConfigKind::Phase1Only,
+            ConfigKind::Full,
+            ConfigKind::AixSpeculation,
+            ConfigKind::AixNoSpeculation,
+        ] {
+            let out = check_equivalence(&w, &p, kind)
+                .unwrap_or_else(|e| panic!("null_seeded on {}: {e}", p.name));
+            assert_eq!(out.trace, base.trace);
+        }
+    }
+}
+
+#[test]
+fn illegal_implicit_misses_npes_on_aix_only() {
+    // §5.4: applying the Intel phase 2 on AIX silently misses NPEs.
+    let micro = njc_workloads::micro::null_seeded();
+    let w = njc_workloads::Workload {
+        name: "null_seeded",
+        suite: njc_workloads::Suite::Micro,
+        module: micro,
+        entry: "main",
+        work_units: 1,
+    };
+    let aix = Platform::aix_ppc();
+    let compiled = compile(&w, &aix, ConfigKind::AixIllegalImplicit);
+    let out = execute(&compiled, &aix).expect("runs to completion (with garbage)");
+    assert!(
+        out.stats.missed_npes > 0,
+        "the illegal configuration must record missed NPEs: {:?}",
+        out.stats
+    );
+    // The same configuration on Windows (where reads DO trap) is sound.
+    let win = Platform::windows_ia32();
+    let base = execute_unoptimized(&w, &win).unwrap();
+    let compiled = compile(&w, &win, ConfigKind::Full);
+    let out = execute(&compiled, &win).unwrap();
+    base.assert_equivalent(&out).unwrap();
+    assert_eq!(out.stats.missed_npes, 0);
+}
+
+#[test]
+fn s390_platform_matrix_is_equivalent() {
+    // The paper's third JIT target. Read+write trapping like Windows, so
+    // the full configuration set applies.
+    let p = Platform::linux_s390();
+    for w in njc_workloads::jbytemark().into_iter().take(4) {
+        for kind in [
+            ConfigKind::Full,
+            ConfigKind::OldNullCheck,
+            ConfigKind::NoNullOptNoTrap,
+        ] {
+            check_equivalence(&w, &p, kind).unwrap_or_else(|e| panic!("s390: {e}"));
+        }
+    }
+    let micro = njc_workloads::micro::null_seeded();
+    let w = njc_workloads::Workload {
+        name: "null_seeded",
+        suite: njc_workloads::Suite::Micro,
+        module: micro,
+        entry: "main",
+        work_units: 1,
+    };
+    check_equivalence(&w, &p, ConfigKind::Full).unwrap();
+}

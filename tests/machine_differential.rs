@@ -1,0 +1,131 @@
+//! Differential testing: the machine-level simulator (lowered code +
+//! exception tables) must agree with the IR interpreter on every
+//! observable, for every workload and optimization configuration.
+
+use njc_arch::Platform;
+use njc_codegen::{lower_module, MValue, Machine};
+use njc_jit::compile;
+use njc_opt::ConfigKind;
+use njc_vm::{Value, Vm};
+
+fn assert_agree(
+    name: &str,
+    kind: &str,
+    vm_out: &njc_vm::Outcome,
+    m_out: &njc_codegen::MachineOutcome,
+) {
+    assert_eq!(
+        vm_out.exception, m_out.exception,
+        "{name} [{kind}]: exception mismatch"
+    );
+    let conv = |v: &Value| match *v {
+        Value::Int(i) => MValue::Int(i),
+        Value::Float(f) => MValue::Float(f),
+        Value::Ref(_) => MValue::Ref(0), // addresses differ between heaps
+    };
+    assert_eq!(
+        vm_out.result.as_ref().map(conv),
+        m_out.result,
+        "{name} [{kind}]: result mismatch"
+    );
+    let vm_trace: Vec<MValue> = vm_out.trace.iter().map(conv).collect();
+    assert_eq!(vm_trace, m_out.trace, "{name} [{kind}]: trace mismatch");
+}
+
+#[test]
+fn machine_matches_interpreter_on_unoptimized_workloads() {
+    let p = Platform::windows_ia32();
+    for w in njc_workloads::all() {
+        let vm_out = Vm::new(&w.module, p).run("main", &[]).unwrap();
+        let mm = lower_module(&w.module);
+        let m_out = Machine::new(&mm, p).run("main").unwrap();
+        assert_agree(w.name, "unoptimized", &vm_out, &m_out);
+    }
+}
+
+#[test]
+fn machine_matches_interpreter_on_optimized_workloads() {
+    for p in [Platform::windows_ia32(), Platform::aix_ppc()] {
+        for w in njc_workloads::all() {
+            for kind in [ConfigKind::Full, ConfigKind::OldNullCheck] {
+                let compiled = compile(&w, &p, kind);
+                let vm_out = Vm::new(&compiled.module, p).run("main", &[]).unwrap();
+                let mm = lower_module(&compiled.module);
+                let m_out = Machine::new(&mm, p).run("main").unwrap();
+                assert_agree(w.name, &format!("{kind:?} {}", p.name), &vm_out, &m_out);
+                // The machine's explicit check count must match the
+                // interpreter's: both execute the same residual checks.
+                assert_eq!(
+                    vm_out.stats.explicit_null_checks, m_out.stats.explicit_null_checks,
+                    "{} [{kind:?}]: residual check count",
+                    w.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn machine_traps_dispatch_through_the_site_table() {
+    // The null-seeded stress program under Full: its NPEs arrive as real
+    // hardware traps resolved by PC lookup.
+    let w = njc_workloads::Workload {
+        name: "null_seeded",
+        suite: njc_workloads::Suite::Micro,
+        module: njc_workloads::micro::null_seeded(),
+        entry: "main",
+        work_units: 1,
+    };
+    let p = Platform::windows_ia32();
+    let compiled = compile(&w, &p, ConfigKind::Full);
+    let vm_out = Vm::new(&compiled.module, p).run("main", &[]).unwrap();
+    let mm = lower_module(&compiled.module);
+    assert!(mm.total_sites() > 0, "the optimized code relies on traps");
+    let m_out = Machine::new(&mm, p).run("main").unwrap();
+    assert_agree("null_seeded", "Full", &vm_out, &m_out);
+    assert!(
+        m_out.stats.traps_taken > 0,
+        "NPEs must arrive via hardware traps: {:?}",
+        m_out.stats
+    );
+}
+
+#[test]
+fn machine_detects_unsound_code() {
+    // Strip the exception site tables from correctly optimized code: the
+    // first trap must become an UnexpectedTrap machine fault.
+    let w = njc_workloads::Workload {
+        name: "null_seeded",
+        suite: njc_workloads::Suite::Micro,
+        module: njc_workloads::micro::null_seeded(),
+        entry: "main",
+        work_units: 1,
+    };
+    let p = Platform::windows_ia32();
+    let compiled = compile(&w, &p, ConfigKind::Full);
+    let mut mm = lower_module(&compiled.module);
+    for f in &mut mm.functions {
+        f.sites = njc_codegen::ExceptionSiteTable::new();
+    }
+    let err = Machine::new(&mm, p).run("main").unwrap_err();
+    assert!(
+        matches!(err, njc_codegen::MachineFault::UnexpectedTrap { .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn illegal_implicit_misses_npes_at_machine_level_too() {
+    let w = njc_workloads::Workload {
+        name: "null_seeded",
+        suite: njc_workloads::Suite::Micro,
+        module: njc_workloads::micro::null_seeded(),
+        entry: "main",
+        work_units: 1,
+    };
+    let aix = Platform::aix_ppc();
+    let compiled = compile(&w, &aix, ConfigKind::AixIllegalImplicit);
+    let mm = lower_module(&compiled.module);
+    let m_out = Machine::new(&mm, aix).run("main").unwrap();
+    assert!(m_out.stats.missed_npes > 0, "{:?}", m_out.stats);
+}

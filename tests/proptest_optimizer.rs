@@ -1,0 +1,310 @@
+//! Property-based correctness: random programs — loops, branches, field
+//! and array traffic, try regions, *and null references* — must behave
+//! observationally identically under every sound optimization
+//! configuration on both platforms.
+//!
+//! This is the oracle the whole reproduction rests on: the optimizer may
+//! move, convert, and delete checks at will, but the observable outcome
+//! (result, escaped exception, observation trace) must never change, and
+//! the VM must never report a fault (unexpected trap / wild access).
+
+use njc_arch::Platform;
+use njc_ir::{CatchKind, Cond, FuncBuilder, Module, Op, Type, VarId};
+use njc_jit::{compile, execute, execute_unoptimized};
+use njc_opt::ConfigKind;
+use njc_workloads::{Suite, Workload};
+use proptest::prelude::*;
+
+/// One step of the random program.
+#[derive(Clone, Debug)]
+enum Action {
+    /// Define a fresh int from a constant.
+    IConst(i8),
+    /// Combine two ints (indices into the int pool).
+    IntOp(u8, usize, usize),
+    /// Allocate an object into the ref pool.
+    NewObj,
+    /// Push a null into the ref pool.
+    NullRef,
+    /// Read field `field` of ref `r` into the int pool (may throw NPE).
+    GetField(usize, usize),
+    /// Write int `v` to field `field` of ref `r` (may throw NPE).
+    PutField(usize, usize, usize),
+    /// Read `arr[i & mask]` (bounds-checked) into the int pool.
+    ArrLoad(usize),
+    /// Store to `arr[i & mask]`.
+    ArrStore(usize, usize),
+    /// Observe an int.
+    Observe(usize),
+    /// `if (a < b) { nested }`.
+    IfLt(usize, usize, Vec<Action>),
+    /// Bounded counted loop over the nested body.
+    Loop(u8, Vec<Action>),
+}
+
+fn action_strategy(depth: u32) -> impl Strategy<Value = Action> {
+    let leaf = prop_oneof![
+        any::<i8>().prop_map(Action::IConst),
+        (0u8..4, 0usize..8, 0usize..8).prop_map(|(o, a, b)| Action::IntOp(o, a, b)),
+        Just(Action::NewObj),
+        Just(Action::NullRef),
+        (0usize..6, 0usize..2).prop_map(|(r, f)| Action::GetField(r, f)),
+        (0usize..6, 0usize..2, 0usize..8).prop_map(|(r, f, v)| Action::PutField(r, f, v)),
+        (0usize..8).prop_map(Action::ArrLoad),
+        (0usize..8, 0usize..8).prop_map(|(i, v)| Action::ArrStore(i, v)),
+        (0usize..8).prop_map(Action::Observe),
+    ];
+    leaf.prop_recursive(depth, 24, 6, |inner| {
+        prop_oneof![
+            (
+                0usize..8,
+                0usize..8,
+                prop::collection::vec(inner.clone(), 1..4)
+            )
+                .prop_map(|(a, b, body)| Action::IfLt(a, b, body)),
+            (1u8..5, prop::collection::vec(inner, 1..4))
+                .prop_map(|(n, body)| Action::Loop(n, body)),
+        ]
+    })
+}
+
+/// Emits one action into the builder, maintaining pools of defined ints
+/// and refs so every operand is initialized.
+fn emit(
+    b: &mut FuncBuilder,
+    a: &Action,
+    ints: &mut Vec<VarId>,
+    refs: &mut Vec<VarId>,
+    class: njc_ir::ClassId,
+    fields: &[njc_ir::FieldId],
+    arr: VarId,
+) {
+    let int_at = |ints: &Vec<VarId>, i: usize| ints[i % ints.len()];
+    let ref_at = |refs: &Vec<VarId>, i: usize| refs[i % refs.len()];
+    match a {
+        Action::IConst(k) => ints.push(b.iconst(*k as i64)),
+        Action::IntOp(o, x, y) => {
+            let (x, y) = (int_at(ints, *x), int_at(ints, *y));
+            let op = [Op::Add, Op::Sub, Op::Mul, Op::Xor][*o as usize % 4];
+            ints.push(b.binop(op, x, y));
+        }
+        Action::NewObj => refs.push(b.new_object(class)),
+        Action::NullRef => refs.push(b.null_ref()),
+        Action::GetField(r, f) => {
+            let r = ref_at(refs, *r);
+            ints.push(b.get_field(r, fields[*f % fields.len()]));
+        }
+        Action::PutField(r, f, v) => {
+            let r = ref_at(refs, *r);
+            let v = int_at(ints, *v);
+            b.put_field(r, fields[*f % fields.len()], v);
+        }
+        Action::ArrLoad(i) => {
+            let i = int_at(ints, *i);
+            let m = b.iconst(7);
+            let idx = b.binop(Op::And, i, m);
+            ints.push(b.array_load(arr, idx, Type::Int));
+        }
+        Action::ArrStore(i, v) => {
+            let i = int_at(ints, *i);
+            let v = int_at(ints, *v);
+            let m = b.iconst(7);
+            let idx = b.binop(Op::And, i, m);
+            b.array_store(arr, idx, v, Type::Int);
+        }
+        Action::Observe(i) => {
+            let v = int_at(ints, *i);
+            b.observe(v);
+        }
+        Action::IfLt(x, y, body) => {
+            let (x, y) = (int_at(ints, *x), int_at(ints, *y));
+            let t = b.new_block();
+            let j = b.new_block();
+            b.br_if(Cond::Lt, x, y, t, j);
+            b.switch_to(t);
+            // Pools are branch-local extensions: anything defined inside
+            // the branch must not be used at the join (it may not have
+            // executed). Clone-and-restore gives that.
+            let mut ints2 = ints.clone();
+            let mut refs2 = refs.clone();
+            for a in body {
+                emit(b, a, &mut ints2, &mut refs2, class, fields, arr);
+            }
+            b.goto(j);
+            b.switch_to(j);
+        }
+        Action::Loop(n, body) => {
+            let zero = b.iconst(0);
+            let end = b.iconst(*n as i64);
+            b.for_loop(zero, end, 1, |b, _i| {
+                let mut ints2 = ints.clone();
+                let mut refs2 = refs.clone();
+                for a in body {
+                    emit(b, a, &mut ints2, &mut refs2, class, fields, arr);
+                }
+            });
+        }
+    }
+}
+
+/// Builds a module: `work(obj, maybe_null, arr)` runs the action list
+/// inside a catch-all try region (so NPEs are observable, not escaping),
+/// and `main` calls it with a real object, a null, and a small array.
+fn build_module(actions: &[Action]) -> Module {
+    let mut m = Module::new("random");
+    let class = m.add_class("C", &[("f0", Type::Int), ("f1", Type::Int)]);
+    let fields = [m.field(class, "f0").unwrap(), m.field(class, "f1").unwrap()];
+
+    let work = {
+        let mut b = FuncBuilder::new("work", &[Type::Ref, Type::Ref, Type::Ref], Type::Int);
+        let obj = b.param(0);
+        let nul = b.param(1);
+        let arr = b.param(2);
+        let handler = b.new_block();
+        let after = b.new_block();
+        let body = b.new_block();
+        let code = b.var(Type::Int);
+        let out = b.var(Type::Int);
+        let z = b.iconst(0);
+        b.assign(out, z);
+        let region = b.add_try_region(handler, CatchKind::Any, Some(code));
+        b.goto(body);
+        b.set_try_region(Some(region));
+        b.switch_to(body);
+        let mut ints = vec![z];
+        let mut refs = vec![obj, nul];
+        for a in actions {
+            emit(&mut b, a, &mut ints, &mut refs, class, &fields, arr);
+        }
+        let last = *ints.last().unwrap();
+        b.assign(out, last);
+        b.goto(after);
+        b.set_try_region(None);
+        b.switch_to(handler);
+        b.observe(code);
+        b.assign(out, code);
+        b.goto(after);
+        b.switch_to(after);
+        b.ret(Some(out));
+        m.add_function(b.finish())
+    };
+
+    let mut b = FuncBuilder::new("main", &[], Type::Int);
+    let obj = b.new_object(class);
+    let five = b.iconst(5);
+    b.put_field(obj, fields[0], five);
+    let nul = b.null_ref();
+    let eight = b.iconst(8);
+    let arr = b.new_array(Type::Int, eight);
+    let r = b
+        .call_static(work, &[obj, nul, arr], Some(Type::Int))
+        .unwrap();
+    b.observe(r);
+    b.ret(Some(r));
+    m.add_function(b.finish());
+    m
+}
+
+fn check_all_configs(actions: &[Action]) -> Result<(), TestCaseError> {
+    let module = build_module(actions);
+    njc_ir::verify_module(&module)
+        .map_err(|e| TestCaseError::fail(format!("generated module invalid: {:?}", &e[..1])))?;
+    let w = Workload {
+        name: "random",
+        suite: Suite::Micro,
+        module,
+        entry: "main",
+        work_units: 1,
+    };
+    for platform in [Platform::windows_ia32(), Platform::aix_ppc()] {
+        let base = execute_unoptimized(&w, &platform).map_err(|f| {
+            TestCaseError::fail(format!("baseline fault on {}: {f}", platform.name))
+        })?;
+        for kind in [
+            ConfigKind::NoNullOptNoTrap,
+            ConfigKind::NoNullOptTrap,
+            ConfigKind::OldNullCheck,
+            ConfigKind::Phase1Only,
+            ConfigKind::Full,
+            ConfigKind::AixSpeculation,
+            ConfigKind::AixNoSpeculation,
+        ] {
+            let compiled = compile(&w, &platform, kind);
+            let out = execute(&compiled, &platform).map_err(|f| {
+                TestCaseError::fail(format!(
+                    "fault under {kind:?} on {}: {f}\n{}",
+                    platform.name,
+                    compiled
+                        .module
+                        .function(compiled.module.function_by_name("work").unwrap())
+                ))
+            })?;
+            base.assert_equivalent(&out).map_err(|e| {
+                TestCaseError::fail(format!(
+                    "divergence under {kind:?} on {}: {e}\n{}",
+                    platform.name,
+                    compiled
+                        .module
+                        .function(compiled.module.function_by_name("work").unwrap())
+                ))
+            })?;
+            prop_assert_eq!(out.stats.missed_npes, 0, "sound config missed NPEs");
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 160,
+        max_shrink_iters: 200,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_programs_survive_every_sound_config(
+        actions in prop::collection::vec(action_strategy(3), 1..20)
+    ) {
+        check_all_configs(&actions)?;
+    }
+}
+
+#[test]
+fn known_tricky_shapes() {
+    // Regression seeds: shapes that exercise specific machinery.
+    let cases: Vec<Vec<Action>> = vec![
+        // Null deref inside a loop inside a branch.
+        vec![Action::IfLt(
+            0,
+            1,
+            vec![Action::Loop(3, vec![Action::GetField(1, 0)])],
+        )],
+        // Alternating field writes and reads through both refs.
+        vec![
+            Action::IConst(3),
+            Action::PutField(0, 0, 1),
+            Action::GetField(0, 0),
+            Action::PutField(1, 1, 1), // null write: NPE -> handler
+            Action::Observe(1),
+        ],
+        // Loop that redefines a ref then dereferences it.
+        vec![Action::Loop(
+            4,
+            vec![
+                Action::NewObj,
+                Action::GetField(2, 1),
+                Action::NullRef,
+                Action::GetField(3, 0),
+            ],
+        )],
+        // Array traffic mixed with null derefs.
+        vec![
+            Action::IConst(2),
+            Action::ArrStore(1, 1),
+            Action::Loop(3, vec![Action::ArrLoad(1), Action::GetField(1, 0)]),
+        ],
+    ];
+    for (i, actions) in cases.iter().enumerate() {
+        check_all_configs(actions).unwrap_or_else(|e| panic!("case {i}: {e:?}"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Print → parse round-trip property tests over the textual IR, plus
+//! pass-level invariants (idempotence, verifiability) on randomly shaped
+//! functions.
+
+use njc_arch::TrapModel;
+use njc_core::ctx::AnalysisCtx;
+use njc_core::{phase1, phase2, whaley};
+use njc_ir::{
+    parse_function, verify, CatchKind, Cond, ExceptionKind, FuncBuilder, Module, Op, Type,
+};
+use proptest::prelude::*;
+
+/// A compact generator of structurally diverse single functions: a chain
+/// of segments, each one of a few shapes.
+#[derive(Clone, Debug)]
+enum Segment {
+    Arith(u8),
+    FieldRead(u8),
+    FieldWrite(u8),
+    ArrayTouch(u8),
+    Branch(u8),
+    CountedLoop(u8),
+    TryNpe(u8),
+}
+
+fn segment_strategy() -> impl Strategy<Value = Segment> {
+    prop_oneof![
+        any::<u8>().prop_map(Segment::Arith),
+        any::<u8>().prop_map(Segment::FieldRead),
+        any::<u8>().prop_map(Segment::FieldWrite),
+        any::<u8>().prop_map(Segment::ArrayTouch),
+        any::<u8>().prop_map(Segment::Branch),
+        any::<u8>().prop_map(Segment::CountedLoop),
+        any::<u8>().prop_map(Segment::TryNpe),
+    ]
+}
+
+fn build(segments: &[Segment]) -> njc_ir::Function {
+    let mut b = FuncBuilder::new("gen", &[Type::Ref, Type::Int], Type::Int);
+    let obj = b.param(0);
+    let x = b.param(1);
+    let mut acc = b.iconst(1);
+    for s in segments {
+        match s {
+            Segment::Arith(k) => {
+                let c = b.iconst(*k as i64);
+                let op = [Op::Add, Op::Sub, Op::Mul, Op::Xor, Op::And, Op::Or][*k as usize % 6];
+                acc = b.binop(op, acc, c);
+            }
+            Segment::FieldRead(k) => {
+                let f = njc_ir::FieldId(*k as u32 % 2);
+                let v = b.get_field(obj, f);
+                acc = b.add(acc, v);
+            }
+            Segment::FieldWrite(k) => {
+                let f = njc_ir::FieldId(*k as u32 % 2);
+                b.put_field(obj, f, acc);
+            }
+            Segment::ArrayTouch(k) => {
+                let len = b.iconst((*k as i64 % 7) + 1);
+                let arr = b.new_array(Type::Int, len);
+                let zero = b.iconst(0);
+                b.array_store(arr, zero, acc, Type::Int);
+                let v = b.array_load(arr, zero, Type::Int);
+                acc = b.add(acc, v);
+            }
+            Segment::Branch(k) => {
+                let c = b.iconst(*k as i64);
+                let t = b.new_block();
+                let e = b.new_block();
+                let j = b.new_block();
+                b.br_if(Cond::Lt, x, c, t, e);
+                b.switch_to(t);
+                let one = b.iconst(1);
+                let accn = b.add(acc, one);
+                b.goto(j);
+                b.switch_to(e);
+                b.goto(j);
+                b.switch_to(j);
+                // `accn` defined only on one path: keep using `acc` (join-
+                // safe) but read accn through a second branch to keep it
+                // live and structurally interesting.
+                let t2 = b.new_block();
+                let j2 = b.new_block();
+                b.br_if(Cond::Ge, x, c, t2, j2);
+                b.switch_to(t2);
+                b.observe(acc);
+                let _ = accn;
+                b.goto(j2);
+                b.switch_to(j2);
+            }
+            Segment::CountedLoop(k) => {
+                let zero = b.iconst(0);
+                let n = b.iconst((*k as i64 % 5) + 1);
+                let sum = b.var(Type::Int);
+                b.assign(sum, acc);
+                b.for_loop(zero, n, 1, |b, i| {
+                    b.binop_into(sum, Op::Add, sum, i);
+                });
+                acc = sum;
+            }
+            Segment::TryNpe(k) => {
+                let handler = b.new_block();
+                let after = b.new_block();
+                let inner = b.new_block();
+                let code = b.var(Type::Int);
+                let region = b.add_try_region(
+                    handler,
+                    CatchKind::Only(ExceptionKind::NullPointer),
+                    Some(code),
+                );
+                b.goto(inner);
+                b.set_try_region(Some(region));
+                b.switch_to(inner);
+                let f = njc_ir::FieldId(*k as u32 % 2);
+                let v = b.get_field(obj, f);
+                let acc2 = b.add(acc, v);
+                b.observe(acc2);
+                b.goto(after);
+                b.set_try_region(None);
+                b.switch_to(handler);
+                b.observe(code);
+                b.goto(after);
+                b.switch_to(after);
+            }
+        }
+    }
+    b.ret(Some(acc));
+    b.finish()
+}
+
+fn test_module() -> Module {
+    let mut m = Module::new("rt");
+    m.add_class("C", &[("a", Type::Int), ("b", Type::Int)]);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, .. ProptestConfig::default() })]
+
+    /// Display → parse is the identity on generated functions.
+    #[test]
+    fn print_parse_round_trip(segs in prop::collection::vec(segment_strategy(), 0..12)) {
+        let f = build(&segs);
+        verify(&f).unwrap();
+        let printed = f.to_string();
+        let reparsed = parse_function(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        prop_assert_eq!(&reparsed, &f, "round trip mismatch:\n{}", printed);
+    }
+
+    /// Phase 1 is idempotent and preserves verifiability.
+    #[test]
+    fn phase1_idempotent(segs in prop::collection::vec(segment_strategy(), 0..12)) {
+        let m = test_module();
+        let ctx = AnalysisCtx::new(&m, TrapModel::windows_ia32());
+        let mut f = build(&segs);
+        phase1::run(&ctx, &mut f);
+        verify(&f).unwrap();
+        let once = f.to_string();
+        let stats = phase1::run(&ctx, &mut f);
+        prop_assert_eq!(stats.eliminated, 0);
+        prop_assert_eq!(stats.inserted, 0);
+        prop_assert_eq!(f.to_string(), once);
+    }
+
+    /// Phase 2 leaves no explicit check that is trivially substitutable,
+    /// and a second run performs no further conversions.
+    #[test]
+    fn phase2_stable(segs in prop::collection::vec(segment_strategy(), 0..12)) {
+        let m = test_module();
+        let ctx = AnalysisCtx::new(&m, TrapModel::windows_ia32());
+        let mut f = build(&segs);
+        phase1::run(&ctx, &mut f);
+        phase2::run(&ctx, &mut f);
+        verify(&f).unwrap();
+        let once = f.to_string();
+        let stats = phase2::run(&ctx, &mut f);
+        prop_assert_eq!(stats.converted_implicit, 0, "second phase 2 re-converted:\n{}", once);
+        verify(&f).unwrap();
+    }
+
+    /// Whaley never inserts and never increases the check count.
+    #[test]
+    fn whaley_only_removes(segs in prop::collection::vec(segment_strategy(), 0..12)) {
+        let mut f = build(&segs);
+        let before = phase1::count_checks(&f);
+        whaley::run(&mut f);
+        let after = phase1::count_checks(&f);
+        prop_assert!(after <= before);
+        verify(&f).unwrap();
+    }
+}
