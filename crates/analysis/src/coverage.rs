@@ -1,0 +1,489 @@
+//! Forward *must-be-covered* dataflow: every dereference is either
+//! dominated (on all paths) by an explicit null check of its base — tracked
+//! through copies, allocations, and `ifnull` edges — or is a marked
+//! implicit exception site that genuinely traps under the machine's
+//! [`TrapModel`].
+//!
+//! The analysis runs over the [`njc_dataflow`] solver with an
+//! intersection meet (a fact must hold on *every* incoming path). On
+//! exceptional edges into a handler the transferred facts mirror the
+//! optimizer's own masking rule (see `njc_core::phase1`): a fact reaches
+//! the handler only if it holds at every throwing point of the block — it
+//! was live at block entry and never killed before the last throwing
+//! instruction, or it was established before the first one.
+
+use njc_arch::TrapModel;
+use njc_core::ctx::{AccessClass, AnalysisCtx};
+use njc_dataflow::{solve, BitSet, Direction, Meet, Problem};
+use njc_ir::{BlockId, Function, Inst, Module, NullCheckKind, Terminator};
+
+use crate::{ValidationReport, Violation, ViolationKind};
+
+/// Applies one instruction to the covered-variable set.
+fn step(ctx: &AnalysisCtx, set: &mut BitSet, inst: &Inst) {
+    match inst {
+        Inst::NullCheck {
+            var,
+            kind: NullCheckKind::Explicit,
+        } => {
+            set.insert(var.index());
+        }
+        // An `Implicit` null check instruction is documentation only — the
+        // VM executes it as a no-op and it never throws, so it covers
+        // nothing. (No pass emits them; parsers can.)
+        Inst::NullCheck { .. } => {}
+        Inst::Move { dst, src } => {
+            if set.contains(src.index()) {
+                set.insert(dst.index());
+            } else {
+                set.remove(dst.index());
+            }
+        }
+        Inst::New { dst, .. } | Inst::NewArray { dst, .. } => {
+            set.insert(dst.index());
+        }
+        _ => {
+            // A marked site that is guaranteed to trap throws the NPE
+            // itself: on the normal continuation the base is non-null.
+            if inst.is_exception_site() {
+                if let Some((base, AccessClass::TrapGuaranteed)) = ctx.classify_access(inst) {
+                    set.insert(base.index());
+                }
+            }
+            // The definition kills last: a dereference whose destination
+            // is its own base (`v = getfield v, f`) leaves `v` unknown.
+            if let Some(d) = inst.def() {
+                set.remove(d.index());
+            }
+        }
+    }
+}
+
+/// Can `inst` transfer control to the enclosing region's handler?
+fn is_throw_point(ctx: &AnalysisCtx, inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::NullCheck {
+            kind: NullCheckKind::Explicit,
+            ..
+        }
+    ) || inst.can_throw_other()
+        || (inst.is_exception_site()
+            && matches!(
+                ctx.classify_access(inst),
+                Some((_, AccessClass::TrapGuaranteed))
+            ))
+}
+
+struct CoverageProblem<'a> {
+    ctx: AnalysisCtx<'a>,
+    func: &'a Function,
+    /// Per block: facts killed before the last throwing point (an incoming
+    /// fact must avoid all of these to survive onto the handler edge).
+    handler_kill: Vec<BitSet>,
+    /// Per block: facts established before the first throwing point and
+    /// never killed before a later one. Blocks with no throwing point hold
+    /// the full set — the handler edge is never taken, so it contributes ⊤
+    /// to the intersection meet.
+    handler_gen: Vec<BitSet>,
+}
+
+impl<'a> CoverageProblem<'a> {
+    fn new(ctx: AnalysisCtx<'a>, func: &'a Function) -> Self {
+        let n = func.num_vars();
+        let mut handler_kill = Vec::with_capacity(func.num_blocks());
+        let mut handler_gen = Vec::with_capacity(func.num_blocks());
+        for block in func.blocks() {
+            let mut cur_kill = BitSet::new(n);
+            let mut cur_gen = BitSet::new(n);
+            let mut acc_kill = BitSet::new(n);
+            let mut acc_gen = BitSet::full(n);
+            for inst in &block.insts {
+                // The throw happens before the instruction's own effects:
+                // a trapping site's NPE precedes its coverage of the base,
+                // an explicit check's NPE precedes its own fact.
+                if is_throw_point(&ctx, inst) {
+                    acc_kill.union_with(&cur_kill);
+                    acc_gen.intersect_with(&cur_gen);
+                }
+                match inst {
+                    Inst::NullCheck {
+                        var,
+                        kind: NullCheckKind::Explicit,
+                    } => {
+                        cur_gen.insert(var.index());
+                    }
+                    Inst::NullCheck { .. } => {}
+                    Inst::Move { dst, src } => {
+                        // Conservative on the handler edge: a copy of an
+                        // *incoming* covered fact is treated as a kill.
+                        if cur_gen.contains(src.index()) {
+                            cur_gen.insert(dst.index());
+                        } else {
+                            cur_gen.remove(dst.index());
+                            cur_kill.insert(dst.index());
+                        }
+                    }
+                    Inst::New { dst, .. } | Inst::NewArray { dst, .. } => {
+                        cur_gen.insert(dst.index());
+                    }
+                    _ => {
+                        if inst.is_exception_site() {
+                            if let Some((base, AccessClass::TrapGuaranteed)) =
+                                ctx.classify_access(inst)
+                            {
+                                cur_gen.insert(base.index());
+                            }
+                        }
+                        if let Some(d) = inst.def() {
+                            cur_gen.remove(d.index());
+                            cur_kill.insert(d.index());
+                        }
+                    }
+                }
+            }
+            handler_kill.push(acc_kill);
+            handler_gen.push(acc_gen);
+        }
+        CoverageProblem {
+            ctx,
+            func,
+            handler_kill,
+            handler_gen,
+        }
+    }
+
+    fn is_handler_edge(&self, from: BlockId, to: BlockId) -> bool {
+        self.func
+            .block(from)
+            .try_region
+            .map(|r| self.func.try_region(r).handler == to)
+            .unwrap_or(false)
+    }
+}
+
+impl Problem for CoverageProblem<'_> {
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn meet(&self) -> Meet {
+        Meet::Intersect
+    }
+
+    fn num_facts(&self) -> usize {
+        self.func.num_vars()
+    }
+
+    fn boundary(&self) -> BitSet {
+        let mut b = BitSet::new(self.func.num_vars());
+        // An instance method's receiver (`this`) is never null.
+        if self.func.is_instance() && self.func.num_vars() > 0 {
+            b.insert(0);
+        }
+        b
+    }
+
+    fn transfer(&self, block: BlockId, input: &BitSet, output: &mut BitSet) {
+        output.copy_from(input);
+        for inst in &self.func.block(block).insts {
+            step(&self.ctx, output, inst);
+        }
+    }
+
+    fn edge_uses_input(&self, from: BlockId, to: BlockId) -> bool {
+        self.is_handler_edge(from, to)
+    }
+
+    fn edge_transfer(&self, from: BlockId, to: BlockId, set: &mut BitSet) {
+        if self.is_handler_edge(from, to) {
+            // `set` holds the block's *input* facts here.
+            let mut handler = set.clone();
+            handler.subtract(&self.handler_kill[from.index()]);
+            handler.union_with(&self.handler_gen[from.index()]);
+            // If the terminator also targets the handler block (a normal
+            // edge sharing the target), stay conservative: intersect with
+            // the ordinary out-value.
+            let mut term_succs = Vec::new();
+            self.func.block(from).term.successors_into(&mut term_succs);
+            if term_succs.contains(&to) {
+                let mut out = BitSet::new(self.func.num_vars());
+                self.transfer(from, set, &mut out);
+                handler.intersect_with(&out);
+            }
+            set.copy_from(&handler);
+        } else if let Terminator::IfNull {
+            var,
+            on_null,
+            on_nonnull,
+        } = self.func.block(from).term
+        {
+            // The fall-through of a null test proves non-nullness.
+            if to == on_nonnull && on_nonnull != on_null {
+                set.insert(var.index());
+            }
+        }
+    }
+}
+
+/// Validates every dereference of one function under the machine's trap
+/// model. Returns the violations in block/instruction order.
+pub fn validate_function(module: &Module, machine: TrapModel, func: &Function) -> Vec<Violation> {
+    let ctx = AnalysisCtx::new(module, machine);
+    let problem = CoverageProblem::new(ctx, func);
+    let sol = solve(func, &problem);
+    let mut out = Vec::new();
+    let reachable = func.reachable();
+    for block in func.blocks() {
+        if !reachable[block.id.index()] {
+            continue;
+        }
+        let mut cov = sol.input(block.id).clone();
+        for (idx, inst) in block.insts.iter().enumerate() {
+            if let Some(v) = inst.requires_null_check() {
+                if !cov.contains(v.index()) {
+                    let marked = inst.is_exception_site();
+                    let class = ctx.classify_access(inst).map(|(_, c)| c);
+                    let is_call = matches!(inst, Inst::Call { .. });
+                    let mut push = |kind: ViolationKind, message: String| {
+                        out.push(Violation {
+                            function: func.name().to_string(),
+                            block: block.id,
+                            inst: Some(idx),
+                            var: Some(v),
+                            kind,
+                            message,
+                        });
+                    };
+                    match (marked, class) {
+                        (true, Some(AccessClass::TrapGuaranteed)) => {
+                            // The hardware trap is the null check.
+                        }
+                        (true, Some(AccessClass::Silent)) => {
+                            if is_call {
+                                push(
+                                    ViolationKind::BadDispatch,
+                                    "marked dispatch reads a null header silently: the \
+                                     NullPointerException is missed and the method table is \
+                                     garbage"
+                                        .to_string(),
+                                );
+                            } else {
+                                push(
+                                    ViolationKind::MissedException,
+                                    "marked implicit site does not trap under the machine \
+                                     model: the NullPointerException is silently missed \
+                                     (the §5.4 Illegal Implicit violation)"
+                                        .to_string(),
+                                );
+                            }
+                        }
+                        (true, _) => {
+                            push(
+                                ViolationKind::WildAccess,
+                                "marked implicit site may touch memory outside the protected \
+                                 area (unknown or big offset)"
+                                    .to_string(),
+                            );
+                        }
+                        (false, Some(AccessClass::TrapGuaranteed)) => {
+                            push(
+                                ViolationKind::UnexpectedTrap,
+                                "possibly-null dereference traps with no marked exception \
+                                 site to recover"
+                                    .to_string(),
+                            );
+                        }
+                        (false, Some(AccessClass::Silent)) => {
+                            if is_call {
+                                push(
+                                    ViolationKind::BadDispatch,
+                                    "dispatch through a possibly-null receiver whose header \
+                                     read does not trap"
+                                        .to_string(),
+                                );
+                            }
+                            // A bare silent read is legal speculation
+                            // (§3.3.1): it cannot fault; the check it
+                            // postponed is still accounted for by the
+                            // pairwise obligation validation.
+                        }
+                        (false, Some(AccessClass::Hazard)) => {
+                            push(
+                                ViolationKind::WildAccess,
+                                "possibly-null access at an unknown or unprotected offset"
+                                    .to_string(),
+                            );
+                        }
+                        (false, None) => {
+                            push(
+                                ViolationKind::UncheckedCall,
+                                "direct call with a possibly-null receiver: the callee \
+                                 assumes `this` is non-null"
+                                    .to_string(),
+                            );
+                        }
+                    }
+                }
+            }
+            step(&ctx, &mut cov, inst);
+        }
+    }
+    out
+}
+
+/// Validates every function of a module under the machine's trap model.
+pub fn validate_module(module: &Module, machine: TrapModel) -> ValidationReport {
+    let mut report = ValidationReport::default();
+    for func in module.functions() {
+        report
+            .violations
+            .extend(validate_function(module, machine, func));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use njc_ir::{parse_function, Type};
+
+    fn module() -> Module {
+        let mut m = Module::new("t");
+        m.add_class("C", &[("f", Type::Int)]);
+        m
+    }
+
+    fn func(src: &str) -> Function {
+        parse_function(src).unwrap()
+    }
+
+    fn validate(m: &Module, trap: TrapModel, f: &Function) -> Vec<Violation> {
+        validate_function(m, trap, f)
+    }
+
+    #[test]
+    fn checked_dereference_is_sound() {
+        let m = module();
+        let f = func(
+            "func g(v0: ref) -> int {\n  locals v1: int\nbb0:\n  nullcheck v0\n  v1 = getfield v0, field0\n  return v1\n}",
+        );
+        assert!(validate(&m, TrapModel::windows_ia32(), &f).is_empty());
+        assert!(validate(&m, TrapModel::aix_ppc(), &f).is_empty());
+    }
+
+    #[test]
+    fn unchecked_trapping_read_is_flagged() {
+        let m = module();
+        let f = func(
+            "func g(v0: ref) -> int {\n  locals v1: int\nbb0:\n  v1 = getfield v0, field0\n  return v1\n}",
+        );
+        let v = validate(&m, TrapModel::windows_ia32(), &f);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::UnexpectedTrap);
+        // The same bare read on AIX is a legal speculative load.
+        assert!(validate(&m, TrapModel::aix_ppc(), &f).is_empty());
+    }
+
+    #[test]
+    fn marked_site_is_sound_only_where_it_traps() {
+        let m = module();
+        let f = func(
+            "func g(v0: ref) -> int {\n  locals v1: int\nbb0:\n  v1 = getfield v0, field0 [site]\n  return v1\n}",
+        );
+        assert!(validate(&m, TrapModel::windows_ia32(), &f).is_empty());
+        let v = validate(&m, TrapModel::aix_ppc(), &f);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].kind, ViolationKind::MissedException);
+    }
+
+    #[test]
+    fn coverage_flows_through_copies_and_allocations() {
+        let m = module();
+        let f = func(
+            "func g(v0: ref) -> int {\n  locals v1: ref v2: int v3: ref v4: int\nbb0:\n  nullcheck v0\n  v1 = move v0\n  v2 = getfield v1, field0\n  v3 = new class0\n  v4 = getfield v3, field0\n  return v4\n}",
+        );
+        assert!(validate(&m, TrapModel::windows_ia32(), &f).is_empty());
+    }
+
+    #[test]
+    fn redefinition_kills_coverage() {
+        let m = module();
+        let f = func(
+            "func g(v0: ref, v1: ref) -> int {\n  locals v2: int\nbb0:\n  nullcheck v0\n  v0 = move v1\n  v2 = getfield v0, field0\n  return v2\n}",
+        );
+        let v = validate(&m, TrapModel::windows_ia32(), &f);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::UnexpectedTrap);
+    }
+
+    #[test]
+    fn must_analysis_requires_checks_on_all_paths() {
+        let m = module();
+        // Checked on the then-path only: the merge dereference is unsound.
+        let f = func(
+            "func g(v0: ref, v1: int, v2: int) -> int {\n  locals v3: int\nbb0:\n  if lt v1, v2 then bb1 else bb2\nbb1:\n  nullcheck v0\n  goto bb3\nbb2:\n  goto bb3\nbb3:\n  v3 = getfield v0, field0\n  return v3\n}",
+        );
+        let v = validate(&m, TrapModel::windows_ia32(), &f);
+        assert_eq!(v.len(), 1, "{v:?}");
+
+        // Checked on both paths: sound.
+        let f = func(
+            "func g(v0: ref, v1: int, v2: int) -> int {\n  locals v3: int\nbb0:\n  if lt v1, v2 then bb1 else bb2\nbb1:\n  nullcheck v0\n  goto bb3\nbb2:\n  nullcheck v0\n  goto bb3\nbb3:\n  v3 = getfield v0, field0\n  return v3\n}",
+        );
+        assert!(validate(&m, TrapModel::windows_ia32(), &f).is_empty());
+    }
+
+    #[test]
+    fn ifnull_fallthrough_covers() {
+        let m = module();
+        let f = func(
+            "func g(v0: ref) -> int {\n  locals v1: int\nbb0:\n  ifnull v0 then bb2 else bb1\nbb1:\n  v1 = getfield v0, field0\n  return v1\nbb2:\n  v1 = const 0\n  return v1\n}",
+        );
+        assert!(validate(&m, TrapModel::windows_ia32(), &f).is_empty());
+    }
+
+    #[test]
+    fn instance_receiver_is_covered_at_entry() {
+        let m = module();
+        let mut f = func(
+            "func g(v0: ref) -> int {\n  locals v1: int\nbb0:\n  v1 = getfield v0, field0\n  return v1\n}",
+        );
+        f.set_instance(true);
+        assert!(validate(&m, TrapModel::windows_ia32(), &f).is_empty());
+    }
+
+    #[test]
+    fn handler_edge_masks_facts_established_after_a_throw() {
+        let m = module();
+        // The check happens *after* the throwing division, so the handler
+        // must not assume coverage.
+        let f = func(
+            "func g(v0: ref, v1: int, v2: int) -> int {\n  locals v3: int v4: int\n  try0: handler bb2 catch any -> v4\nbb0: [try0]\n  v3 = div.int v1, v2\n  nullcheck v0\n  goto bb1\nbb1:\n  return v3\nbb2:\n  v3 = getfield v0, field0\n  return v3\n}",
+        );
+        let v = validate(&m, TrapModel::windows_ia32(), &f);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].block, BlockId(2));
+
+        // Established before entering the region: the check itself cannot
+        // reach this handler, so coverage survives along the throwing edge.
+        let f = func(
+            "func g(v0: ref, v1: int, v2: int) -> int {\n  locals v3: int v4: int\n  try0: handler bb2 catch any -> v4\nbb0:\n  nullcheck v0\n  goto bb1\nbb1: [try0]\n  v3 = div.int v1, v2\n  goto bb3\nbb2:\n  v3 = getfield v0, field0\n  return v3\nbb3:\n  return v3\n}",
+        );
+        let v = validate(&m, TrapModel::windows_ia32(), &f);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn own_check_throw_does_not_cover_the_handler() {
+        let m = module();
+        // The only throwing point is the check of v0 itself: when it
+        // throws, v0 *is* null at the handler.
+        let f = func(
+            "func g(v0: ref) -> int {\n  locals v3: int v4: int\n  try0: handler bb2 catch any -> v4\nbb0: [try0]\n  nullcheck v0\n  v3 = getfield v0, field0\n  goto bb1\nbb1:\n  return v3\nbb2:\n  v3 = getfield v0, field0\n  return v3\n}",
+        );
+        let v = validate(&m, TrapModel::windows_ia32(), &f);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].block, BlockId(2));
+    }
+}

@@ -1,0 +1,237 @@
+//! The phase 1 performance guarantee (§4.1): *"our algorithm never
+//! increases the number of null checks executed on any path"*.
+//!
+//! A per-path count is not computable directly (paths are unbounded), so
+//! the guarantee is checked with two sound-to-accept approximations over
+//! the shared CFG:
+//!
+//! 1. **Acyclic skeleton** — with back edges removed (edges whose target
+//!    dominates their source), the CFG is a DAG; a longest-path dynamic
+//!    program computes, per variable, the maximum number of explicit null
+//!    checks on any entry-to-exit path. The optimized maximum must not
+//!    exceed the original. Comparing maxima only at *exits* matters:
+//!    hoisting legitimately increases the count of a path *prefix* (the
+//!    check runs earlier), while every complete path still runs at most as
+//!    many checks as before.
+//! 2. **Loop bodies** — a path entering a natural loop `k` times executes
+//!    `k` copies of some body path, so per loop the total number of checks
+//!    in body blocks must not grow. (Hoisting *out* of a loop reduces it;
+//!    phase 1 never inserts into a body.)
+//!
+//! If the true per-path invariant holds, both approximations accept (the
+//! max over paths and the per-body totals are monotone in per-path
+//! counts), so there are no false rejections. The converse is
+//! approximate — a pathological pair could rebalance counts between
+//! branches and slip through — which is the right direction for a
+//! validator: it never rejects a sound phase 1 run.
+
+use njc_ir::{DomTree, Function, Inst, NullCheckKind, VarId};
+
+use crate::{Violation, ViolationKind};
+
+/// Explicit null checks per (block, var). Implicit check instructions cost
+/// nothing at run time and are not counted.
+fn counts(func: &Function, nvars: usize) -> Vec<Vec<u32>> {
+    func.blocks()
+        .iter()
+        .map(|b| {
+            let mut c = vec![0u32; nvars];
+            for inst in &b.insts {
+                if let Inst::NullCheck {
+                    var,
+                    kind: NullCheckKind::Explicit,
+                } = inst
+                {
+                    c[var.index()] += 1;
+                }
+            }
+            c
+        })
+        .collect()
+}
+
+/// Per block, the per-variable maximum number of explicit checks on any
+/// acyclic entry-to-here path, inclusive (back edges removed per `dom`).
+/// `None` for blocks the acyclic skeleton does not reach.
+fn path_maxima(
+    func: &Function,
+    dom: &DomTree,
+    counts: &[Vec<u32>],
+    nvars: usize,
+) -> Vec<Option<Vec<u32>>> {
+    let mut best_in: Vec<Option<Vec<u32>>> = vec![None; func.num_blocks()];
+    best_in[func.entry().index()] = Some(vec![0u32; nvars]);
+    let mut best_out: Vec<Option<Vec<u32>>> = vec![None; func.num_blocks()];
+    for &b in dom.rpo() {
+        let Some(input) = best_in[b.index()].clone() else {
+            continue; // only reachable via back edges we removed
+        };
+        let out: Vec<u32> = input
+            .iter()
+            .zip(&counts[b.index()])
+            .map(|(i, c)| i + c)
+            .collect();
+        for s in func.successors(b) {
+            if dom.dominates(s, b) {
+                continue; // back edge: not part of the acyclic skeleton
+            }
+            match &mut best_in[s.index()] {
+                Some(cur) => {
+                    for (c, &o) in cur.iter_mut().zip(&out) {
+                        *c = (*c).max(o);
+                    }
+                }
+                None => best_in[s.index()] = Some(out.clone()),
+            }
+        }
+        best_out[b.index()] = Some(out);
+    }
+    best_out
+}
+
+/// Checks the §4.1 invariant: on no path does `opt` execute more explicit
+/// null checks than `orig`. Requires the pair to share its CFG (phase 1
+/// moves checks; it never restructures control flow).
+pub fn check_path_invariant(orig: &Function, opt: &Function) -> Vec<Violation> {
+    if orig.num_blocks() != opt.num_blocks()
+        || orig.entry() != opt.entry()
+        || orig
+            .blocks()
+            .iter()
+            .zip(opt.blocks())
+            .any(|(a, b)| a.term != b.term)
+    {
+        return vec![Violation {
+            function: opt.name().to_string(),
+            block: opt.entry(),
+            inst: None,
+            var: None,
+            kind: ViolationKind::StructureMismatch,
+            message: "path invariant needs an unchanged CFG".to_string(),
+        }];
+    }
+    let nvars = orig.num_vars().max(opt.num_vars());
+    let dom = DomTree::new(orig);
+    let c_orig = counts(orig, nvars);
+    let c_opt = counts(opt, nvars);
+    let mut errors = Vec::new();
+
+    // Compare per exit block: the acyclic path sets ending at any given
+    // exit are identical on both sides (same CFG), so a per-exit maximum
+    // that grows pins a path family that now runs more checks — and the
+    // finer granularity catches speculative insertion on a check-free path
+    // even when some *other* exit already ran a check.
+    let m_orig = path_maxima(orig, &dom, &c_orig, nvars);
+    let m_opt = path_maxima(opt, &dom, &c_opt, nvars);
+    for &b in dom.rpo() {
+        if !orig.block(b).term.is_exit() {
+            continue;
+        }
+        let (Some(mo), Some(mp)) = (&m_orig[b.index()], &m_opt[b.index()]) else {
+            continue;
+        };
+        for w in 0..nvars {
+            if mp[w] > mo[w] {
+                errors.push(Violation {
+                    function: opt.name().to_string(),
+                    block: b,
+                    inst: None,
+                    var: Some(VarId(w as u32)),
+                    kind: ViolationKind::CheckCountIncrease,
+                    message: format!(
+                        "a path to {b} executes {} checks of v{w}, up from {}",
+                        mp[w], mo[w]
+                    ),
+                });
+            }
+        }
+    }
+
+    for l in dom.natural_loops(orig) {
+        for w in 0..nvars {
+            let sum = |c: &[Vec<u32>]| -> u32 { l.blocks.iter().map(|b| c[b.index()][w]).sum() };
+            let (so, sp) = (sum(&c_orig), sum(&c_opt));
+            if sp > so {
+                errors.push(Violation {
+                    function: opt.name().to_string(),
+                    block: l.header,
+                    inst: None,
+                    var: Some(VarId(w as u32)),
+                    kind: ViolationKind::CheckCountIncrease,
+                    message: format!(
+                        "loop at {} holds {sp} checks of v{w}, up from {so}",
+                        l.header
+                    ),
+                });
+            }
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use njc_ir::parse_function;
+
+    fn pair(orig: &str, opt: &str) -> Vec<Violation> {
+        check_path_invariant(
+            &parse_function(orig).unwrap(),
+            &parse_function(opt).unwrap(),
+        )
+    }
+
+    #[test]
+    fn elimination_is_accepted() {
+        let orig = "func g(v0: ref) -> int {\n  locals v1: int v2: int\nbb0:\n  nullcheck v0\n  v1 = getfield v0, field0\n  nullcheck v0\n  v2 = getfield v0, field0\n  return v2\n}";
+        let opt = "func g(v0: ref) -> int {\n  locals v1: int v2: int\nbb0:\n  nullcheck v0\n  v1 = getfield v0, field0\n  v2 = getfield v0, field0\n  return v2\n}";
+        assert!(pair(orig, opt).is_empty());
+        // And the reverse direction is an increase.
+        let v = pair(opt, orig);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::CheckCountIncrease);
+    }
+
+    #[test]
+    fn hoisting_a_prefix_is_accepted() {
+        // The check moves from both arms to the split point: the prefix
+        // count rises, the exit count does not.
+        let orig = "func g(v0: ref, v1: int, v2: int) -> int {\n  locals v3: int\nbb0:\n  if lt v1, v2 then bb1 else bb2\nbb1:\n  nullcheck v0\n  v3 = getfield v0, field0\n  return v3\nbb2:\n  nullcheck v0\n  v3 = getfield v0, field0\n  return v3\n}";
+        let opt = "func g(v0: ref, v1: int, v2: int) -> int {\n  locals v3: int\nbb0:\n  nullcheck v0\n  if lt v1, v2 then bb1 else bb2\nbb1:\n  v3 = getfield v0, field0\n  return v3\nbb2:\n  v3 = getfield v0, field0\n  return v3\n}";
+        assert!(pair(orig, opt).is_empty());
+    }
+
+    #[test]
+    fn speculative_insertion_is_rejected() {
+        // bb2 had no check: hoisting to bb0 adds one to that path.
+        let orig = "func g(v0: ref, v1: int, v2: int) -> int {\n  locals v3: int\nbb0:\n  if lt v1, v2 then bb1 else bb2\nbb1:\n  nullcheck v0\n  v3 = getfield v0, field0\n  return v3\nbb2:\n  v3 = const 0\n  return v3\n}";
+        let opt = "func g(v0: ref, v1: int, v2: int) -> int {\n  locals v3: int\nbb0:\n  nullcheck v0\n  if lt v1, v2 then bb1 else bb2\nbb1:\n  v3 = getfield v0, field0\n  return v3\nbb2:\n  v3 = const 0\n  return v3\n}";
+        let v = pair(orig, opt);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].kind, ViolationKind::CheckCountIncrease);
+    }
+
+    #[test]
+    fn loop_hoist_is_accepted_and_loop_insert_is_rejected() {
+        let in_loop = "func g(v0: ref, v1: int) -> int {\n  locals v2: int v3: int\nbb0:\n  v2 = const 0\n  goto bb1\nbb1:\n  nullcheck v0\n  v3 = getfield v0, field0\n  v2 = add.int v2, v3\n  if lt v2, v1 then bb1 else bb2\nbb2:\n  return v2\n}";
+        let hoisted = "func g(v0: ref, v1: int) -> int {\n  locals v2: int v3: int\nbb0:\n  v2 = const 0\n  nullcheck v0\n  goto bb1\nbb1:\n  v3 = getfield v0, field0\n  v2 = add.int v2, v3\n  if lt v2, v1 then bb1 else bb2\nbb2:\n  return v2\n}";
+        assert!(pair(in_loop, hoisted).is_empty());
+        // Sinking a check *into* a loop multiplies its executions even
+        // though the acyclic maximum stays flat.
+        let v = pair(hoisted, in_loop);
+        assert!(
+            v.iter()
+                .any(|x| x.kind == ViolationKind::CheckCountIncrease),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn changed_cfg_is_a_structure_mismatch() {
+        let a = "func g(v0: int) -> int {\nbb0:\n  return v0\n}";
+        let b = "func g(v0: int) -> int {\nbb0:\n  goto bb1\nbb1:\n  return v0\n}";
+        let v = pair(a, b);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::StructureMismatch);
+    }
+}

@@ -1,0 +1,185 @@
+//! # njc-analysis — static translation validation for the null check optimizer
+//!
+//! The VM (`njc-vm`) is the *dynamic* oracle of this reproduction: it runs a
+//! program and reports missed `NullPointerException`s, unexpected traps, and
+//! wild accesses after the fact. This crate is the *static* counterpart — a
+//! translation-validation pass that proves, without executing anything, that
+//! the optimized output of the two-phase null check elimination (Kawahito,
+//! Komatsu, Nakatani; ASPLOS 2000) still checks every object reference it
+//! dereferences, on **every** control-flow path, under the trap model of the
+//! machine that will actually run the code.
+//!
+//! Three independent checkers are provided:
+//!
+//! * [`coverage`] — a forward *must-be-covered* dataflow (over the
+//!   [`njc_dataflow`] solver): at each instruction that dereferences a
+//!   reference, the base must be covered by an explicit [`njc_ir::Inst::NullCheck`]
+//!   on every path (tracked through copies, allocations, and `ifnull`
+//!   edges), or the instruction must be a *marked implicit exception site*
+//!   whose offset and access kind actually trap under the machine's
+//!   [`njc_arch::TrapModel`]. This is the check that statically flags the
+//!   §5.4 "Illegal Implicit" configuration on AIX: the site is marked, but a
+//!   read inside the protected area does **not** trap there, so the marked
+//!   check silently never fires.
+//! * [`obligation`] — pairwise translation validation of a single null check
+//!   pass (phase 1, phase 2, Whaley, trivial conversion): given the function
+//!   before and after the pass, a product-automaton dataflow proves that
+//!   check *motion* preserved precise exception semantics — no check crossed
+//!   a side effect, a redefinition, a try-region boundary, or a function
+//!   exit in a way the program could observe.
+//! * [`invariant`] — the paper's phase 1 performance guarantee (§4.1):
+//!   "the new algorithm never executes more null checks on any path than
+//!   the original program". Checked per variable over the acyclic skeleton
+//!   and per natural loop body (using [`njc_ir::DomTree`]).
+//!
+//! ```
+//! use njc_analysis::validate_module;
+//! use njc_arch::TrapModel;
+//! use njc_ir::{FuncBuilder, Module, Type};
+//!
+//! let mut m = Module::new("demo");
+//! let c = m.add_class("C", &[("f", Type::Int)]);
+//! let f = m.field(c, "f").unwrap();
+//! let mut b = FuncBuilder::new("get", &[Type::Ref], Type::Int);
+//! let obj = b.param(0);
+//! let x = b.get_field(obj, f); // FuncBuilder emits the explicit check
+//! b.ret(Some(x));
+//! m.add_function(b.finish());
+//! assert!(validate_module(&m, TrapModel::windows_ia32()).is_sound());
+//! ```
+
+pub mod coverage;
+pub mod invariant;
+pub mod obligation;
+
+use std::fmt;
+
+use njc_ir::{BlockId, VarId};
+
+pub use coverage::{validate_function, validate_module};
+pub use invariant::check_path_invariant;
+pub use obligation::validate_pair;
+
+/// The kind of soundness violation a checker found. The first five mirror
+/// the runtime verdicts of the VM (`njc_vm::Fault` and the missed-NPE
+/// counter); the last three are static-only structural findings.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ViolationKind {
+    /// A null dereference would raise a hardware trap with no marked
+    /// exception site to turn it into a `NullPointerException`
+    /// (the VM's `Fault::UnexpectedTrap`).
+    UnexpectedTrap,
+    /// A null dereference may touch memory outside the protected guard
+    /// area — unknown offset or the "BigOffset" of Figure 5 (1)
+    /// (the VM's `Fault::WildAccess`).
+    WildAccess,
+    /// A marked implicit exception site whose access does *not* trap under
+    /// the machine's model: the `NullPointerException` is silently missed —
+    /// the §5.4 "Illegal Implicit" violation (the VM's `missed_npes`).
+    MissedException,
+    /// A call dispatched through a possibly-null receiver whose header read
+    /// cannot trap (the VM's `Fault::BadDispatch`).
+    BadDispatch,
+    /// A direct (devirtualized) call with a possibly-null receiver: the
+    /// callee would run with a null `this`.
+    UncheckedCall,
+    /// A null check moved across a side effect, a redefinition, a try
+    /// boundary, or an exit — precise exception order is observable.
+    CheckOrdering,
+    /// The two sides of a pair validation are not comparable: a null check
+    /// pass changed something other than check placement and site marks.
+    StructureMismatch,
+    /// A path executes more null checks after phase 1 than before,
+    /// violating the paper's §4.1 guarantee.
+    CheckCountIncrease,
+}
+
+impl ViolationKind {
+    /// Short stable label (used in reports and the `njc-analyze` output).
+    pub fn label(self) -> &'static str {
+        match self {
+            ViolationKind::UnexpectedTrap => "unexpected-trap",
+            ViolationKind::WildAccess => "wild-access",
+            ViolationKind::MissedException => "missed-exception",
+            ViolationKind::BadDispatch => "bad-dispatch",
+            ViolationKind::UncheckedCall => "unchecked-call",
+            ViolationKind::CheckOrdering => "check-ordering",
+            ViolationKind::StructureMismatch => "structure-mismatch",
+            ViolationKind::CheckCountIncrease => "check-count-increase",
+        }
+    }
+}
+
+/// One soundness violation, located as precisely as the checker can.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Violation {
+    /// Function the violation is in.
+    pub function: String,
+    /// Block the violation is in.
+    pub block: BlockId,
+    /// Instruction index within the block, when the finding is that precise.
+    pub inst: Option<usize>,
+    /// The reference variable involved, when there is one.
+    pub var: Option<VarId>,
+    /// What went wrong.
+    pub kind: ViolationKind,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}, {}",
+            self.kind.label(),
+            self.function,
+            self.block
+        )?;
+        if let Some(i) = self.inst {
+            write!(f, " inst {i}")?;
+        }
+        if let Some(v) = self.var {
+            write!(f, " ({v})")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// The outcome of a validation run: empty means proven sound (with respect
+/// to the properties the checkers cover — see the crate docs).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct ValidationReport {
+    /// Everything found, in deterministic block/instruction order.
+    pub violations: Vec<Violation>,
+}
+
+impl ValidationReport {
+    /// No violations found.
+    pub fn is_sound(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Absorbs another report.
+    pub fn merge(&mut self, other: ValidationReport) {
+        self.violations.extend(other.violations);
+    }
+
+    /// How many violations are of `kind`.
+    pub fn count(&self, kind: ViolationKind) -> usize {
+        self.violations.iter().filter(|v| v.kind == kind).count()
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.violations.is_empty() {
+            return write!(f, "sound (no violations)");
+        }
+        writeln!(f, "{} violation(s):", self.violations.len())?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,797 @@
+//! Pairwise translation validation of one null check pass: precise
+//! exception order.
+//!
+//! The null check passes (phase 1, phase 2, Whaley, trivial conversion)
+//! change *only* where checks sit and which accesses carry an implicit
+//! exception-site mark — the residual instruction stream, the terminators,
+//! and the try regions are untouched. That makes the two sides comparable
+//! block by block, slot by slot.
+//!
+//! For each reference variable the validator tracks, along every path, the
+//! hypothetical world "the variable's current value is null" as a small
+//! automaton:
+//!
+//! * `U` — neither side has thrown for it (unknown),
+//! * `O` — the **o**riginal has thrown, the optimized side is still running,
+//! * `P` — the o**p**timized side has thrown, the original is still running,
+//! * `N` — the worlds converged: both threw, or the value is non-null.
+//!
+//! Explicit checks and marked trap-guaranteed sites are NPE events moving
+//! the automaton. A mismatched state (`O`/`P`) is an error when the
+//! lagging world would perform something observable — a side effect, a
+//! local write inside a try region, a redefinition of the variable, a
+//! faulting dereference, or a function exit. Since paths differ, the
+//! analysis runs as a union (collecting) dataflow over the *subset* of
+//! reachable states per variable — four bits per variable.
+//!
+//! Exceptional edges are modeled precisely: an NPE event inside a try
+//! region settles every pending obligation (both worlds end up at the same
+//! handler with identical locals — in-region local writes are barriers, so
+//! nothing diverged in between), and contributes the checked variable to
+//! the handler as *null but settled* (`U`), never as covered.
+
+use njc_arch::TrapModel;
+use njc_core::ctx::{AccessClass, AnalysisCtx};
+use njc_ir::{BlockId, Function, Inst, Module, NullCheckKind, Terminator, VarId};
+
+use crate::{Violation, ViolationKind};
+
+const U: u8 = 1;
+const O: u8 = 2;
+const P: u8 = 4;
+const N: u8 = 8;
+
+/// The original side performs an explicit check (or a marked trapping site).
+fn o_event(s: u8) -> u8 {
+    (if s & (U | O) != 0 { O } else { 0 }) | (if s & (P | N) != 0 { N } else { 0 })
+}
+
+/// The optimized side performs an explicit check (or a marked trapping site).
+fn p_event(s: u8) -> u8 {
+    (if s & (U | P) != 0 { P } else { 0 }) | (if s & (O | N) != 0 { N } else { 0 })
+}
+
+/// One lockstep slot: the checks each side runs between two shared
+/// residual instructions, then the residual itself (absent in the final
+/// slot). Residuals are index pairs into the two blocks' `insts`.
+struct Slot {
+    o_checks: Vec<VarId>,
+    p_checks: Vec<VarId>,
+    residual: Option<(usize, usize)>,
+}
+
+/// `inst` with its exception-site mark cleared, for residual comparison.
+fn normalized(inst: &Inst) -> Inst {
+    let mut c = inst.clone();
+    c.set_exception_site(false);
+    c
+}
+
+/// Relabels every class of `rep` to its smallest member, the canonical
+/// form every operation below maintains.
+fn canon(rep: &mut [u32]) {
+    let n = rep.len();
+    let mut min = vec![u32::MAX; n];
+    for (w, &r) in rep.iter().enumerate() {
+        let m = &mut min[r as usize];
+        if *m == u32::MAX {
+            *m = w as u32;
+        }
+    }
+    for r in rep.iter_mut() {
+        *r = min[*r as usize];
+    }
+}
+
+/// Removes `x` from its class (it is being redefined).
+fn copy_kill(rep: &mut [u32], x: usize) {
+    let r = rep[x];
+    rep[x] = u32::MAX;
+    if r == x as u32 {
+        // `x` was the representative: promote the smallest survivor.
+        if let Some(newr) = rep.iter().position(|&rw| rw == r) {
+            for rw in rep.iter_mut() {
+                if *rw == r {
+                    *rw = newr as u32;
+                }
+            }
+        }
+    }
+    rep[x] = x as u32;
+}
+
+/// Updates the partition across one instruction: a `Move` joins the
+/// destination to the source's class, any other definition isolates it.
+fn copy_def(rep: &mut [u32], inst: &Inst) {
+    if let Inst::Move { dst, src } = inst {
+        if dst != src {
+            copy_kill(rep, dst.index());
+            rep[dst.index()] = rep[src.index()];
+            canon(rep);
+        }
+    } else if let Some(d) = inst.def() {
+        copy_kill(rep, d.index());
+    }
+}
+
+/// Meets two partitions: variables stay equivalent only when both sides
+/// agree. Returns whether `acc` changed.
+fn copy_meet(acc: &mut [u32], other: &[u32]) -> bool {
+    let n = acc.len();
+    let mut min = std::collections::BTreeMap::new();
+    for w in 0..n {
+        min.entry((acc[w], other[w])).or_insert(w as u32);
+    }
+    let mut changed = false;
+    let new: Vec<u32> = (0..n).map(|w| min[&(acc[w], other[w])]).collect();
+    for (a, b) in acc.iter_mut().zip(new) {
+        if *a != b {
+            *a = b;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Per-block entry partitions of the must-copy ("same value") relation.
+/// The passes convert a check of one variable into a marked site on a
+/// *copy* of it, so NPE events must settle whole equivalence classes.
+/// Residual streams are identical on the two sides; the optimized
+/// function's streams serve for both.
+fn copy_partitions(func: &Function, nvars: usize) -> Vec<Vec<u32>> {
+    let identity: Vec<u32> = (0..nvars as u32).collect();
+    let mut ins: Vec<Option<Vec<u32>>> = vec![None; func.num_blocks()];
+    ins[func.entry().index()] = Some(identity.clone());
+    // A handler is reachable from every throw point of its region; assume
+    // no copy facts there (identity is the partition lattice's bottom).
+    for r in func.try_regions() {
+        ins[r.handler.index()] = Some(identity.clone());
+    }
+    let rpo = func.reverse_postorder();
+    loop {
+        let mut changed = false;
+        for &b in &rpo {
+            let Some(mut rep) = ins[b.index()].clone() else {
+                continue;
+            };
+            for inst in &func.block(b).insts {
+                copy_def(&mut rep, inst);
+            }
+            let mut succs = Vec::new();
+            func.block(b).term.successors_into(&mut succs);
+            for to in succs {
+                match &mut ins[to.index()] {
+                    Some(cur) => changed |= copy_meet(cur, &rep),
+                    slot => {
+                        *slot = Some(rep.clone());
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    ins.into_iter()
+        .map(|r| r.unwrap_or_else(|| identity.clone()))
+        .collect()
+}
+
+/// Applies an NPE event to the whole equivalence class of `v`: every copy
+/// of the value is null in exactly the worlds where `v` is.
+fn apply_event(rep: &[u32], s: &mut [u8], v: VarId, f: fn(u8) -> u8) {
+    let r = rep[v.index()];
+    for (w, sw) in s.iter_mut().enumerate() {
+        if rep[w] == r {
+            *sw = f(*sw);
+        }
+    }
+}
+
+fn explicit_check(inst: &Inst) -> Option<VarId> {
+    match inst {
+        Inst::NullCheck {
+            var,
+            kind: NullCheckKind::Explicit,
+        } => Some(*var),
+        _ => None,
+    }
+}
+
+/// Builds the lockstep slots of one block pair, or reports why the blocks
+/// are not comparable.
+fn build_slots(orig: &[Inst], opt: &[Inst]) -> Result<Vec<Slot>, String> {
+    let mut slots = Vec::new();
+    let mut cur = Slot {
+        o_checks: Vec::new(),
+        p_checks: Vec::new(),
+        residual: None,
+    };
+    let (mut i, mut j) = (0, 0);
+    loop {
+        while i < orig.len() {
+            if let Some(v) = explicit_check(&orig[i]) {
+                cur.o_checks.push(v);
+                i += 1;
+            } else if matches!(orig[i], Inst::NullCheck { .. }) {
+                i += 1; // implicit check instructions are no-ops
+            } else {
+                break;
+            }
+        }
+        while j < opt.len() {
+            if let Some(v) = explicit_check(&opt[j]) {
+                cur.p_checks.push(v);
+                j += 1;
+            } else if matches!(opt[j], Inst::NullCheck { .. }) {
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        match (i < orig.len(), j < opt.len()) {
+            (true, true) => {
+                if normalized(&orig[i]) != normalized(&opt[j]) {
+                    return Err(format!(
+                        "residual instructions differ: `{}` vs `{}`",
+                        orig[i], opt[j]
+                    ));
+                }
+                cur.residual = Some((i, j));
+                slots.push(cur);
+                cur = Slot {
+                    o_checks: Vec::new(),
+                    p_checks: Vec::new(),
+                    residual: None,
+                };
+                i += 1;
+                j += 1;
+            }
+            (false, false) => {
+                slots.push(cur);
+                return Ok(slots);
+            }
+            _ => {
+                return Err("residual instruction streams have different lengths".to_string());
+            }
+        }
+    }
+}
+
+struct PairValidator<'a> {
+    ctx: AnalysisCtx<'a>,
+    orig: &'a Function,
+    opt: &'a Function,
+    nvars: usize,
+    /// Per block: the lockstep slots.
+    slots: Vec<Vec<Slot>>,
+    /// Per block: the entry must-copy partition.
+    copies: Vec<Vec<u32>>,
+}
+
+/// The result of transferring one block: the out-state, the state
+/// contributed along the exceptional edge (empty when none), and the
+/// must-copy partition at the block's end.
+struct BlockOut {
+    out: Vec<u8>,
+    handler: Vec<u8>,
+    rep: Vec<u32>,
+}
+
+impl<'a> PairValidator<'a> {
+    /// A dereference of a null base survives only as a bare silent read;
+    /// everything else (trap, wild access, dispatch, callee entry) is fatal
+    /// for the world that executes it.
+    fn deref_is_fatal(&self, inst: &Inst) -> bool {
+        let is_call = matches!(inst, Inst::Call { .. });
+        !matches!(
+            self.ctx.classify_access(inst),
+            Some((_, AccessClass::Silent))
+        ) || is_call
+    }
+
+    fn marked_trapping(&self, inst: &Inst) -> bool {
+        inst.is_exception_site()
+            && matches!(
+                self.ctx.classify_access(inst),
+                Some((_, AccessClass::TrapGuaranteed))
+            )
+    }
+
+    /// Folds an NPE event's contribution into the handler state: every
+    /// world where the event fires has the checked variable (and all its
+    /// copies) null but settled (`U`), other variables settled likewise,
+    /// and non-null facts preserved.
+    fn contribute_npe(handler: &mut [u8], states: &[u8], rep: &[u32], var: VarId) {
+        if states[var.index()] & (U | O | P) == 0 {
+            return; // the value is provably non-null: the event never fires
+        }
+        let r = rep[var.index()];
+        for (w, h) in handler.iter_mut().enumerate() {
+            let s = states[w];
+            if rep[w] == r {
+                *h |= U;
+            } else {
+                *h |= (if s & (U | O | P) != 0 { U } else { 0 }) | (s & N);
+            }
+        }
+    }
+
+    /// Transfers one block, optionally collecting violations.
+    fn transfer(
+        &self,
+        block: BlockId,
+        input: &[u8],
+        mut errors: Option<&mut Vec<Violation>>,
+    ) -> BlockOut {
+        let b_orig = self.orig.block(block);
+        let b_opt = self.opt.block(block);
+        let in_try = b_orig.try_region.is_some();
+        let mut s: Vec<u8> = input.to_vec();
+        let mut rep = self.copies[block.index()].clone();
+        let mut handler = vec![0u8; self.nvars];
+        let report = |errors: Option<&mut &mut Vec<Violation>>,
+                      inst: Option<usize>,
+                      var: Option<VarId>,
+                      message: String| {
+            if let Some(errs) = errors {
+                errs.push(Violation {
+                    function: self.opt.name().to_string(),
+                    block,
+                    inst,
+                    var,
+                    kind: ViolationKind::CheckOrdering,
+                    message,
+                });
+            }
+        };
+
+        for slot in &self.slots[block.index()] {
+            for &v in &slot.o_checks {
+                if in_try {
+                    Self::contribute_npe(&mut handler, &s, &rep, v);
+                }
+                apply_event(&rep, &mut s, v, o_event);
+            }
+            for &v in &slot.p_checks {
+                if in_try {
+                    Self::contribute_npe(&mut handler, &s, &rep, v);
+                }
+                apply_event(&rep, &mut s, v, p_event);
+            }
+            let Some((oi, pi)) = slot.residual else {
+                continue;
+            };
+            let inst_o = &b_orig.insts[oi];
+            let inst_p = &b_opt.insts[pi];
+
+            // 1. NPE events carried by the instruction itself: a marked
+            //    site that genuinely traps throws before anything else.
+            if let Some(v) = inst_o.requires_null_check() {
+                if self.marked_trapping(inst_o) {
+                    if in_try {
+                        Self::contribute_npe(&mut handler, &s, &rep, v);
+                    }
+                    apply_event(&rep, &mut s, v, o_event);
+                }
+                if self.marked_trapping(inst_p) {
+                    if in_try {
+                        Self::contribute_npe(&mut handler, &s, &rep, v);
+                    }
+                    apply_event(&rep, &mut s, v, p_event);
+                }
+                // 2. The dereference itself: the lagging world executes it
+                //    on a null base.
+                if self.deref_is_fatal(inst_p) && s[v.index()] & (O | P) != 0 {
+                    let side = if s[v.index()] & O != 0 {
+                        "optimized"
+                    } else {
+                        "original"
+                    };
+                    report(
+                        errors.as_mut(),
+                        Some(pi),
+                        Some(v),
+                        format!(
+                            "{side} code dereferences {v} while its null check is still \
+                             pending on the other side"
+                        ),
+                    );
+                    let r = rep[v.index()];
+                    for (w, sw) in s.iter_mut().enumerate() {
+                        if rep[w] == r {
+                            *sw = (*sw & (U | N)) | N;
+                        }
+                    }
+                }
+            }
+
+            // 3. Barriers: anything observable synchronizes the worlds.
+            if self.ctx.is_barrier(inst_p, in_try) {
+                for (w, sw) in s.iter_mut().enumerate() {
+                    if *sw & (O | P) != 0 {
+                        report(
+                            errors.as_mut(),
+                            Some(pi),
+                            Some(VarId(w as u32)),
+                            format!(
+                                "null check of v{w} moved across an observable instruction \
+                                 (`{inst_p}`)"
+                            ),
+                        );
+                        *sw = (*sw & (U | N)) | N;
+                    }
+                }
+            }
+
+            // 4. Other exception paths out of the block (division, bounds,
+            //    allocation, call) carry the current state to the handler.
+            if in_try && inst_p.can_throw_other() {
+                for (h, &sw) in handler.iter_mut().zip(s.iter()) {
+                    *h |= sw;
+                }
+            }
+
+            // 5. The definition, last: a pending obligation on the old
+            //    value can never be discharged once it is overwritten —
+            //    unless a surviving copy still carries it.
+            if let Some(d) = inst_p.def() {
+                let has_copy = (0..self.nvars).any(|w| w != d.index() && rep[w] == rep[d.index()]);
+                if s[d.index()] & (O | P) != 0 && !has_copy {
+                    report(
+                        errors.as_mut(),
+                        Some(pi),
+                        Some(d),
+                        format!("{d} is redefined while its null check is still pending"),
+                    );
+                }
+                s[d.index()] = match inst_p {
+                    Inst::New { .. } | Inst::NewArray { .. } => N,
+                    // A copy holds the very same value: its null worlds and
+                    // their histories are the source's, verbatim.
+                    Inst::Move { src, .. } => s[src.index()],
+                    _ => U,
+                };
+                copy_def(&mut rep, inst_p);
+            }
+        }
+
+        // Exits: a pending obligation means one world ends the function
+        // while the other already threw.
+        if matches!(b_opt.term, Terminator::Return(_) | Terminator::Throw(_)) {
+            for (w, sw) in s.iter_mut().enumerate() {
+                if *sw & (O | P) != 0 {
+                    report(
+                        errors.as_mut(),
+                        None,
+                        Some(VarId(w as u32)),
+                        format!("null check of v{w} is still pending at a function exit"),
+                    );
+                    *sw = (*sw & (U | N)) | N;
+                }
+            }
+        }
+
+        BlockOut {
+            out: s,
+            handler,
+            rep,
+        }
+    }
+
+    /// The state propagated along a terminator edge.
+    fn edge_value(
+        &self,
+        block: BlockId,
+        to: BlockId,
+        out: &BlockOut,
+        mut errors: Option<&mut Vec<Violation>>,
+    ) -> Vec<u8> {
+        let mut v = out.out.to_vec();
+        if let Terminator::IfNull {
+            var,
+            on_null,
+            on_nonnull,
+        } = self.opt.block(block).term
+        {
+            if on_null != on_nonnull {
+                // The branch refines every copy of the tested value.
+                let r = out.rep[var.index()];
+                for (w, vw) in v.iter_mut().enumerate() {
+                    if out.rep[w] != r {
+                        continue;
+                    }
+                    let s = *vw;
+                    if to == on_nonnull {
+                        // The null worlds took the other edge.
+                        *vw = if s != 0 { N } else { 0 };
+                    } else if to == on_null && s & (U | O | P) != 0 {
+                        // Keep only the null worlds (unless the variable is
+                        // provably non-null, in which case the edge is dead
+                        // and the harmless `N` is kept to avoid an empty
+                        // state).
+                        *vw = s & (U | O | P);
+                    }
+                }
+            }
+        }
+        // No check moves across a try region boundary (phase 1's Edge_try
+        // rule): an obligation still pending here means the NPE would be
+        // caught by a different handler on the two sides.
+        if self.opt.edge_crosses_try(block, to) {
+            for (w, s) in v.iter_mut().enumerate() {
+                if *s & (O | P) != 0 {
+                    if let Some(errs) = errors.as_deref_mut() {
+                        errs.push(Violation {
+                            function: self.opt.name().to_string(),
+                            block,
+                            inst: None,
+                            var: Some(VarId(w as u32)),
+                            kind: ViolationKind::CheckOrdering,
+                            message: format!(
+                                "null check of v{w} moved across the try region boundary \
+                                 {block} -> {to}"
+                            ),
+                        });
+                    }
+                    *s = (*s & (U | N)) | N;
+                }
+            }
+        }
+        v
+    }
+}
+
+/// Validates that `opt` is an exception-order-preserving re-placement of
+/// the null checks of `orig`: same CFG, same residual instructions, and no
+/// check motion observable through side effects, redefinitions, handlers,
+/// or exits. `machine` is the trap model of the executing hardware.
+pub fn validate_pair(
+    module: &Module,
+    machine: TrapModel,
+    orig: &Function,
+    opt: &Function,
+) -> Vec<Violation> {
+    let mut errors = Vec::new();
+    let structure = |message: String| Violation {
+        function: opt.name().to_string(),
+        block: opt.entry(),
+        inst: None,
+        var: None,
+        kind: ViolationKind::StructureMismatch,
+        message,
+    };
+    if orig.num_blocks() != opt.num_blocks()
+        || orig.entry() != opt.entry()
+        || orig.try_regions() != opt.try_regions()
+        || orig.is_instance() != opt.is_instance()
+        || orig.params() != opt.params()
+    {
+        return vec![structure(
+            "functions differ in shape (blocks, entry, regions, or signature)".to_string(),
+        )];
+    }
+    let nvars = orig.num_vars().max(opt.num_vars());
+    let mut slots = Vec::with_capacity(orig.num_blocks());
+    for (b_orig, b_opt) in orig.blocks().iter().zip(opt.blocks()) {
+        if b_orig.term != b_opt.term || b_orig.try_region != b_opt.try_region {
+            return vec![structure(format!(
+                "{}: terminator or region changed",
+                b_orig.id
+            ))];
+        }
+        match build_slots(&b_orig.insts, &b_opt.insts) {
+            Ok(s) => slots.push(s),
+            Err(e) => return vec![structure(format!("{}: {e}", b_orig.id))],
+        }
+    }
+
+    let v = PairValidator {
+        ctx: AnalysisCtx::new(module, machine),
+        orig,
+        opt,
+        nvars,
+        slots,
+        copies: copy_partitions(opt, nvars),
+    };
+
+    // Union-meet forward fixpoint over per-variable state subsets.
+    let num_blocks = opt.num_blocks();
+    let mut ins: Vec<Vec<u8>> = vec![vec![0u8; nvars]; num_blocks];
+    let entry = opt.entry();
+    for (w, s) in ins[entry.index()].iter_mut().enumerate() {
+        *s = if w == 0 && opt.is_instance() { N } else { U };
+    }
+    let rpo = opt.reverse_postorder();
+    let max_passes = 16 * nvars + num_blocks + 16;
+    for pass in 0.. {
+        assert!(
+            pass < max_passes,
+            "obligation analysis failed to converge in {max_passes} passes"
+        );
+        let mut changed = false;
+        for &block in &rpo {
+            if block != entry && ins[block.index()].iter().all(|&s| s == 0) {
+                continue; // nothing reaches this block yet
+            }
+            let out = v.transfer(block, &ins[block.index()], None);
+            let mut succs = Vec::new();
+            opt.block(block).term.successors_into(&mut succs);
+            for to in succs {
+                let ev = v.edge_value(block, to, &out, None);
+                for (cur, new) in ins[to.index()].iter_mut().zip(ev) {
+                    if *cur | new != *cur {
+                        *cur |= new;
+                        changed = true;
+                    }
+                }
+            }
+            if let Some(r) = opt.block(block).try_region {
+                let handler = opt.try_region(r).handler;
+                for (cur, &new) in ins[handler.index()].iter_mut().zip(&out.handler) {
+                    if *cur | new != *cur {
+                        *cur |= new;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Reporting pass over the solved states.
+    for &block in &rpo {
+        if block != entry && ins[block.index()].iter().all(|&s| s == 0) {
+            continue;
+        }
+        let out = v.transfer(block, &ins[block.index()], Some(&mut errors));
+        let mut succs = Vec::new();
+        opt.block(block).term.successors_into(&mut succs);
+        succs.dedup();
+        for to in succs {
+            v.edge_value(block, to, &out, Some(&mut errors));
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use njc_ir::{parse_function, Type};
+
+    fn module() -> Module {
+        let mut m = Module::new("t");
+        m.add_class("C", &[("f", Type::Int)]);
+        m
+    }
+
+    fn pair(orig: &str, opt: &str, machine: TrapModel) -> Vec<Violation> {
+        let m = module();
+        let orig = parse_function(orig).unwrap();
+        let opt = parse_function(opt).unwrap();
+        validate_pair(&m, machine, &orig, &opt)
+    }
+
+    #[test]
+    fn identical_functions_validate() {
+        let src = "func g(v0: ref) -> int {\n  locals v1: int\nbb0:\n  nullcheck v0\n  v1 = getfield v0, field0\n  return v1\n}";
+        assert!(pair(src, src, TrapModel::windows_ia32()).is_empty());
+    }
+
+    #[test]
+    fn conversion_to_marked_site_validates() {
+        let orig = "func g(v0: ref) -> int {\n  locals v1: int\nbb0:\n  nullcheck v0\n  v1 = getfield v0, field0\n  return v1\n}";
+        let opt = "func g(v0: ref) -> int {\n  locals v1: int\nbb0:\n  v1 = getfield v0, field0 [site]\n  return v1\n}";
+        assert!(pair(orig, opt, TrapModel::windows_ia32()).is_empty());
+        // On AIX the site never fires: the opt side still owes the check
+        // at the exit.
+        let v = pair(orig, opt, TrapModel::aix_ppc());
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn conversion_to_marked_site_on_a_copy_validates() {
+        // Phase 2 marks the site on a *copy* of the checked variable: the
+        // o-event (on v0) and the p-event (on v1) concern the same value
+        // and must cancel through the copy relation.
+        let orig = "func g(v0: ref) -> int {\n  locals v1: ref v2: int\nbb0:\n  nullcheck v0\n  v1 = move v0\n  v2 = getfield v1, field0\n  return v2\n}";
+        let opt = "func g(v0: ref) -> int {\n  locals v1: ref v2: int\nbb0:\n  v1 = move v0\n  v2 = getfield v1, field0 [site]\n  return v2\n}";
+        assert!(pair(orig, opt, TrapModel::windows_ia32()).is_empty());
+        // On AIX the read is silent: the site never fires and the check of
+        // the value is owed at the exit.
+        let v = pair(orig, opt, TrapModel::aix_ppc());
+        assert!(!v.is_empty(), "site on a copy never fires on AIX");
+    }
+
+    #[test]
+    fn deleting_a_load_bearing_check_is_rejected() {
+        let orig = "func g(v0: ref) -> int {\n  locals v1: int\nbb0:\n  nullcheck v0\n  v1 = const 7\n  observe v1\n  return v1\n}";
+        let opt = "func g(v0: ref) -> int {\n  locals v1: int\nbb0:\n  v1 = const 7\n  observe v1\n  return v1\n}";
+        let v = pair(orig, opt, TrapModel::windows_ia32());
+        assert!(!v.is_empty(), "deleted check with no deref must be caught");
+        assert!(v.iter().all(|x| x.kind == ViolationKind::CheckOrdering));
+    }
+
+    #[test]
+    fn motion_across_pure_code_validates() {
+        let orig = "func g(v0: ref, v1: int) -> int {\n  locals v2: int v3: int\nbb0:\n  nullcheck v0\n  v2 = add.int v1, v1\n  v3 = getfield v0, field0\n  return v3\n}";
+        let opt = "func g(v0: ref, v1: int) -> int {\n  locals v2: int v3: int\nbb0:\n  v2 = add.int v1, v1\n  nullcheck v0\n  v3 = getfield v0, field0\n  return v3\n}";
+        assert!(pair(orig, opt, TrapModel::windows_ia32()).is_empty());
+    }
+
+    #[test]
+    fn motion_across_observable_is_rejected() {
+        let orig = "func g(v0: ref, v1: int) -> int {\n  locals v3: int\nbb0:\n  nullcheck v0\n  observe v1\n  v3 = getfield v0, field0\n  return v3\n}";
+        let opt = "func g(v0: ref, v1: int) -> int {\n  locals v3: int\nbb0:\n  observe v1\n  nullcheck v0\n  v3 = getfield v0, field0\n  return v3\n}";
+        let v = pair(orig, opt, TrapModel::windows_ia32());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].kind, ViolationKind::CheckOrdering);
+    }
+
+    #[test]
+    fn hoisting_into_a_dominating_block_validates() {
+        // The paper's loop hoist: the check leaves the (always-entered)
+        // loop body for the preheader.
+        let orig = "func g(v0: ref, v1: int) -> int {\n  locals v2: int v3: int\nbb0:\n  v2 = const 0\n  goto bb1\nbb1:\n  nullcheck v0\n  v3 = getfield v0, field0\n  v2 = add.int v2, v3\n  if lt v2, v1 then bb1 else bb2\nbb2:\n  return v2\n}";
+        let opt = "func g(v0: ref, v1: int) -> int {\n  locals v2: int v3: int\nbb0:\n  v2 = const 0\n  nullcheck v0\n  goto bb1\nbb1:\n  v3 = getfield v0, field0\n  v2 = add.int v2, v3\n  if lt v2, v1 then bb1 else bb2\nbb2:\n  return v2\n}";
+        assert!(pair(orig, opt, TrapModel::windows_ia32()).is_empty());
+    }
+
+    #[test]
+    fn hoisting_onto_a_checkless_path_is_rejected() {
+        // bb2 never checked v0 originally; the hoisted check makes the
+        // program throw where it previously returned.
+        let orig = "func g(v0: ref, v1: int, v2: int) -> int {\n  locals v3: int\nbb0:\n  if lt v1, v2 then bb1 else bb2\nbb1:\n  nullcheck v0\n  v3 = getfield v0, field0\n  return v3\nbb2:\n  v3 = const 0\n  return v3\n}";
+        let opt = "func g(v0: ref, v1: int, v2: int) -> int {\n  locals v3: int\nbb0:\n  nullcheck v0\n  if lt v1, v2 then bb1 else bb2\nbb1:\n  v3 = getfield v0, field0\n  return v3\nbb2:\n  v3 = const 0\n  return v3\n}";
+        let v = pair(orig, opt, TrapModel::windows_ia32());
+        assert!(!v.is_empty(), "speculative check insertion must be caught");
+    }
+
+    #[test]
+    fn residual_change_is_a_structure_mismatch() {
+        let orig =
+            "func g(v0: ref) -> int {\n  locals v1: int\nbb0:\n  v1 = const 1\n  return v1\n}";
+        let opt =
+            "func g(v0: ref) -> int {\n  locals v1: int\nbb0:\n  v1 = const 2\n  return v1\n}";
+        let v = pair(orig, opt, TrapModel::windows_ia32());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::StructureMismatch);
+    }
+
+    #[test]
+    fn sink_past_silent_read_validates_on_aix() {
+        // §3.3.1: on AIX a pending check may sink below a silent read.
+        let orig = "func g(v0: ref) -> int {\n  locals v1: int v2: int\nbb0:\n  nullcheck v0\n  v1 = getfield v0, field0\n  v2 = getfield v0, field0\n  return v2\n}";
+        let opt = "func g(v0: ref) -> int {\n  locals v1: int v2: int\nbb0:\n  v1 = getfield v0, field0\n  nullcheck v0\n  v2 = getfield v0, field0\n  return v2\n}";
+        assert!(pair(orig, opt, TrapModel::aix_ppc()).is_empty());
+        // On Windows the read traps: the original would have thrown NPE,
+        // the optimized side traps unexpectedly.
+        let v = pair(orig, opt, TrapModel::windows_ia32());
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn hoisting_out_of_a_try_region_is_rejected() {
+        // The original NPE is caught by the region's handler; the hoisted
+        // check throws before the region is entered.
+        let orig = "func g(v0: ref) -> int {\n  locals v3: int v4: int\n  try0: handler bb2 catch any -> v4\nbb0:\n  goto bb1\nbb1: [try0]\n  nullcheck v0\n  v3 = getfield v0, field0\n  goto bb3\nbb2:\n  v3 = const 0\n  goto bb3\nbb3:\n  return v3\n}";
+        let opt = "func g(v0: ref) -> int {\n  locals v3: int v4: int\n  try0: handler bb2 catch any -> v4\nbb0:\n  nullcheck v0\n  goto bb1\nbb1: [try0]\n  v3 = getfield v0, field0\n  goto bb3\nbb2:\n  v3 = const 0\n  goto bb3\nbb3:\n  return v3\n}";
+        let v = pair(orig, opt, TrapModel::windows_ia32());
+        assert!(
+            v.iter().any(|x| x.kind == ViolationKind::CheckOrdering),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn check_in_region_settles_at_the_handler() {
+        // Both sides check inside the region (at different positions, with
+        // only pure code between): the handler sees identical state.
+        let orig = "func g(v0: ref, v1: int) -> int {\n  locals v3: int v4: int\n  try0: handler bb2 catch any -> v4\nbb0: [try0]\n  nullcheck v0\n  goto bb1\nbb1:\n  v3 = const 1\n  return v3\nbb2:\n  v3 = const 2\n  return v3\n}";
+        assert!(pair(orig, orig, TrapModel::windows_ia32()).is_empty());
+    }
+}

@@ -1,43 +1,54 @@
-//! Criterion benchmark of the optimizer itself — the compile-time shape
-//! behind Tables 3–5: the two-phase null check optimization (NEW) versus
-//! the Whaley baseline (OLD), per pass and end-to-end.
+//! Benchmark of the optimizer itself — the compile-time shape behind
+//! Tables 3–5: the two-phase null check optimization (NEW) versus the
+//! Whaley baseline (OLD), per pass and end-to-end.
+//!
+//! Plain manual-timing harness (`harness = false`): the workspace builds
+//! offline and cannot depend on criterion. Run with
+//! `cargo bench --bench compile_time`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use njc_arch::{Platform, TrapModel};
 use njc_core::ctx::AnalysisCtx;
 use njc_core::{phase1, phase2, whaley};
 use njc_opt::ConfigKind;
 
-fn pipeline_configs(c: &mut Criterion) {
+/// Times `body` over `iters` iterations after `warmup` discarded ones,
+/// printing mean time per iteration.
+fn measure<T>(label: &str, warmup: u32, iters: u32, mut body: impl FnMut() -> T) {
+    for _ in 0..warmup {
+        std::hint::black_box(body());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(body());
+    }
+    let per_iter = start.elapsed() / iters;
+    println!("{label:<44} {per_iter:>12.2?}/iter  ({iters} iters)");
+}
+
+fn pipeline_configs() {
     let p = Platform::windows_ia32();
-    let mut g = c.benchmark_group("pipeline");
+    // javac is the paper's slowest-to-compile benchmark.
+    let w = njc_workloads::specjvm98()
+        .into_iter()
+        .find(|w| w.name == "javac")
+        .unwrap();
     for kind in [
         ConfigKind::Full,
         ConfigKind::Phase1Only,
         ConfigKind::OldNullCheck,
         ConfigKind::NoNullOptNoTrap,
     ] {
-        // javac is the paper's slowest-to-compile benchmark.
-        let w = njc_workloads::specjvm98()
-            .into_iter()
-            .find(|w| w.name == "javac")
-            .unwrap();
-        g.bench_with_input(
-            BenchmarkId::new("javac", format!("{kind:?}")),
-            &kind,
-            |b, kind| {
-                b.iter(|| {
-                    let mut m = w.module.clone();
-                    njc_opt::optimize_module(&mut m, &p, &kind.to_config(&p));
-                    m
-                })
-            },
-        );
+        measure(&format!("pipeline/javac/{kind:?}"), 2, 20, || {
+            let mut m = w.module.clone();
+            njc_opt::optimize_module(&mut m, &p, &kind.to_config(&p));
+            m
+        });
     }
-    g.finish();
 }
 
-fn nullcheck_passes(c: &mut Criterion) {
+fn nullcheck_passes() {
     // The NEW (two-phase) vs OLD (forward-only) pass cost on one method —
     // the paper's Table 4 observation: NEW ≈ 3× OLD, both small.
     let w = njc_workloads::jbytemark()
@@ -45,28 +56,20 @@ fn nullcheck_passes(c: &mut Criterion) {
         .find(|w| w.name == "Assignment")
         .unwrap();
     let main_id = w.module.function_by_name("main").unwrap();
-    let mut g = c.benchmark_group("nullcheck-pass");
-    g.bench_function("new-two-phase", |b| {
-        b.iter(|| {
-            let mut f = w.module.function(main_id).clone();
-            let ctx = AnalysisCtx::new(&w.module, TrapModel::windows_ia32());
-            let s1 = phase1::run(&ctx, &mut f);
-            let s2 = phase2::run(&ctx, &mut f);
-            (s1, s2)
-        })
+    measure("nullcheck-pass/new-two-phase", 5, 200, || {
+        let mut f = w.module.function(main_id).clone();
+        let ctx = AnalysisCtx::new(&w.module, TrapModel::windows_ia32());
+        let s1 = phase1::run(&ctx, &mut f);
+        let s2 = phase2::run(&ctx, &mut f);
+        (s1, s2)
     });
-    g.bench_function("old-whaley", |b| {
-        b.iter(|| {
-            let mut f = w.module.function(main_id).clone();
-            whaley::run(&mut f)
-        })
+    measure("nullcheck-pass/old-whaley", 5, 200, || {
+        let mut f = w.module.function(main_id).clone();
+        whaley::run(&mut f)
     });
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = pipeline_configs, nullcheck_passes
+fn main() {
+    pipeline_configs();
+    nullcheck_passes();
 }
-criterion_main!(benches);

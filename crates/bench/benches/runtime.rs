@@ -1,16 +1,33 @@
-//! Criterion benchmark of workload execution per configuration — the
-//! runtime shape behind Tables 1–2: the fully optimized program must beat
-//! the baselines on the array kernels.
+//! Benchmark of workload execution per configuration — the runtime shape
+//! behind Tables 1–2: the fully optimized program must beat the baselines
+//! on the array kernels.
+//!
+//! Plain manual-timing harness (`harness = false`): the workspace builds
+//! offline and cannot depend on criterion. Run with
+//! `cargo bench --bench runtime`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use njc_arch::Platform;
 use njc_jit::{compile, execute};
 use njc_opt::ConfigKind;
 
-fn run_configs(c: &mut Criterion) {
+/// Times `body` over `iters` iterations after `warmup` discarded ones,
+/// printing mean time per iteration.
+fn measure<T>(label: &str, warmup: u32, iters: u32, mut body: impl FnMut() -> T) {
+    for _ in 0..warmup {
+        std::hint::black_box(body());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(body());
+    }
+    let per_iter = start.elapsed() / iters;
+    println!("{label:<44} {per_iter:>12.2?}/iter  ({iters} iters)");
+}
+
+fn run_configs() {
     let p = Platform::windows_ia32();
-    let mut g = c.benchmark_group("run");
-    g.sample_size(10);
     for name in ["Assignment", "LU Decomposition", "Fourier"] {
         let w = njc_workloads::jbytemark()
             .into_iter()
@@ -22,19 +39,13 @@ fn run_configs(c: &mut Criterion) {
             ConfigKind::NoNullOptNoTrap,
         ] {
             let compiled = compile(&w, &p, kind);
-            g.bench_with_input(
-                BenchmarkId::new(name, format!("{kind:?}")),
-                &compiled,
-                |b, compiled| b.iter(|| execute(compiled, &p).unwrap().stats.cycles),
-            );
+            measure(&format!("run/{name}/{kind:?}"), 1, 10, || {
+                execute(&compiled, &p).unwrap().stats.cycles
+            });
         }
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default();
-    targets = run_configs
+fn main() {
+    run_configs();
 }
-criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! `njc-analyze` — static null-check lint over every workload ×
+//! platform × configuration.
+//!
+//! For each platform's configuration rows this compiles every workload
+//! and runs the `njc-analysis` coverage validator against the *machine's*
+//! trap model, printing one lint line per configuration (violation totals
+//! by kind) and, with `--verbose`, every individual finding.
+//!
+//! Exit status is the self-test of the reproduction:
+//! * any violation in a configuration that must be sound → exit 1;
+//! * **no** violation for "Illegal Implicit" on AIX (the §5.4 negative
+//!   control the validator exists to catch) → exit 1.
+//!
+//! ```text
+//! cargo run --release -p njc-bench --bin njc_analyze [--verbose] [workload-filter]
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use njc_analysis::validate_module;
+use njc_arch::Platform;
+use njc_jit::compile;
+use njc_opt::ConfigKind;
+
+fn main() -> ExitCode {
+    let mut verbose = false;
+    let mut filter: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--verbose" | "-v" => verbose = true,
+            "--help" | "-h" => {
+                println!("usage: njc_analyze [--verbose] [workload-filter]");
+                return ExitCode::SUCCESS;
+            }
+            other => filter = Some(other.to_string()),
+        }
+    }
+
+    let workloads: Vec<_> = njc_workloads::all()
+        .into_iter()
+        .filter(|w| filter.as_deref().is_none_or(|f| w.name.contains(f)))
+        .collect();
+    if workloads.is_empty() {
+        eprintln!("no workload matches the filter");
+        return ExitCode::FAILURE;
+    }
+
+    let suites: [(Platform, &[ConfigKind]); 3] = [
+        (Platform::windows_ia32(), &ConfigKind::table12_rows()),
+        (Platform::aix_ppc(), &ConfigKind::table67_rows()),
+        (Platform::linux_s390(), &ConfigKind::table12_rows()),
+    ];
+
+    let mut failed = false;
+    for (platform, kinds) in suites {
+        println!("== {} ==", platform.name);
+        for &kind in kinds {
+            let must_be_unsound =
+                kind == ConfigKind::AixIllegalImplicit && !platform.trap.traps_on_read;
+            let mut by_kind: BTreeMap<&'static str, usize> = BTreeMap::new();
+            let mut total = 0usize;
+            for w in &workloads {
+                let c = compile(w, &platform, kind);
+                let report = validate_module(&c.module, platform.trap);
+                for v in &report.violations {
+                    *by_kind.entry(v.kind.label()).or_default() += 1;
+                    total += 1;
+                    if verbose {
+                        println!("    {}: {v}", w.name);
+                    }
+                }
+            }
+            let verdict = match (total, must_be_unsound) {
+                (0, false) => "ok (proven sound)",
+                (_, false) => {
+                    failed = true;
+                    "FAIL (sound configuration flagged)"
+                }
+                (0, true) => {
+                    failed = true;
+                    "FAIL (negative control not flagged)"
+                }
+                (_, true) => "flagged as expected (§5.4 negative control)",
+            };
+            let detail = if by_kind.is_empty() {
+                String::new()
+            } else {
+                let parts: Vec<String> = by_kind.iter().map(|(k, n)| format!("{k}: {n}")).collect();
+                format!(" [{}]", parts.join(", "))
+            };
+            println!(
+                "  {:32} {:>4} violation(s)  {}{}",
+                kind.to_config(&platform).name,
+                total,
+                verdict,
+                detail
+            );
+        }
+    }
+
+    if failed {
+        eprintln!("\nstatic validation FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("\nstatic validation passed");
+        ExitCode::SUCCESS
+    }
+}

@@ -244,7 +244,27 @@ impl Iterator for Iter<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+
+    /// Minimal SplitMix64 for in-crate randomized tests (the workspace
+    /// builds offline, so no external property-testing dependency).
+    struct TestRng(u64);
+
+    impl TestRng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        fn vec_below(&mut self, bound: usize, max_len: usize) -> Vec<usize> {
+            let len = (self.next() % (max_len as u64 + 1)) as usize;
+            (0..len)
+                .map(|_| (self.next() % bound as u64) as usize)
+                .collect()
+        }
+    }
 
     #[test]
     fn insert_contains_remove() {
@@ -320,26 +340,42 @@ mod tests {
         assert_eq!(format!("{s:?}"), "{0, 9}");
     }
 
-    proptest! {
-        #[test]
-        fn union_is_commutative(xs in prop::collection::vec(0usize..200, 0..50),
-                                ys in prop::collection::vec(0usize..200, 0..50)) {
+    #[test]
+    fn union_is_commutative() {
+        for seed in 0..256 {
+            let mut rng = TestRng(seed);
+            let xs = rng.vec_below(200, 50);
+            let ys = rng.vec_below(200, 50);
             let mut a = BitSet::new(200);
-            for &x in &xs { a.insert(x); }
+            for &x in &xs {
+                a.insert(x);
+            }
             let mut b = BitSet::new(200);
-            for &y in &ys { b.insert(y); }
-            let mut ab = a.clone(); ab.union_with(&b);
-            let mut ba = b.clone(); ba.union_with(&a);
-            prop_assert_eq!(ab, ba);
+            for &y in &ys {
+                b.insert(y);
+            }
+            let mut ab = a.clone();
+            ab.union_with(&b);
+            let mut ba = b.clone();
+            ba.union_with(&a);
+            assert_eq!(ab, ba, "seed {seed}");
         }
+    }
 
-        #[test]
-        fn demorgan_subtract(xs in prop::collection::vec(0usize..200, 0..50),
-                             ys in prop::collection::vec(0usize..200, 0..50)) {
+    #[test]
+    fn demorgan_subtract() {
+        for seed in 0..256 {
+            let mut rng = TestRng(seed);
+            let xs = rng.vec_below(200, 50);
+            let ys = rng.vec_below(200, 50);
             let mut a = BitSet::new(200);
-            for &x in &xs { a.insert(x); }
+            for &x in &xs {
+                a.insert(x);
+            }
             let mut b = BitSet::new(200);
-            for &y in &ys { b.insert(y); }
+            for &y in &ys {
+                b.insert(y);
+            }
             // a - b == a ∩ complement(b)
             let mut lhs = a.clone();
             lhs.subtract(&b);
@@ -347,18 +383,24 @@ mod tests {
             comp.subtract(&b);
             let mut rhs = a.clone();
             rhs.intersect_with(&comp);
-            prop_assert_eq!(lhs, rhs);
+            assert_eq!(lhs, rhs, "seed {seed}");
         }
+    }
 
-        #[test]
-        fn iter_round_trips(xs in prop::collection::vec(0usize..300, 0..80)) {
+    #[test]
+    fn iter_round_trips() {
+        for seed in 0..256 {
+            let mut rng = TestRng(seed);
+            let xs = rng.vec_below(300, 80);
             let mut s = BitSet::new(300);
             let mut expected: Vec<usize> = xs.clone();
             expected.sort_unstable();
             expected.dedup();
-            for &x in &xs { s.insert(x); }
-            prop_assert_eq!(s.iter().collect::<Vec<_>>(), expected);
-            prop_assert_eq!(s.count(), s.iter().count());
+            for &x in &xs {
+                s.insert(x);
+            }
+            assert_eq!(s.iter().collect::<Vec<_>>(), expected, "seed {seed}");
+            assert_eq!(s.count(), s.iter().count(), "seed {seed}");
         }
     }
 }

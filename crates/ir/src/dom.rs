@@ -1,0 +1,418 @@
+//! Dominator tree and natural-loop discovery over the CFG.
+//!
+//! Built with the Cooper–Harvey–Kennedy "engineered" iterative algorithm
+//! over reverse postorder — simple, and effectively linear on the small
+//! CFGs this workspace produces. Exceptional (try handler) edges are part
+//! of [`Function::successors`], so dominance here is dominance in the full
+//! CFG including exception flow — exactly what the static null-check
+//! validator needs: a check dominates an access only if it is on *every*
+//! path, exceptional paths included.
+//!
+//! Unreachable blocks have no dominator ([`DomTree::idom`] returns `None`)
+//! and dominate nothing except themselves.
+
+use crate::function::Function;
+use crate::types::BlockId;
+
+/// The dominator tree of one function's CFG.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// Immediate dominator per block (arena-indexed). The entry block's
+    /// idom is itself; unreachable blocks have `None`.
+    idom: Vec<Option<BlockId>>,
+    /// Position of each block in the reverse postorder used to build the
+    /// tree, or `usize::MAX` for unreachable blocks.
+    rpo_pos: Vec<usize>,
+    /// The reverse postorder itself (reachable prefix only).
+    rpo: Vec<BlockId>,
+    entry: BlockId,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `func`.
+    pub fn new(func: &Function) -> Self {
+        let n = func.num_blocks();
+        let reachable = func.reachable();
+        // Reachable prefix of the RPO (Function::reverse_postorder appends
+        // unreachable blocks at the end; drop them).
+        let rpo: Vec<BlockId> = func
+            .reverse_postorder()
+            .into_iter()
+            .filter(|b| reachable[b.index()])
+            .collect();
+        let mut rpo_pos = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_pos[b.index()] = i;
+        }
+
+        let preds = func.predecessors();
+        let entry = func.entry();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.index()] = Some(entry);
+
+        // Iterate to a fixed point: for each block (entry excluded) in RPO,
+        // intersect the processed predecessors' dominator paths.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.index()] {
+                    if idom[p.index()].is_none() {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_pos, p, cur),
+                    });
+                }
+                if new_idom.is_some() && idom[b.index()] != new_idom {
+                    idom[b.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        DomTree {
+            idom,
+            rpo_pos,
+            rpo,
+            entry,
+        }
+    }
+
+    /// The immediate dominator of `b` (the entry's idom is itself);
+    /// `None` for unreachable blocks.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+
+    /// Whether `a` dominates `b` (reflexively: every block dominates
+    /// itself). Unreachable blocks dominate nothing but themselves and are
+    /// dominated by nothing but themselves.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if a == b {
+            return true;
+        }
+        let (Some(_), true) = (self.idom[b.index()], self.rpo_pos[a.index()] != usize::MAX) else {
+            return false;
+        };
+        // Walk b's dominator path upward; a dominates b iff it appears on
+        // it. The RPO position strictly decreases along the path, so stop
+        // once we pass a's position.
+        let mut cur = b;
+        loop {
+            let up = self.idom[cur.index()].unwrap();
+            if up == cur {
+                return false; // reached the entry without meeting a
+            }
+            if up == a {
+                return true;
+            }
+            if self.rpo_pos[up.index()] < self.rpo_pos[a.index()] {
+                return false;
+            }
+            cur = up;
+        }
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_pos[b.index()] != usize::MAX
+    }
+
+    /// The reverse postorder over reachable blocks the tree was built on.
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// The function's entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// All back edges `(tail, header)`: CFG edges whose target dominates
+    /// their source. For reducible CFGs these are exactly the loop edges.
+    pub fn back_edges(&self, func: &Function) -> Vec<(BlockId, BlockId)> {
+        let mut out = Vec::new();
+        for &b in &self.rpo {
+            for s in func.successors(b) {
+                if self.dominates(s, b) {
+                    out.push((b, s));
+                }
+            }
+        }
+        out
+    }
+
+    /// Natural loops, one per header (back edges sharing a header are
+    /// merged). Each loop lists its header plus the body blocks sorted by
+    /// arena index; the header is always `blocks[0]`.
+    pub fn natural_loops(&self, func: &Function) -> Vec<NaturalLoop> {
+        let preds = func.predecessors();
+        let mut by_header: Vec<(BlockId, Vec<bool>)> = Vec::new();
+        for (tail, header) in self.back_edges(func) {
+            let entry = by_header.iter_mut().find(|(h, _)| *h == header);
+            let in_loop = match entry {
+                Some((_, in_loop)) => in_loop,
+                None => {
+                    let mut v = vec![false; func.num_blocks()];
+                    v[header.index()] = true;
+                    by_header.push((header, v));
+                    &mut by_header.last_mut().unwrap().1
+                }
+            };
+            // Standard natural-loop body collection: walk predecessors
+            // backwards from the tail until the header stops the walk.
+            let mut work = Vec::new();
+            if !in_loop[tail.index()] {
+                in_loop[tail.index()] = true;
+                work.push(tail);
+            }
+            while let Some(b) = work.pop() {
+                for &p in &preds[b.index()] {
+                    if self.is_reachable(p) && !in_loop[p.index()] {
+                        in_loop[p.index()] = true;
+                        work.push(p);
+                    }
+                }
+            }
+        }
+        by_header
+            .into_iter()
+            .map(|(header, in_loop)| {
+                let mut blocks: Vec<BlockId> = in_loop
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &x)| x)
+                    .map(|(i, _)| BlockId::new(i))
+                    .collect();
+                blocks.sort_unstable_by_key(|b| (*b != header, b.index()));
+                NaturalLoop { header, blocks }
+            })
+            .collect()
+    }
+}
+
+/// A natural loop: a header and every block on a path from a back-edge
+/// tail to the header that avoids the header.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header (dominates every block in the loop).
+    pub header: BlockId,
+    /// All loop blocks; `blocks[0]` is the header, the rest sorted by
+    /// arena index.
+    pub blocks: Vec<BlockId>,
+}
+
+impl NaturalLoop {
+    /// Whether the loop contains `b`.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.contains(&b)
+    }
+}
+
+/// CHK two-finger intersection: walk both dominator paths up to their
+/// common ancestor, comparing via RPO position.
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_pos: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_pos[a.index()] > rpo_pos[b.index()] {
+            a = idom[a.index()].expect("intersect on processed blocks");
+        }
+        while rpo_pos[b.index()] > rpo_pos[a.index()] {
+            b = idom[b.index()].expect("intersect on processed blocks");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::inst::{Cond, Op};
+    use crate::types::Type;
+    use crate::CatchKind;
+
+    fn diamond() -> (Function, [BlockId; 4]) {
+        let mut b = FuncBuilder::new("diamond", &[Type::Int], Type::Int);
+        let x = b.param(0);
+        let zero = b.iconst(0);
+        let then_bb = b.new_block();
+        let else_bb = b.new_block();
+        let join = b.new_block();
+        b.br_if(Cond::Lt, x, zero, then_bb, else_bb);
+        b.switch_to(then_bb);
+        b.goto(join);
+        b.switch_to(else_bb);
+        b.goto(join);
+        b.switch_to(join);
+        b.ret(Some(x));
+        let f = b.finish();
+        let entry = f.entry();
+        (f, [entry, then_bb, else_bb, join])
+    }
+
+    #[test]
+    fn diamond_dominance() {
+        let (f, [entry, then_bb, else_bb, join]) = diamond();
+        let dom = DomTree::new(&f);
+        assert_eq!(dom.idom(entry), Some(entry));
+        assert_eq!(dom.idom(then_bb), Some(entry));
+        assert_eq!(dom.idom(else_bb), Some(entry));
+        // Join is reached via two disjoint paths: idom is the entry.
+        assert_eq!(dom.idom(join), Some(entry));
+        assert!(dom.dominates(entry, join));
+        assert!(!dom.dominates(then_bb, join));
+        assert!(!dom.dominates(join, then_bb));
+        assert!(dom.dominates(join, join));
+    }
+
+    #[test]
+    fn straight_line_chain() {
+        let mut b = FuncBuilder::new("chain", &[], Type::Int);
+        let b1 = b.new_block();
+        let b2 = b.new_block();
+        b.goto(b1);
+        b.switch_to(b1);
+        b.goto(b2);
+        b.switch_to(b2);
+        let c = b.iconst(0);
+        b.ret(Some(c));
+        let f = b.finish();
+        let dom = DomTree::new(&f);
+        assert_eq!(dom.idom(b1), Some(f.entry()));
+        assert_eq!(dom.idom(b2), Some(b1));
+        assert!(dom.dominates(f.entry(), b2));
+        assert!(dom.dominates(b1, b2));
+        assert!(!dom.dominates(b2, b1));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let mut b = FuncBuilder::new("u", &[], Type::Int);
+        let dead = b.new_block();
+        let c = b.iconst(7);
+        b.ret(Some(c));
+        b.switch_to(dead);
+        let z = b.iconst(0);
+        b.ret(Some(z));
+        let f = b.finish();
+        let dom = DomTree::new(&f);
+        assert_eq!(dom.idom(dead), None);
+        assert!(!dom.is_reachable(dead));
+        assert!(!dom.dominates(f.entry(), dead));
+        assert!(!dom.dominates(dead, f.entry()));
+        assert!(dom.dominates(dead, dead));
+    }
+
+    #[test]
+    fn loop_back_edge_and_body() {
+        // for_loop produces header/body/latch structure; the back edge must
+        // target a block dominating its source, and the natural loop must
+        // contain the body.
+        let mut b = FuncBuilder::new("l", &[], Type::Int);
+        let zero = b.iconst(0);
+        let n = b.iconst(10);
+        let sum = b.var(Type::Int);
+        b.assign(sum, zero);
+        b.for_loop(zero, n, 1, |b, i| {
+            b.binop_into(sum, Op::Add, sum, i);
+        });
+        b.ret(Some(sum));
+        let f = b.finish();
+        let dom = DomTree::new(&f);
+        let backs = dom.back_edges(&f);
+        assert_eq!(backs.len(), 1, "{f}");
+        let (tail, header) = backs[0];
+        assert!(dom.dominates(header, tail));
+        let loops = dom.natural_loops(&f);
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        assert_eq!(l.header, header);
+        assert_eq!(l.blocks[0], header);
+        assert!(l.contains(tail));
+        // The loop must not contain the entry or the exit block.
+        assert!(!l.contains(f.entry()));
+    }
+
+    #[test]
+    fn nested_loops_have_two_headers() {
+        let mut b = FuncBuilder::new("nest", &[], Type::Int);
+        let zero = b.iconst(0);
+        let n = b.iconst(3);
+        let sum = b.var(Type::Int);
+        b.assign(sum, zero);
+        b.for_loop(zero, n, 1, |b, _i| {
+            let z2 = b.iconst(0);
+            let m = b.iconst(2);
+            b.for_loop(z2, m, 1, |b, j| {
+                b.binop_into(sum, Op::Add, sum, j);
+            });
+        });
+        b.ret(Some(sum));
+        let f = b.finish();
+        let dom = DomTree::new(&f);
+        let loops = dom.natural_loops(&f);
+        assert_eq!(loops.len(), 2, "{f}");
+        // One loop strictly contains the other.
+        let (a, bl) = (&loops[0], &loops[1]);
+        let (outer, inner) = if a.blocks.len() > bl.blocks.len() {
+            (a, bl)
+        } else {
+            (bl, a)
+        };
+        for blk in &inner.blocks {
+            assert!(outer.contains(*blk), "inner block {blk} outside outer");
+        }
+        assert!(outer.blocks.len() > inner.blocks.len());
+    }
+
+    #[test]
+    fn exceptional_edges_break_dominance() {
+        // entry -> body (in try) -> after; body also has an exceptional
+        // edge to the handler, and the handler flows to after. The body
+        // must NOT dominate `after` (the handler path skips it... actually
+        // the handler path goes through body's exceptional edge, so body
+        // dominates handler; but a check placed *after* the faulting
+        // instruction inside body is not on the handler path — that is the
+        // validator's job). Here we verify the handler is dominated by the
+        // try block via the exceptional edge.
+        let mut b = FuncBuilder::new("t", &[Type::Ref], Type::Int);
+        let obj = b.param(0);
+        let handler = b.new_block();
+        let after = b.new_block();
+        let body = b.new_block();
+        let code = b.var(Type::Int);
+        let region = b.add_try_region(handler, CatchKind::Any, Some(code));
+        b.goto(body);
+        b.set_try_region(Some(region));
+        b.switch_to(body);
+        let v = b.get_field(obj, crate::FieldId(0));
+        b.goto(after);
+        b.set_try_region(None);
+        b.switch_to(handler);
+        b.goto(after);
+        b.switch_to(after);
+        b.ret(Some(v));
+        let f = b.finish();
+        let dom = DomTree::new(&f);
+        assert!(dom.dominates(body, handler));
+        // `after` joins the normal and exceptional paths: idom is body.
+        assert_eq!(dom.idom(after), Some(body));
+    }
+
+    #[test]
+    fn rpo_accessor_covers_reachable_blocks() {
+        let (f, _) = diamond();
+        let dom = DomTree::new(&f);
+        assert_eq!(dom.rpo().len(), f.num_blocks());
+        assert_eq!(dom.rpo()[0], f.entry());
+        assert_eq!(dom.entry(), f.entry());
+    }
+}

@@ -38,6 +38,7 @@
 pub mod block;
 pub mod builder;
 pub mod display;
+pub mod dom;
 pub mod function;
 pub mod inst;
 pub mod module;
@@ -47,6 +48,7 @@ pub mod verify;
 
 pub use block::{BasicBlock, Terminator};
 pub use builder::FuncBuilder;
+pub use dom::{DomTree, NaturalLoop};
 pub use function::{CatchKind, Function, TryRegion};
 pub use inst::{
     AccessKind, CallTarget, Cond, ExceptionKind, Inst, Intrinsic, NullCheckKind, Op, SlotAccess,

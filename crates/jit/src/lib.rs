@@ -24,8 +24,9 @@
 
 use std::time::{Duration, Instant};
 
+use njc_analysis::ValidationReport;
 use njc_arch::Platform;
-use njc_opt::{optimize_module, ConfigKind, PipelineStats};
+use njc_opt::{optimize_module, ConfigKind, OptConfig, PipelineStats};
 use njc_vm::{Fault, Outcome, Vm, VmConfig};
 use njc_workloads::Workload;
 
@@ -60,6 +61,41 @@ pub fn compile(workload: &Workload, platform: &Platform, kind: ConfigKind) -> Co
         stats,
         wall,
     }
+}
+
+/// Compiles `workload` under `kind` with the static validator running
+/// between passes (debug builds of a JIT would ship this mode): any
+/// soundness violation a pass introduces becomes an `Err` naming the pass.
+///
+/// # Errors
+/// One line per validator finding, each tagged `[stage]`.
+pub fn compile_validated(
+    workload: &Workload,
+    platform: &Platform,
+    kind: ConfigKind,
+) -> Result<Compiled, String> {
+    let mut module = workload.module.clone();
+    let config = OptConfig {
+        validate: true,
+        ..kind.to_config(platform)
+    };
+    let t = Instant::now();
+    let stats = njc_opt::optimize_module_validated(&mut module, platform, &config)?;
+    let wall = t.elapsed();
+    Ok(Compiled {
+        name: workload.name,
+        kind,
+        module,
+        stats,
+        wall,
+    })
+}
+
+/// Statically validates an already-compiled workload against the trap
+/// model of the machine it will run on — the end-to-end coverage proof,
+/// without executing anything.
+pub fn validate_compiled(compiled: &Compiled, platform: &Platform) -> ValidationReport {
+    njc_analysis::validate_module(&compiled.module, platform.trap)
 }
 
 /// Executes a compiled workload on the platform's VM.
@@ -191,6 +227,26 @@ mod tests {
             assert!(!config_may_miss_npes(kind), "{kind:?}");
         }
         assert!(config_may_miss_npes(ConfigKind::AixIllegalImplicit));
+    }
+
+    #[test]
+    fn validated_compile_accepts_full_and_flags_illegal_implicit() {
+        let w = assignment();
+        let p = Platform::windows_ia32();
+        let c = compile_validated(&w, &p, ConfigKind::Full).unwrap();
+        assert!(validate_compiled(&c, &p).is_sound());
+
+        let aix = Platform::aix_ppc();
+        let err = compile_validated(&w, &aix, ConfigKind::AixIllegalImplicit)
+            .expect_err("illegal implicit must fail static validation");
+        assert!(err.contains("missed-exception"), "{err}");
+        // The same verdict from the end-to-end module check.
+        let c = compile(&w, &aix, ConfigKind::AixIllegalImplicit);
+        let report = validate_compiled(&c, &aix);
+        assert!(
+            report.count(njc_analysis::ViolationKind::MissedException) > 0,
+            "{report}"
+        );
     }
 
     #[test]

@@ -32,5 +32,7 @@ pub mod sink;
 pub mod versioning;
 
 pub use inline::{InlineConfig, InlineStats};
-pub use pipeline::{optimize_module, ConfigKind, NullOpt, OptConfig, PipelineStats};
+pub use pipeline::{
+    optimize_module, optimize_module_validated, ConfigKind, NullOpt, OptConfig, PipelineStats,
+};
 pub use scalar::{ScalarConfig, ScalarStats};

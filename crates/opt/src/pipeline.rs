@@ -60,6 +60,11 @@ pub struct OptConfig {
     pub versioning: bool,
     /// Store sinking / register promotion (ablation toggle).
     pub sinking: bool,
+    /// Run the static validator (`njc-analysis`) between passes, recording
+    /// any soundness violation in [`PipelineStats::validation_failures`]
+    /// tagged with the pass that introduced it. Off in the presets; see
+    /// [`optimize_module_validated`].
+    pub validate: bool,
 }
 
 /// Named configuration presets: one per row of the paper's tables.
@@ -126,6 +131,7 @@ impl ConfigKind {
                 iterations: 3,
                 versioning: true,
                 sinking: true,
+                validate: false,
             },
             ConfigKind::NoNullOptTrap => OptConfig {
                 name: "No Null Opt. (Hardware Trap)",
@@ -138,6 +144,7 @@ impl ConfigKind {
                 iterations: 3,
                 versioning: true,
                 sinking: true,
+                validate: false,
             },
             ConfigKind::OldNullCheck => OptConfig {
                 name: "Old Null Check",
@@ -150,6 +157,7 @@ impl ConfigKind {
                 iterations: 3,
                 versioning: true,
                 sinking: true,
+                validate: false,
             },
             ConfigKind::Phase1Only => OptConfig {
                 name: "New Null Check (Phase1 only)",
@@ -162,6 +170,7 @@ impl ConfigKind {
                 iterations: 3,
                 versioning: true,
                 sinking: true,
+                validate: false,
             },
             ConfigKind::Full => OptConfig {
                 name: "New Null Check (Phase1+Phase2)",
@@ -174,6 +183,7 @@ impl ConfigKind {
                 iterations: 3,
                 versioning: true,
                 sinking: true,
+                validate: false,
             },
             ConfigKind::RefJit => OptConfig {
                 name: "RefJit (HotSpot stand-in)",
@@ -186,6 +196,7 @@ impl ConfigKind {
                 iterations: 1,
                 versioning: true,
                 sinking: true,
+                validate: false,
             },
             ConfigKind::AixSpeculation => OptConfig {
                 name: "Speculation",
@@ -198,6 +209,7 @@ impl ConfigKind {
                 iterations: 3,
                 versioning: true,
                 sinking: true,
+                validate: false,
             },
             ConfigKind::AixNoSpeculation => OptConfig {
                 name: "No Speculation",
@@ -210,6 +222,7 @@ impl ConfigKind {
                 iterations: 3,
                 versioning: true,
                 sinking: true,
+                validate: false,
             },
             ConfigKind::AixNoNullOpt => OptConfig {
                 name: "No Null Check Optimization",
@@ -222,6 +235,7 @@ impl ConfigKind {
                 iterations: 3,
                 versioning: true,
                 sinking: true,
+                validate: false,
             },
             ConfigKind::AixIllegalImplicit => OptConfig {
                 name: "Illegal Implicit (No Speculation)",
@@ -237,6 +251,7 @@ impl ConfigKind {
                 iterations: 3,
                 versioning: true,
                 sinking: true,
+                validate: false,
             },
         }
     }
@@ -268,6 +283,10 @@ pub struct PipelineStats {
     /// iterations. Keys: "nullcheck", "inline", "intrinsics", "boundcheck",
     /// "scalar", "cleanup".
     pub timings: Vec<(&'static str, Duration)>,
+    /// Violations found by the static validator when [`OptConfig::validate`]
+    /// is on, each prefixed with the `[stage]` that produced it. Empty
+    /// means every validated stage was proven sound.
+    pub validation_failures: Vec<String>,
 }
 
 impl PipelineStats {
@@ -294,6 +313,39 @@ impl PipelineStats {
     }
 }
 
+/// Records pair + invariant validator findings around one null check pass.
+fn validate_null_pass(
+    stats: &mut PipelineStats,
+    module: &Module,
+    machine: TrapModel,
+    stage: &str,
+    orig: &njc_ir::Function,
+    opt: &njc_ir::Function,
+    invariant: bool,
+) {
+    for v in njc_analysis::validate_pair(module, machine, orig, opt) {
+        stats.validation_failures.push(format!("[{stage}] {v}"));
+    }
+    if invariant {
+        for v in njc_analysis::check_path_invariant(orig, opt) {
+            stats.validation_failures.push(format!("[{stage}] {v}"));
+        }
+    }
+}
+
+/// Records coverage validator findings for one function after a pass.
+fn validate_coverage(
+    stats: &mut PipelineStats,
+    module: &Module,
+    machine: TrapModel,
+    stage: &str,
+    func: &njc_ir::Function,
+) {
+    for v in njc_analysis::validate_function(module, machine, func) {
+        stats.validation_failures.push(format!("[{stage}] {v}"));
+    }
+}
+
 /// Runs the configured pipeline over every function of `module` in place.
 pub fn optimize_module(
     module: &mut Module,
@@ -317,6 +369,15 @@ pub fn optimize_module(
         stats.add_time("inline", t.elapsed());
     }
 
+    // Baseline validation of the module as handed to the iterated loop:
+    // everything is still an explicit check here, so any violation is in
+    // the *input* (or in intrinsics/inlining), not a null check pass.
+    if config.validate {
+        for v in njc_analysis::validate_module(module, platform.trap).violations {
+            stats.validation_failures.push(format!("[input] {v}"));
+        }
+    }
+
     // Figure 2's iterated architecture-independent loop.
     for _ in 0..config.iterations.max(1) {
         for fi in 0..module.num_functions() {
@@ -327,19 +388,43 @@ pub fn optimize_module(
                 NullOpt::None => {}
                 NullOpt::Whaley => {
                     let mut func = take_function(module, id);
+                    let orig = config.validate.then(|| func.clone());
                     let s = whaley::run(&mut func);
                     stats.null_checks.whaley.eliminated += s.eliminated;
                     stats.null_checks.whaley.iterations += s.iterations;
+                    if let Some(orig) = &orig {
+                        validate_null_pass(
+                            &mut stats,
+                            module,
+                            platform.trap,
+                            "whaley",
+                            orig,
+                            &func,
+                            true,
+                        );
+                    }
                     put_function(module, id, func);
                 }
                 NullOpt::Phase1 => {
                     let mut func = take_function(module, id);
+                    let orig = config.validate.then(|| func.clone());
                     let ctx = AnalysisCtx::new(module, config.compiler_trap);
                     let s = phase1::run(&ctx, &mut func);
                     stats.null_checks.phase1.eliminated += s.eliminated;
                     stats.null_checks.phase1.inserted += s.inserted;
                     stats.null_checks.phase1.motion_iterations += s.motion_iterations;
                     stats.null_checks.phase1.nonnull_iterations += s.nonnull_iterations;
+                    if let Some(orig) = &orig {
+                        validate_null_pass(
+                            &mut stats,
+                            module,
+                            platform.trap,
+                            "phase1",
+                            orig,
+                            &func,
+                            true,
+                        );
+                    }
                     put_function(module, id, func);
                 }
             }
@@ -350,6 +435,9 @@ pub fn optimize_module(
             {
                 let mut func = take_function(module, id);
                 stats.boundchecks_eliminated += boundcheck::run(&mut func).eliminated;
+                if config.validate {
+                    validate_coverage(&mut stats, module, platform.trap, "boundcheck", &func);
+                }
                 put_function(module, id, func);
             }
             stats.add_time("boundcheck", t.elapsed());
@@ -379,6 +467,9 @@ pub fn optimize_module(
                     let sk = sink::run(&ctx, &mut func);
                     stats.fields_promoted += sk.promoted;
                 }
+                if config.validate {
+                    validate_coverage(&mut stats, module, platform.trap, "scalar", &func);
+                }
                 put_function(module, id, func);
             }
             stats.add_time("scalar", t.elapsed());
@@ -389,6 +480,9 @@ pub fn optimize_module(
                 let mut func = take_function(module, id);
                 stats.copies_propagated += copyprop::run(&mut func).replaced_uses;
                 stats.dead_removed += dce::run(&mut func).removed;
+                if config.validate {
+                    validate_coverage(&mut stats, module, platform.trap, "cleanup", &func);
+                }
                 put_function(module, id, func);
             }
             stats.add_time("cleanup", t.elapsed());
@@ -418,6 +512,9 @@ pub fn optimize_module(
             let ctx = AnalysisCtx::new(module, config.compiler_trap);
             stats.fields_promoted += sink::run(&ctx, &mut func).promoted;
         }
+        if config.validate {
+            validate_coverage(&mut stats, module, platform.trap, "versioning", &func);
+        }
         put_function(module, id, func);
     }
     stats.add_time("boundcheck", t.elapsed());
@@ -427,6 +524,7 @@ pub fn optimize_module(
     for fi in 0..module.num_functions() {
         let id = FunctionId::new(fi);
         let mut func = take_function(module, id);
+        let orig = config.validate.then(|| func.clone());
         let ctx = AnalysisCtx::new(module, config.compiler_trap);
         if config.phase2 {
             let s = phase2::run(&ctx, &mut func);
@@ -437,6 +535,21 @@ pub fn optimize_module(
             stats.null_checks.phase2.subst_iterations += s.subst_iterations;
         } else if config.trivial_trap {
             stats.null_checks.trivial.converted += trivial::run(&ctx, &mut func).converted;
+        }
+        if let Some(orig) = &orig {
+            // This is the stage that bets on the hardware: validate the
+            // conversion against the trap model of the *machine*, not the
+            // one the compiler assumed — the gap between the two is exactly
+            // the §5.4 "Illegal Implicit" unsoundness.
+            let stage = if config.phase2 {
+                "phase2"
+            } else if config.trivial_trap {
+                "trivial"
+            } else {
+                "final"
+            };
+            validate_null_pass(&mut stats, module, platform.trap, stage, orig, &func, false);
+            validate_coverage(&mut stats, module, platform.trap, stage, &func);
         }
         put_function(module, id, func);
     }
@@ -460,6 +573,26 @@ pub fn optimize_module(
     }
 
     stats
+}
+
+/// Runs [`optimize_module`] with the static validator forced on and turns
+/// any violation into an `Err`, one line per finding, each tagged with the
+/// stage that introduced it — the translation-validation entry point.
+pub fn optimize_module_validated(
+    module: &mut Module,
+    platform: &Platform,
+    config: &OptConfig,
+) -> Result<PipelineStats, String> {
+    let cfg = OptConfig {
+        validate: true,
+        ..*config
+    };
+    let stats = optimize_module(module, platform, &cfg);
+    if stats.validation_failures.is_empty() {
+        Ok(stats)
+    } else {
+        Err(stats.validation_failures.join("\n"))
+    }
 }
 
 /// Checks a function out of the module so passes can hold `&Module` (for
@@ -609,6 +742,33 @@ mod tests {
         );
         assert!(s_on.loops_versioned > 0);
         assert_eq!(s_off.loops_versioned, 0);
+    }
+
+    #[test]
+    fn validated_pipeline_accepts_sound_configs() {
+        for (kinds, p) in [
+            (&ConfigKind::table12_rows()[..], Platform::windows_ia32()),
+            (&ConfigKind::table67_rows()[..3], Platform::aix_ppc()),
+        ] {
+            for &kind in kinds {
+                let mut m = loop_module();
+                let cfg = kind.to_config(&p);
+                let stats = optimize_module_validated(&mut m, &p, &cfg)
+                    .unwrap_or_else(|e| panic!("{:?} on {}: {e}", kind, p.name));
+                assert!(stats.validation_failures.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn validated_pipeline_flags_illegal_implicit_on_aix() {
+        let mut m = loop_module();
+        let p = Platform::aix_ppc();
+        let cfg = ConfigKind::AixIllegalImplicit.to_config(&p);
+        let err = optimize_module_validated(&mut m, &p, &cfg)
+            .expect_err("the §5.4 spec violation must be caught statically");
+        assert!(err.contains("[phase2]"), "{err}");
+        assert!(err.contains("missed-exception"), "{err}");
     }
 
     #[test]

@@ -3,6 +3,9 @@
 //! Re-exports the workspace crates under one roof. See README.md for the
 //! project overview and DESIGN.md for the system inventory.
 
+pub mod prop;
+
+pub use njc_analysis as analysis;
 pub use njc_arch as arch;
 pub use njc_codegen as codegen;
 pub use njc_core as core;

@@ -8,12 +8,12 @@
 //! (result, escaped exception, observation trace) must never change, and
 //! the VM must never report a fault (unexpected trap / wild access).
 
+use njc::prop::{run_cases, Rng};
 use njc_arch::Platform;
 use njc_ir::{CatchKind, Cond, FuncBuilder, Module, Op, Type, VarId};
 use njc_jit::{compile, execute, execute_unoptimized};
 use njc_opt::ConfigKind;
 use njc_workloads::{Suite, Workload};
-use proptest::prelude::*;
 
 /// One step of the random program.
 #[derive(Clone, Debug)]
@@ -42,30 +42,35 @@ enum Action {
     Loop(u8, Vec<Action>),
 }
 
-fn action_strategy(depth: u32) -> impl Strategy<Value = Action> {
-    let leaf = prop_oneof![
-        any::<i8>().prop_map(Action::IConst),
-        (0u8..4, 0usize..8, 0usize..8).prop_map(|(o, a, b)| Action::IntOp(o, a, b)),
-        Just(Action::NewObj),
-        Just(Action::NullRef),
-        (0usize..6, 0usize..2).prop_map(|(r, f)| Action::GetField(r, f)),
-        (0usize..6, 0usize..2, 0usize..8).prop_map(|(r, f, v)| Action::PutField(r, f, v)),
-        (0usize..8).prop_map(Action::ArrLoad),
-        (0usize..8, 0usize..8).prop_map(|(i, v)| Action::ArrStore(i, v)),
-        (0usize..8).prop_map(Action::Observe),
-    ];
-    leaf.prop_recursive(depth, 24, 6, |inner| {
-        prop_oneof![
-            (
-                0usize..8,
-                0usize..8,
-                prop::collection::vec(inner.clone(), 1..4)
-            )
-                .prop_map(|(a, b, body)| Action::IfLt(a, b, body)),
-            (1u8..5, prop::collection::vec(inner, 1..4))
-                .prop_map(|(n, body)| Action::Loop(n, body)),
-        ]
-    })
+fn gen_action(rng: &mut Rng, depth: u32) -> Action {
+    // Nine leaf shapes; the two recursive shapes join the menu while
+    // depth budget remains.
+    let n = if depth > 0 { 11 } else { 9 };
+    match rng.below(n) {
+        0 => Action::IConst(rng.i8()),
+        1 => Action::IntOp(rng.below(4) as u8, rng.below(8), rng.below(8)),
+        2 => Action::NewObj,
+        3 => Action::NullRef,
+        4 => Action::GetField(rng.below(6), rng.below(2)),
+        5 => Action::PutField(rng.below(6), rng.below(2), rng.below(8)),
+        6 => Action::ArrLoad(rng.below(8)),
+        7 => Action::ArrStore(rng.below(8), rng.below(8)),
+        8 => Action::Observe(rng.below(8)),
+        9 => {
+            let (a, b) = (rng.below(8), rng.below(8));
+            let len = rng.range(1, 4);
+            Action::IfLt(a, b, gen_actions(rng, len, depth - 1))
+        }
+        _ => {
+            let n = rng.range(1, 5) as u8;
+            let len = rng.range(1, 4);
+            Action::Loop(n, gen_actions(rng, len, depth - 1))
+        }
+    }
+}
+
+fn gen_actions(rng: &mut Rng, len: usize, depth: u32) -> Vec<Action> {
+    (0..len).map(|_| gen_action(rng, depth)).collect()
 }
 
 /// Emits one action into the builder, maintaining pools of defined ints
@@ -205,10 +210,10 @@ fn build_module(actions: &[Action]) -> Module {
     m
 }
 
-fn check_all_configs(actions: &[Action]) -> Result<(), TestCaseError> {
+fn check_all_configs(actions: &[Action]) -> Result<(), String> {
     let module = build_module(actions);
     njc_ir::verify_module(&module)
-        .map_err(|e| TestCaseError::fail(format!("generated module invalid: {:?}", &e[..1])))?;
+        .map_err(|e| format!("generated module invalid: {:?}", &e[..1]))?;
     let w = Workload {
         name: "random",
         suite: Suite::Micro,
@@ -217,9 +222,8 @@ fn check_all_configs(actions: &[Action]) -> Result<(), TestCaseError> {
         work_units: 1,
     };
     for platform in [Platform::windows_ia32(), Platform::aix_ppc()] {
-        let base = execute_unoptimized(&w, &platform).map_err(|f| {
-            TestCaseError::fail(format!("baseline fault on {}: {f}", platform.name))
-        })?;
+        let base = execute_unoptimized(&w, &platform)
+            .map_err(|f| format!("baseline fault on {}: {f}", platform.name))?;
         for kind in [
             ConfigKind::NoNullOptNoTrap,
             ConfigKind::NoNullOptTrap,
@@ -230,43 +234,54 @@ fn check_all_configs(actions: &[Action]) -> Result<(), TestCaseError> {
             ConfigKind::AixNoSpeculation,
         ] {
             let compiled = compile(&w, &platform, kind);
+            // The static validator must prove every sound output sound —
+            // on random programs too, not just the fixed workloads.
+            let report = njc_analysis::validate_module(&compiled.module, platform.trap);
+            if !report.is_sound() {
+                return Err(format!(
+                    "static validator rejects {kind:?} on {}:\n{report}\n{}",
+                    platform.name,
+                    compiled
+                        .module
+                        .function(compiled.module.function_by_name("work").unwrap())
+                ));
+            }
             let out = execute(&compiled, &platform).map_err(|f| {
-                TestCaseError::fail(format!(
+                format!(
                     "fault under {kind:?} on {}: {f}\n{}",
                     platform.name,
                     compiled
                         .module
                         .function(compiled.module.function_by_name("work").unwrap())
-                ))
+                )
             })?;
             base.assert_equivalent(&out).map_err(|e| {
-                TestCaseError::fail(format!(
+                format!(
                     "divergence under {kind:?} on {}: {e}\n{}",
                     platform.name,
                     compiled
                         .module
                         .function(compiled.module.function_by_name("work").unwrap())
-                ))
+                )
             })?;
-            prop_assert_eq!(out.stats.missed_npes, 0, "sound config missed NPEs");
+            if out.stats.missed_npes != 0 {
+                return Err(format!(
+                    "sound config {kind:?} on {} missed {} NPEs",
+                    platform.name, out.stats.missed_npes
+                ));
+            }
         }
     }
     Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 160,
-        max_shrink_iters: 200,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn random_programs_survive_every_sound_config(
-        actions in prop::collection::vec(action_strategy(3), 1..20)
-    ) {
-        check_all_configs(&actions)?;
-    }
+#[test]
+fn random_programs_survive_every_sound_config() {
+    run_cases("random_programs_survive_every_sound_config", 160, |rng| {
+        let len = rng.range(1, 20);
+        let actions = gen_actions(rng, len, 3);
+        check_all_configs(&actions)
+    });
 }
 
 #[test]
@@ -305,6 +320,6 @@ fn known_tricky_shapes() {
         ],
     ];
     for (i, actions) in cases.iter().enumerate() {
-        check_all_configs(actions).unwrap_or_else(|e| panic!("case {i}: {e:?}"));
+        check_all_configs(actions).unwrap_or_else(|e| panic!("case {i}: {e}"));
     }
 }

@@ -2,13 +2,13 @@
 //! pass-level invariants (idempotence, verifiability) on randomly shaped
 //! functions.
 
+use njc::prop::{run_cases, Rng};
 use njc_arch::TrapModel;
 use njc_core::ctx::AnalysisCtx;
 use njc_core::{phase1, phase2, whaley};
 use njc_ir::{
     parse_function, verify, CatchKind, Cond, ExceptionKind, FuncBuilder, Module, Op, Type,
 };
-use proptest::prelude::*;
 
 /// A compact generator of structurally diverse single functions: a chain
 /// of segments, each one of a few shapes.
@@ -23,16 +23,22 @@ enum Segment {
     TryNpe(u8),
 }
 
-fn segment_strategy() -> impl Strategy<Value = Segment> {
-    prop_oneof![
-        any::<u8>().prop_map(Segment::Arith),
-        any::<u8>().prop_map(Segment::FieldRead),
-        any::<u8>().prop_map(Segment::FieldWrite),
-        any::<u8>().prop_map(Segment::ArrayTouch),
-        any::<u8>().prop_map(Segment::Branch),
-        any::<u8>().prop_map(Segment::CountedLoop),
-        any::<u8>().prop_map(Segment::TryNpe),
-    ]
+fn gen_segments(rng: &mut Rng) -> Vec<Segment> {
+    let len = rng.below(12);
+    (0..len)
+        .map(|_| {
+            let k = rng.next_u64() as u8;
+            match rng.below(7) {
+                0 => Segment::Arith(k),
+                1 => Segment::FieldRead(k),
+                2 => Segment::FieldWrite(k),
+                3 => Segment::ArrayTouch(k),
+                4 => Segment::Branch(k),
+                5 => Segment::CountedLoop(k),
+                _ => Segment::TryNpe(k),
+            }
+        })
+        .collect()
 }
 
 fn build(segments: &[Segment]) -> njc_ir::Function {
@@ -135,59 +141,73 @@ fn test_module() -> Module {
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 96, .. ProptestConfig::default() })]
-
-    /// Display → parse is the identity on generated functions.
-    #[test]
-    fn print_parse_round_trip(segs in prop::collection::vec(segment_strategy(), 0..12)) {
-        let f = build(&segs);
+/// Display → parse is the identity on generated functions.
+#[test]
+fn print_parse_round_trip() {
+    run_cases("print_parse_round_trip", 96, |rng| {
+        let f = build(&gen_segments(rng));
         verify(&f).unwrap();
         let printed = f.to_string();
-        let reparsed = parse_function(&printed)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
-        prop_assert_eq!(&reparsed, &f, "round trip mismatch:\n{}", printed);
-    }
+        let reparsed =
+            parse_function(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        if reparsed != f {
+            return Err(format!("round trip mismatch:\n{printed}"));
+        }
+        Ok(())
+    });
+}
 
-    /// Phase 1 is idempotent and preserves verifiability.
-    #[test]
-    fn phase1_idempotent(segs in prop::collection::vec(segment_strategy(), 0..12)) {
+/// Phase 1 is idempotent and preserves verifiability.
+#[test]
+fn phase1_idempotent() {
+    run_cases("phase1_idempotent", 96, |rng| {
         let m = test_module();
         let ctx = AnalysisCtx::new(&m, TrapModel::windows_ia32());
-        let mut f = build(&segs);
+        let mut f = build(&gen_segments(rng));
         phase1::run(&ctx, &mut f);
         verify(&f).unwrap();
         let once = f.to_string();
         let stats = phase1::run(&ctx, &mut f);
-        prop_assert_eq!(stats.eliminated, 0);
-        prop_assert_eq!(stats.inserted, 0);
-        prop_assert_eq!(f.to_string(), once);
-    }
+        if stats.eliminated != 0 || stats.inserted != 0 || f.to_string() != once {
+            return Err(format!("second phase 1 changed the function:\n{once}"));
+        }
+        Ok(())
+    });
+}
 
-    /// Phase 2 leaves no explicit check that is trivially substitutable,
-    /// and a second run performs no further conversions.
-    #[test]
-    fn phase2_stable(segs in prop::collection::vec(segment_strategy(), 0..12)) {
+/// Phase 2 leaves no explicit check that is trivially substitutable,
+/// and a second run performs no further conversions.
+#[test]
+fn phase2_stable() {
+    run_cases("phase2_stable", 96, |rng| {
         let m = test_module();
         let ctx = AnalysisCtx::new(&m, TrapModel::windows_ia32());
-        let mut f = build(&segs);
+        let mut f = build(&gen_segments(rng));
         phase1::run(&ctx, &mut f);
         phase2::run(&ctx, &mut f);
         verify(&f).unwrap();
         let once = f.to_string();
         let stats = phase2::run(&ctx, &mut f);
-        prop_assert_eq!(stats.converted_implicit, 0, "second phase 2 re-converted:\n{}", once);
+        if stats.converted_implicit != 0 {
+            return Err(format!("second phase 2 re-converted:\n{once}"));
+        }
         verify(&f).unwrap();
-    }
+        Ok(())
+    });
+}
 
-    /// Whaley never inserts and never increases the check count.
-    #[test]
-    fn whaley_only_removes(segs in prop::collection::vec(segment_strategy(), 0..12)) {
-        let mut f = build(&segs);
+/// Whaley never inserts and never increases the check count.
+#[test]
+fn whaley_only_removes() {
+    run_cases("whaley_only_removes", 96, |rng| {
+        let mut f = build(&gen_segments(rng));
         let before = phase1::count_checks(&f);
         whaley::run(&mut f);
         let after = phase1::count_checks(&f);
-        prop_assert!(after <= before);
+        if after > before {
+            return Err(format!("whaley increased checks {before} -> {after}"));
+        }
         verify(&f).unwrap();
-    }
+        Ok(())
+    });
 }

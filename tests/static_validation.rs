@@ -1,0 +1,257 @@
+//! Integration tests for the static translation validator (`njc-analysis`)
+//! against real pipeline output.
+//!
+//! Three angles:
+//! * **Completeness on sound output** — the validator accepts every
+//!   workload × configuration × platform the pipeline can produce, both as
+//!   an end-to-end module check and in the between-passes mode.
+//! * **The §5.4 negative control** — "Illegal Implicit" on AIX must be
+//!   flagged *statically*, and the static verdict must agree with (in fact
+//!   dominate) the VM's dynamic missed-NPE counter.
+//! * **Mutation adequacy** — deleting any one explicit check or unmarking
+//!   any one exception site in optimized output must either be rejected by
+//!   the validator or be provably redundant, which we confirm by running
+//!   the mutant on the VM and demanding observational equivalence. The
+//!   validator proves exception *preservation*, so a genuinely redundant
+//!   check (already dominated by another check of the same value) is
+//!   rightly accepted — but then the mutant must behave identically.
+
+use njc_analysis::{validate_function, validate_module, validate_pair, ViolationKind};
+use njc_arch::Platform;
+use njc_ir::{FunctionId, Inst, NullCheckKind};
+use njc_jit::{compile, compile_validated, execute, Compiled};
+use njc_opt::ConfigKind;
+
+/// The platform rows of the paper's tables, minus the deliberately
+/// unsound negative control.
+fn sound_suites() -> Vec<(Platform, Vec<ConfigKind>)> {
+    vec![
+        (
+            Platform::windows_ia32(),
+            ConfigKind::table12_rows().to_vec(),
+        ),
+        (
+            Platform::aix_ppc(),
+            ConfigKind::table67_rows()[..3].to_vec(),
+        ),
+        (Platform::linux_s390(), ConfigKind::table12_rows().to_vec()),
+    ]
+}
+
+#[test]
+fn validator_accepts_every_pipeline_output() {
+    for (platform, kinds) in sound_suites() {
+        for kind in kinds {
+            for w in njc_workloads::all() {
+                let c = compile(&w, &platform, kind);
+                let report = validate_module(&c.module, platform.trap);
+                assert!(
+                    report.is_sound(),
+                    "{} under {kind:?} on {}:\n{report}",
+                    w.name,
+                    platform.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn between_passes_mode_accepts_sound_configs() {
+    // The per-stage mode is heavier (it validates after every pass of
+    // every iteration), so it runs on a representative subset.
+    let small = ["Numeric Sort", "Bitfield", "db", "mtrt"];
+    let suites = [
+        (
+            Platform::windows_ia32(),
+            vec![
+                ConfigKind::Full,
+                ConfigKind::Phase1Only,
+                ConfigKind::OldNullCheck,
+            ],
+        ),
+        (
+            Platform::aix_ppc(),
+            vec![ConfigKind::AixSpeculation, ConfigKind::AixNoSpeculation],
+        ),
+    ];
+    for (platform, kinds) in suites {
+        for &kind in &kinds {
+            for w in njc_workloads::all() {
+                if !small.contains(&w.name) {
+                    continue;
+                }
+                compile_validated(&w, &platform, kind).unwrap_or_else(|e| {
+                    panic!("{} under {kind:?} on {}:\n{e}", w.name, platform.name)
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn illegal_implicit_is_flagged_statically() {
+    let aix = Platform::aix_ppc();
+    let mut flagged = 0usize;
+    for w in njc_workloads::all() {
+        let c = compile(&w, &aix, ConfigKind::AixIllegalImplicit);
+        let report = validate_module(&c.module, aix.trap);
+        if !report.is_sound() {
+            flagged += 1;
+        }
+        // The static verdict must dominate the dynamic one: whenever the
+        // VM observes a missed NullPointerException (or faults outright),
+        // the validator must have predicted it without running anything.
+        match execute(&c, &aix) {
+            Ok(out) => {
+                if out.stats.missed_npes > 0 {
+                    assert!(
+                        report.count(ViolationKind::MissedException) > 0,
+                        "{}: VM missed {} NPEs but the validator was silent",
+                        w.name,
+                        out.stats.missed_npes
+                    );
+                }
+            }
+            Err(fault) => {
+                assert!(
+                    !report.is_sound(),
+                    "{}: VM faulted ({fault}) but the validator was silent",
+                    w.name
+                );
+            }
+        }
+    }
+    assert!(
+        flagged > 0,
+        "no workload was statically flagged under Illegal Implicit"
+    );
+}
+
+/// Runs the compiled module and the mutant module, demanding identical
+/// observable behaviour — the oracle for mutants the validator accepts.
+fn assert_mutant_equivalent(
+    compiled: &Compiled,
+    mutant: njc_ir::Module,
+    platform: &Platform,
+    what: &str,
+) {
+    let base =
+        execute(compiled, platform).unwrap_or_else(|f| panic!("{what}: baseline faulted: {f}"));
+    let mut m = compiled.clone();
+    m.module = mutant;
+    match execute(&m, platform) {
+        Ok(out) => base
+            .assert_equivalent(&out)
+            .unwrap_or_else(|e| panic!("{what}: accepted mutant diverges: {e}")),
+        Err(f) => panic!("{what}: accepted mutant faults: {f}"),
+    }
+}
+
+#[test]
+fn deleting_any_explicit_check_is_caught_or_provably_redundant() {
+    let p = Platform::windows_ia32();
+    let workloads = ["Numeric Sort", "Assignment", "db", "Huffman Compression"];
+    let mut mutants = 0usize;
+    let mut rejected = 0usize;
+    for kind in [ConfigKind::Full, ConfigKind::NoNullOptNoTrap] {
+        for w in njc_workloads::all() {
+            if !workloads.contains(&w.name) {
+                continue;
+            }
+            let c = compile(&w, &p, kind);
+            for fi in 0..c.module.num_functions() {
+                let func = c.module.function(FunctionId::new(fi));
+                for (bi, block) in func.blocks().iter().enumerate() {
+                    for (ii, inst) in block.insts.iter().enumerate() {
+                        if !matches!(
+                            inst,
+                            Inst::NullCheck {
+                                kind: NullCheckKind::Explicit,
+                                ..
+                            }
+                        ) {
+                            continue;
+                        }
+                        mutants += 1;
+                        let mut mutant = func.clone();
+                        mutant
+                            .block_mut(njc_ir::BlockId(bi as u32))
+                            .insts
+                            .remove(ii);
+                        let mut viol = validate_pair(&c.module, p.trap, func, &mutant);
+                        viol.extend(validate_function(&c.module, p.trap, &mutant));
+                        if viol.is_empty() {
+                            // Accepted: the deleted check must have been
+                            // redundant. Prove it dynamically.
+                            let mut module = c.module.clone();
+                            *module.function_mut(FunctionId::new(fi)) = mutant;
+                            assert_mutant_equivalent(
+                                &c,
+                                module,
+                                &p,
+                                &format!("{} [{kind:?}] {} bb{bi} inst {ii}", w.name, func.name()),
+                            );
+                        } else {
+                            rejected += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(mutants > 0, "no deletion mutants were generated");
+    assert!(
+        rejected > 0,
+        "every deletion mutant was accepted — the validator is toothless"
+    );
+}
+
+#[test]
+fn unmarking_any_exception_site_is_caught_or_provably_redundant() {
+    let p = Platform::windows_ia32();
+    let workloads = ["Numeric Sort", "Assignment", "db", "Huffman Compression"];
+    let mut mutants = 0usize;
+    let mut rejected = 0usize;
+    for w in njc_workloads::all() {
+        if !workloads.contains(&w.name) {
+            continue;
+        }
+        let c = compile(&w, &p, ConfigKind::Full);
+        for fi in 0..c.module.num_functions() {
+            let func = c.module.function(FunctionId::new(fi));
+            for (bi, block) in func.blocks().iter().enumerate() {
+                for (ii, inst) in block.insts.iter().enumerate() {
+                    if !inst.is_exception_site() {
+                        continue;
+                    }
+                    mutants += 1;
+                    let mut mutant = func.clone();
+                    mutant.block_mut(njc_ir::BlockId(bi as u32)).insts[ii]
+                        .set_exception_site(false);
+                    let mut viol = validate_function(&c.module, p.trap, &mutant);
+                    viol.extend(validate_pair(&c.module, p.trap, func, &mutant));
+                    if viol.is_empty() {
+                        // Accepted: the dereference must be covered by an
+                        // earlier check or trapping site of the same value.
+                        let mut module = c.module.clone();
+                        *module.function_mut(FunctionId::new(fi)) = mutant;
+                        assert_mutant_equivalent(
+                            &c,
+                            module,
+                            &p,
+                            &format!("{} {} bb{bi} inst {ii}", w.name, func.name()),
+                        );
+                    } else {
+                        rejected += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert!(mutants > 0, "no unmark mutants were generated");
+    assert!(
+        rejected > 0,
+        "every unmark mutant was accepted — the validator is toothless"
+    );
+}
