@@ -563,3 +563,48 @@ pub fn fig15(h: &mut Harness) -> String {
         2,
     )
 }
+
+/// Compile-cost appendix — solver work and per-pass time under the full
+/// configuration. Not a paper artifact: this tracks *our* optimizer's
+/// compile-time cost (worklist pops, convergence depth, per-pass wall
+/// breakdown) so regressions in the solver or pipeline show up in the
+/// regenerated report. See `compile_bench` / BENCH_compile.json for the
+/// thread-sweep version.
+pub fn compile_cost(h: &mut Harness) -> String {
+    let p = Platform::windows_ia32();
+    let mut t = TextTable::new(vec![
+        "benchmark".into(),
+        "solver pops".into(),
+        "solver iters".into(),
+        "nullcheck ms".into(),
+        "boundcheck ms".into(),
+        "scalar ms".into(),
+        "cleanup ms".into(),
+    ]);
+    let pass_ms = |c: &Cell, pass: &str| {
+        c.compile
+            .timings
+            .iter()
+            .filter(|(n, _)| *n == pass)
+            .map(|(_, d)| d.as_secs_f64() * 1000.0)
+            .sum::<f64>()
+    };
+    let mut pops = 0usize;
+    for w in njc_workloads::specjvm98() {
+        let c = h.measure(&w, &p, ConfigKind::Full);
+        pops += c.compile.null_checks.solver_pops();
+        t.row(vec![
+            w.name.to_string(),
+            c.compile.null_checks.solver_pops().to_string(),
+            c.compile.null_checks.solver_iterations().to_string(),
+            format!("{:.3}", pass_ms(&c, "nullcheck")),
+            format!("{:.3}", pass_ms(&c, "boundcheck")),
+            format!("{:.3}", pass_ms(&c, "scalar")),
+            format!("{:.3}", pass_ms(&c, "cleanup")),
+        ]);
+    }
+    format!(
+        "## Compile cost (SPECjvm98, Full config)\n\n{}\nTotal solver pops: {pops}\n",
+        t.render()
+    )
+}

@@ -70,14 +70,39 @@ impl NullCheckStats {
         self.phase1.inserted += other.phase1.inserted;
         self.phase1.motion_iterations += other.phase1.motion_iterations;
         self.phase1.nonnull_iterations += other.phase1.nonnull_iterations;
+        self.phase1.motion_pops += other.phase1.motion_pops;
+        self.phase1.nonnull_pops += other.phase1.nonnull_pops;
         self.phase2.converted_implicit += other.phase2.converted_implicit;
         self.phase2.explicit_inserted += other.phase2.explicit_inserted;
         self.phase2.substituted += other.phase2.substituted;
         self.phase2.motion_iterations += other.phase2.motion_iterations;
         self.phase2.subst_iterations += other.phase2.subst_iterations;
+        self.phase2.motion_pops += other.phase2.motion_pops;
+        self.phase2.subst_pops += other.phase2.subst_pops;
         self.whaley.eliminated += other.whaley.eliminated;
         self.whaley.iterations += other.whaley.iterations;
+        self.whaley.pops += other.whaley.pops;
         self.trivial.converted += other.trivial.converted;
+    }
+
+    /// Total worklist pops across every solver run this aggregate covers —
+    /// the compile-time cost metric surfaced by the bench bins.
+    pub fn solver_pops(&self) -> usize {
+        self.phase1.motion_pops
+            + self.phase1.nonnull_pops
+            + self.phase2.motion_pops
+            + self.phase2.subst_pops
+            + self.whaley.pops
+    }
+
+    /// Total solver convergence-depth iterations (see
+    /// [`njc_dataflow::Solution::iterations`]) across every analysis.
+    pub fn solver_iterations(&self) -> usize {
+        self.phase1.motion_iterations
+            + self.phase1.nonnull_iterations
+            + self.phase2.motion_iterations
+            + self.phase2.subst_iterations
+            + self.whaley.iterations
     }
 }
 

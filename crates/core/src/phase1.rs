@@ -36,8 +36,8 @@
 //! block, and if generated, generated before the first throwing
 //! instruction).
 
-use njc_dataflow::{solve, BitSet, Direction, Meet, Problem};
-use njc_ir::{BlockId, Function, Inst, NullCheckKind, VarId};
+use njc_dataflow::{solve_cached, BitSet, Direction, Meet, Problem};
+use njc_ir::{BlockId, CfgCache, Function, Inst, NullCheckKind, VarId};
 
 use crate::ctx::AnalysisCtx;
 use crate::nonnull::{compute_sets, eliminate_redundant, NonNullProblem};
@@ -49,10 +49,14 @@ pub struct Phase1Stats {
     pub eliminated: usize,
     /// Null checks inserted at earliest points (hoisted copies).
     pub inserted: usize,
-    /// Solver passes used by the backward motion analysis.
+    /// Solver convergence depth of the backward motion analysis.
     pub motion_iterations: usize,
-    /// Solver passes used by the forward non-nullness analysis.
+    /// Solver convergence depth of the forward non-nullness analysis.
     pub nonnull_iterations: usize,
+    /// Worklist pops spent by the backward motion analysis.
+    pub motion_pops: usize,
+    /// Worklist pops spent by the forward non-nullness analysis.
+    pub nonnull_pops: usize,
 }
 
 impl Phase1Stats {
@@ -121,8 +125,7 @@ impl Problem for BackwardMotion<'_> {
     }
     fn transfer(&self, block: BlockId, input: &BitSet, output: &mut BitSet) {
         // In_bwd = (Out_bwd - Kill) ∪ Gen.
-        output.copy_from(input);
-        output.subtract(&self.sets.kill[block.index()]);
+        output.subtract_from(input, &self.sets.kill[block.index()]);
         output.union_with(&self.sets.gen[block.index()]);
     }
     fn edge_transfer(&self, from: BlockId, to: BlockId, set: &mut BitSet) {
@@ -134,9 +137,8 @@ impl Problem for BackwardMotion<'_> {
 }
 
 /// Computes the `Earliest` insertion sets (§4.1.1), one per block, from the
-/// backward motion fixed point.
-fn compute_earliest(func: &Function, outs: &[BitSet], num_facts: usize) -> Vec<BitSet> {
-    let preds = func.predecessors();
+/// backward motion fixed point and the cached predecessor lists.
+fn compute_earliest(func: &Function, preds: &[Vec<BlockId>], outs: &[BitSet]) -> Vec<BitSet> {
     let mut earliest = Vec::with_capacity(func.num_blocks());
     for b in func.blocks() {
         let mut e = outs[b.id.index()].clone();
@@ -145,22 +147,30 @@ fn compute_earliest(func: &Function, outs: &[BitSet], num_facts: usize) -> Vec<B
         for &p in &preds[b.id.index()] {
             e.subtract(&outs[p.index()]);
         }
-        let _ = num_facts;
         earliest.push(e);
     }
     earliest
 }
 
 /// Runs phase 1 on `func`: moves null checks backward to their earliest
-/// points and eliminates redundant ones.
+/// points and eliminates redundant ones. Computes the CFG structures on
+/// the spot; the pipeline uses [`run_cached`].
 ///
 /// Returns statistics; the function is rewritten in place.
 pub fn run(ctx: &AnalysisCtx<'_>, func: &mut Function) -> Phase1Stats {
+    run_cached(ctx, func, &mut CfgCache::new())
+}
+
+/// [`run`], reusing (and revalidating) the caller's [`CfgCache`]. Phase 1
+/// only rewrites instruction lists, so the cache it fills stays valid for
+/// the caller afterwards.
+pub fn run_cached(ctx: &AnalysisCtx<'_>, func: &mut Function, cfg: &mut CfgCache) -> Phase1Stats {
     let nv = func.num_vars();
     let mut stats = Phase1Stats::default();
     if nv == 0 {
         return stats;
     }
+    cfg.ensure(func);
 
     // §4.1.1 — backward motion and insertion points.
     let motion = BackwardMotion {
@@ -168,9 +178,10 @@ pub fn run(ctx: &AnalysisCtx<'_>, func: &mut Function) -> Phase1Stats {
         sets: compute_motion_sets(ctx, func),
         num_facts: nv,
     };
-    let sol_bwd = solve(func, &motion);
+    let sol_bwd = solve_cached(func, cfg, &motion);
     stats.motion_iterations = sol_bwd.iterations;
-    let mut earliest = compute_earliest(func, &sol_bwd.outs, nv);
+    stats.motion_pops = sol_bwd.worklist_pops;
+    let mut earliest = compute_earliest(func, cfg.preds(), &sol_bwd.outs);
 
     // §4.1.2 — non-nullness assuming insertions, then elimination.
     let nonnull = NonNullProblem {
@@ -179,8 +190,9 @@ pub fn run(ctx: &AnalysisCtx<'_>, func: &mut Function) -> Phase1Stats {
         earliest: Some(&earliest),
         num_facts: nv,
     };
-    let sol_fwd = solve(func, &nonnull);
+    let sol_fwd = solve_cached(func, cfg, &nonnull);
     stats.nonnull_iterations = sol_fwd.iterations;
+    stats.nonnull_pops = sol_fwd.worklist_pops;
 
     // Rewrite: remove redundant checks...
     stats.eliminated = eliminate_redundant(func, &sol_fwd.ins);
@@ -189,9 +201,9 @@ pub fn run(ctx: &AnalysisCtx<'_>, func: &mut Function) -> Phase1Stats {
     // remaining checks go at the block exit (§4.1.2 last equation).
     for (bi, e) in earliest.iter_mut().enumerate().take(func.num_blocks()) {
         e.subtract(&sol_fwd.outs[bi]);
-        let block = func.block_mut(BlockId::new(bi));
+        let insts = func.insts_mut(BlockId::new(bi));
         for v in e.iter() {
-            block.insts.push(Inst::NullCheck {
+            insts.push(Inst::NullCheck {
                 var: VarId::new(v),
                 kind: NullCheckKind::Explicit,
             });

@@ -34,8 +34,8 @@
 //!   causing a hardware trap") directly usable: any cover it finds is
 //!   already a legal exception site.
 
-use njc_dataflow::{solve, BitSet, Direction, Meet, Problem};
-use njc_ir::{BlockId, Function, Inst, NullCheckKind, VarId};
+use njc_dataflow::{solve_cached, BitSet, Direction, Meet, Problem};
+use njc_ir::{BlockId, CfgCache, Function, Inst, NullCheckKind, VarId};
 
 use crate::ctx::{AccessClass, AnalysisCtx};
 
@@ -48,10 +48,14 @@ pub struct Phase2Stats {
     pub explicit_inserted: usize,
     /// Explicit checks removed by the substitutable elimination (§4.2.2).
     pub substituted: usize,
-    /// Solver passes for the forward motion analysis.
+    /// Solver convergence depth of the forward motion analysis.
     pub motion_iterations: usize,
-    /// Solver passes for the substitutable analysis.
+    /// Solver convergence depth of the substitutable analysis.
     pub subst_iterations: usize,
+    /// Worklist pops spent by the forward motion analysis.
+    pub motion_pops: usize,
+    /// Worklist pops spent by the substitutable analysis.
+    pub subst_pops: usize,
 }
 
 /// Per-block sets for the forward motion analysis (§4.2.1).
@@ -115,8 +119,7 @@ impl Problem for ForwardMotion<'_> {
         self.num_facts
     }
     fn transfer(&self, block: BlockId, input: &BitSet, output: &mut BitSet) {
-        output.copy_from(input);
-        output.subtract(&self.sets.kill[block.index()]);
+        output.subtract_from(input, &self.sets.kill[block.index()]);
         output.union_with(&self.sets.gen[block.index()]);
     }
     fn edge_transfer(&self, from: BlockId, to: BlockId, set: &mut BitSet) {
@@ -154,7 +157,7 @@ fn rewrite_block(
     let in_try = func.block(n).try_region.is_some();
     let nv = func.num_vars();
     let mut inner = in_fwd[n.index()].clone();
-    let old = std::mem::take(&mut func.block_mut(n).insts);
+    let old = std::mem::take(func.insts_mut(n));
     let mut out = Vec::with_capacity(old.len());
     let emit_explicit = |out: &mut Vec<Inst>, v: usize, stats: &mut Phase2Stats| {
         out.push(Inst::NullCheck {
@@ -220,15 +223,14 @@ fn rewrite_block(
         emit_explicit(&mut out, v, stats);
     }
     let _ = nv;
-    func.block_mut(n).insts = out;
+    *func.insts_mut(n) = out;
 }
 
 /// Marks every guaranteed-trapping slot access as an exception site (see
 /// module docs for why over-marking is sound).
 fn mark_all_trap_sites(ctx: &AnalysisCtx<'_>, func: &mut Function) {
     for bi in 0..func.num_blocks() {
-        let block = func.block_mut(BlockId::new(bi));
-        for inst in &mut block.insts {
+        for inst in func.insts_mut(BlockId::new(bi)) {
             if let Some((_, AccessClass::TrapGuaranteed)) = ctx.classify_access(inst) {
                 inst.set_exception_site(true);
             }
@@ -306,8 +308,7 @@ impl Problem for Substitutable<'_> {
         self.num_facts
     }
     fn transfer(&self, block: BlockId, input: &BitSet, output: &mut BitSet) {
-        output.copy_from(input);
-        output.subtract(&self.sets.kill[block.index()]);
+        output.subtract_from(input, &self.sets.kill[block.index()]);
         output.union_with(&self.sets.gen[block.index()]);
     }
     fn edge_transfer(&self, from: BlockId, to: BlockId, set: &mut BitSet) {
@@ -329,10 +330,10 @@ fn eliminate_substitutable(
         let n = BlockId::new(bi);
         let in_try = func.block(n).try_region.is_some();
         let mut set = out_set.clone();
-        let block = func.block_mut(n);
+        let insts = func.insts_mut(n);
         // Walk backward, keeping the set valid *after* each instruction.
-        let mut keep = vec![true; block.insts.len()];
-        for (i, inst) in block.insts.iter().enumerate().rev() {
+        let mut keep = vec![true; insts.len()];
+        for (i, inst) in insts.iter().enumerate().rev() {
             if let Inst::NullCheck { var, kind } = inst {
                 if *kind == NullCheckKind::Explicit && set.contains(var.index()) {
                     keep[i] = false;
@@ -361,7 +362,7 @@ fn eliminate_substitutable(
             }
         }
         let mut it = keep.iter();
-        block.insts.retain(|_| *it.next().unwrap());
+        insts.retain(|_| *it.next().unwrap());
     }
 }
 
@@ -373,11 +374,20 @@ fn eliminate_substitutable(
 /// support ([`njc_arch::TrapModel::supports_implicit_checks`] false) the
 /// motion and substitution still run, but no implicit conversions happen.
 pub fn run(ctx: &AnalysisCtx<'_>, func: &mut Function) -> Phase2Stats {
+    run_cached(ctx, func, &mut CfgCache::new())
+}
+
+/// [`run`], reusing (and revalidating) the caller's [`CfgCache`]. The
+/// rewrites between the two solves only touch instruction lists, so one
+/// cache serves both the motion and the substitutable analysis — and stays
+/// valid for the caller afterwards.
+pub fn run_cached(ctx: &AnalysisCtx<'_>, func: &mut Function, cfg: &mut CfgCache) -> Phase2Stats {
     let nv = func.num_vars();
     let mut stats = Phase2Stats::default();
     if nv == 0 {
         return stats;
     }
+    cfg.ensure(func);
 
     // §4.2.1 — forward motion.
     let motion = ForwardMotion {
@@ -385,8 +395,9 @@ pub fn run(ctx: &AnalysisCtx<'_>, func: &mut Function) -> Phase2Stats {
         sets: compute_forward_sets(ctx, func),
         num_facts: nv,
     };
-    let sol = solve(func, &motion);
+    let sol = solve_cached(func, cfg, &motion);
     stats.motion_iterations = sol.iterations;
+    stats.motion_pops = sol.worklist_pops;
     for bi in 0..func.num_blocks() {
         rewrite_block(ctx, func, &sol.ins, BlockId::new(bi), &mut stats);
     }
@@ -399,8 +410,9 @@ pub fn run(ctx: &AnalysisCtx<'_>, func: &mut Function) -> Phase2Stats {
         sets: compute_subst_sets(ctx, func),
         num_facts: nv,
     };
-    let sol2 = solve(func, &subst);
+    let sol2 = solve_cached(func, cfg, &subst);
     stats.subst_iterations = sol2.iterations;
+    stats.subst_pops = sol2.worklist_pops;
     eliminate_substitutable(ctx, func, &sol2.outs, &mut stats);
 
     stats

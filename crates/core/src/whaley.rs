@@ -11,8 +11,8 @@
 //! 2. it does not reposition checks to maximize hardware trap usage (the
 //!    *trivial* trap conversion of [`crate::trivial`] is all it gets).
 
-use njc_dataflow::solve;
-use njc_ir::Function;
+use njc_dataflow::solve_cached;
+use njc_ir::{CfgCache, Function};
 
 use crate::nonnull::{compute_sets, eliminate_redundant, NonNullProblem};
 
@@ -21,26 +21,35 @@ use crate::nonnull::{compute_sets, eliminate_redundant, NonNullProblem};
 pub struct WhaleyStats {
     /// Null checks removed.
     pub eliminated: usize,
-    /// Solver passes used.
+    /// Solver convergence depth.
     pub iterations: usize,
+    /// Worklist pops spent by the non-nullness analysis.
+    pub pops: usize,
 }
 
 /// Runs the baseline elimination on `func` in place.
 pub fn run(func: &mut Function) -> WhaleyStats {
+    run_cached(func, &mut CfgCache::new())
+}
+
+/// [`run`], reusing (and revalidating) the caller's [`CfgCache`].
+pub fn run_cached(func: &mut Function, cfg: &mut CfgCache) -> WhaleyStats {
     let nv = func.num_vars();
     if nv == 0 {
         return WhaleyStats::default();
     }
+    cfg.ensure(func);
     let problem = NonNullProblem {
         func,
         sets: compute_sets(func),
         earliest: None,
         num_facts: nv,
     };
-    let sol = solve(func, &problem);
+    let sol = solve_cached(func, cfg, &problem);
     WhaleyStats {
         eliminated: eliminate_redundant(func, &sol.ins),
         iterations: sol.iterations,
+        pops: sol.worklist_pops,
     }
 }
 

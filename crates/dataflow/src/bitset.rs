@@ -146,6 +146,110 @@ impl BitSet {
         self.words.copy_from_slice(&other.words);
     }
 
+    /// `self = a ∪ b` without allocating; returns whether `self` changed.
+    ///
+    /// The two-operand form lets a solver hot loop keep one scratch set per
+    /// solve instead of cloning per block visit.
+    ///
+    /// # Example
+    /// ```
+    /// use njc_dataflow::BitSet;
+    /// let mut a = BitSet::new(65);
+    /// a.insert(1); a.insert(64);
+    /// let mut b = BitSet::new(65);
+    /// b.insert(2);
+    /// let mut dst = BitSet::new(65);
+    /// assert!(dst.union_from(&a, &b));
+    /// assert_eq!(dst.iter().collect::<Vec<_>>(), vec![1, 2, 64]);
+    /// // Word-level: bit 64 lives in the second u64 word.
+    /// assert_eq!(dst.words(), &[0b110, 0b1]);
+    /// assert!(!dst.union_from(&a, &b), "already equal: no change");
+    /// ```
+    ///
+    /// # Panics
+    /// Panics on capacity mismatch.
+    pub fn union_from(&mut self, a: &BitSet, b: &BitSet) -> bool {
+        self.check_capacity(a);
+        self.check_capacity(b);
+        let mut changed = false;
+        for ((d, a), b) in self.words.iter_mut().zip(&a.words).zip(&b.words) {
+            let new = a | b;
+            changed |= new != *d;
+            *d = new;
+        }
+        changed
+    }
+
+    /// `self = a ∩ b` without allocating; returns whether `self` changed.
+    ///
+    /// # Example
+    /// ```
+    /// use njc_dataflow::BitSet;
+    /// let mut a = BitSet::new(130);
+    /// a.insert(0); a.insert(65); a.insert(129);
+    /// let mut b = BitSet::new(130);
+    /// b.insert(65); b.insert(129);
+    /// let mut dst = BitSet::new(130);
+    /// assert!(dst.intersect_from(&a, &b));
+    /// assert_eq!(dst.words(), &[0, 0b10, 0b10], "one bit per upper word");
+    /// ```
+    ///
+    /// # Panics
+    /// Panics on capacity mismatch.
+    pub fn intersect_from(&mut self, a: &BitSet, b: &BitSet) -> bool {
+        self.check_capacity(a);
+        self.check_capacity(b);
+        let mut changed = false;
+        for ((d, a), b) in self.words.iter_mut().zip(&a.words).zip(&b.words) {
+            let new = a & b;
+            changed |= new != *d;
+            *d = new;
+        }
+        changed
+    }
+
+    /// `self = a − b` without allocating; returns whether `self` changed.
+    ///
+    /// # Example
+    /// ```
+    /// use njc_dataflow::BitSet;
+    /// let a = BitSet::full(66);
+    /// let mut b = BitSet::new(66);
+    /// b.insert(65);
+    /// let mut dst = BitSet::new(66);
+    /// assert!(dst.subtract_from(&a, &b));
+    /// assert_eq!(dst.words(), &[!0u64, 0b01], "bit 65 knocked out of word 1");
+    /// assert_eq!(dst.count(), 65);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics on capacity mismatch.
+    pub fn subtract_from(&mut self, a: &BitSet, b: &BitSet) -> bool {
+        self.check_capacity(a);
+        self.check_capacity(b);
+        let mut changed = false;
+        for ((d, a), b) in self.words.iter_mut().zip(&a.words).zip(&b.words) {
+            let new = a & !b;
+            changed |= new != *d;
+            *d = new;
+        }
+        changed
+    }
+
+    /// The backing words, least-significant first (bit `i` is
+    /// `words()[i / 64] >> (i % 64) & 1`).
+    ///
+    /// # Example
+    /// ```
+    /// use njc_dataflow::BitSet;
+    /// let mut s = BitSet::new(70);
+    /// s.insert(0); s.insert(69);
+    /// assert_eq!(s.words(), &[1, 1 << 5]);
+    /// ```
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
         self.words.iter().all(|&w| w == 0)
@@ -384,6 +488,37 @@ mod tests {
             let mut rhs = a.clone();
             rhs.intersect_with(&comp);
             assert_eq!(lhs, rhs, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn two_operand_ops_match_in_place_ops() {
+        for seed in 0..256 {
+            let mut rng = TestRng(seed);
+            let mut a = BitSet::new(200);
+            let mut b = BitSet::new(200);
+            for x in rng.vec_below(200, 50) {
+                a.insert(x);
+            }
+            for y in rng.vec_below(200, 50) {
+                b.insert(y);
+            }
+            let mut dst = BitSet::new(200);
+            dst.union_from(&a, &b);
+            let mut expect = a.clone();
+            expect.union_with(&b);
+            assert_eq!(dst, expect, "union seed {seed}");
+            dst.intersect_from(&a, &b);
+            let mut expect = a.clone();
+            expect.intersect_with(&b);
+            assert_eq!(dst, expect, "intersect seed {seed}");
+            let changed = dst.subtract_from(&a, &b);
+            let mut expect = a.clone();
+            expect.subtract(&b);
+            assert_eq!(dst, expect, "subtract seed {seed}");
+            // Change reporting: recomputing the same value reports false.
+            assert!(!dst.subtract_from(&a, &b));
+            let _ = changed;
         }
     }
 

@@ -16,8 +16,23 @@
 //! * With [`Meet::Intersect`], blocks whose meet input set is empty (no
 //!   edges) start from the boundary; interior values are initialized to ⊤
 //!   (the full set) and refined downward.
+//!
+//! [`solve`] runs a **dirty-block worklist** (Kam–Ullman chaotic iteration)
+//! prioritized by reverse-postorder position — RPO order for forward
+//! problems, postorder for backward — so after the initial sweep only
+//! blocks whose meet inputs actually changed are re-transferred. Because
+//! every transfer and edge function is monotone on a finite lattice, the
+//! fixed point is unique regardless of processing order; the reference
+//! round-robin schedule is kept as [`solve_round_robin`] and the two are
+//! checked against each other by differential tests. Pass a precomputed
+//! [`CfgCache`] via [`solve_cached`] to skip recomputing predecessor lists
+//! and RPO on every solve — the hot path then performs no per-pop
+//! allocation at all.
 
-use njc_ir::{BlockId, Function};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use njc_ir::{BlockId, CfgCache, Function};
 
 use crate::bitset::BitSet;
 
@@ -83,8 +98,15 @@ pub struct Solution {
     pub ins: Vec<BitSet>,
     /// Per-block value at the block exit.
     pub outs: Vec<BitSet>,
-    /// Number of passes over the block list until convergence.
+    /// Convergence depth: for the worklist solver, the maximum number of
+    /// times any single block was transferred; for [`solve_round_robin`],
+    /// the number of passes over the block list.
     pub iterations: usize,
+    /// Total worklist pops, including pops that found nothing to do
+    /// (zero for the round-robin schedule, which has no worklist).
+    pub worklist_pops: usize,
+    /// Total block transfer-function applications.
+    pub blocks_processed: usize,
 }
 
 impl Solution {
@@ -99,29 +121,226 @@ impl Solution {
     }
 }
 
-/// Iteration safety valve: `|blocks| * |facts| + 16` passes is far beyond
-/// the theoretical bound for monotone bit-vector frameworks; exceeding it
-/// indicates a non-monotone transfer function.
-fn max_iterations(func: &Function, facts: usize) -> usize {
+/// Worklist safety valve: in a monotone bit-vector framework each block's
+/// in/out sets can change at most `|facts|` times each, so pops are far
+/// below `|blocks| × (|facts| + 2) + 16`; exceeding it indicates a
+/// non-monotone transfer function.
+fn max_pops(func: &Function, facts: usize) -> usize {
+    func.num_blocks() * (facts + 2) + 16
+}
+
+/// Round-robin safety valve (passes, not pops); see [`max_pops`].
+fn max_passes(func: &Function, facts: usize) -> usize {
     func.num_blocks() * facts.max(1) + 16
 }
 
-/// Solves `problem` over `func` to a fixed point.
+/// Solves `problem` over `func` to a fixed point, computing the CFG
+/// structures on the spot. Prefer [`solve_cached`] when solving several
+/// problems over the same function.
 ///
 /// # Panics
-/// Panics if the iteration bound for monotone frameworks is exceeded
+/// Panics if the pop bound for monotone frameworks is exceeded
 /// (which would indicate a bug in the problem's transfer functions).
 pub fn solve(func: &Function, problem: &impl Problem) -> Solution {
+    solve_cached(func, &CfgCache::computed(func), problem)
+}
+
+/// Solves `problem` over `func` with a dirty-block worklist, reusing the
+/// CFG structures in `cfg` (which must be fresh for `func`).
+///
+/// Blocks are prioritized by RPO position (forward) or postorder position
+/// (backward), so the initial drain is exactly one ordered sweep; after
+/// that, a block re-enters the worklist only when a value it consumes
+/// changed.
+///
+/// # Panics
+/// Panics if `cfg` is stale, or if the pop bound for monotone frameworks
+/// is exceeded.
+pub fn solve_cached(func: &Function, cfg: &CfgCache, problem: &impl Problem) -> Solution {
+    assert!(cfg.is_fresh(func), "solve_cached needs a fresh CfgCache");
     let n = func.num_blocks();
     let facts = problem.num_facts();
     let meet = problem.meet();
-    let top = || match meet {
+    let direction = problem.direction();
+    let top = match meet {
         Meet::Union => BitSet::new(facts),
         Meet::Intersect => BitSet::full(facts),
     };
 
-    let mut ins: Vec<BitSet> = (0..n).map(|_| top()).collect();
-    let mut outs: Vec<BitSet> = (0..n).map(|_| top()).collect();
+    let mut ins: Vec<BitSet> = (0..n).map(|_| top.clone()).collect();
+    let mut outs: Vec<BitSet> = (0..n).map(|_| top.clone()).collect();
+    let boundary = problem.boundary();
+
+    // Priority schedule: position in RPO (forward) or postorder (backward).
+    // Unreachable blocks sit at the tail of the RPO, hence at the front of
+    // the postorder; both orders give them a stable position, and seeding
+    // every block keeps the old round-robin semantics for them (⊤ under
+    // intersect stays ⊤ — there is no path to refine it).
+    let order: &[BlockId] = match direction {
+        Direction::Forward => cfg.rpo(),
+        Direction::Backward => cfg.postorder(),
+    };
+    let mut priority = vec![0usize; n];
+    for (pos, b) in order.iter().enumerate() {
+        priority[b.index()] = pos;
+    }
+
+    let mut heap: BinaryHeap<Reverse<usize>> = (0..n).map(Reverse).collect();
+    let mut queued = vec![true; n];
+    let mut transfers = vec![0usize; n];
+
+    let mut scratch = BitSet::new(facts);
+    let mut meet_acc = BitSet::new(facts);
+    let mut worklist_pops = 0usize;
+    let mut blocks_processed = 0usize;
+    let limit = max_pops(func, facts);
+
+    while let Some(Reverse(pos)) = heap.pop() {
+        let b = order[pos];
+        let bi = b.index();
+        queued[bi] = false;
+        worklist_pops += 1;
+        assert!(
+            worklist_pops <= limit,
+            "dataflow failed to converge after {limit} worklist pops \
+             (non-monotone transfer?)"
+        );
+
+        // Meet the values flowing into this block's consumed side.
+        let mut first = true;
+        meet_acc.clear();
+        match direction {
+            Direction::Forward => {
+                // in(b) = MEET over preds of edge(pred, b, out(pred)),
+                // with the boundary folded in at the entry block.
+                if b == func.entry() {
+                    meet_acc.copy_from(&boundary);
+                    first = false;
+                }
+                for &p in &cfg.preds()[bi] {
+                    if problem.edge_uses_input(p, b) {
+                        scratch.copy_from(&ins[p.index()]);
+                    } else {
+                        scratch.copy_from(&outs[p.index()]);
+                    }
+                    problem.edge_transfer(p, b, &mut scratch);
+                    if first {
+                        meet_acc.copy_from(&scratch);
+                        first = false;
+                    } else {
+                        match meet {
+                            Meet::Union => meet_acc.union_with(&scratch),
+                            Meet::Intersect => meet_acc.intersect_with(&scratch),
+                        };
+                    }
+                }
+            }
+            Direction::Backward => {
+                // out(b) = MEET over succs of edge(b, succ, in(succ)).
+                // Blocks whose terminator exits the function participate
+                // in the boundary meet even when they have exceptional
+                // successors: control may leave through the return as
+                // well as through the handler edge.
+                let succs = &cfg.succs()[bi];
+                if succs.is_empty() || func.block(b).term.is_exit() {
+                    meet_acc.copy_from(&boundary);
+                    first = false;
+                }
+                for &s in succs {
+                    scratch.copy_from(&ins[s.index()]);
+                    problem.edge_transfer(b, s, &mut scratch);
+                    if first {
+                        meet_acc.copy_from(&scratch);
+                        first = false;
+                    } else {
+                        match meet {
+                            Meet::Union => meet_acc.union_with(&scratch),
+                            Meet::Intersect => meet_acc.intersect_with(&scratch),
+                        };
+                    }
+                }
+            }
+        }
+        if first {
+            // No inflowing edges and no boundary (an unreachable non-entry
+            // block in a forward problem): keep ⊤.
+            meet_acc.copy_from(&top);
+        }
+
+        let consumed = match direction {
+            Direction::Forward => &mut ins[bi],
+            Direction::Backward => &mut outs[bi],
+        };
+        let meet_changed = meet_acc != *consumed;
+        if meet_changed {
+            consumed.copy_from(&meet_acc);
+        }
+        if !meet_changed && transfers[bi] > 0 {
+            // The transfer function is deterministic: same consumed value,
+            // same produced value. Nothing to do for this pop.
+            continue;
+        }
+
+        let consumed = match direction {
+            Direction::Forward => &ins[bi],
+            Direction::Backward => &outs[bi],
+        };
+        problem.transfer(b, consumed, &mut scratch);
+        blocks_processed += 1;
+        transfers[bi] += 1;
+        let produced = match direction {
+            Direction::Forward => &mut outs[bi],
+            Direction::Backward => &mut ins[bi],
+        };
+        let produced_changed = scratch != *produced;
+        if produced_changed {
+            produced.copy_from(&scratch);
+        }
+
+        if meet_changed || produced_changed {
+            // Re-dirty the blocks that consume this block's values. Forward
+            // consumers may read either side (exceptional edges carry the
+            // input set), so both kinds of change propagate.
+            let dependents = match direction {
+                Direction::Forward => &cfg.succs()[bi],
+                Direction::Backward => &cfg.preds()[bi],
+            };
+            for &d in dependents {
+                if !queued[d.index()] {
+                    queued[d.index()] = true;
+                    heap.push(Reverse(priority[d.index()]));
+                }
+            }
+        }
+    }
+
+    Solution {
+        ins,
+        outs,
+        iterations: transfers.iter().copied().max().unwrap_or(0),
+        worklist_pops,
+        blocks_processed,
+    }
+}
+
+/// The reference round-robin schedule: sweeps every block in RPO (forward)
+/// or postorder (backward) until a full pass changes nothing. Kept as the
+/// differential oracle for [`solve_cached`] — monotone frameworks have a
+/// unique fixed point, so both must agree exactly.
+///
+/// # Panics
+/// Panics if the pass bound for monotone frameworks is exceeded.
+pub fn solve_round_robin(func: &Function, problem: &impl Problem) -> Solution {
+    let n = func.num_blocks();
+    let facts = problem.num_facts();
+    let meet = problem.meet();
+    let top = match meet {
+        Meet::Union => BitSet::new(facts),
+        Meet::Intersect => BitSet::full(facts),
+    };
+
+    let mut ins: Vec<BitSet> = (0..n).map(|_| top.clone()).collect();
+    let mut outs: Vec<BitSet> = (0..n).map(|_| top.clone()).collect();
     let preds = func.predecessors();
     let boundary = problem.boundary();
 
@@ -135,7 +354,8 @@ pub fn solve(func: &Function, problem: &impl Problem) -> Solution {
     let mut scratch = BitSet::new(facts);
     let mut meet_acc = BitSet::new(facts);
     let mut iterations = 0;
-    let limit = max_iterations(func, facts);
+    let mut blocks_processed = 0usize;
+    let limit = max_passes(func, facts);
     loop {
         iterations += 1;
         assert!(
@@ -144,10 +364,9 @@ pub fn solve(func: &Function, problem: &impl Problem) -> Solution {
         );
         let mut changed = false;
         for &b in &order {
+            blocks_processed += 1;
             match problem.direction() {
                 Direction::Forward => {
-                    // in(b) = MEET over preds of edge(pred, b, out(pred)),
-                    // with the boundary folded in at the entry block.
                     let mut first = true;
                     meet_acc.clear();
                     if b == func.entry() {
@@ -173,7 +392,7 @@ pub fn solve(func: &Function, problem: &impl Problem) -> Solution {
                     }
                     if first {
                         // Unreachable non-entry block: keep ⊤.
-                        meet_acc.copy_from(&top());
+                        meet_acc.copy_from(&top);
                     }
                     if meet_acc != ins[b.index()] {
                         ins[b.index()].copy_from(&meet_acc);
@@ -186,11 +405,6 @@ pub fn solve(func: &Function, problem: &impl Problem) -> Solution {
                     }
                 }
                 Direction::Backward => {
-                    // out(b) = MEET over succs of edge(b, succ, in(succ)).
-                    // Blocks whose terminator exits the function participate
-                    // in the boundary meet even when they have exceptional
-                    // successors: control may leave through the return as
-                    // well as through the handler edge.
                     let succs = func.successors(b);
                     let mut first = true;
                     meet_acc.clear();
@@ -232,6 +446,8 @@ pub fn solve(func: &Function, problem: &impl Problem) -> Solution {
         ins,
         outs,
         iterations,
+        worklist_pops: 0,
+        blocks_processed,
     }
 }
 
@@ -350,6 +566,9 @@ mod tests {
         for b in f.blocks() {
             assert!(sol.outs[b.id.index()].contains(0));
         }
+        assert!(sol.worklist_pops >= f.num_blocks(), "every block seeded");
+        assert!(sol.blocks_processed >= f.num_blocks());
+        assert!(sol.blocks_processed <= sol.worklist_pops);
     }
 
     #[test]
@@ -436,5 +655,88 @@ mod tests {
         let sol = solve(&f, &p);
         assert_eq!(sol.ins[dead.index()].count(), 2, "unreachable stays ⊤");
         assert_eq!(sol.ins[f.entry().index()].count(), 0, "entry gets boundary");
+    }
+
+    /// A deliberately non-monotone problem: the transfer *toggles* a bit,
+    /// so chaotic iteration oscillates forever and must hit the valve.
+    struct Toggle;
+    impl Problem for Toggle {
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+        fn meet(&self) -> Meet {
+            Meet::Union
+        }
+        fn num_facts(&self) -> usize {
+            1
+        }
+        fn transfer(&self, block: BlockId, input: &BitSet, output: &mut BitSet) {
+            output.copy_from(input);
+            if block.index() != 0 {
+                // Toggle: {} -> {0}, {0} -> {} — not monotone.
+                if input.contains(0) {
+                    output.remove(0);
+                } else {
+                    output.insert(0);
+                }
+            }
+        }
+    }
+
+    fn self_loop() -> njc_ir::Function {
+        // entry -> loop; loop -> loop | exit
+        let mut b = FuncBuilder::new("osc", &[Type::Int], Type::Int);
+        let x = b.param(0);
+        let z = b.iconst(0);
+        let l = b.new_block();
+        let exit = b.new_block();
+        b.goto(l);
+        b.switch_to(l);
+        b.br_if(Cond::Lt, x, z, l, exit);
+        b.switch_to(exit);
+        b.ret(Some(x));
+        b.finish()
+    }
+
+    #[test]
+    #[should_panic(expected = "non-monotone")]
+    fn non_monotone_problem_trips_pop_valve() {
+        solve(&self_loop(), &Toggle);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-monotone")]
+    fn non_monotone_problem_trips_round_robin_valve() {
+        solve_round_robin(&self_loop(), &Toggle);
+    }
+
+    #[test]
+    fn worklist_matches_round_robin_on_basic_problems() {
+        for f in [diamond(), self_loop()] {
+            let p = MustPass {
+                facts: 2,
+                gen_in_block: (0..f.num_blocks())
+                    .map(|i| if i % 2 == 0 { vec![0] } else { vec![1] })
+                    .collect(),
+            };
+            let a = solve(&f, &p);
+            let b = solve_round_robin(&f, &p);
+            assert_eq!(a.ins, b.ins, "{}", f.name());
+            assert_eq!(a.outs, b.outs, "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn acyclic_forward_solve_transfers_each_block_once() {
+        let f = diamond();
+        let p = MustPass {
+            facts: 2,
+            gen_in_block: vec![vec![0], vec![], vec![1], vec![]],
+        };
+        let sol = solve(&f, &p);
+        // RPO priority on an acyclic CFG: the seeding sweep already visits
+        // every block after all its predecessors, so one transfer each.
+        assert_eq!(sol.blocks_processed, f.num_blocks());
+        assert_eq!(sol.iterations, 1);
     }
 }

@@ -44,7 +44,15 @@ pub struct TryRegion {
 ///
 /// Use [`crate::FuncBuilder`] to construct one; direct field access is
 /// available to optimization passes via the accessors and `blocks_mut`.
-#[derive(Clone, PartialEq, Debug)]
+///
+/// The function tracks a CFG *generation* counter: every accessor that can
+/// change the control flow graph (`block_mut`, `blocks_mut`, `add_block`,
+/// `add_try_region`) bumps it, and [`crate::CfgCache`] uses it to decide
+/// whether its memoized predecessors/RPO/dominators are still valid.
+/// Instruction-list-only mutation through [`Function::insts_mut`] does not
+/// bump the counter, because inserting or removing non-terminator
+/// instructions cannot change the CFG.
+#[derive(Clone, Debug)]
 pub struct Function {
     name: String,
     /// Parameter types; parameters occupy variables `v0..vN`.
@@ -59,6 +67,24 @@ pub struct Function {
     blocks: Vec<BasicBlock>,
     entry: BlockId,
     try_regions: Vec<TryRegion>,
+    /// Bumped on every potentially CFG-mutating access; not part of the
+    /// function's identity (excluded from `PartialEq`).
+    generation: u64,
+}
+
+impl PartialEq for Function {
+    /// Structural equality; the CFG `generation` counter is bookkeeping,
+    /// not identity, and is deliberately excluded.
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.params == other.params
+            && self.ret == other.ret
+            && self.is_instance == other.is_instance
+            && self.var_types == other.var_types
+            && self.blocks == other.blocks
+            && self.entry == other.entry
+            && self.try_regions == other.try_regions
+    }
 }
 
 impl Function {
@@ -83,12 +109,27 @@ impl Function {
             blocks,
             entry,
             try_regions,
+            generation: 0,
         }
     }
 
     /// The function's name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Renames the function (used by benchmark harnesses that replicate
+    /// functions to scale a module; module-level name maps are the caller's
+    /// responsibility).
+    pub fn set_name(&mut self, name: String) {
+        self.name = name;
+    }
+
+    /// The CFG generation counter. Two calls return the same value iff no
+    /// potentially CFG-mutating access happened in between; see
+    /// [`crate::CfgCache`].
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Parameter types (parameters are variables `v0..vN`).
@@ -149,8 +190,11 @@ impl Function {
         &self.blocks[id.index()]
     }
 
-    /// A block by id, mutably.
+    /// A block by id, mutably. Conservatively bumps the CFG generation (the
+    /// caller may rewrite the terminator or try-region tag); passes that
+    /// only edit the instruction list should use [`Function::insts_mut`].
     pub fn block_mut(&mut self, id: BlockId) -> &mut BasicBlock {
+        self.generation += 1;
         &mut self.blocks[id.index()]
     }
 
@@ -159,14 +203,25 @@ impl Function {
         &self.blocks
     }
 
-    /// All blocks, mutably.
+    /// All blocks, mutably. Bumps the CFG generation.
     pub fn blocks_mut(&mut self) -> &mut [BasicBlock] {
+        self.generation += 1;
         &mut self.blocks
     }
 
+    /// The instruction list of a block, mutably, *without* bumping the CFG
+    /// generation: non-terminator instructions cannot introduce or remove
+    /// CFG edges, so cached CFG structures stay valid across this access.
+    /// The null-check rewriters use this so [`crate::CfgCache`] survives a
+    /// whole phase.
+    pub fn insts_mut(&mut self, id: BlockId) -> &mut Vec<crate::inst::Inst> {
+        &mut self.blocks[id.index()].insts
+    }
+
     /// Appends a new empty block and returns its id (for passes that split
-    /// edges or splice inlined bodies).
+    /// edges or splice inlined bodies). Bumps the CFG generation.
     pub fn add_block(&mut self) -> BlockId {
+        self.generation += 1;
         let id = BlockId::new(self.blocks.len());
         self.blocks.push(BasicBlock::new(id));
         id
@@ -182,8 +237,10 @@ impl Function {
         &self.try_regions[id.index()]
     }
 
-    /// Adds a try region and returns its id.
+    /// Adds a try region and returns its id. Bumps the CFG generation (the
+    /// region introduces exceptional edges).
     pub fn add_try_region(&mut self, region: TryRegion) -> TryRegionId {
+        self.generation += 1;
         let id = TryRegionId::new(self.try_regions.len());
         self.try_regions.push(region);
         id
@@ -381,6 +438,29 @@ mod tests {
         assert!(CatchKind::Any.catches(ExceptionKind::NullPointer));
         assert!(CatchKind::Only(ExceptionKind::NullPointer).catches(ExceptionKind::NullPointer));
         assert!(!CatchKind::Only(ExceptionKind::Arithmetic).catches(ExceptionKind::NullPointer));
+    }
+
+    #[test]
+    fn generation_tracks_cfg_mutation_only() {
+        let mut f = diamond();
+        let g0 = f.generation();
+        let entry = f.entry();
+        // Reading and instruction-list-only mutation leave it unchanged.
+        let _ = f.block(entry);
+        let _ = f.successors(entry);
+        f.insts_mut(entry).clear();
+        assert_eq!(f.generation(), g0);
+        // Potentially CFG-mutating accessors bump it.
+        let _ = f.block_mut(entry);
+        assert!(f.generation() > g0);
+        let g1 = f.generation();
+        f.add_block();
+        assert!(f.generation() > g1);
+        // The counter is not part of function identity.
+        let a = diamond();
+        let mut b = diamond();
+        let _ = b.block_mut(entry);
+        assert_eq!(a, b);
     }
 
     #[test]

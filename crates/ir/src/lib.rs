@@ -37,6 +37,7 @@
 
 pub mod block;
 pub mod builder;
+pub mod cfg;
 pub mod display;
 pub mod dom;
 pub mod function;
@@ -48,6 +49,7 @@ pub mod verify;
 
 pub use block::{BasicBlock, Terminator};
 pub use builder::FuncBuilder;
+pub use cfg::CfgCache;
 pub use dom::{DomTree, NaturalLoop};
 pub use function::{CatchKind, Function, TryRegion};
 pub use inst::{

@@ -49,10 +49,21 @@ pub struct Compiled {
 
 /// Compiles `workload` under `kind` on `platform`.
 pub fn compile(workload: &Workload, platform: &Platform, kind: ConfigKind) -> Compiled {
+    compile_config(workload, platform, kind, &kind.to_config(platform))
+}
+
+/// [`compile`] with an explicit, possibly customized [`OptConfig`] — the
+/// compile-time bench uses this to sweep [`OptConfig::threads`] while
+/// keeping `kind` as the display label.
+pub fn compile_config(
+    workload: &Workload,
+    platform: &Platform,
+    kind: ConfigKind,
+    config: &OptConfig,
+) -> Compiled {
     let mut module = workload.module.clone();
-    let config = kind.to_config(platform);
     let t = Instant::now();
-    let stats = optimize_module(&mut module, platform, &config);
+    let stats = optimize_module(&mut module, platform, config);
     let wall = t.elapsed();
     Compiled {
         name: workload.name,

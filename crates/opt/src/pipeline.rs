@@ -8,12 +8,14 @@
 //! configurations of Tables 1–2 and 6–7 are all expressible as
 //! [`ConfigKind`] presets.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use njc_arch::{Platform, TrapModel};
 use njc_core::ctx::AnalysisCtx;
 use njc_core::{phase1, phase2, trivial, whaley, NullCheckStats};
-use njc_ir::{FunctionId, Module};
+use njc_ir::{CfgCache, Function, FunctionId, Module};
 
 use crate::boundcheck;
 use crate::copyprop;
@@ -65,6 +67,13 @@ pub struct OptConfig {
     /// tagged with the pass that introduced it. Off in the presets; see
     /// [`optimize_module_validated`].
     pub validate: bool,
+    /// Worker threads for the per-function stages. Functions are optimized
+    /// independently (every pass reads the module only for class and field
+    /// layout), so any thread count produces the same module and the same
+    /// counters; timings remain wall-clock per pass. Values are clamped to
+    /// `1..=num_functions`, and [`OptConfig::validate`] forces sequential
+    /// execution.
+    pub threads: usize,
 }
 
 /// Named configuration presets: one per row of the paper's tables.
@@ -132,6 +141,7 @@ impl ConfigKind {
                 versioning: true,
                 sinking: true,
                 validate: false,
+                threads: 1,
             },
             ConfigKind::NoNullOptTrap => OptConfig {
                 name: "No Null Opt. (Hardware Trap)",
@@ -145,6 +155,7 @@ impl ConfigKind {
                 versioning: true,
                 sinking: true,
                 validate: false,
+                threads: 1,
             },
             ConfigKind::OldNullCheck => OptConfig {
                 name: "Old Null Check",
@@ -158,6 +169,7 @@ impl ConfigKind {
                 versioning: true,
                 sinking: true,
                 validate: false,
+                threads: 1,
             },
             ConfigKind::Phase1Only => OptConfig {
                 name: "New Null Check (Phase1 only)",
@@ -171,6 +183,7 @@ impl ConfigKind {
                 versioning: true,
                 sinking: true,
                 validate: false,
+                threads: 1,
             },
             ConfigKind::Full => OptConfig {
                 name: "New Null Check (Phase1+Phase2)",
@@ -184,6 +197,7 @@ impl ConfigKind {
                 versioning: true,
                 sinking: true,
                 validate: false,
+                threads: 1,
             },
             ConfigKind::RefJit => OptConfig {
                 name: "RefJit (HotSpot stand-in)",
@@ -197,6 +211,7 @@ impl ConfigKind {
                 versioning: true,
                 sinking: true,
                 validate: false,
+                threads: 1,
             },
             ConfigKind::AixSpeculation => OptConfig {
                 name: "Speculation",
@@ -210,6 +225,7 @@ impl ConfigKind {
                 versioning: true,
                 sinking: true,
                 validate: false,
+                threads: 1,
             },
             ConfigKind::AixNoSpeculation => OptConfig {
                 name: "No Speculation",
@@ -223,6 +239,7 @@ impl ConfigKind {
                 versioning: true,
                 sinking: true,
                 validate: false,
+                threads: 1,
             },
             ConfigKind::AixNoNullOpt => OptConfig {
                 name: "No Null Check Optimization",
@@ -236,6 +253,7 @@ impl ConfigKind {
                 versioning: true,
                 sinking: true,
                 validate: false,
+                threads: 1,
             },
             ConfigKind::AixIllegalImplicit => OptConfig {
                 name: "Illegal Implicit (No Speculation)",
@@ -252,6 +270,7 @@ impl ConfigKind {
                 versioning: true,
                 sinking: true,
                 validate: false,
+                threads: 1,
             },
         }
     }
@@ -310,6 +329,28 @@ impl PipelineStats {
     /// Total time spent in all passes.
     pub fn total_time(&self) -> Duration {
         self.timings.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Merges one function's pipeline statistics into the module-wide
+    /// aggregate. [`optimize_module`] calls this in function-index order,
+    /// so the aggregate is independent of worker scheduling.
+    fn merge_function(&mut self, other: &PipelineStats) {
+        self.null_checks.merge(&other.null_checks);
+        self.boundchecks_eliminated += other.boundchecks_eliminated;
+        self.loops_versioned += other.loops_versioned;
+        self.fields_promoted += other.fields_promoted;
+        self.scalar.hoisted_loads += other.scalar.hoisted_loads;
+        self.scalar.speculative_loads += other.scalar.speculative_loads;
+        self.scalar.hoisted_pure += other.scalar.hoisted_pure;
+        self.scalar.hoisted_boundchecks += other.scalar.hoisted_boundchecks;
+        self.scalar.local_loads_reused += other.scalar.local_loads_reused;
+        self.copies_propagated += other.copies_propagated;
+        self.dead_removed += other.dead_removed;
+        for (pass, d) in &other.timings {
+            self.add_time(pass, *d);
+        }
+        self.validation_failures
+            .extend(other.validation_failures.iter().cloned());
     }
 }
 
@@ -378,182 +419,32 @@ pub fn optimize_module(
         }
     }
 
-    // Figure 2's iterated architecture-independent loop.
-    for _ in 0..config.iterations.max(1) {
-        for fi in 0..module.num_functions() {
-            let id = FunctionId::new(fi);
-            // Null check optimization.
-            let t = Instant::now();
-            match config.null_opt {
-                NullOpt::None => {}
-                NullOpt::Whaley => {
-                    let mut func = take_function(module, id);
-                    let orig = config.validate.then(|| func.clone());
-                    let s = whaley::run(&mut func);
-                    stats.null_checks.whaley.eliminated += s.eliminated;
-                    stats.null_checks.whaley.iterations += s.iterations;
-                    if let Some(orig) = &orig {
-                        validate_null_pass(
-                            &mut stats,
-                            module,
-                            platform.trap,
-                            "whaley",
-                            orig,
-                            &func,
-                            true,
-                        );
-                    }
-                    put_function(module, id, func);
-                }
-                NullOpt::Phase1 => {
-                    let mut func = take_function(module, id);
-                    let orig = config.validate.then(|| func.clone());
-                    let ctx = AnalysisCtx::new(module, config.compiler_trap);
-                    let s = phase1::run(&ctx, &mut func);
-                    stats.null_checks.phase1.eliminated += s.eliminated;
-                    stats.null_checks.phase1.inserted += s.inserted;
-                    stats.null_checks.phase1.motion_iterations += s.motion_iterations;
-                    stats.null_checks.phase1.nonnull_iterations += s.nonnull_iterations;
-                    if let Some(orig) = &orig {
-                        validate_null_pass(
-                            &mut stats,
-                            module,
-                            platform.trap,
-                            "phase1",
-                            orig,
-                            &func,
-                            true,
-                        );
-                    }
-                    put_function(module, id, func);
-                }
-            }
-            stats.add_time("nullcheck", t.elapsed());
-
-            // Array bounds check optimization.
-            let t = Instant::now();
-            {
-                let mut func = take_function(module, id);
-                stats.boundchecks_eliminated += boundcheck::run(&mut func).eliminated;
-                if config.validate {
-                    validate_coverage(&mut stats, module, platform.trap, "boundcheck", &func);
-                }
-                put_function(module, id, func);
-            }
-            stats.add_time("boundcheck", t.elapsed());
-
-            // Scalar replacement (with or without speculation).
-            let t = Instant::now();
-            {
-                let mut func = take_function(module, id);
-                let ctx = AnalysisCtx::new(module, config.compiler_trap);
-                let allow_spec =
-                    config.speculation && config.compiler_trap.reads_are_speculatable();
-                let s = scalar::run(
-                    &ctx,
-                    &mut func,
-                    ScalarConfig {
-                        speculation: allow_spec,
-                    },
-                );
-                stats.scalar.hoisted_loads += s.hoisted_loads;
-                stats.scalar.speculative_loads += s.speculative_loads;
-                stats.scalar.hoisted_pure += s.hoisted_pure;
-                stats.scalar.hoisted_boundchecks += s.hoisted_boundchecks;
-                stats.scalar.local_loads_reused += s.local_loads_reused;
-                // Store sinking (Figure 4 (5)) — only fires once the loop
-                // is check-free, i.e. after phase 1 did its part.
-                if config.sinking {
-                    let sk = sink::run(&ctx, &mut func);
-                    stats.fields_promoted += sk.promoted;
-                }
-                if config.validate {
-                    validate_coverage(&mut stats, module, platform.trap, "scalar", &func);
-                }
-                put_function(module, id, func);
-            }
-            stats.add_time("scalar", t.elapsed());
-
-            // Cleanup.
-            let t = Instant::now();
-            {
-                let mut func = take_function(module, id);
-                stats.copies_propagated += copyprop::run(&mut func).replaced_uses;
-                stats.dead_removed += dce::run(&mut func).removed;
-                if config.validate {
-                    validate_coverage(&mut stats, module, platform.trap, "cleanup", &func);
-                }
-                put_function(module, id, func);
-            }
-            stats.add_time("cleanup", t.elapsed());
-        }
+    // Per-function stages: Figure 2's iterated architecture-independent
+    // loop, loop versioning, and the architecture-dependent phase. Every
+    // pass below reads the module only for class and field layout, so the
+    // functions are checked out all at once and optimized independently —
+    // on worker threads when `config.threads > 1`. Result slots are merged
+    // in function-index order, which keeps every counter (and the output
+    // module) identical across thread counts.
+    let n = module.num_functions();
+    let mut funcs: Vec<Function> = (0..n)
+        .map(|fi| take_function(module, FunctionId::new(fi)))
+        .collect();
+    let threads = effective_threads(config, n);
+    let results: Vec<PipelineStats> = if threads <= 1 {
+        funcs
+            .iter_mut()
+            .map(|f| optimize_function(module, platform, config, f))
+            .collect()
+    } else {
+        optimize_functions_parallel(module, platform, config, &mut funcs, threads)
+    };
+    for r in &results {
+        stats.merge_function(r);
     }
-
-    // Array bounds check optimization, part 2: loop versioning. Runs once
-    // after the iterated loop (versioning duplicates loop bodies, which
-    // would defeat later scalar-replacement rounds) — and it is effective
-    // only where scalar replacement could hoist the array lengths, i.e.
-    // where phase 1 hoisted the null checks first.
-    let t = Instant::now();
-    for fi in 0..module.num_functions() {
-        let id = FunctionId::new(fi);
-        let mut func = take_function(module, id);
-        if config.versioning {
-            let s = versioning::run(&mut func);
-            stats.loops_versioned += s.loops_versioned;
-            stats.boundchecks_eliminated += s.checks_removed;
-        }
-        // Clean up after the duplication, then give store sinking one more
-        // chance: versioned fast loops just lost their bounds checks and
-        // may now be promotable.
-        stats.copies_propagated += copyprop::run(&mut func).replaced_uses;
-        stats.dead_removed += dce::run(&mut func).removed;
-        if config.sinking {
-            let ctx = AnalysisCtx::new(module, config.compiler_trap);
-            stats.fields_promoted += sink::run(&ctx, &mut func).promoted;
-        }
-        if config.validate {
-            validate_coverage(&mut stats, module, platform.trap, "versioning", &func);
-        }
-        put_function(module, id, func);
+    for (fi, func) in funcs.into_iter().enumerate() {
+        put_function(module, FunctionId::new(fi), func);
     }
-    stats.add_time("boundcheck", t.elapsed());
-
-    // Architecture dependent phase (or the trivial conversion).
-    let t = Instant::now();
-    for fi in 0..module.num_functions() {
-        let id = FunctionId::new(fi);
-        let mut func = take_function(module, id);
-        let orig = config.validate.then(|| func.clone());
-        let ctx = AnalysisCtx::new(module, config.compiler_trap);
-        if config.phase2 {
-            let s = phase2::run(&ctx, &mut func);
-            stats.null_checks.phase2.converted_implicit += s.converted_implicit;
-            stats.null_checks.phase2.explicit_inserted += s.explicit_inserted;
-            stats.null_checks.phase2.substituted += s.substituted;
-            stats.null_checks.phase2.motion_iterations += s.motion_iterations;
-            stats.null_checks.phase2.subst_iterations += s.subst_iterations;
-        } else if config.trivial_trap {
-            stats.null_checks.trivial.converted += trivial::run(&ctx, &mut func).converted;
-        }
-        if let Some(orig) = &orig {
-            // This is the stage that bets on the hardware: validate the
-            // conversion against the trap model of the *machine*, not the
-            // one the compiler assumed — the gap between the two is exactly
-            // the §5.4 "Illegal Implicit" unsoundness.
-            let stage = if config.phase2 {
-                "phase2"
-            } else if config.trivial_trap {
-                "trivial"
-            } else {
-                "final"
-            };
-            validate_null_pass(&mut stats, module, platform.trap, stage, orig, &func, false);
-            validate_coverage(&mut stats, module, platform.trap, stage, &func);
-        }
-        put_function(module, id, func);
-    }
-    stats.add_time("nullcheck", t.elapsed());
 
     // In debug builds, verify the whole module after optimization: any
     // pass that produced ill-formed IR fails loudly here rather than
@@ -593,6 +484,219 @@ pub fn optimize_module_validated(
     } else {
         Err(stats.validation_failures.join("\n"))
     }
+}
+
+/// Resolved worker count for the per-function stages. Validation forces
+/// sequential execution so violation messages arrive in the order the
+/// sequential pipeline reports them; otherwise the configured count is
+/// clamped to the number of functions (spawning idle workers is waste).
+fn effective_threads(config: &OptConfig, num_functions: usize) -> usize {
+    if config.validate {
+        1
+    } else {
+        config.threads.clamp(1, num_functions.max(1))
+    }
+}
+
+/// Runs every per-function stage on one checked-out function: the iterated
+/// architecture-independent loop, loop versioning, and the architecture-
+/// dependent phase. `module` is read only for class and field layout (all
+/// its function bodies may be placeholders), which is what makes the
+/// per-function parallelism of [`optimize_module`] sound. One [`CfgCache`]
+/// serves every analysis of the function; passes that rewrite instruction
+/// lists without touching the CFG leave it warm.
+fn optimize_function(
+    module: &Module,
+    platform: &Platform,
+    config: &OptConfig,
+    func: &mut Function,
+) -> PipelineStats {
+    let mut stats = PipelineStats::default();
+    let ctx = AnalysisCtx::new(module, config.compiler_trap);
+    let mut cfg = CfgCache::new();
+
+    // Figure 2's iterated architecture-independent loop.
+    for _ in 0..config.iterations.max(1) {
+        // Null check optimization.
+        let t = Instant::now();
+        match config.null_opt {
+            NullOpt::None => {}
+            NullOpt::Whaley => {
+                let orig = config.validate.then(|| func.clone());
+                let s = whaley::run_cached(func, &mut cfg);
+                stats.null_checks.whaley.eliminated += s.eliminated;
+                stats.null_checks.whaley.iterations += s.iterations;
+                stats.null_checks.whaley.pops += s.pops;
+                if let Some(orig) = &orig {
+                    validate_null_pass(
+                        &mut stats,
+                        module,
+                        platform.trap,
+                        "whaley",
+                        orig,
+                        func,
+                        true,
+                    );
+                }
+            }
+            NullOpt::Phase1 => {
+                let orig = config.validate.then(|| func.clone());
+                let s = phase1::run_cached(&ctx, func, &mut cfg);
+                stats.null_checks.phase1.eliminated += s.eliminated;
+                stats.null_checks.phase1.inserted += s.inserted;
+                stats.null_checks.phase1.motion_iterations += s.motion_iterations;
+                stats.null_checks.phase1.nonnull_iterations += s.nonnull_iterations;
+                stats.null_checks.phase1.motion_pops += s.motion_pops;
+                stats.null_checks.phase1.nonnull_pops += s.nonnull_pops;
+                if let Some(orig) = &orig {
+                    validate_null_pass(
+                        &mut stats,
+                        module,
+                        platform.trap,
+                        "phase1",
+                        orig,
+                        func,
+                        true,
+                    );
+                }
+            }
+        }
+        stats.add_time("nullcheck", t.elapsed());
+
+        // Array bounds check optimization.
+        let t = Instant::now();
+        stats.boundchecks_eliminated += boundcheck::run(func).eliminated;
+        if config.validate {
+            validate_coverage(&mut stats, module, platform.trap, "boundcheck", func);
+        }
+        stats.add_time("boundcheck", t.elapsed());
+
+        // Scalar replacement (with or without speculation).
+        let t = Instant::now();
+        let allow_spec = config.speculation && config.compiler_trap.reads_are_speculatable();
+        let s = scalar::run(
+            &ctx,
+            func,
+            ScalarConfig {
+                speculation: allow_spec,
+            },
+        );
+        stats.scalar.hoisted_loads += s.hoisted_loads;
+        stats.scalar.speculative_loads += s.speculative_loads;
+        stats.scalar.hoisted_pure += s.hoisted_pure;
+        stats.scalar.hoisted_boundchecks += s.hoisted_boundchecks;
+        stats.scalar.local_loads_reused += s.local_loads_reused;
+        // Store sinking (Figure 4 (5)) — only fires once the loop is
+        // check-free, i.e. after phase 1 did its part.
+        if config.sinking {
+            stats.fields_promoted += sink::run(&ctx, func).promoted;
+        }
+        if config.validate {
+            validate_coverage(&mut stats, module, platform.trap, "scalar", func);
+        }
+        stats.add_time("scalar", t.elapsed());
+
+        // Cleanup.
+        let t = Instant::now();
+        stats.copies_propagated += copyprop::run(func).replaced_uses;
+        stats.dead_removed += dce::run(func).removed;
+        if config.validate {
+            validate_coverage(&mut stats, module, platform.trap, "cleanup", func);
+        }
+        stats.add_time("cleanup", t.elapsed());
+    }
+
+    // Array bounds check optimization, part 2: loop versioning. Runs once
+    // after the iterated loop (versioning duplicates loop bodies, which
+    // would defeat later scalar-replacement rounds) — and it is effective
+    // only where scalar replacement could hoist the array lengths, i.e.
+    // where phase 1 hoisted the null checks first.
+    let t = Instant::now();
+    if config.versioning {
+        let s = versioning::run(func);
+        stats.loops_versioned += s.loops_versioned;
+        stats.boundchecks_eliminated += s.checks_removed;
+    }
+    // Clean up after the duplication, then give store sinking one more
+    // chance: versioned fast loops just lost their bounds checks and may
+    // now be promotable.
+    stats.copies_propagated += copyprop::run(func).replaced_uses;
+    stats.dead_removed += dce::run(func).removed;
+    if config.sinking {
+        stats.fields_promoted += sink::run(&ctx, func).promoted;
+    }
+    if config.validate {
+        validate_coverage(&mut stats, module, platform.trap, "versioning", func);
+    }
+    stats.add_time("boundcheck", t.elapsed());
+
+    // Architecture dependent phase (or the trivial conversion).
+    let t = Instant::now();
+    let orig = config.validate.then(|| func.clone());
+    if config.phase2 {
+        let s = phase2::run_cached(&ctx, func, &mut cfg);
+        stats.null_checks.phase2.converted_implicit += s.converted_implicit;
+        stats.null_checks.phase2.explicit_inserted += s.explicit_inserted;
+        stats.null_checks.phase2.substituted += s.substituted;
+        stats.null_checks.phase2.motion_iterations += s.motion_iterations;
+        stats.null_checks.phase2.subst_iterations += s.subst_iterations;
+        stats.null_checks.phase2.motion_pops += s.motion_pops;
+        stats.null_checks.phase2.subst_pops += s.subst_pops;
+    } else if config.trivial_trap {
+        stats.null_checks.trivial.converted += trivial::run(&ctx, func).converted;
+    }
+    if let Some(orig) = &orig {
+        // This is the stage that bets on the hardware: validate the
+        // conversion against the trap model of the *machine*, not the one
+        // the compiler assumed — the gap between the two is exactly the
+        // §5.4 "Illegal Implicit" unsoundness.
+        let stage = if config.phase2 {
+            "phase2"
+        } else if config.trivial_trap {
+            "trivial"
+        } else {
+            "final"
+        };
+        validate_null_pass(&mut stats, module, platform.trap, stage, orig, func, false);
+        validate_coverage(&mut stats, module, platform.trap, stage, func);
+    }
+    stats.add_time("nullcheck", t.elapsed());
+
+    stats
+}
+
+/// Fans [`optimize_function`] out over `threads` scoped workers. Workers
+/// claim function indices off a shared atomic counter; each job's mutex is
+/// only ever locked by the single claiming worker, it exists to hand the
+/// `&mut Function` across the thread boundary safely. The result vector is
+/// indexed by function, so the caller's merge order — and therefore every
+/// counter in the aggregate — is independent of scheduling.
+fn optimize_functions_parallel(
+    module: &Module,
+    platform: &Platform,
+    config: &OptConfig,
+    funcs: &mut [Function],
+    threads: usize,
+) -> Vec<PipelineStats> {
+    let next = AtomicUsize::new(0);
+    let jobs: Vec<Mutex<(&mut Function, PipelineStats)>> = funcs
+        .iter_mut()
+        .map(|f| Mutex::new((f, PipelineStats::default())))
+        .collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                let mut guard = job.lock().unwrap();
+                let (func, slot) = &mut *guard;
+                *slot = optimize_function(module, platform, config, func);
+            });
+        }
+    });
+    jobs.into_iter()
+        .map(|m| m.into_inner().unwrap().1)
+        .collect()
 }
 
 /// Checks a function out of the module so passes can hold `&Module` (for
@@ -742,6 +846,38 @@ mod tests {
         );
         assert!(s_on.loops_versioned > 0);
         assert_eq!(s_off.loops_versioned, 0);
+    }
+
+    #[test]
+    fn parallel_threads_match_sequential() {
+        // A multi-function module: several renamed copies of the loop
+        // function, optimized independently.
+        let mk = || {
+            let mut m = loop_module();
+            let proto = m.function(m.function_by_name("sum").unwrap()).clone();
+            for i in 0..7 {
+                let mut f = proto.clone();
+                f.set_name(format!("sum_{i}"));
+                m.add_function(f);
+            }
+            m
+        };
+        let p = Platform::windows_ia32();
+        let base = ConfigKind::Full.to_config(&p);
+        let mut seq = mk();
+        let s_seq = optimize_module(&mut seq, &p, &base);
+        for threads in [2, 4, 64] {
+            let mut par = mk();
+            let s_par = optimize_module(&mut par, &p, &OptConfig { threads, ..base });
+            assert_eq!(seq, par, "threads={threads} changed the module");
+            assert_eq!(
+                s_seq.null_checks, s_par.null_checks,
+                "threads={threads} changed the counters"
+            );
+            assert_eq!(s_seq.boundchecks_eliminated, s_par.boundchecks_eliminated);
+            assert_eq!(s_seq.scalar, s_par.scalar);
+            assert_eq!(s_seq.dead_removed, s_par.dead_removed);
+        }
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Determinism of the compile-time performance machinery:
+//!
+//! 1. The parallel per-function pipeline must produce byte-identical IR and
+//!    identical `PipelineStats` counters at every thread count, on every
+//!    workload — the soundness contract of `OptConfig::threads`.
+//! 2. The worklist solver must reach the same fixed point as the
+//!    round-robin oracle on randomly generated CFGs, for a forward
+//!    must-analysis (non-nullness) and a backward may-analysis (liveness).
+
+use njc::prop::{run_cases, Rng};
+use njc_arch::Platform;
+use njc_core::nonnull::{compute_sets, NonNullProblem};
+use njc_dataflow::{solve, solve_round_robin, BitSet, Direction, Meet, Problem};
+use njc_ir::{BlockId, Cond, FieldId, FuncBuilder, Function, Module, Type, VarId};
+use njc_opt::{ConfigKind, OptConfig};
+
+/// The IR of every function, concatenated — the byte-identity witness.
+fn module_display(m: &Module) -> String {
+    m.functions().iter().map(|f| format!("{f}\n")).collect()
+}
+
+#[test]
+fn parallel_pipeline_is_deterministic_on_all_workloads() {
+    for (platform, kind) in [
+        (Platform::windows_ia32(), ConfigKind::Full),
+        (Platform::windows_ia32(), ConfigKind::OldNullCheck),
+        (Platform::aix_ppc(), ConfigKind::AixSpeculation),
+    ] {
+        let base = kind.to_config(&platform);
+        for w in njc_workloads::all() {
+            let mut seq = w.module.clone();
+            let s1 = njc_opt::optimize_module(&mut seq, &platform, &base);
+            for threads in [4, 16] {
+                let mut par = w.module.clone();
+                let sp =
+                    njc_opt::optimize_module(&mut par, &platform, &OptConfig { threads, ..base });
+                assert_eq!(
+                    module_display(&seq),
+                    module_display(&par),
+                    "{} [{kind:?}] threads={threads}: IR differs",
+                    w.name
+                );
+                assert_eq!(seq, par, "{} module mismatch", w.name);
+                assert_eq!(
+                    s1.null_checks, sp.null_checks,
+                    "{} [{kind:?}] threads={threads}: counters differ",
+                    w.name
+                );
+                assert_eq!(s1.boundchecks_eliminated, sp.boundchecks_eliminated);
+                assert_eq!(s1.loops_versioned, sp.loops_versioned);
+                assert_eq!(s1.fields_promoted, sp.fields_promoted);
+                assert_eq!(s1.scalar, sp.scalar);
+                assert_eq!(s1.copies_propagated, sp.copies_propagated);
+                assert_eq!(s1.dead_removed, sp.dead_removed);
+            }
+        }
+    }
+}
+
+/// Emits a random structured body: field traffic (carrying the builder's
+/// automatic null checks), diamonds, loops, and null-test branches — the
+/// CFG shapes whose meet/edge behavior the solver must order correctly.
+fn gen_body(
+    b: &mut FuncBuilder,
+    rng: &mut Rng,
+    depth: u32,
+    ints: &mut Vec<VarId>,
+    refs: &[VarId],
+    fields: &[FieldId],
+) {
+    for _ in 0..rng.range(1, 4) {
+        match rng.below(if depth > 0 { 7 } else { 4 }) {
+            0 => ints.push(b.iconst(rng.i8() as i64)),
+            1 => {
+                let r = *rng.pick(refs);
+                ints.push(b.get_field(r, *rng.pick(fields)));
+            }
+            2 => {
+                let r = *rng.pick(refs);
+                let v = *rng.pick(ints);
+                b.put_field(r, *rng.pick(fields), v);
+            }
+            3 => {
+                let v = *rng.pick(ints);
+                b.observe(v);
+            }
+            4 => {
+                let (x, y) = (*rng.pick(ints), *rng.pick(ints));
+                let t = b.new_block();
+                let j = b.new_block();
+                b.br_if(Cond::Lt, x, y, t, j);
+                b.switch_to(t);
+                let mut inner = ints.clone();
+                gen_body(b, rng, depth - 1, &mut inner, refs, fields);
+                b.goto(j);
+                b.switch_to(j);
+            }
+            5 => {
+                let r = *rng.pick(refs);
+                let nul = b.new_block();
+                let non = b.new_block();
+                let j = b.new_block();
+                b.br_ifnull(r, nul, non);
+                b.switch_to(nul);
+                b.goto(j);
+                b.switch_to(non);
+                let mut inner = ints.clone();
+                gen_body(b, rng, depth - 1, &mut inner, refs, fields);
+                b.goto(j);
+                b.switch_to(j);
+            }
+            _ => {
+                let zero = b.iconst(0);
+                let end = b.iconst(rng.range(1, 5) as i64);
+                let body: Vec<VarId> = ints.clone();
+                b.for_loop(zero, end, 1, |b, _i| {
+                    let mut inner = body.clone();
+                    gen_body(b, rng, depth - 1, &mut inner, refs, fields);
+                });
+            }
+        }
+    }
+}
+
+fn gen_function(rng: &mut Rng, m: &Module, fields: &[FieldId]) -> Function {
+    let _ = m;
+    let mut b = FuncBuilder::new("rand", &[Type::Ref, Type::Ref], Type::Int);
+    let a = b.param(0);
+    let c = b.param(1);
+    let mut ints = vec![b.iconst(1)];
+    gen_body(&mut b, rng, 3, &mut ints, &[a, c], fields);
+    let last = *ints.last().unwrap();
+    b.ret(Some(last));
+    b.finish()
+}
+
+/// Backward may-analysis (liveness) defined over whole blocks: facts are
+/// variables, `out = (in - defs) ∪ upward-exposed-uses`.
+struct Liveness<'a> {
+    func: &'a Function,
+    gen: Vec<BitSet>,
+    kill: Vec<BitSet>,
+}
+
+impl<'a> Liveness<'a> {
+    fn new(func: &'a Function) -> Self {
+        let nv = func.num_vars();
+        let mut gen = Vec::new();
+        let mut kill = Vec::new();
+        for block in func.blocks() {
+            let mut g = BitSet::new(nv);
+            let mut k = BitSet::new(nv);
+            for inst in block.insts.iter().rev() {
+                if let Some(d) = inst.def() {
+                    g.remove(d.index());
+                    k.insert(d.index());
+                }
+                for u in inst.uses() {
+                    g.insert(u.index());
+                    k.remove(u.index());
+                }
+            }
+            for u in block.term.uses() {
+                g.insert(u.index());
+                k.remove(u.index());
+            }
+            gen.push(g);
+            kill.push(k);
+        }
+        Liveness { func, gen, kill }
+    }
+}
+
+impl Problem for Liveness<'_> {
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+    fn meet(&self) -> Meet {
+        Meet::Union
+    }
+    fn num_facts(&self) -> usize {
+        self.func.num_vars()
+    }
+    fn boundary(&self) -> BitSet {
+        BitSet::new(self.func.num_vars())
+    }
+    fn transfer(&self, block: BlockId, input: &BitSet, output: &mut BitSet) {
+        output.subtract_from(input, &self.kill[block.index()]);
+        output.union_with(&self.gen[block.index()]);
+    }
+}
+
+#[test]
+fn worklist_matches_round_robin_on_random_cfgs() {
+    run_cases("worklist_matches_round_robin_on_random_cfgs", 120, |rng| {
+        let mut m = Module::new("rand");
+        let class = m.add_class("C", &[("f0", Type::Int), ("f1", Type::Int)]);
+        let fields = [m.field(class, "f0").unwrap(), m.field(class, "f1").unwrap()];
+        let f = gen_function(rng, &m, &fields);
+        njc_ir::verify(&f).unwrap_or_else(|e| {
+            panic!(
+                "generated function invalid: {:?}\n{f}",
+                &e[..1.min(e.len())]
+            )
+        });
+
+        let nonnull = NonNullProblem {
+            func: &f,
+            sets: compute_sets(&f),
+            earliest: None,
+            num_facts: f.num_vars(),
+        };
+        let wl = solve(&f, &nonnull);
+        let rr = solve_round_robin(&f, &nonnull);
+        assert_eq!(wl.ins, rr.ins, "forward fixed points differ\n{f}");
+        assert_eq!(wl.outs, rr.outs, "forward fixed points differ\n{f}");
+
+        let live = Liveness::new(&f);
+        let wl = solve(&f, &live);
+        let rr = solve_round_robin(&f, &live);
+        assert_eq!(wl.ins, rr.ins, "backward fixed points differ\n{f}");
+        assert_eq!(wl.outs, rr.outs, "backward fixed points differ\n{f}");
+        Ok(())
+    });
+}
