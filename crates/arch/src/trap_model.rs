@@ -102,6 +102,13 @@ impl TrapModel {
         }
     }
 
+    /// Whether `addr` lies inside the protected area at address zero — the
+    /// region where a null-base access produces a guard-page fault rather
+    /// than touching mapped memory.
+    pub fn protects(&self, addr: u64) -> bool {
+        addr < self.trap_area_bytes
+    }
+
     /// Whether loads may be **speculated** above their null checks: legal
     /// exactly when a null-base read cannot fault (paper §3.3.1: *"If a
     /// memory read with a null pointer is guaranteed not to cause a hardware
@@ -152,6 +159,15 @@ mod tests {
         let m = TrapModel::windows_ia32();
         assert!(!m.access_traps(AccessKind::Read, None));
         assert!(!m.access_traps(AccessKind::Write, None));
+    }
+
+    #[test]
+    fn protects_matches_trap_area() {
+        let m = TrapModel::windows_ia32();
+        assert!(m.protects(0));
+        assert!(m.protects(4095));
+        assert!(!m.protects(4096));
+        assert!(!TrapModel::no_traps().protects(0));
     }
 
     #[test]

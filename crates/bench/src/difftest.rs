@@ -1,0 +1,765 @@
+//! Differential execution and fault-injection harness.
+//!
+//! Runs every workload and a corpus of generated programs through all
+//! optimizer configurations × all platform trap models in the costed VM
+//! and diffs the *full observable behavior*: return value, exact exception
+//! trace (kind and observation-trace position), observation trace, and a
+//! heap effect digest. Two comparison axes:
+//!
+//! * **same platform** — every sound configuration against the unoptimized
+//!   baseline, including the heap digest (dead-code elimination never
+//!   removes stores, calls, or allocations, so the final heap is
+//!   config-invariant on a fixed platform);
+//! * **cross platform** — each configuration's *normalized* behavior
+//!   (references collapsed to null/non-null, digests dropped) across the
+//!   Windows/IA32, AIX/PPC, and Linux/S390 trap models. The fault-injection
+//!   menu ([`njc_workloads::gen::gen_fault_actions`]) only generates raw
+//!   accesses that resolve identically on every model under checked address
+//!   arithmetic, which is what makes this axis sound; see DESIGN.md §9.
+//!
+//! The harness injects faults benchmarks never exercise: receivers
+//! null-seeded at randomized loop iterations, checked indices near the
+//! guard-page boundary, raw loads whose effective address wraps past the
+//! guard page, and ill-typed instruction sequences that bypass the
+//! verifier. Divergences on generated programs are automatically minimized
+//! (greedy shrinking over the generator's action language) and emitted as
+//! `.njc` regression fixtures plus a machine-readable `DIFF_report.json`.
+//!
+//! The expected-unsound `AixIllegalImplicit` configuration is diffed too,
+//! but its divergences are *confirmations* of the paper's claim that
+//! Illegal Implicit misses NPEs (EXPERIMENTS.md, shape claim 9), not
+//! failures.
+
+use std::fmt::Write as _;
+use std::panic::AssertUnwindSafe;
+use std::path::{Path, PathBuf};
+
+use njc_arch::Platform;
+use njc_ir::{ExceptionKind, FuncBuilder, Module, Op, Type};
+use njc_opt::ConfigKind;
+use njc_vm::{Fault, Value, Vm, VmConfig};
+use njc_workloads::gen::{
+    action_weight, build_module, gen_fault_actions, minimize, shrink_candidates, Action, RawIndex,
+    Rng,
+};
+use njc_workloads::{micro, Suite, Workload};
+
+/// Harness options.
+#[derive(Clone, Debug)]
+pub struct DiffOptions {
+    /// Number of generated fault-injection programs.
+    pub seeds: u64,
+    /// Smoke mode: a corpus and configuration subset sized for CI gating.
+    pub smoke: bool,
+    /// Run every cell with the legacy wrapping address arithmetic — the
+    /// fault-injection mode that simulates reverting the checked-addressing
+    /// fix. A clean tree reports divergences under this flag (that is the
+    /// point); it must never be set for the gating run.
+    pub legacy_wrapping: bool,
+    /// Where to write minimized `.njc` regression fixtures (skipped when
+    /// `None`).
+    pub fixtures_dir: Option<PathBuf>,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            seeds: 48,
+            smoke: false,
+            legacy_wrapping: false,
+            fixtures_dir: None,
+        }
+    }
+}
+
+/// A reference or float collapsed to its cross-config-stable shape:
+/// addresses depend only on allocation order (stable per platform) but are
+/// still normalized so cross-platform rows compare; floats compare by bits
+/// so NaNs diff deterministically.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NormValue {
+    /// An integer.
+    Int(i64),
+    /// A float, by raw bits.
+    Float(u64),
+    /// The null reference.
+    Null,
+    /// Any non-null reference.
+    NonNull,
+}
+
+fn norm(v: Value) -> NormValue {
+    match v {
+        Value::Int(i) => NormValue::Int(i),
+        Value::Float(f) => NormValue::Float(f.to_bits()),
+        Value::Ref(0) => NormValue::Null,
+        Value::Ref(_) => NormValue::NonNull,
+    }
+}
+
+/// The observable behavior of one (program, config, platform) cell.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Verdict {
+    /// The VM completed (possibly with an escaping Java exception).
+    Ok {
+        /// Normalized return value.
+        result: Option<NormValue>,
+        /// Escaping exception kind, if any.
+        exception: Option<ExceptionKind>,
+        /// Normalized observation trace.
+        trace: Vec<NormValue>,
+        /// Exception origins as (kind, observation-trace position) — the
+        /// optimization-stable notion of "program point".
+        events: Vec<(ExceptionKind, usize)>,
+        /// FNV-1a digest of the final heap (valid same-platform only).
+        heap_digest: u64,
+        /// NPEs the platform silently swallowed at marked sites.
+        missed_npes: u64,
+    },
+    /// The VM rejected the execution with a structured fault; compared by
+    /// static label only (diagnostic payloads carry function names and
+    /// block ids, which legally differ under inlining and versioning).
+    Fault(&'static str),
+    /// The VM process panicked — always a harness failure.
+    Panicked,
+}
+
+fn fault_label(f: &Fault) -> &'static str {
+    match f {
+        Fault::UnexpectedTrap { .. } => "unexpected-trap",
+        Fault::WildAccess { .. } => "wild-access",
+        Fault::OutOfFuel => "out-of-fuel",
+        Fault::StackOverflow => "stack-overflow",
+        Fault::BadDispatch { .. } => "bad-dispatch",
+        Fault::NoSuchFunction(_) => "no-such-function",
+        Fault::IllTyped { .. } => "ill-typed",
+    }
+}
+
+impl Verdict {
+    /// Drops the platform-specific fields (heap digest, missed-NPE count)
+    /// for cross-platform comparison.
+    fn normalized(&self) -> Verdict {
+        match self {
+            Verdict::Ok {
+                result,
+                exception,
+                trace,
+                events,
+                ..
+            } => Verdict::Ok {
+                result: *result,
+                exception: *exception,
+                trace: trace.clone(),
+                events: events.clone(),
+                heap_digest: 0,
+                missed_npes: 0,
+            },
+            other => other.clone(),
+        }
+    }
+
+    fn summary(&self) -> String {
+        match self {
+            Verdict::Ok {
+                result,
+                exception,
+                trace,
+                events,
+                missed_npes,
+                ..
+            } => format!(
+                "ok result={result:?} exception={exception:?} trace_len={} events={events:?} missed={missed_npes}",
+                trace.len()
+            ),
+            Verdict::Fault(label) => format!("fault:{label}"),
+            Verdict::Panicked => "PANICKED".into(),
+        }
+    }
+}
+
+/// One detected behavioral difference.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Program name (workload, probe, or `seed-N`).
+    pub program: String,
+    /// Configuration label (`baseline` for the unoptimized run).
+    pub config: String,
+    /// Left cell label (`platform/config`).
+    pub left: String,
+    /// Right cell label.
+    pub right: String,
+    /// Human-readable explanation.
+    pub detail: String,
+    /// Minimized action list (generated programs only).
+    pub minimized: Option<String>,
+    /// Path of the emitted `.njc` fixture, if one was written.
+    pub fixture: Option<PathBuf>,
+}
+
+/// Aggregate result of a harness run.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// Programs diffed.
+    pub programs: usize,
+    /// (program, config, platform) cells executed.
+    pub cells: usize,
+    /// Detected divergences (empty on a healthy tree without fault
+    /// injection enabled).
+    pub divergences: Vec<Divergence>,
+    /// Expected divergences under `AixIllegalImplicit` — reproductions of
+    /// the paper's "Illegal Implicit misses NPEs" claim.
+    pub claim9_confirmations: usize,
+    /// Cells that ended in a structured `ill-typed` fault (the hardened
+    /// interpreter surviving hostile operands).
+    pub ill_typed_cells: usize,
+    /// Cells whose VM panicked — always a failure.
+    pub panicked_cells: usize,
+}
+
+impl DiffReport {
+    /// Whether the run gates CI green.
+    pub fn is_clean(&self) -> bool {
+        self.divergences.is_empty() && self.panicked_cells == 0
+    }
+
+    /// Hand-rolled JSON (the container has no serde).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
+        }
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"programs\": {},", self.programs);
+        let _ = writeln!(out, "  \"cells\": {},", self.cells);
+        let _ = writeln!(
+            out,
+            "  \"claim9_confirmations\": {},",
+            self.claim9_confirmations
+        );
+        let _ = writeln!(out, "  \"ill_typed_cells\": {},", self.ill_typed_cells);
+        let _ = writeln!(out, "  \"panicked_cells\": {},", self.panicked_cells);
+        out.push_str("  \"divergences\": [\n");
+        for (i, d) in self.divergences.iter().enumerate() {
+            out.push_str("    {");
+            let _ = write!(
+                out,
+                "\"program\": \"{}\", \"config\": \"{}\", \"left\": \"{}\", \"right\": \"{}\", \"detail\": \"{}\"",
+                esc(&d.program),
+                esc(&d.config),
+                esc(&d.left),
+                esc(&d.right),
+                esc(&d.detail)
+            );
+            if let Some(m) = &d.minimized {
+                let _ = write!(out, ", \"minimized\": \"{}\"", esc(m));
+            }
+            if let Some(f) = &d.fixture {
+                let _ = write!(out, ", \"fixture\": \"{}\"", esc(&f.display().to_string()));
+            }
+            out.push('}');
+            out.push_str(if i + 1 < self.divergences.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// The three platform trap models the harness diffs across.
+fn platforms() -> [Platform; 3] {
+    [
+        Platform::windows_ia32(),
+        Platform::aix_ppc(),
+        Platform::linux_s390(),
+    ]
+}
+
+/// Sound configurations to diff (subset in smoke mode).
+fn sound_kinds(smoke: bool) -> Vec<ConfigKind> {
+    if smoke {
+        vec![
+            ConfigKind::NoNullOptNoTrap,
+            ConfigKind::OldNullCheck,
+            ConfigKind::Full,
+            ConfigKind::AixSpeculation,
+        ]
+    } else {
+        vec![
+            ConfigKind::NoNullOptNoTrap,
+            ConfigKind::NoNullOptTrap,
+            ConfigKind::OldNullCheck,
+            ConfigKind::Phase1Only,
+            ConfigKind::Full,
+            ConfigKind::RefJit,
+            ConfigKind::AixSpeculation,
+            ConfigKind::AixNoSpeculation,
+            ConfigKind::AixNoNullOpt,
+        ]
+    }
+}
+
+/// One corpus entry.
+struct Program {
+    name: String,
+    module: Module,
+    /// The generator actions, when the program came from the action
+    /// language (enables minimization and fixture emission).
+    actions: Option<Vec<Action>>,
+    /// Run through the VM only, skipping the optimizer: the ill-typed
+    /// probes are deliberately unverifiable IR, and feeding them to the
+    /// optimizer would test nothing the VM hardening is responsible for.
+    vm_only: bool,
+}
+
+impl Program {
+    fn named(name: impl Into<String>, module: Module) -> Self {
+        Program {
+            name: name.into(),
+            module,
+            actions: None,
+            vm_only: false,
+        }
+    }
+
+    fn from_actions(name: impl Into<String>, actions: Vec<Action>) -> Self {
+        Program {
+            name: name.into(),
+            module: build_module(&actions),
+            actions: Some(actions),
+            vm_only: false,
+        }
+    }
+}
+
+/// A module whose `main` runs an ill-typed binop over references — IR the
+/// verifier rejects, which is exactly why the VM must degrade to a
+/// structured fault instead of a panic when fed it unverified.
+fn ill_typed_binop_probe() -> Module {
+    let mut m = Module::new("ill_typed_binop");
+    let mut b = FuncBuilder::new("main", &[], Type::Int);
+    let r = b.null_ref();
+    let bogus = b.binop(Op::Add, r, r);
+    b.observe(bogus);
+    let z = b.iconst(0);
+    b.ret(Some(z));
+    m.add_function(b.finish());
+    m
+}
+
+/// Same idea for `convert` over a reference.
+fn ill_typed_convert_probe() -> Module {
+    let mut m = Module::new("ill_typed_convert");
+    let mut b = FuncBuilder::new("main", &[], Type::Int);
+    let r = b.null_ref();
+    let bogus = b.convert(r, Type::Int);
+    b.observe(bogus);
+    b.ret(Some(bogus));
+    m.add_function(b.finish());
+    m
+}
+
+fn build_corpus(opts: &DiffOptions) -> Vec<Program> {
+    let mut corpus = Vec::new();
+    if opts.smoke {
+        // One representative of each macro suite plus every micro.
+        let mut ws = njc_workloads::jbytemark();
+        ws.truncate(1);
+        let mut sp = njc_workloads::specjvm98();
+        sp.truncate(1);
+        for w in ws.into_iter().chain(sp) {
+            corpus.push(Program::named(w.name, w.module));
+        }
+    } else {
+        for w in njc_workloads::all() {
+            corpus.push(Program::named(w.name, w.module));
+        }
+    }
+    for (name, module) in micro::all_micro() {
+        corpus.push(Program::named(name, module));
+    }
+    // Deterministic probes for the fault classes the generator also draws.
+    corpus.push(Program::from_actions(
+        "probe_guard_wrap",
+        vec![Action::RawLoad(RawIndex::GuardWrap)],
+    ));
+    corpus.push(Program::from_actions(
+        "probe_near_boundary",
+        vec![Action::RawLoad(RawIndex::NearBoundary(0))],
+    ));
+    corpus.push(Program::from_actions(
+        "probe_null_seeded_loop",
+        vec![Action::NullSeededLoop(4, 2, vec![Action::Observe(0)])],
+    ));
+    corpus.push(Program::from_actions(
+        "probe_huge_index",
+        vec![Action::HugeIndexChecked(5), Action::HugeIndexChecked(6)],
+    ));
+    corpus.push(Program {
+        name: "probe_ill_typed_binop".into(),
+        module: ill_typed_binop_probe(),
+        actions: None,
+        vm_only: true,
+    });
+    corpus.push(Program {
+        name: "probe_ill_typed_convert".into(),
+        module: ill_typed_convert_probe(),
+        actions: None,
+        vm_only: true,
+    });
+    let seeds = if opts.smoke {
+        opts.seeds.min(12)
+    } else {
+        opts.seeds
+    };
+    for seed in 0..seeds {
+        let mut rng = Rng::new(seed);
+        let len = rng.range(1, 14);
+        let actions = gen_fault_actions(&mut rng, len, 2);
+        corpus.push(Program::from_actions(format!("seed-{seed}"), actions));
+    }
+    corpus
+}
+
+fn vm_config(opts: &DiffOptions) -> VmConfig {
+    VmConfig {
+        legacy_wrapping_addressing: opts.legacy_wrapping,
+        ..VmConfig::default()
+    }
+}
+
+/// Runs one cell, converting panics and faults into a [`Verdict`].
+fn run_cell(module: &Module, platform: &Platform, cfg: VmConfig) -> Verdict {
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        Vm::new(module, *platform).with_config(cfg).run("main", &[])
+    }));
+    match outcome {
+        Err(_) => Verdict::Panicked,
+        Ok(Err(fault)) => Verdict::Fault(fault_label(&fault)),
+        Ok(Ok(out)) => Verdict::Ok {
+            result: out.result.map(norm),
+            exception: out.exception,
+            trace: out.trace.iter().copied().map(norm).collect(),
+            events: out.events.iter().map(|e| (e.kind, e.at_trace)).collect(),
+            heap_digest: out.heap_digest,
+            missed_npes: out.stats.missed_npes,
+        },
+    }
+}
+
+/// Per-program diff outcome, before minimization.
+#[derive(Default)]
+struct ProgramDiff {
+    cells: usize,
+    divergences: Vec<(String, String, String, String)>, // config, left, right, detail
+    claim9: usize,
+    ill_typed: usize,
+    panicked: usize,
+}
+
+fn diff_program(
+    module: &Module,
+    vm_only: bool,
+    kinds: &[ConfigKind],
+    opts: &DiffOptions,
+) -> ProgramDiff {
+    let cfg = vm_config(opts);
+    let mut out = ProgramDiff::default();
+    let plats = platforms();
+    // verdicts[p][0] = baseline; verdicts[p][1 + k] = kinds[k].
+    let mut verdicts: Vec<Vec<Verdict>> = Vec::new();
+    for platform in &plats {
+        let mut row = Vec::new();
+        row.push(run_cell(module, platform, cfg));
+        if !vm_only {
+            for kind in kinds {
+                let w = Workload {
+                    name: "difftest",
+                    suite: Suite::Micro,
+                    module: module.clone(),
+                    entry: "main",
+                    work_units: 1,
+                };
+                let compiled = njc_jit::compile(&w, platform, *kind);
+                row.push(run_cell(&compiled.module, platform, cfg));
+            }
+        }
+        verdicts.push(row);
+    }
+    let config_label = |c: usize| -> String {
+        if c == 0 {
+            "baseline".into()
+        } else {
+            format!("{:?}", kinds[c - 1])
+        }
+    };
+    for (p, row) in verdicts.iter().enumerate() {
+        for (c, v) in row.iter().enumerate() {
+            out.cells += 1;
+            if matches!(v, Verdict::Fault("ill-typed")) {
+                out.ill_typed += 1;
+            }
+            if matches!(v, Verdict::Panicked) {
+                out.panicked += 1;
+                out.divergences.push((
+                    config_label(c),
+                    format!("{}/{}", plats[p].name, config_label(c)),
+                    String::new(),
+                    "VM panicked (hardening regression)".into(),
+                ));
+            }
+        }
+    }
+    // Same-platform: every config against its platform's baseline.
+    for (p, row) in verdicts.iter().enumerate() {
+        let base = &row[0];
+        for (c, v) in row.iter().enumerate().skip(1) {
+            if matches!(v, Verdict::Panicked) || matches!(base, Verdict::Panicked) {
+                continue; // already reported above
+            }
+            if v != base {
+                out.divergences.push((
+                    config_label(c),
+                    format!("{}/baseline", plats[p].name),
+                    format!("{}/{}", plats[p].name, config_label(c)),
+                    format!("baseline {} vs optimized {}", base.summary(), v.summary()),
+                ));
+            } else if let Verdict::Ok { missed_npes, .. } = v {
+                if *missed_npes != 0 {
+                    out.divergences.push((
+                        config_label(c),
+                        format!("{}/{}", plats[p].name, config_label(c)),
+                        String::new(),
+                        format!("sound config silently missed {missed_npes} NPEs"),
+                    ));
+                }
+            }
+        }
+    }
+    // Cross-platform: each config row normalized, all platforms against
+    // the first.
+    for c in 0..verdicts[0].len() {
+        let lead = verdicts[0][c].normalized();
+        for (p, row) in verdicts.iter().enumerate().skip(1) {
+            let v = row[c].normalized();
+            if matches!(v, Verdict::Panicked) || matches!(lead, Verdict::Panicked) {
+                continue;
+            }
+            if v != lead {
+                out.divergences.push((
+                    config_label(c),
+                    format!("{}/{}", plats[0].name, config_label(c)),
+                    format!("{}/{}", plats[p].name, config_label(c)),
+                    format!("{} vs {}", lead.summary(), v.summary()),
+                ));
+            }
+        }
+    }
+    // The expected-unsound configuration, on the AIX model only: a
+    // divergence from the AIX baseline (or any silently missed NPE) is a
+    // reproduction of the paper's §5.4 claim, not a failure.
+    if !vm_only {
+        let aix = Platform::aix_ppc();
+        let w = Workload {
+            name: "difftest",
+            suite: Suite::Micro,
+            module: module.clone(),
+            entry: "main",
+            work_units: 1,
+        };
+        let compiled = njc_jit::compile(&w, &aix, ConfigKind::AixIllegalImplicit);
+        let v = run_cell(&compiled.module, &aix, cfg);
+        out.cells += 1;
+        match &v {
+            Verdict::Panicked => {
+                out.panicked += 1;
+                out.divergences.push((
+                    "AixIllegalImplicit".into(),
+                    format!("{}/AixIllegalImplicit", aix.name),
+                    String::new(),
+                    "VM panicked (hardening regression)".into(),
+                ));
+            }
+            Verdict::Ok { missed_npes, .. } => {
+                let base = &verdicts[1][0];
+                if v != *base || *missed_npes > 0 {
+                    out.claim9 += 1;
+                }
+            }
+            Verdict::Fault(_) => {
+                let base = &verdicts[1][0];
+                if v != *base {
+                    out.claim9 += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Prints the module in the CLI's `.njc` textual form (classes are
+/// synthesized by the loader, so only functions are written).
+fn fixture_text(name: &str, actions: &[Action], module: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# minimized difftest regression: {name}");
+    let _ = writeln!(out, "# actions: {actions:?}");
+    for f in module.functions() {
+        let _ = writeln!(out, "{f}");
+    }
+    out
+}
+
+/// Runs the full harness.
+pub fn run_difftest(opts: &DiffOptions) -> DiffReport {
+    let kinds = sound_kinds(opts.smoke);
+    let corpus = build_corpus(opts);
+    let mut report = DiffReport {
+        programs: corpus.len(),
+        ..DiffReport::default()
+    };
+    for prog in &corpus {
+        let d = diff_program(&prog.module, prog.vm_only, &kinds, opts);
+        report.cells += d.cells;
+        report.claim9_confirmations += d.claim9;
+        report.ill_typed_cells += d.ill_typed;
+        report.panicked_cells += d.panicked;
+        if d.divergences.is_empty() {
+            continue;
+        }
+        // Minimize action-language programs before reporting; the
+        // predicate is "any divergence or panic survives".
+        let (minimized, fixture) = match &prog.actions {
+            Some(actions) => {
+                let small = minimize(actions.clone(), action_weight, shrink_candidates, |cand| {
+                    let m = build_module(cand);
+                    let dd = diff_program(&m, false, &kinds, opts);
+                    !dd.divergences.is_empty() || dd.panicked > 0
+                });
+                let text = fixture_text(&prog.name, &small, &build_module(&small));
+                let path = opts.fixtures_dir.as_ref().map(|dir| {
+                    let path = dir.join(format!("{}.njc", prog.name.replace(' ', "_")));
+                    let _ = std::fs::create_dir_all(dir);
+                    let _ = std::fs::write(&path, &text);
+                    path
+                });
+                (Some(format!("{small:?}")), path)
+            }
+            None => (None, None),
+        };
+        for (config, left, right, detail) in d.divergences {
+            report.divergences.push(Divergence {
+                program: prog.name.clone(),
+                config,
+                left,
+                right,
+                detail,
+                minimized: minimized.clone(),
+                fixture: fixture.clone(),
+            });
+        }
+    }
+    report
+}
+
+/// Writes `DIFF_report.json` to `path`.
+///
+/// # Errors
+/// Propagates the I/O error when the file cannot be written.
+pub fn write_report(report: &DiffReport, path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, report.to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> DiffOptions {
+        DiffOptions {
+            seeds: 2,
+            smoke: true,
+            ..DiffOptions::default()
+        }
+    }
+
+    #[test]
+    fn probes_are_cross_platform_consistent() {
+        let opts = quick_opts();
+        let kinds = sound_kinds(true);
+        for (name, actions) in [
+            ("guard_wrap", vec![Action::RawLoad(RawIndex::GuardWrap)]),
+            (
+                "near_boundary",
+                vec![Action::RawLoad(RawIndex::NearBoundary(0))],
+            ),
+            (
+                "null_seeded",
+                vec![Action::NullSeededLoop(4, 2, vec![Action::Observe(0)])],
+            ),
+        ] {
+            let m = build_module(&actions);
+            let d = diff_program(&m, false, &kinds, &opts);
+            assert!(
+                d.divergences.is_empty(),
+                "{name}: {:?}",
+                d.divergences.first()
+            );
+            assert_eq!(d.panicked, 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn guard_wrap_probe_diverges_under_legacy_addressing() {
+        // The revert detector: with the checked-addressing fix disabled,
+        // the wrapped address lands inside the guard page, where AIX
+        // silently reads zero while Windows and S/390 trap.
+        let opts = DiffOptions {
+            legacy_wrapping: true,
+            ..quick_opts()
+        };
+        let kinds = sound_kinds(true);
+        let m = build_module(&[Action::RawLoad(RawIndex::GuardWrap)]);
+        let d = diff_program(&m, false, &kinds, &opts);
+        assert!(
+            !d.divergences.is_empty(),
+            "legacy wrapping must be detected"
+        );
+        let (_, left, right, _) = &d.divergences[0];
+        assert!(
+            left.contains('/') && right.contains('/'),
+            "cross-platform cells named: {left} vs {right}"
+        );
+    }
+
+    #[test]
+    fn ill_typed_probes_survive_as_structured_faults() {
+        let opts = quick_opts();
+        for m in [ill_typed_binop_probe(), ill_typed_convert_probe()] {
+            let d = diff_program(&m, true, &[], &opts);
+            assert_eq!(d.panicked, 0, "hardened VM must not panic");
+            assert_eq!(d.ill_typed, 3, "one structured fault per platform");
+            assert!(d.divergences.is_empty(), "{:?}", d.divergences.first());
+        }
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let mut r = DiffReport::default();
+        r.divergences.push(Divergence {
+            program: "p".into(),
+            config: "Full".into(),
+            left: "l".into(),
+            right: "r".into(),
+            detail: "d \"quoted\"".into(),
+            minimized: None,
+            fixture: None,
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"divergences\""), "{json}");
+        assert!(json.contains("\\\"quoted\\\""), "{json}");
+    }
+}

@@ -203,9 +203,33 @@ impl GuardedMemory {
         self.brk
     }
 
+    /// The lowest address object allocation can use (just above the guard
+    /// region, or the 64-byte minimum for trap-less models).
+    pub fn heap_base(&self) -> u64 {
+        self.model.trap_area_bytes.max(MIN_HEAP_BASE)
+    }
+
+    /// FNV-1a digest of the allocated heap contents (from [`Self::heap_base`]
+    /// to the break), folding in the break itself so that runs differing only
+    /// in footprint also differ in digest. The guard region is excluded: it
+    /// is zero by construction (silent writes are discarded), so including it
+    /// would only dilute the digest.
+    pub fn digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for &b in &self.data[self.heap_base() as usize..self.brk as usize] {
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        for b in self.brk.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+
     fn classify(&mut self, addr: u64, kind: AccessKind) -> Result<bool, MemoryError> {
         // Returns Ok(true) when the access is a silent guard-region access.
-        if addr < self.model.trap_area_bytes {
+        if self.model.protects(addr) {
             if self.model.runtime_faults(kind, addr) {
                 match kind {
                     AccessKind::Read => self.stats.read_traps += 1,
@@ -223,13 +247,15 @@ impl GuardedMemory {
             }
             return Ok(true);
         }
-        if addr + 8 > self.brk {
-            return Err(MemoryError::WildAccess {
+        // Checked: an address within 8 bytes of `u64::MAX` must not wrap
+        // around into an in-bounds slice index.
+        match addr.checked_add(8) {
+            Some(end) if end <= self.brk => Ok(false),
+            _ => Err(MemoryError::WildAccess {
                 address: addr,
                 kind,
-            });
+            }),
         }
-        Ok(false)
     }
 
     /// Reads the 8-byte slot at `addr`.
@@ -370,6 +396,49 @@ mod tests {
         assert!(a >= MIN_HEAP_BASE);
         assert!(GuardedMemory::is_null(0));
         assert!(!GuardedMemory::is_null(a));
+    }
+
+    #[test]
+    fn near_max_address_is_wild_not_panic() {
+        // `addr + 8` used to overflow here and wrap into an in-bounds slice
+        // index, panicking (or worse, silently aliasing) in release builds.
+        let mut m = GuardedMemory::new(TrapModel::windows_ia32());
+        let err = m.read_u64(u64::MAX - 4).unwrap_err();
+        assert!(matches!(err, MemoryError::WildAccess { .. }));
+        let err = m.write_u64(u64::MAX - 7, 1).unwrap_err();
+        assert!(matches!(err, MemoryError::WildAccess { .. }));
+    }
+
+    #[test]
+    fn digest_tracks_heap_contents() {
+        let mut m = GuardedMemory::new(TrapModel::windows_ia32());
+        let a = m.alloc(16);
+        let d0 = m.digest();
+        m.write_u64(a, 7).unwrap();
+        let d1 = m.digest();
+        assert_ne!(d0, d1, "a visible store changes the digest");
+        m.write_u64(a, 7).unwrap();
+        assert_eq!(m.digest(), d1, "digest is a pure function of contents");
+        // Guard-region writes are discarded and must not perturb the digest.
+        let mut aix = GuardedMemory::new(TrapModel {
+            trap_area_bytes: 4096,
+            traps_on_read: false,
+            traps_on_write: false,
+        });
+        let b = aix.alloc(8);
+        aix.write_u64(b, 3).unwrap();
+        let d = aix.digest();
+        aix.write_u64(8, 99).unwrap();
+        assert_eq!(aix.digest(), d);
+    }
+
+    #[test]
+    fn heap_base_respects_model() {
+        assert_eq!(
+            GuardedMemory::new(TrapModel::windows_ia32()).heap_base(),
+            4096
+        );
+        assert_eq!(GuardedMemory::new(TrapModel::no_traps()).heap_base(), 64);
     }
 
     #[test]

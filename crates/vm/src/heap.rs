@@ -14,9 +14,10 @@
 //! paper's "the array length is required for bounds checking and its offset
 //! is typically zero from the top of the object" (§3.3.1).
 
+use njc_arch::TrapModel;
 use njc_ir::module::ARRAY_ELEMENTS_OFFSET;
-use njc_ir::{ClassId, Module, Type};
-use njc_trap::{GuardedMemory, MemoryError};
+use njc_ir::{AccessKind, ClassId, Module, Type};
+use njc_trap::{GuardedMemory, HardwareTrap, MemoryError};
 
 /// Element type tags stored in the array header's second word.
 fn type_tag(ty: Type) -> u64 {
@@ -88,10 +89,61 @@ impl Heap {
         Ok(Some(ClassId::new((word.value - 1) as usize)))
     }
 
-    /// Element slot address.
+    /// Element slot address, computed with wrapping arithmetic.
+    ///
+    /// This is the *legacy* addressing mode: a huge index can wrap the
+    /// effective address past the guard page and silently alias mapped
+    /// memory. It is kept only as an opt-in fault-injection mode for the
+    /// differential harness (`VmConfig::legacy_wrapping_addressing`); real
+    /// runs go through [`Self::element_addr_checked`].
     pub fn element_addr(base: u64, index: i64) -> u64 {
         base.wrapping_add(ARRAY_ELEMENTS_OFFSET)
             .wrapping_add((index as u64).wrapping_mul(8))
+    }
+
+    /// Element slot address, computed with checked arithmetic against the
+    /// trap model's protected-region size.
+    ///
+    /// The mathematical effective address `base + 16 + 8*index` is formed
+    /// in 128-bit arithmetic. When it is representable as a `u64` slot
+    /// address it is returned and the ordinary guard/wild classification
+    /// applies at access time (negative in-range indices still produce the
+    /// address just below the elements, matching real address arithmetic).
+    /// When it over- or underflows the address space, the access cannot
+    /// touch mapped memory:
+    ///
+    /// * a base inside the protected region (a null-ish reference) raises
+    ///   the [`HardwareTrap`] the guard page owes the access — on every
+    ///   platform model, because a wrapped address is a fault on real
+    ///   hardware regardless of whether the first page traps reads;
+    /// * any other base is a [`MemoryError::WildAccess`] (the BigOffset
+    ///   hazard, Figure 5 (1)).
+    ///
+    /// # Errors
+    /// [`MemoryError`] as classified above; the caller maps a trap at a
+    /// marked exception site to a `NullPointerException`.
+    pub fn element_addr_checked(
+        base: u64,
+        index: i64,
+        kind: AccessKind,
+        model: &TrapModel,
+    ) -> Result<u64, MemoryError> {
+        let ea = i128::from(base) + i128::from(ARRAY_ELEMENTS_OFFSET) + i128::from(index) * 8;
+        if (0..=(u64::MAX - 7) as i128).contains(&ea) {
+            return Ok(ea as u64);
+        }
+        let wrapped = Self::element_addr(base, index);
+        if model.protects(base) {
+            Err(MemoryError::Trap(HardwareTrap {
+                address: wrapped,
+                kind,
+            }))
+        } else {
+            Err(MemoryError::WildAccess {
+                address: wrapped,
+                kind,
+            })
+        }
     }
 
     /// Slots in an object of `class` (for allocation cost accounting).
@@ -155,5 +207,53 @@ mod tests {
         // the memory layer reports it.
         let a = Heap::element_addr(4096, -1);
         assert_eq!(a, 4096 + 16 - 8);
+    }
+
+    #[test]
+    fn checked_addr_agrees_with_wrapping_in_range() {
+        let model = TrapModel::windows_ia32();
+        for (base, index) in [(4096u64, 0i64), (4096, 7), (4096, -1), (8192, 1000)] {
+            assert_eq!(
+                Heap::element_addr_checked(base, index, AccessKind::Read, &model).unwrap(),
+                Heap::element_addr(base, index),
+                "base {base} index {index}"
+            );
+        }
+    }
+
+    #[test]
+    fn checked_addr_rejects_wrap_past_guard() {
+        // base 4096, index chosen so the wrapped address lands at 128 —
+        // inside the guard page, where the legacy arithmetic silently read
+        // zero on AIX and took a bogus trap on Windows.
+        let index = ((0u64.wrapping_sub(4096 + 16 - 128)) / 8) as i64;
+        assert_eq!(Heap::element_addr(4096, index), 128, "wraps into the guard");
+        for model in [
+            TrapModel::windows_ia32(),
+            TrapModel::aix_ppc(),
+            TrapModel::linux_s390(),
+        ] {
+            let err =
+                Heap::element_addr_checked(4096, index, AccessKind::Read, &model).unwrap_err();
+            assert!(
+                matches!(err, MemoryError::WildAccess { .. }),
+                "non-null base overflow is wild on every model: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn checked_addr_null_base_overflow_traps_on_every_model() {
+        // A null array base with an index so large the address wraps: the
+        // guard page owes the access a trap on every platform model.
+        let index = i64::MAX / 2;
+        for model in [
+            TrapModel::windows_ia32(),
+            TrapModel::aix_ppc(),
+            TrapModel::linux_s390(),
+        ] {
+            let err = Heap::element_addr_checked(0, index, AccessKind::Read, &model).unwrap_err();
+            assert!(matches!(err, MemoryError::Trap(_)), "{err:?}");
+        }
     }
 }

@@ -21,8 +21,8 @@
 
 use njc_arch::Platform;
 use njc_ir::{
-    BlockId, CallTarget, ExceptionKind, Function, FunctionId, Inst, Module, NullCheckKind, Op,
-    Terminator, Type, VarId,
+    AccessKind, BlockId, CallTarget, ExceptionKind, Function, FunctionId, Inst, Module,
+    NullCheckKind, Op, Terminator, Type, VarId,
 };
 use njc_trap::{GuardedMemory, MemoryError};
 
@@ -36,6 +36,12 @@ pub struct VmConfig {
     pub max_insts: u64,
     /// Maximum call depth before [`Fault::StackOverflow`].
     pub max_depth: usize,
+    /// Fault-injection mode: compute array element addresses with the old
+    /// wrapping arithmetic instead of the checked form. A huge index can
+    /// then wrap the effective address past the guard page and silently
+    /// alias mapped memory — the bug class the differential harness exists
+    /// to catch. Never enable outside that harness.
+    pub legacy_wrapping_addressing: bool,
 }
 
 impl Default for VmConfig {
@@ -43,6 +49,7 @@ impl Default for VmConfig {
         VmConfig {
             max_insts: 200_000_000,
             max_depth: 256,
+            legacy_wrapping_addressing: false,
         }
     }
 }
@@ -114,7 +121,23 @@ pub enum Fault {
     },
     /// Entry function not found.
     NoSuchFunction(String),
+    /// An instruction's operands do not match its declared type — an
+    /// ill-typed (unverified) module. Structured, not a panic, so a hostile
+    /// or fuzzer-generated program yields a per-program verdict instead of
+    /// killing the harness.
+    IllTyped {
+        /// Function where the ill-typed instruction executed.
+        function: String,
+        /// Block where it executed.
+        block: BlockId,
+        /// What was wrong (e.g. `binop.int over Ref operands`).
+        detail: String,
+    },
 }
+
+/// Alias for [`Fault`]: every VM error, including the structured
+/// [`Fault::IllTyped`] verdict for unverified modules.
+pub type VmError = Fault;
 
 impl std::fmt::Display for Fault {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -129,11 +152,39 @@ impl std::fmt::Display for Fault {
             Fault::StackOverflow => write!(f, "call depth exceeded"),
             Fault::BadDispatch { method } => write!(f, "virtual dispatch of `{method}` failed"),
             Fault::NoSuchFunction(n) => write!(f, "no function named `{n}`"),
+            Fault::IllTyped {
+                function,
+                block,
+                detail,
+            } => {
+                write!(f, "ill-typed instruction in {function}/{block}: {detail}")
+            }
         }
     }
 }
 
 impl std::error::Error for Fault {}
+
+/// One exception *origin*: recorded where the exception is first raised
+/// (explicit check, hardware trap, software throw), not re-recorded as it
+/// unwinds or is caught. The program point is the position in the
+/// observation stream ([`ExceptionEvent::at_trace`]), which is stable under
+/// every sound optimization — block ids are not (loop versioning duplicates
+/// blocks; inlining moves code between functions).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExceptionEvent {
+    /// What was thrown.
+    pub kind: ExceptionKind,
+    /// Number of values observed before the throw — the optimization-stable
+    /// "program point" of the exception.
+    pub at_trace: usize,
+    /// Function where the exception originated (diagnostic only: inlining
+    /// legitimately changes this, so equivalence checks must not compare it).
+    pub function: String,
+    /// Block where it originated (diagnostic only, see
+    /// [`ExceptionEvent::function`]).
+    pub block: BlockId,
+}
 
 /// The observable outcome of a run: what equivalence checking compares.
 #[derive(Clone, PartialEq, Debug)]
@@ -145,6 +196,13 @@ pub struct Outcome {
     pub exception: Option<ExceptionKind>,
     /// Values observed via `observe` instructions, in order.
     pub trace: Vec<Value>,
+    /// Every exception raised (caught or not), in order of origin.
+    pub events: Vec<ExceptionEvent>,
+    /// Digest of the final heap contents (see `GuardedMemory::digest`).
+    /// Comparable across configurations on the *same* platform: allocation
+    /// order is preserved by every pass (DCE never removes allocations), so
+    /// addresses — and therefore reference-valued slots — are stable.
+    pub heap_digest: u64,
     /// Execution statistics.
     pub stats: RunStats,
 }
@@ -208,6 +266,7 @@ pub struct Vm<'m> {
     config: VmConfig,
     stats: RunStats,
     trace: Vec<Value>,
+    events: Vec<ExceptionEvent>,
 }
 
 impl<'m> Vm<'m> {
@@ -221,6 +280,7 @@ impl<'m> Vm<'m> {
             config: VmConfig::default(),
             stats: RunStats::default(),
             trace: Vec::new(),
+            events: Vec::new(),
         }
     }
 
@@ -236,7 +296,25 @@ impl<'m> Vm<'m> {
     /// Returns a [`Fault`] for non-Java failures (compiler bugs, fuel,
     /// stack overflow). Java exceptions escaping the entry function are a
     /// *normal* outcome, recorded in [`Outcome::exception`].
-    pub fn run(mut self, entry: &str, args: &[Value]) -> Result<Outcome, Fault> {
+    pub fn run(self, entry: &str, args: &[Value]) -> Result<Outcome, Fault> {
+        // The interpreter uses one native frame per simulated call frame, so
+        // the stack it needs scales with `max_depth` — run it on a dedicated
+        // thread with an explicit reservation instead of inheriting the
+        // caller's (test threads default to 2 MiB, too small for a
+        // `max_depth`-deep recursion of these large frames).
+        const INTERP_STACK_BYTES: usize = 32 * 1024 * 1024;
+        std::thread::scope(|scope| {
+            std::thread::Builder::new()
+                .name("njc-vm-interp".to_string())
+                .stack_size(INTERP_STACK_BYTES)
+                .spawn_scoped(scope, || self.run_on_this_thread(entry, args))
+                .expect("spawn interpreter thread")
+                .join()
+                .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+        })
+    }
+
+    fn run_on_this_thread(mut self, entry: &str, args: &[Value]) -> Result<Outcome, Fault> {
         let id = self
             .module
             .function_by_name(entry)
@@ -250,12 +328,35 @@ impl<'m> Vm<'m> {
             result,
             exception,
             trace: self.trace,
+            events: self.events,
+            heap_digest: self.heap.mem.digest(),
             stats: self.stats,
         })
     }
 
     fn charge(&mut self, cycles: u64) {
         self.stats.cycles += cycles;
+    }
+
+    /// Records an exception *origin* (never the unwinding of one already
+    /// recorded — the `Call` propagation path does not call this).
+    fn raise(&mut self, kind: ExceptionKind, func: &Function, block: BlockId) -> ExceptionKind {
+        self.events.push(ExceptionEvent {
+            kind,
+            at_trace: self.trace.len(),
+            function: func.name().to_string(),
+            block,
+        });
+        kind
+    }
+
+    /// Structured verdict for an ill-typed operand in an unverified module.
+    fn ill_typed(func: &Function, block: BlockId, detail: String) -> Fault {
+        Fault::IllTyped {
+            function: func.name().to_string(),
+            block,
+            detail,
+        }
     }
 
     fn fuel(&mut self) -> Result<(), Fault> {
@@ -352,8 +453,12 @@ impl<'m> Vm<'m> {
             } => {
                 self.charge(cost.branch);
                 self.stats.branches += 1;
-                let l = locals[lhs.index()].as_int();
-                let r = locals[rhs.index()].as_int();
+                let l = locals[lhs.index()]
+                    .try_int()
+                    .map_err(|e| Self::ill_typed(func, block_id, e))?;
+                let r = locals[rhs.index()]
+                    .try_int()
+                    .map_err(|e| Self::ill_typed(func, block_id, e))?;
                 Ok(BlockExit::Jump(if cond.eval(l, r) {
                     *then_bb
                 } else {
@@ -380,7 +485,8 @@ impl<'m> Vm<'m> {
             Terminator::Throw(kind) => {
                 self.charge(cost.throw_dispatch);
                 self.stats.exceptions_thrown += 1;
-                Ok(BlockExit::Threw(*kind))
+                let kind = self.raise(*kind, func, block_id);
+                Ok(BlockExit::Threw(kind))
             }
         }
     }
@@ -416,8 +522,12 @@ impl<'m> Vm<'m> {
                 ty,
             } => match ty {
                 Type::Int => {
-                    let l = locals[lhs.index()].as_int();
-                    let r = locals[rhs.index()].as_int();
+                    let l = locals[lhs.index()]
+                        .try_int()
+                        .map_err(|e| Self::ill_typed(func, block_id, e))?;
+                    let r = locals[rhs.index()]
+                        .try_int()
+                        .map_err(|e| Self::ill_typed(func, block_id, e))?;
                     let v = match op {
                         Op::Add => {
                             self.charge(cost.int_alu);
@@ -435,7 +545,11 @@ impl<'m> Vm<'m> {
                             self.charge(cost.int_div);
                             if r == 0 {
                                 self.charge(cost.throw_dispatch);
-                                return Ok(Some(ExceptionKind::Arithmetic));
+                                return Ok(Some(self.raise(
+                                    ExceptionKind::Arithmetic,
+                                    func,
+                                    block_id,
+                                )));
                             }
                             if l == i64::MIN && r == -1 {
                                 if *op == Op::Div {
@@ -477,8 +591,12 @@ impl<'m> Vm<'m> {
                     locals[dst.index()] = Value::Int(v);
                 }
                 Type::Float => {
-                    let l = locals[lhs.index()].as_float();
-                    let r = locals[rhs.index()].as_float();
+                    let l = locals[lhs.index()]
+                        .try_float()
+                        .map_err(|e| Self::ill_typed(func, block_id, e))?;
+                    let r = locals[rhs.index()]
+                        .try_float()
+                        .map_err(|e| Self::ill_typed(func, block_id, e))?;
                     let v = match op {
                         Op::Add => {
                             self.charge(cost.float_alu);
@@ -500,18 +618,41 @@ impl<'m> Vm<'m> {
                             self.charge(cost.float_div);
                             l % r
                         }
-                        other => panic!("operator {other:?} not defined on floats"),
+                        other => {
+                            return Err(Self::ill_typed(
+                                func,
+                                block_id,
+                                format!("operator {other:?} not defined on floats"),
+                            ))
+                        }
                     };
                     locals[dst.index()] = Value::Float(v);
                 }
-                Type::Ref => panic!("binop over refs is unverifiable"),
+                Type::Ref => {
+                    return Err(Self::ill_typed(
+                        func,
+                        block_id,
+                        "binop over refs is unverifiable".to_string(),
+                    ))
+                }
             },
             Inst::Neg { dst, src, ty } => {
                 self.charge(cost.int_alu);
                 locals[dst.index()] = match ty {
-                    Type::Int => Value::Int(locals[src.index()].as_int().wrapping_neg()),
-                    Type::Float => Value::Float(-locals[src.index()].as_float()),
-                    Type::Ref => panic!("neg over ref"),
+                    Type::Int => Value::Int(
+                        locals[src.index()]
+                            .try_int()
+                            .map_err(|e| Self::ill_typed(func, block_id, e))?
+                            .wrapping_neg(),
+                    ),
+                    Type::Float => Value::Float(
+                        -locals[src.index()]
+                            .try_float()
+                            .map_err(|e| Self::ill_typed(func, block_id, e))?,
+                    ),
+                    Type::Ref => {
+                        return Err(Self::ill_typed(func, block_id, "neg over ref".to_string()))
+                    }
                 };
             }
             Inst::Convert { dst, src, to } => {
@@ -519,9 +660,15 @@ impl<'m> Vm<'m> {
                 locals[dst.index()] = match (locals[src.index()], to) {
                     (Value::Int(v), Type::Float) => Value::Float(v as f64),
                     (Value::Float(v), Type::Int) => Value::Int(v as i64),
-                    (v, Type::Int) => Value::Int(v.as_int()),
-                    (v, Type::Float) => Value::Float(v.as_float()),
-                    (_, Type::Ref) => panic!("convert to ref"),
+                    (Value::Int(v), Type::Int) => Value::Int(v),
+                    (Value::Float(v), Type::Float) => Value::Float(v),
+                    (v, _) => {
+                        return Err(Self::ill_typed(
+                            func,
+                            block_id,
+                            format!("convert of {v:?} to {to}"),
+                        ))
+                    }
                 };
             }
             Inst::FCmp {
@@ -531,8 +678,12 @@ impl<'m> Vm<'m> {
                 rhs,
             } => {
                 self.charge(cost.float_alu);
-                let l = locals[lhs.index()].as_float();
-                let r = locals[rhs.index()].as_float();
+                let l = locals[lhs.index()]
+                    .try_float()
+                    .map_err(|e| Self::ill_typed(func, block_id, e))?;
+                let r = locals[rhs.index()]
+                    .try_float()
+                    .map_err(|e| Self::ill_typed(func, block_id, e))?;
                 let b = match cond {
                     njc_ir::Cond::Eq => l == r,
                     njc_ir::Cond::Ne => l != r,
@@ -549,7 +700,7 @@ impl<'m> Vm<'m> {
                     self.stats.explicit_null_checks += 1;
                     if locals[var.index()].is_null() {
                         self.charge(cost.throw_dispatch);
-                        return Ok(Some(ExceptionKind::NullPointer));
+                        return Ok(Some(self.raise(ExceptionKind::NullPointer, func, block_id)));
                     }
                 }
                 NullCheckKind::Implicit => {
@@ -560,11 +711,15 @@ impl<'m> Vm<'m> {
             Inst::BoundCheck { index, length } => {
                 self.charge(cost.bound_check);
                 self.stats.bound_checks += 1;
-                let i = locals[index.index()].as_int();
-                let l = locals[length.index()].as_int();
+                let i = locals[index.index()]
+                    .try_int()
+                    .map_err(|e| Self::ill_typed(func, block_id, e))?;
+                let l = locals[length.index()]
+                    .try_int()
+                    .map_err(|e| Self::ill_typed(func, block_id, e))?;
                 if i < 0 || i >= l {
                     self.charge(cost.throw_dispatch);
-                    return Ok(Some(ExceptionKind::ArrayIndex));
+                    return Ok(Some(self.raise(ExceptionKind::ArrayIndex, func, block_id)));
                 }
             }
             Inst::GetField {
@@ -578,7 +733,9 @@ impl<'m> Vm<'m> {
                 if *exception_site {
                     self.stats.implicit_site_hits += 1;
                 }
-                let base = locals[obj.index()].as_ref_addr();
+                let base = locals[obj.index()]
+                    .try_ref_addr()
+                    .map_err(|e| Self::ill_typed(func, block_id, e))?;
                 let fd = self.module.field_decl(*field);
                 let addr = base.wrapping_add(fd.offset);
                 match self.mem_read(func, block_id, addr, *exception_site)? {
@@ -597,7 +754,9 @@ impl<'m> Vm<'m> {
                 if *exception_site {
                     self.stats.implicit_site_hits += 1;
                 }
-                let base = locals[obj.index()].as_ref_addr();
+                let base = locals[obj.index()]
+                    .try_ref_addr()
+                    .map_err(|e| Self::ill_typed(func, block_id, e))?;
                 let fd = self.module.field_decl(*field);
                 let addr = base.wrapping_add(fd.offset);
                 let bits = locals[value.index()].to_bits();
@@ -615,7 +774,9 @@ impl<'m> Vm<'m> {
                 if *exception_site {
                     self.stats.implicit_site_hits += 1;
                 }
-                let base = locals[arr.index()].as_ref_addr();
+                let base = locals[arr.index()]
+                    .try_ref_addr()
+                    .map_err(|e| Self::ill_typed(func, block_id, e))?;
                 match self.mem_read(func, block_id, base, *exception_site)? {
                     Ok(bits) => locals[dst.index()] = Value::Int(bits as i64),
                     Err(kind) => return Ok(Some(kind)),
@@ -633,9 +794,23 @@ impl<'m> Vm<'m> {
                 if *exception_site {
                     self.stats.implicit_site_hits += 1;
                 }
-                let base = locals[arr.index()].as_ref_addr();
-                let i = locals[index.index()].as_int();
-                let addr = Heap::element_addr(base, i);
+                let base = locals[arr.index()]
+                    .try_ref_addr()
+                    .map_err(|e| Self::ill_typed(func, block_id, e))?;
+                let i = locals[index.index()]
+                    .try_int()
+                    .map_err(|e| Self::ill_typed(func, block_id, e))?;
+                let addr = match self.element_addr(
+                    func,
+                    block_id,
+                    base,
+                    i,
+                    AccessKind::Read,
+                    *exception_site,
+                )? {
+                    Ok(addr) => addr,
+                    Err(kind) => return Ok(Some(kind)),
+                };
                 match self.mem_read(func, block_id, addr, *exception_site)? {
                     Ok(bits) => locals[dst.index()] = Value::from_bits(bits, *ty),
                     Err(kind) => return Ok(Some(kind)),
@@ -653,9 +828,23 @@ impl<'m> Vm<'m> {
                 if *exception_site {
                     self.stats.implicit_site_hits += 1;
                 }
-                let base = locals[arr.index()].as_ref_addr();
-                let i = locals[index.index()].as_int();
-                let addr = Heap::element_addr(base, i);
+                let base = locals[arr.index()]
+                    .try_ref_addr()
+                    .map_err(|e| Self::ill_typed(func, block_id, e))?;
+                let i = locals[index.index()]
+                    .try_int()
+                    .map_err(|e| Self::ill_typed(func, block_id, e))?;
+                let addr = match self.element_addr(
+                    func,
+                    block_id,
+                    base,
+                    i,
+                    AccessKind::Write,
+                    *exception_site,
+                )? {
+                    Ok(addr) => addr,
+                    Err(kind) => return Ok(Some(kind)),
+                };
                 let bits = locals[value.index()].to_bits();
                 if let Err(kind) = self.mem_write(func, block_id, addr, bits, *exception_site)? {
                     return Ok(Some(kind));
@@ -669,10 +858,16 @@ impl<'m> Vm<'m> {
                 locals[dst.index()] = Value::Ref(addr);
             }
             Inst::NewArray { dst, elem, len } => {
-                let l = locals[len.index()].as_int();
+                let l = locals[len.index()]
+                    .try_int()
+                    .map_err(|e| Self::ill_typed(func, block_id, e))?;
                 if l < 0 {
                     self.charge(cost.throw_dispatch);
-                    return Ok(Some(ExceptionKind::NegativeArraySize));
+                    return Ok(Some(self.raise(
+                        ExceptionKind::NegativeArraySize,
+                        func,
+                        block_id,
+                    )));
                 }
                 self.charge(cost.alloc_base + cost.alloc_per_slot * l as u64);
                 self.stats.allocations += 1;
@@ -699,8 +894,9 @@ impl<'m> Vm<'m> {
                         }
                         // Dispatch reads the object header at offset 0.
                         self.stats.loads += 1;
-                        let base =
-                            locals[receiver.expect("virtual call receiver").index()].as_ref_addr();
+                        let base = locals[receiver.expect("virtual call receiver").index()]
+                            .try_ref_addr()
+                            .map_err(|e| Self::ill_typed(func, block_id, e))?;
                         match self.mem_read(func, block_id, base, *exception_site)? {
                             Err(kind) => return Ok(Some(kind)),
                             Ok(bits) => {
@@ -747,7 +943,9 @@ impl<'m> Vm<'m> {
                 } else {
                     cost.math_library_call
                 });
-                let x = locals[src.index()].as_float();
+                let x = locals[src.index()]
+                    .try_float()
+                    .map_err(|e| Self::ill_typed(func, block_id, e))?;
                 locals[dst.index()] = Value::Float(intrinsic.apply(x));
             }
             Inst::Observe { var } => {
@@ -757,6 +955,59 @@ impl<'m> Vm<'m> {
         }
         let _ = VarId::new(0);
         Ok(None)
+    }
+
+    /// Classifies a [`MemoryError`]: a hardware trap at a *marked* site is
+    /// the `NullPointerException` the program owed (`Ok(kind)`); anywhere
+    /// else it is a compiler/program bug (`Err(fault)`).
+    fn mem_fault(
+        &mut self,
+        func: &Function,
+        block_id: BlockId,
+        err: MemoryError,
+        site: bool,
+    ) -> Result<ExceptionKind, Fault> {
+        match err {
+            MemoryError::Trap(_) => {
+                self.stats.traps_taken += 1;
+                if site {
+                    self.charge(self.platform.cost.trap_taken);
+                    Ok(self.raise(ExceptionKind::NullPointer, func, block_id))
+                } else {
+                    Err(Fault::UnexpectedTrap {
+                        function: func.name().to_string(),
+                        block: block_id,
+                    })
+                }
+            }
+            MemoryError::WildAccess { address, .. } => Err(Fault::WildAccess {
+                function: func.name().to_string(),
+                address,
+            }),
+        }
+    }
+
+    /// Array element address under the active addressing mode: checked
+    /// arithmetic by default, the legacy wrapping form under the harness's
+    /// fault-injection flag. `Ok(Err(kind))` is a Java exception (a null
+    /// base whose wrapped address the guard page owes a trap).
+    #[allow(clippy::too_many_arguments)]
+    fn element_addr(
+        &mut self,
+        func: &Function,
+        block_id: BlockId,
+        base: u64,
+        index: i64,
+        kind: AccessKind,
+        site: bool,
+    ) -> Result<Result<u64, ExceptionKind>, Fault> {
+        if self.config.legacy_wrapping_addressing {
+            return Ok(Ok(Heap::element_addr(base, index)));
+        }
+        match Heap::element_addr_checked(base, index, kind, &self.platform.trap) {
+            Ok(addr) => Ok(Ok(addr)),
+            Err(err) => Ok(Err(self.mem_fault(func, block_id, err, site)?)),
+        }
     }
 
     /// A guarded read; `Ok(Err(kind))` is a Java exception, `Err(fault)` a
@@ -782,22 +1033,7 @@ impl<'m> Vm<'m> {
                     Ok(Ok(out.value))
                 }
             }
-            Err(MemoryError::Trap(_)) => {
-                self.stats.traps_taken += 1;
-                if site {
-                    self.charge(self.platform.cost.trap_taken);
-                    Ok(Err(ExceptionKind::NullPointer))
-                } else {
-                    Err(Fault::UnexpectedTrap {
-                        function: func.name().to_string(),
-                        block: block_id,
-                    })
-                }
-            }
-            Err(MemoryError::WildAccess { address, .. }) => Err(Fault::WildAccess {
-                function: func.name().to_string(),
-                address,
-            }),
+            Err(err) => Ok(Err(self.mem_fault(func, block_id, err, site)?)),
         }
     }
 
@@ -815,22 +1051,7 @@ impl<'m> Vm<'m> {
                 // neither reads nor writes; treat like the silent read.
                 Ok(Ok(()))
             }
-            Err(MemoryError::Trap(_)) => {
-                self.stats.traps_taken += 1;
-                if site {
-                    self.charge(self.platform.cost.trap_taken);
-                    Ok(Err(ExceptionKind::NullPointer))
-                } else {
-                    Err(Fault::UnexpectedTrap {
-                        function: func.name().to_string(),
-                        block: block_id,
-                    })
-                }
-            }
-            Err(MemoryError::WildAccess { address, .. }) => Err(Fault::WildAccess {
-                function: func.name().to_string(),
-                address,
-            }),
+            Err(err) => Ok(Err(self.mem_fault(func, block_id, err, site)?)),
         }
     }
 }

@@ -27,7 +27,7 @@ pub mod interp;
 pub mod value;
 
 pub use heap::Heap;
-pub use interp::{run_module, Fault, Outcome, RunStats, Vm, VmConfig};
+pub use interp::{run_module, ExceptionEvent, Fault, Outcome, RunStats, Vm, VmConfig, VmError};
 pub use value::Value;
 
 #[cfg(test)]
@@ -275,6 +275,7 @@ mod tests {
             .with_config(VmConfig {
                 max_insts: 1000,
                 max_depth: 16,
+                ..VmConfig::default()
             })
             .run("main", &[])
             .unwrap_err();
@@ -324,6 +325,8 @@ mod tests {
             exception: None,
             trace: vec![Value::Int(1), Value::Int(2)],
             stats: RunStats::default(),
+            events: vec![],
+            heap_digest: 0,
         };
         let mut b = a.clone();
         assert!(a.assert_equivalent(&b).is_ok());

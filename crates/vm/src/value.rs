@@ -58,6 +58,43 @@ impl Value {
         }
     }
 
+    /// The integer payload, or a description of what was found instead.
+    /// The interpreter uses this for operands of instructions that an
+    /// unverified (hostile or fuzzer-generated) module may have ill-typed;
+    /// the error becomes a structured `VmError::IllTyped` rather than a
+    /// process-killing panic.
+    ///
+    /// # Errors
+    /// A human-readable description of the mismatched value.
+    pub fn try_int(self) -> Result<i64, String> {
+        match self {
+            Value::Int(v) => Ok(v),
+            other => Err(format!("expected int, got {other:?}")),
+        }
+    }
+
+    /// The float payload, or a description of the mismatch.
+    ///
+    /// # Errors
+    /// See [`Self::try_int`].
+    pub fn try_float(self) -> Result<f64, String> {
+        match self {
+            Value::Float(v) => Ok(v),
+            other => Err(format!("expected float, got {other:?}")),
+        }
+    }
+
+    /// The reference payload, or a description of the mismatch.
+    ///
+    /// # Errors
+    /// See [`Self::try_int`].
+    pub fn try_ref_addr(self) -> Result<u64, String> {
+        match self {
+            Value::Ref(a) => Ok(a),
+            other => Err(format!("expected ref, got {other:?}")),
+        }
+    }
+
     /// Whether this is the null reference.
     pub fn is_null(self) -> bool {
         matches!(self, Value::Ref(0))

@@ -1,0 +1,578 @@
+//! Random program generation shared by the property tests and the
+//! differential harness.
+//!
+//! The container this reproduction builds in has no access to a crates.io
+//! registry, so nothing here may depend on `proptest` or `rand`: the
+//! [`Rng`] is a self-contained SplitMix64 and the program generator is a
+//! small action language lowered through the IR builder.
+//!
+//! Two menus share one [`Action`] vocabulary:
+//!
+//! * [`gen_actions`] — the *sound* menu the optimizer property tests have
+//!   always drawn from (loops, branches, field and array traffic, null
+//!   references). Its draw sequence is stable: adding fault shapes must
+//!   never change what an existing seed generates.
+//! * [`gen_fault_actions`] — a superset menu for the differential harness
+//!   that additionally injects faults benchmarks never exercise:
+//!   receivers null-seeded at a randomized loop iteration, checked array
+//!   indices near the guard-page boundary, and *raw* (unchecked) element
+//!   loads whose effective address wraps past the guard page.
+//!
+//! Every fault shape is designed to behave identically across the three
+//! platform trap models under checked addressing, so the harness may diff
+//! behavior *across* platforms as well as across optimizer configurations;
+//! see DESIGN.md §9.
+
+use njc_ir::{CatchKind, ClassId, Cond, FieldId, FuncBuilder, Inst, Module, Op, Type, VarId};
+
+/// SplitMix64: tiny, fast, and statistically solid for test-data purposes.
+///
+/// Deterministic across platforms and runs — a failing seed printed by the
+/// property harness always reproduces the same program.
+#[derive(Clone, Debug)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be nonzero).
+    ///
+    /// # Panics
+    /// Panics when `bound` is zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "Rng::below(0)");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform value in `lo..hi` (`lo < hi`).
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below(hi - lo)
+    }
+
+    /// A coin flip with probability `num/den` of `true`.
+    pub fn chance(&mut self, num: u32, den: u32) -> bool {
+        (self.next_u64() % den as u64) < num as u64
+    }
+
+    /// A uniformly random `i8` (handy for small signed constants).
+    #[allow(clippy::should_implement_trait)]
+    pub fn i8(&mut self) -> i8 {
+        self.next_u64() as i8
+    }
+
+    /// Picks a uniformly random element of a nonempty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len())]
+    }
+}
+
+/// The index shape of a *raw* (unchecked, unmarked) array element load.
+///
+/// Every shape resolves — under checked address arithmetic — to the same
+/// verdict on all three platform trap models, so raw loads never make
+/// cross-platform diffing unsound. (Under the legacy wrapping arithmetic
+/// [`GuardWrap`](RawIndex::GuardWrap) lands *inside* the guard page, where
+/// AIX silently reads zero while Windows and S/390 trap: exactly the
+/// divergence the harness exists to catch.)
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RawIndex {
+    /// Null base, index `2^61 + 14`: the mathematical effective address is
+    /// `2^64 + 128`, which overflows the address space — a hardware trap on
+    /// every model. The legacy wrapping arithmetic computed `128` instead,
+    /// inside the guard page.
+    GuardWrap,
+    /// Array base, index `2^53`: an in-range effective address far past the
+    /// break — a wild access on every model.
+    HugeWild,
+    /// Null base, index `510 + k` for small `k`: the effective address
+    /// `4096 + 8k` sits just *past* the guard page, probing the boundary —
+    /// a wild access on every model (509 would be inside the page, which is
+    /// read-divergent by hardware design and deliberately not generated).
+    NearBoundary(u8),
+}
+
+/// One step of the random program.
+#[derive(Clone, Debug)]
+pub enum Action {
+    /// Define a fresh int from a constant.
+    IConst(i8),
+    /// Combine two ints (indices into the int pool).
+    IntOp(u8, usize, usize),
+    /// Allocate an object into the ref pool.
+    NewObj,
+    /// Push a null into the ref pool.
+    NullRef,
+    /// Read field `field` of ref `r` into the int pool (may throw NPE).
+    GetField(usize, usize),
+    /// Write int `v` to field `field` of ref `r` (may throw NPE).
+    PutField(usize, usize, usize),
+    /// Read `arr[i & mask]` (bounds-checked) into the int pool.
+    ArrLoad(usize),
+    /// Store to `arr[i & mask]`.
+    ArrStore(usize, usize),
+    /// Observe an int.
+    Observe(usize),
+    /// `if (a < b) { nested }`.
+    IfLt(usize, usize, Vec<Action>),
+    /// Bounded counted loop over the nested body.
+    Loop(u8, Vec<Action>),
+    // --- fault-injection shapes below this line are produced only by
+    //     `gen_fault_actions`; `gen_actions` never draws them, keeping the
+    //     long-lived property-test seed streams byte-for-byte stable. ---
+    /// `for i in 0..n { if i == k { r = null }; body; observe r.f0 }` —
+    /// a receiver that becomes null at one randomized iteration, so the
+    /// NPE fires mid-loop with loop-carried state live.
+    NullSeededLoop(u8, u8, Vec<Action>),
+    /// Fully checked array load at an extreme index (selector into a menu
+    /// of near-boundary and huge magnitudes): the bound check must convert
+    /// it to `ArrayIndexOutOfBounds` before any address is formed.
+    HugeIndexChecked(u8),
+    /// Raw (no null check, no bound check, unmarked) element load with the
+    /// given index shape, kept live by an observe so dead-code elimination
+    /// cannot erase it from optimized configs only.
+    RawLoad(RawIndex),
+}
+
+/// Draws one action from the sound menu.
+pub fn gen_action(rng: &mut Rng, depth: u32) -> Action {
+    // Nine leaf shapes; the two recursive shapes join the menu while
+    // depth budget remains.
+    let n = if depth > 0 { 11 } else { 9 };
+    match rng.below(n) {
+        0 => Action::IConst(rng.i8()),
+        1 => Action::IntOp(rng.below(4) as u8, rng.below(8), rng.below(8)),
+        2 => Action::NewObj,
+        3 => Action::NullRef,
+        4 => Action::GetField(rng.below(6), rng.below(2)),
+        5 => Action::PutField(rng.below(6), rng.below(2), rng.below(8)),
+        6 => Action::ArrLoad(rng.below(8)),
+        7 => Action::ArrStore(rng.below(8), rng.below(8)),
+        8 => Action::Observe(rng.below(8)),
+        9 => {
+            let (a, b) = (rng.below(8), rng.below(8));
+            let len = rng.range(1, 4);
+            Action::IfLt(a, b, gen_actions(rng, len, depth - 1))
+        }
+        _ => {
+            let n = rng.range(1, 5) as u8;
+            let len = rng.range(1, 4);
+            Action::Loop(n, gen_actions(rng, len, depth - 1))
+        }
+    }
+}
+
+/// Draws `len` actions from the sound menu.
+pub fn gen_actions(rng: &mut Rng, len: usize, depth: u32) -> Vec<Action> {
+    (0..len).map(|_| gen_action(rng, depth)).collect()
+}
+
+/// Draws one fault-injection shape. At most one [`Action::RawLoad`] should
+/// appear per program (a raw load aborts the run with a VM fault, and two
+/// different raw-load kinds could be legally reordered by the optimizer,
+/// changing *which* fault fires first); the caller passes `allow_raw` to
+/// enforce that, and this function clears it when a raw shape is drawn.
+pub fn gen_fault_action(rng: &mut Rng, depth: u32, allow_raw: &mut bool) -> Action {
+    let n = if *allow_raw { 8 } else { 5 };
+    match rng.below(n) {
+        0..=2 => {
+            let iters = rng.range(2, 7) as u8;
+            let null_at = rng.below(iters as usize) as u8;
+            let len = rng.range(1, 3);
+            let body = gen_actions(rng, len, depth.min(1));
+            Action::NullSeededLoop(iters, null_at, body)
+        }
+        3 | 4 => Action::HugeIndexChecked(rng.below(8) as u8),
+        5 => {
+            *allow_raw = false;
+            Action::RawLoad(RawIndex::GuardWrap)
+        }
+        6 => {
+            *allow_raw = false;
+            Action::RawLoad(RawIndex::HugeWild)
+        }
+        _ => {
+            *allow_raw = false;
+            Action::RawLoad(RawIndex::NearBoundary(rng.below(4) as u8))
+        }
+    }
+}
+
+/// Draws `len` actions where roughly a quarter are fault shapes and the
+/// rest come from the sound menu.
+pub fn gen_fault_actions(rng: &mut Rng, len: usize, depth: u32) -> Vec<Action> {
+    let mut allow_raw = true;
+    (0..len)
+        .map(|_| {
+            if rng.chance(1, 4) {
+                gen_fault_action(rng, depth, &mut allow_raw)
+            } else {
+                gen_action(rng, depth)
+            }
+        })
+        .collect()
+}
+
+/// Emits one action into the builder, maintaining pools of defined ints
+/// and refs so every operand is initialized.
+pub fn emit(
+    b: &mut FuncBuilder,
+    a: &Action,
+    ints: &mut Vec<VarId>,
+    refs: &mut Vec<VarId>,
+    class: ClassId,
+    fields: &[FieldId],
+    arr: VarId,
+) {
+    let int_at = |ints: &Vec<VarId>, i: usize| ints[i % ints.len()];
+    let ref_at = |refs: &Vec<VarId>, i: usize| refs[i % refs.len()];
+    match a {
+        Action::IConst(k) => ints.push(b.iconst(*k as i64)),
+        Action::IntOp(o, x, y) => {
+            let (x, y) = (int_at(ints, *x), int_at(ints, *y));
+            let op = [Op::Add, Op::Sub, Op::Mul, Op::Xor][*o as usize % 4];
+            ints.push(b.binop(op, x, y));
+        }
+        Action::NewObj => refs.push(b.new_object(class)),
+        Action::NullRef => refs.push(b.null_ref()),
+        Action::GetField(r, f) => {
+            let r = ref_at(refs, *r);
+            ints.push(b.get_field(r, fields[*f % fields.len()]));
+        }
+        Action::PutField(r, f, v) => {
+            let r = ref_at(refs, *r);
+            let v = int_at(ints, *v);
+            b.put_field(r, fields[*f % fields.len()], v);
+        }
+        Action::ArrLoad(i) => {
+            let i = int_at(ints, *i);
+            let m = b.iconst(7);
+            let idx = b.binop(Op::And, i, m);
+            ints.push(b.array_load(arr, idx, Type::Int));
+        }
+        Action::ArrStore(i, v) => {
+            let i = int_at(ints, *i);
+            let v = int_at(ints, *v);
+            let m = b.iconst(7);
+            let idx = b.binop(Op::And, i, m);
+            b.array_store(arr, idx, v, Type::Int);
+        }
+        Action::Observe(i) => {
+            let v = int_at(ints, *i);
+            b.observe(v);
+        }
+        Action::IfLt(x, y, body) => {
+            let (x, y) = (int_at(ints, *x), int_at(ints, *y));
+            let t = b.new_block();
+            let j = b.new_block();
+            b.br_if(Cond::Lt, x, y, t, j);
+            b.switch_to(t);
+            // Pools are branch-local extensions: anything defined inside
+            // the branch must not be used at the join (it may not have
+            // executed). Clone-and-restore gives that.
+            let mut ints2 = ints.clone();
+            let mut refs2 = refs.clone();
+            for a in body {
+                emit(b, a, &mut ints2, &mut refs2, class, fields, arr);
+            }
+            b.goto(j);
+            b.switch_to(j);
+        }
+        Action::Loop(n, body) => {
+            let zero = b.iconst(0);
+            let end = b.iconst(*n as i64);
+            b.for_loop(zero, end, 1, |b, _i| {
+                let mut ints2 = ints.clone();
+                let mut refs2 = refs.clone();
+                for a in body {
+                    emit(b, a, &mut ints2, &mut refs2, class, fields, arr);
+                }
+            });
+        }
+        Action::NullSeededLoop(n, k, body) => {
+            let cell = b.var(Type::Ref);
+            let seed = ref_at(refs, 0);
+            b.assign(cell, seed);
+            let kv = b.iconst(*k as i64);
+            let zero = b.iconst(0);
+            let end = b.iconst(*n as i64);
+            b.for_loop(zero, end, 1, |b, i| {
+                let t = b.new_block();
+                let j = b.new_block();
+                b.br_if(Cond::Eq, i, kv, t, j);
+                b.switch_to(t);
+                let nul = b.null_ref();
+                b.assign(cell, nul);
+                b.goto(j);
+                b.switch_to(j);
+                let mut ints2 = ints.clone();
+                let mut refs2 = refs.clone();
+                refs2.push(cell);
+                for a in body {
+                    emit(b, a, &mut ints2, &mut refs2, class, fields, arr);
+                }
+                // The point of the shape: a checked deref of the cell on
+                // every iteration, so the NPE fires exactly at iteration k
+                // with the loop-carried observation trace live.
+                let v = b.get_field(cell, fields[0]);
+                b.observe(v);
+            });
+        }
+        Action::HugeIndexChecked(sel) => {
+            // Near-boundary and huge magnitudes; the bound check must turn
+            // every one of them into ArrayIndexOutOfBounds before an
+            // address is ever formed.
+            let menu: [i64; 8] = [
+                509,
+                510,
+                511,
+                512,
+                i64::from(i32::MAX),
+                1 << 40,
+                -(1 << 40),
+                i64::MIN / 2,
+            ];
+            let idx = b.iconst(menu[*sel as usize % menu.len()]);
+            ints.push(b.array_load(arr, idx, Type::Int));
+        }
+        Action::RawLoad(shape) => {
+            let (base, index) = match shape {
+                RawIndex::GuardWrap => (b.null_ref(), (1i64 << 61) + 14),
+                RawIndex::HugeWild => (arr, 1i64 << 53),
+                RawIndex::NearBoundary(k) => (b.null_ref(), 510 + i64::from(*k)),
+            };
+            let idx = b.iconst(index);
+            let dst = b.var(Type::Int);
+            b.emit(Inst::ArrayLoad {
+                dst,
+                arr: base,
+                index: idx,
+                ty: Type::Int,
+                exception_site: false,
+            });
+            // Keep the load live so dead-code elimination cannot erase it
+            // from optimized configs only (the baseline always runs it).
+            b.observe(dst);
+            ints.push(dst);
+        }
+    }
+}
+
+/// Builds a module: `work(obj, maybe_null, arr)` runs the action list
+/// inside a catch-all try region (so NPEs are observable, not escaping),
+/// and `main` calls it with a real object, a null, and a small array.
+pub fn build_module(actions: &[Action]) -> Module {
+    let mut m = Module::new("random");
+    let class = m.add_class("C", &[("f0", Type::Int), ("f1", Type::Int)]);
+    let fields = [m.field(class, "f0").unwrap(), m.field(class, "f1").unwrap()];
+
+    let work = {
+        let mut b = FuncBuilder::new("work", &[Type::Ref, Type::Ref, Type::Ref], Type::Int);
+        let obj = b.param(0);
+        let nul = b.param(1);
+        let arr = b.param(2);
+        let handler = b.new_block();
+        let after = b.new_block();
+        let body = b.new_block();
+        let code = b.var(Type::Int);
+        let out = b.var(Type::Int);
+        let z = b.iconst(0);
+        b.assign(out, z);
+        let region = b.add_try_region(handler, CatchKind::Any, Some(code));
+        b.goto(body);
+        b.set_try_region(Some(region));
+        b.switch_to(body);
+        let mut ints = vec![z];
+        let mut refs = vec![obj, nul];
+        for a in actions {
+            emit(&mut b, a, &mut ints, &mut refs, class, &fields, arr);
+        }
+        let last = *ints.last().unwrap();
+        b.assign(out, last);
+        b.goto(after);
+        b.set_try_region(None);
+        b.switch_to(handler);
+        b.observe(code);
+        b.assign(out, code);
+        b.goto(after);
+        b.switch_to(after);
+        b.ret(Some(out));
+        m.add_function(b.finish())
+    };
+
+    let mut b = FuncBuilder::new("main", &[], Type::Int);
+    let obj = b.new_object(class);
+    let five = b.iconst(5);
+    b.put_field(obj, fields[0], five);
+    let nul = b.null_ref();
+    let eight = b.iconst(8);
+    let arr = b.new_array(Type::Int, eight);
+    let r = b
+        .call_static(work, &[obj, nul, arr], Some(Type::Int))
+        .unwrap();
+    b.observe(r);
+    b.ret(Some(r));
+    m.add_function(b.finish());
+    m
+}
+
+/// A strictly decreasing size metric over action lists: node count plus
+/// loop trip counts. Every candidate [`shrink_candidates`] produces is
+/// strictly smaller under this metric, so greedy minimization terminates.
+pub fn action_weight(actions: &[Action]) -> usize {
+    actions
+        .iter()
+        .map(|a| match a {
+            Action::IfLt(_, _, body) => 1 + action_weight(body),
+            Action::Loop(n, body) | Action::NullSeededLoop(n, _, body) => {
+                1 + *n as usize + action_weight(body)
+            }
+            _ => 1,
+        })
+        .sum()
+}
+
+/// Greedy structural minimization: repeatedly adopts the first candidate
+/// that is strictly smaller (per `size`) and still fails (per `fails`),
+/// until no candidate reproduces the failure.
+///
+/// Termination is guaranteed by the strict-size check alone, so
+/// `candidates` may propose anything; non-shrinking proposals are skipped.
+/// The result still satisfies `fails` whenever the initial input did.
+pub fn minimize<T: Clone>(
+    initial: Vec<T>,
+    size: impl Fn(&[T]) -> usize,
+    candidates: impl Fn(&[T]) -> Vec<Vec<T>>,
+    mut fails: impl FnMut(&[T]) -> bool,
+) -> Vec<T> {
+    let mut current = initial;
+    loop {
+        let cur_size = size(&current);
+        let adopted = candidates(&current)
+            .into_iter()
+            .find(|cand| size(cand) < cur_size && fails(cand));
+        match adopted {
+            Some(cand) => current = cand,
+            None => return current,
+        }
+    }
+}
+
+/// One-step shrink candidates for greedy minimization: drop an element,
+/// hoist a nested body over its wrapper, or cut a loop's trip count.
+pub fn shrink_candidates(actions: &[Action]) -> Vec<Vec<Action>> {
+    let mut out = Vec::new();
+    for i in 0..actions.len() {
+        let mut dropped = actions.to_vec();
+        dropped.remove(i);
+        out.push(dropped);
+        match &actions[i] {
+            Action::IfLt(_, _, body)
+            | Action::Loop(_, body)
+            | Action::NullSeededLoop(_, _, body) => {
+                let mut hoisted = actions.to_vec();
+                hoisted.splice(i..=i, body.iter().cloned());
+                out.push(hoisted);
+            }
+            _ => {}
+        }
+        if let Action::Loop(n, body) = &actions[i] {
+            if *n > 1 {
+                let mut cut = actions.to_vec();
+                cut[i] = Action::Loop(1, body.clone());
+                out.push(cut);
+            }
+        }
+        if let Action::NullSeededLoop(n, k, body) = &actions[i] {
+            if *n > k + 1 {
+                let mut cut = actions.to_vec();
+                cut[i] = Action::NullSeededLoop(k + 1, *k, body.clone());
+                out.push(cut);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sound_menu_is_seed_stable() {
+        // The draw sequence for the sound menu must never change: the
+        // long-lived property-test seeds encode programs through it.
+        // Pin a few structural facts of seed 0..4 at the standard shape.
+        for seed in 0..4 {
+            let mut a = Rng::new(seed);
+            let mut b = Rng::new(seed);
+            let la = a.range(1, 20);
+            let lb = b.range(1, 20);
+            assert_eq!(la, lb);
+            let xs = gen_actions(&mut a, la, 3);
+            let ys = gen_actions(&mut b, lb, 3);
+            assert_eq!(format!("{xs:?}"), format!("{ys:?}"));
+        }
+    }
+
+    #[test]
+    fn generated_modules_verify() {
+        for seed in 0..32 {
+            let mut rng = Rng::new(seed);
+            let len = rng.range(1, 12);
+            let actions = gen_actions(&mut rng, len, 2);
+            let m = build_module(&actions);
+            njc_ir::verify_module(&m)
+                .unwrap_or_else(|e| panic!("seed {seed}: {:?}", &e[..1.min(e.len())]));
+        }
+    }
+
+    #[test]
+    fn fault_modules_verify_and_allow_one_raw_load() {
+        for seed in 0..32 {
+            let mut rng = Rng::new(seed);
+            let len = rng.range(1, 12);
+            let actions = gen_fault_actions(&mut rng, len, 2);
+            fn raws(actions: &[Action]) -> usize {
+                actions
+                    .iter()
+                    .map(|a| match a {
+                        Action::RawLoad(_) => 1,
+                        Action::IfLt(_, _, b)
+                        | Action::Loop(_, b)
+                        | Action::NullSeededLoop(_, _, b) => raws(b),
+                        _ => 0,
+                    })
+                    .sum()
+            }
+            assert!(raws(&actions) <= 1, "seed {seed}: {actions:?}");
+            let m = build_module(&actions);
+            njc_ir::verify_module(&m)
+                .unwrap_or_else(|e| panic!("seed {seed}: {:?}", &e[..1.min(e.len())]));
+        }
+    }
+
+    #[test]
+    fn shrink_candidates_strictly_reduce_weight() {
+        let mut rng = Rng::new(11);
+        let actions = gen_fault_actions(&mut rng, 8, 2);
+        let w = action_weight(&actions);
+        for cand in shrink_candidates(&actions) {
+            assert!(
+                action_weight(&cand) < w,
+                "candidate not smaller: {cand:?} vs {actions:?}"
+            );
+        }
+    }
+}

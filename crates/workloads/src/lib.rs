@@ -22,6 +22,7 @@
 //! optimizations see is the *pattern* of object/array accesses, loop
 //! structure, and call structure, which these kernels preserve).
 
+pub mod gen;
 pub mod jbm;
 pub mod math;
 pub mod micro;

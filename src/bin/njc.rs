@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! njc <file.ir> [--config <name>] [--platform <name>] [--emit] [--run] [--all]
+//! njc difftest [--smoke] [--seeds N] [--legacy-addressing] [--fixtures DIR] [--out PATH]
 //!
 //!   --config    full (default) | phase1 | old | trap | none | speculation |
 //!               no-speculation | illegal-implicit
@@ -10,6 +11,14 @@
 //!   --run       execute `main` and print the outcome (default when no --emit)
 //!   --all       compare every configuration side by side
 //! ```
+//!
+//! The `difftest` subcommand runs the differential execution and
+//! fault-injection harness (`njc_bench::difftest`): every workload plus a
+//! generated corpus through all optimizer configurations × all platform
+//! trap models, diffing full observable behavior. Exits non-zero on any
+//! divergence and prints the minimized reproducer path. `--smoke` runs the
+//! CI-sized subset; `--legacy-addressing` re-enables the wrapping address
+//! arithmetic bug as a self-test of the detector.
 //!
 //! The input file contains one or more functions in the textual IR syntax
 //! (see `njc_ir::parse`), separated by blank lines. Classes referenced as
@@ -20,15 +29,79 @@
 use std::process::ExitCode;
 
 use njc_arch::Platform;
+use njc_bench::difftest::{run_difftest, write_report, DiffOptions};
 use njc_ir::{Module, Type};
 use njc_opt::ConfigKind;
 use njc_vm::Vm;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: njc <file.ir> [--config full|phase1|old|trap|none|speculation|no-speculation|illegal-implicit] [--platform ia32|aix|s390] [--emit] [--run] [--all]"
+        "usage: njc <file.ir> [--config full|phase1|old|trap|none|speculation|no-speculation|illegal-implicit] [--platform ia32|aix|s390] [--emit] [--run] [--all]\n       njc difftest [--smoke] [--seeds N] [--legacy-addressing] [--fixtures DIR] [--out PATH]"
     );
     ExitCode::FAILURE
+}
+
+fn difftest_main(args: &[String]) -> ExitCode {
+    let mut opts = DiffOptions::default();
+    let mut out_path = std::path::PathBuf::from("DIFF_report.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--seeds" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => opts.seeds = n,
+                None => return usage(),
+            },
+            "--legacy-addressing" => opts.legacy_wrapping = true,
+            "--fixtures" => match it.next() {
+                Some(d) => opts.fixtures_dir = Some(std::path::PathBuf::from(d)),
+                None => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = std::path::PathBuf::from(p),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let report = run_difftest(&opts);
+    println!(
+        "difftest: {} programs, {} cells, {} divergences, {} claim-9 confirmations (Illegal \
+         Implicit missed NPEs), {} ill-typed cells survived, {} panics",
+        report.programs,
+        report.cells,
+        report.divergences.len(),
+        report.claim9_confirmations,
+        report.ill_typed_cells,
+        report.panicked_cells
+    );
+    if let Err(e) = write_report(&report, &out_path) {
+        eprintln!("njc difftest: cannot write {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("report written to {}", out_path.display());
+    if report.is_clean() {
+        println!("difftest: CLEAN");
+        ExitCode::SUCCESS
+    } else {
+        for d in &report.divergences {
+            eprintln!(
+                "DIVERGENCE [{}] {} vs {}: {}",
+                d.program, d.left, d.right, d.detail
+            );
+            if let Some(m) = &d.minimized {
+                eprintln!("  minimized: {m}");
+            }
+            if let Some(f) = &d.fixture {
+                eprintln!("  reproducer: {}", f.display());
+            }
+        }
+        eprintln!(
+            "difftest: FAILED ({} divergences)",
+            report.divergences.len()
+        );
+        ExitCode::FAILURE
+    }
 }
 
 fn parse_config(s: &str) -> Option<ConfigKind> {
@@ -144,6 +217,9 @@ fn run_one(
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("difftest") {
+        return difftest_main(&args[1..]);
+    }
     let mut file = None;
     let mut kind = ConfigKind::Full;
     let mut platform = Platform::windows_ia32();

@@ -7,6 +7,7 @@ pub mod prop;
 
 pub use njc_analysis as analysis;
 pub use njc_arch as arch;
+pub use njc_bench as bench;
 pub use njc_codegen as codegen;
 pub use njc_core as core;
 pub use njc_dataflow as dataflow;

@@ -2,68 +2,25 @@
 //!
 //! The container this reproduction builds in has no access to a crates.io
 //! registry, so the test suite cannot depend on `proptest`. The property
-//! tests under `tests/` instead draw their random structures from this
-//! module: a [`Rng`] (SplitMix64) for value generation and [`run_cases`]
-//! for the drive-N-seeds loop. Failures report the offending seed so a
-//! case can be replayed in isolation with [`Rng::new`].
+//! tests under `tests/` instead draw their random structures from the
+//! shared generator in [`njc_workloads::gen`] — re-exported here — using
+//! [`run_cases`] for the drive-N-seeds loop. Failures report the offending
+//! seed so a case can be replayed in isolation with [`Rng::new`].
 //!
-//! There is no shrinking; generators are kept small enough that a failing
-//! case is directly readable (the IR printer is the real debugging tool).
+//! Shrinking is opt-in via [`minimize`]: the differential harness feeds it
+//! the action-list shrink candidates from the generator to cut a failing
+//! program down before committing it as a regression fixture.
 
-/// SplitMix64: tiny, fast, and statistically solid for test-data purposes.
-///
-/// Deterministic across platforms and runs — a failing seed printed by
-/// [`run_cases`] always reproduces the same program.
-#[derive(Clone, Debug)]
-pub struct Rng(u64);
-
-impl Rng {
-    /// Creates a generator from a seed.
-    pub fn new(seed: u64) -> Self {
-        Rng(seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
-    }
-
-    /// Next raw 64-bit value.
-    pub fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform value in `0..bound` (`bound` must be nonzero).
-    pub fn below(&mut self, bound: usize) -> usize {
-        assert!(bound > 0, "Rng::below(0)");
-        (self.next_u64() % bound as u64) as usize
-    }
-
-    /// Uniform value in `lo..hi` (`lo < hi`).
-    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
-        lo + self.below(hi - lo)
-    }
-
-    /// A coin flip with probability `num/den` of `true`.
-    pub fn chance(&mut self, num: u32, den: u32) -> bool {
-        (self.next_u64() % den as u64) < num as u64
-    }
-
-    /// A uniformly random `i8` (handy for small signed constants).
-    pub fn i8(&mut self) -> i8 {
-        self.next_u64() as i8
-    }
-
-    /// Picks a uniformly random element of a nonempty slice.
-    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
-        &xs[self.below(xs.len())]
-    }
-}
+pub use njc_workloads::gen::{minimize, Rng};
 
 /// Runs `body` for seeds `0..cases`, panicking with the failing seed.
 ///
 /// `body` gets a fresh [`Rng`] per case and returns `Err(description)` to
 /// fail the case (or panics directly; the seed is still reported because
 /// the panic message is wrapped).
+///
+/// # Panics
+/// Panics with the failing seed and its description when any case fails.
 pub fn run_cases<F>(name: &str, cases: u64, mut body: F)
 where
     F: FnMut(&mut Rng) -> Result<(), String>,
@@ -117,5 +74,47 @@ mod tests {
         .unwrap_err();
         let msg = err.downcast_ref::<String>().unwrap();
         assert!(msg.contains("seed 0"), "{msg}");
+    }
+
+    #[test]
+    fn minimize_cuts_to_the_culprit() {
+        // The "failure" is: the list contains a 7. Candidates drop one
+        // element at a time; minimize should cut to exactly [7].
+        let initial = vec![3, 1, 7, 4, 1, 5];
+        let out = minimize(
+            initial,
+            |xs| xs.len(),
+            |xs| {
+                (0..xs.len())
+                    .map(|i| {
+                        let mut v = xs.to_vec();
+                        v.remove(i);
+                        v
+                    })
+                    .collect()
+            },
+            |xs| xs.contains(&7),
+        );
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn minimize_keeps_failing_input_failing() {
+        // A failure predicate that needs two elements to survive.
+        let out = minimize(
+            vec![1, 2, 3, 4],
+            |xs| xs.len(),
+            |xs| {
+                (0..xs.len())
+                    .map(|i| {
+                        let mut v = xs.to_vec();
+                        v.remove(i);
+                        v
+                    })
+                    .collect()
+            },
+            |xs| xs.contains(&2) && xs.contains(&4),
+        );
+        assert_eq!(out, vec![2, 4]);
     }
 }

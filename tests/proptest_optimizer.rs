@@ -8,207 +8,12 @@
 //! (result, escaped exception, observation trace) must never change, and
 //! the VM must never report a fault (unexpected trap / wild access).
 
-use njc::prop::{run_cases, Rng};
+use njc::prop::run_cases;
 use njc_arch::Platform;
-use njc_ir::{CatchKind, Cond, FuncBuilder, Module, Op, Type, VarId};
 use njc_jit::{compile, execute, execute_unoptimized};
 use njc_opt::ConfigKind;
+use njc_workloads::gen::{build_module, gen_actions, Action};
 use njc_workloads::{Suite, Workload};
-
-/// One step of the random program.
-#[derive(Clone, Debug)]
-enum Action {
-    /// Define a fresh int from a constant.
-    IConst(i8),
-    /// Combine two ints (indices into the int pool).
-    IntOp(u8, usize, usize),
-    /// Allocate an object into the ref pool.
-    NewObj,
-    /// Push a null into the ref pool.
-    NullRef,
-    /// Read field `field` of ref `r` into the int pool (may throw NPE).
-    GetField(usize, usize),
-    /// Write int `v` to field `field` of ref `r` (may throw NPE).
-    PutField(usize, usize, usize),
-    /// Read `arr[i & mask]` (bounds-checked) into the int pool.
-    ArrLoad(usize),
-    /// Store to `arr[i & mask]`.
-    ArrStore(usize, usize),
-    /// Observe an int.
-    Observe(usize),
-    /// `if (a < b) { nested }`.
-    IfLt(usize, usize, Vec<Action>),
-    /// Bounded counted loop over the nested body.
-    Loop(u8, Vec<Action>),
-}
-
-fn gen_action(rng: &mut Rng, depth: u32) -> Action {
-    // Nine leaf shapes; the two recursive shapes join the menu while
-    // depth budget remains.
-    let n = if depth > 0 { 11 } else { 9 };
-    match rng.below(n) {
-        0 => Action::IConst(rng.i8()),
-        1 => Action::IntOp(rng.below(4) as u8, rng.below(8), rng.below(8)),
-        2 => Action::NewObj,
-        3 => Action::NullRef,
-        4 => Action::GetField(rng.below(6), rng.below(2)),
-        5 => Action::PutField(rng.below(6), rng.below(2), rng.below(8)),
-        6 => Action::ArrLoad(rng.below(8)),
-        7 => Action::ArrStore(rng.below(8), rng.below(8)),
-        8 => Action::Observe(rng.below(8)),
-        9 => {
-            let (a, b) = (rng.below(8), rng.below(8));
-            let len = rng.range(1, 4);
-            Action::IfLt(a, b, gen_actions(rng, len, depth - 1))
-        }
-        _ => {
-            let n = rng.range(1, 5) as u8;
-            let len = rng.range(1, 4);
-            Action::Loop(n, gen_actions(rng, len, depth - 1))
-        }
-    }
-}
-
-fn gen_actions(rng: &mut Rng, len: usize, depth: u32) -> Vec<Action> {
-    (0..len).map(|_| gen_action(rng, depth)).collect()
-}
-
-/// Emits one action into the builder, maintaining pools of defined ints
-/// and refs so every operand is initialized.
-fn emit(
-    b: &mut FuncBuilder,
-    a: &Action,
-    ints: &mut Vec<VarId>,
-    refs: &mut Vec<VarId>,
-    class: njc_ir::ClassId,
-    fields: &[njc_ir::FieldId],
-    arr: VarId,
-) {
-    let int_at = |ints: &Vec<VarId>, i: usize| ints[i % ints.len()];
-    let ref_at = |refs: &Vec<VarId>, i: usize| refs[i % refs.len()];
-    match a {
-        Action::IConst(k) => ints.push(b.iconst(*k as i64)),
-        Action::IntOp(o, x, y) => {
-            let (x, y) = (int_at(ints, *x), int_at(ints, *y));
-            let op = [Op::Add, Op::Sub, Op::Mul, Op::Xor][*o as usize % 4];
-            ints.push(b.binop(op, x, y));
-        }
-        Action::NewObj => refs.push(b.new_object(class)),
-        Action::NullRef => refs.push(b.null_ref()),
-        Action::GetField(r, f) => {
-            let r = ref_at(refs, *r);
-            ints.push(b.get_field(r, fields[*f % fields.len()]));
-        }
-        Action::PutField(r, f, v) => {
-            let r = ref_at(refs, *r);
-            let v = int_at(ints, *v);
-            b.put_field(r, fields[*f % fields.len()], v);
-        }
-        Action::ArrLoad(i) => {
-            let i = int_at(ints, *i);
-            let m = b.iconst(7);
-            let idx = b.binop(Op::And, i, m);
-            ints.push(b.array_load(arr, idx, Type::Int));
-        }
-        Action::ArrStore(i, v) => {
-            let i = int_at(ints, *i);
-            let v = int_at(ints, *v);
-            let m = b.iconst(7);
-            let idx = b.binop(Op::And, i, m);
-            b.array_store(arr, idx, v, Type::Int);
-        }
-        Action::Observe(i) => {
-            let v = int_at(ints, *i);
-            b.observe(v);
-        }
-        Action::IfLt(x, y, body) => {
-            let (x, y) = (int_at(ints, *x), int_at(ints, *y));
-            let t = b.new_block();
-            let j = b.new_block();
-            b.br_if(Cond::Lt, x, y, t, j);
-            b.switch_to(t);
-            // Pools are branch-local extensions: anything defined inside
-            // the branch must not be used at the join (it may not have
-            // executed). Clone-and-restore gives that.
-            let mut ints2 = ints.clone();
-            let mut refs2 = refs.clone();
-            for a in body {
-                emit(b, a, &mut ints2, &mut refs2, class, fields, arr);
-            }
-            b.goto(j);
-            b.switch_to(j);
-        }
-        Action::Loop(n, body) => {
-            let zero = b.iconst(0);
-            let end = b.iconst(*n as i64);
-            b.for_loop(zero, end, 1, |b, _i| {
-                let mut ints2 = ints.clone();
-                let mut refs2 = refs.clone();
-                for a in body {
-                    emit(b, a, &mut ints2, &mut refs2, class, fields, arr);
-                }
-            });
-        }
-    }
-}
-
-/// Builds a module: `work(obj, maybe_null, arr)` runs the action list
-/// inside a catch-all try region (so NPEs are observable, not escaping),
-/// and `main` calls it with a real object, a null, and a small array.
-fn build_module(actions: &[Action]) -> Module {
-    let mut m = Module::new("random");
-    let class = m.add_class("C", &[("f0", Type::Int), ("f1", Type::Int)]);
-    let fields = [m.field(class, "f0").unwrap(), m.field(class, "f1").unwrap()];
-
-    let work = {
-        let mut b = FuncBuilder::new("work", &[Type::Ref, Type::Ref, Type::Ref], Type::Int);
-        let obj = b.param(0);
-        let nul = b.param(1);
-        let arr = b.param(2);
-        let handler = b.new_block();
-        let after = b.new_block();
-        let body = b.new_block();
-        let code = b.var(Type::Int);
-        let out = b.var(Type::Int);
-        let z = b.iconst(0);
-        b.assign(out, z);
-        let region = b.add_try_region(handler, CatchKind::Any, Some(code));
-        b.goto(body);
-        b.set_try_region(Some(region));
-        b.switch_to(body);
-        let mut ints = vec![z];
-        let mut refs = vec![obj, nul];
-        for a in actions {
-            emit(&mut b, a, &mut ints, &mut refs, class, &fields, arr);
-        }
-        let last = *ints.last().unwrap();
-        b.assign(out, last);
-        b.goto(after);
-        b.set_try_region(None);
-        b.switch_to(handler);
-        b.observe(code);
-        b.assign(out, code);
-        b.goto(after);
-        b.switch_to(after);
-        b.ret(Some(out));
-        m.add_function(b.finish())
-    };
-
-    let mut b = FuncBuilder::new("main", &[], Type::Int);
-    let obj = b.new_object(class);
-    let five = b.iconst(5);
-    b.put_field(obj, fields[0], five);
-    let nul = b.null_ref();
-    let eight = b.iconst(8);
-    let arr = b.new_array(Type::Int, eight);
-    let r = b
-        .call_static(work, &[obj, nul, arr], Some(Type::Int))
-        .unwrap();
-    b.observe(r);
-    b.ret(Some(r));
-    m.add_function(b.finish());
-    m
-}
 
 fn check_all_configs(actions: &[Action]) -> Result<(), String> {
     let module = build_module(actions);

@@ -137,6 +137,7 @@ fn fuel_is_shared_across_frames() {
         .with_config(VmConfig {
             max_insts: 5_000,
             max_depth: 8,
+            ..VmConfig::default()
         })
         .run("main", &[])
         .unwrap_err();
@@ -194,4 +195,117 @@ fn getfield_typed_ref_reads_null_default() {
         out.result,
         Some(Value::Int(ExceptionKind::NullPointer.code()))
     );
+}
+
+// ---------------------------------------------------------------------------
+// Hardening regressions: ill-typed operands and wrap-around addressing.
+// These pin the two VM fixes the differential harness gates on; see
+// DESIGN.md §9.
+
+/// Builds an (intentionally unverifiable) module straight from the
+/// builder, skipping `verify_module` — the point is what the VM does when
+/// fed IR the verifier would reject.
+fn unverified<F: FnOnce(&mut njc_ir::FuncBuilder)>(body: F) -> Module {
+    let mut m = Module::new("hostile");
+    let mut b = njc_ir::FuncBuilder::new("main", &[], Type::Int);
+    body(&mut b);
+    m.add_function(b.finish());
+    m
+}
+
+#[test]
+fn ill_typed_binop_over_refs_is_a_structured_fault_not_a_panic() {
+    // Regression: the interpreter used to panic (`unreachable!`-style
+    // operand unwraps) on a binop whose operands are references.
+    let m = unverified(|b| {
+        let r = b.null_ref();
+        let bogus = b.binop(njc_ir::Op::Add, r, r);
+        b.ret(Some(bogus));
+    });
+    let fault = run_module(&m, win(), "main", &[]).unwrap_err();
+    assert!(
+        matches!(fault, njc_vm::Fault::IllTyped { .. }),
+        "expected IllTyped, got {fault:?}"
+    );
+}
+
+#[test]
+fn ill_typed_convert_of_ref_is_a_structured_fault() {
+    let m = unverified(|b| {
+        let r = b.null_ref();
+        let bogus = b.convert(r, Type::Int);
+        b.ret(Some(bogus));
+    });
+    let fault = run_module(&m, win(), "main", &[]).unwrap_err();
+    assert!(
+        matches!(fault, njc_vm::Fault::IllTyped { .. }),
+        "expected IllTyped, got {fault:?}"
+    );
+}
+
+/// An unmarked array load off a null base whose effective address
+/// mathematically overflows u64 (index 2^61 + 14 → EA 2^64 + 128).
+fn wrap_around_load() -> Module {
+    let mut m = Module::new("wrap");
+    let mut b = njc_ir::FuncBuilder::new("main", &[], Type::Int);
+    let base = b.null_ref();
+    let idx = b.iconst((1i64 << 61) + 14);
+    let dst = b.var(Type::Int);
+    b.emit(njc_ir::Inst::ArrayLoad {
+        dst,
+        arr: base,
+        index: idx,
+        ty: Type::Int,
+        exception_site: false,
+    });
+    b.ret(Some(dst));
+    m.add_function(b.finish());
+    m
+}
+
+#[test]
+fn wrap_around_index_traps_on_every_platform_model() {
+    // Regression: wrapping address arithmetic let the effective address
+    // wrap PAST the guard page (EA 128 lands inside it), so the AIX model
+    // silently read zero while Windows/S390 trapped — a cross-platform
+    // behavioral split on identical input. Checked addressing must turn
+    // the overflow into a trap against the guard page on every model that
+    // protects the null page.
+    for platform in [
+        Platform::windows_ia32(),
+        Platform::aix_ppc(),
+        Platform::linux_s390(),
+    ] {
+        let fault = run_module(&wrap_around_load(), platform, "main", &[]).unwrap_err();
+        assert!(
+            matches!(fault, njc_vm::Fault::UnexpectedTrap { .. }),
+            "{}: expected UnexpectedTrap, got {fault:?}",
+            platform.name
+        );
+    }
+}
+
+#[test]
+fn legacy_wrapping_flag_reproduces_the_platform_split() {
+    // The fault-injection escape hatch: with the old wrapping arithmetic
+    // re-enabled, the wrapped address (128) is inside the guard page, so
+    // Windows traps but AIX — whose first-page reads are silent — returns
+    // the zero it read. This is exactly the divergence the differential
+    // harness detects when the checked-addressing fix is reverted.
+    let cfg = VmConfig {
+        legacy_wrapping_addressing: true,
+        ..VmConfig::default()
+    };
+    let m = wrap_around_load();
+    let fault = Vm::new(&m, Platform::windows_ia32())
+        .with_config(cfg)
+        .run("main", &[])
+        .unwrap_err();
+    assert!(matches!(fault, njc_vm::Fault::UnexpectedTrap { .. }));
+    let out = Vm::new(&m, Platform::aix_ppc())
+        .with_config(cfg)
+        .run("main", &[])
+        .unwrap();
+    assert_eq!(out.result, Some(Value::Int(0)), "AIX silently reads zero");
+    assert_eq!(out.stats.silent_null_reads, 1);
 }
