@@ -25,6 +25,7 @@ fn step(ctx: &AnalysisCtx, set: &mut BitSet, inst: &Inst) {
         Inst::NullCheck {
             var,
             kind: NullCheckKind::Explicit,
+            ..
         } => {
             set.insert(var.index());
         }
@@ -110,6 +111,7 @@ impl<'a> CoverageProblem<'a> {
                     Inst::NullCheck {
                         var,
                         kind: NullCheckKind::Explicit,
+                        ..
                     } => {
                         cur_gen.insert(var.index());
                     }

@@ -40,6 +40,7 @@ fn counts(func: &Function, nvars: usize) -> Vec<Vec<u32>> {
                 if let Inst::NullCheck {
                     var,
                     kind: NullCheckKind::Explicit,
+                    ..
                 } = inst
                 {
                     c[var.index()] += 1;

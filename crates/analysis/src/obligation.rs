@@ -194,6 +194,7 @@ fn explicit_check(inst: &Inst) -> Option<VarId> {
         Inst::NullCheck {
             var,
             kind: NullCheckKind::Explicit,
+            ..
         } => Some(*var),
         _ => None,
     }

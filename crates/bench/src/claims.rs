@@ -1,0 +1,107 @@
+//! Measured-claim substitution: keeps EXPERIMENTS.md prose in sync with
+//! machine-measured counters.
+//!
+//! Shape claim 9 cites the number of missed-NPE divergences the
+//! differential harness counts for the Illegal Implicit configuration.
+//! That number is a *measurement* — it moves when the corpus, the seeds,
+//! or the optimizer change — so EXPERIMENTS.md must not carry it as a
+//! hand-maintained literal (it drifted once already). Instead the prose
+//! brackets the count with an HTML-comment marker pair:
+//!
+//! ```text
+//! <!--claim9-->11<!--/claim9-->
+//! ```
+//!
+//! and the report generator rewrites the span between the markers from
+//! the `claim9_confirmations` field of the `DIFF_report.json` that
+//! `njc difftest` wrote. Markers survive the substitution, so the
+//! operation is idempotent and repeatable.
+
+use std::path::Path;
+
+const OPEN: &str = "<!--claim9-->";
+const CLOSE: &str = "<!--/claim9-->";
+
+/// Extracts `claim9_confirmations` from `DIFF_report.json` content.
+///
+/// Hand-rolled scan (the build has no JSON dependency): finds the key,
+/// then parses the digit run after the colon.
+pub fn claim9_confirmations(diff_report_json: &str) -> Option<usize> {
+    let key = "\"claim9_confirmations\"";
+    let at = diff_report_json.find(key)? + key.len();
+    let rest = diff_report_json[at..].trim_start_matches([':', ' ']);
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Replaces the span between the claim-9 markers with `count`. Returns
+/// `None` when the document carries no marker pair (or a malformed one);
+/// returns the input unchanged-but-owned when the count already matches.
+pub fn substitute_claim9(experiments_md: &str, count: usize) -> Option<String> {
+    let open = experiments_md.find(OPEN)?;
+    let span_start = open + OPEN.len();
+    let close = experiments_md[span_start..].find(CLOSE)? + span_start;
+    let mut out = String::with_capacity(experiments_md.len());
+    out.push_str(&experiments_md[..span_start]);
+    out.push_str(&count.to_string());
+    out.push_str(&experiments_md[close..]);
+    Some(out)
+}
+
+/// Reads `DIFF_report.json`, rewrites the claim-9 span of EXPERIMENTS.md
+/// in place, and returns the measured count. `Ok(None)` when either file
+/// is missing or unmarked — the substitution is best-effort by design so
+/// `report` still works in a tree without difftest artifacts.
+pub fn apply_measured_claims(
+    experiments: &Path,
+    diff_report: &Path,
+) -> std::io::Result<Option<usize>> {
+    let (Ok(md), Ok(json)) = (
+        std::fs::read_to_string(experiments),
+        std::fs::read_to_string(diff_report),
+    ) else {
+        return Ok(None);
+    };
+    let Some(count) = claim9_confirmations(&json) else {
+        return Ok(None);
+    };
+    let Some(updated) = substitute_claim9(&md, count) else {
+        return Ok(None);
+    };
+    if updated != md {
+        std::fs::write(experiments, updated)?;
+    }
+    Ok(Some(count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_count_from_report_json() {
+        let json = "{\n  \"claim9_confirmations\": 14,\n  \"divergences\": []\n}";
+        assert_eq!(claim9_confirmations(json), Some(14));
+        assert_eq!(claim9_confirmations("{}"), None);
+        assert_eq!(claim9_confirmations("\"claim9_confirmations\": x"), None);
+    }
+
+    #[test]
+    fn substitutes_between_markers_idempotently() {
+        let md = "counts missed NPEs (<!--claim9-->11<!--/claim9--> on the full corpus) while";
+        let once = substitute_claim9(md, 14).unwrap();
+        assert_eq!(
+            once,
+            "counts missed NPEs (<!--claim9-->14<!--/claim9--> on the full corpus) while"
+        );
+        // Markers survive, so a second substitution with the same count is
+        // a fixed point.
+        assert_eq!(substitute_claim9(&once, 14).unwrap(), once);
+    }
+
+    #[test]
+    fn unmarked_document_is_left_alone() {
+        assert_eq!(substitute_claim9("no markers here", 3), None);
+        assert_eq!(substitute_claim9("<!--claim9-->11 unclosed", 3), None);
+    }
+}

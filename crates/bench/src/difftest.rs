@@ -195,6 +195,11 @@ pub struct Divergence {
     pub minimized: Option<String>,
     /// Path of the emitted `.njc` fixture, if one was written.
     pub fixture: Option<PathBuf>,
+    /// The traced optimizer's explanation of every null check of `main`
+    /// under the diverging configuration — which checks were hoisted,
+    /// converted to traps, removed, or substituted, and why. `None` for
+    /// baseline (unoptimized) and vm-only cells.
+    pub provenance: Option<String>,
 }
 
 /// Aggregate result of a harness run.
@@ -258,6 +263,9 @@ impl DiffReport {
             }
             if let Some(f) = &d.fixture {
                 let _ = write!(out, ", \"fixture\": \"{}\"", esc(&f.display().to_string()));
+            }
+            if let Some(p) = &d.provenance {
+                let _ = write!(out, ", \"provenance\": \"{}\"", esc(p));
             }
             out.push('}');
             out.push_str(if i + 1 < self.divergences.len() {
@@ -602,6 +610,38 @@ fn diff_program(
     out
 }
 
+/// Re-optimizes a diverging program under its configuration with tracing on
+/// and renders the `main` function's check life stories, so the divergence
+/// report says which checks were hoisted, converted, removed, or
+/// substituted — and under which rule — in the run that went wrong.
+/// `optimize_module` is deterministic, so the re-run reproduces exactly the
+/// module the diverging cell executed.
+fn divergence_provenance(module: &Module, config: &str, cell: &str) -> Option<String> {
+    let kind = match config {
+        "NoNullOptNoTrap" => ConfigKind::NoNullOptNoTrap,
+        "NoNullOptTrap" => ConfigKind::NoNullOptTrap,
+        "OldNullCheck" => ConfigKind::OldNullCheck,
+        "Phase1Only" => ConfigKind::Phase1Only,
+        "Full" => ConfigKind::Full,
+        "RefJit" => ConfigKind::RefJit,
+        "AixSpeculation" => ConfigKind::AixSpeculation,
+        "AixNoSpeculation" => ConfigKind::AixNoSpeculation,
+        "AixNoNullOpt" => ConfigKind::AixNoNullOpt,
+        "AixIllegalImplicit" => ConfigKind::AixIllegalImplicit,
+        _ => return None, // baseline cells never ran the optimizer
+    };
+    let platform = if cell.starts_with("ppc-aix") {
+        Platform::aix_ppc()
+    } else if cell.starts_with("s390-linux") {
+        Platform::linux_s390()
+    } else {
+        Platform::windows_ia32()
+    };
+    let mut m = module.clone();
+    let (_, trace) = njc_opt::optimize_module_traced(&mut m, &platform, &kind.to_config(&platform));
+    trace.function("main").map(|f| f.explain(None))
+}
+
 /// Prints the module in the CLI's `.njc` textual form (classes are
 /// synthesized by the loader, so only functions are written).
 fn fixture_text(name: &str, actions: &[Action], module: &Module) -> String {
@@ -652,6 +692,12 @@ pub fn run_difftest(opts: &DiffOptions) -> DiffReport {
             None => (None, None),
         };
         for (config, left, right, detail) in d.divergences {
+            let provenance = if prog.vm_only {
+                None
+            } else {
+                let cell = if right.is_empty() { &left } else { &right };
+                divergence_provenance(&prog.module, &config, cell)
+            };
             report.divergences.push(Divergence {
                 program: prog.name.clone(),
                 config,
@@ -660,6 +706,7 @@ pub fn run_difftest(opts: &DiffOptions) -> DiffReport {
                 detail,
                 minimized: minimized.clone(),
                 fixture: fixture.clone(),
+                provenance,
             });
         }
     }
@@ -757,9 +804,25 @@ mod tests {
             detail: "d \"quoted\"".into(),
             minimized: None,
             fixture: None,
+            provenance: Some("check #0:\n  - origin".into()),
         });
         let json = r.to_json();
         assert!(json.contains("\"divergences\""), "{json}");
         assert!(json.contains("\\\"quoted\\\""), "{json}");
+        assert!(json.contains("\"provenance\""), "{json}");
+    }
+
+    #[test]
+    fn divergence_provenance_explains_optimized_checks() {
+        let m = build_module(&[Action::NullSeededLoop(4, 2, vec![Action::Observe(0)])]);
+        let p =
+            divergence_provenance(&m, "Full", "ia32-winnt/Full").expect("main must have a trace");
+        assert!(p.contains("function main"), "{p}");
+        assert!(p.contains("ledger:"), "{p}");
+        assert!(p.contains("balanced"), "{p}");
+        assert!(
+            divergence_provenance(&m, "baseline", "ia32-winnt/baseline").is_none(),
+            "baseline cells have no optimizer provenance"
+        );
     }
 }

@@ -10,6 +10,7 @@
 //! cargo run --release -p njc-bench --bin table1
 //! ```
 
+pub mod claims;
 pub mod difftest;
 pub mod harness;
 pub mod paper;

@@ -131,7 +131,7 @@ pub fn lower_function(module: &Module, func: &Function) -> MachineFunction {
                     a: r(*lhs),
                     b: r(*rhs),
                 }),
-                Inst::NullCheck { var, kind } => match kind {
+                Inst::NullCheck { var, kind, .. } => match kind {
                     NullCheckKind::Explicit => code.push(MInst::CheckNull { reg: r(*var) }),
                     NullCheckKind::Implicit => {
                         // No code: the following marked access carries it.

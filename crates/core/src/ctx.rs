@@ -200,6 +200,7 @@ mod tests {
         let nc = Inst::NullCheck {
             var: VarId(0),
             kind: njc_ir::NullCheckKind::Explicit,
+            id: njc_ir::CheckId::NONE,
         };
         assert!(
             !ctx.is_barrier(&nc, false),

@@ -50,6 +50,76 @@ pub use phase2::Phase2Stats;
 pub use trivial::TrivialStats;
 pub use whaley::WhaleyStats;
 
+use njc_ir::{BlockId, CheckId, Function};
+use njc_observe::{CheckEvent, Recorder, SiteProvenance, SiteRecord};
+
+/// Scans the final IR for marked exception sites and resolves each back to
+/// the conversion event that justified the marking — a
+/// [`CheckEvent::Phase2Converted`] or [`CheckEvent::TrivialConverted`]
+/// keyed by `(block, ordinal among the block's trap-qualifying accesses)` —
+/// or classifies it as a soundness over-mark. Call once, after the last
+/// null check pass, with the recorder that saw the whole pipeline.
+pub fn collect_site_records(ctx: &AnalysisCtx<'_>, func: &Function, rec: &mut Recorder) {
+    if !rec.is_enabled() {
+        return;
+    }
+    let mut by_site: std::collections::BTreeMap<(usize, usize), (CheckId, bool)> =
+        std::collections::BTreeMap::new();
+    for ev in &rec.events {
+        match ev {
+            CheckEvent::Phase2Converted {
+                id,
+                block,
+                site_ordinal,
+                ..
+            } => {
+                by_site.insert((block.index(), *site_ordinal), (*id, false));
+            }
+            CheckEvent::TrivialConverted {
+                id,
+                block,
+                site_ordinal,
+                ..
+            } => {
+                by_site.insert((block.index(), *site_ordinal), (*id, true));
+            }
+            _ => {}
+        }
+    }
+    let mut sites = Vec::new();
+    for (bi, b) in func.blocks().iter().enumerate() {
+        let mut ord = 0;
+        for (i, inst) in b.insts.iter().enumerate() {
+            let class = ctx.classify_access(inst);
+            let trap_qualifying = matches!(class, Some((_, AccessClass::TrapGuaranteed)));
+            if inst.is_exception_site() {
+                if let Some((base, _)) = class {
+                    let provenance = match by_site.get(&(bi, ord)) {
+                        Some(&(id, trivial)) if trap_qualifying => {
+                            if trivial {
+                                SiteProvenance::Trivial(id)
+                            } else {
+                                SiteProvenance::Converted(id)
+                            }
+                        }
+                        _ => SiteProvenance::OverMark,
+                    };
+                    sites.push(SiteRecord {
+                        block: BlockId::new(bi),
+                        inst_idx: i,
+                        var: base,
+                        provenance,
+                    });
+                }
+            }
+            if trap_qualifying {
+                ord += 1;
+            }
+        }
+    }
+    rec.sites = sites;
+}
+
 /// Aggregated statistics for a full null check optimization of one function.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct NullCheckStats {
@@ -75,6 +145,10 @@ impl NullCheckStats {
         self.phase2.converted_implicit += other.phase2.converted_implicit;
         self.phase2.explicit_inserted += other.phase2.explicit_inserted;
         self.phase2.substituted += other.phase2.substituted;
+        self.phase2.absorbed += other.phase2.absorbed;
+        self.phase2.respawned += other.phase2.respawned;
+        self.phase2.merged += other.phase2.merged;
+        self.phase2.postponed += other.phase2.postponed;
         self.phase2.motion_iterations += other.phase2.motion_iterations;
         self.phase2.subst_iterations += other.phase2.subst_iterations;
         self.phase2.motion_pops += other.phase2.motion_pops;

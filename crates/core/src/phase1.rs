@@ -38,9 +38,10 @@
 
 use njc_dataflow::{solve_cached, BitSet, Direction, Meet, Problem};
 use njc_ir::{BlockId, CfgCache, Function, Inst, NullCheckKind, VarId};
+use njc_observe::{CheckEvent, Recorder};
 
 use crate::ctx::AnalysisCtx;
-use crate::nonnull::{compute_sets, eliminate_redundant, NonNullProblem};
+use crate::nonnull::{compute_sets, eliminate_redundant_recorded, NonNullProblem};
 
 /// Statistics from one phase 1 application.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -165,6 +166,18 @@ pub fn run(ctx: &AnalysisCtx<'_>, func: &mut Function) -> Phase1Stats {
 /// only rewrites instruction lists, so the cache it fills stays valid for
 /// the caller afterwards.
 pub fn run_cached(ctx: &AnalysisCtx<'_>, func: &mut Function, cfg: &mut CfgCache) -> Phase1Stats {
+    run_recorded(ctx, func, cfg, &mut Recorder::disabled())
+}
+
+/// [`run_cached`] with provenance: eliminations record the justifying
+/// `In_fwd` fact, insertions the earliest block they were hoisted to, and
+/// inserted checks draw fresh ids from the recorder.
+pub fn run_recorded(
+    ctx: &AnalysisCtx<'_>,
+    func: &mut Function,
+    cfg: &mut CfgCache,
+    rec: &mut Recorder,
+) -> Phase1Stats {
     let nv = func.num_vars();
     let mut stats = Phase1Stats::default();
     if nv == 0 {
@@ -195,20 +208,29 @@ pub fn run_cached(ctx: &AnalysisCtx<'_>, func: &mut Function, cfg: &mut CfgCache
     stats.nonnull_pops = sol_fwd.worklist_pops;
 
     // Rewrite: remove redundant checks...
-    stats.eliminated = eliminate_redundant(func, &sol_fwd.ins);
+    stats.eliminated = eliminate_redundant_recorded(func, &sol_fwd.ins, rec, true);
 
     // ... then insert at the earliest points: Earliest(n) -= Out_fwd(n),
     // remaining checks go at the block exit (§4.1.2 last equation).
     for (bi, e) in earliest.iter_mut().enumerate().take(func.num_blocks()) {
         e.subtract(&sol_fwd.outs[bi]);
-        let insts = func.insts_mut(BlockId::new(bi));
+        let block = BlockId::new(bi);
+        let mut fresh = Vec::new();
         for v in e.iter() {
-            insts.push(Inst::NullCheck {
+            let id = rec.fresh();
+            fresh.push(Inst::NullCheck {
                 var: VarId::new(v),
                 kind: NullCheckKind::Explicit,
+                id,
+            });
+            rec.record(CheckEvent::Phase1Inserted {
+                id,
+                var: VarId::new(v),
+                block,
             });
             stats.inserted += 1;
         }
+        func.insts_mut(block).extend(fresh);
     }
 
     stats

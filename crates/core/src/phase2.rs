@@ -35,11 +35,20 @@
 //!   already a legal exception site.
 
 use njc_dataflow::{solve_cached, BitSet, Direction, Meet, Problem};
-use njc_ir::{BlockId, CfgCache, Function, Inst, NullCheckKind, VarId};
+use njc_ir::{AccessKind, BlockId, CfgCache, CheckId, Function, Inst, NullCheckKind, VarId};
+use njc_observe::{CheckEvent, Cover, ExplicitCause, Recorder};
 
 use crate::ctx::{AccessClass, AnalysisCtx};
 
 /// Statistics from one phase 2 application.
+///
+/// The motion counters obey a per-block conservation identity the ledger
+/// relies on: every obligation born in a block (a check absorbed from the
+/// stream, or an `In_fwd` fact respawned at entry) dies in that block by
+/// exactly one of conversion, explicit materialization, merging into an
+/// already-pending obligation, or postponement past the exit —
+/// `absorbed + respawned = converted_implicit + explicit_inserted + merged
+/// + postponed`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct Phase2Stats {
     /// Checks converted to implicit (hardware trap) form.
@@ -48,6 +57,16 @@ pub struct Phase2Stats {
     pub explicit_inserted: usize,
     /// Explicit checks removed by the substitutable elimination (§4.2.2).
     pub substituted: usize,
+    /// Checks absorbed from the instruction stream by the forward rewrite
+    /// (every original check, whether it merged or became pending).
+    pub absorbed: usize,
+    /// Obligations respawned from `In_fwd` facts at block entries.
+    pub respawned: usize,
+    /// Absorbed checks whose variable was already pending (the two
+    /// obligations merged; one fate serves both).
+    pub merged: usize,
+    /// Obligations postponed past a block exit into the successors.
+    pub postponed: usize,
     /// Solver convergence depth of the forward motion analysis.
     pub motion_iterations: usize,
     /// Solver convergence depth of the substitutable analysis.
@@ -145,33 +164,105 @@ fn postponable(func: &Function, in_fwd: &[BitSet], n: BlockId, v: usize) -> bool
         .all(|&s| !func.edge_crosses_try(n, s) && in_fwd[s.index()].contains(v))
 }
 
+/// The trap-model rule that legalizes one implicit conversion, rendered for
+/// the provenance stream.
+fn conversion_rule(ctx: &AnalysisCtx<'_>, inst: &Inst) -> String {
+    match ctx.slot_access(inst) {
+        Some(sa) => {
+            let kind = match sa.kind {
+                AccessKind::Read => "read",
+                AccessKind::Write => "write",
+            };
+            match sa.offset {
+                Some(off) => format!(
+                    "{kind} of offset {off} lies inside the {}-byte trap area and the platform \
+                     traps on {kind}s",
+                    ctx.trap.trap_area_bytes
+                ),
+                None => format!("{kind} at a runtime-computed offset"),
+            }
+        }
+        None => "access".to_string(),
+    }
+}
+
+/// Materializes a pending obligation as an explicit check instruction,
+/// carrying the obligation's id into the IR.
+fn emit_explicit(
+    out: &mut Vec<Inst>,
+    v: usize,
+    id: CheckId,
+    cause: ExplicitCause,
+    block: BlockId,
+    stats: &mut Phase2Stats,
+    rec: &mut Recorder,
+) {
+    out.push(Inst::NullCheck {
+        var: VarId::new(v),
+        kind: NullCheckKind::Explicit,
+        id,
+    });
+    stats.explicit_inserted += 1;
+    rec.record(CheckEvent::Phase2Explicit {
+        id,
+        var: VarId::new(v),
+        block,
+        cause,
+    });
+}
+
 /// The in-block insertion algorithm of §4.2.1, mirrored by
-/// [`compute_forward_sets`].
+/// [`compute_forward_sets`]. `pending_id` maps each variable with a pending
+/// obligation to the check identity that obligation carries.
 fn rewrite_block(
     ctx: &AnalysisCtx<'_>,
     func: &mut Function,
     in_fwd: &[BitSet],
     n: BlockId,
     stats: &mut Phase2Stats,
+    rec: &mut Recorder,
+    pending_id: &mut [CheckId],
 ) {
     let in_try = func.block(n).try_region.is_some();
-    let nv = func.num_vars();
     let mut inner = in_fwd[n.index()].clone();
+    // Entry facts are obligations the predecessors postponed: each respawns
+    // here under a fresh identity (ids are allocated even when recording is
+    // off so the IR is identical either way).
+    for v in in_fwd[n.index()].iter() {
+        let id = rec.fresh();
+        pending_id[v] = id;
+        stats.respawned += 1;
+        rec.record(CheckEvent::Phase2Respawn {
+            id,
+            var: VarId::new(v),
+            block: n,
+        });
+    }
     let old = std::mem::take(func.insts_mut(n));
     let mut out = Vec::with_capacity(old.len());
-    let emit_explicit = |out: &mut Vec<Inst>, v: usize, stats: &mut Phase2Stats| {
-        out.push(Inst::NullCheck {
-            var: VarId::new(v),
-            kind: NullCheckKind::Explicit,
-        });
-        stats.explicit_inserted += 1;
-    };
+    // Running ordinal among the block's trap-qualifying accesses; checks are
+    // the only instructions added or removed, so conversion events keyed by
+    // this ordinal stay resolvable in the final IR.
+    let mut trap_ord = 0;
 
     for mut inst in old {
-        if let Inst::NullCheck { var, .. } = inst {
+        if let Inst::NullCheck { var, id, .. } = inst {
             // Absorb the check into the pending set; it is re-materialized
             // at its latest legal point.
-            inner.insert(var.index());
+            stats.absorbed += 1;
+            if inner.contains(var.index()) {
+                stats.merged += 1;
+                rec.record(CheckEvent::Phase2Merged {
+                    id,
+                    var,
+                    block: n,
+                    into: pending_id[var.index()],
+                });
+            } else {
+                inner.insert(var.index());
+                pending_id[var.index()] = id;
+                rec.record(CheckEvent::Phase2Absorbed { id, var, block: n });
+            }
             continue;
         }
         // 1. The instruction's own slot access may discharge its base.
@@ -184,9 +275,26 @@ fn rewrite_block(
                         inst.set_exception_site(true);
                         inner.remove(base.index());
                         stats.converted_implicit += 1;
+                        if rec.is_enabled() {
+                            rec.record(CheckEvent::Phase2Converted {
+                                id: pending_id[base.index()],
+                                var: base,
+                                block: n,
+                                site_ordinal: trap_ord,
+                                rule: conversion_rule(ctx, &inst),
+                            });
+                        }
                     }
                     AccessClass::Hazard => {
-                        emit_explicit(&mut out, base.index(), stats);
+                        emit_explicit(
+                            &mut out,
+                            base.index(),
+                            pending_id[base.index()],
+                            ExplicitCause::Hazard,
+                            n,
+                            stats,
+                            rec,
+                        );
                         inner.remove(base.index());
                     }
                     AccessClass::Silent => {
@@ -195,20 +303,39 @@ fn rewrite_block(
                     }
                 }
             }
+            if class == AccessClass::TrapGuaranteed {
+                trap_ord += 1;
+            }
         }
         // 2. Barriers flush every pending check (the NPEs must fire before
         //    the side effect).
         if ctx.is_barrier(&inst, in_try) {
             let pending: Vec<usize> = inner.iter().collect();
             for v in pending {
-                emit_explicit(&mut out, v, stats);
+                emit_explicit(
+                    &mut out,
+                    v,
+                    pending_id[v],
+                    ExplicitCause::Barrier,
+                    n,
+                    stats,
+                    rec,
+                );
             }
             inner.clear();
         } else if let Some(d) = inst.def() {
             // 3. Overwriting a pending variable: check it first (§4.2.1
             //    "else if I overwrites a local variable that has object").
             if inner.contains(d.index()) {
-                emit_explicit(&mut out, d.index(), stats);
+                emit_explicit(
+                    &mut out,
+                    d.index(),
+                    pending_id[d.index()],
+                    ExplicitCause::Overwrite,
+                    n,
+                    stats,
+                    rec,
+                );
                 inner.remove(d.index());
             }
         }
@@ -217,12 +344,26 @@ fn rewrite_block(
 
     // 4. Block end: postpone into successors where possible, otherwise
     //    materialize before the terminator.
-    let mut pending: Vec<usize> = inner.iter().collect();
-    pending.retain(|&v| !postponable(func, in_fwd, n, v));
-    for v in pending {
-        emit_explicit(&mut out, v, stats);
+    for v in inner.iter() {
+        if postponable(func, in_fwd, n, v) {
+            stats.postponed += 1;
+            rec.record(CheckEvent::Phase2Postponed {
+                id: pending_id[v],
+                var: VarId::new(v),
+                block: n,
+            });
+        } else {
+            emit_explicit(
+                &mut out,
+                v,
+                pending_id[v],
+                ExplicitCause::BlockEnd,
+                n,
+                stats,
+                rec,
+            );
+        }
     }
-    let _ = nv;
     *func.insts_mut(n) = out;
 }
 
@@ -319,27 +460,52 @@ impl Problem for Substitutable<'_> {
 }
 
 /// §4.2.2 rewrite: eliminates explicit checks that are substitutable at the
-/// point immediately after them.
+/// point immediately after them. When recording, each removal names its
+/// cover: the later check, the trap-guaranteed access, or (for facts
+/// arriving from the block's `out`) the backward dataflow itself.
 fn eliminate_substitutable(
     ctx: &AnalysisCtx<'_>,
     func: &mut Function,
     outs: &[BitSet],
     stats: &mut Phase2Stats,
+    rec: &mut Recorder,
 ) {
+    let nv = func.num_vars();
+    // What currently covers each set variable, tracked only when recording.
+    let mut cover: Vec<Cover> = if rec.is_enabled() {
+        vec![Cover::CrossBlock; nv]
+    } else {
+        Vec::new()
+    };
     for (bi, out_set) in outs.iter().enumerate().take(func.num_blocks()) {
         let n = BlockId::new(bi);
         let in_try = func.block(n).try_region.is_some();
         let mut set = out_set.clone();
+        if !cover.is_empty() {
+            cover.iter_mut().for_each(|c| *c = Cover::CrossBlock);
+        }
         let insts = func.insts_mut(n);
         // Walk backward, keeping the set valid *after* each instruction.
         let mut keep = vec![true; insts.len()];
+        let mut events = Vec::new();
         for (i, inst) in insts.iter().enumerate().rev() {
-            if let Inst::NullCheck { var, kind } = inst {
+            if let Inst::NullCheck { var, kind, id } = inst {
                 if *kind == NullCheckKind::Explicit && set.contains(var.index()) {
                     keep[i] = false;
                     stats.substituted += 1;
                     // Coverage composes: the deleted check's cover also
-                    // covers anything above, so the fact stays set.
+                    // covers anything above, so the fact (and its cover)
+                    // stay in place.
+                    if !cover.is_empty() {
+                        events.push(CheckEvent::Phase2Substituted {
+                            id: *id,
+                            var: *var,
+                            block: n,
+                            by: cover[var.index()],
+                        });
+                    }
+                } else if !cover.is_empty() {
+                    cover[var.index()] = Cover::Check(*id);
                 }
                 set.insert(var.index());
                 continue;
@@ -354,6 +520,9 @@ fn eliminate_substitutable(
             match ctx.classify_access(inst) {
                 Some((base, AccessClass::TrapGuaranteed)) => {
                     set.insert(base.index());
+                    if !cover.is_empty() {
+                        cover[base.index()] = Cover::TrapSite { block: n };
+                    }
                 }
                 Some((base, AccessClass::Hazard)) => {
                     set.remove(base.index());
@@ -363,6 +532,9 @@ fn eliminate_substitutable(
         }
         let mut it = keep.iter();
         insts.retain(|_| *it.next().unwrap());
+        for ev in events.into_iter().rev() {
+            rec.record(ev);
+        }
     }
 }
 
@@ -382,6 +554,20 @@ pub fn run(ctx: &AnalysisCtx<'_>, func: &mut Function) -> Phase2Stats {
 /// cache serves both the motion and the substitutable analysis — and stays
 /// valid for the caller afterwards.
 pub fn run_cached(ctx: &AnalysisCtx<'_>, func: &mut Function, cfg: &mut CfgCache) -> Phase2Stats {
+    run_recorded(ctx, func, cfg, &mut Recorder::disabled())
+}
+
+/// [`run_cached`] with provenance: absorptions, merges, respawns,
+/// conversions (with the legalizing trap-model rule), explicit
+/// materializations (with their cause), postponements, and substitutions
+/// (with their cover) all become events, and every obligation carries a
+/// stable check id through the rewrite.
+pub fn run_recorded(
+    ctx: &AnalysisCtx<'_>,
+    func: &mut Function,
+    cfg: &mut CfgCache,
+    rec: &mut Recorder,
+) -> Phase2Stats {
     let nv = func.num_vars();
     let mut stats = Phase2Stats::default();
     if nv == 0 {
@@ -398,8 +584,17 @@ pub fn run_cached(ctx: &AnalysisCtx<'_>, func: &mut Function, cfg: &mut CfgCache
     let sol = solve_cached(func, cfg, &motion);
     stats.motion_iterations = sol.iterations;
     stats.motion_pops = sol.worklist_pops;
+    let mut pending_id = vec![CheckId::NONE; nv];
     for bi in 0..func.num_blocks() {
-        rewrite_block(ctx, func, &sol.ins, BlockId::new(bi), &mut stats);
+        rewrite_block(
+            ctx,
+            func,
+            &sol.ins,
+            BlockId::new(bi),
+            &mut stats,
+            rec,
+            &mut pending_id,
+        );
     }
 
     // Mark the trap sites (see module docs), then §4.2.2 — substitutable
@@ -413,7 +608,7 @@ pub fn run_cached(ctx: &AnalysisCtx<'_>, func: &mut Function, cfg: &mut CfgCache
     let sol2 = solve_cached(func, cfg, &subst);
     stats.subst_iterations = sol2.iterations;
     stats.subst_pops = sol2.worklist_pops;
-    eliminate_substitutable(ctx, func, &sol2.outs, &mut stats);
+    eliminate_substitutable(ctx, func, &sol2.outs, &mut stats, rec);
 
     stats
 }

@@ -9,6 +9,7 @@
 //! "Old Null Check" configurations use to implement their remaining checks.
 
 use njc_ir::{BlockId, Function, Inst, NullCheckKind};
+use njc_observe::{CheckEvent, Recorder};
 
 use crate::ctx::{AccessClass, AnalysisCtx};
 
@@ -20,22 +21,55 @@ pub struct TrivialStats {
 }
 
 /// Runs the trivial conversion on `func` in place.
-#[allow(clippy::needless_range_loop)] // index-based forward scanning
 pub fn run(ctx: &AnalysisCtx<'_>, func: &mut Function) -> TrivialStats {
+    run_recorded(ctx, func, &mut Recorder::disabled())
+}
+
+/// [`run`] with provenance: each conversion records the check's id and the
+/// covering access's ordinal among the block's trap-qualifying accesses
+/// (stable under check removal, so the final-IR site scan can resolve it).
+#[allow(clippy::needless_range_loop)] // index-based forward scanning
+pub fn run_recorded(
+    ctx: &AnalysisCtx<'_>,
+    func: &mut Function,
+    rec: &mut Recorder,
+) -> TrivialStats {
     let mut stats = TrivialStats::default();
     if !ctx.trap.supports_implicit_checks() {
         return stats;
     }
     for bi in 0..func.num_blocks() {
-        let block = func.block_mut(BlockId::new(bi));
+        let block_id = BlockId::new(bi);
+        let block = func.block_mut(block_id);
         let in_try = block.try_region.is_some();
         let n = block.insts.len();
         let mut remove = vec![false; n];
         let mut mark = vec![false; n];
+        // Ordinal of each instruction among the block's trap-qualifying
+        // accesses; checks are the only instructions removed, so these
+        // ordinals survive into the final IR.
+        let ordinal: Vec<usize> = if rec.is_enabled() {
+            let mut next = 0;
+            block
+                .insts
+                .iter()
+                .map(|inst| match ctx.classify_access(inst) {
+                    Some((_, AccessClass::TrapGuaranteed)) => {
+                        next += 1;
+                        next - 1
+                    }
+                    _ => usize::MAX,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut events = Vec::new();
         for i in 0..n {
             let Inst::NullCheck {
                 var,
                 kind: NullCheckKind::Explicit,
+                id,
             } = block.insts[i]
             else {
                 continue;
@@ -49,6 +83,14 @@ pub fn run(ctx: &AnalysisCtx<'_>, func: &mut Function) -> TrivialStats {
                             remove[i] = true;
                             mark[j] = true;
                             stats.converted += 1;
+                            if !ordinal.is_empty() {
+                                events.push(CheckEvent::TrivialConverted {
+                                    id,
+                                    var,
+                                    block: block_id,
+                                    site_ordinal: ordinal[j],
+                                });
+                            }
                         }
                         break; // covered or hazardous: stop either way
                     }
@@ -65,6 +107,9 @@ pub fn run(ctx: &AnalysisCtx<'_>, func: &mut Function) -> TrivialStats {
         }
         let mut it = remove.iter();
         block.insts.retain(|_| !*it.next().unwrap());
+        for ev in events {
+            rec.record(ev);
+        }
     }
     stats
 }

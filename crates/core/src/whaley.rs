@@ -13,8 +13,9 @@
 
 use njc_dataflow::solve_cached;
 use njc_ir::{CfgCache, Function};
+use njc_observe::Recorder;
 
-use crate::nonnull::{compute_sets, eliminate_redundant, NonNullProblem};
+use crate::nonnull::{compute_sets, eliminate_redundant_recorded, NonNullProblem};
 
 /// Statistics from one Whaley-baseline application.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -34,6 +35,12 @@ pub fn run(func: &mut Function) -> WhaleyStats {
 
 /// [`run`], reusing (and revalidating) the caller's [`CfgCache`].
 pub fn run_cached(func: &mut Function, cfg: &mut CfgCache) -> WhaleyStats {
+    run_recorded(func, cfg, &mut Recorder::disabled())
+}
+
+/// [`run_cached`] with provenance: every elimination records the `In_fwd`
+/// fact that justified it.
+pub fn run_recorded(func: &mut Function, cfg: &mut CfgCache, rec: &mut Recorder) -> WhaleyStats {
     let nv = func.num_vars();
     if nv == 0 {
         return WhaleyStats::default();
@@ -47,7 +54,7 @@ pub fn run_cached(func: &mut Function, cfg: &mut CfgCache) -> WhaleyStats {
     };
     let sol = solve_cached(func, cfg, &problem);
     WhaleyStats {
-        eliminated: eliminate_redundant(func, &sol.ins),
+        eliminated: eliminate_redundant_recorded(func, &sol.ins, rec, false),
         iterations: sol.iterations,
         pops: sol.worklist_pops,
     }

@@ -234,11 +234,14 @@ impl FuncBuilder {
 
     // ---- memory accesses (with automatic null check splitting) ------------
 
-    /// Emits an explicit null check of `var`.
+    /// Emits an explicit null check of `var`. Ids are left unassigned
+    /// ([`crate::CheckId::NONE`]) — the optimizer assigns them
+    /// deterministically when a function enters the pipeline.
     pub fn null_check(&mut self, var: VarId) {
         self.emit(Inst::NullCheck {
             var,
             kind: NullCheckKind::Explicit,
+            id: crate::CheckId::NONE,
         });
     }
 
@@ -636,7 +639,8 @@ mod tests {
             insts[0],
             Inst::NullCheck {
                 var,
-                kind: NullCheckKind::Explicit
+                kind: NullCheckKind::Explicit,
+                ..
             } if var == p
         ));
         assert!(matches!(insts[1], Inst::GetField { .. }));

@@ -81,10 +81,16 @@ impl fmt::Display for Inst {
             } => write!(f, "{dst} = {op}.{ty} {lhs}, {rhs}"),
             Inst::Neg { dst, src, ty } => write!(f, "{dst} = neg.{ty} {src}"),
             Inst::Convert { dst, src, to } => write!(f, "{dst} = convert.{to} {src}"),
-            Inst::NullCheck { var, kind } => match kind {
-                NullCheckKind::Explicit => write!(f, "nullcheck {var}"),
-                NullCheckKind::Implicit => write!(f, "nullcheck! {var}"),
-            },
+            Inst::NullCheck { var, kind, id } => {
+                match kind {
+                    NullCheckKind::Explicit => write!(f, "nullcheck {var}")?,
+                    NullCheckKind::Implicit => write!(f, "nullcheck! {var}")?,
+                }
+                if id.is_some() {
+                    write!(f, " {id}")?;
+                }
+                Ok(())
+            }
             Inst::BoundCheck { index, length } => write!(f, "boundcheck {index}, {length}"),
             Inst::GetField {
                 dst,
@@ -278,11 +284,13 @@ mod tests {
         let nc = Inst::NullCheck {
             var: VarId(3),
             kind: NullCheckKind::Explicit,
+            id: crate::CheckId::NONE,
         };
         assert_eq!(nc.to_string(), "nullcheck v3");
         let imp = Inst::NullCheck {
             var: VarId(3),
             kind: NullCheckKind::Implicit,
+            id: crate::CheckId::NONE,
         };
         assert_eq!(imp.to_string(), "nullcheck! v3");
         let gf = Inst::GetField {

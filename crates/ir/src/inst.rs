@@ -8,7 +8,7 @@
 //! that unoptimized IR has exactly one check in front of every dereference.
 
 use crate::module::{ClassId, FieldId, FunctionId};
-use crate::types::{ConstValue, Type, VarId};
+use crate::types::{CheckId, ConstValue, Type, VarId};
 
 /// Binary and unary arithmetic operators.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -282,6 +282,10 @@ pub enum Inst {
         var: VarId,
         /// Explicit or implicit implementation.
         kind: NullCheckKind,
+        /// Provenance identity ([`CheckId::NONE`] until assigned). Carried
+        /// through every pass so the observability layer can tell the
+        /// check's life story; printed as a `#n` suffix.
+        id: CheckId,
     },
     /// An array bounds check: throws `ArrayIndexOutOfBoundsException` unless
     /// `0 <= index < length`.

@@ -57,5 +57,5 @@ pub use inst::{
 };
 pub use module::{Class, ClassId, Field, FieldId, FunctionId, Module};
 pub use parse::{parse_function, ParseError};
-pub use types::{BlockId, ConstValue, TryRegionId, Type, VarId};
+pub use types::{BlockId, CheckId, ConstValue, TryRegionId, Type, VarId};
 pub use verify::{verify, verify_module, VerifyError};

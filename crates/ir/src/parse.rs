@@ -9,7 +9,7 @@ use crate::block::Terminator;
 use crate::function::{CatchKind, Function, TryRegion};
 use crate::inst::{CallTarget, Cond, ExceptionKind, Inst, Intrinsic, NullCheckKind, Op};
 use crate::module::{ClassId, FieldId, FunctionId};
-use crate::types::{BlockId, ConstValue, TryRegionId, Type, VarId};
+use crate::types::{BlockId, CheckId, ConstValue, TryRegionId, Type, VarId};
 
 /// An error produced while parsing textual IR.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -227,6 +227,16 @@ impl<'a> Cursor<'a> {
         self.eat("[site]")
     }
 
+    /// Optional `#N` check-id suffix; absent means [`CheckId::NONE`].
+    fn check_id(&mut self) -> Result<CheckId> {
+        self.skip_ws();
+        if self.rest().starts_with('#') {
+            Ok(CheckId(self.prefixed_id("#")?))
+        } else {
+            Ok(CheckId::NONE)
+        }
+    }
+
     fn call_args(&mut self) -> Result<(Option<VarId>, Vec<VarId>)> {
         self.expect("(")?;
         let mut receiver = None;
@@ -277,16 +287,20 @@ fn parse_inst(line: &str, lineno: usize) -> Result<Inst> {
     // Instructions without a destination first.
     if c.eat("nullcheck!") {
         let var = c.var()?;
+        let id = c.check_id()?;
         return Ok(Inst::NullCheck {
             var,
             kind: NullCheckKind::Implicit,
+            id,
         });
     }
     if c.eat("nullcheck") {
         let var = c.var()?;
+        let id = c.check_id()?;
         return Ok(Inst::NullCheck {
             var,
             kind: NullCheckKind::Explicit,
+            id,
         });
     }
     if c.eat("boundcheck") {

@@ -60,6 +60,57 @@ id_type!(
     "try"
 );
 
+/// The provenance identity of one null check instruction.
+///
+/// Every [`crate::Inst::NullCheck`] carries a `CheckId` so the optimizer can
+/// record, per check, where it came from and what each pass did to it (the
+/// `njc-observe` event stream). Ids are per-function: the id space restarts
+/// at 0 for every function, assigned deterministically in block order, so
+/// the same module optimized with any thread count gets the same ids.
+///
+/// A check that has not been through id assignment yet carries
+/// [`CheckId::NONE`]; display and parsing treat that as "no id" (the `#n`
+/// suffix is simply absent), which keeps hand-written IR and old fixtures
+/// valid.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CheckId(pub u32);
+
+impl CheckId {
+    /// The unassigned sentinel: a check no pass has identified yet.
+    pub const NONE: CheckId = CheckId(u32::MAX);
+
+    /// Creates an id from a dense per-function index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit below the [`CheckId::NONE`] sentinel.
+    pub fn new(index: usize) -> Self {
+        let raw = u32::try_from(index).expect("check id overflow");
+        assert!(raw != u32::MAX, "check id overflow");
+        CheckId(raw)
+    }
+
+    /// Whether this id has been assigned (is not the sentinel).
+    pub fn is_some(self) -> bool {
+        self != CheckId::NONE
+    }
+}
+
+impl fmt::Display for CheckId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_some() {
+            write!(f, "#{}", self.0)
+        } else {
+            write!(f, "#?")
+        }
+    }
+}
+
+impl fmt::Debug for CheckId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
 /// The static type of a local variable.
 ///
 /// The IR is deliberately small: 64-bit integers, 64-bit floats, and object

@@ -385,6 +385,7 @@ mod tests {
         b.emit(Inst::NullCheck {
             var: p,
             kind: crate::inst::NullCheckKind::Explicit,
+            id: crate::CheckId::NONE,
         });
         b.ret(Some(p));
         let errs = verify(&b.finish()).unwrap_err();

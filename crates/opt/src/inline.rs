@@ -485,7 +485,7 @@ mod tests {
             .blocks()
             .iter()
             .flat_map(|b| &b.insts)
-            .any(|i| matches!(i, Inst::NullCheck { var, kind: NullCheckKind::Explicit } if *var == VarId(0))));
+            .any(|i| matches!(i, Inst::NullCheck { var, kind: NullCheckKind::Explicit, .. } if *var == VarId(0))));
     }
 
     #[test]

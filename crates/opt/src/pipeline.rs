@@ -14,8 +14,9 @@ use std::time::{Duration, Instant};
 
 use njc_arch::{Platform, TrapModel};
 use njc_core::ctx::AnalysisCtx;
-use njc_core::{phase1, phase2, trivial, whaley, NullCheckStats};
+use njc_core::{collect_site_records, phase1, phase2, trivial, whaley, NullCheckStats};
 use njc_ir::{CfgCache, Function, FunctionId, Module};
+use njc_observe::{CheckEvent, FunctionTrace, Ledger, ModuleTrace, PassTimer, Recorder};
 
 use crate::boundcheck;
 use crate::copyprop;
@@ -70,7 +71,9 @@ pub struct OptConfig {
     /// Worker threads for the per-function stages. Functions are optimized
     /// independently (every pass reads the module only for class and field
     /// layout), so any thread count produces the same module and the same
-    /// counters; timings remain wall-clock per pass. Values are clamped to
+    /// counters. Per-pass timings are thread CPU time, so they too stay
+    /// meaningful under any thread count; elapsed real time is reported
+    /// separately in [`PipelineStats::wall_time`]. Values are clamped to
     /// `1..=num_functions`, and [`OptConfig::validate`] forces sequential
     /// execution.
     pub threads: usize,
@@ -276,8 +279,8 @@ impl ConfigKind {
     }
 }
 
-/// Aggregate pipeline statistics, including per-pass wall-clock timings for
-/// the compile-time experiments (Tables 3–5).
+/// Aggregate pipeline statistics, including per-pass CPU-time breakdowns
+/// for the compile-time experiments (Tables 3–5).
 #[derive(Clone, Debug, Default)]
 pub struct PipelineStats {
     /// Null check pass statistics.
@@ -298,10 +301,19 @@ pub struct PipelineStats {
     pub copies_propagated: usize,
     /// Dead instructions removed.
     pub dead_removed: usize,
-    /// Per-pass wall-clock time, accumulated over all functions and
+    /// Per-pass *thread CPU time*, accumulated over all functions and
     /// iterations. Keys: "nullcheck", "inline", "intrinsics", "boundcheck",
-    /// "scalar", "cleanup".
+    /// "scalar", "cleanup". Each sample is taken with
+    /// [`njc_observe::PassTimer`] on the worker thread that ran the pass,
+    /// so the breakdown is free of cross-thread pollution: a pass never
+    /// gets billed for time another worker spent running. The sum over
+    /// passes therefore *exceeds* [`PipelineStats::wall_time`] whenever
+    /// workers overlap.
     pub timings: Vec<(&'static str, Duration)>,
+    /// Elapsed real time for the whole [`optimize_module`] run, measured
+    /// once at module level. Compare with [`PipelineStats::total_time`]
+    /// (summed CPU time) to see parallel speedup.
+    pub wall_time: Duration,
     /// Violations found by the static validator when [`OptConfig::validate`]
     /// is on, each prefixed with the `[stage]` that produced it. Empty
     /// means every validated stage was proven sound.
@@ -393,19 +405,52 @@ pub fn optimize_module(
     platform: &Platform,
     config: &OptConfig,
 ) -> PipelineStats {
+    optimize_module_impl(module, platform, config, false).0
+}
+
+/// [`optimize_module`] with provenance: every null check carries a stable
+/// id, every pass records what it did to which check, and the returned
+/// [`ModuleTrace`] holds the per-function event streams, final-IR site
+/// maps, and balanced conservation ledgers (function-index order, so the
+/// trace — like the module — is identical across thread counts).
+///
+/// The traced and untraced pipelines produce byte-identical IR: id
+/// allocation always runs (ids live in the IR), only event collection is
+/// switched on here.
+pub fn optimize_module_traced(
+    module: &mut Module,
+    platform: &Platform,
+    config: &OptConfig,
+) -> (PipelineStats, ModuleTrace) {
+    let (stats, functions) = optimize_module_impl(module, platform, config, true);
+    let trace = ModuleTrace {
+        config: config.name.to_string(),
+        platform: platform.name.to_string(),
+        functions,
+    };
+    (stats, trace)
+}
+
+fn optimize_module_impl(
+    module: &mut Module,
+    platform: &Platform,
+    config: &OptConfig,
+    traced: bool,
+) -> (PipelineStats, Vec<FunctionTrace>) {
+    let wall = Instant::now();
     let mut stats = PipelineStats::default();
 
     // Intrinsic substitution (before inlining: an intrinsified call site is
     // no longer a call, so it stops being an inline candidate or barrier).
     if platform.has_fp_intrinsics {
-        let t = Instant::now();
+        let t = PassTimer::start();
         stats.intrinsics = intrinsics::run(module);
         stats.add_time("intrinsics", t.elapsed());
     }
 
     // Devirtualization + inlining (Figure 1 / §5.1 mtrt).
     if config.inline {
-        let t = Instant::now();
+        let t = PassTimer::start();
         stats.inline = inline::run(module, InlineConfig::default());
         stats.add_time("inline", t.elapsed());
     }
@@ -431,16 +476,18 @@ pub fn optimize_module(
         .map(|fi| take_function(module, FunctionId::new(fi)))
         .collect();
     let threads = effective_threads(config, n);
-    let results: Vec<PipelineStats> = if threads <= 1 {
+    let results: Vec<(PipelineStats, Option<FunctionTrace>)> = if threads <= 1 {
         funcs
             .iter_mut()
-            .map(|f| optimize_function(module, platform, config, f))
+            .map(|f| optimize_function_traced(module, platform, config, f, traced))
             .collect()
     } else {
-        optimize_functions_parallel(module, platform, config, &mut funcs, threads)
+        optimize_functions_parallel(module, platform, config, &mut funcs, threads, traced)
     };
-    for r in &results {
-        stats.merge_function(r);
+    let mut traces = Vec::new();
+    for (r, t) in results {
+        stats.merge_function(&r);
+        traces.extend(t);
     }
     for (fi, func) in funcs.into_iter().enumerate() {
         put_function(module, FunctionId::new(fi), func);
@@ -463,7 +510,8 @@ pub fn optimize_module(
         );
     }
 
-    stats
+    stats.wall_time = wall.elapsed();
+    (stats, traces)
 }
 
 /// Runs [`optimize_module`] with the static validator forced on and turns
@@ -498,6 +546,90 @@ fn effective_threads(config: &OptConfig, num_functions: usize) -> usize {
     }
 }
 
+/// [`optimize_function`] plus provenance assembly: runs the function with
+/// a fresh [`Recorder`] (enabled iff `traced`) and, when tracing, folds the
+/// recorded events, the final-IR site map, and the per-function statistics
+/// into a [`FunctionTrace`] whose [`Ledger`] obeys the conservation law.
+fn optimize_function_traced(
+    module: &Module,
+    platform: &Platform,
+    config: &OptConfig,
+    func: &mut Function,
+    traced: bool,
+) -> (PipelineStats, Option<FunctionTrace>) {
+    let mut rec = Recorder::new(traced);
+    let stats = optimize_function(module, platform, config, func, &mut rec);
+    let trace = traced.then(|| build_trace(func, &stats, rec));
+    (stats, trace)
+}
+
+/// Folds one optimized function's recorder into its [`FunctionTrace`].
+///
+/// The ledger's insertion side comes from the pass statistics (origins,
+/// phase 1 insertions, phase 2 respawns, positive pass deltas); the fate
+/// side from conversions, the final explicit count, eliminations, merges,
+/// postponements, negative pass deltas, and substitutions. `Ledger::check`
+/// holding for every function is the static half of the reconciliation.
+fn build_trace(func: &Function, stats: &PipelineStats, rec: Recorder) -> FunctionTrace {
+    let nc = &stats.null_checks;
+    let mut ledger = Ledger {
+        origins: rec
+            .events
+            .iter()
+            .filter(|e| matches!(e, CheckEvent::Origin { .. }))
+            .count() as u64,
+        phase1_inserted: nc.phase1.inserted as u64,
+        respawned: nc.phase2.respawned as u64,
+        converted_implicit: (nc.phase2.converted_implicit + nc.trivial.converted) as u64,
+        explicit_final: phase2::count_explicit(func) as u64,
+        phase1_eliminated: nc.phase1.eliminated as u64,
+        whaley_eliminated: nc.whaley.eliminated as u64,
+        merged: nc.phase2.merged as u64,
+        postponed: nc.phase2.postponed as u64,
+        substituted: nc.phase2.substituted as u64,
+        ..Ledger::default()
+    };
+    for ev in &rec.events {
+        if let CheckEvent::PassDelta { delta, .. } = ev {
+            if *delta > 0 {
+                ledger.other_inserted += *delta as u64;
+            } else {
+                ledger.other_removed += delta.unsigned_abs();
+            }
+        }
+    }
+    FunctionTrace {
+        function: func.name().to_string(),
+        events: rec.events,
+        sites: rec.sites,
+        ledger,
+    }
+}
+
+/// Records a [`CheckEvent::PassDelta`] for a pass that is not a null check
+/// pass but changed the number of explicit checks anyway (loop versioning
+/// duplicating a guarded body, dead code elimination dropping an
+/// unreachable one). `before` is `None` when tracing is off.
+fn record_pass_delta(
+    rec: &mut Recorder,
+    pass: &'static str,
+    before: Option<usize>,
+    func: &Function,
+) {
+    if let Some(before) = before {
+        let delta = phase2::count_explicit(func) as i64 - before as i64;
+        if delta != 0 {
+            rec.record(CheckEvent::PassDelta { pass, delta });
+        }
+    }
+}
+
+/// Explicit check count ahead of a sandwiched pass, taken only when the
+/// recorder is enabled (the untraced pipeline skips the scans entirely).
+fn checks_before(rec: &Recorder, func: &Function) -> Option<usize> {
+    rec.is_enabled().then(|| phase2::count_explicit(func))
+}
+
 /// Runs every per-function stage on one checked-out function: the iterated
 /// architecture-independent loop, loop versioning, and the architecture-
 /// dependent phase. `module` is read only for class and field layout (all
@@ -505,25 +637,34 @@ fn effective_threads(config: &OptConfig, num_functions: usize) -> usize {
 /// per-function parallelism of [`optimize_module`] sound. One [`CfgCache`]
 /// serves every analysis of the function; passes that rewrite instruction
 /// lists without touching the CFG leave it warm.
+///
+/// All per-pass timings are taken with [`PassTimer`] — thread CPU time —
+/// so a pass is only ever billed for cycles this worker actually spent in
+/// it, regardless of how many sibling workers run concurrently.
 fn optimize_function(
     module: &Module,
     platform: &Platform,
     config: &OptConfig,
     func: &mut Function,
+    rec: &mut Recorder,
 ) -> PipelineStats {
     let mut stats = PipelineStats::default();
     let ctx = AnalysisCtx::new(module, config.compiler_trap);
     let mut cfg = CfgCache::new();
 
+    // Every check the function arrives with gets its stable identity (and,
+    // when tracing, an origin event) before any pass touches it.
+    rec.assign_origins(func);
+
     // Figure 2's iterated architecture-independent loop.
     for _ in 0..config.iterations.max(1) {
         // Null check optimization.
-        let t = Instant::now();
+        let t = PassTimer::start();
         match config.null_opt {
             NullOpt::None => {}
             NullOpt::Whaley => {
                 let orig = config.validate.then(|| func.clone());
-                let s = whaley::run_cached(func, &mut cfg);
+                let s = whaley::run_recorded(func, &mut cfg, rec);
                 stats.null_checks.whaley.eliminated += s.eliminated;
                 stats.null_checks.whaley.iterations += s.iterations;
                 stats.null_checks.whaley.pops += s.pops;
@@ -541,7 +682,7 @@ fn optimize_function(
             }
             NullOpt::Phase1 => {
                 let orig = config.validate.then(|| func.clone());
-                let s = phase1::run_cached(&ctx, func, &mut cfg);
+                let s = phase1::run_recorded(&ctx, func, &mut cfg, rec);
                 stats.null_checks.phase1.eliminated += s.eliminated;
                 stats.null_checks.phase1.inserted += s.inserted;
                 stats.null_checks.phase1.motion_iterations += s.motion_iterations;
@@ -564,15 +705,18 @@ fn optimize_function(
         stats.add_time("nullcheck", t.elapsed());
 
         // Array bounds check optimization.
-        let t = Instant::now();
+        let t = PassTimer::start();
+        let before = checks_before(rec, func);
         stats.boundchecks_eliminated += boundcheck::run(func).eliminated;
+        record_pass_delta(rec, "boundcheck", before, func);
         if config.validate {
             validate_coverage(&mut stats, module, platform.trap, "boundcheck", func);
         }
         stats.add_time("boundcheck", t.elapsed());
 
         // Scalar replacement (with or without speculation).
-        let t = Instant::now();
+        let t = PassTimer::start();
+        let before = checks_before(rec, func);
         let allow_spec = config.speculation && config.compiler_trap.reads_are_speculatable();
         let s = scalar::run(
             &ctx,
@@ -591,15 +735,18 @@ fn optimize_function(
         if config.sinking {
             stats.fields_promoted += sink::run(&ctx, func).promoted;
         }
+        record_pass_delta(rec, "scalar", before, func);
         if config.validate {
             validate_coverage(&mut stats, module, platform.trap, "scalar", func);
         }
         stats.add_time("scalar", t.elapsed());
 
         // Cleanup.
-        let t = Instant::now();
+        let t = PassTimer::start();
+        let before = checks_before(rec, func);
         stats.copies_propagated += copyprop::run(func).replaced_uses;
         stats.dead_removed += dce::run(func).removed;
+        record_pass_delta(rec, "cleanup", before, func);
         if config.validate {
             validate_coverage(&mut stats, module, platform.trap, "cleanup", func);
         }
@@ -611,7 +758,8 @@ fn optimize_function(
     // would defeat later scalar-replacement rounds) — and it is effective
     // only where scalar replacement could hoist the array lengths, i.e.
     // where phase 1 hoisted the null checks first.
-    let t = Instant::now();
+    let t = PassTimer::start();
+    let before = checks_before(rec, func);
     if config.versioning {
         let s = versioning::run(func);
         stats.loops_versioned += s.loops_versioned;
@@ -625,25 +773,30 @@ fn optimize_function(
     if config.sinking {
         stats.fields_promoted += sink::run(&ctx, func).promoted;
     }
+    record_pass_delta(rec, "versioning", before, func);
     if config.validate {
         validate_coverage(&mut stats, module, platform.trap, "versioning", func);
     }
     stats.add_time("boundcheck", t.elapsed());
 
     // Architecture dependent phase (or the trivial conversion).
-    let t = Instant::now();
+    let t = PassTimer::start();
     let orig = config.validate.then(|| func.clone());
     if config.phase2 {
-        let s = phase2::run_cached(&ctx, func, &mut cfg);
+        let s = phase2::run_recorded(&ctx, func, &mut cfg, rec);
         stats.null_checks.phase2.converted_implicit += s.converted_implicit;
         stats.null_checks.phase2.explicit_inserted += s.explicit_inserted;
         stats.null_checks.phase2.substituted += s.substituted;
+        stats.null_checks.phase2.absorbed += s.absorbed;
+        stats.null_checks.phase2.respawned += s.respawned;
+        stats.null_checks.phase2.merged += s.merged;
+        stats.null_checks.phase2.postponed += s.postponed;
         stats.null_checks.phase2.motion_iterations += s.motion_iterations;
         stats.null_checks.phase2.subst_iterations += s.subst_iterations;
         stats.null_checks.phase2.motion_pops += s.motion_pops;
         stats.null_checks.phase2.subst_pops += s.subst_pops;
     } else if config.trivial_trap {
-        stats.null_checks.trivial.converted += trivial::run(&ctx, func).converted;
+        stats.null_checks.trivial.converted += trivial::run_recorded(&ctx, func, rec).converted;
     }
     if let Some(orig) = &orig {
         // This is the stage that bets on the hardware: validate the
@@ -662,6 +815,10 @@ fn optimize_function(
     }
     stats.add_time("nullcheck", t.elapsed());
 
+    // Resolve every marked exception site of the final IR back to the
+    // conversion event that justified it (no-op when tracing is off).
+    collect_site_records(&ctx, func, rec);
+
     stats
 }
 
@@ -677,11 +834,13 @@ fn optimize_functions_parallel(
     config: &OptConfig,
     funcs: &mut [Function],
     threads: usize,
-) -> Vec<PipelineStats> {
+    traced: bool,
+) -> Vec<(PipelineStats, Option<FunctionTrace>)> {
     let next = AtomicUsize::new(0);
-    let jobs: Vec<Mutex<(&mut Function, PipelineStats)>> = funcs
+    type Job<'f> = Mutex<(&'f mut Function, PipelineStats, Option<FunctionTrace>)>;
+    let jobs: Vec<Job<'_>> = funcs
         .iter_mut()
-        .map(|f| Mutex::new((f, PipelineStats::default())))
+        .map(|f| Mutex::new((f, PipelineStats::default(), None)))
         .collect();
     std::thread::scope(|s| {
         for _ in 0..threads {
@@ -689,13 +848,16 @@ fn optimize_functions_parallel(
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(i) else { break };
                 let mut guard = job.lock().unwrap();
-                let (func, slot) = &mut *guard;
-                *slot = optimize_function(module, platform, config, func);
+                let (func, slot, trace) = &mut *guard;
+                (*slot, *trace) = optimize_function_traced(module, platform, config, func, traced);
             });
         }
     });
     jobs.into_iter()
-        .map(|m| m.into_inner().unwrap().1)
+        .map(|m| {
+            let (_, stats, trace) = m.into_inner().unwrap();
+            (stats, trace)
+        })
         .collect()
 }
 
@@ -905,6 +1067,85 @@ mod tests {
             .expect_err("the §5.4 spec violation must be caught statically");
         assert!(err.contains("[phase2]"), "{err}");
         assert!(err.contains("missed-exception"), "{err}");
+    }
+
+    #[test]
+    fn traced_pipeline_produces_identical_ir_and_balanced_ledgers() {
+        let p = Platform::windows_ia32();
+        for kind in [
+            ConfigKind::NoNullOptNoTrap,
+            ConfigKind::NoNullOptTrap,
+            ConfigKind::OldNullCheck,
+            ConfigKind::Phase1Only,
+            ConfigKind::Full,
+            ConfigKind::RefJit,
+        ] {
+            let cfg = kind.to_config(&p);
+            let mut plain = loop_module();
+            optimize_module(&mut plain, &p, &cfg);
+            let mut traced = loop_module();
+            let (stats, trace) = optimize_module_traced(&mut traced, &p, &cfg);
+            assert_eq!(plain, traced, "{kind:?}: tracing changed the module");
+            trace
+                .check_conservation()
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert_eq!(trace.functions.len(), 1);
+            let ft = &trace.functions[0];
+            assert_eq!(ft.function, "sum");
+            assert!(
+                ft.ledger.origins >= 1,
+                "{kind:?}: the source check must be an origin"
+            );
+            if kind == ConfigKind::Full {
+                assert!(stats.null_checks.phase2.absorbed >= 1);
+                // On this module the loop's one check converts at the
+                // loop's one trap-qualifying access: at least one site must
+                // resolve to a phase 2 conversion (over-marked extras from
+                // `mark_all_trap_sites` are allowed, unresolved conversions
+                // are not).
+                assert!(ft
+                    .sites
+                    .iter()
+                    .any(|s| matches!(s.provenance, njc_observe::SiteProvenance::Converted(_))));
+            }
+        }
+    }
+    #[test]
+    fn trace_event_stream_is_identical_across_thread_counts() {
+        let mk = || {
+            let mut m = loop_module();
+            let proto = m.function(m.function_by_name("sum").unwrap()).clone();
+            for i in 0..7 {
+                let mut f = proto.clone();
+                f.set_name(format!("sum_{i}"));
+                m.add_function(f);
+            }
+            m
+        };
+        let p = Platform::windows_ia32();
+        let base = ConfigKind::Full.to_config(&p);
+        let mut seq = mk();
+        let (_, t_seq) = optimize_module_traced(&mut seq, &p, &base);
+        let json_seq = t_seq.to_events_json();
+        for threads in [2, 4, 64] {
+            let mut par = mk();
+            let (_, t_par) = optimize_module_traced(&mut par, &p, &OptConfig { threads, ..base });
+            assert_eq!(
+                json_seq,
+                t_par.to_events_json(),
+                "threads={threads} changed the event stream"
+            );
+        }
+    }
+
+    #[test]
+    fn wall_time_is_set_and_cpu_timings_accumulate() {
+        let mut m = loop_module();
+        let p = Platform::windows_ia32();
+        let cfg = ConfigKind::Full.to_config(&p);
+        let stats = optimize_module(&mut m, &p, &cfg);
+        assert!(stats.wall_time > Duration::ZERO);
+        assert!(stats.total_time() > Duration::ZERO);
     }
 
     #[test]

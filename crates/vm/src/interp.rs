@@ -42,6 +42,11 @@ pub struct VmConfig {
     /// alias mapped memory — the bug class the differential harness exists
     /// to catch. Never enable outside that harness.
     pub legacy_wrapping_addressing: bool,
+    /// Collect per-site counters ([`Outcome::site_counts`]): executions of
+    /// each explicit check by id, hardware traps by `(block, instruction)`,
+    /// and block execution counts. Off by default — the benches measure the
+    /// uninstrumented interpreter.
+    pub count_sites: bool,
 }
 
 impl Default for VmConfig {
@@ -50,8 +55,25 @@ impl Default for VmConfig {
             max_insts: 200_000_000,
             max_depth: 256,
             legacy_wrapping_addressing: false,
+            count_sites: false,
         }
     }
+}
+
+/// Per-site dynamic counters, collected when [`VmConfig::count_sites`] is
+/// set. Keys are raw indices (function, check id, block, instruction) so the
+/// maps stay cheap to build and deterministic to serialize; the observe
+/// layer resolves them back to provenance records.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SiteCounters {
+    /// Executions of each explicit null check instruction, keyed by
+    /// `(function index, check id)`.
+    pub explicit_checks: std::collections::BTreeMap<(u32, u32), u64>,
+    /// Hardware traps taken at marked exception sites, keyed by
+    /// `(function index, block index, instruction index)`.
+    pub traps: std::collections::BTreeMap<(u32, u32, u32), u64>,
+    /// Block executions, keyed by `(function index, block index)`.
+    pub blocks: std::collections::BTreeMap<(u32, u32), u64>,
 }
 
 /// Execution statistics: the raw material of every table in the paper.
@@ -187,7 +209,11 @@ pub struct ExceptionEvent {
 }
 
 /// The observable outcome of a run: what equivalence checking compares.
-#[derive(Clone, PartialEq, Debug)]
+///
+/// Equality deliberately ignores [`Outcome::site_counts`]: whether the
+/// per-site instrumentation was enabled is a property of the *observer*, not
+/// of the execution.
+#[derive(Clone, Debug)]
 pub struct Outcome {
     /// The entry function's return value (`None` for void or when an
     /// exception escaped).
@@ -205,6 +231,19 @@ pub struct Outcome {
     pub heap_digest: u64,
     /// Execution statistics.
     pub stats: RunStats,
+    /// Per-site counters (empty unless [`VmConfig::count_sites`]).
+    pub site_counts: SiteCounters,
+}
+
+impl PartialEq for Outcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.result == other.result
+            && self.exception == other.exception
+            && self.trace == other.trace
+            && self.events == other.events
+            && self.heap_digest == other.heap_digest
+            && self.stats == other.stats
+    }
 }
 
 impl Outcome {
@@ -267,6 +306,11 @@ pub struct Vm<'m> {
     stats: RunStats,
     trace: Vec<Value>,
     events: Vec<ExceptionEvent>,
+    site_counts: SiteCounters,
+    /// Function currently executing (for site-counter keys).
+    cur_func: u32,
+    /// Index of the instruction currently executing within its block.
+    cur_inst: u32,
 }
 
 impl<'m> Vm<'m> {
@@ -281,6 +325,9 @@ impl<'m> Vm<'m> {
             stats: RunStats::default(),
             trace: Vec::new(),
             events: Vec::new(),
+            site_counts: SiteCounters::default(),
+            cur_func: 0,
+            cur_inst: 0,
         }
     }
 
@@ -331,6 +378,7 @@ impl<'m> Vm<'m> {
             events: self.events,
             heap_digest: self.heap.mem.digest(),
             stats: self.stats,
+            site_counts: self.site_counts,
         })
     }
 
@@ -369,6 +417,19 @@ impl<'m> Vm<'m> {
     }
 
     fn call(
+        &mut self,
+        id: FunctionId,
+        args: Vec<Value>,
+        depth: usize,
+    ) -> Result<CallOutcome, Fault> {
+        let saved = self.cur_func;
+        self.cur_func = id.index() as u32;
+        let out = self.call_inner(id, args, depth);
+        self.cur_func = saved;
+        out
+    }
+
+    fn call_inner(
         &mut self,
         id: FunctionId,
         args: Vec<Value>,
@@ -420,8 +481,16 @@ impl<'m> Vm<'m> {
         depth: usize,
     ) -> Result<BlockExit, Fault> {
         let block = func.block(block_id);
-        for inst in &block.insts {
+        if self.config.count_sites {
+            *self
+                .site_counts
+                .blocks
+                .entry((self.cur_func, block_id.index() as u32))
+                .or_insert(0) += 1;
+        }
+        for (i, inst) in block.insts.iter().enumerate() {
             self.fuel()?;
+            self.cur_inst = i as u32;
             if let Some(kind) = self.exec_inst(func, block_id, inst, locals, depth)? {
                 self.stats.exceptions_thrown += 1;
                 return Ok(BlockExit::Threw(kind));
@@ -694,10 +763,17 @@ impl<'m> Vm<'m> {
                 };
                 locals[dst.index()] = Value::Int(b as i64);
             }
-            Inst::NullCheck { var, kind } => match kind {
+            Inst::NullCheck { var, kind, id } => match kind {
                 NullCheckKind::Explicit => {
                     self.charge(cost.explicit_null_check);
                     self.stats.explicit_null_checks += 1;
+                    if self.config.count_sites {
+                        *self
+                            .site_counts
+                            .explicit_checks
+                            .entry((self.cur_func, id.0))
+                            .or_insert(0) += 1;
+                    }
                     if locals[var.index()].is_null() {
                         self.charge(cost.throw_dispatch);
                         return Ok(Some(self.raise(ExceptionKind::NullPointer, func, block_id)));
@@ -972,6 +1048,13 @@ impl<'m> Vm<'m> {
                 self.stats.traps_taken += 1;
                 if site {
                     self.charge(self.platform.cost.trap_taken);
+                    if self.config.count_sites {
+                        *self
+                            .site_counts
+                            .traps
+                            .entry((self.cur_func, block_id.index() as u32, self.cur_inst))
+                            .or_insert(0) += 1;
+                    }
                     Ok(self.raise(ExceptionKind::NullPointer, func, block_id))
                 } else {
                     Err(Fault::UnexpectedTrap {

@@ -27,7 +27,9 @@ pub mod interp;
 pub mod value;
 
 pub use heap::Heap;
-pub use interp::{run_module, ExceptionEvent, Fault, Outcome, RunStats, Vm, VmConfig, VmError};
+pub use interp::{
+    run_module, ExceptionEvent, Fault, Outcome, RunStats, SiteCounters, Vm, VmConfig, VmError,
+};
 pub use value::Value;
 
 #[cfg(test)]
@@ -327,6 +329,7 @@ mod tests {
             stats: RunStats::default(),
             events: vec![],
             heap_digest: 0,
+            site_counts: SiteCounters::default(),
         };
         let mut b = a.clone();
         assert!(a.assert_equivalent(&b).is_ok());

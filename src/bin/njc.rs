@@ -2,23 +2,41 @@
 //!
 //! ```text
 //! njc <file.ir> [--config <name>] [--platform <name>] [--emit] [--run] [--all]
+//!               [--events-out PATH] [--trace-out PATH]
+//! njc explain <file.ir> [<fn> [<check-id>]] [--config <name>] [--platform <name>]
+//!               [--run] [--threads N] [--events-out PATH] [--trace-out PATH]
+//! njc explain --smoke [--threads N]
 //! njc difftest [--smoke] [--seeds N] [--legacy-addressing] [--fixtures DIR] [--out PATH]
 //!
-//!   --config    full (default) | phase1 | old | trap | none | speculation |
-//!               no-speculation | illegal-implicit
-//!   --platform  ia32 (default) | aix | s390
-//!   --emit      print the optimized IR
-//!   --run       execute `main` and print the outcome (default when no --emit)
-//!   --all       compare every configuration side by side
+//!   --config      full (default) | phase1 | old | trap | none | speculation |
+//!                 no-speculation | illegal-implicit
+//!   --platform    ia32 (default) | aix | s390
+//!   --emit        print the optimized IR
+//!   --run         execute `main` and print the outcome (default when no --emit)
+//!   --all         compare every configuration side by side
+//!   --events-out  write the deterministic JSON provenance event stream
+//!   --trace-out   write a Chrome-trace (chrome://tracing) pass timing profile
 //! ```
+//!
+//! The `explain` subcommand runs the optimizer with provenance tracing and
+//! prints the life story of every null check (or of one check, by `#N` id)
+//! of the named function: where it originated, which CFG motion hoisted it,
+//! which `In_fwd` fact eliminated it, under which trap-model rule it became
+//! implicit, or which later check substituted it. The conservation law
+//! `inserted = implicit + explicit + removed + substituted` is verified for
+//! every function; with `--run` the program is executed with per-site
+//! counters and every dynamic trap and executed explicit check is
+//! reconciled against the provenance stream. `--smoke` does all of the
+//! above for the built-in workload corpus across platforms (the CI gate).
 //!
 //! The `difftest` subcommand runs the differential execution and
 //! fault-injection harness (`njc_bench::difftest`): every workload plus a
 //! generated corpus through all optimizer configurations × all platform
 //! trap models, diffing full observable behavior. Exits non-zero on any
-//! divergence and prints the minimized reproducer path. `--smoke` runs the
-//! CI-sized subset; `--legacy-addressing` re-enables the wrapping address
-//! arithmetic bug as a self-test of the detector.
+//! divergence and prints the minimized reproducer path (divergence reports
+//! carry the optimizer's provenance explanation of the diverging cell).
+//! `--smoke` runs the CI-sized subset; `--legacy-addressing` re-enables the
+//! wrapping address arithmetic bug as a self-test of the detector.
 //!
 //! The input file contains one or more functions in the textual IR syntax
 //! (see `njc_ir::parse`), separated by blank lines. Classes referenced as
@@ -30,13 +48,14 @@ use std::process::ExitCode;
 
 use njc_arch::Platform;
 use njc_bench::difftest::{run_difftest, write_report, DiffOptions};
-use njc_ir::{Module, Type};
-use njc_opt::ConfigKind;
-use njc_vm::Vm;
+use njc_ir::{CheckId, FunctionId, Module, Type};
+use njc_observe::{chrome_trace_json, reconcile, ModuleTrace};
+use njc_opt::{ConfigKind, OptConfig, PipelineStats};
+use njc_vm::{SiteCounters, Vm, VmConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: njc <file.ir> [--config full|phase1|old|trap|none|speculation|no-speculation|illegal-implicit] [--platform ia32|aix|s390] [--emit] [--run] [--all]\n       njc difftest [--smoke] [--seeds N] [--legacy-addressing] [--fixtures DIR] [--out PATH]"
+        "usage: njc <file.ir> [--config full|phase1|old|trap|none|speculation|no-speculation|illegal-implicit] [--platform ia32|aix|s390] [--emit] [--run] [--all] [--events-out PATH] [--trace-out PATH]\n       njc explain <file.ir> [<fn> [<check-id>]] [--config ...] [--platform ...] [--run] [--threads N] [--events-out PATH] [--trace-out PATH]\n       njc explain --smoke [--threads N]\n       njc difftest [--smoke] [--seeds N] [--legacy-addressing] [--fixtures DIR] [--out PATH]"
     );
     ExitCode::FAILURE
 }
@@ -95,6 +114,11 @@ fn difftest_main(args: &[String]) -> ExitCode {
             if let Some(f) = &d.fixture {
                 eprintln!("  reproducer: {}", f.display());
             }
+            if let Some(p) = &d.provenance {
+                for line in p.lines() {
+                    eprintln!("  | {line}");
+                }
+            }
         }
         eprintln!(
             "difftest: FAILED ({} divergences)",
@@ -102,6 +126,265 @@ fn difftest_main(args: &[String]) -> ExitCode {
         );
         ExitCode::FAILURE
     }
+}
+
+/// Reconciles one traced module against one instrumented VM run: every
+/// hardware trap and every executed explicit check must map back to a
+/// provenance record. Returns the failure lines (empty = fully explained).
+fn reconcile_counts(module: &Module, trace: &ModuleTrace, counts: &SiteCounters) -> Vec<String> {
+    let mut failures = Vec::new();
+    for fi in 0..module.num_functions() {
+        let name = module.function(FunctionId::new(fi)).name();
+        let Some(ft) = trace.function(name) else {
+            failures.push(format!("{name}: no function trace"));
+            continue;
+        };
+        let traps: Vec<(njc_ir::BlockId, usize)> = counts
+            .traps
+            .keys()
+            .filter(|(f, _, _)| *f as usize == fi)
+            .map(|&(_, b, i)| (njc_ir::BlockId::new(b as usize), i as usize))
+            .collect();
+        let checks: Vec<CheckId> = counts
+            .explicit_checks
+            .keys()
+            .filter(|(f, _)| *f as usize == fi)
+            .map(|&(_, id)| CheckId(id))
+            .collect();
+        if let Err(missing) = reconcile(ft, &traps, &checks) {
+            failures.extend(missing);
+        }
+    }
+    failures
+}
+
+/// Optimizes with tracing, optionally runs `main` with per-site counters,
+/// and reports: the requested explanation, the conservation verdict, and
+/// (after a run) the dynamic reconciliation verdict.
+#[allow(clippy::too_many_arguments)]
+fn explain_one(
+    module: &Module,
+    platform: &Platform,
+    kind: ConfigKind,
+    fn_name: Option<&str>,
+    check: Option<CheckId>,
+    run: bool,
+    threads: usize,
+    quiet: bool,
+) -> Result<(PipelineStats, ModuleTrace), String> {
+    let mut optimized = module.clone();
+    let config = OptConfig {
+        threads,
+        ..kind.to_config(platform)
+    };
+    let (stats, trace) = njc_opt::optimize_module_traced(&mut optimized, platform, &config);
+    trace.check_conservation()?;
+    if !quiet {
+        match fn_name {
+            Some(name) => {
+                let ft = trace
+                    .function(name)
+                    .ok_or_else(|| format!("no function named `{name}`"))?;
+                if let Some(id) = check {
+                    if !ft.check_ids().contains(&id) {
+                        return Err(format!("{name} has no check {id}"));
+                    }
+                }
+                print!("{}", ft.explain(check));
+            }
+            None => {
+                for ft in &trace.functions {
+                    print!("{}", ft.explain(None));
+                }
+            }
+        }
+        println!(
+            "conservation: balanced ({} functions)",
+            trace.functions.len()
+        );
+    }
+    if run {
+        let vm = Vm::new(&optimized, *platform).with_config(VmConfig {
+            count_sites: true,
+            ..VmConfig::default()
+        });
+        let out = vm
+            .run("main", &[])
+            .map_err(|f| format!("VM fault while reconciling: {f}"))?;
+        let failures = reconcile_counts(&optimized, &trace, &out.site_counts);
+        if !failures.is_empty() {
+            return Err(format!("reconciliation failed:\n{}", failures.join("\n")));
+        }
+        let traps: u64 = out.site_counts.traps.values().sum();
+        let checks: u64 = out.site_counts.explicit_checks.values().sum();
+        if !quiet {
+            println!(
+                "reconciliation: {traps} traps and {checks} explicit check executions all \
+                 resolved to provenance records"
+            );
+        }
+    }
+    Ok((stats, trace))
+}
+
+/// `njc explain --smoke`: the CI gate. Every built-in workload and micro
+/// program, on every platform × a config sample covering phase 2, trivial
+/// conversion, and the Whaley baseline, must (a) balance its conservation
+/// ledger and (b) have every dynamic trap and executed explicit check
+/// resolve to a provenance record.
+fn explain_smoke(threads: usize) -> ExitCode {
+    let cells: &[(ConfigKind, Platform)] = &[
+        (ConfigKind::Full, Platform::windows_ia32()),
+        (ConfigKind::NoNullOptTrap, Platform::windows_ia32()),
+        (ConfigKind::OldNullCheck, Platform::linux_s390()),
+        (ConfigKind::AixNoSpeculation, Platform::aix_ppc()),
+    ];
+    let mut programs: Vec<(String, Module)> = njc_workloads::all()
+        .into_iter()
+        .map(|w| (w.name.to_string(), w.module))
+        .collect();
+    programs.extend(
+        njc_workloads::micro::all_micro()
+            .into_iter()
+            .map(|(n, m)| (n.to_string(), m)),
+    );
+    let mut checked = 0usize;
+    for (name, module) in &programs {
+        for (kind, platform) in cells {
+            match explain_one(module, platform, *kind, None, None, true, threads, true) {
+                Ok(_) => checked += 1,
+                Err(e) => {
+                    eprintln!(
+                        "explain --smoke: {name} × {kind:?} on {}: {e}",
+                        platform.name
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    println!(
+        "explain --smoke: {} programs × {} cells = {checked} traced runs, all ledgers balanced, \
+         all traps and checks reconciled",
+        programs.len(),
+        cells.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn explain_main(args: &[String]) -> ExitCode {
+    let mut file = None;
+    let mut fn_name: Option<String> = None;
+    let mut check: Option<CheckId> = None;
+    let mut kind = ConfigKind::Full;
+    let mut platform = Platform::windows_ia32();
+    let mut run = false;
+    let mut smoke = false;
+    let mut threads = 1usize;
+    let mut events_out: Option<std::path::PathBuf> = None;
+    let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--config" => match it.next().and_then(|s| parse_config(s)) {
+                Some(k) => kind = k,
+                None => return usage(),
+            },
+            "--platform" => match it.next().and_then(|s| parse_platform(s)) {
+                Some(p) => platform = p,
+                None => return usage(),
+            },
+            "--run" => run = true,
+            "--smoke" => smoke = true,
+            "--threads" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => threads = n,
+                None => return usage(),
+            },
+            "--events-out" => match it.next() {
+                Some(p) => events_out = Some(std::path::PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--trace-out" => match it.next() {
+                Some(p) => trace_out = Some(std::path::PathBuf::from(p)),
+                None => return usage(),
+            },
+            other if !other.starts_with('-') => {
+                if file.is_none() {
+                    file = Some(other.to_string());
+                } else if fn_name.is_none() {
+                    fn_name = Some(other.to_string());
+                } else if check.is_none() {
+                    match other.trim_start_matches('#').parse::<u32>() {
+                        Ok(n) => check = Some(CheckId(n)),
+                        Err(_) => return usage(),
+                    }
+                } else {
+                    return usage();
+                }
+            }
+            _ => return usage(),
+        }
+    }
+    if smoke {
+        return explain_smoke(threads);
+    }
+    let Some(file) = file else { return usage() };
+    let source = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("njc explain: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let module = match load_module(&source) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("njc explain: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match explain_one(
+        &module,
+        &platform,
+        kind,
+        fn_name.as_deref(),
+        check,
+        run,
+        threads,
+        false,
+    ) {
+        Ok((stats, trace)) => {
+            if let Err(e) = write_outputs(&stats, &trace, &events_out, &trace_out) {
+                eprintln!("njc explain: {e}");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("njc explain: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Writes the deterministic event stream and/or the Chrome-trace profile.
+fn write_outputs(
+    stats: &PipelineStats,
+    trace: &ModuleTrace,
+    events_out: &Option<std::path::PathBuf>,
+    trace_out: &Option<std::path::PathBuf>,
+) -> Result<(), String> {
+    if let Some(path) = events_out {
+        std::fs::write(path, trace.to_events_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("event stream written to {}", path.display());
+    }
+    if let Some(path) = trace_out {
+        let json = chrome_trace_json(&stats.timings, stats.wall_time);
+        std::fs::write(path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("chrome trace written to {}", path.display());
+    }
+    Ok(())
 }
 
 fn parse_config(s: &str) -> Option<ConfigKind> {
@@ -169,10 +452,21 @@ fn run_one(
     kind: ConfigKind,
     emit: bool,
     run: bool,
+    events_out: &Option<std::path::PathBuf>,
+    trace_out: &Option<std::path::PathBuf>,
 ) -> ExitCode {
     let mut optimized = module.clone();
     let config = kind.to_config(platform);
-    let stats = njc_opt::optimize_module(&mut optimized, platform, &config);
+    let stats = if events_out.is_some() || trace_out.is_some() {
+        let (stats, trace) = njc_opt::optimize_module_traced(&mut optimized, platform, &config);
+        if let Err(e) = write_outputs(&stats, &trace, events_out, trace_out) {
+            eprintln!("njc: {e}");
+            return ExitCode::FAILURE;
+        }
+        stats
+    } else {
+        njc_opt::optimize_module(&mut optimized, platform, &config)
+    };
     println!(
         "config: {} on {} — phase1 eliminated {}, inserted {}; implicit conversions {}; \
          trivial conversions {}; loads hoisted {}; loops versioned {}",
@@ -220,12 +514,17 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("difftest") {
         return difftest_main(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("explain") {
+        return explain_main(&args[1..]);
+    }
     let mut file = None;
     let mut kind = ConfigKind::Full;
     let mut platform = Platform::windows_ia32();
     let mut emit = false;
     let mut run = false;
     let mut all = false;
+    let mut events_out: Option<std::path::PathBuf> = None;
+    let mut trace_out: Option<std::path::PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -240,6 +539,14 @@ fn main() -> ExitCode {
             "--emit" => emit = true,
             "--run" => run = true,
             "--all" => all = true,
+            "--events-out" => match it.next() {
+                Some(p) => events_out = Some(std::path::PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--trace-out" => match it.next() {
+                Some(p) => trace_out = Some(std::path::PathBuf::from(p)),
+                None => return usage(),
+            },
             "--help" | "-h" => return usage(),
             other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
             _ => return usage(),
@@ -273,7 +580,7 @@ fn main() -> ExitCode {
         ];
         let mut code = ExitCode::SUCCESS;
         for k in kinds {
-            let c = run_one(&module, &platform, k, emit, run);
+            let c = run_one(&module, &platform, k, emit, run, &events_out, &trace_out);
             if c != ExitCode::SUCCESS {
                 code = c;
             }
@@ -281,6 +588,6 @@ fn main() -> ExitCode {
         }
         code
     } else {
-        run_one(&module, &platform, kind, emit, run)
+        run_one(&module, &platform, kind, emit, run, &events_out, &trace_out)
     }
 }
