@@ -124,7 +124,7 @@ pub enum Verdict {
     Panicked,
 }
 
-fn fault_label(f: &Fault) -> &'static str {
+pub(crate) fn fault_label(f: &Fault) -> &'static str {
     match f {
         Fault::UnexpectedTrap { .. } => "unexpected-trap",
         Fault::WildAccess { .. } => "wild-access",

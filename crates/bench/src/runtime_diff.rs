@@ -1,0 +1,222 @@
+//! Differential testing of the adaptive runtime.
+//!
+//! The tiered manager ([`TieredRuntime`]) must be *observationally
+//! invisible*: for any program, the adaptive run (tier-0 bodies, counters
+//! on, recompiled bodies swapping in mid-flight) and the steady-state run
+//! (final bodies, no adaptation) must agree with a single-shot tier-1
+//! compile on result, escaped exception, observation trace, exception
+//! events, and heap digest. This module replays a corpus in the style of
+//! [`crate::difftest`] — micros, deterministic probes, and generated
+//! fault programs — through the runtime and diffs every run against the
+//! single-shot reference. It also runs the runtime's own invariants per
+//! program: tiered reconciliation (every trap and explicit check resolves
+//! in some installed tier) and override convergence.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use njc_arch::Platform;
+use njc_ir::Module;
+use njc_opt::ConfigKind;
+use njc_runtime::TieredRuntime;
+use njc_vm::{run_module, Outcome};
+use njc_workloads::gen::{build_module, gen_fault_actions, Action, Rng};
+use njc_workloads::micro;
+
+use crate::difftest::fault_label;
+
+/// Corpus knobs for the runtime difftest.
+#[derive(Clone, Debug)]
+pub struct RuntimeDiffOptions {
+    /// Generated fault programs to draw.
+    pub seeds: u64,
+    /// Smoke mode: clamp the seed count for a fast CI gate.
+    pub smoke: bool,
+}
+
+impl Default for RuntimeDiffOptions {
+    fn default() -> Self {
+        RuntimeDiffOptions {
+            seeds: 24,
+            smoke: false,
+        }
+    }
+}
+
+/// Aggregate result of a runtime difftest run.
+#[derive(Clone, Debug, Default)]
+pub struct RuntimeDiffReport {
+    /// Programs replayed.
+    pub programs: usize,
+    /// (program, run) comparisons performed.
+    pub cells: usize,
+    /// Detected divergences, one human-readable line each.
+    pub divergences: Vec<String>,
+    /// Programs whose reference run ended in a structured fault (the
+    /// runtime must fault identically; these are compared, not skipped).
+    pub faulting_programs: usize,
+}
+
+impl RuntimeDiffReport {
+    /// Whether the run gates CI green.
+    pub fn is_clean(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+/// The corpus: every micro, the null-seeded probe (the adaptive runtime's
+/// home turf), and `seeds` generated fault programs.
+fn corpus(opts: &RuntimeDiffOptions) -> Vec<(String, Module)> {
+    let mut programs: Vec<(String, Module)> = micro::all_micro()
+        .into_iter()
+        .map(|(name, m)| (name.to_string(), m))
+        .collect();
+    programs.push((
+        "probe_null_seeded_loop".to_string(),
+        build_module(&[Action::NullSeededLoop(4, 2, vec![Action::Observe(0)])]),
+    ));
+    let seeds = if opts.smoke {
+        opts.seeds.min(8)
+    } else {
+        opts.seeds
+    };
+    for seed in 0..seeds {
+        let mut rng = Rng::new(seed);
+        let len = rng.range(1, 14);
+        let actions = gen_fault_actions(&mut rng, len, 2);
+        programs.push((format!("seed-{seed}"), build_module(&actions)));
+    }
+    programs
+}
+
+/// Compares `got` against the single-shot reference on every observable
+/// channel, pushing one line per difference.
+fn diff_outcomes(
+    program: &str,
+    run: &str,
+    reference: &Outcome,
+    got: &Outcome,
+    out: &mut Vec<String>,
+) {
+    if let Err(e) = reference.assert_equivalent(got) {
+        out.push(format!("{program}/{run}: {e}"));
+    }
+    let ref_events: Vec<_> = reference
+        .events
+        .iter()
+        .map(|e| (e.kind, e.at_trace))
+        .collect();
+    let got_events: Vec<_> = got.events.iter().map(|e| (e.kind, e.at_trace)).collect();
+    if ref_events != got_events {
+        out.push(format!(
+            "{program}/{run}: exception events {ref_events:?} vs {got_events:?}"
+        ));
+    }
+    if reference.heap_digest != got.heap_digest {
+        out.push(format!(
+            "{program}/{run}: heap digest {:#x} vs {:#x}",
+            reference.heap_digest, got.heap_digest
+        ));
+    }
+}
+
+/// Replays the corpus through the tiered runtime and diffs against the
+/// single-shot tier-1 compile.
+pub fn run_runtime_difftest(opts: &RuntimeDiffOptions) -> RuntimeDiffReport {
+    let platform = Platform::windows_ia32();
+    let mut report = RuntimeDiffReport::default();
+    for (name, module) in corpus(opts) {
+        report.programs += 1;
+        // Reference: single-shot compile at the runtime's tier-1 config.
+        let reference = {
+            let mut m = module.clone();
+            njc_opt::optimize_module(&mut m, &platform, &ConfigKind::Full.to_config(&platform));
+            run_module(&m, platform, "main", &[])
+        };
+        let tiered = catch_unwind(AssertUnwindSafe(|| {
+            TieredRuntime::new(module.clone(), platform).run("main", &[])
+        }));
+        let tiered = match tiered {
+            Ok(r) => r,
+            Err(_) => {
+                report
+                    .divergences
+                    .push(format!("{name}: tiered runtime PANICKED"));
+                continue;
+            }
+        };
+        match (&reference, &tiered) {
+            (Err(ref_fault), Err(rt_fault)) => {
+                report.cells += 1;
+                report.faulting_programs += 1;
+                if fault_label(ref_fault) != fault_label(rt_fault) {
+                    report.divergences.push(format!(
+                        "{name}: fault {} vs tiered fault {}",
+                        fault_label(ref_fault),
+                        fault_label(rt_fault)
+                    ));
+                }
+            }
+            (Err(ref_fault), Ok(_)) => {
+                report.cells += 1;
+                report.divergences.push(format!(
+                    "{name}: reference faults ({}) but tiered runtime completes",
+                    fault_label(ref_fault)
+                ));
+            }
+            (Ok(_), Err(rt_fault)) => {
+                report.cells += 1;
+                report.divergences.push(format!(
+                    "{name}: reference completes but tiered runtime faults ({})",
+                    fault_label(rt_fault)
+                ));
+            }
+            (Ok(reference), Ok(out)) => {
+                report.cells += 2;
+                diff_outcomes(
+                    &name,
+                    "adaptive",
+                    reference,
+                    &out.adaptive,
+                    &mut report.divergences,
+                );
+                diff_outcomes(
+                    &name,
+                    "steady",
+                    reference,
+                    &out.steady,
+                    &mut report.divergences,
+                );
+                if let Err(mut fails) = out.reconcile() {
+                    report
+                        .divergences
+                        .extend(fails.drain(..).map(|f| format!("{name}/reconcile: {f}")));
+                }
+                if let Err(mut fails) = out.verify_convergence() {
+                    report
+                        .divergences
+                        .extend(fails.drain(..).map(|f| format!("{name}/convergence: {f}")));
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_corpus_is_clean() {
+        let report = run_runtime_difftest(&RuntimeDiffOptions {
+            seeds: 4,
+            smoke: true,
+        });
+        assert!(report.programs > 10, "micros + probe + seeds");
+        assert!(
+            report.is_clean(),
+            "tiered runtime diverged:\n{}",
+            report.divergences.join("\n")
+        );
+    }
+}

@@ -1,8 +1,10 @@
 //! Shared analysis context: how instructions look to the null check
 //! optimizer under a given platform trap model.
 
+use std::collections::BTreeSet;
+
 use njc_arch::TrapModel;
-use njc_ir::{Function, Inst, Module, SlotAccess, VarId};
+use njc_ir::{AccessKind, Function, Inst, Module, SlotAccess, VarId};
 
 /// How a slot access behaves when its base reference is null, from the
 /// *compiler's* point of view.
@@ -24,6 +26,61 @@ pub enum AccessClass {
     Hazard,
 }
 
+/// A per-function set of slot keys — `(statically known byte offset,
+/// access kind)` pairs — whose accesses must keep an **explicit** null
+/// check even though the trap model guarantees a hardware trap there.
+///
+/// This is the adaptive runtime's feedback channel into phase 2: a site the
+/// profiler observed trapping at run time (a real trap costs
+/// [`njc_arch::CostModel::trap_taken`] cycles, §3.3 of the paper) is keyed
+/// by its slot access and recompiled with the key in this set, which
+/// downgrades the access from `TrapGuaranteed` to `Hazard` in
+/// [`AnalysisCtx::classify_access`] — so every analysis (forward motion,
+/// site marking, substitution, provenance collection) uniformly treats it
+/// as unable to carry an implicit check.
+///
+/// Keys use the *resolved* slot offset rather than positional identity
+/// (block/instruction index), so they survive recompilation from the
+/// pristine body even though the optimized layouts of different
+/// configurations disagree about positions.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct ExplicitOverride {
+    keys: BTreeSet<(u64, AccessKind)>,
+}
+
+impl ExplicitOverride {
+    /// An empty override set (equivalent to passing no overrides).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a slot key; returns whether it was newly inserted.
+    pub fn insert(&mut self, offset: u64, kind: AccessKind) -> bool {
+        self.keys.insert((offset, kind))
+    }
+
+    /// Whether the slot key is overridden.
+    pub fn contains(&self, offset: u64, kind: AccessKind) -> bool {
+        self.keys.contains(&(offset, kind))
+    }
+
+    /// Number of overridden slot keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The keys in sorted order (deterministic; used for content-addressed
+    /// cache keys and reports).
+    pub fn keys(&self) -> impl Iterator<Item = (u64, AccessKind)> + '_ {
+        self.keys.iter().copied()
+    }
+}
+
 /// Context shared by all analyses: the module (for field offsets) and the
 /// platform trap model.
 #[derive(Clone, Copy, Debug)]
@@ -32,12 +89,54 @@ pub struct AnalysisCtx<'a> {
     pub module: &'a Module,
     /// The platform's trap capabilities.
     pub trap: TrapModel,
+    /// Profile-driven per-site explicit check overrides, if any.
+    overrides: Option<&'a ExplicitOverride>,
 }
 
 impl<'a> AnalysisCtx<'a> {
     /// Creates a context.
     pub fn new(module: &'a Module, trap: TrapModel) -> Self {
-        AnalysisCtx { module, trap }
+        AnalysisCtx {
+            module,
+            trap,
+            overrides: None,
+        }
+    }
+
+    /// Creates a context with a profile-driven [`ExplicitOverride`] set:
+    /// accesses whose slot key is in the set classify as [`AccessClass::
+    /// Hazard`] instead of [`AccessClass::TrapGuaranteed`], forcing phase 2
+    /// to materialize explicit checks for them.
+    pub fn with_overrides(
+        module: &'a Module,
+        trap: TrapModel,
+        overrides: &'a ExplicitOverride,
+    ) -> Self {
+        AnalysisCtx {
+            module,
+            trap,
+            overrides: if overrides.is_empty() {
+                None
+            } else {
+                Some(overrides)
+            },
+        }
+    }
+
+    /// Whether `inst`'s slot access (if any) is suppressed by the override
+    /// set — i.e. it would be `TrapGuaranteed` under the bare trap model but
+    /// classifies as `Hazard` here.
+    pub fn is_overridden(&self, inst: &Inst) -> bool {
+        let Some(ov) = self.overrides else {
+            return false;
+        };
+        let Some(sa) = self.slot_access(inst) else {
+            return false;
+        };
+        match sa.offset {
+            Some(off) => self.trap.access_traps(sa.kind, Some(off)) && ov.contains(off, sa.kind),
+            None => false,
+        }
     }
 
     /// The slot access performed by `inst`, if any, with offsets resolved
@@ -48,10 +147,21 @@ impl<'a> AnalysisCtx<'a> {
 
     /// Classifies the slot access performed by `inst` (if any) under the
     /// trap model, returning the base variable and its [`AccessClass`].
+    ///
+    /// When the context carries an [`ExplicitOverride`] set, a
+    /// `TrapGuaranteed` access whose slot key is overridden is downgraded to
+    /// `Hazard`: the compiler may no longer let it carry an implicit check,
+    /// so phase 2 materializes an explicit check in front of it instead.
+    /// The downgrade happens *here*, in the one classification choke point,
+    /// so forward motion, site marking, substitution, ordinal counting, and
+    /// provenance collection all see the same world.
     pub fn classify_access(&self, inst: &Inst) -> Option<(VarId, AccessClass)> {
         let sa = self.slot_access(inst)?;
         let class = match sa.offset {
-            Some(off) if self.trap.access_traps(sa.kind, Some(off)) => AccessClass::TrapGuaranteed,
+            Some(off) if self.trap.access_traps(sa.kind, Some(off)) => match self.overrides {
+                Some(ov) if ov.contains(off, sa.kind) => AccessClass::Hazard,
+                _ => AccessClass::TrapGuaranteed,
+            },
             Some(off) if off < self.trap.trap_area_bytes => AccessClass::Silent,
             _ => AccessClass::Hazard,
         };
@@ -177,6 +287,47 @@ mod tests {
         assert_eq!(
             ctx.classify_access(&getfield(f)),
             Some((VarId(0), AccessClass::Hazard))
+        );
+    }
+
+    #[test]
+    fn override_downgrades_guaranteed_access_to_hazard() {
+        let m = test_module();
+        let f = m.field(m.class_by_name("C").unwrap(), "near").unwrap();
+        let off = m.field_offset(f);
+        let mut ov = ExplicitOverride::new();
+        assert!(ov.insert(off, AccessKind::Read));
+        assert!(!ov.insert(off, AccessKind::Read), "idempotent");
+        let ctx = AnalysisCtx::with_overrides(&m, TrapModel::windows_ia32(), &ov);
+        assert_eq!(
+            ctx.classify_access(&getfield(f)),
+            Some((VarId(0), AccessClass::Hazard)),
+            "overridden read no longer carries an implicit check"
+        );
+        assert!(ctx.is_overridden(&getfield(f)));
+        // The matching write has a different slot key and is untouched.
+        let w = Inst::PutField {
+            obj: VarId(0),
+            field: f,
+            value: VarId(1),
+            exception_site: false,
+        };
+        assert_eq!(
+            ctx.classify_access(&w),
+            Some((VarId(0), AccessClass::TrapGuaranteed))
+        );
+        assert!(!ctx.is_overridden(&w));
+    }
+
+    #[test]
+    fn empty_override_set_is_inert() {
+        let m = test_module();
+        let ov = ExplicitOverride::new();
+        let ctx = AnalysisCtx::with_overrides(&m, TrapModel::windows_ia32(), &ov);
+        let f = m.field(m.class_by_name("C").unwrap(), "near").unwrap();
+        assert_eq!(
+            ctx.classify_access(&getfield(f)),
+            Some((VarId(0), AccessClass::TrapGuaranteed))
         );
     }
 

@@ -44,7 +44,7 @@ pub mod phase2;
 pub mod trivial;
 pub mod whaley;
 
-pub use ctx::{AccessClass, AnalysisCtx};
+pub use ctx::{AccessClass, AnalysisCtx, ExplicitOverride};
 pub use phase1::Phase1Stats;
 pub use phase2::Phase2Stats;
 pub use trivial::TrivialStats;

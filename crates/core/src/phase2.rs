@@ -286,11 +286,20 @@ fn rewrite_block(
                         }
                     }
                     AccessClass::Hazard => {
+                        // A profile-driven override classifies as Hazard so
+                        // every analysis agrees the site cannot carry an
+                        // implicit check, but the life story distinguishes
+                        // the deliberate downgrade from a genuine hazard.
+                        let cause = if ctx.is_overridden(&inst) {
+                            ExplicitCause::Override
+                        } else {
+                            ExplicitCause::Hazard
+                        };
                         emit_explicit(
                             &mut out,
                             base.index(),
                             pending_id[base.index()],
-                            ExplicitCause::Hazard,
+                            cause,
                             n,
                             stats,
                             rec,
@@ -675,6 +684,51 @@ bb0:
         assert_eq!(stats.converted_implicit, 1);
         assert_eq!(count_explicit(&f), 0, "{f}");
         assert!(f.block(BlockId(0)).insts[0].is_exception_site());
+    }
+
+    #[test]
+    fn override_keeps_check_explicit_and_records_cause() {
+        // Same shape as the conversion test above, but with the read's slot
+        // key in an ExplicitOverride set: the site must NOT be marked, the
+        // check must materialize explicitly, and the life story must name
+        // the profile override as the cause.
+        let src = "\
+func f(v0: ref) -> int {
+bb0:
+  nullcheck v0
+  v1 = getfield v0, field0
+  return v1
+}";
+        let m = module();
+        let off = m.field_offset(njc_ir::FieldId(0));
+        let mut ov = crate::ctx::ExplicitOverride::new();
+        ov.insert(off, njc_ir::AccessKind::Read);
+        let ctx = AnalysisCtx::with_overrides(&m, TrapModel::windows_ia32(), &ov);
+        let mut f = parse_function(src).unwrap();
+        let mut rec = Recorder::new(true);
+        rec.assign_origins(&mut f);
+        let mut cfg = njc_ir::CfgCache::new();
+        let stats = run_recorded(&ctx, &mut f, &mut cfg, &mut rec);
+        verify(&f).expect("phase2 output verifies");
+        assert_eq!(stats.converted_implicit, 0);
+        assert_eq!(count_explicit(&f), 1, "{f}");
+        assert_eq!(count_exception_sites(&f), 0, "{f}");
+        assert!(
+            rec.events.iter().any(|e| matches!(
+                e,
+                CheckEvent::Phase2Explicit {
+                    cause: ExplicitCause::Override,
+                    ..
+                }
+            )),
+            "override cause recorded: {:?}",
+            rec.events
+        );
+        // Without the override, the identical input converts to implicit.
+        let bare = AnalysisCtx::new(&m, TrapModel::windows_ia32());
+        let mut g = parse_function(src).unwrap();
+        let s2 = run(&bare, &mut g);
+        assert_eq!(s2.converted_implicit, 1);
     }
 
     #[test]

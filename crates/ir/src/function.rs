@@ -338,6 +338,27 @@ impl Function {
     pub fn edge_crosses_try(&self, from: BlockId, to: BlockId) -> bool {
         self.block(from).try_region != self.block(to).try_region
     }
+
+    /// Content hash of the function body: FNV-1a over the canonical textual
+    /// form, which round-trips every identity field (name, signature, local
+    /// types, try regions, blocks, instructions including check ids and
+    /// exception-site marks, terminators).
+    ///
+    /// The hash covers exactly what [`PartialEq`] covers: equal functions
+    /// always hash equal, and the CFG [`Function::generation`] counter is
+    /// excluded — so an instruction-list rewrite through
+    /// [`Function::insts_mut`] that restores the original content restores
+    /// the original hash. The adaptive runtime's code cache uses this as its
+    /// content address.
+    pub fn body_hash(&self) -> u64 {
+        let text = self.to_string();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in text.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -461,6 +482,37 @@ mod tests {
         let mut b = diamond();
         let _ = b.block_mut(entry);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn body_hash_tracks_content_not_generation() {
+        let mut a = diamond();
+        let b = diamond();
+        let h0 = a.body_hash();
+        assert_eq!(h0, b.body_hash(), "equal functions hash equal");
+        // Generation bumps (CFG-mutating *access* without an actual content
+        // change) leave the hash alone.
+        let entry = a.entry();
+        let _ = a.block_mut(entry);
+        assert!(a.generation() > b.generation());
+        assert_eq!(a.body_hash(), h0);
+        // A non-bumping insts_mut rewrite that changes content changes the
+        // hash; restoring the content restores the hash.
+        let saved = a.insts_mut(entry).clone();
+        a.insts_mut(entry).clear();
+        assert_ne!(a.body_hash(), h0);
+        *a.insts_mut(entry) = saved;
+        assert_eq!(a.body_hash(), h0);
+    }
+
+    #[test]
+    fn body_hash_differs_across_bodies() {
+        let d = diamond();
+        let mut b = FuncBuilder::new("diamond", &[Type::Int], Type::Int);
+        let x = b.param(0);
+        b.ret(Some(x));
+        let other = b.finish();
+        assert_ne!(d.body_hash(), other.body_hash());
     }
 
     #[test]

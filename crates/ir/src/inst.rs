@@ -108,7 +108,7 @@ pub enum NullCheckKind {
 ///
 /// The distinction matters because some operating systems (AIX in the paper)
 /// deliver hardware traps only for *writes* to the protected page.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum AccessKind {
     /// The access reads memory.
     Read,

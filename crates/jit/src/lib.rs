@@ -2,9 +2,11 @@
 //!
 //! Glues the pieces together the way the paper's evaluation does: a
 //! workload is compiled under one of the [`ConfigKind`] configurations
-//! (with per-pass wall-clock metering for the Tables 3–5 compile-time
-//! experiments), executed on the [`njc_vm`] interpreter, and checked for
-//! observational equivalence against its unoptimized form.
+//! (with thread-CPU per-pass metering for the Tables 3–5 compile-time
+//! experiments, via [`njc_observe::PassTimer`] — matching the pipeline's
+//! own timers, so a concurrent sibling can't inflate the numbers),
+//! executed on the [`njc_vm`] interpreter, and checked for observational
+//! equivalence against its unoptimized form.
 //!
 //! ```
 //! use njc_arch::Platform;
@@ -22,10 +24,11 @@
 //! let _ = jbm_index(w.work_units, out_full.stats.cycles, &p);
 //! ```
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use njc_analysis::ValidationReport;
 use njc_arch::Platform;
+use njc_observe::PassTimer;
 use njc_opt::{optimize_module, ConfigKind, OptConfig, PipelineStats};
 use njc_vm::{Fault, Outcome, Vm, VmConfig};
 use njc_workloads::Workload;
@@ -43,7 +46,9 @@ pub struct Compiled {
     pub module: njc_ir::Module,
     /// Per-pass statistics and timings.
     pub stats: PipelineStats,
-    /// Total compile wall time.
+    /// Total compile time, measured as this thread's CPU time (falling back
+    /// to wall clock off Linux) so the figure agrees with the per-pass
+    /// [`PassTimer`] breakdown in [`PipelineStats`].
     pub wall: Duration,
 }
 
@@ -62,7 +67,7 @@ pub fn compile_config(
     config: &OptConfig,
 ) -> Compiled {
     let mut module = workload.module.clone();
-    let t = Instant::now();
+    let t = PassTimer::start();
     let stats = optimize_module(&mut module, platform, config);
     let wall = t.elapsed();
     Compiled {
@@ -90,7 +95,7 @@ pub fn compile_validated(
         validate: true,
         ..kind.to_config(platform)
     };
-    let t = Instant::now();
+    let t = PassTimer::start();
     let stats = njc_opt::optimize_module_validated(&mut module, platform, &config)?;
     let wall = t.elapsed();
     Ok(Compiled {

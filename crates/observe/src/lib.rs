@@ -60,6 +60,12 @@ pub enum ExplicitCause {
     Overwrite,
     /// Block end, and no successor could take the check (not postponable).
     BlockEnd,
+    /// A profile-driven override: the runtime observed this site taking real
+    /// hardware traps (each costing `CostModel::trap_taken` cycles) and
+    /// recompiled the function with the site's slot key in an
+    /// `ExplicitOverride` set, so the trap-guaranteed access was deliberately
+    /// treated as a hazard and kept behind an explicit check.
+    Override,
 }
 
 /// What covers a check that phase 2's substitution removed (§4.2's
@@ -577,6 +583,7 @@ impl CheckEvent {
                     ExplicitCause::Barrier => "barrier",
                     ExplicitCause::Overwrite => "overwrite",
                     ExplicitCause::BlockEnd => "block-end",
+                    ExplicitCause::Override => "override",
                 }
             ),
             CheckEvent::Phase2Postponed { id, var, block } => format!(
@@ -679,6 +686,9 @@ impl CheckEvent {
                     }
                     ExplicitCause::BlockEnd =>
                         "block end, and a successor cannot take the obligation",
+                    ExplicitCause::Override =>
+                        "the profiler observed this site trapping at run time; a \
+                         profile override keeps the check explicit",
                 }
             ),
             CheckEvent::Phase2Postponed { var, block, .. } => format!(
@@ -966,6 +976,98 @@ pub fn reconcile(
         Ok(())
     } else {
         Err(missing)
+    }
+}
+
+/// [`reconcile`] across *tiers*: a function recompiled mid-run accumulates
+/// dynamic observations under more than one compiled body, and a trap site
+/// or check id need only resolve against the provenance of **some** tier
+/// that was installed during the run (the CheckId conservation law holds
+/// per tier; the union covers the whole run).
+///
+/// # Errors
+/// Returns one line per observation no tier's trace can explain.
+pub fn reconcile_tiered(
+    traces: &[&FunctionTrace],
+    trap_sites: &[(BlockId, usize)],
+    executed_checks: &[CheckId],
+) -> Result<(), Vec<String>> {
+    let mut missing = Vec::new();
+    if traces.is_empty() {
+        return Ok(());
+    }
+    for &(block, inst) in trap_sites {
+        if !traces.iter().any(|t| t.resolve_site(block, inst).is_some()) {
+            missing.push(format!(
+                "{}: trap at {block} inst {inst} has no provenance record in any tier",
+                traces[0].function
+            ));
+        }
+    }
+    for &id in executed_checks {
+        let materialized = traces.iter().any(|t| {
+            t.events_for(id).iter().any(|e| {
+                matches!(
+                    e,
+                    CheckEvent::Origin { .. }
+                        | CheckEvent::Phase1Inserted { .. }
+                        | CheckEvent::Phase2Explicit { .. }
+                        | CheckEvent::Phase2Respawn { .. }
+                )
+            })
+        });
+        if !materialized && traces.iter().any(|t| !t.events.is_empty()) {
+            missing.push(format!(
+                "{}: executed explicit check {id} has no materialization event in any tier",
+                traces[0].function
+            ));
+        }
+    }
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(missing)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recompilation events
+// ---------------------------------------------------------------------------
+
+/// One adaptive-runtime recompilation, for the observability ledger: which
+/// function moved tiers, why, and whether the new body came from the code
+/// cache or a fresh compile.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RecompileEvent {
+    /// Function name.
+    pub function: String,
+    /// Configuration name the function was promoted to (e.g. `"Full"`).
+    pub to_config: String,
+    /// Number of slot keys in the `ExplicitOverride` set it was compiled
+    /// with.
+    pub overrides: usize,
+    /// Whether the artifact was served from the code cache.
+    pub cache_hit: bool,
+    /// Whether the swap landed while the VM was still executing (a mid-run
+    /// safe-point swap rather than a between-runs install).
+    pub mid_run: bool,
+    /// VM call count in the profile snapshot that triggered the decision.
+    pub at_calls: u64,
+}
+
+impl RecompileEvent {
+    /// Deterministic single-line JSON (stable field order).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"ev\":\"recompile\",\"function\":\"{}\",\"to\":\"{}\",\"overrides\":{},\
+             \"cache_hit\":{},\"mid_run\":{},\"at_calls\":{}}}",
+            esc(&self.function),
+            esc(&self.to_config),
+            self.overrides,
+            self.cache_hit,
+            self.mid_run,
+            self.at_calls
+        )
     }
 }
 

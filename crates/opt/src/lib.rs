@@ -33,7 +33,7 @@ pub mod versioning;
 
 pub use inline::{InlineConfig, InlineStats};
 pub use pipeline::{
-    optimize_module, optimize_module_traced, optimize_module_validated, ConfigKind, NullOpt,
-    OptConfig, PipelineStats,
+    optimize_function_overridden, optimize_module, optimize_module_traced,
+    optimize_module_validated, prepare_module, ConfigKind, NullOpt, OptConfig, PipelineStats,
 };
 pub use scalar::{ScalarConfig, ScalarStats};

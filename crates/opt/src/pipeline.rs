@@ -13,7 +13,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use njc_arch::{Platform, TrapModel};
-use njc_core::ctx::AnalysisCtx;
+use njc_core::ctx::{AnalysisCtx, ExplicitOverride};
 use njc_core::{collect_site_records, phase1, phase2, trivial, whaley, NullCheckStats};
 use njc_ir::{CfgCache, Function, FunctionId, Module};
 use njc_observe::{CheckEvent, FunctionTrace, Ledger, ModuleTrace, PassTimer, Recorder};
@@ -431,13 +431,21 @@ pub fn optimize_module_traced(
     (stats, trace)
 }
 
-fn optimize_module_impl(
+/// Runs the **module-level** passes only — intrinsic substitution,
+/// devirtualization + inlining, and (under `validate`) the input check —
+/// leaving every function ready for the per-function stages.
+///
+/// [`optimize_module`] is exactly `prepare_module` followed by
+/// per-function optimization; the adaptive runtime calls this once per
+/// tier and then recompiles individual hot functions through
+/// [`optimize_function_overridden`] against the prepared module, which is
+/// what makes a per-function recompile byte-identical to the function's
+/// slice of a single-shot module compile.
+pub fn prepare_module(
     module: &mut Module,
     platform: &Platform,
     config: &OptConfig,
-    traced: bool,
-) -> (PipelineStats, Vec<FunctionTrace>) {
-    let wall = Instant::now();
+) -> PipelineStats {
     let mut stats = PipelineStats::default();
 
     // Intrinsic substitution (before inlining: an intrinsified call site is
@@ -463,6 +471,17 @@ fn optimize_module_impl(
             stats.validation_failures.push(format!("[input] {v}"));
         }
     }
+    stats
+}
+
+fn optimize_module_impl(
+    module: &mut Module,
+    platform: &Platform,
+    config: &OptConfig,
+    traced: bool,
+) -> (PipelineStats, Vec<FunctionTrace>) {
+    let wall = Instant::now();
+    let mut stats = prepare_module(module, platform, config);
 
     // Per-function stages: Figure 2's iterated architecture-independent
     // loop, loop versioning, and the architecture-dependent phase. Every
@@ -557,8 +576,32 @@ fn optimize_function_traced(
     func: &mut Function,
     traced: bool,
 ) -> (PipelineStats, Option<FunctionTrace>) {
+    optimize_function_overridden(module, platform, config, func, None, traced)
+}
+
+/// The public per-function recompile entry point: runs every per-function
+/// stage on `func` against an already-[`prepare_module`]d `module`, with an
+/// optional profile-driven [`ExplicitOverride`] set threaded into the
+/// architecture-dependent phase (phase 2 materializes explicit checks at
+/// the overridden slot keys instead of converting them to traps).
+///
+/// With `overrides = None` this is byte-identical to the function's slice
+/// of [`optimize_module`] / [`optimize_module_traced`] on the same prepared
+/// module — same IR, same [`CheckId`](njc_ir::CheckId) assignment (ids are
+/// assigned deterministically from the pristine body, so a recompile
+/// reproduces them), same ledger. The adaptive runtime's code cache relies
+/// on that determinism for artifact byte-identity between a cache hit and a
+/// recompile.
+pub fn optimize_function_overridden(
+    module: &Module,
+    platform: &Platform,
+    config: &OptConfig,
+    func: &mut Function,
+    overrides: Option<&ExplicitOverride>,
+    traced: bool,
+) -> (PipelineStats, Option<FunctionTrace>) {
     let mut rec = Recorder::new(traced);
-    let stats = optimize_function(module, platform, config, func, &mut rec);
+    let stats = optimize_function(module, platform, config, func, overrides, &mut rec);
     let trace = traced.then(|| build_trace(func, &stats, rec));
     (stats, trace)
 }
@@ -646,10 +689,14 @@ fn optimize_function(
     platform: &Platform,
     config: &OptConfig,
     func: &mut Function,
+    overrides: Option<&ExplicitOverride>,
     rec: &mut Recorder,
 ) -> PipelineStats {
     let mut stats = PipelineStats::default();
-    let ctx = AnalysisCtx::new(module, config.compiler_trap);
+    let ctx = match overrides {
+        Some(ov) => AnalysisCtx::with_overrides(module, config.compiler_trap, ov),
+        None => AnalysisCtx::new(module, config.compiler_trap),
+    };
     let mut cfg = CfgCache::new();
 
     // Every check the function arrives with gets its stable identity (and,
@@ -899,6 +946,48 @@ mod tests {
         .unwrap();
         m.add_function(f);
         m
+    }
+
+    #[test]
+    fn per_function_recompile_matches_module_compile() {
+        // prepare_module + optimize_function_overridden(None) must be
+        // byte-identical to the single-shot module pipeline: same IR, same
+        // events, same site records — the determinism the adaptive
+        // runtime's code cache depends on.
+        let p = Platform::windows_ia32();
+        let cfg = ConfigKind::Full.to_config(&p);
+        let mut whole = loop_module();
+        let (_, trace) = optimize_module_traced(&mut whole, &p, &cfg);
+        let mut split = loop_module();
+        prepare_module(&mut split, &p, &cfg);
+        let mut f = take_function(&mut split, FunctionId::new(0));
+        let (_, ftrace) = optimize_function_overridden(&split, &p, &cfg, &mut f, None, true);
+        put_function(&mut split, FunctionId::new(0), f);
+        assert_eq!(whole, split, "same optimized module");
+        let ftrace = ftrace.unwrap();
+        assert_eq!(trace.functions[0].events, ftrace.events);
+        assert_eq!(trace.functions[0].sites, ftrace.sites);
+        ftrace.ledger.check().unwrap();
+    }
+
+    #[test]
+    fn overridden_site_stays_explicit_through_full_pipeline() {
+        let p = Platform::windows_ia32();
+        let cfg = ConfigKind::Full.to_config(&p);
+        let mut m = loop_module();
+        let off = m.field_offset(njc_ir::FieldId(0));
+        prepare_module(&mut m, &p, &cfg);
+        let mut ov = ExplicitOverride::new();
+        ov.insert(off, njc_ir::AccessKind::Read);
+        let mut f = take_function(&mut m, FunctionId::new(0));
+        let (_, trace) = optimize_function_overridden(&m, &p, &cfg, &mut f, Some(&ov), true);
+        assert!(count_explicit(&f) >= 1, "override keeps a real check: {f}");
+        assert_eq!(
+            count_exception_sites(&f),
+            0,
+            "the only trap-qualifying access is overridden: {f}"
+        );
+        trace.unwrap().ledger.check().unwrap();
     }
 
     #[test]

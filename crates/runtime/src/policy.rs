@@ -1,0 +1,196 @@
+//! The profile policy: which functions deserve a tier-1 recompile, and
+//! which implicit sites should come back explicit.
+//!
+//! The decision rule is the paper's trap-cost model inverted. An implicit
+//! null check is free until it fires; once a site's observed trap rate
+//! exceeds `explicit_null_check / trap_taken` (on IA32, 2/1200 — i.e. a
+//! trap every ~600 executions), paying the explicit compare-and-branch on
+//! every execution is cheaper than the occasional trap, and the site goes
+//! into the function's [`ExplicitOverride`] set for phase 2.
+
+use njc_arch::CostModel;
+use njc_core::ExplicitOverride;
+use njc_ir::{FieldId, Function};
+use njc_vm::SiteCounters;
+
+/// Tunable thresholds for the tiering decisions.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ProfilePolicy {
+    /// Traps-per-execution ratio above which an implicit site is judged
+    /// hot-trapping. The break-even default is
+    /// `cost.explicit_null_check / cost.trap_taken`.
+    pub trap_ratio: f64,
+    /// Minimum executions of a site's block before judging its trap rate
+    /// (avoids promoting on one unlucky early trap).
+    pub min_site_executions: u64,
+    /// Minimum peak block-execution count for a function to be considered
+    /// hot (and recompiled at the optimizing tier even with no trapping
+    /// sites). Peak rather than entry count so a function entered once but
+    /// looping forever still tiers up.
+    pub hot_function_calls: u64,
+}
+
+impl ProfilePolicy {
+    /// Break-even thresholds for `cost` (paper §2.1's trap-cost model).
+    pub fn from_cost(cost: &CostModel) -> Self {
+        ProfilePolicy {
+            trap_ratio: cost.explicit_null_check as f64 / cost.trap_taken as f64,
+            min_site_executions: 16,
+            hot_function_calls: 64,
+        }
+    }
+}
+
+/// One function's verdict for a single profile poll.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FunctionPlan {
+    /// Function index in the module.
+    pub index: usize,
+    /// Whether the function earned a tier-1 recompile.
+    pub hot: bool,
+    /// Slot keys whose implicit checks should be forced explicit.
+    pub overrides: ExplicitOverride,
+}
+
+fn delta<K: Ord + Copy>(
+    current: &std::collections::BTreeMap<K, u64>,
+    baseline: Option<&std::collections::BTreeMap<K, u64>>,
+    key: K,
+) -> u64 {
+    let cur = current.get(&key).copied().unwrap_or(0);
+    let base = baseline.and_then(|b| b.get(&key)).copied().unwrap_or(0);
+    cur.saturating_sub(base)
+}
+
+impl ProfilePolicy {
+    /// Judges one function against the profile.
+    ///
+    /// `body` must be the body the counters were collected against (the
+    /// currently installed tier); `baseline` is the counter snapshot taken
+    /// when that body was installed, so only the *delta* — traps the
+    /// current tier actually took — drives the decision. Counter keys that
+    /// no longer resolve in `body` (stale, from an earlier tier) are
+    /// ignored.
+    pub fn assess(
+        &self,
+        index: usize,
+        body: &Function,
+        field_offset: &dyn Fn(FieldId) -> u64,
+        current: &SiteCounters,
+        baseline: Option<&SiteCounters>,
+    ) -> FunctionPlan {
+        let fi = index as u32;
+        let executions = current
+            .blocks
+            .keys()
+            .filter(|(f, _)| *f == fi)
+            .map(|&k| delta(&current.blocks, baseline.map(|b| &b.blocks), k))
+            .max()
+            .unwrap_or(0);
+        let mut overrides = ExplicitOverride::new();
+        for &(f, b, i) in current.traps.keys() {
+            if f != fi {
+                continue;
+            }
+            let traps = delta(&current.traps, baseline.map(|s| &s.traps), (f, b, i));
+            if traps == 0 {
+                continue;
+            }
+            let block_execs = delta(&current.blocks, baseline.map(|s| &s.blocks), (f, b));
+            if block_execs < self.min_site_executions {
+                continue;
+            }
+            if (traps as f64) / (block_execs as f64) <= self.trap_ratio {
+                continue;
+            }
+            // Resolve the trapping instruction to its slot key, skipping
+            // indices stale against the current body.
+            let Some(block) = body.blocks().get(b as usize) else {
+                continue;
+            };
+            let Some(inst) = block.insts.get(i as usize) else {
+                continue;
+            };
+            let Some(sa) = inst.slot_access(field_offset) else {
+                continue;
+            };
+            if let Some(off) = sa.offset {
+                overrides.insert(off, sa.kind);
+            }
+        }
+        FunctionPlan {
+            index,
+            hot: executions >= self.hot_function_calls || !overrides.is_empty(),
+            overrides,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use njc_arch::Platform;
+    use njc_ir::parse_function;
+
+    fn body() -> Function {
+        parse_function(
+            "func f(v0: ref) -> int {\n  locals v1: int\nbb0:\n  v1 = getfield v0, field0 [site]\n  return v1\n}",
+        )
+        .unwrap()
+    }
+
+    fn policy() -> ProfilePolicy {
+        ProfilePolicy::from_cost(&Platform::windows_ia32().cost)
+    }
+
+    #[test]
+    fn break_even_ratio_comes_from_the_cost_model() {
+        let cost = Platform::windows_ia32().cost;
+        let p = policy();
+        assert!(
+            (p.trap_ratio - cost.explicit_null_check as f64 / cost.trap_taken as f64).abs() < 1e-12
+        );
+        assert!(p.trap_ratio < 0.01, "traps are three orders costlier");
+    }
+
+    #[test]
+    fn hot_trapping_site_is_promoted_and_cold_one_is_not() {
+        let f = body();
+        let offset = |_: FieldId| 0u64;
+        let mut counters = SiteCounters::default();
+        counters.blocks.insert((0, 0), 1000);
+        counters.traps.insert((0, 0, 0), 500);
+        let plan = policy().assess(0, &f, &offset, &counters, None);
+        assert!(plan.hot);
+        assert!(plan.overrides.contains(0, njc_ir::AccessKind::Read));
+
+        // One trap in a thousand executions sits below 2/1200.
+        counters.traps.insert((0, 0, 0), 1);
+        let plan = policy().assess(0, &f, &offset, &counters, None);
+        assert!(plan.overrides.is_empty(), "below break-even stays implicit");
+    }
+
+    #[test]
+    fn baseline_subtraction_ignores_previous_tier_history() {
+        let f = body();
+        let offset = |_: FieldId| 0u64;
+        let mut counters = SiteCounters::default();
+        counters.blocks.insert((0, 0), 2000);
+        counters.traps.insert((0, 0, 0), 500);
+        // Baseline equal to current: the new tier has seen nothing yet.
+        let plan = policy().assess(0, &f, &offset, &counters, Some(&counters));
+        assert!(plan.overrides.is_empty());
+        assert!(!plan.hot);
+    }
+
+    #[test]
+    fn too_few_executions_withhold_judgment() {
+        let f = body();
+        let offset = |_: FieldId| 0u64;
+        let mut counters = SiteCounters::default();
+        counters.blocks.insert((0, 0), 4);
+        counters.traps.insert((0, 0, 0), 4);
+        let plan = policy().assess(0, &f, &offset, &counters, None);
+        assert!(plan.overrides.is_empty(), "sample too small");
+    }
+}

@@ -1,0 +1,554 @@
+//! The tiered execution manager: profile → recompile → swap, mid-run.
+//!
+//! Tier 0 compiles the whole module at a cheap baseline configuration
+//! (Whaley elimination + trivial trap conversion, the paper's "Old Null
+//! Check") with site counters on, and starts the VM with a
+//! [`RuntimeHooks`] control surface attached. A controller thread polls
+//! the published profile; when the [`ProfilePolicy`] finds a hot function
+//! — or, the interesting case, a hot *trapping* implicit site — the
+//! function is recompiled at the optimizing tier with the trapping slots
+//! forced explicit via [`ExplicitOverride`], on a background worker pool.
+//! The finished body is installed into the swap table and takes effect at
+//! the next call entry, heap and observation trace carrying straight
+//! through.
+//!
+//! After the adaptive run, any outstanding policy verdict is compiled
+//! synchronously (so the tiering always reaches its fixpoint), and a
+//! second, *measurement* run executes the final bodies with no adaptation
+//! — that run is fully deterministic, which is what the steady-state
+//! benchmark reports.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use njc_arch::Platform;
+use njc_core::ExplicitOverride;
+use njc_ir::{BlockId, CheckId, Function, FunctionId, Module};
+use njc_observe::{reconcile_tiered, FunctionTrace, ModuleTrace, RecompileEvent};
+use njc_opt::{
+    optimize_function_overridden, optimize_module_traced, prepare_module, ConfigKind, OptConfig,
+};
+use njc_vm::{Fault, Outcome, RuntimeHooks, SiteCounters, Value, Vm, VmConfig};
+
+use crate::cache::{CacheKey, CacheStats, CodeCache, CompiledArtifact};
+use crate::policy::ProfilePolicy;
+
+/// Knobs of the tiered loop.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RuntimeConfig {
+    /// The profile policy (thresholds from the platform's cost model).
+    pub policy: ProfilePolicy,
+    /// Safe points between profile publications ([`RuntimeHooks::new`]).
+    pub snapshot_interval: u64,
+    /// Code cache capacity, in artifacts.
+    pub cache_capacity: usize,
+    /// Worker threads for background recompilation; also threaded into
+    /// the tier compiles' [`OptConfig::threads`].
+    pub threads: usize,
+    /// The baseline tier every function starts in.
+    pub tier0: ConfigKind,
+    /// The optimizing tier hot functions are recompiled at.
+    pub tier1: ConfigKind,
+    /// VM limits for both the adaptive and the measurement run.
+    pub vm: VmConfig,
+}
+
+impl RuntimeConfig {
+    /// Defaults for `platform`: break-even thresholds from its cost model,
+    /// Old Null Check as tier 0, the full pipeline as tier 1.
+    pub fn for_platform(platform: &Platform) -> Self {
+        RuntimeConfig {
+            policy: ProfilePolicy::from_cost(&platform.cost),
+            snapshot_interval: 32,
+            cache_capacity: 32,
+            threads: 2,
+            tier0: ConfigKind::OldNullCheck,
+            tier1: ConfigKind::Full,
+            vm: VmConfig::default(),
+        }
+    }
+}
+
+/// What one tiered run produced.
+#[derive(Clone, Debug)]
+pub struct RuntimeOutcome {
+    /// The adaptive run: tier 0 with counters, swaps landing mid-run.
+    /// Timing-dependent (when a swap lands shifts the cycle total) — use
+    /// [`RuntimeOutcome::steady`] for reproducible measurements.
+    pub adaptive: Outcome,
+    /// The deterministic steady-state run over the final bodies.
+    pub steady: Outcome,
+    /// Every recompile, in completion order (mid-run installs first, then
+    /// the post-run fixpoint pass).
+    pub recompiles: Vec<RecompileEvent>,
+    /// Code cache counters after the run.
+    pub cache: CacheStats,
+    /// Final override set per recompiled function name.
+    pub overrides: BTreeMap<String, ExplicitOverride>,
+    /// Calls that entered a swapped body during the adaptive run.
+    pub mid_run_swaps: u64,
+    /// The module the steady run executed: tier-0 bodies with every
+    /// recompiled function replaced by its final tier-1 body.
+    pub final_module: Module,
+    /// Tier-0 provenance for the whole module.
+    pub tier0_trace: ModuleTrace,
+    /// Every tier's provenance per function, install order (tier 0
+    /// first). Input to tiered reconciliation.
+    pub tier_traces: BTreeMap<String, Vec<FunctionTrace>>,
+}
+
+impl RuntimeOutcome {
+    /// Tiered reconciliation of the *adaptive* run: every hardware trap
+    /// and every executed explicit check must resolve to a provenance
+    /// record in some installed tier of its function.
+    ///
+    /// # Errors
+    /// One line per unexplained observation.
+    pub fn reconcile(&self) -> Result<(), Vec<String>> {
+        let mut failures = Vec::new();
+        for fi in 0..self.final_module.num_functions() {
+            let name = self.final_module.function(FunctionId::new(fi)).name();
+            let Some(tiers) = self.tier_traces.get(name) else {
+                failures.push(format!("{name}: no tier traces"));
+                continue;
+            };
+            let refs: Vec<&FunctionTrace> = tiers.iter().collect();
+            let traps: Vec<(BlockId, usize)> = self
+                .adaptive
+                .site_counts
+                .traps
+                .keys()
+                .filter(|(f, _, _)| *f as usize == fi)
+                .map(|&(_, b, i)| (BlockId::new(b as usize), i as usize))
+                .collect();
+            let checks: Vec<CheckId> = self
+                .adaptive
+                .site_counts
+                .explicit_checks
+                .keys()
+                .filter(|(f, _)| *f as usize == fi)
+                .map(|&(_, id)| CheckId(id))
+                .collect();
+            if let Err(mut missing) = reconcile_tiered(&refs, &traps, &checks) {
+                failures.append(&mut missing);
+            }
+        }
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(failures)
+        }
+    }
+
+    /// Verifies the tiering converged: in every overridden function's
+    /// final body, each override slot still has its access, *none* of
+    /// those accesses is a marked implicit site, and the tier's provenance
+    /// records the override-caused explicit checks.
+    ///
+    /// # Errors
+    /// One line per violated condition.
+    pub fn verify_convergence(&self) -> Result<(), Vec<String>> {
+        use njc_observe::{CheckEvent, ExplicitCause};
+        let mut failures = Vec::new();
+        for (name, ov) in &self.overrides {
+            if ov.is_empty() {
+                continue;
+            }
+            let Some(fid) = self.final_module.function_by_name(name) else {
+                failures.push(format!("{name}: overridden function missing"));
+                continue;
+            };
+            let body = self.final_module.function(fid);
+            let offset = |f| self.final_module.field_offset(f);
+            let mut seen = ExplicitOverride::new();
+            for block in body.blocks() {
+                for inst in &block.insts {
+                    let Some(sa) = inst.slot_access(offset) else {
+                        continue;
+                    };
+                    let Some(off) = sa.offset else { continue };
+                    if !ov.contains(off, sa.kind) {
+                        continue;
+                    }
+                    seen.insert(off, sa.kind);
+                    if inst.is_exception_site() {
+                        failures.push(format!(
+                            "{name}: override slot (+{off}, {:?}) still carries an implicit site",
+                            sa.kind
+                        ));
+                    }
+                }
+            }
+            for (off, kind) in ov.keys() {
+                if !seen.contains(off, kind) {
+                    failures.push(format!(
+                        "{name}: override slot (+{off}, {kind:?}) has no access in the final body"
+                    ));
+                }
+            }
+            let override_events = self
+                .tier_traces
+                .get(name)
+                .and_then(|tiers| tiers.last())
+                .map(|t| {
+                    t.events
+                        .iter()
+                        .filter(|e| {
+                            matches!(
+                                e,
+                                CheckEvent::Phase2Explicit {
+                                    cause: ExplicitCause::Override,
+                                    ..
+                                }
+                            )
+                        })
+                        .count()
+                })
+                .unwrap_or(0);
+            if override_events == 0 {
+                failures.push(format!(
+                    "{name}: no override-caused explicit check in the final tier's provenance"
+                ));
+            }
+        }
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(failures)
+        }
+    }
+}
+
+/// A recompile request from the controller to the worker pool.
+struct Job {
+    index: usize,
+    overrides: ExplicitOverride,
+}
+
+/// A completed install, recorded by the worker that performed it.
+struct Install {
+    index: usize,
+    overrides: ExplicitOverride,
+    artifact: Arc<CompiledArtifact>,
+    event: RecompileEvent,
+    /// Counter snapshot at install time — the baseline the policy
+    /// subtracts so only the *new* tier's behaviour is judged.
+    baseline: SiteCounters,
+}
+
+/// The tiered execution manager. The code cache persists across runs, so
+/// repeating a run hits instead of recompiling.
+#[derive(Debug)]
+pub struct TieredRuntime {
+    module: Module,
+    platform: Platform,
+    config: RuntimeConfig,
+    cache: Mutex<CodeCache>,
+}
+
+impl TieredRuntime {
+    /// A runtime for `module` with [`RuntimeConfig::for_platform`] knobs.
+    pub fn new(module: Module, platform: Platform) -> Self {
+        let config = RuntimeConfig::for_platform(&platform);
+        Self::with_config(module, platform, config)
+    }
+
+    /// A runtime with explicit knobs.
+    pub fn with_config(module: Module, platform: Platform, config: RuntimeConfig) -> Self {
+        TieredRuntime {
+            module,
+            platform,
+            cache: Mutex::new(CodeCache::new(config.cache_capacity)),
+            config,
+        }
+    }
+
+    /// Code cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().unwrap().stats()
+    }
+
+    fn tier_config(&self, kind: ConfigKind) -> OptConfig {
+        OptConfig {
+            threads: self.config.threads.max(1),
+            ..kind.to_config(&self.platform)
+        }
+    }
+
+    /// Compiles function `index` of the prepared tier-1 module with
+    /// `overrides`, through the code cache. Returns the artifact and
+    /// whether it was a cache hit.
+    fn compile_function(
+        &self,
+        tier1_base: &Module,
+        cfg1: &OptConfig,
+        index: usize,
+        overrides: &ExplicitOverride,
+    ) -> (Arc<CompiledArtifact>, bool) {
+        let fid = FunctionId::new(index);
+        let key = CacheKey::new(
+            tier1_base.function(fid),
+            self.config.tier1,
+            cfg1.compiler_trap,
+            overrides,
+        );
+        if let Some(artifact) = self.cache.lock().unwrap().get(&key) {
+            return (artifact, true);
+        }
+        let mut func = tier1_base.function(fid).clone();
+        let (_stats, trace) = optimize_function_overridden(
+            tier1_base,
+            &self.platform,
+            cfg1,
+            &mut func,
+            Some(overrides),
+            true,
+        );
+        let artifact = Arc::new(CompiledArtifact {
+            body: Arc::new(func),
+            trace: trace.expect("traced compile yields a trace"),
+        });
+        self.cache
+            .lock()
+            .unwrap()
+            .insert(key, Arc::clone(&artifact));
+        (artifact, false)
+    }
+
+    /// Runs `entry(args)` through the profile → recompile → swap loop,
+    /// then once more (steady state) on the final bodies.
+    ///
+    /// # Errors
+    /// Propagates VM [`Fault`]s from either run.
+    pub fn run(&self, entry: &str, args: &[Value]) -> Result<RuntimeOutcome, Fault> {
+        let platform = self.platform;
+        let cfg0 = self.tier_config(self.config.tier0);
+        let cfg1 = self.tier_config(self.config.tier1);
+
+        let mut tier0 = self.module.clone();
+        let (_s0, tier0_trace) = optimize_module_traced(&mut tier0, &platform, &cfg0);
+        // The recompile base: module-level preparation (intrinsics,
+        // inlining) applied once; per-function optimization happens per
+        // recompile, byte-identical to a whole-module tier-1 compile.
+        let mut tier1_base = self.module.clone();
+        prepare_module(&mut tier1_base, &platform, &cfg1);
+
+        let hooks = RuntimeHooks::new(self.config.snapshot_interval);
+        let vm_config = VmConfig {
+            count_sites: true,
+            ..self.config.vm
+        };
+
+        let installs: Mutex<Vec<Install>> = Mutex::new(Vec::new());
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let job_rx = Mutex::new(job_rx);
+        let mut requested: HashMap<usize, ExplicitOverride> = HashMap::new();
+
+        let tier0_ref = &tier0;
+        let tier1_ref = &tier1_base;
+        let cfg1_ref = &cfg1;
+        let hooks_ref = &hooks;
+        let installs_ref = &installs;
+        let job_rx_ref = &job_rx;
+
+        let adaptive = std::thread::scope(|scope| -> Result<Outcome, Fault> {
+            let vm_handle = scope.spawn(move || {
+                Vm::new(tier0_ref, platform)
+                    .with_config(vm_config)
+                    .with_hooks(hooks_ref)
+                    .run(entry, args)
+            });
+            let workers: Vec<_> = (0..self.config.threads.max(1))
+                .map(|_| {
+                    scope.spawn(move || {
+                        loop {
+                            // Holding the lock across recv serializes job
+                            // pickup; recompiles are rare enough that this
+                            // is simpler than a shared deque.
+                            let job = job_rx_ref.lock().unwrap().recv();
+                            let Ok(job) = job else { break };
+                            let (artifact, cache_hit) = self.compile_function(
+                                tier1_ref,
+                                cfg1_ref,
+                                job.index,
+                                &job.overrides,
+                            );
+                            let snap = hooks_ref.snapshot();
+                            hooks_ref.install(job.index as u32, Arc::clone(&artifact.body));
+                            let event = RecompileEvent {
+                                function: tier1_ref
+                                    .function(FunctionId::new(job.index))
+                                    .name()
+                                    .to_string(),
+                                to_config: cfg1_ref.name.to_string(),
+                                overrides: job.overrides.len(),
+                                cache_hit,
+                                mid_run: !hooks_ref.is_finished(),
+                                at_calls: snap.calls,
+                            };
+                            installs_ref.lock().unwrap().push(Install {
+                                index: job.index,
+                                overrides: job.overrides,
+                                artifact,
+                                event,
+                                baseline: snap.counters,
+                            });
+                        }
+                    })
+                })
+                .collect();
+
+            // Controller: poll the profile, plan, dispatch. The second
+            // condition covers a panicking VM thread, whose hooks would
+            // otherwise never be marked finished.
+            while !hooks.is_finished() && !vm_handle.is_finished() {
+                let snap = hooks.snapshot();
+                let installed = installs.lock().unwrap();
+                for fi in 0..tier0.num_functions() {
+                    let latest = installed.iter().rev().find(|i| i.index == fi);
+                    let body: &Function = latest
+                        .map(|i| &*i.artifact.body)
+                        .unwrap_or_else(|| tier0.function(FunctionId::new(fi)));
+                    let plan = self.config.policy.assess(
+                        fi,
+                        body,
+                        &|f| self.module.field_offset(f),
+                        &snap.counters,
+                        latest.map(|i| &i.baseline),
+                    );
+                    if !plan.hot {
+                        continue;
+                    }
+                    let mut want = requested.get(&fi).cloned().unwrap_or_default();
+                    let mut grew = false;
+                    for (off, kind) in plan.overrides.keys() {
+                        grew |= want.insert(off, kind);
+                    }
+                    if grew || !requested.contains_key(&fi) {
+                        requested.insert(fi, want.clone());
+                        let _ = job_tx.send(Job {
+                            index: fi,
+                            overrides: want,
+                        });
+                    }
+                }
+                drop(installed);
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            drop(job_tx); // close the channel: workers drain, then exit
+            let out = vm_handle
+                .join()
+                .unwrap_or_else(|p| std::panic::resume_unwind(p));
+            for w in workers {
+                w.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+            }
+            out
+        })?;
+
+        let mid_run_swaps = hooks.swapped_calls();
+        let installs = installs.into_inner().unwrap();
+
+        // Per-function running state: final body, overrides, tier traces.
+        struct FuncState {
+            body: Option<Arc<Function>>,
+            overrides: ExplicitOverride,
+            baseline: Option<SiteCounters>,
+            traces: Vec<FunctionTrace>,
+        }
+        let mut state: Vec<FuncState> = (0..tier0.num_functions())
+            .map(|fi| {
+                let name = tier0.function(FunctionId::new(fi)).name();
+                FuncState {
+                    body: None,
+                    overrides: ExplicitOverride::new(),
+                    baseline: None,
+                    traces: tier0_trace.function(name).cloned().into_iter().collect(),
+                }
+            })
+            .collect();
+        let mut recompiles = Vec::new();
+        for install in installs {
+            let st = &mut state[install.index];
+            st.body = Some(Arc::clone(&install.artifact.body));
+            st.overrides = install.overrides;
+            st.baseline = Some(install.baseline);
+            st.traces.push(install.artifact.trace.clone());
+            recompiles.push(install.event);
+        }
+
+        // Fixpoint pass: the run may have ended before the controller saw
+        // the final profile. Assess once more against the complete
+        // counters and compile anything outstanding (synchronously — no VM
+        // left to swap into, so these are recorded with `mid_run: false`).
+        let final_snap = hooks.snapshot();
+        for (fi, st) in state.iter_mut().enumerate() {
+            let body: &Function = st
+                .body
+                .as_deref()
+                .unwrap_or_else(|| tier0.function(FunctionId::new(fi)));
+            let plan = self.config.policy.assess(
+                fi,
+                body,
+                &|f| self.module.field_offset(f),
+                &final_snap.counters,
+                st.baseline.as_ref(),
+            );
+            if !plan.hot {
+                continue;
+            }
+            let mut want = st.overrides.clone();
+            let mut grew = false;
+            for (off, kind) in plan.overrides.keys() {
+                grew |= want.insert(off, kind);
+            }
+            if !grew && st.body.is_some() {
+                continue; // already at the fixpoint
+            }
+            let (artifact, cache_hit) = self.compile_function(&tier1_base, &cfg1, fi, &want);
+            recompiles.push(RecompileEvent {
+                function: tier1_base.function(FunctionId::new(fi)).name().to_string(),
+                to_config: cfg1.name.to_string(),
+                overrides: want.len(),
+                cache_hit,
+                mid_run: false,
+                at_calls: final_snap.calls,
+            });
+            st.body = Some(Arc::clone(&artifact.body));
+            st.overrides = want;
+            st.traces.push(artifact.trace.clone());
+        }
+
+        // Final bodies → the steady-state module.
+        let mut final_module = tier0.clone();
+        let mut overrides = BTreeMap::new();
+        let mut tier_traces = BTreeMap::new();
+        for (fi, st) in state.into_iter().enumerate() {
+            let fid = FunctionId::new(fi);
+            let name = final_module.function(fid).name().to_string();
+            if let Some(body) = &st.body {
+                *final_module.function_mut(fid) = (**body).clone();
+                overrides.insert(name.clone(), st.overrides);
+            }
+            tier_traces.insert(name, st.traces);
+        }
+
+        // The measurement run: final bodies, no adaptation, fully
+        // deterministic.
+        let steady = Vm::new(&final_module, platform)
+            .with_config(self.config.vm)
+            .run(entry, args)?;
+
+        Ok(RuntimeOutcome {
+            adaptive,
+            steady,
+            recompiles,
+            cache: self.cache.lock().unwrap().stats(),
+            overrides,
+            mid_run_swaps,
+            final_module,
+            tier0_trace,
+            tier_traces,
+        })
+    }
+}

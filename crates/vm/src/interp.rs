@@ -19,6 +19,10 @@
 //!   [`Fault::WildAccess`] (the real-world consequence of skipping a
 //!   "BigOffset" check, Figure 5 (1)).
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
 use njc_arch::Platform;
 use njc_ir::{
     AccessKind, BlockId, CallTarget, ExceptionKind, Function, FunctionId, Inst, Module,
@@ -74,6 +78,111 @@ pub struct SiteCounters {
     pub traps: std::collections::BTreeMap<(u32, u32, u32), u64>,
     /// Block executions, keyed by `(function index, block index)`.
     pub blocks: std::collections::BTreeMap<(u32, u32), u64>,
+}
+
+/// A point-in-time copy of a running VM's dynamic profile, published by
+/// the interpreter at safe points for a controller on another thread.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ProfileSnapshot {
+    /// Per-site counters as of publication.
+    pub counters: SiteCounters,
+    /// Calls executed as of publication.
+    pub calls: u64,
+}
+
+/// Shared control surface between one running [`Vm`] and an adaptive
+/// runtime controller on another thread (njc-runtime's tiered loop).
+///
+/// The VM *reads* the swap table at each call entry — the only safe point
+/// at which a replacement body may take effect, because a frame already
+/// inside the old body has its program point and locals laid out for it —
+/// and *writes* a profile snapshot every `snapshot_interval` safe points
+/// (call entries and block executions, so call-free hot loops still
+/// publish). The controller does the reverse: it polls [`snapshot`] and
+/// [`install`]s recompiled bodies. With no hooks attached the interpreter
+/// behaves exactly as before, cycle accounting included.
+///
+/// [`snapshot`]: RuntimeHooks::snapshot
+/// [`install`]: RuntimeHooks::install
+#[derive(Debug)]
+pub struct RuntimeHooks {
+    /// Replacement bodies by function index, consulted at call entry.
+    swap: Mutex<HashMap<u32, Arc<Function>>>,
+    /// Bumped on every install; zero means the swap table was never
+    /// touched, letting the VM skip the lock entirely.
+    version: AtomicU64,
+    /// Latest published profile.
+    profile: Mutex<ProfileSnapshot>,
+    /// Safe points between profile publications.
+    snapshot_interval: u64,
+    /// Calls that entered a swapped body (mid-run tier switches observed).
+    swapped_calls: AtomicU64,
+    /// Set when the attached VM's run ends (even on a fault), so poll
+    /// loops terminate.
+    finished: AtomicBool,
+}
+
+impl RuntimeHooks {
+    /// Creates a hook set publishing the profile every `snapshot_interval`
+    /// safe points (clamped to at least 1).
+    pub fn new(snapshot_interval: u64) -> Self {
+        RuntimeHooks {
+            swap: Mutex::new(HashMap::new()),
+            version: AtomicU64::new(0),
+            profile: Mutex::new(ProfileSnapshot::default()),
+            snapshot_interval: snapshot_interval.max(1),
+            swapped_calls: AtomicU64::new(0),
+            finished: AtomicBool::new(false),
+        }
+    }
+
+    /// Installs a replacement body for the function at `index`. Every call
+    /// of that function entered afterwards executes the new body; frames
+    /// already inside the old body finish on it.
+    pub fn install(&self, index: u32, body: Arc<Function>) {
+        self.swap.lock().unwrap().insert(index, body);
+        self.version.fetch_add(1, Ordering::Release);
+    }
+
+    /// The replacement body for `index`, if one has been installed.
+    pub fn body(&self, index: u32) -> Option<Arc<Function>> {
+        if self.version.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        self.swap.lock().unwrap().get(&index).cloned()
+    }
+
+    /// Number of [`install`](Self::install) calls so far.
+    pub fn installs(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Calls that entered a swapped body — proof that a tier switch took
+    /// effect *mid-run*, with heap and observation trace carried over.
+    pub fn swapped_calls(&self) -> u64 {
+        self.swapped_calls.load(Ordering::Acquire)
+    }
+
+    /// The most recent profile the VM published.
+    pub fn snapshot(&self) -> ProfileSnapshot {
+        self.profile.lock().unwrap().clone()
+    }
+
+    /// Whether the attached VM's run is over (set even when the run
+    /// faulted, so controllers never spin on a dead VM).
+    pub fn is_finished(&self) -> bool {
+        self.finished.load(Ordering::Acquire)
+    }
+
+    fn publish(&self, counters: &SiteCounters, calls: u64) {
+        let mut p = self.profile.lock().unwrap();
+        p.counters = counters.clone();
+        p.calls = calls;
+    }
+
+    fn set_finished(&self) {
+        self.finished.store(true, Ordering::Release);
+    }
 }
 
 /// Execution statistics: the raw material of every table in the paper.
@@ -311,6 +420,10 @@ pub struct Vm<'m> {
     cur_func: u32,
     /// Index of the instruction currently executing within its block.
     cur_inst: u32,
+    /// Adaptive-runtime control surface (swap table + profile channel).
+    hooks: Option<&'m RuntimeHooks>,
+    /// Safe points since the last profile publication to `hooks`.
+    ticks_since_publish: u64,
 }
 
 impl<'m> Vm<'m> {
@@ -328,12 +441,22 @@ impl<'m> Vm<'m> {
             site_counts: SiteCounters::default(),
             cur_func: 0,
             cur_inst: 0,
+            hooks: None,
+            ticks_since_publish: 0,
         }
     }
 
     /// Overrides the default limits.
     pub fn with_config(mut self, config: VmConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Attaches an adaptive-runtime control surface: swapped bodies take
+    /// effect at call entries and the dynamic profile is published through
+    /// `hooks` at safe points.
+    pub fn with_hooks(mut self, hooks: &'m RuntimeHooks) -> Self {
+        self.hooks = Some(hooks);
         self
     }
 
@@ -362,12 +485,14 @@ impl<'m> Vm<'m> {
     }
 
     fn run_on_this_thread(mut self, entry: &str, args: &[Value]) -> Result<Outcome, Fault> {
-        let id = self
-            .module
-            .function_by_name(entry)
-            .ok_or_else(|| Fault::NoSuchFunction(entry.to_string()))?;
-        let outcome = self.call(id, args.to_vec(), 0)?;
-        let (result, exception) = match outcome {
+        let out = self.run_to_completion(entry, args);
+        if let Some(h) = self.hooks {
+            // Final (and on a fault, last-known) profile, then release any
+            // controller polling for the end of the run.
+            h.publish(&self.site_counts, self.stats.calls);
+            h.set_finished();
+        }
+        let (result, exception) = match out? {
             CallOutcome::Return(v) => (v, None),
             CallOutcome::Threw(e) => (None, Some(e)),
         };
@@ -380,6 +505,35 @@ impl<'m> Vm<'m> {
             stats: self.stats,
             site_counts: self.site_counts,
         })
+    }
+
+    fn run_to_completion(&mut self, entry: &str, args: &[Value]) -> Result<CallOutcome, Fault> {
+        let id = self
+            .module
+            .function_by_name(entry)
+            .ok_or_else(|| Fault::NoSuchFunction(entry.to_string()))?;
+        self.call(id, args.to_vec(), 0)
+    }
+
+    /// A swap/publish safe point: bumps the tick counter and publishes the
+    /// profile every `snapshot_interval` ticks. No-op without hooks.
+    fn safe_point(&mut self) {
+        let Some(h) = self.hooks else { return };
+        self.ticks_since_publish += 1;
+        if self.ticks_since_publish >= h.snapshot_interval {
+            self.ticks_since_publish = 0;
+            h.publish(&self.site_counts, self.stats.calls);
+        }
+    }
+
+    /// The replacement body for `id` if the controller installed one.
+    fn swapped_body(&self, id: FunctionId) -> Option<Arc<Function>> {
+        let h = self.hooks?;
+        let body = h.body(id.index() as u32);
+        if body.is_some() {
+            h.swapped_calls.fetch_add(1, Ordering::Relaxed);
+        }
+        body
     }
 
     fn charge(&mut self, cycles: u64) {
@@ -438,7 +592,10 @@ impl<'m> Vm<'m> {
         if depth > self.config.max_depth {
             return Err(Fault::StackOverflow);
         }
-        let func = self.module.function(id);
+        self.safe_point();
+        let swapped = self.swapped_body(id);
+        let module = self.module;
+        let func: &Function = swapped.as_deref().unwrap_or_else(|| module.function(id));
         let mut locals: Vec<Value> = func
             .var_types()
             .iter()
@@ -481,6 +638,7 @@ impl<'m> Vm<'m> {
         depth: usize,
     ) -> Result<BlockExit, Fault> {
         let block = func.block(block_id);
+        self.safe_point();
         if self.config.count_sites {
             *self
                 .site_counts

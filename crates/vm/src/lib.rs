@@ -28,7 +28,8 @@ pub mod value;
 
 pub use heap::Heap;
 pub use interp::{
-    run_module, ExceptionEvent, Fault, Outcome, RunStats, SiteCounters, Vm, VmConfig, VmError,
+    run_module, ExceptionEvent, Fault, Outcome, ProfileSnapshot, RunStats, RuntimeHooks,
+    SiteCounters, Vm, VmConfig, VmError,
 };
 pub use value::Value;
 
@@ -336,6 +337,98 @@ mod tests {
         b.trace[1] = Value::Int(3);
         let err = a.assert_equivalent(&b).unwrap_err();
         assert!(err.contains("trace mismatch at index 1"), "{err}");
+    }
+
+    /// `helper` (fn0) doubles its argument; `main` calls it `v0` times,
+    /// observing every result — the harness for the swap tests.
+    fn call_loop_module() -> Module {
+        let mut m = Module::new("t");
+        m.add_function(
+            parse_function("func helper(v0: int) -> int {\n  locals v1: int\nbb0:\n  v1 = add.int v0, v0\n  return v1\n}").unwrap(),
+        );
+        m.add_function(
+            parse_function(
+                "func main(v0: int) -> int {\n  locals v1: int v2: int v3: int\nbb0:\n  v1 = const 0\n  goto bb1\nbb1:\n  if lt v1, v0 then bb2 else bb3\nbb2:\n  v2 = call fn0(v1)\n  observe v2\n  v3 = const 1\n  v1 = add.int v1, v3\n  goto bb1\nbb3:\n  return v1\n}",
+            )
+            .unwrap(),
+        );
+        m
+    }
+
+    fn negating_helper() -> std::sync::Arc<njc_ir::Function> {
+        std::sync::Arc::new(
+            parse_function(
+                "func helper(v0: int) -> int {\n  locals v1: int\nbb0:\n  v1 = const -1\n  return v1\n}",
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn installed_swap_takes_effect_at_call_entry() {
+        let m = call_loop_module();
+        let hooks = RuntimeHooks::new(1);
+        hooks.install(0, negating_helper());
+        let out = Vm::new(&m, win())
+            .with_hooks(&hooks)
+            .run("main", &[Value::Int(5)])
+            .unwrap();
+        assert_eq!(out.trace, vec![Value::Int(-1); 5], "swapped body ran");
+        assert_eq!(hooks.swapped_calls(), 5);
+        assert!(hooks.is_finished());
+        assert_eq!(hooks.snapshot().calls, 5, "final profile published");
+    }
+
+    #[test]
+    fn hooks_without_installs_change_nothing() {
+        let m = call_loop_module();
+        let hooks = RuntimeHooks::new(4);
+        let plain = run_module(&m, win(), "main", &[Value::Int(6)]).unwrap();
+        let hooked = Vm::new(&m, win())
+            .with_hooks(&hooks)
+            .run("main", &[Value::Int(6)])
+            .unwrap();
+        plain.assert_equivalent(&hooked).unwrap();
+        assert_eq!(plain.stats.cycles, hooked.stats.cycles);
+        assert_eq!(hooks.swapped_calls(), 0);
+        assert!(hooks.is_finished());
+    }
+
+    #[test]
+    fn mid_run_swap_preserves_the_accumulating_trace() {
+        let m = call_loop_module();
+        let hooks = RuntimeHooks::new(1);
+        const ITERS: i64 = 30_000;
+        let out = std::thread::scope(|s| {
+            let vm = s.spawn(|| {
+                Vm::new(&m, win())
+                    .with_hooks(&hooks)
+                    .run("main", &[Value::Int(ITERS)])
+            });
+            // Controller: wait for the profile to show the loop warming
+            // up, then swap the helper while the run is in flight.
+            while !hooks.is_finished() && hooks.snapshot().calls < 64 {
+                std::thread::yield_now();
+            }
+            hooks.install(0, negating_helper());
+            vm.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(out.trace.len() as i64, ITERS, "one observation per call");
+        assert!(hooks.swapped_calls() > 0, "swap landed mid-run");
+        let flips = out
+            .trace
+            .windows(2)
+            .filter(|w| (w[0] == Value::Int(-1)) != (w[1] == Value::Int(-1)))
+            .count();
+        assert_eq!(flips, 1, "old-body prefix then new-body suffix");
+        assert_ne!(out.trace[0], Value::Int(-1), "started on the old body");
+        assert_eq!(
+            out.trace.last(),
+            Some(&Value::Int(-1)),
+            "finished on the new body"
+        );
+        assert_eq!(out.result, Some(Value::Int(ITERS)));
     }
 
     #[test]

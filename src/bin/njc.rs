@@ -7,6 +7,8 @@
 //!               [--run] [--threads N] [--events-out PATH] [--trace-out PATH]
 //! njc explain --smoke [--threads N]
 //! njc difftest [--smoke] [--seeds N] [--legacy-addressing] [--fixtures DIR] [--out PATH]
+//! njc runtime <file.ir> [--platform <name>] [--profile-threshold R]
+//! njc runtime --smoke
 //!
 //!   --config      full (default) | phase1 | old | trap | none | speculation |
 //!                 no-speculation | illegal-implicit
@@ -38,6 +40,18 @@
 //! `--smoke` runs the CI-sized subset; `--legacy-addressing` re-enables the
 //! wrapping address arithmetic bug as a self-test of the detector.
 //!
+//! The `runtime` subcommand runs a program through the adaptive tiered
+//! execution manager (`njc_runtime`): tier-0 bodies with site counters, a
+//! profile policy promoting hot functions — and hot-*trapping* implicit
+//! sites into explicit overrides — to the optimizing tier, recompiled
+//! bodies swapping in at call entries mid-run. It prints both the adaptive
+//! and the deterministic steady-state outcome, every recompile event, and
+//! the code-cache counters, then verifies tiered reconciliation and
+//! override convergence. `--profile-threshold` overrides the cost-model
+//! break-even traps-per-execution ratio; `--smoke` runs the built-in
+//! null-seeded hot-field workload and gates that the adaptive steady state
+//! beats both static extremes (the CI gate).
+//!
 //! The input file contains one or more functions in the textual IR syntax
 //! (see `njc_ir::parse`), separated by blank lines. Classes referenced as
 //! `classN`/`fieldN` are synthesized automatically: eight classes with
@@ -55,7 +69,7 @@ use njc_vm::{SiteCounters, Vm, VmConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: njc <file.ir> [--config full|phase1|old|trap|none|speculation|no-speculation|illegal-implicit] [--platform ia32|aix|s390] [--emit] [--run] [--all] [--events-out PATH] [--trace-out PATH]\n       njc explain <file.ir> [<fn> [<check-id>]] [--config ...] [--platform ...] [--run] [--threads N] [--events-out PATH] [--trace-out PATH]\n       njc explain --smoke [--threads N]\n       njc difftest [--smoke] [--seeds N] [--legacy-addressing] [--fixtures DIR] [--out PATH]"
+        "usage: njc <file.ir> [--config full|phase1|old|trap|none|speculation|no-speculation|illegal-implicit] [--platform ia32|aix|s390] [--emit] [--run] [--all] [--events-out PATH] [--trace-out PATH]\n       njc explain <file.ir> [<fn> [<check-id>]] [--config ...] [--platform ...] [--run] [--threads N] [--events-out PATH] [--trace-out PATH]\n       njc explain --smoke [--threads N]\n       njc difftest [--smoke] [--seeds N] [--legacy-addressing] [--fixtures DIR] [--out PATH]\n       njc runtime <file.ir> [--platform ia32|aix|s390] [--profile-threshold R]\n       njc runtime --smoke"
     );
     ExitCode::FAILURE
 }
@@ -124,6 +138,173 @@ fn difftest_main(args: &[String]) -> ExitCode {
             "difftest: FAILED ({} divergences)",
             report.divergences.len()
         );
+        ExitCode::FAILURE
+    }
+}
+
+/// Prints one tiered-runtime outcome and verifies its invariants
+/// (reconciliation across tiers, override convergence). Returns failure
+/// lines (empty = healthy).
+fn report_runtime_outcome(out: &njc_runtime::RuntimeOutcome) -> Vec<String> {
+    println!(
+        "adaptive:  cycles = {}  traps = {}  explicit checks = {}  mid-run swapped calls = {}",
+        out.adaptive.stats.cycles,
+        out.adaptive.stats.traps_taken,
+        out.adaptive.stats.explicit_null_checks,
+        out.mid_run_swaps
+    );
+    println!(
+        "steady:    cycles = {}  traps = {}  explicit checks = {}  result = {:?}",
+        out.steady.stats.cycles,
+        out.steady.stats.traps_taken,
+        out.steady.stats.explicit_null_checks,
+        out.steady.result
+    );
+    for r in &out.recompiles {
+        println!(
+            "recompile: {} -> {} ({} override slot(s), {}, {})",
+            r.function,
+            r.to_config,
+            r.overrides,
+            if r.cache_hit { "cache hit" } else { "compiled" },
+            if r.mid_run {
+                "installed mid-run"
+            } else {
+                "post-run fixpoint"
+            }
+        );
+    }
+    for (name, ov) in &out.overrides {
+        println!("overrides: {name} = {} slot(s)", ov.len());
+    }
+    let c = out.cache;
+    println!(
+        "cache:     {} hits, {} misses, {} inserts, {} evictions",
+        c.hits, c.misses, c.inserts, c.evictions
+    );
+    let mut failures = Vec::new();
+    match out.reconcile() {
+        Ok(()) => println!("reconciliation: every trap and explicit check resolved in some tier"),
+        Err(f) => failures.extend(f.into_iter().map(|l| format!("reconcile: {l}"))),
+    }
+    match out.verify_convergence() {
+        Ok(()) => println!("convergence: every override slot explicit in its final body"),
+        Err(f) => failures.extend(f.into_iter().map(|l| format!("convergence: {l}"))),
+    }
+    failures
+}
+
+/// `njc runtime --smoke`: the CI gate. The built-in null-seeded hot-field
+/// workload must converge (exactly the trapping slot overridden), pass
+/// reconciliation, and its steady state must beat both static extremes.
+fn runtime_smoke() -> ExitCode {
+    use njc_vm::Value;
+    let platform = Platform::windows_ia32();
+    let iters = 20_000i64;
+    let args = [Value::Int(iters), Value::Ref(0)];
+    let module = njc_runtime::hot_field_workload();
+    let rt = njc_runtime::TieredRuntime::new(module.clone(), platform);
+    let out = match rt.run("main", &args) {
+        Ok(o) => o,
+        Err(f) => {
+            eprintln!("njc runtime --smoke: VM fault: {f}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failures = report_runtime_outcome(&out);
+    match out.overrides.get("hot") {
+        Some(ov) if ov.len() == 1 => {}
+        other => failures.push(format!(
+            "hot must carry exactly the one trapping override, got {other:?}"
+        )),
+    }
+    for kind in [ConfigKind::Full, ConfigKind::NoNullOptNoTrap] {
+        let mut m = module.clone();
+        njc_opt::optimize_module(&mut m, &platform, &kind.to_config(&platform));
+        match njc_vm::run_module(&m, platform, "main", &args) {
+            Ok(static_out) => {
+                if let Err(e) = out.steady.assert_equivalent(&static_out) {
+                    failures.push(format!("steady vs {kind:?}: {e}"));
+                }
+                if out.steady.stats.cycles >= static_out.stats.cycles {
+                    failures.push(format!(
+                        "adaptive {} !< {kind:?} {} cycles",
+                        out.steady.stats.cycles, static_out.stats.cycles
+                    ));
+                }
+            }
+            Err(f) => failures.push(format!("{kind:?} faulted: {f}")),
+        }
+    }
+    if failures.is_empty() {
+        println!("runtime --smoke: OK — adaptive steady state beats both static extremes");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("runtime --smoke: FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn runtime_main(args: &[String]) -> ExitCode {
+    let mut file = None;
+    let mut platform = Platform::windows_ia32();
+    let mut threshold: Option<f64> = None;
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--platform" => match it.next().and_then(|s| parse_platform(s)) {
+                Some(p) => platform = p,
+                None => return usage(),
+            },
+            "--profile-threshold" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(r) => threshold = Some(r),
+                None => return usage(),
+            },
+            "--smoke" => smoke = true,
+            other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
+            _ => return usage(),
+        }
+    }
+    if smoke {
+        return runtime_smoke();
+    }
+    let Some(file) = file else { return usage() };
+    let source = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("njc runtime: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let module = match load_module(&source) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("njc runtime: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut config = njc_runtime::RuntimeConfig::for_platform(&platform);
+    if let Some(r) = threshold {
+        config.policy.trap_ratio = r;
+    }
+    let rt = njc_runtime::TieredRuntime::with_config(module, platform, config);
+    let out = match rt.run("main", &[]) {
+        Ok(o) => o,
+        Err(f) => {
+            eprintln!("njc runtime: VM fault: {f}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let failures = report_runtime_outcome(&out);
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("njc runtime: FAIL: {f}");
+        }
         ExitCode::FAILURE
     }
 }
@@ -516,6 +697,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("explain") {
         return explain_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("runtime") {
+        return runtime_main(&args[1..]);
     }
     let mut file = None;
     let mut kind = ConfigKind::Full;
