@@ -13,7 +13,7 @@
 //! instruction, or it was established before the first one.
 
 use njc_arch::TrapModel;
-use njc_core::ctx::{AccessClass, AnalysisCtx};
+use njc_core::ctx::{AccessClass, AnalysisCtx, EntryAssumptions};
 use njc_dataflow::{solve, BitSet, Direction, Meet, Problem};
 use njc_ir::{BlockId, Function, Inst, Module, NullCheckKind, Terminator};
 
@@ -51,9 +51,15 @@ fn step(ctx: &AnalysisCtx, set: &mut BitSet, inst: &Inst) {
                     set.insert(base.index());
                 }
             }
-            // The definition kills last: a dereference whose destination
-            // is its own base (`v = getfield v, f`) leaves `v` unknown.
-            if let Some(d) = inst.def() {
+            // An interprocedurally proven non-null definition (a call whose
+            // callee never returns null, a load of an always-initialized
+            // field) covers its destination like an allocation. Without
+            // assumptions in the ctx this never fires and the definition
+            // kills last as usual: a dereference whose destination is its
+            // own base (`v = getfield v, f`) leaves `v` unknown.
+            if let Some(d) = ctx.assumed_nonnull_def(inst) {
+                set.insert(d.index());
+            } else if let Some(d) = inst.def() {
                 set.remove(d.index());
             }
         }
@@ -137,7 +143,15 @@ impl<'a> CoverageProblem<'a> {
                                 cur_gen.insert(base.index());
                             }
                         }
-                        if let Some(d) = inst.def() {
+                        // An assumed non-null definition is a gen, not a
+                        // kill: if the defining instruction itself throws,
+                        // the destination keeps its previous value (the
+                        // incoming fact survives onto the handler edge), and
+                        // any later throwing point sees the completed,
+                        // proven non-null definition.
+                        if let Some(d) = ctx.assumed_nonnull_def(inst) {
+                            cur_gen.insert(d.index());
+                        } else if let Some(d) = inst.def() {
                             cur_gen.remove(d.index());
                             cur_kill.insert(d.index());
                         }
@@ -182,6 +196,10 @@ impl Problem for CoverageProblem<'_> {
         // An instance method's receiver (`this`) is never null.
         if self.func.is_instance() && self.func.num_vars() > 0 {
             b.insert(0);
+        }
+        // Interprocedurally proven non-null parameters are covered at entry.
+        if let Some(e) = self.ctx.entry_facts(self.func, self.func.num_vars()) {
+            b.union_with(&e);
         }
         b
     }
@@ -231,7 +249,20 @@ impl Problem for CoverageProblem<'_> {
 /// Validates every dereference of one function under the machine's trap
 /// model. Returns the violations in block/instruction order.
 pub fn validate_function(module: &Module, machine: TrapModel, func: &Function) -> Vec<Violation> {
-    let ctx = AnalysisCtx::new(module, machine);
+    validate_function_assumed(module, machine, None, func)
+}
+
+/// [`validate_function`] under interprocedural [`EntryAssumptions`]: proven
+/// non-null parameters count as covered at entry, and proven non-null call
+/// returns and field loads cover their destinations. With `None` this is
+/// exactly [`validate_function`].
+pub fn validate_function_assumed(
+    module: &Module,
+    machine: TrapModel,
+    assumptions: Option<&EntryAssumptions>,
+    func: &Function,
+) -> Vec<Violation> {
+    let ctx = AnalysisCtx::new(module, machine).with_assumptions(assumptions);
     let problem = CoverageProblem::new(ctx, func);
     let sol = solve(func, &problem);
     let mut out = Vec::new();
@@ -336,11 +367,23 @@ pub fn validate_function(module: &Module, machine: TrapModel, func: &Function) -
 
 /// Validates every function of a module under the machine's trap model.
 pub fn validate_module(module: &Module, machine: TrapModel) -> ValidationReport {
+    validate_module_assumed(module, machine, None)
+}
+
+/// [`validate_module`] under interprocedural [`EntryAssumptions`].
+pub fn validate_module_assumed(
+    module: &Module,
+    machine: TrapModel,
+    assumptions: Option<&EntryAssumptions>,
+) -> ValidationReport {
     let mut report = ValidationReport::default();
     for func in module.functions() {
-        report
-            .violations
-            .extend(validate_function(module, machine, func));
+        report.violations.extend(validate_function_assumed(
+            module,
+            machine,
+            assumptions,
+            func,
+        ));
     }
     report
 }

@@ -56,9 +56,11 @@ use std::fmt;
 
 use njc_ir::{BlockId, VarId};
 
-pub use coverage::{validate_function, validate_module};
+pub use coverage::{
+    validate_function, validate_function_assumed, validate_module, validate_module_assumed,
+};
 pub use invariant::check_path_invariant;
-pub use obligation::validate_pair;
+pub use obligation::{validate_pair, validate_pair_assumed};
 
 /// The kind of soundness violation a checker found. The first five mirror
 /// the runtime verdicts of the VM (`njc_vm::Fault` and the missed-NPE

@@ -31,7 +31,7 @@
 //! the handler as *null but settled* (`U`), never as covered.
 
 use njc_arch::TrapModel;
-use njc_core::ctx::{AccessClass, AnalysisCtx};
+use njc_core::ctx::{AccessClass, AnalysisCtx, EntryAssumptions};
 use njc_ir::{BlockId, Function, Inst, Module, NullCheckKind, Terminator, VarId};
 
 use crate::{Violation, ViolationKind};
@@ -452,6 +452,9 @@ impl<'a> PairValidator<'a> {
                     // A copy holds the very same value: its null worlds and
                     // their histories are the source's, verbatim.
                     Inst::Move { src, .. } => s[src.index()],
+                    // An interprocedurally proven non-null definition: the
+                    // "value is null" hypothesis is vacuous for it.
+                    _ if self.ctx.assumed_nonnull_def(inst_p).is_some() => N,
                     _ => U,
                 };
                 copy_def(&mut rep, inst_p);
@@ -554,6 +557,22 @@ pub fn validate_pair(
     orig: &Function,
     opt: &Function,
 ) -> Vec<Violation> {
+    validate_pair_assumed(module, machine, None, orig, opt)
+}
+
+/// [`validate_pair`] under interprocedural [`EntryAssumptions`]: proven
+/// non-null parameters enter in the converged state `N` (the "this value is
+/// null" hypothesis is vacuous), and proven non-null call returns and field
+/// loads define their destinations as `N`. A check the pass removed because
+/// of such a fact is then order-preserving by construction. With `None`
+/// this is exactly [`validate_pair`].
+pub fn validate_pair_assumed(
+    module: &Module,
+    machine: TrapModel,
+    assumptions: Option<&EntryAssumptions>,
+    orig: &Function,
+    opt: &Function,
+) -> Vec<Violation> {
     let mut errors = Vec::new();
     let structure = |message: String| Violation {
         function: opt.name().to_string(),
@@ -589,7 +608,7 @@ pub fn validate_pair(
     }
 
     let v = PairValidator {
-        ctx: AnalysisCtx::new(module, machine),
+        ctx: AnalysisCtx::new(module, machine).with_assumptions(assumptions),
         orig,
         opt,
         nvars,
@@ -601,8 +620,11 @@ pub fn validate_pair(
     let num_blocks = opt.num_blocks();
     let mut ins: Vec<Vec<u8>> = vec![vec![0u8; nvars]; num_blocks];
     let entry = opt.entry();
+    let entry_facts = v.ctx.entry_facts(opt, nvars);
     for (w, s) in ins[entry.index()].iter_mut().enumerate() {
-        *s = if w == 0 && opt.is_instance() { N } else { U };
+        let known =
+            (w == 0 && opt.is_instance()) || entry_facts.as_ref().is_some_and(|e| e.contains(w));
+        *s = if known { N } else { U };
     }
     let rpo = opt.reverse_postorder();
     let max_passes = 16 * nvars + num_blocks + 16;

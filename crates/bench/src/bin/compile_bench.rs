@@ -237,6 +237,7 @@ fn solve_module(module: &Module, worklist: bool) -> SolverSample {
             func: f,
             sets: compute_sets(f),
             earliest: None,
+            entry: None,
             num_facts: f.num_vars(),
         };
         let sol = if worklist {

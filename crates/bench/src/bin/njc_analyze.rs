@@ -14,29 +14,335 @@
 //! ```text
 //! cargo run --release -p njc-bench --bin njc_analyze [--verbose] [workload-filter]
 //! ```
+//!
+//! With `--infer` the tool instead runs the interprocedural non-nullness
+//! inference (`njc-interproc`) as a lint: for each program it prints the
+//! inferred parameter/return/field facts per function and the null checks
+//! those facts kill. Kills are counted from the provenance stream — phase 1
+//! eliminations whose justifying fact is [`Redundancy::Interproc`] — which
+//! is exactly the set of removals the intraprocedural analysis could not
+//! justify. (Final-IR site counts are useless for this: phase 2 marks
+//! *every* guaranteed-trapping access as an exception site, so on a
+//! trapping platform the optimized IR looks the same however many checks
+//! died.) `--json` emits the same data machine-readably (deterministic:
+//! fact maps are ordered, nothing timing-dependent is included), and
+//! `--smoke` turns the run into a CI gate: it fails when the inference
+//! finds no facts at all or kills no checks on the built-in corpus.
+//!
+//! ```text
+//! cargo run --release -p njc-bench --bin njc_analyze -- --infer [--json] [--smoke]
+//! ```
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use njc_analysis::validate_module;
 use njc_arch::Platform;
+use njc_ir::Module;
 use njc_jit::compile;
-use njc_opt::ConfigKind;
+use njc_opt::{ConfigKind, OptConfig};
+use njc_workloads::gen::{build_call_module, gen_call_actions, Rng};
 
 fn main() -> ExitCode {
     let mut verbose = false;
+    let mut infer = false;
+    let mut json = false;
+    let mut smoke = false;
     let mut filter: Option<String> = None;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--verbose" | "-v" => verbose = true,
+            "--infer" => infer = true,
+            "--json" => json = true,
+            "--smoke" => smoke = true,
             "--help" | "-h" => {
-                println!("usage: njc_analyze [--verbose] [workload-filter]");
+                println!(
+                    "usage: njc_analyze [--verbose] [workload-filter]\n\
+                     \x20      njc_analyze --infer [--json] [--smoke] [workload-filter]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => filter = Some(other.to_string()),
         }
     }
+    if infer {
+        infer_main(json, smoke, filter)
+    } else {
+        classic_main(verbose, filter)
+    }
+}
 
+/// One program's inference lint result.
+struct InferRow {
+    name: String,
+    rounds: usize,
+    /// function name → (facts, checks killed in that function).
+    functions: BTreeMap<String, (njc_core::ctx::FnFacts, usize)>,
+    /// `Class.field` names proven always non-null, sorted.
+    fields: Vec<String>,
+    /// Phase 1 eliminations without / with the inference (whole module).
+    eliminated_off: usize,
+    eliminated_on: usize,
+    /// Eliminations attributed to an interprocedural fact (provenance).
+    killed: usize,
+}
+
+/// The `--infer` corpus: every (filtered) workload plus a fixed set of
+/// call-heavy generated programs, which are guaranteed to carry
+/// interprocedural facts.
+fn infer_corpus(smoke: bool, filter: Option<&str>) -> Vec<(String, Module)> {
+    let mut programs: Vec<(String, Module)> = njc_workloads::all()
+        .into_iter()
+        .filter(|w| filter.is_none_or(|f| w.name.contains(f)))
+        .take(if smoke { 4 } else { usize::MAX })
+        .map(|w| (w.name.to_string(), w.module))
+        .collect();
+    if filter.is_none() {
+        for seed in 0..4u64 {
+            let mut rng = Rng::new(seed ^ 0xca11);
+            let len = rng.range(1, 10);
+            let actions = gen_call_actions(&mut rng, len, 2);
+            programs.push((format!("call-{seed}"), build_call_module(&actions)));
+        }
+    }
+    programs
+}
+
+/// Counts, per function, the phase 1 eliminations of `trace` justified by
+/// an interprocedural fact.
+fn interproc_kills(trace: &njc_observe::ModuleTrace) -> BTreeMap<String, usize> {
+    let mut kills = BTreeMap::new();
+    for ft in &trace.functions {
+        let n = ft
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    njc_observe::CheckEvent::Phase1Eliminated {
+                        why: njc_observe::Redundancy::Interproc(_),
+                        ..
+                    }
+                )
+            })
+            .count();
+        if n > 0 {
+            kills.insert(ft.function.clone(), n);
+        }
+    }
+    kills
+}
+
+fn infer_row(name: &str, module: &Module, platform: &Platform) -> InferRow {
+    let kind = ConfigKind::Full;
+    let cfg_off = kind.to_config(platform);
+    let cfg_on = OptConfig {
+        interproc: true,
+        ..kind.to_config(platform)
+    };
+    // Infer over the prepared module — the same input the pipeline's own
+    // inference sees, so the printed facts are exactly the ones phase 1
+    // consumed.
+    let mut prepared = module.clone();
+    njc_opt::prepare_module(&mut prepared, platform, &cfg_off);
+    let (asm, stats) = njc_interproc::infer_with_stats(&prepared);
+
+    let mut off = module.clone();
+    let stats_off = njc_opt::optimize_module(&mut off, platform, &cfg_off);
+    let mut on = module.clone();
+    let (stats_on, trace) = njc_opt::optimize_module_traced(&mut on, platform, &cfg_on);
+    let kills = interproc_kills(&trace);
+
+    let mut functions: BTreeMap<String, (njc_core::ctx::FnFacts, usize)> = BTreeMap::new();
+    for (fname, facts) in asm.functions() {
+        functions.insert(
+            fname.to_string(),
+            (facts.clone(), kills.get(fname).copied().unwrap_or(0)),
+        );
+    }
+    let fields = asm
+        .fields()
+        .map(|fid| {
+            let d = prepared.field_decl(fid);
+            format!("{}.{}", prepared.class(d.class).name, d.name)
+        })
+        .collect();
+    InferRow {
+        name: name.to_string(),
+        rounds: stats.rounds,
+        functions,
+        fields,
+        eliminated_off: stats_off.null_checks.phase1.eliminated,
+        eliminated_on: stats_on.null_checks.phase1.eliminated,
+        killed: kills.values().sum(),
+    }
+}
+
+fn facts_summary(facts: &njc_core::ctx::FnFacts) -> String {
+    let mut parts = Vec::new();
+    if !facts.nonnull_params.is_empty() {
+        let ps: Vec<String> = facts
+            .nonnull_params
+            .iter()
+            .map(|p| format!("v{p}"))
+            .collect();
+        parts.push(format!(
+            "params [{}] non-null at all {} call site(s)",
+            ps.join(", "),
+            facts.call_sites
+        ));
+    }
+    if facts.nonnull_return {
+        parts.push("return non-null".into());
+    }
+    parts.join("; ")
+}
+
+fn infer_json(rows: &[InferRow]) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::new();
+    out.push_str("{\n  \"programs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", esc(&r.name));
+        let _ = writeln!(out, "      \"rounds\": {},", r.rounds);
+        let _ = writeln!(
+            out,
+            "      \"phase1_eliminated_off\": {},",
+            r.eliminated_off
+        );
+        let _ = writeln!(out, "      \"phase1_eliminated_on\": {},", r.eliminated_on);
+        let _ = writeln!(out, "      \"killed\": {},", r.killed);
+        out.push_str("      \"functions\": [\n");
+        for (j, (fname, (facts, killed))) in r.functions.iter().enumerate() {
+            let params: Vec<String> = facts.nonnull_params.iter().map(u32::to_string).collect();
+            let _ = write!(
+                out,
+                "        {{\"name\": \"{}\", \"nonnull_params\": [{}], \
+                 \"call_sites\": {}, \"nonnull_return\": {}, \"killed\": {}}}",
+                esc(fname),
+                params.join(", "),
+                facts.call_sites,
+                facts.nonnull_return,
+                killed
+            );
+            out.push_str(if j + 1 < r.functions.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("      ],\n");
+        let fields: Vec<String> = r.fields.iter().map(|f| format!("\"{}\"", esc(f))).collect();
+        let _ = writeln!(out, "      \"nonnull_fields\": [{}]", fields.join(", "));
+        out.push_str("    }");
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    let total_killed: usize = rows.iter().map(|r| r.killed).sum();
+    let total_facts: usize = rows
+        .iter()
+        .map(|r| {
+            r.fields.len()
+                + r.functions
+                    .values()
+                    .map(|(f, _)| f.nonnull_params.len() + usize::from(f.nonnull_return))
+                    .sum::<usize>()
+        })
+        .sum();
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"total_facts\": {total_facts},");
+    let _ = writeln!(
+        out,
+        "  \"total_phase1_eliminated_off\": {},",
+        rows.iter().map(|r| r.eliminated_off).sum::<usize>()
+    );
+    let _ = writeln!(
+        out,
+        "  \"total_phase1_eliminated_on\": {},",
+        rows.iter().map(|r| r.eliminated_on).sum::<usize>()
+    );
+    let _ = writeln!(out, "  \"total_killed\": {total_killed}");
+    out.push_str("}\n");
+    out
+}
+
+/// `--infer`: print (or gate on) the interprocedural inference lint.
+fn infer_main(json: bool, smoke: bool, filter: Option<String>) -> ExitCode {
+    let platform = Platform::windows_ia32();
+    let corpus = infer_corpus(smoke, filter.as_deref());
+    if corpus.is_empty() {
+        eprintln!("no workload matches the filter");
+        return ExitCode::FAILURE;
+    }
+    let rows: Vec<InferRow> = corpus
+        .iter()
+        .map(|(name, m)| infer_row(name, m, &platform))
+        .collect();
+
+    let mut total_facts = 0usize;
+    let mut total_killed = 0usize;
+    for r in &rows {
+        total_killed += r.killed;
+        total_facts += r.fields.len();
+        for (facts, _) in r.functions.values() {
+            total_facts += facts.nonnull_params.len() + usize::from(facts.nonnull_return);
+        }
+    }
+
+    if json {
+        print!("{}", infer_json(&rows));
+    } else {
+        for r in &rows {
+            println!(
+                "== {} ==  ({} fixpoint round(s), phase 1 eliminated {} -> {}, \
+                 {} interproc-killed)",
+                r.name, r.rounds, r.eliminated_off, r.eliminated_on, r.killed
+            );
+            if r.functions.is_empty() && r.fields.is_empty() {
+                println!("  (no facts inferred)");
+            }
+            for (fname, (facts, killed)) in &r.functions {
+                println!(
+                    "  fn {:12} {}  [{} check(s) killed]",
+                    fname,
+                    facts_summary(facts),
+                    killed
+                );
+            }
+            for f in &r.fields {
+                println!("  field {f} always non-null (initialized on every constructor path)");
+            }
+        }
+        println!(
+            "\ninterproc lint: {} program(s), {} fact(s), {} check(s) killed by \
+             interprocedural facts",
+            rows.len(),
+            total_facts,
+            total_killed
+        );
+    }
+
+    if smoke {
+        // The gate: the inference must find facts and kill checks on the
+        // built-in corpus — an empty result means the analysis or its
+        // pipeline threading silently broke.
+        if total_facts == 0 || total_killed == 0 {
+            eprintln!("FAIL: inference found {total_facts} facts, killed {total_killed} checks");
+            return ExitCode::FAILURE;
+        }
+        if !json {
+            println!("infer --smoke: OK");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// The original lint: coverage-validate every workload × platform ×
+/// configuration.
+fn classic_main(verbose: bool, filter: Option<String>) -> ExitCode {
     let workloads: Vec<_> = njc_workloads::all()
         .into_iter()
         .filter(|w| filter.as_deref().is_none_or(|f| w.name.contains(f)))

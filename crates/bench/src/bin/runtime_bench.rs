@@ -221,6 +221,7 @@ fn main() {
     let diff = run_runtime_difftest(&RuntimeDiffOptions {
         seeds: args.seeds,
         smoke: args.smoke,
+        interproc: true,
     });
     if !diff.is_clean() {
         failures.push(format!(

@@ -14,7 +14,8 @@ use njc_arch::Platform;
 use njc_core::phase1::count_checks;
 use njc_core::phase2::{count_exception_sites, count_explicit};
 use njc_jit::compile;
-use njc_opt::ConfigKind;
+use njc_opt::{ConfigKind, OptConfig};
+use njc_workloads::gen::{build_call_module, gen_call_actions, Rng};
 
 fn main() {
     let p = Platform::windows_ia32();
@@ -83,6 +84,87 @@ fn main() {
         "\nSolver cost across the three configurations above: {solver_pops} worklist \
          pops, {solver_iters} convergence iterations\n\
          (see `compile_bench` / BENCH_compile.json for wall-clock breakdowns)."
+    );
+
+    // Interprocedural inference census: Full vs Full+interproc. Kills are
+    // counted from provenance (phase 1 eliminations justified by an
+    // interprocedural fact) — the final IR cannot show them, because
+    // phase 2 marks every guaranteed-trapping access as an exception site
+    // whether or not a check obligation reached it.
+    println!(
+        "\nInterprocedural inference (Full vs Full+interproc, {}):",
+        p.name
+    );
+    println!(
+        "{:22} {:>6} {:>10} {:>10} {:>8}",
+        "program", "facts", "ph1-elim", "ph1-elim+", "killed"
+    );
+    let mut programs: Vec<(String, njc_ir::Module)> = njc_workloads::all()
+        .into_iter()
+        .map(|w| (w.name.to_string(), w.module))
+        .collect();
+    for seed in 0..4u64 {
+        let mut rng = Rng::new(seed ^ 0xca11);
+        let len = rng.range(1, 10);
+        programs.push((
+            format!("call-{seed}"),
+            build_call_module(&gen_call_actions(&mut rng, len, 2)),
+        ));
+    }
+    let mut itot = [0usize; 4];
+    for (name, module) in &programs {
+        let base = ConfigKind::Full.to_config(&p);
+        let mut prepared = module.clone();
+        njc_opt::prepare_module(&mut prepared, &p, &base);
+        let asm = njc_interproc::infer(&prepared);
+        let facts: usize = asm.num_param_facts() + asm.num_return_facts() + asm.num_field_facts();
+        let mut off = module.clone();
+        let s_off = njc_opt::optimize_module(&mut off, &p, &base);
+        let mut on = module.clone();
+        let (s_on, trace) = njc_opt::optimize_module_traced(
+            &mut on,
+            &p,
+            &OptConfig {
+                interproc: true,
+                ..base
+            },
+        );
+        let killed = trace
+            .functions
+            .iter()
+            .flat_map(|ft| &ft.events)
+            .filter(|e| {
+                matches!(
+                    e,
+                    njc_observe::CheckEvent::Phase1Eliminated {
+                        why: njc_observe::Redundancy::Interproc(_),
+                        ..
+                    }
+                )
+            })
+            .count();
+        let row = [
+            facts,
+            s_off.null_checks.phase1.eliminated,
+            s_on.null_checks.phase1.eliminated,
+            killed,
+        ];
+        println!(
+            "{:22} {:>6} {:>10} {:>10} {:>8}",
+            name, row[0], row[1], row[2], row[3]
+        );
+        for (t, v) in itot.iter_mut().zip(&row) {
+            *t += v;
+        }
+    }
+    println!(
+        "{:22} {:>6} {:>10} {:>10} {:>8}",
+        "TOTAL", itot[0], itot[1], itot[2], itot[3]
+    );
+    println!(
+        "`facts` = inferred non-null params + returns + always-initialized fields;\n\
+         `ph1-elim`/`ph1-elim+` = phase 1 eliminations without/with the inference;\n\
+         `killed` = eliminations provenance attributes to an interprocedural fact."
     );
 
     // The negative control: the §5.4 "Illegal Implicit" configuration

@@ -36,11 +36,11 @@ use std::path::{Path, PathBuf};
 
 use njc_arch::Platform;
 use njc_ir::{ExceptionKind, FuncBuilder, Module, Op, Type};
-use njc_opt::ConfigKind;
+use njc_opt::{ConfigKind, OptConfig};
 use njc_vm::{Fault, Value, Vm, VmConfig};
 use njc_workloads::gen::{
-    action_weight, build_module, gen_fault_actions, minimize, shrink_candidates, Action, RawIndex,
-    Rng,
+    action_weight, build_call_module, build_module, gen_call_actions, gen_fault_actions, minimize,
+    shrink_candidates, Action, RawIndex, Rng,
 };
 use njc_workloads::{micro, Suite, Workload};
 
@@ -56,6 +56,13 @@ pub struct DiffOptions {
     /// fix. A clean tree reports divergences under this flag (that is the
     /// point); it must never be set for the gating run.
     pub legacy_wrapping: bool,
+    /// Diff interprocedural-inference configurations too, and run the
+    /// dynamic soundness oracle: every program's inferred non-nullness
+    /// facts are asserted as explicit checks
+    /// ([`njc_interproc::assertion_module`]) and the instrumented run must
+    /// be observationally identical to the original — a fact that a run
+    /// falsifies becomes a divergence, minimized like any other.
+    pub interproc: bool,
     /// Where to write minimized `.njc` regression fixtures (skipped when
     /// `None`).
     pub fixtures_dir: Option<PathBuf>,
@@ -67,6 +74,7 @@ impl Default for DiffOptions {
             seeds: 48,
             smoke: false,
             legacy_wrapping: false,
+            interproc: true,
             fixtures_dir: None,
         }
     }
@@ -312,6 +320,18 @@ fn sound_kinds(smoke: bool) -> Vec<ConfigKind> {
     }
 }
 
+/// Configurations additionally diffed with the interprocedural inference
+/// enabled (subset in smoke mode). Their cells are labeled
+/// `<Kind>+interproc` and must agree with the same-platform baseline like
+/// any sound configuration.
+fn interproc_kinds(smoke: bool) -> Vec<ConfigKind> {
+    if smoke {
+        vec![ConfigKind::Full]
+    } else {
+        vec![ConfigKind::Full, ConfigKind::Phase1Only]
+    }
+}
+
 /// One corpus entry.
 struct Program {
     name: String,
@@ -319,6 +339,9 @@ struct Program {
     /// The generator actions, when the program came from the action
     /// language (enables minimization and fixture emission).
     actions: Option<Vec<Action>>,
+    /// How to lower `actions` back into a module during minimization —
+    /// the call-heavy corpus needs [`build_call_module`]'s helpers.
+    build: fn(&[Action]) -> Module,
     /// Run through the VM only, skipping the optimizer: the ill-typed
     /// probes are deliberately unverifiable IR, and feeding them to the
     /// optimizer would test nothing the VM hardening is responsible for.
@@ -331,6 +354,7 @@ impl Program {
             name: name.into(),
             module,
             actions: None,
+            build: build_module,
             vm_only: false,
         }
     }
@@ -340,6 +364,17 @@ impl Program {
             name: name.into(),
             module: build_module(&actions),
             actions: Some(actions),
+            build: build_module,
+            vm_only: false,
+        }
+    }
+
+    fn from_call_actions(name: impl Into<String>, actions: Vec<Action>) -> Self {
+        Program {
+            name: name.into(),
+            module: build_call_module(&actions),
+            actions: Some(actions),
+            build: build_call_module,
             vm_only: false,
         }
     }
@@ -412,12 +447,14 @@ fn build_corpus(opts: &DiffOptions) -> Vec<Program> {
         name: "probe_ill_typed_binop".into(),
         module: ill_typed_binop_probe(),
         actions: None,
+        build: build_module,
         vm_only: true,
     });
     corpus.push(Program {
         name: "probe_ill_typed_convert".into(),
         module: ill_typed_convert_probe(),
         actions: None,
+        build: build_module,
         vm_only: true,
     });
     let seeds = if opts.smoke {
@@ -430,6 +467,22 @@ fn build_corpus(opts: &DiffOptions) -> Vec<Program> {
         let len = rng.range(1, 14);
         let actions = gen_fault_actions(&mut rng, len, 2);
         corpus.push(Program::from_actions(format!("seed-{seed}"), actions));
+    }
+    // Call-heavy programs: deep chains, non-null-returning helpers, and
+    // constructor-initialized fields give the interprocedural inference
+    // real facts whose soundness the oracle then tests dynamically.
+    if opts.interproc {
+        let call_seeds = if opts.smoke {
+            8
+        } else {
+            opts.seeds.div_ceil(2)
+        };
+        for seed in 0..call_seeds {
+            let mut rng = Rng::new(seed ^ 0xca11);
+            let len = rng.range(1, 10);
+            let actions = gen_call_actions(&mut rng, len, 2);
+            corpus.push(Program::from_call_actions(format!("call-{seed}"), actions));
+        }
     }
     corpus
 }
@@ -479,7 +532,13 @@ fn diff_program(
     let cfg = vm_config(opts);
     let mut out = ProgramDiff::default();
     let plats = platforms();
-    // verdicts[p][0] = baseline; verdicts[p][1 + k] = kinds[k].
+    let ikinds = if opts.interproc && !vm_only {
+        interproc_kinds(opts.smoke)
+    } else {
+        Vec::new()
+    };
+    // verdicts[p][0] = baseline; verdicts[p][1 + k] = kinds[k]; then one
+    // column per interproc-enabled configuration.
     let mut verdicts: Vec<Vec<Verdict>> = Vec::new();
     for platform in &plats {
         let mut row = Vec::new();
@@ -496,14 +555,31 @@ fn diff_program(
                 let compiled = njc_jit::compile(&w, platform, *kind);
                 row.push(run_cell(&compiled.module, platform, cfg));
             }
+            for kind in &ikinds {
+                let w = Workload {
+                    name: "difftest",
+                    suite: Suite::Micro,
+                    module: module.clone(),
+                    entry: "main",
+                    work_units: 1,
+                };
+                let config = OptConfig {
+                    interproc: true,
+                    ..kind.to_config(platform)
+                };
+                let compiled = njc_jit::compile_config(&w, platform, *kind, &config);
+                row.push(run_cell(&compiled.module, platform, cfg));
+            }
         }
         verdicts.push(row);
     }
     let config_label = |c: usize| -> String {
         if c == 0 {
             "baseline".into()
-        } else {
+        } else if c <= kinds.len() {
             format!("{:?}", kinds[c - 1])
+        } else {
+            format!("{:?}+interproc", ikinds[c - 1 - kinds.len()])
         }
     };
     for (p, row) in verdicts.iter().enumerate() {
@@ -607,6 +683,44 @@ fn diff_program(
             }
         }
     }
+    // Dynamic soundness oracle for the interprocedural inference: every
+    // fact the fixpoint claims (non-null parameter, return, field) is
+    // asserted as an explicit null check, and the instrumented module is
+    // replayed on every platform. The checks are semantically transparent
+    // iff the facts hold, so any observable difference from the baseline —
+    // an extra NullPointerException, a shifted trace — is a falsified fact.
+    if !vm_only && opts.interproc {
+        let asm = njc_interproc::infer(module);
+        if !asm.is_empty() {
+            let checked = njc_interproc::assertion_module(module, &asm);
+            for (p, platform) in plats.iter().enumerate() {
+                let v = run_cell(&checked, platform, cfg);
+                out.cells += 1;
+                let base = &verdicts[p][0];
+                if matches!(v, Verdict::Panicked) {
+                    out.panicked += 1;
+                    out.divergences.push((
+                        "interproc-oracle".into(),
+                        format!("{}/interproc-oracle", platform.name),
+                        String::new(),
+                        "VM panicked running the fact-assertion module".into(),
+                    ));
+                } else if !matches!(base, Verdict::Panicked) && v != *base {
+                    out.divergences.push((
+                        "interproc-oracle".into(),
+                        format!("{}/baseline", platform.name),
+                        format!("{}/interproc-oracle", platform.name),
+                        format!(
+                            "inferred non-nullness fact falsified dynamically: \
+                             baseline {} vs fact-asserting run {}",
+                            base.summary(),
+                            v.summary()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
     out
 }
 
@@ -617,6 +731,10 @@ fn diff_program(
 /// `optimize_module` is deterministic, so the re-run reproduces exactly the
 /// module the diverging cell executed.
 fn divergence_provenance(module: &Module, config: &str, cell: &str) -> Option<String> {
+    let (config, interproc) = match config.strip_suffix("+interproc") {
+        Some(base) => (base, true),
+        None => (config, false),
+    };
     let kind = match config {
         "NoNullOptNoTrap" => ConfigKind::NoNullOptNoTrap,
         "NoNullOptTrap" => ConfigKind::NoNullOptTrap,
@@ -638,7 +756,11 @@ fn divergence_provenance(module: &Module, config: &str, cell: &str) -> Option<St
         Platform::windows_ia32()
     };
     let mut m = module.clone();
-    let (_, trace) = njc_opt::optimize_module_traced(&mut m, &platform, &kind.to_config(&platform));
+    let config = OptConfig {
+        interproc,
+        ..kind.to_config(&platform)
+    };
+    let (_, trace) = njc_opt::optimize_module_traced(&mut m, &platform, &config);
     trace.function("main").map(|f| f.explain(None))
 }
 
@@ -676,11 +798,11 @@ pub fn run_difftest(opts: &DiffOptions) -> DiffReport {
         let (minimized, fixture) = match &prog.actions {
             Some(actions) => {
                 let small = minimize(actions.clone(), action_weight, shrink_candidates, |cand| {
-                    let m = build_module(cand);
+                    let m = (prog.build)(cand);
                     let dd = diff_program(&m, false, &kinds, opts);
                     !dd.divergences.is_empty() || dd.panicked > 0
                 });
-                let text = fixture_text(&prog.name, &small, &build_module(&small));
+                let text = fixture_text(&prog.name, &small, &(prog.build)(&small));
                 let path = opts.fixtures_dir.as_ref().map(|dir| {
                     let path = dir.join(format!("{}.njc", prog.name.replace(' ', "_")));
                     let _ = std::fs::create_dir_all(dir);
@@ -791,6 +913,58 @@ mod tests {
             assert_eq!(d.ill_typed, 3, "one structured fault per platform");
             assert!(d.divergences.is_empty(), "{:?}", d.divergences.first());
         }
+    }
+
+    #[test]
+    fn call_corpus_with_interproc_is_clean() {
+        // Call-heavy programs exercise the inference's parameter, return,
+        // and field facts; both the `+interproc` optimizer cells and the
+        // fact-assertion oracle must agree with the baseline everywhere.
+        let opts = quick_opts();
+        let kinds = sound_kinds(true);
+        for seed in 0..4u64 {
+            let mut rng = Rng::new(seed ^ 0xca11);
+            let len = rng.range(1, 10);
+            let actions = gen_call_actions(&mut rng, len, 2);
+            let m = build_call_module(&actions);
+            let d = diff_program(&m, false, &kinds, &opts);
+            assert!(
+                d.divergences.is_empty(),
+                "call seed {seed}: {:?}",
+                d.divergences.first()
+            );
+            assert_eq!(d.panicked, 0, "call seed {seed}");
+        }
+    }
+
+    #[test]
+    fn oracle_catches_a_planted_false_fact() {
+        use njc_core::ctx::{EntryAssumptions, FnFacts};
+        // `main` passes null as `work`'s second parameter, so a parameter
+        // fact on it is a lie; the assertion module must observably diverge
+        // (an extra NPE), which is exactly the signal the oracle reports.
+        let m = build_module(&[Action::Observe(0)]);
+        let mut asm = EntryAssumptions::new();
+        asm.set_function(
+            "work",
+            FnFacts {
+                nonnull_params: vec![1],
+                nonnull_return: false,
+                call_sites: 1,
+            },
+        );
+        let checked = njc_interproc::assertion_module(&m, &asm);
+        let cfg = vm_config(&quick_opts());
+        let p = Platform::windows_ia32();
+        let base = run_cell(&m, &p, cfg);
+        let v = run_cell(&checked, &p, cfg);
+        assert_ne!(v, base, "a false fact must be observable");
+        // And the honest inference never claims that fact, so the real
+        // oracle path stays clean on the same program.
+        let honest = njc_interproc::infer(&m);
+        assert!(honest
+            .function("work")
+            .is_none_or(|f| !f.nonnull_params.contains(&1)));
     }
 
     #[test]

@@ -17,9 +17,11 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use njc_arch::Platform;
 use njc_ir::Module;
 use njc_opt::ConfigKind;
-use njc_runtime::TieredRuntime;
+use njc_runtime::{RuntimeConfig, TieredRuntime};
 use njc_vm::{run_module, Outcome};
-use njc_workloads::gen::{build_module, gen_fault_actions, Action, Rng};
+use njc_workloads::gen::{
+    build_call_module, build_module, gen_call_actions, gen_fault_actions, Action, Rng,
+};
 use njc_workloads::micro;
 
 use crate::difftest::fault_label;
@@ -31,6 +33,12 @@ pub struct RuntimeDiffOptions {
     pub seeds: u64,
     /// Smoke mode: clamp the seed count for a fast CI gate.
     pub smoke: bool,
+    /// Enable the interprocedural inference in every tier compile, add the
+    /// call-heavy corpus, and cross-check each program's inferred facts
+    /// against the dynamic run: the fact-assertion module
+    /// ([`njc_interproc::assertion_module`]) must match the raw run on
+    /// every observable channel *and* on the trap/silent-read counters.
+    pub interproc: bool,
 }
 
 impl Default for RuntimeDiffOptions {
@@ -38,6 +46,7 @@ impl Default for RuntimeDiffOptions {
         RuntimeDiffOptions {
             seeds: 24,
             smoke: false,
+            interproc: true,
         }
     }
 }
@@ -85,7 +94,73 @@ fn corpus(opts: &RuntimeDiffOptions) -> Vec<(String, Module)> {
         let actions = gen_fault_actions(&mut rng, len, 2);
         programs.push((format!("seed-{seed}"), build_module(&actions)));
     }
+    if opts.interproc {
+        // Call-heavy programs give the tier compiles real interprocedural
+        // facts, so mid-run swaps install bodies optimized under entry
+        // assumptions — the case the adaptive/steady diff must not notice.
+        let call_seeds = if opts.smoke { 4 } else { seeds.div_ceil(2) };
+        for seed in 0..call_seeds {
+            let mut rng = Rng::new(seed ^ 0xca11);
+            let len = rng.range(1, 10);
+            let actions = gen_call_actions(&mut rng, len, 2);
+            programs.push((format!("call-{seed}"), build_call_module(&actions)));
+        }
+    }
     programs
+}
+
+/// Cross-checks the inferred facts of one program against its dynamic
+/// behavior: the fact-assertion module must agree with the raw module on
+/// every observable channel, and the added checks must not surface any
+/// trap or silent null read the raw run did not have. One line per
+/// violated fact.
+fn oracle_check(name: &str, module: &Module, platform: Platform, out: &mut Vec<String>) {
+    let asm = njc_interproc::infer(module);
+    if asm.is_empty() {
+        return;
+    }
+    let checked = njc_interproc::assertion_module(module, &asm);
+    match (
+        run_module(module, platform, "main", &[]),
+        run_module(&checked, platform, "main", &[]),
+    ) {
+        (Ok(raw), Ok(assert_run)) => {
+            if let Err(e) = raw.assert_equivalent(&assert_run) {
+                out.push(format!("{name}/interproc-oracle: fact falsified: {e}"));
+            }
+            if raw.stats.missed_npes != assert_run.stats.missed_npes
+                || raw.stats.silent_null_reads != assert_run.stats.silent_null_reads
+            {
+                out.push(format!(
+                    "{name}/interproc-oracle: trap counters moved: missed {} -> {}, \
+                     silent reads {} -> {}",
+                    raw.stats.missed_npes,
+                    assert_run.stats.missed_npes,
+                    raw.stats.silent_null_reads,
+                    assert_run.stats.silent_null_reads
+                ));
+            }
+        }
+        // A faulting program is fine (the fault corpus faults by design) —
+        // but both runs must fault identically.
+        (Err(raw), Err(assert_run)) => {
+            if fault_label(&raw) != fault_label(&assert_run) {
+                out.push(format!(
+                    "{name}/interproc-oracle: fault {} vs fact-assertion fault {}",
+                    fault_label(&raw),
+                    fault_label(&assert_run)
+                ));
+            }
+        }
+        (Err(f), Ok(_)) => out.push(format!(
+            "{name}/interproc-oracle: raw run faults ({}) but fact-assertion run completes",
+            fault_label(&f)
+        )),
+        (Ok(_), Err(f)) => out.push(format!(
+            "{name}/interproc-oracle: fact-assertion run faults ({})",
+            fault_label(&f)
+        )),
+    }
 }
 
 /// Compares `got` against the single-shot reference on every observable
@@ -126,14 +201,26 @@ pub fn run_runtime_difftest(opts: &RuntimeDiffOptions) -> RuntimeDiffReport {
     let mut report = RuntimeDiffReport::default();
     for (name, module) in corpus(opts) {
         report.programs += 1;
-        // Reference: single-shot compile at the runtime's tier-1 config.
+        if opts.interproc {
+            // Facts-vs-dynamics cross-check, independent of the runtime:
+            // every inferred fact must survive the program's real run.
+            report.cells += 1;
+            oracle_check(&name, &module, platform, &mut report.divergences);
+        }
+        // Reference: single-shot compile at the runtime's tier-1 config,
+        // *without* the inference — the adaptive runtime (which runs it in
+        // every tier when enabled) must still be observationally identical.
         let reference = {
             let mut m = module.clone();
             njc_opt::optimize_module(&mut m, &platform, &ConfigKind::Full.to_config(&platform));
             run_module(&m, platform, "main", &[])
         };
+        let rt_config = RuntimeConfig {
+            interproc: opts.interproc,
+            ..RuntimeConfig::for_platform(&platform)
+        };
         let tiered = catch_unwind(AssertUnwindSafe(|| {
-            TieredRuntime::new(module.clone(), platform).run("main", &[])
+            TieredRuntime::with_config(module.clone(), platform, rt_config).run("main", &[])
         }));
         let tiered = match tiered {
             Ok(r) => r,
@@ -211,6 +298,7 @@ mod tests {
         let report = run_runtime_difftest(&RuntimeDiffOptions {
             seeds: 4,
             smoke: true,
+            interproc: true,
         });
         assert!(report.programs > 10, "micros + probe + seeds");
         assert!(

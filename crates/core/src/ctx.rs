@@ -1,10 +1,13 @@
 //! Shared analysis context: how instructions look to the null check
 //! optimizer under a given platform trap model.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use njc_arch::TrapModel;
-use njc_ir::{AccessKind, Function, Inst, Module, SlotAccess, VarId};
+use njc_dataflow::BitSet;
+use njc_ir::{
+    AccessKind, CallTarget, FieldId, Function, FunctionId, Inst, Module, SlotAccess, Type, VarId,
+};
 
 /// How a slot access behaves when its base reference is null, from the
 /// *compiler's* point of view.
@@ -81,6 +84,109 @@ impl ExplicitOverride {
     }
 }
 
+/// Non-nullness facts inferred for one function by the interprocedural
+/// call-graph fixpoint (`njc-interproc`).
+///
+/// A *parameter fact* means the parameter is non-null at **every**
+/// intra-module call site of the function (and the function is not an
+/// entry point, so there are no other callers). A *return fact* means
+/// every `return` of the function provably yields a non-null reference.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FnFacts {
+    /// Parameter variable indexes proven non-null at every call site,
+    /// ascending.
+    pub nonnull_params: Vec<u32>,
+    /// Whether every return of the function yields a non-null reference.
+    pub nonnull_return: bool,
+    /// Number of intra-module call sites that fed the parameter meet
+    /// (provenance: "proven non-null at all N call sites").
+    pub call_sites: u32,
+}
+
+impl FnFacts {
+    /// Whether the facts carry no information.
+    pub fn is_trivial(&self) -> bool {
+        self.nonnull_params.is_empty() && !self.nonnull_return
+    }
+}
+
+/// The whole-module result of the interprocedural non-nullness inference:
+/// per-function parameter/return facts plus the set of fields assigned
+/// non-null on every constructor path (Hubert-style).
+///
+/// Keys are function *names* (stable across per-function recompilation)
+/// and [`FieldId`] indexes (stable across optimization — passes never
+/// touch the field arena). Both maps are ordered, so iteration — and any
+/// report or JSON derived from it — is deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EntryAssumptions {
+    functions: BTreeMap<String, FnFacts>,
+    fields: BTreeSet<u32>,
+}
+
+impl EntryAssumptions {
+    /// An empty fact set (equivalent to running without the analysis).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the facts for `name`; trivial facts are dropped.
+    pub fn set_function(&mut self, name: impl Into<String>, facts: FnFacts) {
+        if !facts.is_trivial() {
+            self.functions.insert(name.into(), facts);
+        }
+    }
+
+    /// The facts for function `name`, if any.
+    pub fn function(&self, name: &str) -> Option<&FnFacts> {
+        self.functions.get(name)
+    }
+
+    /// All per-function facts in name order.
+    pub fn functions(&self) -> impl Iterator<Item = (&str, &FnFacts)> + '_ {
+        self.functions.iter().map(|(n, f)| (n.as_str(), f))
+    }
+
+    /// Marks `field` as always-initialized non-null.
+    pub fn insert_field(&mut self, field: FieldId) {
+        self.fields.insert(field.0);
+    }
+
+    /// Whether `field` is proven always non-null.
+    pub fn field_nonnull(&self, field: FieldId) -> bool {
+        self.fields.contains(&field.0)
+    }
+
+    /// All proven fields, ascending.
+    pub fn fields(&self) -> impl Iterator<Item = FieldId> + '_ {
+        self.fields.iter().map(|&i| FieldId(i))
+    }
+
+    /// Total number of parameter facts.
+    pub fn num_param_facts(&self) -> usize {
+        self.functions
+            .values()
+            .map(|f| f.nonnull_params.len())
+            .sum()
+    }
+
+    /// Total number of return facts.
+    pub fn num_return_facts(&self) -> usize {
+        self.functions.values().filter(|f| f.nonnull_return).count()
+    }
+
+    /// Total number of field facts.
+    pub fn num_field_facts(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether no fact of any kind is present. An empty set must make every
+    /// consumer behave byte-identically to not running the analysis at all.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty() && self.fields.is_empty()
+    }
+}
+
 /// Context shared by all analyses: the module (for field offsets) and the
 /// platform trap model.
 #[derive(Clone, Copy, Debug)]
@@ -91,6 +197,8 @@ pub struct AnalysisCtx<'a> {
     pub trap: TrapModel,
     /// Profile-driven per-site explicit check overrides, if any.
     overrides: Option<&'a ExplicitOverride>,
+    /// Interprocedurally proven non-nullness facts, if any.
+    assumptions: Option<&'a EntryAssumptions>,
 }
 
 impl<'a> AnalysisCtx<'a> {
@@ -100,6 +208,7 @@ impl<'a> AnalysisCtx<'a> {
             module,
             trap,
             overrides: None,
+            assumptions: None,
         }
     }
 
@@ -120,7 +229,101 @@ impl<'a> AnalysisCtx<'a> {
             } else {
                 Some(overrides)
             },
+            assumptions: None,
         }
+    }
+
+    /// Attaches interprocedural [`EntryAssumptions`] to the context. An
+    /// empty fact set is normalized to `None`, so every downstream analysis
+    /// behaves byte-identically to a context without assumptions.
+    pub fn with_assumptions(mut self, assumptions: Option<&'a EntryAssumptions>) -> Self {
+        self.assumptions = assumptions.filter(|a| !a.is_empty());
+        self
+    }
+
+    /// The attached interprocedural facts, if any.
+    pub fn assumptions(&self) -> Option<&'a EntryAssumptions> {
+        self.assumptions
+    }
+
+    /// The entry bit-vector of interprocedurally proven non-null
+    /// parameters of `func`, or `None` when there are no such facts. Fed
+    /// into [`crate::nonnull::NonNullProblem::entry`].
+    pub fn entry_facts(&self, func: &Function, num_facts: usize) -> Option<BitSet> {
+        let ff = self.assumptions?.function(func.name())?;
+        if ff.nonnull_params.is_empty() {
+            return None;
+        }
+        let mut b = BitSet::new(num_facts);
+        for &p in &ff.nonnull_params {
+            if (p as usize) < num_facts {
+                b.insert(p as usize);
+            }
+        }
+        Some(b)
+    }
+
+    /// Whether every callee a call through `target` can dispatch to
+    /// provably never returns null. Static/direct targets resolve
+    /// precisely; virtual targets take the meet over every implementation
+    /// of the method (and an unimplemented method yields no fact).
+    pub fn call_returns_nonnull(&self, target: &CallTarget) -> bool {
+        let Some(asm) = self.assumptions else {
+            return false;
+        };
+        let ret = |f: FunctionId| {
+            asm.function(self.module.function(f).name())
+                .is_some_and(|ff| ff.nonnull_return)
+        };
+        match target {
+            CallTarget::Static(f) | CallTarget::Direct(f) => ret(*f),
+            CallTarget::Virtual { method, .. } => {
+                let impls = self.module.implementations_of(method);
+                !impls.is_empty() && impls.iter().all(|&(_, f)| ret(f))
+            }
+        }
+    }
+
+    /// Resolves `target` to the representative callee carrying a return
+    /// fact (for provenance), if [`Self::call_returns_nonnull`] holds.
+    pub fn nonnull_return_callee(&self, target: &CallTarget) -> Option<FunctionId> {
+        if !self.call_returns_nonnull(target) {
+            return None;
+        }
+        match target {
+            CallTarget::Static(f) | CallTarget::Direct(f) => Some(*f),
+            CallTarget::Virtual { method, .. } => self
+                .module
+                .implementations_of(method)
+                .first()
+                .map(|&(_, f)| f),
+        }
+    }
+
+    /// The destination variable proven non-null by `inst` under the
+    /// context's interprocedural assumptions: a call whose every resolved
+    /// callee provably returns non-null, or a load of an
+    /// always-initialized non-null reference field. `None` without
+    /// assumptions — the choke point that keeps the assumed analyses
+    /// byte-identical to the plain ones when the facts are absent.
+    pub fn assumed_nonnull_def(&self, inst: &Inst) -> Option<VarId> {
+        self.assumptions?;
+        match inst {
+            Inst::Call {
+                dst: Some(d),
+                target,
+                ..
+            } if self.call_returns_nonnull(target) => Some(*d),
+            Inst::GetField { dst, field, .. } if self.nonnull_field_load(*field) => Some(*dst),
+            _ => None,
+        }
+    }
+
+    /// Whether a load of `field` provably yields a non-null reference.
+    pub fn nonnull_field_load(&self, field: FieldId) -> bool {
+        self.assumptions.is_some_and(|a| {
+            a.field_nonnull(field) && self.module.field_decl(field).ty == Type::Ref
+        })
     }
 
     /// Whether `inst`'s slot access (if any) is suppressed by the override

@@ -44,7 +44,7 @@ pub mod phase2;
 pub mod trivial;
 pub mod whaley;
 
-pub use ctx::{AccessClass, AnalysisCtx, ExplicitOverride};
+pub use ctx::{AccessClass, AnalysisCtx, EntryAssumptions, ExplicitOverride, FnFacts};
 pub use phase1::Phase1Stats;
 pub use phase2::Phase2Stats;
 pub use trivial::TrivialStats;

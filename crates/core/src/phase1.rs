@@ -41,7 +41,9 @@ use njc_ir::{BlockId, CfgCache, Function, Inst, NullCheckKind, VarId};
 use njc_observe::{CheckEvent, Recorder};
 
 use crate::ctx::AnalysisCtx;
-use crate::nonnull::{compute_sets, eliminate_redundant_recorded, NonNullProblem};
+use crate::nonnull::{
+    compute_sets, compute_sets_assumed, eliminate_redundant_assumed, NonNullProblem,
+};
 
 /// Statistics from one phase 1 application.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -196,19 +198,47 @@ pub fn run_recorded(
     stats.motion_pops = sol_bwd.worklist_pops;
     let mut earliest = compute_earliest(func, cfg.preds(), &sol_bwd.outs);
 
-    // §4.1.2 — non-nullness assuming insertions, then elimination.
+    // §4.1.2 — non-nullness assuming insertions, then elimination. With
+    // interprocedural assumptions on the context, proven parameters seed
+    // the entry boundary and proven call returns / field loads generate
+    // facts; without them this is byte-identical to the plain analysis.
     let nonnull = NonNullProblem {
         func,
-        sets: compute_sets(func),
+        sets: compute_sets_assumed(ctx, func),
         earliest: Some(&earliest),
+        entry: ctx.entry_facts(func, nv),
         num_facts: nv,
     };
     let sol_fwd = solve_cached(func, cfg, &nonnull);
     stats.nonnull_iterations = sol_fwd.iterations;
     stats.nonnull_pops = sol_fwd.worklist_pops;
 
+    // When tracing with assumptions, also solve the *plain* problem: an
+    // entry fact present only in the assumed solution is attributed to
+    // the interprocedural fact that minted it. Deliberately excluded from
+    // the solver statistics so traced and plain runs report identically.
+    let base_sol = if rec.is_enabled() && ctx.assumptions().is_some() {
+        let base = NonNullProblem {
+            func,
+            sets: compute_sets(func),
+            earliest: Some(&earliest),
+            entry: None,
+            num_facts: nv,
+        };
+        Some(solve_cached(func, cfg, &base))
+    } else {
+        None
+    };
+
     // Rewrite: remove redundant checks...
-    stats.eliminated = eliminate_redundant_recorded(func, &sol_fwd.ins, rec, true);
+    stats.eliminated = eliminate_redundant_assumed(
+        Some(ctx),
+        func,
+        &sol_fwd.ins,
+        base_sol.as_ref().map(|s| s.ins.as_slice()),
+        rec,
+        true,
+    );
 
     // ... then insert at the earliest points: Earliest(n) -= Out_fwd(n),
     // remaining checks go at the block exit (§4.1.2 last equation).

@@ -50,6 +50,7 @@ pub fn run_recorded(func: &mut Function, cfg: &mut CfgCache, rec: &mut Recorder)
         func,
         sets: compute_sets(func),
         earliest: None,
+        entry: None,
         num_facts: nv,
     };
     let sol = solve_cached(func, cfg, &problem);

@@ -27,11 +27,39 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-use njc_ir::{BlockId, CheckId, Function, Inst, VarId};
+use njc_ir::{BlockId, CheckId, FieldId, Function, FunctionId, Inst, VarId};
 
 // ---------------------------------------------------------------------------
 // Events
 // ---------------------------------------------------------------------------
+
+/// The interprocedural fact (inferred by `njc-interproc`'s call-graph
+/// fixpoint) that made a variable non-null without any intraprocedural
+/// evidence.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InterprocFact {
+    /// The variable is a parameter proven non-null at every intra-module
+    /// call site of the enclosing function.
+    Param {
+        /// The parameter variable.
+        param: VarId,
+        /// How many call sites fed the meet.
+        sites: u32,
+    },
+    /// The variable holds the return value of a callee proven to never
+    /// return null. For a virtual site the id is the first implementation
+    /// (all of them carry the fact, or the site has none).
+    Return {
+        /// The (representative) callee.
+        callee: FunctionId,
+    },
+    /// The variable was loaded from a field assigned non-null on every
+    /// constructor path and by every store (Hubert-style field fact).
+    Field {
+        /// The field.
+        field: FieldId,
+    },
+}
 
 /// Why a forward-redundancy pass (phase 1 / Whaley) removed a check: the
 /// non-nullness fact that justified the removal.
@@ -44,6 +72,9 @@ pub enum Redundancy {
     PriorCheck(CheckId),
     /// The variable was freshly allocated (`new`/`newarray`) in this block.
     Allocation,
+    /// An interprocedural fact proved the variable non-null (the check is
+    /// dead across call boundaries, not just within the function).
+    Interproc(InterprocFact),
 }
 
 /// Why phase 2 materialized a pending check as an explicit instruction
@@ -489,6 +520,18 @@ fn redundancy_json(why: &Redundancy) -> String {
         Redundancy::NonNullAtEntry => "{\"fact\":\"nonnull-at-entry\"}".to_string(),
         Redundancy::PriorCheck(id) => format!("{{\"fact\":\"prior-check\",\"check\":{}}}", id.0),
         Redundancy::Allocation => "{\"fact\":\"allocation\"}".to_string(),
+        Redundancy::Interproc(fact) => match fact {
+            InterprocFact::Param { param, sites } => format!(
+                "{{\"fact\":\"interproc-param\",\"param\":{},\"sites\":{sites}}}",
+                param.0
+            ),
+            InterprocFact::Return { callee } => {
+                format!("{{\"fact\":\"interproc-return\",\"callee\":{}}}", callee.0)
+            }
+            InterprocFact::Field { field } => {
+                format!("{{\"fact\":\"interproc-field\",\"field\":{}}}", field.0)
+            }
+        },
     }
 }
 
@@ -722,6 +765,20 @@ fn describe_redundancy(var: &VarId, why: &Redundancy) -> String {
         }
         Redundancy::PriorCheck(id) => format!("check {id} already covers {var} in this block"),
         Redundancy::Allocation => format!("{var} was freshly allocated in this block"),
+        Redundancy::Interproc(fact) => match fact {
+            InterprocFact::Param { param, sites } => format!(
+                "param {param} proven non-null at all {sites} call sites \
+                 (interprocedural fixpoint)"
+            ),
+            InterprocFact::Return { callee } => format!(
+                "{var} is returned by {callee}, which provably never returns null \
+                 (interprocedural fixpoint)"
+            ),
+            InterprocFact::Field { field } => format!(
+                "{var} was loaded from {field}, assigned non-null on every constructor \
+                 path (interprocedural fixpoint)"
+            ),
+        },
     }
 }
 

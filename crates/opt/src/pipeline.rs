@@ -13,7 +13,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use njc_arch::{Platform, TrapModel};
-use njc_core::ctx::{AnalysisCtx, ExplicitOverride};
+use njc_core::ctx::{AnalysisCtx, EntryAssumptions, ExplicitOverride};
 use njc_core::{collect_site_records, phase1, phase2, trivial, whaley, NullCheckStats};
 use njc_ir::{CfgCache, Function, FunctionId, Module};
 use njc_observe::{CheckEvent, FunctionTrace, Ledger, ModuleTrace, PassTimer, Recorder};
@@ -68,6 +68,13 @@ pub struct OptConfig {
     /// tagged with the pass that introduced it. Off in the presets; see
     /// [`optimize_module_validated`].
     pub validate: bool,
+    /// Interprocedural non-nullness inference (`njc-interproc`): run the
+    /// call-graph fixpoint over the prepared module and seed phase 1's
+    /// forward analysis with the inferred parameter, return, and field
+    /// facts. Off in every preset (the paper's algorithm is purely
+    /// intraprocedural); when off the optimizer output is byte-identical
+    /// to a build without this feature.
+    pub interproc: bool,
     /// Worker threads for the per-function stages. Functions are optimized
     /// independently (every pass reads the module only for class and field
     /// layout), so any thread count produces the same module and the same
@@ -144,6 +151,7 @@ impl ConfigKind {
                 versioning: true,
                 sinking: true,
                 validate: false,
+                interproc: false,
                 threads: 1,
             },
             ConfigKind::NoNullOptTrap => OptConfig {
@@ -158,6 +166,7 @@ impl ConfigKind {
                 versioning: true,
                 sinking: true,
                 validate: false,
+                interproc: false,
                 threads: 1,
             },
             ConfigKind::OldNullCheck => OptConfig {
@@ -172,6 +181,7 @@ impl ConfigKind {
                 versioning: true,
                 sinking: true,
                 validate: false,
+                interproc: false,
                 threads: 1,
             },
             ConfigKind::Phase1Only => OptConfig {
@@ -186,6 +196,7 @@ impl ConfigKind {
                 versioning: true,
                 sinking: true,
                 validate: false,
+                interproc: false,
                 threads: 1,
             },
             ConfigKind::Full => OptConfig {
@@ -200,6 +211,7 @@ impl ConfigKind {
                 versioning: true,
                 sinking: true,
                 validate: false,
+                interproc: false,
                 threads: 1,
             },
             ConfigKind::RefJit => OptConfig {
@@ -214,6 +226,7 @@ impl ConfigKind {
                 versioning: true,
                 sinking: true,
                 validate: false,
+                interproc: false,
                 threads: 1,
             },
             ConfigKind::AixSpeculation => OptConfig {
@@ -228,6 +241,7 @@ impl ConfigKind {
                 versioning: true,
                 sinking: true,
                 validate: false,
+                interproc: false,
                 threads: 1,
             },
             ConfigKind::AixNoSpeculation => OptConfig {
@@ -242,6 +256,7 @@ impl ConfigKind {
                 versioning: true,
                 sinking: true,
                 validate: false,
+                interproc: false,
                 threads: 1,
             },
             ConfigKind::AixNoNullOpt => OptConfig {
@@ -256,6 +271,7 @@ impl ConfigKind {
                 versioning: true,
                 sinking: true,
                 validate: false,
+                interproc: false,
                 threads: 1,
             },
             ConfigKind::AixIllegalImplicit => OptConfig {
@@ -273,6 +289,7 @@ impl ConfigKind {
                 versioning: true,
                 sinking: true,
                 validate: false,
+                interproc: false,
                 threads: 1,
             },
         }
@@ -318,6 +335,9 @@ pub struct PipelineStats {
     /// is on, each prefixed with the `[stage]` that produced it. Empty
     /// means every validated stage was proven sound.
     pub validation_failures: Vec<String>,
+    /// Interprocedural inference statistics (module level; all zero when
+    /// [`OptConfig::interproc`] is off or nothing was inferred).
+    pub interproc: njc_interproc::InferStats,
 }
 
 impl PipelineStats {
@@ -367,16 +387,18 @@ impl PipelineStats {
 }
 
 /// Records pair + invariant validator findings around one null check pass.
+#[allow(clippy::too_many_arguments)]
 fn validate_null_pass(
     stats: &mut PipelineStats,
     module: &Module,
     machine: TrapModel,
+    assumptions: Option<&EntryAssumptions>,
     stage: &str,
     orig: &njc_ir::Function,
     opt: &njc_ir::Function,
     invariant: bool,
 ) {
-    for v in njc_analysis::validate_pair(module, machine, orig, opt) {
+    for v in njc_analysis::validate_pair_assumed(module, machine, assumptions, orig, opt) {
         stats.validation_failures.push(format!("[{stage}] {v}"));
     }
     if invariant {
@@ -391,10 +413,11 @@ fn validate_coverage(
     stats: &mut PipelineStats,
     module: &Module,
     machine: TrapModel,
+    assumptions: Option<&EntryAssumptions>,
     stage: &str,
     func: &njc_ir::Function,
 ) {
-    for v in njc_analysis::validate_function(module, machine, func) {
+    for v in njc_analysis::validate_function_assumed(module, machine, assumptions, func) {
         stats.validation_failures.push(format!("[{stage}] {v}"));
     }
 }
@@ -483,6 +506,24 @@ fn optimize_module_impl(
     let wall = Instant::now();
     let mut stats = prepare_module(module, platform, config);
 
+    // Interprocedural non-nullness inference runs at module level: it must
+    // see every real function body, so it goes after the module passes and
+    // before the functions are checked out (the checked-out module holds
+    // placeholder bodies). Inferring nothing is normalized to `None`, which
+    // keeps the `interproc: true` pipeline byte-identical to `false` on
+    // fact-free modules.
+    let assumptions = config
+        .interproc
+        .then(|| {
+            let t = PassTimer::start();
+            let (asm, istats) = njc_interproc::infer_with_stats(module);
+            stats.interproc = istats;
+            stats.add_time("interproc", t.elapsed());
+            asm
+        })
+        .filter(|a| !a.is_empty());
+    let asm = assumptions.as_ref();
+
     // Per-function stages: Figure 2's iterated architecture-independent
     // loop, loop versioning, and the architecture-dependent phase. Every
     // pass below reads the module only for class and field layout, so the
@@ -498,10 +539,10 @@ fn optimize_module_impl(
     let results: Vec<(PipelineStats, Option<FunctionTrace>)> = if threads <= 1 {
         funcs
             .iter_mut()
-            .map(|f| optimize_function_traced(module, platform, config, f, traced))
+            .map(|f| optimize_function_traced(module, platform, config, asm, f, traced))
             .collect()
     } else {
-        optimize_functions_parallel(module, platform, config, &mut funcs, threads, traced)
+        optimize_functions_parallel(module, platform, config, asm, &mut funcs, threads, traced)
     };
     let mut traces = Vec::new();
     for (r, t) in results {
@@ -573,10 +614,14 @@ fn optimize_function_traced(
     module: &Module,
     platform: &Platform,
     config: &OptConfig,
+    assumptions: Option<&EntryAssumptions>,
     func: &mut Function,
     traced: bool,
 ) -> (PipelineStats, Option<FunctionTrace>) {
-    optimize_function_overridden(module, platform, config, func, None, traced)
+    let mut rec = Recorder::new(traced);
+    let stats = optimize_function(module, platform, config, assumptions, func, None, &mut rec);
+    let trace = traced.then(|| build_trace(func, &stats, rec));
+    (stats, trace)
 }
 
 /// The public per-function recompile entry point: runs every per-function
@@ -600,8 +645,24 @@ pub fn optimize_function_overridden(
     overrides: Option<&ExplicitOverride>,
     traced: bool,
 ) -> (PipelineStats, Option<FunctionTrace>) {
+    // Interprocedural facts are a whole-module fixpoint; re-inferring them
+    // over the prepared module (whose bodies are all real on this path)
+    // reproduces exactly the facts the single-shot module compile used, so
+    // the recompile stays byte-identical.
+    let owned = config
+        .interproc
+        .then(|| njc_interproc::infer(module))
+        .filter(|a| !a.is_empty());
     let mut rec = Recorder::new(traced);
-    let stats = optimize_function(module, platform, config, func, overrides, &mut rec);
+    let stats = optimize_function(
+        module,
+        platform,
+        config,
+        owned.as_ref(),
+        func,
+        overrides,
+        &mut rec,
+    );
     let trace = traced.then(|| build_trace(func, &stats, rec));
     (stats, trace)
 }
@@ -688,6 +749,7 @@ fn optimize_function(
     module: &Module,
     platform: &Platform,
     config: &OptConfig,
+    assumptions: Option<&EntryAssumptions>,
     func: &mut Function,
     overrides: Option<&ExplicitOverride>,
     rec: &mut Recorder,
@@ -696,7 +758,8 @@ fn optimize_function(
     let ctx = match overrides {
         Some(ov) => AnalysisCtx::with_overrides(module, config.compiler_trap, ov),
         None => AnalysisCtx::new(module, config.compiler_trap),
-    };
+    }
+    .with_assumptions(assumptions);
     let mut cfg = CfgCache::new();
 
     // Every check the function arrives with gets its stable identity (and,
@@ -720,6 +783,7 @@ fn optimize_function(
                         &mut stats,
                         module,
                         platform.trap,
+                        assumptions,
                         "whaley",
                         orig,
                         func,
@@ -741,6 +805,7 @@ fn optimize_function(
                         &mut stats,
                         module,
                         platform.trap,
+                        assumptions,
                         "phase1",
                         orig,
                         func,
@@ -757,7 +822,14 @@ fn optimize_function(
         stats.boundchecks_eliminated += boundcheck::run(func).eliminated;
         record_pass_delta(rec, "boundcheck", before, func);
         if config.validate {
-            validate_coverage(&mut stats, module, platform.trap, "boundcheck", func);
+            validate_coverage(
+                &mut stats,
+                module,
+                platform.trap,
+                assumptions,
+                "boundcheck",
+                func,
+            );
         }
         stats.add_time("boundcheck", t.elapsed());
 
@@ -784,7 +856,14 @@ fn optimize_function(
         }
         record_pass_delta(rec, "scalar", before, func);
         if config.validate {
-            validate_coverage(&mut stats, module, platform.trap, "scalar", func);
+            validate_coverage(
+                &mut stats,
+                module,
+                platform.trap,
+                assumptions,
+                "scalar",
+                func,
+            );
         }
         stats.add_time("scalar", t.elapsed());
 
@@ -795,7 +874,14 @@ fn optimize_function(
         stats.dead_removed += dce::run(func).removed;
         record_pass_delta(rec, "cleanup", before, func);
         if config.validate {
-            validate_coverage(&mut stats, module, platform.trap, "cleanup", func);
+            validate_coverage(
+                &mut stats,
+                module,
+                platform.trap,
+                assumptions,
+                "cleanup",
+                func,
+            );
         }
         stats.add_time("cleanup", t.elapsed());
     }
@@ -822,7 +908,14 @@ fn optimize_function(
     }
     record_pass_delta(rec, "versioning", before, func);
     if config.validate {
-        validate_coverage(&mut stats, module, platform.trap, "versioning", func);
+        validate_coverage(
+            &mut stats,
+            module,
+            platform.trap,
+            assumptions,
+            "versioning",
+            func,
+        );
     }
     stats.add_time("boundcheck", t.elapsed());
 
@@ -857,8 +950,17 @@ fn optimize_function(
         } else {
             "final"
         };
-        validate_null_pass(&mut stats, module, platform.trap, stage, orig, func, false);
-        validate_coverage(&mut stats, module, platform.trap, stage, func);
+        validate_null_pass(
+            &mut stats,
+            module,
+            platform.trap,
+            assumptions,
+            stage,
+            orig,
+            func,
+            false,
+        );
+        validate_coverage(&mut stats, module, platform.trap, assumptions, stage, func);
     }
     stats.add_time("nullcheck", t.elapsed());
 
@@ -879,6 +981,7 @@ fn optimize_functions_parallel(
     module: &Module,
     platform: &Platform,
     config: &OptConfig,
+    assumptions: Option<&EntryAssumptions>,
     funcs: &mut [Function],
     threads: usize,
     traced: bool,
@@ -896,7 +999,8 @@ fn optimize_functions_parallel(
                 let Some(job) = jobs.get(i) else { break };
                 let mut guard = job.lock().unwrap();
                 let (func, slot, trace) = &mut *guard;
-                (*slot, *trace) = optimize_function_traced(module, platform, config, func, traced);
+                (*slot, *trace) =
+                    optimize_function_traced(module, platform, config, assumptions, func, traced);
             });
         }
     });

@@ -333,6 +333,7 @@ fn licm(ctx: &AnalysisCtx<'_>, func: &mut Function, config: ScalarConfig, stats:
                 func,
                 sets: compute_sets(func),
                 earliest: None,
+                entry: None,
                 num_facts: func.num_vars(),
             };
             let sol = solve(func, &p);

@@ -189,6 +189,7 @@ pub fn run(ctx: &AnalysisCtx<'_>, func: &mut Function) -> SinkStats {
                 func,
                 sets: compute_sets(func),
                 earliest: None,
+                entry: None,
                 num_facts: func.num_vars(),
             };
             solve(func, &p)

@@ -50,6 +50,11 @@ pub struct RuntimeConfig {
     pub tier0: ConfigKind,
     /// The optimizing tier hot functions are recompiled at.
     pub tier1: ConfigKind,
+    /// Run the interprocedural non-nullness inference (`njc-interproc`) in
+    /// every tier compile. Mid-run recompiles re-infer over the prepared
+    /// module, so swapped-in bodies carry the same entry assumptions the
+    /// single-shot compile would.
+    pub interproc: bool,
     /// VM limits for both the adaptive and the measurement run.
     pub vm: VmConfig,
 }
@@ -65,6 +70,7 @@ impl RuntimeConfig {
             threads: 2,
             tier0: ConfigKind::OldNullCheck,
             tier1: ConfigKind::Full,
+            interproc: false,
             vm: VmConfig::default(),
         }
     }
@@ -272,6 +278,7 @@ impl TieredRuntime {
     fn tier_config(&self, kind: ConfigKind) -> OptConfig {
         OptConfig {
             threads: self.config.threads.max(1),
+            interproc: self.config.interproc,
             ..kind.to_config(&self.platform)
         }
     }

@@ -23,7 +23,9 @@
 //! behavior *across* platforms as well as across optimizer configurations;
 //! see DESIGN.md §9.
 
-use njc_ir::{CatchKind, ClassId, Cond, FieldId, FuncBuilder, Inst, Module, Op, Type, VarId};
+use njc_ir::{
+    CatchKind, ClassId, Cond, FieldId, FuncBuilder, FunctionId, Inst, Module, Op, Type, VarId,
+};
 
 /// SplitMix64: tiny, fast, and statistically solid for test-data purposes.
 ///
@@ -143,6 +145,24 @@ pub enum Action {
     /// given index shape, kept live by an observe so dead-code elimination
     /// cannot erase it from optimized configs only.
     RawLoad(RawIndex),
+    // --- call-heavy shapes below this line are produced only by
+    //     `gen_call_actions` and lowered only by `build_call_module`:
+    //     they reference helper functions that plain `build_module` does
+    //     not create. The sound and fault menus never draw them. ---
+    /// Call into the pre-built `chain_k` helper (depth selector, modulo the
+    /// chain length). When `fresh` the argument is a new allocation — a
+    /// non-null call site feeding the interprocedural parameter meet;
+    /// otherwise it comes from the ref pool (which contains a null, so the
+    /// site demotes the callee's parameter fact).
+    CallChain(u8, bool, u8),
+    /// Call the `make()` helper, which returns a freshly allocated,
+    /// field-initialized object on every path — a return fact the
+    /// interprocedural analysis proves — and push it into the ref pool.
+    CallMake,
+    /// Call `make_box()` (non-null return, and its `payload` field is
+    /// assigned non-null before the object escapes — a constructor field
+    /// fact), then read `box.payload` and dereference the payload.
+    BoxPayload,
 }
 
 /// Draws one action from the sound menu.
@@ -222,6 +242,38 @@ pub fn gen_fault_actions(rng: &mut Rng, len: usize, depth: u32) -> Vec<Action> {
             }
         })
         .collect()
+}
+
+/// Draws one call-heavy action: a third of the draws are call shapes
+/// (chain calls, non-null-returning helpers, constructor-initialized
+/// fields), the rest come from the sound menu. A separate menu — neither
+/// [`gen_action`] nor [`gen_fault_action`] changes its draw sequence, so
+/// the long-lived seeds of those menus stay byte-for-byte stable.
+pub fn gen_call_action(rng: &mut Rng, depth: u32) -> Action {
+    if rng.chance(1, 3) {
+        match rng.below(4) {
+            0 | 1 => {
+                let d = rng.below(CHAIN_DEPTH) as u8;
+                // Mostly fresh (non-null) arguments, so parameter facts
+                // survive on many seeds; pool arguments (which include the
+                // null parameter) appear often enough to exercise the
+                // demotion path too.
+                let fresh = rng.chance(3, 4);
+                Action::CallChain(d, fresh, rng.below(4) as u8)
+            }
+            2 => Action::CallMake,
+            _ => Action::BoxPayload,
+        }
+    } else {
+        gen_action(rng, depth)
+    }
+}
+
+/// Draws `len` actions from the call-heavy menu. Nested bodies (inside
+/// `IfLt`/`Loop`) come from the sound menu only, so call shapes appear
+/// exclusively at the top level, where [`emit_call`] lowers them.
+pub fn gen_call_actions(rng: &mut Rng, len: usize, depth: u32) -> Vec<Action> {
+    (0..len).map(|_| gen_call_action(rng, depth)).collect()
 }
 
 /// Emits one action into the builder, maintaining pools of defined ints
@@ -366,6 +418,65 @@ pub fn emit(
             b.observe(dst);
             ints.push(dst);
         }
+        Action::CallChain(..) | Action::CallMake | Action::BoxPayload => {
+            panic!("call-heavy shapes need helper functions: lower with build_call_module")
+        }
+    }
+}
+
+/// How many `chain_k` helpers [`build_call_module`] creates.
+pub const CHAIN_DEPTH: usize = 4;
+
+/// The helper functions call-heavy shapes are lowered against, pre-built
+/// by [`build_call_module`].
+pub struct CallEnv {
+    /// `chain_k(p) = p.f0 + chain_{k-1}(p)`, each dereferencing its
+    /// parameter (so a parameter fact kills the check at every depth).
+    pub chain: Vec<FunctionId>,
+    /// `make() -> Ref`: returns a fresh, initialized object on every path.
+    pub make: FunctionId,
+    /// `make_box() -> Ref`: returns a fresh `Box` whose `payload` field is
+    /// assigned a non-null object before the box escapes.
+    pub make_box: FunctionId,
+    /// `Box.payload`, the constructor-initialized reference field.
+    pub payload: FieldId,
+}
+
+/// [`emit`] extended with the call-heavy shapes; everything else delegates.
+#[allow(clippy::too_many_arguments)]
+pub fn emit_call(
+    b: &mut FuncBuilder,
+    a: &Action,
+    ints: &mut Vec<VarId>,
+    refs: &mut Vec<VarId>,
+    class: ClassId,
+    fields: &[FieldId],
+    arr: VarId,
+    env: &CallEnv,
+) {
+    match a {
+        Action::CallChain(d, fresh, r) => {
+            let base = if *fresh {
+                b.new_object(class)
+            } else {
+                refs[*r as usize % refs.len()]
+            };
+            let target = env.chain[*d as usize % env.chain.len()];
+            let v = b.call_static(target, &[base], Some(Type::Int)).unwrap();
+            ints.push(v);
+        }
+        Action::CallMake => {
+            let o = b.call_static(env.make, &[], Some(Type::Ref)).unwrap();
+            refs.push(o);
+        }
+        Action::BoxPayload => {
+            let bx = b.call_static(env.make_box, &[], Some(Type::Ref)).unwrap();
+            let p = b.get_field_typed(bx, env.payload, Type::Ref);
+            let v = b.get_field(p, fields[0]);
+            b.observe(v);
+            ints.push(v);
+        }
+        other => emit(b, other, ints, refs, class, fields, arr),
     }
 }
 
@@ -397,6 +508,117 @@ pub fn build_module(actions: &[Action]) -> Module {
         let mut refs = vec![obj, nul];
         for a in actions {
             emit(&mut b, a, &mut ints, &mut refs, class, &fields, arr);
+        }
+        let last = *ints.last().unwrap();
+        b.assign(out, last);
+        b.goto(after);
+        b.set_try_region(None);
+        b.switch_to(handler);
+        b.observe(code);
+        b.assign(out, code);
+        b.goto(after);
+        b.switch_to(after);
+        b.ret(Some(out));
+        m.add_function(b.finish())
+    };
+
+    let mut b = FuncBuilder::new("main", &[], Type::Int);
+    let obj = b.new_object(class);
+    let five = b.iconst(5);
+    b.put_field(obj, fields[0], five);
+    let nul = b.null_ref();
+    let eight = b.iconst(8);
+    let arr = b.new_array(Type::Int, eight);
+    let r = b
+        .call_static(work, &[obj, nul, arr], Some(Type::Int))
+        .unwrap();
+    b.observe(r);
+    b.ret(Some(r));
+    m.add_function(b.finish());
+    m
+}
+
+/// Builds a module for the call-heavy menu: helper functions (`chain_k`,
+/// `make`, `make_box`) plus the same `work`/`main` harness as
+/// [`build_module`], with `work` lowered through [`emit_call`].
+///
+/// The helpers are shaped so the interprocedural analysis has real facts
+/// to find: every `chain_k` dereferences its parameter (fresh-argument
+/// call sites keep the parameter fact alive), `make`/`make_box` return
+/// fresh allocations on every path (return facts), and `Box.payload` is
+/// assigned non-null before the box escapes its constructor (a field
+/// fact). A seed that passes the pool's null into a chain demotes that
+/// parameter fact — the negative case rides in the same corpus.
+pub fn build_call_module(actions: &[Action]) -> Module {
+    let mut m = Module::new("random_calls");
+    let class = m.add_class("C", &[("f0", Type::Int), ("f1", Type::Int)]);
+    let fields = [m.field(class, "f0").unwrap(), m.field(class, "f1").unwrap()];
+    let boxc = m.add_class("Box", &[("payload", Type::Ref)]);
+    let payload = m.field(boxc, "payload").unwrap();
+
+    let mut chain = Vec::with_capacity(CHAIN_DEPTH);
+    for k in 0..CHAIN_DEPTH {
+        let mut b = FuncBuilder::new(format!("chain_{k}"), &[Type::Ref], Type::Int);
+        let p = b.param(0);
+        let v = b.get_field(p, fields[0]);
+        let out = match chain.last() {
+            Some(&prev) => {
+                let r = b.call_static(prev, &[p], Some(Type::Int)).unwrap();
+                b.binop(Op::Add, v, r)
+            }
+            None => v,
+        };
+        b.ret(Some(out));
+        chain.push(m.add_function(b.finish()));
+    }
+
+    let make = {
+        let mut b = FuncBuilder::new("make", &[], Type::Ref);
+        let o = b.new_object(class);
+        let seven = b.iconst(7);
+        b.put_field(o, fields[0], seven);
+        b.ret(Some(o));
+        m.add_function(b.finish())
+    };
+
+    let make_box = {
+        let mut b = FuncBuilder::new("make_box", &[], Type::Ref);
+        let c = b.new_object(class);
+        let three = b.iconst(3);
+        b.put_field(c, fields[0], three);
+        let bx = b.new_object(boxc);
+        b.put_field(bx, payload, c);
+        b.ret(Some(bx));
+        m.add_function(b.finish())
+    };
+
+    let env = CallEnv {
+        chain,
+        make,
+        make_box,
+        payload,
+    };
+
+    let work = {
+        let mut b = FuncBuilder::new("work", &[Type::Ref, Type::Ref, Type::Ref], Type::Int);
+        let obj = b.param(0);
+        let nul = b.param(1);
+        let arr = b.param(2);
+        let handler = b.new_block();
+        let after = b.new_block();
+        let body = b.new_block();
+        let code = b.var(Type::Int);
+        let out = b.var(Type::Int);
+        let z = b.iconst(0);
+        b.assign(out, z);
+        let region = b.add_try_region(handler, CatchKind::Any, Some(code));
+        b.goto(body);
+        b.set_try_region(Some(region));
+        b.switch_to(body);
+        let mut ints = vec![z];
+        let mut refs = vec![obj, nul];
+        for a in actions {
+            emit_call(&mut b, a, &mut ints, &mut refs, class, &fields, arr, &env);
         }
         let last = *ints.last().unwrap();
         b.assign(out, last);
@@ -561,6 +783,26 @@ mod tests {
             njc_ir::verify_module(&m)
                 .unwrap_or_else(|e| panic!("seed {seed}: {:?}", &e[..1.min(e.len())]));
         }
+    }
+
+    #[test]
+    fn call_modules_verify_and_draw_call_shapes() {
+        let mut saw_call = false;
+        for seed in 0..24 {
+            let mut rng = Rng::new(seed);
+            let len = rng.range(1, 12);
+            let actions = gen_call_actions(&mut rng, len, 2);
+            saw_call |= actions.iter().any(|a| {
+                matches!(
+                    a,
+                    Action::CallChain(..) | Action::CallMake | Action::BoxPayload
+                )
+            });
+            let m = build_call_module(&actions);
+            njc_ir::verify_module(&m)
+                .unwrap_or_else(|e| panic!("seed {seed}: {:?}", &e[..1.min(e.len())]));
+        }
+        assert!(saw_call, "the call menu must actually draw call shapes");
     }
 
     #[test]

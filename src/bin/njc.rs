@@ -4,9 +4,10 @@
 //! njc <file.ir> [--config <name>] [--platform <name>] [--emit] [--run] [--all]
 //!               [--events-out PATH] [--trace-out PATH]
 //! njc explain <file.ir> [<fn> [<check-id>]] [--config <name>] [--platform <name>]
-//!               [--run] [--threads N] [--events-out PATH] [--trace-out PATH]
+//!               [--interproc] [--run] [--threads N] [--events-out PATH] [--trace-out PATH]
 //! njc explain --smoke [--threads N]
-//! njc difftest [--smoke] [--seeds N] [--legacy-addressing] [--fixtures DIR] [--out PATH]
+//! njc difftest [--smoke] [--seeds N] [--legacy-addressing] [--no-interproc]
+//!              [--fixtures DIR] [--out PATH]
 //! njc runtime <file.ir> [--platform <name>] [--profile-threshold R]
 //! njc runtime --smoke
 //!
@@ -24,12 +25,17 @@
 //! prints the life story of every null check (or of one check, by `#N` id)
 //! of the named function: where it originated, which CFG motion hoisted it,
 //! which `In_fwd` fact eliminated it, under which trap-model rule it became
-//! implicit, or which later check substituted it. The conservation law
-//! `inserted = implicit + explicit + removed + substituted` is verified for
-//! every function; with `--run` the program is executed with per-site
-//! counters and every dynamic trap and executed explicit check is
-//! reconciled against the provenance stream. `--smoke` does all of the
-//! above for the built-in workload corpus across platforms (the CI gate).
+//! implicit, or which later check substituted it. With `--interproc` the
+//! interprocedural non-nullness inference (`njc-interproc`) runs first and
+//! life stories can then cite an interprocedural fact — a parameter
+//! non-null at every call site, a callee that never returns null, or an
+//! always-initialized field — as the eliminating justification. The
+//! conservation law `inserted = implicit + explicit + removed +
+//! substituted` is verified for every function; with `--run` the program
+//! is executed with per-site counters and every dynamic trap and executed
+//! explicit check is reconciled against the provenance stream. `--smoke`
+//! does all of the above for the built-in workload corpus across platforms
+//! including an interproc-enabled cell (the CI gate).
 //!
 //! The `difftest` subcommand runs the differential execution and
 //! fault-injection harness (`njc_bench::difftest`): every workload plus a
@@ -38,7 +44,11 @@
 //! divergence and prints the minimized reproducer path (divergence reports
 //! carry the optimizer's provenance explanation of the diverging cell).
 //! `--smoke` runs the CI-sized subset; `--legacy-addressing` re-enables the
-//! wrapping address arithmetic bug as a self-test of the detector.
+//! wrapping address arithmetic bug as a self-test of the detector. The
+//! interprocedural inference is exercised by default (extra Full+interproc
+//! columns, a call-heavy corpus, and a dynamic soundness oracle asserting
+//! every inferred fact against the real run); `--no-interproc` turns all
+//! of that off.
 //!
 //! The `runtime` subcommand runs a program through the adaptive tiered
 //! execution manager (`njc_runtime`): tier-0 bodies with site counters, a
@@ -69,7 +79,7 @@ use njc_vm::{SiteCounters, Vm, VmConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: njc <file.ir> [--config full|phase1|old|trap|none|speculation|no-speculation|illegal-implicit] [--platform ia32|aix|s390] [--emit] [--run] [--all] [--events-out PATH] [--trace-out PATH]\n       njc explain <file.ir> [<fn> [<check-id>]] [--config ...] [--platform ...] [--run] [--threads N] [--events-out PATH] [--trace-out PATH]\n       njc explain --smoke [--threads N]\n       njc difftest [--smoke] [--seeds N] [--legacy-addressing] [--fixtures DIR] [--out PATH]\n       njc runtime <file.ir> [--platform ia32|aix|s390] [--profile-threshold R]\n       njc runtime --smoke"
+        "usage: njc <file.ir> [--config full|phase1|old|trap|none|speculation|no-speculation|illegal-implicit] [--platform ia32|aix|s390] [--emit] [--run] [--all] [--events-out PATH] [--trace-out PATH]\n       njc explain <file.ir> [<fn> [<check-id>]] [--config ...] [--platform ...] [--interproc] [--run] [--threads N] [--events-out PATH] [--trace-out PATH]\n       njc explain --smoke [--threads N]\n       njc difftest [--smoke] [--seeds N] [--legacy-addressing] [--no-interproc] [--fixtures DIR] [--out PATH]\n       njc runtime <file.ir> [--platform ia32|aix|s390] [--profile-threshold R]\n       njc runtime --smoke"
     );
     ExitCode::FAILURE
 }
@@ -86,6 +96,8 @@ fn difftest_main(args: &[String]) -> ExitCode {
                 None => return usage(),
             },
             "--legacy-addressing" => opts.legacy_wrapping = true,
+            "--interproc" => opts.interproc = true,
+            "--no-interproc" => opts.interproc = false,
             "--fixtures" => match it.next() {
                 Some(d) => opts.fixtures_dir = Some(std::path::PathBuf::from(d)),
                 None => return usage(),
@@ -347,6 +359,7 @@ fn explain_one(
     module: &Module,
     platform: &Platform,
     kind: ConfigKind,
+    interproc: bool,
     fn_name: Option<&str>,
     check: Option<CheckId>,
     run: bool,
@@ -356,6 +369,7 @@ fn explain_one(
     let mut optimized = module.clone();
     let config = OptConfig {
         threads,
+        interproc,
         ..kind.to_config(platform)
     };
     let (stats, trace) = njc_opt::optimize_module_traced(&mut optimized, platform, &config);
@@ -414,11 +428,15 @@ fn explain_one(
 /// ledger and (b) have every dynamic trap and executed explicit check
 /// resolve to a provenance record.
 fn explain_smoke(threads: usize) -> ExitCode {
-    let cells: &[(ConfigKind, Platform)] = &[
-        (ConfigKind::Full, Platform::windows_ia32()),
-        (ConfigKind::NoNullOptTrap, Platform::windows_ia32()),
-        (ConfigKind::OldNullCheck, Platform::linux_s390()),
-        (ConfigKind::AixNoSpeculation, Platform::aix_ppc()),
+    // The final cell turns the interprocedural inference on: its kills
+    // enter the ledger as phase 1 eliminations, so conservation and
+    // dynamic reconciliation must hold with facts exactly as without.
+    let cells: &[(ConfigKind, Platform, bool)] = &[
+        (ConfigKind::Full, Platform::windows_ia32(), false),
+        (ConfigKind::NoNullOptTrap, Platform::windows_ia32(), false),
+        (ConfigKind::OldNullCheck, Platform::linux_s390(), false),
+        (ConfigKind::AixNoSpeculation, Platform::aix_ppc(), false),
+        (ConfigKind::Full, Platform::windows_ia32(), true),
     ];
     let mut programs: Vec<(String, Module)> = njc_workloads::all()
         .into_iter()
@@ -431,12 +449,15 @@ fn explain_smoke(threads: usize) -> ExitCode {
     );
     let mut checked = 0usize;
     for (name, module) in &programs {
-        for (kind, platform) in cells {
-            match explain_one(module, platform, *kind, None, None, true, threads, true) {
+        for (kind, platform, interproc) in cells {
+            match explain_one(
+                module, platform, *kind, *interproc, None, None, true, threads, true,
+            ) {
                 Ok(_) => checked += 1,
                 Err(e) => {
                     eprintln!(
-                        "explain --smoke: {name} × {kind:?} on {}: {e}",
+                        "explain --smoke: {name} × {kind:?}{} on {}: {e}",
+                        if *interproc { "+interproc" } else { "" },
                         platform.name
                     );
                     return ExitCode::FAILURE;
@@ -461,6 +482,7 @@ fn explain_main(args: &[String]) -> ExitCode {
     let mut platform = Platform::windows_ia32();
     let mut run = false;
     let mut smoke = false;
+    let mut interproc = false;
     let mut threads = 1usize;
     let mut events_out: Option<std::path::PathBuf> = None;
     let mut trace_out: Option<std::path::PathBuf> = None;
@@ -475,6 +497,7 @@ fn explain_main(args: &[String]) -> ExitCode {
                 Some(p) => platform = p,
                 None => return usage(),
             },
+            "--interproc" => interproc = true,
             "--run" => run = true,
             "--smoke" => smoke = true,
             "--threads" => match it.next().and_then(|s| s.parse().ok()) {
@@ -528,6 +551,7 @@ fn explain_main(args: &[String]) -> ExitCode {
         &module,
         &platform,
         kind,
+        interproc,
         fn_name.as_deref(),
         check,
         run,

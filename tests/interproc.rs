@@ -1,0 +1,542 @@
+//! Integration tests for the interprocedural non-nullness inference:
+//! call-graph facts must flow into phase 1, kill checks the
+//! intraprocedural analysis cannot, stay behaviorally invisible, and
+//! vanish without a trace when the feature is off.
+
+use njc_arch::Platform;
+use njc_ir::{FuncBuilder, FunctionId, Module, Type};
+use njc_observe::{CheckEvent, ModuleTrace, Redundancy};
+use njc_opt::{optimize_module, optimize_module_traced, ConfigKind, OptConfig};
+use njc_vm::run_module;
+use njc_workloads::gen::{build_call_module, gen_call_actions, Rng};
+
+fn opt_with(m: &Module, platform: &Platform, kind: ConfigKind, interproc: bool) -> Module {
+    let mut out = m.clone();
+    let config = OptConfig {
+        interproc,
+        ..kind.to_config(platform)
+    };
+    optimize_module(&mut out, platform, &config);
+    out
+}
+
+/// Phase 1 eliminations of `func` justified by an interprocedural fact —
+/// the provenance-true count of "checks interproc killed". (Final-IR site
+/// counts cannot measure this: phase 2 marks every guaranteed-trapping
+/// access as an exception site whether or not a check obligation reached
+/// it.)
+fn kills_in(trace: &ModuleTrace, func: &str) -> usize {
+    trace
+        .functions
+        .iter()
+        .filter(|ft| ft.function == func)
+        .flat_map(|ft| &ft.events)
+        .filter(|e| {
+            matches!(
+                e,
+                CheckEvent::Phase1Eliminated {
+                    why: Redundancy::Interproc(_),
+                    ..
+                }
+            )
+        })
+        .count()
+}
+
+fn total_kills(trace: &ModuleTrace) -> usize {
+    trace
+        .functions
+        .iter()
+        .flat_map(|ft| &ft.events)
+        .filter(|e| {
+            matches!(
+                e,
+                CheckEvent::Phase1Eliminated {
+                    why: Redundancy::Interproc(_),
+                    ..
+                }
+            )
+        })
+        .count()
+}
+
+/// A module whose helper checks only die with interprocedural facts: the
+/// helper dereferences its parameter, and every call site passes a fresh
+/// allocation.
+fn helper_module() -> Module {
+    let mut m = Module::new("helper");
+    let c = m.add_class("C", &[("f", Type::Int)]);
+    let f = m.field(c, "f").unwrap();
+
+    let helper = {
+        let mut b = FuncBuilder::new("helper", &[Type::Ref], Type::Int);
+        let p = b.param(0);
+        let v = b.get_field(p, f);
+        b.ret(Some(v));
+        m.add_function(b.finish())
+    };
+
+    let mut b = FuncBuilder::new("main", &[], Type::Int);
+    let o1 = b.new_object(c);
+    let k = b.iconst(3);
+    b.put_field(o1, f, k);
+    let a = b.call_static(helper, &[o1], Some(Type::Int)).unwrap();
+    let o2 = b.new_object(c);
+    b.put_field(o2, f, a);
+    let bv = b.call_static(helper, &[o2], Some(Type::Int)).unwrap();
+    b.observe(bv);
+    b.ret(Some(bv));
+    m.add_function(b.finish());
+    m
+}
+
+#[test]
+fn interproc_kills_param_checks_in_helper() {
+    let m = helper_module();
+    let p = Platform::windows_ia32();
+    // Inlining would swallow both call sites (making `helper` a root with
+    // no facts — correct, but not what this test probes), so turn it off
+    // and let the facts do the work.
+    let base = OptConfig {
+        inline: false,
+        ..ConfigKind::Full.to_config(&p)
+    };
+    let mut off = m.clone();
+    let stats_off = optimize_module(&mut off, &p, &base);
+    let mut on = m.clone();
+    let (stats_on, trace) = optimize_module_traced(
+        &mut on,
+        &p,
+        &OptConfig {
+            interproc: true,
+            ..base
+        },
+    );
+    assert!(
+        kills_in(&trace, "helper") >= 1,
+        "param fact must kill helper's check; trace shows {} interproc kills",
+        total_kills(&trace)
+    );
+    assert!(
+        stats_on.null_checks.phase1.eliminated > stats_off.null_checks.phase1.eliminated,
+        "phase 1 must eliminate strictly more with facts: off {} on {}",
+        stats_off.null_checks.phase1.eliminated,
+        stats_on.null_checks.phase1.eliminated
+    );
+
+    // The kill is also visible in the IR when phase 2 is withheld: the
+    // helper's explicit check survives without facts and dies with them.
+    let bare = OptConfig {
+        inline: false,
+        phase2: false,
+        trivial_trap: false,
+        ..ConfigKind::Full.to_config(&p)
+    };
+    let explicit_in_helper = |m: &Module| {
+        m.functions()
+            .iter()
+            .filter(|f| f.name() == "helper")
+            .map(njc_core::phase2::count_explicit)
+            .sum::<usize>()
+    };
+    let mut bare_off = m.clone();
+    optimize_module(&mut bare_off, &p, &bare);
+    let mut bare_on = m.clone();
+    optimize_module(
+        &mut bare_on,
+        &p,
+        &OptConfig {
+            interproc: true,
+            ..bare
+        },
+    );
+    assert_eq!(explicit_in_helper(&bare_off), 1, "check survives intraproc");
+    assert_eq!(explicit_in_helper(&bare_on), 0, "fact kills the check");
+
+    // And the optimized modules behave identically.
+    let a = run_module(&off, p, "main", &[]).unwrap();
+    let b = run_module(&on, p, "main", &[]).unwrap();
+    a.assert_equivalent(&b).unwrap();
+}
+
+#[test]
+fn disabled_interproc_is_byte_identical() {
+    // `interproc: false` must produce the same module as every preset (all
+    // of which leave the flag off) — the feature leaves no residue.
+    let p = Platform::windows_ia32();
+    for seed in 0..4u64 {
+        let mut rng = Rng::new(seed ^ 0xca11);
+        let len = rng.range(1, 10);
+        let actions = gen_call_actions(&mut rng, len, 2);
+        let m = build_call_module(&actions);
+        let preset = opt_with(&m, &p, ConfigKind::Full, false);
+        let mut plain = m.clone();
+        optimize_module(&mut plain, &p, &ConfigKind::Full.to_config(&p));
+        assert_eq!(preset, plain, "seed {seed}");
+    }
+}
+
+#[test]
+fn all_presets_leave_interproc_off() {
+    let p = Platform::windows_ia32();
+    for kind in [
+        ConfigKind::Full,
+        ConfigKind::Phase1Only,
+        ConfigKind::OldNullCheck,
+        ConfigKind::NoNullOptTrap,
+        ConfigKind::NoNullOptNoTrap,
+        ConfigKind::RefJit,
+        ConfigKind::AixSpeculation,
+        ConfigKind::AixNoSpeculation,
+        ConfigKind::AixNoNullOpt,
+        ConfigKind::AixIllegalImplicit,
+    ] {
+        assert!(
+            !kind.to_config(&p).interproc,
+            "{kind:?} must not enable interproc by default"
+        );
+    }
+}
+
+#[test]
+fn call_corpus_strictly_improves_and_stays_equivalent() {
+    // Acceptance: across the call-heavy corpus, interprocedural facts let
+    // phase 1 eliminate strictly more checks (and the provenance stream
+    // attributes kills to them), with observationally identical behavior
+    // on every platform.
+    let platforms = [
+        Platform::windows_ia32(),
+        Platform::aix_ppc(),
+        Platform::linux_s390(),
+    ];
+    let mut total_off = 0usize;
+    let mut total_on = 0usize;
+    let mut total_attributed = 0usize;
+    for seed in 0..6u64 {
+        let mut rng = Rng::new(seed ^ 0xca11);
+        let len = rng.range(1, 10);
+        let actions = gen_call_actions(&mut rng, len, 2);
+        let m = build_call_module(&actions);
+        for p in &platforms {
+            let base = ConfigKind::Full.to_config(p);
+            let mut off = m.clone();
+            let stats_off = optimize_module(&mut off, p, &base);
+            let mut on = m.clone();
+            let (stats_on, trace) = optimize_module_traced(
+                &mut on,
+                p,
+                &OptConfig {
+                    interproc: true,
+                    ..base
+                },
+            );
+            total_off += stats_off.null_checks.phase1.eliminated;
+            total_on += stats_on.null_checks.phase1.eliminated;
+            total_attributed += total_kills(&trace);
+            let a = run_module(&off, *p, "main", &[]).unwrap();
+            let b = run_module(&on, *p, "main", &[]).unwrap();
+            a.assert_equivalent(&b)
+                .unwrap_or_else(|e| panic!("seed {seed} on {}: {e}", p.name));
+        }
+    }
+    assert!(
+        total_on > total_off,
+        "interproc must strictly increase phase 1 eliminations: off {total_off} on {total_on}"
+    );
+    assert!(
+        total_attributed > 0,
+        "provenance must attribute kills to interprocedural facts"
+    );
+}
+
+#[test]
+fn recursion_and_virtual_dispatch_survive_the_pipeline() {
+    // Direct recursion: `count(o, n)` dereferences its parameter and
+    // recurses; `main` passes a fresh object. The parameter fact must
+    // survive the cycle (induction on call depth) and kill the check.
+    let mut m = Module::new("rec");
+    let c = m.add_class("C", &[("f", Type::Int)]);
+    let f = m.field(c, "f").unwrap();
+    let self_id = FunctionId::new(m.num_functions());
+    {
+        let mut b = FuncBuilder::new("count", &[Type::Ref, Type::Int], Type::Int);
+        let o = b.param(0);
+        let n = b.param(1);
+        let v = b.get_field(o, f);
+        let done = b.new_block();
+        let more = b.new_block();
+        let zero = b.iconst(0);
+        b.br_if(njc_ir::Cond::Le, n, zero, done, more);
+        b.switch_to(more);
+        let one = b.iconst(1);
+        let n1 = b.binop(njc_ir::Op::Sub, n, one);
+        let r = b.call_static(self_id, &[o, n1], Some(Type::Int)).unwrap();
+        let s = b.binop(njc_ir::Op::Add, v, r);
+        b.ret(Some(s));
+        b.switch_to(done);
+        b.ret(Some(v));
+        let got = m.add_function(b.finish());
+        assert_eq!(got, self_id);
+    }
+    let mut b = FuncBuilder::new("main", &[], Type::Int);
+    let o = b.new_object(c);
+    let k = b.iconst(2);
+    b.put_field(o, f, k);
+    let three = b.iconst(3);
+    let r = b
+        .call_static(self_id, &[o, three], Some(Type::Int))
+        .unwrap();
+    b.observe(r);
+    b.ret(Some(r));
+    m.add_function(b.finish());
+
+    let p = Platform::windows_ia32();
+    let base = OptConfig {
+        inline: false,
+        ..ConfigKind::Full.to_config(&p)
+    };
+    let mut off = m.clone();
+    optimize_module(&mut off, &p, &base);
+    let mut on = m.clone();
+    let (_, trace) = optimize_module_traced(
+        &mut on,
+        &p,
+        &OptConfig {
+            interproc: true,
+            ..base
+        },
+    );
+    // The self-recursive call site must not break the fixpoint: the
+    // parameter fact holds by induction on call depth and kills the check.
+    assert!(
+        kills_in(&trace, "count") >= 1,
+        "recursive param fact must kill count's check"
+    );
+    let a = run_module(&off, p, "main", &[]).unwrap();
+    let b2 = run_module(&on, p, "main", &[]).unwrap();
+    a.assert_equivalent(&b2).unwrap();
+}
+
+#[test]
+fn maybe_null_argument_keeps_the_check() {
+    // Negative case end-to-end: one call site passes null, so the callee's
+    // check must survive and the NPE must still fire identically.
+    let mut m = Module::new("neg");
+    let c = m.add_class("C", &[("f", Type::Int)]);
+    let f = m.field(c, "f").unwrap();
+    let helper = {
+        let mut b = FuncBuilder::new("helper", &[Type::Ref], Type::Int);
+        let p = b.param(0);
+        let handler = b.new_block();
+        let after = b.new_block();
+        let body = b.new_block();
+        let code = b.var(Type::Int);
+        let out = b.var(Type::Int);
+        let z = b.iconst(0);
+        b.assign(out, z);
+        let region = b.add_try_region(handler, njc_ir::CatchKind::Any, Some(code));
+        b.goto(body);
+        b.set_try_region(Some(region));
+        b.switch_to(body);
+        let v = b.get_field(p, f);
+        b.assign(out, v);
+        b.goto(after);
+        b.set_try_region(None);
+        b.switch_to(handler);
+        b.assign(out, code);
+        b.goto(after);
+        b.switch_to(after);
+        b.ret(Some(out));
+        m.add_function(b.finish())
+    };
+    let mut b = FuncBuilder::new("main", &[], Type::Int);
+    let o = b.new_object(c);
+    let k = b.iconst(9);
+    b.put_field(o, f, k);
+    let a = b.call_static(helper, &[o], Some(Type::Int)).unwrap();
+    let nul = b.null_ref();
+    let bv = b.call_static(helper, &[nul], Some(Type::Int)).unwrap();
+    let s = b.binop(njc_ir::Op::Add, a, bv);
+    b.observe(s);
+    b.ret(Some(s));
+    m.add_function(b.finish());
+
+    let p = Platform::windows_ia32();
+    let off = opt_with(&m, &p, ConfigKind::Full, false);
+    let on = opt_with(&m, &p, ConfigKind::Full, true);
+    let a = run_module(&off, p, "main", &[]).unwrap();
+    let b2 = run_module(&on, p, "main", &[]).unwrap();
+    a.assert_equivalent(&b2).unwrap();
+    // The NPE path still fires: helper catches one NPE, so the observed
+    // sum includes the handler's exception code exactly once either way.
+    let raw = run_module(&m, p, "main", &[]).unwrap();
+    raw.assert_equivalent(&b2).unwrap();
+    // And the inference itself never claims the poisoned parameter.
+    let asm = njc_interproc::infer(&m);
+    assert!(
+        asm.function("helper")
+            .is_none_or(|ff| !ff.nonnull_params.contains(&0)),
+        "a null-passing call site must demote the param fact: {asm:?}"
+    );
+}
+
+#[test]
+fn mutual_recursion_keeps_param_facts() {
+    // `even`/`odd` call each other with the same object; the optimistic
+    // fixpoint must keep both parameter facts through the cycle and kill
+    // the deref checks in both bodies.
+    let mut m = Module::new("mutual");
+    let c = m.add_class("C", &[("f", Type::Int)]);
+    let f = m.field(c, "f").unwrap();
+    let even_id = FunctionId::new(0);
+    let odd_id = FunctionId::new(1);
+    let mk = |name: &str, other: FunctionId| {
+        let mut b = FuncBuilder::new(name, &[Type::Ref, Type::Int], Type::Int);
+        let o = b.param(0);
+        let n = b.param(1);
+        let v = b.get_field(o, f);
+        let done = b.new_block();
+        let more = b.new_block();
+        let zero = b.iconst(0);
+        b.br_if(njc_ir::Cond::Le, n, zero, done, more);
+        b.switch_to(more);
+        let one = b.iconst(1);
+        let n1 = b.binop(njc_ir::Op::Sub, n, one);
+        let r = b.call_static(other, &[o, n1], Some(Type::Int)).unwrap();
+        let s = b.binop(njc_ir::Op::Add, v, r);
+        b.ret(Some(s));
+        b.switch_to(done);
+        b.ret(Some(v));
+        b.finish()
+    };
+    assert_eq!(m.add_function(mk("even", odd_id)), even_id);
+    assert_eq!(m.add_function(mk("odd", even_id)), odd_id);
+    let mut b = FuncBuilder::new("main", &[], Type::Int);
+    let o = b.new_object(c);
+    let k = b.iconst(5);
+    b.put_field(o, f, k);
+    let four = b.iconst(4);
+    let r = b.call_static(even_id, &[o, four], Some(Type::Int)).unwrap();
+    b.observe(r);
+    b.ret(Some(r));
+    m.add_function(b.finish());
+
+    let p = Platform::windows_ia32();
+    let base = OptConfig {
+        inline: false,
+        ..ConfigKind::Full.to_config(&p)
+    };
+    let mut off = m.clone();
+    optimize_module(&mut off, &p, &base);
+    let mut on = m.clone();
+    let (_, trace) = optimize_module_traced(
+        &mut on,
+        &p,
+        &OptConfig {
+            interproc: true,
+            ..base
+        },
+    );
+    assert!(
+        kills_in(&trace, "even") >= 1 && kills_in(&trace, "odd") >= 1,
+        "mutual recursion must keep both param facts: even {} odd {}",
+        kills_in(&trace, "even"),
+        kills_in(&trace, "odd")
+    );
+    let a = run_module(&off, p, "main", &[]).unwrap();
+    let b2 = run_module(&on, p, "main", &[]).unwrap();
+    a.assert_equivalent(&b2).unwrap();
+}
+
+#[test]
+fn dynamic_call_targets_merge_conservatively() {
+    // A virtual call site feeds *every* implementation of the method: the
+    // clean impl keeps the argument fact (its only caller passes a fresh
+    // object), while a statically null-called impl is demoted — even
+    // though the null-passing site sits on a dynamically dead path.
+    let mut m = Module::new("virt");
+    let a = m.add_class("A", &[("f", Type::Int)]);
+    let bcls = m.add_class("B", &[("g", Type::Int)]);
+    let fa = m.field(a, "f").unwrap();
+    let mk_impl = |name: &str| {
+        let mut b = FuncBuilder::new(name, &[Type::Ref, Type::Ref], Type::Int);
+        b.instance_method();
+        let arg = b.param(1);
+        let v = b.get_field(arg, fa);
+        b.ret(Some(v));
+        b.finish()
+    };
+    let _a_m = m.add_method(a, "m", mk_impl("A_m"));
+    let b_m = m.add_method(bcls, "m", mk_impl("B_m"));
+
+    let mut b = FuncBuilder::new("main", &[], Type::Int);
+    let recv = b.new_object(a);
+    let arg = b.new_object(a);
+    let k = b.iconst(6);
+    b.put_field(arg, fa, k);
+    let live = b.new_block();
+    let dead = b.new_block();
+    let join = b.new_block();
+    let out = b.var(Type::Int);
+    let zero = b.iconst(0);
+    b.br_if(njc_ir::Cond::Ne, zero, zero, dead, live);
+    b.switch_to(dead);
+    // Statically visible, dynamically unreachable: B_m(recv, null).
+    let nul = b.null_ref();
+    let d = b.call_static(b_m, &[recv, nul], Some(Type::Int)).unwrap();
+    b.assign(out, d);
+    b.goto(join);
+    b.switch_to(live);
+    let r = b
+        .call_virtual(a, "m", recv, &[arg], Some(Type::Int))
+        .unwrap();
+    b.assign(out, r);
+    b.goto(join);
+    b.switch_to(join);
+    b.observe(out);
+    b.ret(Some(out));
+    m.add_function(b.finish());
+
+    // The inference: A_m keeps the argument fact, B_m loses it.
+    let asm = njc_interproc::infer(&m);
+    assert!(
+        asm.function("A_m")
+            .is_some_and(|ff| ff.nonnull_params.contains(&1)),
+        "virtual site passes non-null: {asm:?}"
+    );
+    assert!(
+        asm.function("B_m")
+            .is_none_or(|ff| !ff.nonnull_params.contains(&1)),
+        "static null site must demote B_m's fact: {asm:?}"
+    );
+
+    // Through the pipeline: A_m's check dies, B_m's survives.
+    let p = Platform::windows_ia32();
+    let base = OptConfig {
+        inline: false,
+        ..ConfigKind::Full.to_config(&p)
+    };
+    let mut off = m.clone();
+    optimize_module(&mut off, &p, &base);
+    let mut on = m.clone();
+    let (_, trace) = optimize_module_traced(
+        &mut on,
+        &p,
+        &OptConfig {
+            interproc: true,
+            ..base
+        },
+    );
+    assert!(
+        kills_in(&trace, "A_m") >= 1,
+        "A_m's arg check must die interprocedurally"
+    );
+    assert_eq!(
+        kills_in(&trace, "B_m"),
+        0,
+        "B_m must keep its arg check (one caller passes null)"
+    );
+    let x = run_module(&off, p, "main", &[]).unwrap();
+    let y = run_module(&on, p, "main", &[]).unwrap();
+    x.assert_equivalent(&y).unwrap();
+}

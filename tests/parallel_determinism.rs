@@ -208,6 +208,7 @@ fn worklist_matches_round_robin_on_random_cfgs() {
             func: &f,
             sets: compute_sets(&f),
             earliest: None,
+            entry: None,
             num_facts: f.num_vars(),
         };
         let wl = solve(&f, &nonnull);

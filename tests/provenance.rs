@@ -72,6 +72,66 @@ fn conservation_law_holds_on_generated_programs() {
     });
 }
 
+/// Conservation with the interprocedural inference on, over the call-heavy
+/// corpus: interproc-justified kills enter the ledger as phase 1
+/// eliminations, the law must still balance, tracing must still be an
+/// observer, and at least one kill must actually be attributed to an
+/// interprocedural fact (otherwise the test is vacuous).
+#[test]
+fn conservation_law_holds_with_interproc_on_call_corpus() {
+    use njc_observe::Redundancy;
+    use njc_opt::OptConfig;
+    use njc_workloads::gen::{build_call_module, gen_call_actions, Rng};
+
+    let mut attributed = 0usize;
+    for seed in 0..8u64 {
+        let mut rng = Rng::new(seed ^ 0xca11);
+        let len = rng.range(1, 10);
+        let module = build_call_module(&gen_call_actions(&mut rng, len, 2));
+        for platform in platforms() {
+            for kind in [ConfigKind::Full, ConfigKind::Phase1Only] {
+                let config = OptConfig {
+                    interproc: true,
+                    ..kind.to_config(&platform)
+                };
+                let mut plain = module.clone();
+                optimize_module(&mut plain, &platform, &config);
+                let mut traced = module.clone();
+                let (_, trace) = optimize_module_traced(&mut traced, &platform, &config);
+                assert_eq!(
+                    traced, plain,
+                    "seed {seed} {kind:?}+interproc on {}: tracing changed the module",
+                    platform.name
+                );
+                trace.check_conservation().unwrap_or_else(|e| {
+                    panic!(
+                        "seed {seed} {kind:?}+interproc on {}: ledger unbalanced: {e}",
+                        platform.name
+                    )
+                });
+                attributed += trace
+                    .functions
+                    .iter()
+                    .flat_map(|ft| &ft.events)
+                    .filter(|e| {
+                        matches!(
+                            e,
+                            CheckEvent::Phase1Eliminated {
+                                why: Redundancy::Interproc(_),
+                                ..
+                            }
+                        )
+                    })
+                    .count();
+            }
+        }
+    }
+    assert!(
+        attributed > 0,
+        "no elimination was ever attributed to an interprocedural fact"
+    );
+}
+
 /// Reconciles a finished run's per-site counters against the trace: every
 /// dynamic hardware trap must resolve to a marked exception site and every
 /// executed explicit check to a materialization event.
