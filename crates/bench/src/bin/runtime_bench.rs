@@ -294,7 +294,7 @@ fn main() {
         .collect();
     let cache = out.cache;
     let json = format!(
-        "{{\n  \"generated_by\": \"runtime_bench\",\n  \"iters\": {},\n  \"note\": \"cycles are deterministic cost-model cycles (reproducible); lines containing wall_ms or volatile carry wall-clock and adaptive-scheduling data and are excluded from the CI byte-identity comparison\",\n  \"configs\": [\n    {},\n    {},\n    {}\n  ],\n  \"overrides\": {{{}}},\n  \"difftest\": {{\"programs\":{},\"cells\":{},\"divergences\":{}}},\n  \"wall_ms\": {{\"always_implicit\":{:.3},\"always_explicit\":{:.3},\"adaptive\":{:.3}}},\n  \"volatile\": {{\"mid_run_swaps\":{},\"swap_proof_iters\":{},\"adaptive_cycles\":{},\"recompile_events\":{},\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"inserts\":{}}}}}\n}}\n",
+        "{{\n  \"generated_by\": \"runtime_bench\",\n  \"iters\": {},\n  \"tenants\": 1,\n  \"note\": \"cycles are deterministic cost-model cycles (reproducible); lines containing wall_ms or volatile carry wall-clock and adaptive-scheduling data and are excluded from the CI byte-identity comparison\",\n  \"configs\": [\n    {},\n    {},\n    {}\n  ],\n  \"overrides\": {{{}}},\n  \"difftest\": {{\"programs\":{},\"cells\":{},\"divergences\":{}}},\n  \"wall_ms\": {{\"always_implicit\":{:.3},\"always_explicit\":{:.3},\"adaptive\":{:.3}}},\n  \"volatile\": {{\"host_parallelism\":{},\"mid_run_swaps\":{},\"swap_proof_iters\":{},\"adaptive_cycles\":{},\"recompile_events\":{},\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"inserts\":{}}}}}\n}}\n",
         args.iters,
         config_row("always_implicit", "Full", &implicit),
         config_row("always_explicit", "NoNullOptNoTrap", &explicit),
@@ -306,6 +306,7 @@ fn main() {
         implicit_wall,
         explicit_wall,
         adaptive_wall,
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         mid_run_swaps,
         swap_iters,
         out.adaptive.stats.cycles,

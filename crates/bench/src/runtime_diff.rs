@@ -17,8 +17,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use njc_arch::Platform;
 use njc_ir::Module;
 use njc_opt::ConfigKind;
-use njc_runtime::{RuntimeConfig, TieredRuntime};
-use njc_vm::{run_module, Outcome};
+use njc_runtime::{RuntimeConfig, ServiceRuntime, TenantSpec, TieredRuntime};
+use njc_vm::{run_module, Fault, Outcome};
 use njc_workloads::gen::{
     build_call_module, build_module, gen_call_actions, gen_fault_actions, Action, Rng,
 };
@@ -194,8 +194,181 @@ fn diff_outcomes(
     }
 }
 
+/// Runs one program through the tiered runtime under `config` and diffs
+/// every channel (plus reconciliation and convergence) against the
+/// single-shot reference. `label` names the cell — the bare runtime or
+/// one of the fault-injection variants.
+fn run_tiered_cell(
+    name: &str,
+    label: &str,
+    module: &Module,
+    platform: Platform,
+    config: RuntimeConfig,
+    reference: &Result<Outcome, Fault>,
+    report: &mut RuntimeDiffReport,
+) {
+    let tiered = catch_unwind(AssertUnwindSafe(|| {
+        TieredRuntime::with_config(module.clone(), platform, config).run("main", &[])
+    }));
+    let tiered = match tiered {
+        Ok(r) => r,
+        Err(_) => {
+            report
+                .divergences
+                .push(format!("{name}/{label}: tiered runtime PANICKED"));
+            return;
+        }
+    };
+    match (reference, &tiered) {
+        (Err(ref_fault), Err(rt_fault)) => {
+            report.cells += 1;
+            if fault_label(ref_fault) != fault_label(rt_fault) {
+                report.divergences.push(format!(
+                    "{name}/{label}: fault {} vs tiered fault {}",
+                    fault_label(ref_fault),
+                    fault_label(rt_fault)
+                ));
+            }
+        }
+        (Err(ref_fault), Ok(_)) => {
+            report.cells += 1;
+            report.divergences.push(format!(
+                "{name}/{label}: reference faults ({}) but tiered runtime completes",
+                fault_label(ref_fault)
+            ));
+        }
+        (Ok(_), Err(rt_fault)) => {
+            report.cells += 1;
+            report.divergences.push(format!(
+                "{name}/{label}: reference completes but tiered runtime faults ({})",
+                fault_label(rt_fault)
+            ));
+        }
+        (Ok(reference), Ok(out)) => {
+            report.cells += 2;
+            diff_outcomes(
+                name,
+                &format!("{label}-adaptive"),
+                reference,
+                &out.adaptive,
+                &mut report.divergences,
+            );
+            diff_outcomes(
+                name,
+                &format!("{label}-steady"),
+                reference,
+                &out.steady,
+                &mut report.divergences,
+            );
+            if let Err(mut fails) = out.reconcile() {
+                report.divergences.extend(
+                    fails
+                        .drain(..)
+                        .map(|f| format!("{name}/{label}-reconcile: {f}")),
+                );
+            }
+            if let Err(mut fails) = out.verify_convergence() {
+                report.divergences.extend(
+                    fails
+                        .drain(..)
+                        .map(|f| format!("{name}/{label}-convergence: {f}")),
+                );
+            }
+        }
+    }
+}
+
+/// Runs one program as two tenants of a shared [`ServiceRuntime`] and
+/// requires every tenant's adaptive and steady runs to match the
+/// single-tenant reference — the multi-tenant pipeline must be just as
+/// observationally invisible as the private one.
+fn run_service_cell(
+    name: &str,
+    module: &Module,
+    platform: Platform,
+    interproc: bool,
+    reference: &Result<Outcome, Fault>,
+    report: &mut RuntimeDiffReport,
+) {
+    let mut config = njc_runtime::ServiceConfig::for_platform(&platform);
+    config.runtime.interproc = interproc;
+    let specs: Vec<TenantSpec> = (0..2)
+        .map(|i| TenantSpec {
+            name: format!("{name}#{i}"),
+            module: module.clone(),
+            entry: "main".to_string(),
+            args: Vec::new(),
+        })
+        .collect();
+    let service = catch_unwind(AssertUnwindSafe(|| {
+        ServiceRuntime::with_config(platform, config).run(&specs)
+    }));
+    let service = match service {
+        Ok(r) => r,
+        Err(_) => {
+            report
+                .divergences
+                .push(format!("{name}/service: service runtime PANICKED"));
+            return;
+        }
+    };
+    match (reference, &service) {
+        (Err(ref_fault), Err(svc_fault)) => {
+            report.cells += 1;
+            if fault_label(ref_fault) != fault_label(svc_fault) {
+                report.divergences.push(format!(
+                    "{name}/service: fault {} vs service fault {}",
+                    fault_label(ref_fault),
+                    fault_label(svc_fault)
+                ));
+            }
+        }
+        (Err(ref_fault), Ok(_)) => {
+            report.cells += 1;
+            report.divergences.push(format!(
+                "{name}/service: reference faults ({}) but service completes",
+                fault_label(ref_fault)
+            ));
+        }
+        (Ok(_), Err(svc_fault)) => {
+            report.cells += 1;
+            report.divergences.push(format!(
+                "{name}/service: reference completes but service faults ({})",
+                fault_label(svc_fault)
+            ));
+        }
+        (Ok(reference), Ok(out)) => {
+            for t in &out.tenants {
+                report.cells += 2;
+                diff_outcomes(
+                    &t.name,
+                    "service-adaptive",
+                    reference,
+                    &t.outcome.adaptive,
+                    &mut report.divergences,
+                );
+                diff_outcomes(
+                    &t.name,
+                    "service-steady",
+                    reference,
+                    &t.outcome.steady,
+                    &mut report.divergences,
+                );
+            }
+            if let Err(fails) = out.verify() {
+                report
+                    .divergences
+                    .extend(fails.into_iter().map(|f| format!("{name}/service: {f}")));
+            }
+        }
+    }
+}
+
 /// Replays the corpus through the tiered runtime and diffs against the
-/// single-shot tier-1 compile.
+/// single-shot tier-1 compile: the bare runtime, three fault-injected
+/// variants of the profile/install channel (stale snapshots, a starved
+/// controller, delayed installs), and a two-tenant shared-service run.
+/// None of them may change what any program computes.
 pub fn run_runtime_difftest(opts: &RuntimeDiffOptions) -> RuntimeDiffReport {
     let platform = Platform::windows_ia32();
     let mut report = RuntimeDiffReport::default();
@@ -215,76 +388,69 @@ pub fn run_runtime_difftest(opts: &RuntimeDiffOptions) -> RuntimeDiffReport {
             njc_opt::optimize_module(&mut m, &platform, &ConfigKind::Full.to_config(&platform));
             run_module(&m, platform, "main", &[])
         };
+        if reference.is_err() {
+            report.faulting_programs += 1;
+        }
         let rt_config = RuntimeConfig {
             interproc: opts.interproc,
             ..RuntimeConfig::for_platform(&platform)
         };
-        let tiered = catch_unwind(AssertUnwindSafe(|| {
-            TieredRuntime::with_config(module.clone(), platform, rt_config).run("main", &[])
-        }));
-        let tiered = match tiered {
-            Ok(r) => r,
-            Err(_) => {
-                report
-                    .divergences
-                    .push(format!("{name}: tiered runtime PANICKED"));
-                continue;
-            }
-        };
-        match (&reference, &tiered) {
-            (Err(ref_fault), Err(rt_fault)) => {
-                report.cells += 1;
-                report.faulting_programs += 1;
-                if fault_label(ref_fault) != fault_label(rt_fault) {
-                    report.divergences.push(format!(
-                        "{name}: fault {} vs tiered fault {}",
-                        fault_label(ref_fault),
-                        fault_label(rt_fault)
-                    ));
-                }
-            }
-            (Err(ref_fault), Ok(_)) => {
-                report.cells += 1;
-                report.divergences.push(format!(
-                    "{name}: reference faults ({}) but tiered runtime completes",
-                    fault_label(ref_fault)
-                ));
-            }
-            (Ok(_), Err(rt_fault)) => {
-                report.cells += 1;
-                report.divergences.push(format!(
-                    "{name}: reference completes but tiered runtime faults ({})",
-                    fault_label(rt_fault)
-                ));
-            }
-            (Ok(reference), Ok(out)) => {
-                report.cells += 2;
-                diff_outcomes(
-                    &name,
-                    "adaptive",
-                    reference,
-                    &out.adaptive,
-                    &mut report.divergences,
-                );
-                diff_outcomes(
-                    &name,
-                    "steady",
-                    reference,
-                    &out.steady,
-                    &mut report.divergences,
-                );
-                if let Err(mut fails) = out.reconcile() {
-                    report
-                        .divergences
-                        .extend(fails.drain(..).map(|f| format!("{name}/reconcile: {f}")));
-                }
-                if let Err(mut fails) = out.verify_convergence() {
-                    report
-                        .divergences
-                        .extend(fails.drain(..).map(|f| format!("{name}/convergence: {f}")));
-                }
-            }
+        run_tiered_cell(
+            &name,
+            "tiered",
+            &module,
+            platform,
+            rt_config,
+            &reference,
+            &mut report,
+        );
+        // Fault injection on the profile/install channel. Each knob makes
+        // the adaptive machinery *worse at its job* — profiles go stale,
+        // the controller starves, finished artifacts sit unpublished — and
+        // the only acceptable consequence is different timing, never
+        // different behavior.
+        let faults: [(&str, RuntimeConfig); 3] = [
+            (
+                "stale-snapshots",
+                RuntimeConfig {
+                    snapshot_interval: 1 << 40,
+                    ..rt_config
+                },
+            ),
+            (
+                "starved-controller",
+                RuntimeConfig {
+                    controller_poll_micros: 50_000,
+                    ..rt_config
+                },
+            ),
+            (
+                "delayed-installs",
+                RuntimeConfig {
+                    install_delay_micros: 2_000,
+                    ..rt_config
+                },
+            ),
+        ];
+        for (label, config) in faults {
+            run_tiered_cell(
+                &name,
+                label,
+                &module,
+                platform,
+                config,
+                &reference,
+                &mut report,
+            );
         }
+        run_service_cell(
+            &name,
+            &module,
+            platform,
+            opts.interproc,
+            &reference,
+            &mut report,
+        );
     }
     report
 }

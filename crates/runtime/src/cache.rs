@@ -77,6 +77,13 @@ impl CacheKey {
                 .collect(),
         }
     }
+
+    /// The pristine-body hash component of the key. The sharded cache
+    /// routes on it, so equal bodies land in the same shard regardless of
+    /// config, trap model, or override set.
+    pub fn body_hash(&self) -> u64 {
+        self.body_hash
+    }
 }
 
 /// A finished tier-1 compile: the optimized body plus its provenance
@@ -166,6 +173,16 @@ impl CodeCache {
     /// Whether `key` is resident, without touching recency or stats.
     pub fn contains(&self, key: &CacheKey) -> bool {
         self.entries.contains_key(key)
+    }
+
+    /// The key the next eviction would remove (the least-recently-used
+    /// entry), without touching recency or stats. `None` when empty.
+    /// Admission policies compare a candidate against this victim.
+    pub fn peek_lru(&self) -> Option<&CacheKey> {
+        self.entries
+            .iter()
+            .min_by_key(|(_, (t, _))| *t)
+            .map(|(k, _)| k)
     }
 
     /// Resident artifact count.

@@ -17,8 +17,21 @@
 //!    content-addressed [`CodeCache`] (keyed on body hash, configuration,
 //!    trap model, and override set, with LRU eviction), then swap in at
 //!    the next call entry — heap and observation trace carry through.
-//! 4. After the adaptive run, a deterministic **steady-state** run over
+//! 4. A site that *stops* trapping is **tiered back down**: its override
+//!    is dropped and the implicit (free) form recompiled in, windowed
+//!    mid-run and cumulatively at the post-run fixpoint.
+//! 5. After the adaptive run, a deterministic **steady-state** run over
 //!    the final bodies provides the reproducible measurement.
+//!
+//! ## Compilation as a service
+//!
+//! The same machinery scales to many VM instances: [`ServiceRuntime`]
+//! runs hundreds of tenants against one [`ShardedCodeCache`] (sharded by
+//! body hash, per-shard LRU + frequency-based admission) fed by a
+//! [`RecompileQueue`] — priorities are modeled cycles at stake, requests
+//! for the same artifact coalesce into one compile installed into every
+//! waiting tenant (dedup), the queue is bounded (backpressure) and ages
+//! survivors (starvation freedom).
 //!
 //! ```
 //! use njc_arch::Platform;
@@ -36,14 +49,25 @@
 
 pub mod cache;
 pub mod policy;
+pub mod queue;
+pub mod shard;
+pub mod tenant;
 pub mod tiered;
 pub mod workload;
 
 pub use cache::{CacheKey, CacheStats, CodeCache, CompiledArtifact};
 pub use njc_vm::{ProfileSnapshot, RuntimeHooks};
 pub use policy::{FunctionPlan, ProfilePolicy};
+pub use queue::{
+    PendingCompile, QueueConfig, QueueStats, RecompileQueue, RecompileRequest, Submitted, Waiter,
+};
+pub use shard::{ShardStats, ShardedCodeCache};
+pub use tenant::{ServiceConfig, ServiceOutcome, ServiceRuntime, TenantOutcome, TenantSpec};
 pub use tiered::{RuntimeConfig, RuntimeOutcome, TieredRuntime};
-pub use workload::hot_field_workload;
+pub use workload::{
+    deep_chain_workload, hot_field_workload, many_hot_workload, phase_shift_workload,
+    write_hot_workload, PHASE_ALTERNATE, PHASE_CLEAN, PHASE_NULL,
+};
 
 #[cfg(test)]
 mod tests {

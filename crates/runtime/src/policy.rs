@@ -8,9 +8,9 @@
 //! every execution is cheaper than the occasional trap, and the site goes
 //! into the function's [`ExplicitOverride`] set for phase 2.
 
-use njc_arch::CostModel;
+use njc_arch::{CostModel, TrapModel};
 use njc_core::ExplicitOverride;
-use njc_ir::{FieldId, Function};
+use njc_ir::{AccessKind, FieldId, Function};
 use njc_vm::SiteCounters;
 
 /// Tunable thresholds for the tiering decisions.
@@ -28,6 +28,10 @@ pub struct ProfilePolicy {
     /// sites). Peak rather than entry count so a function entered once but
     /// looping forever still tiers up.
     pub hot_function_calls: u64,
+    /// Minimum executions *since the current body was installed* before an
+    /// overridden site may be judged quiesced and tiered back down. A
+    /// short calm window is not evidence; a long one is.
+    pub quiesce_executions: u64,
 }
 
 impl ProfilePolicy {
@@ -37,6 +41,7 @@ impl ProfilePolicy {
             trap_ratio: cost.explicit_null_check as f64 / cost.trap_taken as f64,
             min_site_executions: 16,
             hot_function_calls: 64,
+            quiesce_executions: 256,
         }
     }
 }
@@ -124,6 +129,187 @@ impl ProfilePolicy {
             overrides,
         }
     }
+
+    /// Maps each explicit check id in `body` to the slot key of the first
+    /// access it guards. Intra-block only: a check is associated with the
+    /// first subsequent slot access of its variable in the same block,
+    /// which is the access whose implicit form would have trapped. Checks
+    /// that guard nothing resolvable are absent (their caught nulls are
+    /// then simply not attributed — a conservative loss).
+    pub fn check_slot_map(
+        body: &Function,
+        field_offset: &dyn Fn(FieldId) -> u64,
+    ) -> std::collections::BTreeMap<u32, (u64, AccessKind)> {
+        let mut map = std::collections::BTreeMap::new();
+        for block in body.blocks() {
+            // Last pending explicit check per variable, not yet attributed.
+            let mut pending: std::collections::BTreeMap<u32, u32> = Default::default();
+            for inst in &block.insts {
+                if let njc_ir::Inst::NullCheck {
+                    var,
+                    kind: njc_ir::NullCheckKind::Explicit,
+                    id,
+                } = inst
+                {
+                    pending.insert(var.index() as u32, id.0);
+                    continue;
+                }
+                if let Some(sa) = inst.slot_access(field_offset) {
+                    if let (Some(off), Some(cid)) =
+                        (sa.offset, pending.remove(&(sa.base.index() as u32)))
+                    {
+                        map.entry(cid).or_insert((off, sa.kind));
+                    }
+                }
+            }
+        }
+        map
+    }
+
+    /// Tier-down judgment for one already-overridden function: which of
+    /// `installed`'s override slots still earn their explicit check?
+    ///
+    /// Evidence of continued null arrivals in the window since install is
+    /// the sum of nulls *caught* by the slot's explicit check
+    /// ([`SiteCounters::check_nulls`], resolved through `body`'s
+    /// check→slot map) and hardware traps attributed to the slot
+    /// ([`SiteCounters::trap_slots`]). A slot whose window arrival rate
+    /// has fallen to or below the break-even ratio is dropped — its
+    /// implicit form is cheaper again. Until the window holds at least
+    /// [`quiesce_executions`](ProfilePolicy::quiesce_executions)
+    /// executions, everything is retained: silence over a short window
+    /// proves nothing.
+    pub fn assess_tier_down(
+        &self,
+        index: usize,
+        body: &Function,
+        field_offset: &dyn Fn(FieldId) -> u64,
+        installed: &ExplicitOverride,
+        current: &SiteCounters,
+        baseline: Option<&SiteCounters>,
+    ) -> ExplicitOverride {
+        let fi = index as u32;
+        let executions = current
+            .blocks
+            .keys()
+            .filter(|(f, _)| *f == fi)
+            .map(|&k| delta(&current.blocks, baseline.map(|b| &b.blocks), k))
+            .max()
+            .unwrap_or(0);
+        if executions < self.quiesce_executions {
+            return installed.clone();
+        }
+        let check_slots = Self::check_slot_map(body, field_offset);
+        let mut nulls: std::collections::BTreeMap<(u64, AccessKind), u64> = Default::default();
+        for &(f, cid) in current.check_nulls.keys() {
+            if f != fi {
+                continue;
+            }
+            let caught = delta(
+                &current.check_nulls,
+                baseline.map(|b| &b.check_nulls),
+                (f, cid),
+            );
+            if let Some(&slot) = check_slots.get(&cid) {
+                *nulls.entry(slot).or_insert(0) += caught;
+            }
+        }
+        for &(f, off, kind) in current.trap_slots.keys() {
+            if f != fi {
+                continue;
+            }
+            let traps = delta(
+                &current.trap_slots,
+                baseline.map(|b| &b.trap_slots),
+                (f, off, kind),
+            );
+            *nulls.entry((off, kind)).or_insert(0) += traps;
+        }
+        let mut retained = ExplicitOverride::new();
+        for (off, kind) in installed.keys() {
+            let arrivals = nulls.get(&(off, kind)).copied().unwrap_or(0);
+            if (arrivals as f64) / (executions as f64) > self.trap_ratio {
+                retained.insert(off, kind);
+            }
+        }
+        retained
+    }
+
+    /// Whole-run judgment from *cumulative* counters, for the post-run
+    /// fixpoint: the override set the run's total null-arrival history
+    /// justifies, independent of when (or whether) any mid-run swap
+    /// landed.
+    ///
+    /// The timing trap this dodges: once a site is compiled explicit it
+    /// stops trapping, so cumulative *traps* alone under-count null
+    /// arrivals by however long the override was installed. Arrivals here
+    /// are traps by slot key ([`SiteCounters::trap_slots`], stable across
+    /// every tier's body coordinates) **plus** nulls caught by explicit
+    /// checks ([`SiteCounters::check_nulls`], resolved through the
+    /// check→slot maps of the final and tier-0 bodies, final first).
+    /// Their sum is the run's total null-arrival count for the slot —
+    /// the same number no matter which bodies were installed when.
+    ///
+    /// The denominator is the function's peak cumulative block count — an
+    /// over-estimate of any one site's executions, hence biased *against*
+    /// overriding: a slot must clear break-even against the hottest block
+    /// to stay explicit. That conservatism is deliberate; the paper's bet
+    /// defaults to implicit.
+    ///
+    /// Only slots `trap` can actually make implicit are eligible: on a
+    /// writes-only model (AIX), a read slot's checks stay explicit by
+    /// phase-2 legality no matter what, so recording an override for one
+    /// would claim credit the override machinery never earns.
+    pub fn assess_cumulative(
+        &self,
+        index: usize,
+        tier0_body: &Function,
+        final_body: &Function,
+        field_offset: &dyn Fn(FieldId) -> u64,
+        trap: &TrapModel,
+        counters: &SiteCounters,
+    ) -> FunctionPlan {
+        let fi = index as u32;
+        let executions = counters
+            .blocks
+            .iter()
+            .filter(|((f, _), _)| *f == fi)
+            .map(|(_, &c)| c)
+            .max()
+            .unwrap_or(0);
+        let final_map = Self::check_slot_map(final_body, field_offset);
+        let tier0_map = Self::check_slot_map(tier0_body, field_offset);
+        let mut arrivals: std::collections::BTreeMap<(u64, AccessKind), u64> = Default::default();
+        for (&(f, cid), &caught) in &counters.check_nulls {
+            if f != fi {
+                continue;
+            }
+            if let Some(&slot) = final_map.get(&cid).or_else(|| tier0_map.get(&cid)) {
+                *arrivals.entry(slot).or_insert(0) += caught;
+            }
+        }
+        for (&(f, off, kind), &traps) in &counters.trap_slots {
+            if f != fi {
+                continue;
+            }
+            *arrivals.entry((off, kind)).or_insert(0) += traps;
+        }
+        let mut overrides = ExplicitOverride::new();
+        if executions >= self.min_site_executions {
+            for (&(off, kind), &n) in &arrivals {
+                if trap.access_traps(kind, Some(off))
+                    && (n as f64) / (executions as f64) > self.trap_ratio
+                {
+                    overrides.insert(off, kind);
+                }
+            }
+        }
+        FunctionPlan {
+            index,
+            hot: executions >= self.hot_function_calls || !overrides.is_empty(),
+            overrides,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -192,5 +378,117 @@ mod tests {
         counters.traps.insert((0, 0, 0), 4);
         let plan = policy().assess(0, &f, &offset, &counters, None);
         assert!(plan.overrides.is_empty(), "sample too small");
+    }
+
+    /// A body with an explicit check guarding the field access, as a
+    /// tier-1 compile with an override would produce.
+    fn checked_body() -> Function {
+        parse_function(
+            "func f(v0: ref) -> int {\n  locals v1: int\nbb0:\n  nullcheck v0\n  v1 = getfield v0, field0\n  return v1\n}",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn check_slot_map_attributes_first_guarded_access() {
+        let f = checked_body();
+        let offset = |_: FieldId| 8u64;
+        let map = ProfilePolicy::check_slot_map(&f, &offset);
+        assert_eq!(map.len(), 1);
+        let (&_cid, &slot) = map.iter().next().unwrap();
+        assert_eq!(slot, (8, AccessKind::Read));
+    }
+
+    #[test]
+    fn quiesced_override_is_dropped_and_active_one_retained() {
+        let f = checked_body();
+        let offset = |_: FieldId| 0u64;
+        let p = policy();
+        let cid = *ProfilePolicy::check_slot_map(&f, &offset)
+            .keys()
+            .next()
+            .unwrap();
+        let mut installed = ExplicitOverride::new();
+        installed.insert(0, AccessKind::Read);
+
+        // Long calm window: the slot caught nothing since install.
+        let mut counters = SiteCounters::default();
+        counters.blocks.insert((0, 0), 10_000);
+        let retained = p.assess_tier_down(0, &f, &offset, &installed, &counters, None);
+        assert!(retained.is_empty(), "quiesced site tiers down");
+
+        // Same window but the explicit check is still catching nulls well
+        // above break-even: retained.
+        counters.check_nulls.insert((0, cid), 5_000);
+        let retained = p.assess_tier_down(0, &f, &offset, &installed, &counters, None);
+        assert!(retained.contains(0, AccessKind::Read));
+
+        // Short window: silence proves nothing, retain.
+        let mut short = SiteCounters::default();
+        short.blocks.insert((0, 0), p.quiesce_executions - 1);
+        let retained = p.assess_tier_down(0, &f, &offset, &installed, &short, None);
+        assert!(retained.contains(0, AccessKind::Read), "window too short");
+    }
+
+    #[test]
+    fn cumulative_assessment_sums_traps_and_caught_nulls() {
+        // Half the arrivals trapped (pre-swap, implicit body), half were
+        // caught by the installed explicit check — the cumulative verdict
+        // must see their sum, not either part.
+        let tier0 = body();
+        let tier1 = checked_body();
+        let offset = |_: FieldId| 0u64;
+        let p = policy();
+        let cid = *ProfilePolicy::check_slot_map(&tier1, &offset)
+            .keys()
+            .next()
+            .unwrap();
+        let mut counters = SiteCounters::default();
+        counters.blocks.insert((0, 0), 1_000);
+        counters.trap_slots.insert((0, 0, AccessKind::Read), 250);
+        counters.check_nulls.insert((0, cid), 250);
+        let plan = p.assess_cumulative(
+            0,
+            &tier0,
+            &tier1,
+            &offset,
+            &TrapModel::windows_ia32(),
+            &counters,
+        );
+        assert!(plan.overrides.contains(0, AccessKind::Read));
+
+        // Either half alone is still above break-even here, so shrink to
+        // a rate where only the *sum* clears the ratio: 2 + 2 arrivals
+        // in 1000 executions vs break-even 1.67/1000.
+        let mut counters = SiteCounters::default();
+        counters.blocks.insert((0, 0), 1_000);
+        counters.trap_slots.insert((0, 0, AccessKind::Read), 1);
+        counters.check_nulls.insert((0, cid), 1);
+        let plan = p.assess_cumulative(
+            0,
+            &tier0,
+            &tier1,
+            &offset,
+            &TrapModel::windows_ia32(),
+            &counters,
+        );
+        assert!(
+            plan.overrides.contains(0, AccessKind::Read),
+            "1+1 arrivals per 1000 execs beats 2/1200 only summed"
+        );
+
+        // Fully quiesced history: no override, plain hotness only.
+        let mut counters = SiteCounters::default();
+        counters.blocks.insert((0, 0), 1_000);
+        let plan = p.assess_cumulative(
+            0,
+            &tier0,
+            &tier1,
+            &offset,
+            &TrapModel::windows_ia32(),
+            &counters,
+        );
+        assert!(plan.overrides.is_empty());
+        assert!(plan.hot, "still hot by execution count");
     }
 }

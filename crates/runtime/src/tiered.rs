@@ -31,8 +31,9 @@ use njc_opt::{
 };
 use njc_vm::{Fault, Outcome, RuntimeHooks, SiteCounters, Value, Vm, VmConfig};
 
-use crate::cache::{CacheKey, CacheStats, CodeCache, CompiledArtifact};
+use crate::cache::{CacheKey, CacheStats, CompiledArtifact};
 use crate::policy::ProfilePolicy;
+use crate::shard::ShardedCodeCache;
 
 /// Knobs of the tiered loop.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -55,6 +56,21 @@ pub struct RuntimeConfig {
     /// module, so swapped-in bodies carry the same entry assumptions the
     /// single-shot compile would.
     pub interproc: bool,
+    /// Tier *down* as well as up: drop overrides whose sites have
+    /// quiesced (windowed mid-run via
+    /// [`ProfilePolicy::assess_tier_down`], cumulative at the fixpoint
+    /// via [`ProfilePolicy::assess_cumulative`]). Off reproduces the
+    /// grow-only behavior.
+    pub tier_down: bool,
+    /// Controller sleep between profile polls, in microseconds. Large
+    /// values fault-inject a *starved controller*: the profile goes stale
+    /// between polls and recompiles land late or not at all — observable
+    /// behavior must not change.
+    pub controller_poll_micros: u64,
+    /// Artificial delay inserted by workers between finishing a compile
+    /// and installing it, in microseconds. Fault-injects a *delayed
+    /// install channel* — observable behavior must not change.
+    pub install_delay_micros: u64,
     /// VM limits for both the adaptive and the measurement run.
     pub vm: VmConfig,
 }
@@ -71,6 +87,9 @@ impl RuntimeConfig {
             tier0: ConfigKind::OldNullCheck,
             tier1: ConfigKind::Full,
             interproc: false,
+            tier_down: true,
+            controller_poll_micros: 200,
+            install_delay_micros: 0,
             vm: VmConfig::default(),
         }
     }
@@ -233,24 +252,94 @@ struct Job {
 }
 
 /// A completed install, recorded by the worker that performed it.
-struct Install {
-    index: usize,
-    overrides: ExplicitOverride,
-    artifact: Arc<CompiledArtifact>,
-    event: RecompileEvent,
+pub(crate) struct Install {
+    pub(crate) index: usize,
+    pub(crate) overrides: ExplicitOverride,
+    pub(crate) artifact: Arc<CompiledArtifact>,
+    pub(crate) event: RecompileEvent,
     /// Counter snapshot at install time — the baseline the policy
     /// subtracts so only the *new* tier's behaviour is judged.
-    baseline: SiteCounters,
+    pub(crate) baseline: SiteCounters,
+}
+
+/// The tier-1 compile path, factored out of [`TieredRuntime`] so the
+/// multi-tenant service's workers can compile any tenant's function
+/// through the same shared sharded cache.
+pub(crate) struct TierCompiler<'a> {
+    /// The prepared (intrinsics + inlining) tier-1 base module.
+    pub(crate) tier1_base: &'a Module,
+    /// The tier-1 `OptConfig`.
+    pub(crate) cfg1: &'a OptConfig,
+    /// The tier-1 preset, for cache keying.
+    pub(crate) kind: ConfigKind,
+    pub(crate) platform: &'a Platform,
+    pub(crate) cache: &'a ShardedCodeCache,
+    /// When set, cache misses compile under this lock (double-checked):
+    /// concurrent requests for the same key — different tenants reaching
+    /// the same tiering decision at once — collapse into one compile plus
+    /// hits instead of duplicate work. `None` for the single-tenant
+    /// runtime, whose worker jobs never share a key.
+    pub(crate) compile_lock: Option<&'a Mutex<()>>,
+}
+
+impl TierCompiler<'_> {
+    /// Compiles function `index` of the prepared tier-1 module with
+    /// `overrides`, through the shared cache. Returns the artifact and
+    /// whether it was a cache hit.
+    pub(crate) fn compile(
+        &self,
+        index: usize,
+        overrides: &ExplicitOverride,
+    ) -> (Arc<CompiledArtifact>, bool) {
+        let fid = FunctionId::new(index);
+        let key = CacheKey::new(
+            self.tier1_base.function(fid),
+            self.kind,
+            self.cfg1.compiler_trap,
+            overrides,
+        );
+        if let Some(artifact) = self.cache.get(&key) {
+            return (artifact, true);
+        }
+        let _serialized = self.compile_lock.map(|l| l.lock().unwrap());
+        if self.compile_lock.is_some() {
+            // Double-check: another holder may have landed this key while
+            // we waited on the lock.
+            if let Some(artifact) = self.cache.get(&key) {
+                return (artifact, true);
+            }
+        }
+        let mut func = self.tier1_base.function(fid).clone();
+        let (_stats, trace) = optimize_function_overridden(
+            self.tier1_base,
+            self.platform,
+            self.cfg1,
+            &mut func,
+            Some(overrides),
+            true,
+        );
+        let artifact = Arc::new(CompiledArtifact {
+            body: Arc::new(func),
+            trace: trace.expect("traced compile yields a trace"),
+        });
+        // An admission-policy bounce is fine: the artifact still goes to
+        // its requester, it just is not retained for the next asker.
+        let _ = self.cache.insert(key, Arc::clone(&artifact));
+        (artifact, false)
+    }
 }
 
 /// The tiered execution manager. The code cache persists across runs, so
-/// repeating a run hits instead of recompiling.
+/// repeating a run hits instead of recompiling; it may also be *shared*
+/// between runtimes ([`TieredRuntime::with_shared_cache`]) — the
+/// compilation service runs hundreds of tenants against one sharded
+/// cache.
 #[derive(Debug)]
 pub struct TieredRuntime {
     module: Module,
     platform: Platform,
     config: RuntimeConfig,
-    cache: Mutex<CodeCache>,
+    cache: Arc<ShardedCodeCache>,
 }
 
 impl TieredRuntime {
@@ -260,19 +349,32 @@ impl TieredRuntime {
         Self::with_config(module, platform, config)
     }
 
-    /// A runtime with explicit knobs.
+    /// A runtime with explicit knobs and a private single-shard cache.
     pub fn with_config(module: Module, platform: Platform, config: RuntimeConfig) -> Self {
+        let cache = Arc::new(ShardedCodeCache::new(1, config.cache_capacity));
+        Self::with_shared_cache(module, platform, config, cache)
+    }
+
+    /// A runtime borrowing a shared (possibly multi-tenant) code cache.
+    /// `config.cache_capacity` is ignored; the cache's own shape rules.
+    pub fn with_shared_cache(
+        module: Module,
+        platform: Platform,
+        config: RuntimeConfig,
+        cache: Arc<ShardedCodeCache>,
+    ) -> Self {
         TieredRuntime {
             module,
             platform,
-            cache: Mutex::new(CodeCache::new(config.cache_capacity)),
+            cache,
             config,
         }
     }
 
-    /// Code cache counters.
+    /// Code cache counters (cache-wide: a shared cache reports traffic
+    /// from every runtime using it).
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().unwrap().stats()
+        self.cache.stats()
     }
 
     fn tier_config(&self, kind: ConfigKind) -> OptConfig {
@@ -281,46 +383,6 @@ impl TieredRuntime {
             interproc: self.config.interproc,
             ..kind.to_config(&self.platform)
         }
-    }
-
-    /// Compiles function `index` of the prepared tier-1 module with
-    /// `overrides`, through the code cache. Returns the artifact and
-    /// whether it was a cache hit.
-    fn compile_function(
-        &self,
-        tier1_base: &Module,
-        cfg1: &OptConfig,
-        index: usize,
-        overrides: &ExplicitOverride,
-    ) -> (Arc<CompiledArtifact>, bool) {
-        let fid = FunctionId::new(index);
-        let key = CacheKey::new(
-            tier1_base.function(fid),
-            self.config.tier1,
-            cfg1.compiler_trap,
-            overrides,
-        );
-        if let Some(artifact) = self.cache.lock().unwrap().get(&key) {
-            return (artifact, true);
-        }
-        let mut func = tier1_base.function(fid).clone();
-        let (_stats, trace) = optimize_function_overridden(
-            tier1_base,
-            &self.platform,
-            cfg1,
-            &mut func,
-            Some(overrides),
-            true,
-        );
-        let artifact = Arc::new(CompiledArtifact {
-            body: Arc::new(func),
-            trace: trace.expect("traced compile yields a trace"),
-        });
-        self.cache
-            .lock()
-            .unwrap()
-            .insert(key, Arc::clone(&artifact));
-        (artifact, false)
     }
 
     /// Runs `entry(args)` through the profile → recompile → swap loop,
@@ -347,17 +409,26 @@ impl TieredRuntime {
             ..self.config.vm
         };
 
+        let compiler = TierCompiler {
+            tier1_base: &tier1_base,
+            cfg1: &cfg1,
+            kind: self.config.tier1,
+            platform: &self.platform,
+            cache: &self.cache,
+            compile_lock: None,
+        };
+
         let installs: Mutex<Vec<Install>> = Mutex::new(Vec::new());
         let (job_tx, job_rx) = mpsc::channel::<Job>();
         let job_rx = Mutex::new(job_rx);
         let mut requested: HashMap<usize, ExplicitOverride> = HashMap::new();
 
         let tier0_ref = &tier0;
-        let tier1_ref = &tier1_base;
-        let cfg1_ref = &cfg1;
+        let compiler_ref = &compiler;
         let hooks_ref = &hooks;
         let installs_ref = &installs;
         let job_rx_ref = &job_rx;
+        let install_delay = self.config.install_delay_micros;
 
         let adaptive = std::thread::scope(|scope| -> Result<Outcome, Fault> {
             let vm_handle = scope.spawn(move || {
@@ -375,20 +446,22 @@ impl TieredRuntime {
                             // is simpler than a shared deque.
                             let job = job_rx_ref.lock().unwrap().recv();
                             let Ok(job) = job else { break };
-                            let (artifact, cache_hit) = self.compile_function(
-                                tier1_ref,
-                                cfg1_ref,
-                                job.index,
-                                &job.overrides,
-                            );
+                            let (artifact, cache_hit) =
+                                compiler_ref.compile(job.index, &job.overrides);
+                            if install_delay > 0 {
+                                // Fault injection: the install channel sits
+                                // on a finished artifact before publishing.
+                                std::thread::sleep(Duration::from_micros(install_delay));
+                            }
                             let snap = hooks_ref.snapshot();
                             hooks_ref.install(job.index as u32, Arc::clone(&artifact.body));
                             let event = RecompileEvent {
-                                function: tier1_ref
+                                function: compiler_ref
+                                    .tier1_base
                                     .function(FunctionId::new(job.index))
                                     .name()
                                     .to_string(),
-                                to_config: cfg1_ref.name.to_string(),
+                                to_config: compiler_ref.cfg1.name.to_string(),
                                 overrides: job.overrides.len(),
                                 cache_hit,
                                 mid_run: !hooks_ref.is_finished(),
@@ -427,12 +500,25 @@ impl TieredRuntime {
                     if !plan.hot {
                         continue;
                     }
-                    let mut want = requested.get(&fi).cloned().unwrap_or_default();
-                    let mut grew = false;
+                    // Desired set = what the installed body's window still
+                    // justifies (tier-down drops quiesced slots), plus any
+                    // newly hot-trapping slots from this poll.
+                    let mut want = match latest {
+                        Some(inst) if self.config.tier_down => self.config.policy.assess_tier_down(
+                            fi,
+                            body,
+                            &|f| self.module.field_offset(f),
+                            &inst.overrides,
+                            &snap.counters,
+                            Some(&inst.baseline),
+                        ),
+                        Some(inst) => inst.overrides.clone(),
+                        None => requested.get(&fi).cloned().unwrap_or_default(),
+                    };
                     for (off, kind) in plan.overrides.keys() {
-                        grew |= want.insert(off, kind);
+                        want.insert(off, kind);
                     }
-                    if grew || !requested.contains_key(&fi) {
+                    if requested.get(&fi) != Some(&want) {
                         requested.insert(fi, want.clone());
                         let _ = job_tx.send(Job {
                             index: fi,
@@ -441,7 +527,9 @@ impl TieredRuntime {
                     }
                 }
                 drop(installed);
-                std::thread::sleep(Duration::from_micros(200));
+                std::thread::sleep(Duration::from_micros(
+                    self.config.controller_poll_micros.max(1),
+                ));
             }
             drop(job_tx); // close the channel: workers drain, then exit
             let out = vm_handle
@@ -455,90 +543,25 @@ impl TieredRuntime {
 
         let mid_run_swaps = hooks.swapped_calls();
         let installs = installs.into_inner().unwrap();
-
-        // Per-function running state: final body, overrides, tier traces.
-        struct FuncState {
-            body: Option<Arc<Function>>,
-            overrides: ExplicitOverride,
-            baseline: Option<SiteCounters>,
-            traces: Vec<FunctionTrace>,
-        }
-        let mut state: Vec<FuncState> = (0..tier0.num_functions())
-            .map(|fi| {
-                let name = tier0.function(FunctionId::new(fi)).name();
-                FuncState {
-                    body: None,
-                    overrides: ExplicitOverride::new(),
-                    baseline: None,
-                    traces: tier0_trace.function(name).cloned().into_iter().collect(),
-                }
-            })
-            .collect();
-        let mut recompiles = Vec::new();
-        for install in installs {
-            let st = &mut state[install.index];
-            st.body = Some(Arc::clone(&install.artifact.body));
-            st.overrides = install.overrides;
-            st.baseline = Some(install.baseline);
-            st.traces.push(install.artifact.trace.clone());
-            recompiles.push(install.event);
-        }
-
-        // Fixpoint pass: the run may have ended before the controller saw
-        // the final profile. Assess once more against the complete
-        // counters and compile anything outstanding (synchronously — no VM
-        // left to swap into, so these are recorded with `mid_run: false`).
         let final_snap = hooks.snapshot();
-        for (fi, st) in state.iter_mut().enumerate() {
-            let body: &Function = st
-                .body
-                .as_deref()
-                .unwrap_or_else(|| tier0.function(FunctionId::new(fi)));
-            let plan = self.config.policy.assess(
-                fi,
-                body,
-                &|f| self.module.field_offset(f),
-                &final_snap.counters,
-                st.baseline.as_ref(),
-            );
-            if !plan.hot {
-                continue;
-            }
-            let mut want = st.overrides.clone();
-            let mut grew = false;
-            for (off, kind) in plan.overrides.keys() {
-                grew |= want.insert(off, kind);
-            }
-            if !grew && st.body.is_some() {
-                continue; // already at the fixpoint
-            }
-            let (artifact, cache_hit) = self.compile_function(&tier1_base, &cfg1, fi, &want);
-            recompiles.push(RecompileEvent {
-                function: tier1_base.function(FunctionId::new(fi)).name().to_string(),
-                to_config: cfg1.name.to_string(),
-                overrides: want.len(),
-                cache_hit,
-                mid_run: false,
-                at_calls: final_snap.calls,
-            });
-            st.body = Some(Arc::clone(&artifact.body));
-            st.overrides = want;
-            st.traces.push(artifact.trace.clone());
-        }
 
-        // Final bodies → the steady-state module.
-        let mut final_module = tier0.clone();
-        let mut overrides = BTreeMap::new();
-        let mut tier_traces = BTreeMap::new();
-        for (fi, st) in state.into_iter().enumerate() {
-            let fid = FunctionId::new(fi);
-            let name = final_module.function(fid).name().to_string();
-            if let Some(body) = &st.body {
-                *final_module.function_mut(fid) = (**body).clone();
-                overrides.insert(name.clone(), st.overrides);
-            }
-            tier_traces.insert(name, st.traces);
-        }
+        let finalized = finalize_tiers(FinalizeInput {
+            tier0: &tier0,
+            tier0_trace: &tier0_trace,
+            compiler: &compiler,
+            policy: &self.config.policy,
+            tier_down: self.config.tier_down,
+            field_offset: &|f| self.module.field_offset(f),
+            installs,
+            final_counters: &final_snap.counters,
+            final_calls: final_snap.calls,
+        });
+        let Finalized {
+            final_module,
+            overrides,
+            tier_traces,
+            recompiles,
+        } = finalized;
 
         // The measurement run: final bodies, no adaptation, fully
         // deterministic.
@@ -550,12 +573,158 @@ impl TieredRuntime {
             adaptive,
             steady,
             recompiles,
-            cache: self.cache.lock().unwrap().stats(),
+            cache: self.cache.stats(),
             overrides,
             mid_run_swaps,
             final_module,
             tier0_trace,
             tier_traces,
         })
+    }
+}
+
+/// Inputs to the post-adaptive fixpoint pass, shared between the
+/// single-tenant runtime and the multi-tenant service.
+pub(crate) struct FinalizeInput<'a> {
+    /// The tier-0 module the adaptive run started from.
+    pub(crate) tier0: &'a Module,
+    /// Tier-0 provenance for the whole module.
+    pub(crate) tier0_trace: &'a ModuleTrace,
+    /// The tier-1 compile path (and its shared cache).
+    pub(crate) compiler: &'a TierCompiler<'a>,
+    pub(crate) policy: &'a ProfilePolicy,
+    /// Cumulative (tier-down capable) fixpoint vs grow-only.
+    pub(crate) tier_down: bool,
+    pub(crate) field_offset: &'a dyn Fn(njc_ir::FieldId) -> u64,
+    /// Every mid-run install, completion order.
+    pub(crate) installs: Vec<Install>,
+    /// The run's complete cumulative counters.
+    pub(crate) final_counters: &'a SiteCounters,
+    pub(crate) final_calls: u64,
+}
+
+/// What the fixpoint pass settles on.
+pub(crate) struct Finalized {
+    pub(crate) final_module: Module,
+    pub(crate) overrides: BTreeMap<String, ExplicitOverride>,
+    pub(crate) tier_traces: BTreeMap<String, Vec<FunctionTrace>>,
+    pub(crate) recompiles: Vec<RecompileEvent>,
+}
+
+/// The post-run fixpoint pass: the adaptive run may have ended before the
+/// controller saw the final profile, and mid-run decisions depend on
+/// timing. Assess once more against the *complete* counters and compile
+/// anything outstanding (synchronously — no VM left to swap into, so
+/// these are recorded with `mid_run: false`).
+///
+/// With `tier_down` the assessment is cumulative
+/// ([`ProfilePolicy::assess_cumulative`]): the final override set is
+/// exactly what the run's total null-arrival history justifies, dropping
+/// any mid-run override whose site quiesced. Null arrivals are counted by
+/// slot key (traps) and check id (caught nulls), both independent of
+/// which tier's body was installed when a null arrived — so the settled
+/// set is deterministic even though mid-run swap timing is not. Without
+/// `tier_down` the set only grows, reproducing the original behavior.
+pub(crate) fn finalize_tiers(input: FinalizeInput<'_>) -> Finalized {
+    let FinalizeInput {
+        tier0,
+        tier0_trace,
+        compiler,
+        policy,
+        tier_down,
+        field_offset,
+        installs,
+        final_counters,
+        final_calls,
+    } = input;
+
+    // Per-function running state: final body, overrides, tier traces.
+    struct FuncState {
+        body: Option<Arc<Function>>,
+        overrides: ExplicitOverride,
+        baseline: Option<SiteCounters>,
+        traces: Vec<FunctionTrace>,
+    }
+    let mut state: Vec<FuncState> = (0..tier0.num_functions())
+        .map(|fi| {
+            let name = tier0.function(FunctionId::new(fi)).name();
+            FuncState {
+                body: None,
+                overrides: ExplicitOverride::new(),
+                baseline: None,
+                traces: tier0_trace.function(name).cloned().into_iter().collect(),
+            }
+        })
+        .collect();
+    let mut recompiles = Vec::new();
+    for install in installs {
+        let st = &mut state[install.index];
+        st.body = Some(Arc::clone(&install.artifact.body));
+        st.overrides = install.overrides;
+        st.baseline = Some(install.baseline);
+        st.traces.push(install.artifact.trace.clone());
+        recompiles.push(install.event);
+    }
+
+    for (fi, st) in state.iter_mut().enumerate() {
+        let tier0_body = tier0.function(FunctionId::new(fi));
+        let body: &Function = st.body.as_deref().unwrap_or(tier0_body);
+        let (hot, want) = if tier_down {
+            let plan = policy.assess_cumulative(
+                fi,
+                tier0_body,
+                body,
+                field_offset,
+                &compiler.cfg1.compiler_trap,
+                final_counters,
+            );
+            (plan.hot, plan.overrides)
+        } else {
+            let plan = policy.assess(fi, body, field_offset, final_counters, st.baseline.as_ref());
+            let mut want = st.overrides.clone();
+            for (off, kind) in plan.overrides.keys() {
+                want.insert(off, kind);
+            }
+            (plan.hot, want)
+        };
+        if !hot {
+            continue;
+        }
+        if st.body.is_some() && want == st.overrides {
+            continue; // already at the fixpoint
+        }
+        let (artifact, cache_hit) = compiler.compile(fi, &want);
+        recompiles.push(RecompileEvent {
+            function: tier0_body.name().to_string(),
+            to_config: compiler.cfg1.name.to_string(),
+            overrides: want.len(),
+            cache_hit,
+            mid_run: false,
+            at_calls: final_calls,
+        });
+        st.body = Some(Arc::clone(&artifact.body));
+        st.overrides = want;
+        st.traces.push(artifact.trace.clone());
+    }
+
+    // Final bodies → the steady-state module.
+    let mut final_module = tier0.clone();
+    let mut overrides = BTreeMap::new();
+    let mut tier_traces = BTreeMap::new();
+    for (fi, st) in state.into_iter().enumerate() {
+        let fid = FunctionId::new(fi);
+        let name = final_module.function(fid).name().to_string();
+        if let Some(body) = &st.body {
+            *final_module.function_mut(fid) = (**body).clone();
+            overrides.insert(name.clone(), st.overrides);
+        }
+        tier_traces.insert(name, st.traces);
+    }
+
+    Finalized {
+        final_module,
+        overrides,
+        tier_traces,
+        recompiles,
     }
 }

@@ -1,17 +1,32 @@
-//! The null-seeded hot-loop workload the adaptive runtime is measured on.
+//! Workloads the adaptive runtime and the compilation service are
+//! measured on.
 //!
-//! `main(iters, maybe)` runs a loop calling `hot(box, maybe)` once per
-//! iteration. `hot` reads four fields of `box` (never null — under the
-//! optimizing tier those checks are eliminated or become free implicit
-//! sites) and then one field of `maybe`. The benchmark passes `maybe =
-//! null`, so that one site traps on *every* call: the paper's worst case
-//! for implicit checks (a ~1200-cycle trap each iteration on IA32), and
-//! the best case for the profile-driven [`ExplicitOverride`] — once the
-//! runtime notices, an explicit 2-cycle check replaces the trap.
+//! The original single-point workload: `main(iters, maybe)` runs a loop
+//! calling `hot(box, maybe)` once per iteration. `hot` reads four fields
+//! of `box` (never null — under the optimizing tier those checks are
+//! eliminated or become free implicit sites) and then one field of
+//! `maybe`. The benchmark passes `maybe = null`, so that one site traps
+//! on *every* call: the paper's worst case for implicit checks (a
+//! ~1200-cycle trap each iteration on IA32), and the best case for the
+//! profile-driven [`ExplicitOverride`] — once the runtime notices, an
+//! explicit 2-cycle check replaces the trap.
 //!
-//! `hot` is deliberately padded past the inliner's 24-instruction budget:
-//! the call boundary must survive into both tiers, because calls are the
-//! safe points where a mid-run code swap can land.
+//! The service suite adds shapes a single point cannot show:
+//!
+//! * [`phase_shift_workload`] — the null rate changes *phase* mid-run
+//!   (always-null bursts, clean stretches, alternation), exercising
+//!   tier-down as well as tier-up;
+//! * [`many_hot_workload`] — many distinct hot bodies contending for a
+//!   small code cache;
+//! * [`deep_chain_workload`] — a deep out-of-line call chain whose NPE
+//!   unwinds through every frame;
+//! * [`write_hot_workload`] — the trapping access is a field *write*,
+//!   the only kind the AIX/PowerPC model traps.
+//!
+//! Every hot function is deliberately padded past the inliner's
+//! 24-instruction budget: the call boundary must survive into both
+//! tiers, because calls are the safe points where a mid-run code swap
+//! can land.
 //!
 //! [`ExplicitOverride`]: njc_core::ExplicitOverride
 
@@ -112,6 +127,278 @@ pub fn hot_field_workload() -> Module {
         ],
     );
     m.add_function(parse_function(HOT_SRC).expect("hot parses"));
+    m.add_function(parse_function(MAIN_SRC).expect("main parses"));
+    m
+}
+
+/// Adds the standard 5-int-field `Box` class to `m`.
+fn add_box_class(m: &mut Module) {
+    m.add_class(
+        "Box",
+        &[
+            ("f0", Type::Int),
+            ("f1", Type::Int),
+            ("f2", Type::Int),
+            ("f3", Type::Int),
+            ("f4", Type::Int),
+        ],
+    );
+}
+
+/// The box-initialization prologue shared by the generated mains:
+/// allocates `class0` into `v3` and fills all five fields via `v7`.
+fn box_setup() -> String {
+    let mut s = String::from("  v3 = new class0\n  v7 = const 7\n");
+    for f in 0..5 {
+        s.push_str(&format!("  nullcheck v3\n  putfield v3, field{f}, v7\n"));
+    }
+    s
+}
+
+/// Source of one padded hot function: reads four never-null fields of
+/// `v0`, does `pad` extra ALU rounds (so different `pad` values produce
+/// different body hashes — distinct cache keys), then touches `field4`
+/// of `v1` — a read, or a write when `write_site` is set.
+fn hot_src(name: &str, pad: usize, write_site: bool) -> String {
+    let mut s = format!("func {name}(v0: ref, v1: ref) -> int {{\n");
+    s.push_str("  locals v2: int v3: int v4: int v5: int v6: int\nbb0:\n");
+    for f in 0..4 {
+        s.push_str(&format!(
+            "  nullcheck v0\n  v{} = getfield v0, field{f}\n",
+            f + 2
+        ));
+    }
+    // 14 base ALU rounds keep even `pad == 0` past the inline budget.
+    for i in 0..(14 + pad) {
+        let (d, a, b) = match i % 3 {
+            0 => (2, 3, 4),
+            1 => (3, 4, 5),
+            _ => (4, 5, 2),
+        };
+        s.push_str(&format!("  v{d} = add.int v{a}, v{b}\n"));
+    }
+    if write_site {
+        s.push_str("  nullcheck v1\n  putfield v1, field4, v2\n");
+    } else {
+        s.push_str("  nullcheck v1\n  v6 = getfield v1, field4\n  v2 = add.int v2, v6\n");
+    }
+    s.push_str("  return v2\n}");
+    s
+}
+
+/// Phase-shift mode: always null.
+pub const PHASE_NULL: i64 = 1;
+/// Phase-shift mode: alternate null / clean phases, null first.
+pub const PHASE_ALTERNATE: i64 = 0;
+/// Phase-shift mode: never null.
+pub const PHASE_CLEAN: i64 = 2;
+
+/// A workload whose null rate changes in *phases*: `main(iters, nullref,
+/// mode)` calls `hot(box, maybe)` per iteration, where `maybe` is null
+/// or the box depending on the current phase of length `phase_len`.
+///
+/// * `mode == PHASE_ALTERNATE` (0): phases alternate null → clean → …
+/// * `mode == PHASE_NULL` (1): one null phase, then clean forever — the
+///   tier-down scenario (a site traps hard early, then quiesces).
+/// * `mode == PHASE_CLEAN` (2): never null — the pure baseline phase.
+///
+/// `hot` is function 0, `main` function 1.
+pub fn phase_shift_workload(phase_len: i64) -> Module {
+    let phase_len = phase_len.max(1);
+    let main_src = format!(
+        "func main(v0: int, v1: ref, v2: int) -> int {{
+  locals v3: ref v4: int v5: int v6: int v7: int v8: int v9: int v10: int v11: int v12: int v13: int
+  try0: handler bb12 catch npe -> v9
+bb0:
+{setup}  v4 = const 0
+  v5 = const 0
+  v6 = const 0
+  v8 = const 1
+  v10 = const {phase_len}
+  v12 = const 0
+  v13 = const 2
+  if lt v2, v13 then bb1 else bb2
+bb1:
+  v11 = const 0
+  goto bb3
+bb2:
+  v11 = const 1
+  goto bb3
+bb3:
+  if lt v4, v0 then bb4 else bb10
+bb4:
+  if eq v11, v12 then bb5 else bb6
+bb5: [try0]
+  v7 = call fn0(v3, v1)
+  v5 = add.int v5, v7
+  goto bb7
+bb6: [try0]
+  v7 = call fn0(v3, v3)
+  v5 = add.int v5, v7
+  goto bb7
+bb7:
+  observe v4
+  v4 = add.int v4, v8
+  v6 = add.int v6, v8
+  if lt v6, v10 then bb3 else bb8
+bb8:
+  v6 = const 0
+  if eq v2, v12 then bb9 else bb11
+bb9:
+  v11 = sub.int v8, v11
+  goto bb3
+bb10:
+  observe v5
+  return v5
+bb11:
+  v11 = const 1
+  goto bb3
+bb12:
+  v5 = add.int v5, v9
+  goto bb7
+}}",
+        setup = box_setup(),
+    );
+    let mut m = Module::new("phase_shift");
+    add_box_class(&mut m);
+    m.add_function(parse_function(&hot_src("hot", 0, false)).expect("hot parses"));
+    m.add_function(parse_function(&main_src).expect("main parses"));
+    m
+}
+
+/// `k` *distinct* hot functions (different padding → different body
+/// hashes → different cache keys) contending for the code cache.
+/// `main(iters, nullref)` calls every one per iteration; even-indexed
+/// hots get the null, odd-indexed the box, so half the bodies need an
+/// override and half do not. `hot0..hot{k-1}` are functions `0..k`,
+/// `main` is function `k`.
+pub fn many_hot_workload(k: usize) -> Module {
+    let k = k.max(1);
+    let mut m = Module::new("many_hot");
+    add_box_class(&mut m);
+    for j in 0..k {
+        m.add_function(parse_function(&hot_src(&format!("hot{j}"), j, false)).expect("hot parses"));
+    }
+    // Vars: v0 iters, v1 nullref, v3 box, v4 i, v5 acc, v6 call result,
+    // v7 npe code, v8 one. Blocks: bb0 setup, bb1 head, bb2..bb{k+1} one
+    // call each (block j+2 in try region j), bb{k+2} latch, bb{k+3}
+    // exit, bb{k+4}.. handlers (handler j resumes at the block after its
+    // call).
+    let mut src = String::from("func main(v0: int, v1: ref) -> int {\n");
+    src.push_str("  locals v3: ref v4: int v5: int v6: int v7: int v8: int\n");
+    for j in 0..k {
+        src.push_str(&format!(
+            "  try{j}: handler bb{} catch npe -> v7\n",
+            k + 4 + j
+        ));
+    }
+    src.push_str("bb0:\n");
+    src.push_str(&box_setup().replace("v7", "v6"));
+    src.push_str("  v4 = const 0\n  v5 = const 0\n  v8 = const 1\n  goto bb1\nbb1:\n");
+    src.push_str(&format!("  if lt v4, v0 then bb2 else bb{}\n", k + 3));
+    for j in 0..k {
+        let arg = if j % 2 == 0 { "v1" } else { "v3" };
+        let next = j + 3; // next call block, or the latch after the last
+        src.push_str(&format!(
+            "bb{}: [try{j}]\n  v6 = call fn{j}(v3, {arg})\n  v5 = add.int v5, v6\n  goto bb{next}\n",
+            j + 2
+        ));
+    }
+    src.push_str(&format!(
+        "bb{}:\n  observe v4\n  v4 = add.int v4, v8\n  goto bb1\n",
+        k + 2
+    ));
+    src.push_str(&format!("bb{}:\n  observe v5\n  return v5\n", k + 3));
+    for j in 0..k {
+        src.push_str(&format!(
+            "bb{}:\n  v5 = add.int v5, v7\n  goto bb{}\n",
+            k + 4 + j,
+            j + 3
+        ));
+    }
+    src.push('}');
+    m.add_function(parse_function(&src).expect("main parses"));
+    m
+}
+
+/// A `depth`-deep out-of-line call chain: `f0 → f1 → … → f{depth-1}`,
+/// where only the last frame touches `maybe` — its NPE unwinds through
+/// every frame back to `main`'s handler. Functions `0..depth` are the
+/// chain, `main` is function `depth`; run with `(iters, nullref)`.
+pub fn deep_chain_workload(depth: usize) -> Module {
+    let depth = depth.max(1);
+    let mut m = Module::new("deep_chain");
+    add_box_class(&mut m);
+    for j in 0..depth {
+        if j + 1 == depth {
+            // The leaf is a plain hot body (reads maybe.field4).
+            m.add_function(
+                parse_function(&hot_src(&format!("chain{j}"), 1, false)).expect("leaf parses"),
+            );
+        } else {
+            // Interior frame: padded, then forwards down the chain.
+            let mut s = format!("func chain{j}(v0: ref, v1: ref) -> int {{\n");
+            s.push_str("  locals v2: int v3: int v4: int v5: int\nbb0:\n");
+            for f in 0..4 {
+                s.push_str(&format!(
+                    "  nullcheck v0\n  v{} = getfield v0, field{f}\n",
+                    f + 2
+                ));
+            }
+            for i in 0..14 {
+                let (d, a, b) = match i % 3 {
+                    0 => (2, 3, 4),
+                    1 => (3, 4, 5),
+                    _ => (4, 5, 2),
+                };
+                s.push_str(&format!("  v{d} = add.int v{a}, v{b}\n"));
+            }
+            s.push_str(&format!("  v3 = call fn{}(v0, v1)\n", j + 1));
+            s.push_str("  v2 = add.int v2, v3\n  return v2\n}");
+            m.add_function(parse_function(&s).expect("interior parses"));
+        }
+    }
+    let main_src = format!(
+        "func main(v0: int, v1: ref) -> int {{
+  locals v2: ref v3: int v4: int v5: int v6: int v7: int
+  try0: handler bb4 catch npe -> v7
+bb0:
+{setup}  v4 = const 0
+  v5 = const 0
+  v6 = const 1
+  goto bb1
+bb1:
+  if lt v4, v0 then bb2 else bb5
+bb2: [try0]
+  v3 = call fn0(v2, v1)
+  v5 = add.int v5, v3
+  goto bb3
+bb3:
+  observe v4
+  v4 = add.int v4, v6
+  goto bb1
+bb4:
+  v5 = add.int v5, v7
+  goto bb3
+bb5:
+  observe v5
+  return v5
+}}",
+        setup = box_setup().replace("v3", "v2").replace("v7", "v3"),
+    );
+    m.add_function(parse_function(&main_src).expect("main parses"));
+    m
+}
+
+/// The write-trapping twin of [`hot_field_workload`]: the maybe-site is
+/// a `putfield`. On AIX/PowerPC — which traps *writes only* — this is
+/// the workload that actually exercises the adaptive path; the read
+/// workload's nulls are silently missed there. `hot` is function 0,
+/// `main` function 1; run with `(iters, nullref)`.
+pub fn write_hot_workload() -> Module {
+    let mut m = Module::new("write_hot");
+    add_box_class(&mut m);
+    m.add_function(parse_function(&hot_src("hot", 2, true)).expect("hot parses"));
     m.add_function(parse_function(MAIN_SRC).expect("main parses"));
     m
 }

@@ -78,6 +78,20 @@ pub struct SiteCounters {
     pub traps: std::collections::BTreeMap<(u32, u32, u32), u64>,
     /// Block executions, keyed by `(function index, block index)`.
     pub blocks: std::collections::BTreeMap<(u32, u32), u64>,
+    /// Nulls *caught* by an explicit check (the check threw), keyed by
+    /// `(function index, check id)`. Together with [`trap_slots`] this
+    /// gives a body-independent count of null arrivals: once a site is
+    /// compiled explicit it stops trapping, so traps alone under-count.
+    ///
+    /// [`trap_slots`]: SiteCounters::trap_slots
+    pub check_nulls: std::collections::BTreeMap<(u32, u32), u64>,
+    /// Hardware traps keyed by *slot* — `(function index, field offset,
+    /// access kind)` — instead of body coordinates. Block/instruction
+    /// indices shift between compiled tiers of the same function; the slot
+    /// key is stable across every tier, which is what lets a cumulative
+    /// (timing-independent) profile assessment attribute traps taken under
+    /// different installed bodies to the same site.
+    pub trap_slots: std::collections::BTreeMap<(u32, u64, AccessKind), u64>,
 }
 
 /// A point-in-time copy of a running VM's dynamic profile, published by
@@ -933,6 +947,13 @@ impl<'m> Vm<'m> {
                             .or_insert(0) += 1;
                     }
                     if locals[var.index()].is_null() {
+                        if self.config.count_sites {
+                            *self
+                                .site_counts
+                                .check_nulls
+                                .entry((self.cur_func, id.0))
+                                .or_insert(0) += 1;
+                        }
                         self.charge(cost.throw_dispatch);
                         return Ok(Some(self.raise(ExceptionKind::NullPointer, func, block_id)));
                     }
@@ -1212,6 +1233,22 @@ impl<'m> Vm<'m> {
                             .traps
                             .entry((self.cur_func, block_id.index() as u32, self.cur_inst))
                             .or_insert(0) += 1;
+                        // Slot-keyed twin of the trap counter: stable across
+                        // recompiled tiers of the same function.
+                        let slot = func
+                            .block(block_id)
+                            .insts
+                            .get(self.cur_inst as usize)
+                            .and_then(|inst| inst.slot_access(|f| self.module.field_offset(f)));
+                        if let Some(sa) = slot {
+                            if let Some(off) = sa.offset {
+                                *self
+                                    .site_counts
+                                    .trap_slots
+                                    .entry((self.cur_func, off, sa.kind))
+                                    .or_insert(0) += 1;
+                            }
+                        }
                     }
                     Ok(self.raise(ExceptionKind::NullPointer, func, block_id))
                 } else {

@@ -10,6 +10,8 @@
 //!              [--fixtures DIR] [--out PATH]
 //! njc runtime <file.ir> [--platform <name>] [--profile-threshold R]
 //! njc runtime --smoke
+//! njc service <file.ir> [--platform <name>] [--tenants N]
+//! njc service --smoke [--tenants N]
 //!
 //!   --config      full (default) | phase1 | old | trap | none | speculation |
 //!                 no-speculation | illegal-implicit
@@ -62,6 +64,19 @@
 //! null-seeded hot-field workload and gates that the adaptive steady state
 //! beats both static extremes (the CI gate).
 //!
+//! The `service` subcommand runs the multi-tenant compilation service
+//! (`njc_runtime::ServiceRuntime`): many VM instances against one sharded
+//! code cache and one batched recompile queue. With a file, `--tenants N`
+//! identical copies of the program run as one fleet and the shared-cache
+//! economics are printed. `--smoke` is the CI gate: a mixed fleet (steady
+//! hot-field, one-shot null burst, distinct-bodies cache contention) on
+//! both trap-model platforms must (a) verify every tenant's reconciliation
+//! and convergence, (b) match a single-tenant reference byte-for-byte in
+//! steady state, (c) record cross-tenant dedup hits, (d) do strictly less
+//! fresh compile work than per-tenant isolation would, and (e) witness
+//! tier-down — the burst tenants settle back to zero override slots while
+//! the hot-field tenants keep theirs.
+//!
 //! The input file contains one or more functions in the textual IR syntax
 //! (see `njc_ir::parse`), separated by blank lines. Classes referenced as
 //! `classN`/`fieldN` are synthesized automatically: eight classes with
@@ -79,7 +94,7 @@ use njc_vm::{SiteCounters, Vm, VmConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: njc <file.ir> [--config full|phase1|old|trap|none|speculation|no-speculation|illegal-implicit] [--platform ia32|aix|s390] [--emit] [--run] [--all] [--events-out PATH] [--trace-out PATH]\n       njc explain <file.ir> [<fn> [<check-id>]] [--config ...] [--platform ...] [--interproc] [--run] [--threads N] [--events-out PATH] [--trace-out PATH]\n       njc explain --smoke [--threads N]\n       njc difftest [--smoke] [--seeds N] [--legacy-addressing] [--no-interproc] [--fixtures DIR] [--out PATH]\n       njc runtime <file.ir> [--platform ia32|aix|s390] [--profile-threshold R]\n       njc runtime --smoke"
+        "usage: njc <file.ir> [--config full|phase1|old|trap|none|speculation|no-speculation|illegal-implicit] [--platform ia32|aix|s390] [--emit] [--run] [--all] [--events-out PATH] [--trace-out PATH]\n       njc explain <file.ir> [<fn> [<check-id>]] [--config ...] [--platform ...] [--interproc] [--run] [--threads N] [--events-out PATH] [--trace-out PATH]\n       njc explain --smoke [--threads N]\n       njc difftest [--smoke] [--seeds N] [--legacy-addressing] [--no-interproc] [--fixtures DIR] [--out PATH]\n       njc runtime <file.ir> [--platform ia32|aix|s390] [--profile-threshold R]\n       njc runtime --smoke\n       njc service <file.ir> [--platform ia32|aix|s390] [--tenants N]\n       njc service --smoke [--tenants N]"
     );
     ExitCode::FAILURE
 }
@@ -318,6 +333,280 @@ fn runtime_main(args: &[String]) -> ExitCode {
             eprintln!("njc runtime: FAIL: {f}");
         }
         ExitCode::FAILURE
+    }
+}
+
+/// Prints the shared-cache economics of one service run.
+fn report_service_outcome(out: &njc_runtime::ServiceOutcome) {
+    println!(
+        "service:   {} tenants, {} fresh compiles vs {} isolated, {} dedup hits",
+        out.tenants.len(),
+        out.compiles_performed,
+        out.isolated_compiles,
+        out.dedup_hits
+    );
+    println!(
+        "cache:     {} hits, {} misses, {} inserts, {} evictions across {} shards",
+        out.cache.hits,
+        out.cache.misses,
+        out.cache.inserts,
+        out.cache.evictions,
+        out.shards.len()
+    );
+    println!(
+        "queue:     {} submitted, {} coalesced, {} rejected, {} batches, {} aged promotions",
+        out.queue.submitted,
+        out.queue.coalesced,
+        out.queue.rejected,
+        out.queue.batches,
+        out.queue.aged_promotions
+    );
+}
+
+/// `njc service --smoke`: the CI gate for the multi-tenant compilation
+/// service. A mixed fleet on each platform must verify per-tenant, match
+/// single-tenant references byte-for-byte, dedup across tenants, beat the
+/// isolated compile bill, and witness tier-down on the burst workload.
+fn service_smoke(tenants: usize) -> ExitCode {
+    use njc_runtime::{
+        hot_field_workload, many_hot_workload, phase_shift_workload, write_hot_workload,
+        ServiceConfig, ServiceRuntime, TenantSpec, TieredRuntime, PHASE_NULL,
+    };
+    use njc_vm::Value;
+
+    // (name, module, args, expects_override): the burst workload runs one
+    // 16-iteration null phase then clean forever — long enough past the
+    // cumulative break-even (16/12000 < 2/1200) that tier-down must strip
+    // its override back off.
+    let fleet_for = |platform: &Platform| -> Vec<(&'static str, Module, Vec<Value>, bool)> {
+        let burst = (
+            "phase_null_burst",
+            phase_shift_workload(16),
+            vec![Value::Int(12_000), Value::Ref(0), Value::Int(PHASE_NULL)],
+            false,
+        );
+        if platform.trap.traps_on_read {
+            vec![
+                (
+                    "hot_field",
+                    hot_field_workload(),
+                    vec![Value::Int(2_000), Value::Ref(0)],
+                    true,
+                ),
+                burst,
+                (
+                    "many_hot",
+                    many_hot_workload(4),
+                    vec![Value::Int(1_200), Value::Ref(0)],
+                    true,
+                ),
+            ]
+        } else {
+            vec![
+                (
+                    "write_hot",
+                    write_hot_workload(),
+                    vec![Value::Int(4_000), Value::Ref(0)],
+                    true,
+                ),
+                burst,
+            ]
+        }
+    };
+
+    let mut failures: Vec<String> = Vec::new();
+    for platform in [Platform::windows_ia32(), Platform::aix_ppc()] {
+        let fleet = fleet_for(&platform);
+        let specs: Vec<TenantSpec> = (0..tenants)
+            .map(|i| {
+                let (name, module, args, _) = &fleet[i % fleet.len()];
+                TenantSpec {
+                    name: format!("{name}-{i}"),
+                    module: module.clone(),
+                    entry: "main".to_string(),
+                    args: args.clone(),
+                }
+            })
+            .collect();
+        let service = ServiceRuntime::with_config(platform, ServiceConfig::for_platform(&platform));
+        let out = match service.run(&specs) {
+            Ok(o) => o,
+            Err(f) => {
+                failures.push(format!("{}: service faulted: {f}", platform.name));
+                continue;
+            }
+        };
+        println!("--- {} × {tenants} tenants ---", platform.name);
+        report_service_outcome(&out);
+
+        // (a) Every tenant reconciles and converges.
+        if let Err(errs) = out.verify() {
+            failures.extend(
+                errs.into_iter()
+                    .take(8)
+                    .map(|e| format!("{}: {e}", platform.name)),
+            );
+        }
+        // (b) Each tenant's steady state matches a single-tenant reference
+        // run of the same workload, byte-for-byte.
+        for (wi, (name, module, args, expects_override)) in fleet.iter().enumerate() {
+            let reference = match TieredRuntime::new(module.clone(), platform).run("main", args) {
+                Ok(o) => o,
+                Err(f) => {
+                    failures.push(format!("{}/{name}: reference faulted: {f}", platform.name));
+                    continue;
+                }
+            };
+            let slots: usize = reference.overrides.values().map(|ov| ov.len()).sum();
+            // (e) Tier-down witness: the burst tenants settle back to the
+            // all-implicit form; the steadily-trapping ones keep overrides.
+            if *expects_override && slots == 0 {
+                failures.push(format!(
+                    "{}/{name}: expected a settled override, got none",
+                    platform.name
+                ));
+            }
+            if !*expects_override {
+                if slots != 0 {
+                    failures.push(format!(
+                        "{}/{name}: tier-down failed, {slots} override slot(s) survived quiescence",
+                        platform.name
+                    ));
+                }
+                // On a read-trapping platform the quiesced (implicit) site
+                // pays traps for the burst replay; on AIX the read check is
+                // explicit by trap-model legality and traps never.
+                if platform.trap.traps_on_read && reference.steady.stats.traps_taken == 0 {
+                    failures.push(format!(
+                        "{}/{name}: burst replay should still trap in steady state",
+                        platform.name
+                    ));
+                }
+            }
+            for (i, t) in out.tenants.iter().enumerate() {
+                if i % fleet.len() != wi {
+                    continue;
+                }
+                if t.outcome.steady.stats != reference.steady.stats
+                    || t.outcome.final_module != reference.final_module
+                    || t.outcome.overrides != reference.overrides
+                {
+                    failures.push(format!(
+                        "{}/{}: steady state diverged from the single-tenant reference",
+                        platform.name, t.name
+                    ));
+                    break;
+                }
+            }
+        }
+        // (c) Shared cache deduped across tenants, (d) strictly cheaper
+        // than compiling per-tenant in isolation.
+        if out.dedup_hits == 0 {
+            failures.push(format!(
+                "{}: no dedup hits across {tenants} tenants",
+                platform.name
+            ));
+        }
+        if out.compiles_performed >= out.isolated_compiles {
+            failures.push(format!(
+                "{}: shared cache did not beat isolation: {} fresh !< {} isolated",
+                platform.name, out.compiles_performed, out.isolated_compiles
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "service --smoke: OK — dedup across tenants, shared cache beats isolation, \
+             steady states match single-tenant references, tier-down witnessed"
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("service --smoke: FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn service_main(args: &[String]) -> ExitCode {
+    use njc_runtime::{ServiceConfig, ServiceRuntime, TenantSpec};
+    let mut file = None;
+    let mut platform = Platform::windows_ia32();
+    let mut tenants: Option<usize> = None;
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--platform" => match it.next().and_then(|s| parse_platform(s)) {
+                Some(p) => platform = p,
+                None => return usage(),
+            },
+            "--tenants" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => tenants = Some(n),
+                _ => return usage(),
+            },
+            "--smoke" => smoke = true,
+            other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
+            _ => return usage(),
+        }
+    }
+    if smoke {
+        return service_smoke(tenants.unwrap_or(12));
+    }
+    let Some(file) = file else { return usage() };
+    let source = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("njc service: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let module = match load_module(&source) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("njc service: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let n = tenants.unwrap_or(8);
+    let specs: Vec<TenantSpec> = (0..n)
+        .map(|i| TenantSpec {
+            name: format!("tenant-{i}"),
+            module: module.clone(),
+            entry: "main".to_string(),
+            args: Vec::new(),
+        })
+        .collect();
+    let service = ServiceRuntime::with_config(platform, ServiceConfig::for_platform(&platform));
+    let out = match service.run(&specs) {
+        Ok(o) => o,
+        Err(f) => {
+            eprintln!("njc service: VM fault: {f}");
+            return ExitCode::FAILURE;
+        }
+    };
+    report_service_outcome(&out);
+    for t in &out.tenants {
+        println!(
+            "tenant {}: steady cycles = {}, traps = {}, explicit checks = {}, {} distinct cache key(s)",
+            t.name,
+            t.outcome.steady.stats.cycles,
+            t.outcome.steady.stats.traps_taken,
+            t.outcome.steady.stats.explicit_null_checks,
+            t.distinct_keys
+        );
+    }
+    match out.verify() {
+        Ok(()) => {
+            println!("verify: every tenant reconciled and converged");
+            ExitCode::SUCCESS
+        }
+        Err(errs) => {
+            for e in errs {
+                eprintln!("njc service: FAIL: {e}");
+            }
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -724,6 +1013,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("runtime") {
         return runtime_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("service") {
+        return service_main(&args[1..]);
     }
     let mut file = None;
     let mut kind = ConfigKind::Full;
