@@ -5,65 +5,77 @@
 //! [`TrapModel`].
 //!
 //! The analysis runs over the [`njc_dataflow`] solver with an
-//! intersection meet (a fact must hold on *every* incoming path). On
-//! exceptional edges into a handler the transferred facts mirror the
-//! optimizer's own masking rule (see `njc_core::phase1`): a fact reaches
-//! the handler only if it holds at every throwing point of the block — it
-//! was live at block entry and never killed before the last throwing
-//! instruction, or it was established before the first one.
+//! intersection meet (a fact must hold on *every* incoming path), and —
+//! since PR 8 — over **value numbers** rather than variable slots
+//! ([`njc_core::gvn::ValueNumbering`]). A validator may use any sound
+//! precision, and per-variable coverage proofs do not survive optimization:
+//! a sound elimination justified by a copy (`w = v`, check `v`, deref `w`)
+//! stays justified after loop-invariant code motion hoists the copy above
+//! the check only in value-number space, where `w ≅ v` regardless of where
+//! the copy sits. Coverage facts live on VNs; a check covers its whole
+//! congruence class.
+//!
+//! On exceptional edges into a handler the transferred facts mirror the
+//! optimizer's masking rule (see `njc_core::phase1`): a fact reaches the
+//! handler only if it holds at every throwing point of the block. In VN
+//! space facts are never killed inside a block, so that collapses to
+//! "established strictly before the *first* throwing point" — and the
+//! handler observes each variable through the bindings folded over the
+//! throw points ([`ValueNumbering::exc_vn`]), so a variable rebound
+//! between throw points contributes nothing.
 
 use njc_arch::TrapModel;
 use njc_core::ctx::{AccessClass, AnalysisCtx, EntryAssumptions};
+use njc_core::gvn::ValueNumbering;
 use njc_dataflow::{solve, BitSet, Direction, Meet, Problem};
 use njc_ir::{BlockId, Function, Inst, Module, NullCheckKind, Terminator};
 
 use crate::{ValidationReport, Violation, ViolationKind};
 
-/// Applies one instruction to the covered-variable set.
-fn step(ctx: &AnalysisCtx, set: &mut BitSet, inst: &Inst) {
+/// The (up to two) coverage facts one instruction establishes, given the
+/// variable→VN binding *before* it executes:
+///
+/// * a marked trap-guaranteed site throws the NPE itself, so on the normal
+///   continuation its base's value is non-null;
+/// * an explicit check covers its target's value, an allocation and an
+///   interprocedurally assumed definition cover the defined value (for an
+///   assumed field load that is the *Load class* — every congruent re-load
+///   inherits the fact).
+///
+/// An `Implicit` null check instruction is documentation only — the VM
+/// executes it as a no-op and it never throws, so it covers nothing. (No
+/// pass emits them; parsers can.)
+fn inst_gens(
+    ctx: &AnalysisCtx,
+    vn: &ValueNumbering,
+    bi: usize,
+    i: usize,
+    inst: &Inst,
+    state: &[u32],
+) -> (Option<u32>, Option<u32>) {
+    let mut site = None;
+    let mut fact = None;
     match inst {
         Inst::NullCheck {
             var,
             kind: NullCheckKind::Explicit,
             ..
-        } => {
-            set.insert(var.index());
-        }
-        // An `Implicit` null check instruction is documentation only — the
-        // VM executes it as a no-op and it never throws, so it covers
-        // nothing. (No pass emits them; parsers can.)
+        } => fact = Some(state[var.index()]),
         Inst::NullCheck { .. } => {}
-        Inst::Move { dst, src } => {
-            if set.contains(src.index()) {
-                set.insert(dst.index());
-            } else {
-                set.remove(dst.index());
-            }
-        }
-        Inst::New { dst, .. } | Inst::NewArray { dst, .. } => {
-            set.insert(dst.index());
-        }
+        Inst::New { .. } | Inst::NewArray { .. } => fact = Some(vn.def_vn[bi][i]),
+        Inst::Move { .. } => {}
         _ => {
-            // A marked site that is guaranteed to trap throws the NPE
-            // itself: on the normal continuation the base is non-null.
             if inst.is_exception_site() {
                 if let Some((base, AccessClass::TrapGuaranteed)) = ctx.classify_access(inst) {
-                    set.insert(base.index());
+                    site = Some(state[base.index()]);
                 }
             }
-            // An interprocedurally proven non-null definition (a call whose
-            // callee never returns null, a load of an always-initialized
-            // field) covers its destination like an allocation. Without
-            // assumptions in the ctx this never fires and the definition
-            // kills last as usual: a dereference whose destination is its
-            // own base (`v = getfield v, f`) leaves `v` unknown.
-            if let Some(d) = ctx.assumed_nonnull_def(inst) {
-                set.insert(d.index());
-            } else if let Some(d) = inst.def() {
-                set.remove(d.index());
+            if ctx.assumed_nonnull_def(inst).is_some() {
+                fact = Some(vn.def_vn[bi][i]);
             }
         }
     }
+    (site, fact)
 }
 
 /// Can `inst` transfer control to the enclosing region's handler?
@@ -85,87 +97,54 @@ fn is_throw_point(ctx: &AnalysisCtx, inst: &Inst) -> bool {
 struct CoverageProblem<'a> {
     ctx: AnalysisCtx<'a>,
     func: &'a Function,
-    /// Per block: facts killed before the last throwing point (an incoming
-    /// fact must avoid all of these to survive onto the handler edge).
-    handler_kill: Vec<BitSet>,
-    /// Per block: facts established before the first throwing point and
-    /// never killed before a later one. Blocks with no throwing point hold
-    /// the full set — the handler edge is never taken, so it contributes ⊤
-    /// to the intersection meet.
-    handler_gen: Vec<BitSet>,
+    /// The function's value numbering, computed with the *model-dependent*
+    /// throw-point predicate above (a marked Silent site on AIX is not a
+    /// throw point, so it must not fold the handler bindings).
+    vn: ValueNumbering,
+    /// Per block: covered VNs established by the block.
+    gen: Vec<BitSet>,
+    /// Per block: the subset of `gen` established strictly before the
+    /// first throwing point — the only gens the handler observes.
+    exc_gen: Vec<BitSet>,
 }
 
 impl<'a> CoverageProblem<'a> {
     fn new(ctx: AnalysisCtx<'a>, func: &'a Function) -> Self {
-        let n = func.num_vars();
-        let mut handler_kill = Vec::with_capacity(func.num_blocks());
-        let mut handler_gen = Vec::with_capacity(func.num_blocks());
+        let vn = {
+            let pred = |inst: &Inst| is_throw_point(&ctx, inst);
+            ValueNumbering::compute(func, &pred)
+        };
+        let nf = vn.num_vns;
+        let mut gen = Vec::with_capacity(func.num_blocks());
+        let mut exc_gen = Vec::with_capacity(func.num_blocks());
         for block in func.blocks() {
-            let mut cur_kill = BitSet::new(n);
-            let mut cur_gen = BitSet::new(n);
-            let mut acc_kill = BitSet::new(n);
-            let mut acc_gen = BitSet::full(n);
-            for inst in &block.insts {
+            let bi = block.id.index();
+            let mut state = vn.entry_vn[bi].clone();
+            let mut g = BitSet::new(nf);
+            let mut eg = BitSet::new(nf);
+            for (i, inst) in block.insts.iter().enumerate() {
                 // The throw happens before the instruction's own effects:
                 // a trapping site's NPE precedes its coverage of the base,
-                // an explicit check's NPE precedes its own fact.
-                if is_throw_point(&ctx, inst) {
-                    acc_kill.union_with(&cur_kill);
-                    acc_gen.intersect_with(&cur_gen);
-                }
-                match inst {
-                    Inst::NullCheck {
-                        var,
-                        kind: NullCheckKind::Explicit,
-                        ..
-                    } => {
-                        cur_gen.insert(var.index());
-                    }
-                    Inst::NullCheck { .. } => {}
-                    Inst::Move { dst, src } => {
-                        // Conservative on the handler edge: a copy of an
-                        // *incoming* covered fact is treated as a kill.
-                        if cur_gen.contains(src.index()) {
-                            cur_gen.insert(dst.index());
-                        } else {
-                            cur_gen.remove(dst.index());
-                            cur_kill.insert(dst.index());
-                        }
-                    }
-                    Inst::New { dst, .. } | Inst::NewArray { dst, .. } => {
-                        cur_gen.insert(dst.index());
-                    }
-                    _ => {
-                        if inst.is_exception_site() {
-                            if let Some((base, AccessClass::TrapGuaranteed)) =
-                                ctx.classify_access(inst)
-                            {
-                                cur_gen.insert(base.index());
-                            }
-                        }
-                        // An assumed non-null definition is a gen, not a
-                        // kill: if the defining instruction itself throws,
-                        // the destination keeps its previous value (the
-                        // incoming fact survives onto the handler edge), and
-                        // any later throwing point sees the completed,
-                        // proven non-null definition.
-                        if let Some(d) = ctx.assumed_nonnull_def(inst) {
-                            cur_gen.insert(d.index());
-                        } else if let Some(d) = inst.def() {
-                            cur_gen.remove(d.index());
-                            cur_kill.insert(d.index());
-                        }
+                // an explicit check's NPE precedes its own fact — hence
+                // the *strict* `< exc_cut` below.
+                let (site, fact) = inst_gens(&ctx, &vn, bi, i, inst, &state);
+                vn.step(bi, i, inst, &mut state);
+                for x in [site, fact].into_iter().flatten() {
+                    g.insert(x as usize);
+                    if i < vn.exc_cut[bi] {
+                        eg.insert(x as usize);
                     }
                 }
             }
-            handler_kill.push(acc_kill);
-            handler_gen.push(acc_gen);
+            gen.push(g);
+            exc_gen.push(eg);
         }
         CoverageProblem {
             ctx,
             func,
-            handler_kill,
-            handler_gen,
+            vn,
+            gen,
+            exc_gen,
         }
     }
 
@@ -175,6 +154,25 @@ impl<'a> CoverageProblem<'a> {
             .try_region
             .map(|r| self.func.try_region(r).handler == to)
             .unwrap_or(false)
+    }
+
+    /// Translates an exit fact set across the normal edge `from → to`:
+    /// facts survive through the variables that carry them, plus the
+    /// `ifnull` fall-through gen.
+    fn normal_edge(&self, from: BlockId, to: BlockId, facts: &BitSet, out: &mut BitSet) {
+        let ent = &self.vn.entry_vn[to.index()];
+        ValueNumbering::translate(&self.vn.exit_vn[from.index()], ent, facts, out);
+        if let Terminator::IfNull {
+            var,
+            on_null,
+            on_nonnull,
+        } = self.func.block(from).term
+        {
+            // The fall-through of a null test proves non-nullness.
+            if to == on_nonnull && on_nonnull != on_null {
+                out.insert(ent[var.index()] as usize);
+            }
+        }
     }
 }
 
@@ -188,27 +186,28 @@ impl Problem for CoverageProblem<'_> {
     }
 
     fn num_facts(&self) -> usize {
-        self.func.num_vars()
+        self.vn.num_vns
     }
 
     fn boundary(&self) -> BitSet {
-        let mut b = BitSet::new(self.func.num_vars());
+        let mut b = BitSet::new(self.vn.num_vns);
+        let frame = &self.vn.entry_vn[self.func.entry().index()];
         // An instance method's receiver (`this`) is never null.
         if self.func.is_instance() && self.func.num_vars() > 0 {
-            b.insert(0);
+            b.insert(frame[0] as usize);
         }
         // Interprocedurally proven non-null parameters are covered at entry.
         if let Some(e) = self.ctx.entry_facts(self.func, self.func.num_vars()) {
-            b.union_with(&e);
+            for v in e.iter() {
+                b.insert(frame[v] as usize);
+            }
         }
         b
     }
 
     fn transfer(&self, block: BlockId, input: &BitSet, output: &mut BitSet) {
-        output.copy_from(input);
-        for inst in &self.func.block(block).insts {
-            step(&self.ctx, output, inst);
-        }
+        // VNs are immutable values: no kills, out = in ∪ gen.
+        output.union_from(input, &self.gen[block.index()]);
     }
 
     fn edge_uses_input(&self, from: BlockId, to: BlockId) -> bool {
@@ -216,33 +215,43 @@ impl Problem for CoverageProblem<'_> {
     }
 
     fn edge_transfer(&self, from: BlockId, to: BlockId, set: &mut BitSet) {
+        let fi = from.index();
+        let mut out = BitSet::new(self.vn.num_vns);
         if self.is_handler_edge(from, to) {
-            // `set` holds the block's *input* facts here.
-            let mut handler = set.clone();
-            handler.subtract(&self.handler_kill[from.index()]);
-            handler.union_with(&self.handler_gen[from.index()]);
+            // `set` holds the block's *input* facts here. The handler
+            // observes in-facts plus pre-first-throw-point gens, through
+            // the bindings folded over the throw points.
+            match &self.vn.exc_vn[fi] {
+                // No throwing point: the edge is never taken, ⊤ under the
+                // intersection meet.
+                None => out.set_all(),
+                Some(bind) => {
+                    let mut facts = set.clone();
+                    facts.union_with(&self.exc_gen[fi]);
+                    ValueNumbering::translate(
+                        bind,
+                        &self.vn.entry_vn[to.index()],
+                        &facts,
+                        &mut out,
+                    );
+                }
+            }
             // If the terminator also targets the handler block (a normal
             // edge sharing the target), stay conservative: intersect with
-            // the ordinary out-value.
+            // the ordinary out-value translated across the normal edge.
             let mut term_succs = Vec::new();
             self.func.block(from).term.successors_into(&mut term_succs);
             if term_succs.contains(&to) {
-                let mut out = BitSet::new(self.func.num_vars());
-                self.transfer(from, set, &mut out);
-                handler.intersect_with(&out);
+                let mut exit = BitSet::new(self.vn.num_vns);
+                self.transfer(from, set, &mut exit);
+                let mut normal = BitSet::new(self.vn.num_vns);
+                self.normal_edge(from, to, &exit, &mut normal);
+                out.intersect_with(&normal);
             }
-            set.copy_from(&handler);
-        } else if let Terminator::IfNull {
-            var,
-            on_null,
-            on_nonnull,
-        } = self.func.block(from).term
-        {
-            // The fall-through of a null test proves non-nullness.
-            if to == on_nonnull && on_nonnull != on_null {
-                set.insert(var.index());
-            }
+        } else {
+            self.normal_edge(from, to, set, &mut out);
         }
+        *set = out;
     }
 }
 
@@ -265,16 +274,20 @@ pub fn validate_function_assumed(
     let ctx = AnalysisCtx::new(module, machine).with_assumptions(assumptions);
     let problem = CoverageProblem::new(ctx, func);
     let sol = solve(func, &problem);
+    let ctx = &problem.ctx;
+    let vn = &problem.vn;
     let mut out = Vec::new();
     let reachable = func.reachable();
     for block in func.blocks() {
         if !reachable[block.id.index()] {
             continue;
         }
+        let bi = block.id.index();
         let mut cov = sol.input(block.id).clone();
+        let mut state = vn.entry_vn[bi].clone();
         for (idx, inst) in block.insts.iter().enumerate() {
             if let Some(v) = inst.requires_null_check() {
-                if !cov.contains(v.index()) {
+                if !cov.contains(state[v.index()] as usize) {
                     let marked = inst.is_exception_site();
                     let class = ctx.classify_access(inst).map(|(_, c)| c);
                     let is_call = matches!(inst, Inst::Call { .. });
@@ -359,7 +372,11 @@ pub fn validate_function_assumed(
                     }
                 }
             }
-            step(&ctx, &mut cov, inst);
+            let (site, fact) = inst_gens(ctx, vn, bi, idx, inst, &state);
+            vn.step(bi, idx, inst, &mut state);
+            for x in [site, fact].into_iter().flatten() {
+                cov.insert(x as usize);
+            }
         }
     }
     out

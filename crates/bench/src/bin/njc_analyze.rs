@@ -32,6 +32,22 @@
 //! ```text
 //! cargo run --release -p njc-bench --bin njc_analyze -- --infer [--json] [--smoke]
 //! ```
+//!
+//! With `--gvn` the tool lints the value-numbered forward non-nullness
+//! instead: every program is optimized with and without `OptConfig::gvn`
+//! and the tool prints, per program, the phase-1 elimination counts of
+//! both runs and the kills only the congruence classes could justify —
+//! counted from the provenance stream (eliminations whose justifying fact
+//! is [`Redundancy::Gvn`]), the same doctrine as `--infer`. `--json`
+//! emits the rows machine-readably; `--smoke` gates CI: it fails when the
+//! value numbering kills nothing on the built-in corpus, when any legacy
+//! kill is lost (GVN-on must eliminate a superset), or when two
+//! independent runs disagree byte-for-byte on the JSON (a determinism
+//! regression).
+//!
+//! ```text
+//! cargo run --release -p njc-bench --bin njc_analyze -- --gvn [--json] [--smoke]
+//! ```
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -47,6 +63,7 @@ use njc_workloads::gen::{build_call_module, gen_call_actions, Rng};
 fn main() -> ExitCode {
     let mut verbose = false;
     let mut infer = false;
+    let mut gvn = false;
     let mut json = false;
     let mut smoke = false;
     let mut filter: Option<String> = None;
@@ -54,19 +71,23 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--verbose" | "-v" => verbose = true,
             "--infer" => infer = true,
+            "--gvn" => gvn = true,
             "--json" => json = true,
             "--smoke" => smoke = true,
             "--help" | "-h" => {
                 println!(
                     "usage: njc_analyze [--verbose] [workload-filter]\n\
-                     \x20      njc_analyze --infer [--json] [--smoke] [workload-filter]"
+                     \x20      njc_analyze --infer [--json] [--smoke] [workload-filter]\n\
+                     \x20      njc_analyze --gvn [--json] [--smoke] [workload-filter]"
                 );
                 return ExitCode::SUCCESS;
             }
             other => filter = Some(other.to_string()),
         }
     }
-    if infer {
+    if gvn {
+        gvn_main(json, smoke, filter)
+    } else if infer {
         infer_main(json, smoke, filter)
     } else {
         classic_main(verbose, filter)
@@ -139,6 +160,7 @@ fn infer_row(name: &str, module: &Module, platform: &Platform) -> InferRow {
     let cfg_off = kind.to_config(platform);
     let cfg_on = OptConfig {
         interproc: true,
+        gvn: false,
         ..kind.to_config(platform)
     };
     // Infer over the prepared module — the same input the pipeline's own
@@ -335,6 +357,204 @@ fn infer_main(json: bool, smoke: bool, filter: Option<String>) -> ExitCode {
         }
         if !json {
             println!("infer --smoke: OK");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// One program's value-numbering lint result.
+struct GvnRow {
+    name: String,
+    /// Phase 1 eliminations without / with the value numbering.
+    eliminated_off: usize,
+    eliminated_on: usize,
+    /// function name → eliminations attributed to a congruence class
+    /// (`Redundancy::Gvn` provenance, phase 1 and Whaley alike).
+    functions: BTreeMap<String, usize>,
+}
+
+impl GvnRow {
+    fn killed(&self) -> usize {
+        self.functions.values().sum()
+    }
+}
+
+/// Counts, per function, the eliminations of `trace` justified by a
+/// congruence class rather than a per-variable fact.
+fn gvn_kills(trace: &njc_observe::ModuleTrace) -> BTreeMap<String, usize> {
+    let mut kills = BTreeMap::new();
+    for ft in &trace.functions {
+        let n = ft
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    njc_observe::CheckEvent::Phase1Eliminated {
+                        why: njc_observe::Redundancy::Gvn { .. },
+                        ..
+                    } | njc_observe::CheckEvent::WhaleyEliminated {
+                        why: njc_observe::Redundancy::Gvn { .. },
+                        ..
+                    }
+                )
+            })
+            .count();
+        if n > 0 {
+            kills.insert(ft.function.clone(), n);
+        }
+    }
+    kills
+}
+
+fn gvn_row(name: &str, module: &Module, platform: &Platform) -> GvnRow {
+    let kind = ConfigKind::Full;
+    let cfg_off = kind.to_config(platform);
+    let cfg_on = OptConfig {
+        gvn: true,
+        ..kind.to_config(platform)
+    };
+    let mut off = module.clone();
+    let stats_off = njc_opt::optimize_module(&mut off, platform, &cfg_off);
+    let mut on = module.clone();
+    let (stats_on, trace) = njc_opt::optimize_module_traced(&mut on, platform, &cfg_on);
+    GvnRow {
+        name: name.to_string(),
+        eliminated_off: stats_off.null_checks.phase1.eliminated,
+        eliminated_on: stats_on.null_checks.phase1.eliminated,
+        functions: gvn_kills(&trace),
+    }
+}
+
+fn gvn_json(rows: &[GvnRow]) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::new();
+    out.push_str("{\n  \"programs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", esc(&r.name));
+        let _ = writeln!(
+            out,
+            "      \"phase1_eliminated_off\": {},",
+            r.eliminated_off
+        );
+        let _ = writeln!(out, "      \"phase1_eliminated_on\": {},", r.eliminated_on);
+        let _ = writeln!(out, "      \"gvn_killed\": {},", r.killed());
+        out.push_str("      \"functions\": [\n");
+        for (j, (fname, killed)) in r.functions.iter().enumerate() {
+            let _ = write!(
+                out,
+                "        {{\"name\": \"{}\", \"gvn_killed\": {killed}}}",
+                esc(fname)
+            );
+            out.push_str(if j + 1 < r.functions.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("      ]\n    }");
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"total_phase1_eliminated_off\": {},",
+        rows.iter().map(|r| r.eliminated_off).sum::<usize>()
+    );
+    let _ = writeln!(
+        out,
+        "  \"total_phase1_eliminated_on\": {},",
+        rows.iter().map(|r| r.eliminated_on).sum::<usize>()
+    );
+    let _ = writeln!(
+        out,
+        "  \"total_gvn_killed\": {}",
+        rows.iter().map(GvnRow::killed).sum::<usize>()
+    );
+    out.push_str("}\n");
+    out
+}
+
+/// The `--gvn` corpus: the `--infer` corpus plus the paper-figure micro
+/// programs, which carry the merged-name and re-loaded-field shapes the
+/// value numbering exists to catch.
+fn gvn_corpus(smoke: bool, filter: Option<&str>) -> Vec<(String, Module)> {
+    let mut programs = infer_corpus(smoke, filter);
+    for (name, m) in njc_workloads::micro::all_micro() {
+        if filter.is_none_or(|f| name.contains(f)) {
+            programs.push((name.to_string(), m));
+        }
+    }
+    programs
+}
+
+/// `--gvn`: print (or gate on) the value-numbered non-nullness lint.
+fn gvn_main(json: bool, smoke: bool, filter: Option<String>) -> ExitCode {
+    let platform = Platform::windows_ia32();
+    let corpus = gvn_corpus(smoke, filter.as_deref());
+    if corpus.is_empty() {
+        eprintln!("no workload matches the filter");
+        return ExitCode::FAILURE;
+    }
+    let rows: Vec<GvnRow> = corpus
+        .iter()
+        .map(|(name, m)| gvn_row(name, m, &platform))
+        .collect();
+
+    let total_killed: usize = rows.iter().map(GvnRow::killed).sum();
+    let total_off: usize = rows.iter().map(|r| r.eliminated_off).sum();
+    let total_on: usize = rows.iter().map(|r| r.eliminated_on).sum();
+
+    if json {
+        print!("{}", gvn_json(&rows));
+    } else {
+        for r in &rows {
+            println!(
+                "== {} ==  (phase 1 eliminated {} -> {}, {} congruence-class-killed)",
+                r.name,
+                r.eliminated_off,
+                r.eliminated_on,
+                r.killed()
+            );
+            for (fname, killed) in &r.functions {
+                println!("  fn {fname:12} {killed} check(s) killed by a congruence class");
+            }
+        }
+        println!(
+            "\ngvn lint: {} program(s), phase 1 eliminated {total_off} -> {total_on}, \
+             {total_killed} check(s) killed by congruence classes",
+            rows.len()
+        );
+    }
+
+    if smoke {
+        // The gates: the value numbering must strictly add kills on the
+        // built-in corpus, never lose a legacy one, and reproduce its own
+        // report byte-for-byte on a second independent run.
+        if total_killed == 0 {
+            eprintln!("FAIL: the value numbering killed no checks on the corpus");
+            return ExitCode::FAILURE;
+        }
+        if total_on < total_off + total_killed {
+            eprintln!(
+                "FAIL: GVN-on lost legacy kills (off {total_off}, on {total_on}, \
+                 gvn-attributed {total_killed})"
+            );
+            return ExitCode::FAILURE;
+        }
+        let rerun: Vec<GvnRow> = corpus
+            .iter()
+            .map(|(name, m)| gvn_row(name, m, &platform))
+            .collect();
+        if gvn_json(&rows) != gvn_json(&rerun) {
+            eprintln!("FAIL: two runs disagree byte-for-byte (determinism regression)");
+            return ExitCode::FAILURE;
+        }
+        if !json {
+            println!("gvn --smoke: OK");
         }
     }
     ExitCode::SUCCESS

@@ -222,6 +222,7 @@ fn main() {
         seeds: args.seeds,
         smoke: args.smoke,
         interproc: true,
+        gvn: true,
     });
     if !diff.is_clean() {
         failures.push(format!(

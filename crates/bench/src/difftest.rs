@@ -63,6 +63,13 @@ pub struct DiffOptions {
     /// be observationally identical to the original — a fact that a run
     /// falsifies becomes a divergence, minimized like any other.
     pub interproc: bool,
+    /// Diff value-numbered-analysis configurations too: every null-check
+    /// optimizing configuration gains a `+gvn` column
+    /// ([`OptConfig::gvn`]), diffed across all trap models like any other
+    /// — the dynamic soundness oracle for the congruence classes. A
+    /// GVN-only kill that removes a needed check shows up as a divergence
+    /// and is minimized like any other.
+    pub gvn: bool,
     /// Where to write minimized `.njc` regression fixtures (skipped when
     /// `None`).
     pub fixtures_dir: Option<PathBuf>,
@@ -75,6 +82,7 @@ impl Default for DiffOptions {
             smoke: false,
             legacy_wrapping: false,
             interproc: true,
+            gvn: true,
             fixtures_dir: None,
         }
     }
@@ -332,6 +340,23 @@ fn interproc_kinds(smoke: bool) -> Vec<ConfigKind> {
     }
 }
 
+/// Configurations additionally diffed with the value-numbered forward
+/// non-nullness enabled ([`OptConfig::gvn`], subset in smoke mode). Their
+/// cells are labeled `<Kind>+gvn`; every congruence-class-justified kill
+/// runs under all trap models here, which is the dynamic soundness oracle
+/// for the value numbering.
+fn gvn_kinds(smoke: bool) -> Vec<ConfigKind> {
+    if smoke {
+        vec![ConfigKind::Full]
+    } else {
+        vec![
+            ConfigKind::Full,
+            ConfigKind::Phase1Only,
+            ConfigKind::OldNullCheck,
+        ]
+    }
+}
+
 /// One corpus entry.
 struct Program {
     name: String,
@@ -537,8 +562,14 @@ fn diff_program(
     } else {
         Vec::new()
     };
+    let gkinds = if opts.gvn && !vm_only {
+        gvn_kinds(opts.smoke)
+    } else {
+        Vec::new()
+    };
     // verdicts[p][0] = baseline; verdicts[p][1 + k] = kinds[k]; then one
-    // column per interproc-enabled configuration.
+    // column per interproc-enabled configuration, then one per
+    // gvn-enabled configuration.
     let mut verdicts: Vec<Vec<Verdict>> = Vec::new();
     for platform in &plats {
         let mut row = Vec::new();
@@ -570,6 +601,21 @@ fn diff_program(
                 let compiled = njc_jit::compile_config(&w, platform, *kind, &config);
                 row.push(run_cell(&compiled.module, platform, cfg));
             }
+            for kind in &gkinds {
+                let w = Workload {
+                    name: "difftest",
+                    suite: Suite::Micro,
+                    module: module.clone(),
+                    entry: "main",
+                    work_units: 1,
+                };
+                let config = OptConfig {
+                    gvn: true,
+                    ..kind.to_config(platform)
+                };
+                let compiled = njc_jit::compile_config(&w, platform, *kind, &config);
+                row.push(run_cell(&compiled.module, platform, cfg));
+            }
         }
         verdicts.push(row);
     }
@@ -578,8 +624,10 @@ fn diff_program(
             "baseline".into()
         } else if c <= kinds.len() {
             format!("{:?}", kinds[c - 1])
-        } else {
+        } else if c <= kinds.len() + ikinds.len() {
             format!("{:?}+interproc", ikinds[c - 1 - kinds.len()])
+        } else {
+            format!("{:?}+gvn", gkinds[c - 1 - kinds.len() - ikinds.len()])
         }
     };
     for (p, row) in verdicts.iter().enumerate() {
@@ -735,6 +783,10 @@ fn divergence_provenance(module: &Module, config: &str, cell: &str) -> Option<St
         Some(base) => (base, true),
         None => (config, false),
     };
+    let (config, gvn) = match config.strip_suffix("+gvn") {
+        Some(base) => (base, true),
+        None => (config, false),
+    };
     let kind = match config {
         "NoNullOptNoTrap" => ConfigKind::NoNullOptNoTrap,
         "NoNullOptTrap" => ConfigKind::NoNullOptTrap,
@@ -758,6 +810,7 @@ fn divergence_provenance(module: &Module, config: &str, cell: &str) -> Option<St
     let mut m = module.clone();
     let config = OptConfig {
         interproc,
+        gvn,
         ..kind.to_config(&platform)
     };
     let (_, trace) = njc_opt::optimize_module_traced(&mut m, &platform, &config);
@@ -965,6 +1018,104 @@ mod tests {
         assert!(honest
             .function("work")
             .is_none_or(|f| !f.nonnull_params.contains(&1)));
+    }
+
+    #[test]
+    fn oracle_catches_a_planted_false_congruence() {
+        use njc_ir::{FuncBuilder, Inst, Type};
+        // A store between two loads of `p.g` breaks their congruence and
+        // the stored value is null, so the re-load's check is live. An
+        // unsound value numbering that ignored the memory epoch would
+        // kill that check anyway; plant exactly that kill by deleting
+        // the check from the honestly-optimized module and assert every
+        // platform cell observably diverges — the signal a difftest run
+        // would minimize. (tests/gvn.rs pins the other side: the honest
+        // epoch keeps the check.)
+        let mut m = Module::new("false-congruence");
+        let d = m.add_class("D", &[("x", Type::Int)]);
+        let c = m.add_class("C", &[("g", Type::Ref)]);
+        let g = m.field(c, "g").unwrap();
+        let x = m.field(d, "x").unwrap();
+        let helper = {
+            let mut b = FuncBuilder::new("helper", &[Type::Ref], Type::Int);
+            let p = b.param(0);
+            let v1 = b.get_field_typed(p, g, Type::Ref);
+            let a = b.get_field(v1, x);
+            let nul = b.null_ref();
+            b.put_field(p, g, nul); // epoch bump, and the re-load IS null
+            let v3 = b.get_field_typed(p, g, Type::Ref);
+            let bv = b.get_field(v3, x); // must throw NPE
+            let s = b.add(a, bv);
+            b.ret(Some(s));
+            m.add_function(b.finish())
+        };
+        {
+            let mut b = FuncBuilder::new("main", &[], Type::Int);
+            let inner = b.new_object(d);
+            let k = b.iconst(5);
+            b.put_field(inner, x, k);
+            let o = b.new_object(c);
+            b.put_field(o, g, inner);
+            let r = b.call_static(helper, &[o], Some(Type::Int)).unwrap();
+            b.observe(r);
+            b.ret(Some(r));
+            m.add_function(b.finish());
+        }
+
+        for platform in [
+            Platform::windows_ia32(),
+            Platform::aix_ppc(),
+            Platform::linux_s390(),
+        ] {
+            let cfg = vm_config(&quick_opts());
+            let base = run_cell(&m, &platform, cfg);
+            let mut opt = m.clone();
+            // Phase 2 off: over-marking would otherwise absorb the
+            // planted kill (the unguarded access still traps to the same
+            // NPE at a marked site) — checks must keep a cost for their
+            // absence to be observable, the §13/§15 measurement doctrine.
+            njc_opt::optimize_module(
+                &mut opt,
+                &platform,
+                &OptConfig {
+                    gvn: true,
+                    inline: false,
+                    phase2: false,
+                    trivial_trap: false,
+                    iterations: 1,
+                    ..ConfigKind::Full.to_config(&platform)
+                },
+            );
+            // The honest analysis keeps the check: no divergence.
+            assert_eq!(
+                run_cell(&opt, &platform, cfg),
+                base,
+                "honest +gvn cell must match on {}",
+                platform.name
+            );
+            // The planted kill: delete the re-load's check outright. (The
+            // pipeline's store-to-load forwarding may have renamed the
+            // reload, so target the function's last surviving check — the
+            // one guarding the second dereference.)
+            let mut planted = opt.clone();
+            let fid = planted.function_by_name("helper").unwrap();
+            let f = planted.function_mut(fid);
+            let (bi, ii) = (0..f.blocks().len())
+                .flat_map(|bi| {
+                    let insts = &f.blocks()[bi].insts;
+                    (0..insts.len()).map(move |ii| (bi, ii))
+                })
+                .filter(|&(bi, ii)| matches!(f.blocks()[bi].insts[ii], Inst::NullCheck { .. }))
+                .next_back()
+                .expect("an explicit check must survive the honest analysis");
+            f.insts_mut(njc_ir::BlockId::new(bi)).remove(ii);
+            assert_ne!(
+                run_cell(&planted, &platform, cfg),
+                base,
+                "a falsely-killed check must be observable on {}",
+                platform.name
+            );
+        }
     }
 
     #[test]

@@ -39,6 +39,12 @@ pub struct RuntimeDiffOptions {
     /// ([`njc_interproc::assertion_module`]) must match the raw run on
     /// every observable channel *and* on the trap/silent-read counters.
     pub interproc: bool,
+    /// Run the value-numbered non-nullness analysis (`OptConfig::gvn`,
+    /// via `RuntimeConfig::gvn`) in every tier compile. The reference run
+    /// stays GVN-off, so every congruence-class kill in every tier is
+    /// cross-checked against the per-variable baseline on every
+    /// observable channel — the runtime leg of the §15 soundness oracle.
+    pub gvn: bool,
 }
 
 impl Default for RuntimeDiffOptions {
@@ -47,6 +53,7 @@ impl Default for RuntimeDiffOptions {
             seeds: 24,
             smoke: false,
             interproc: true,
+            gvn: true,
         }
     }
 }
@@ -393,6 +400,7 @@ pub fn run_runtime_difftest(opts: &RuntimeDiffOptions) -> RuntimeDiffReport {
         }
         let rt_config = RuntimeConfig {
             interproc: opts.interproc,
+            gvn: opts.gvn,
             ..RuntimeConfig::for_platform(&platform)
         };
         run_tiered_cell(
@@ -465,6 +473,7 @@ mod tests {
             seeds: 4,
             smoke: true,
             interproc: true,
+            gvn: true,
         });
         assert!(report.programs > 10, "micros + probe + seeds");
         assert!(

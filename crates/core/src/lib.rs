@@ -38,6 +38,7 @@
 //! ```
 
 pub mod ctx;
+pub mod gvn;
 pub mod nonnull;
 pub mod phase1;
 pub mod phase2;
@@ -45,6 +46,7 @@ pub mod trivial;
 pub mod whaley;
 
 pub use ctx::{AccessClass, AnalysisCtx, EntryAssumptions, ExplicitOverride, FnFacts};
+pub use gvn::ValueNumbering;
 pub use phase1::Phase1Stats;
 pub use phase2::Phase2Stats;
 pub use trivial::TrivialStats;
@@ -137,6 +139,7 @@ impl NullCheckStats {
     /// Merges per-function statistics into a module-wide aggregate.
     pub fn merge(&mut self, other: &NullCheckStats) {
         self.phase1.eliminated += other.phase1.eliminated;
+        self.phase1.gvn_eliminated += other.phase1.gvn_eliminated;
         self.phase1.inserted += other.phase1.inserted;
         self.phase1.motion_iterations += other.phase1.motion_iterations;
         self.phase1.nonnull_iterations += other.phase1.nonnull_iterations;
@@ -154,6 +157,7 @@ impl NullCheckStats {
         self.phase2.motion_pops += other.phase2.motion_pops;
         self.phase2.subst_pops += other.phase2.subst_pops;
         self.whaley.eliminated += other.whaley.eliminated;
+        self.whaley.gvn_eliminated += other.whaley.gvn_eliminated;
         self.whaley.iterations += other.whaley.iterations;
         self.whaley.pops += other.whaley.pops;
         self.trivial.converted += other.trivial.converted;

@@ -41,6 +41,10 @@ use njc_ir::{BlockId, CfgCache, Function, Inst, NullCheckKind, VarId};
 use njc_observe::{CheckEvent, Recorder};
 
 use crate::ctx::AnalysisCtx;
+use crate::gvn::{
+    compute_gvn_sets, default_throw_point, eliminate_redundant_gvn, GvnNonNullProblem,
+    ValueNumbering,
+};
 use crate::nonnull::{
     compute_sets, compute_sets_assumed, eliminate_redundant_assumed, NonNullProblem,
 };
@@ -50,6 +54,9 @@ use crate::nonnull::{
 pub struct Phase1Stats {
     /// Null checks removed because their target was known non-null.
     pub eliminated: usize,
+    /// The subset of `eliminated` only the value-numbered analysis could
+    /// justify (zero unless [`run_recorded_gvn`] ran).
+    pub gvn_eliminated: usize,
     /// Null checks inserted at earliest points (hoisted copies).
     pub inserted: usize,
     /// Solver convergence depth of the backward motion analysis.
@@ -247,6 +254,119 @@ pub fn run_recorded(
         let block = BlockId::new(bi);
         let mut fresh = Vec::new();
         for v in e.iter() {
+            let id = rec.fresh();
+            fresh.push(Inst::NullCheck {
+                var: VarId::new(v),
+                kind: NullCheckKind::Explicit,
+                id,
+            });
+            rec.record(CheckEvent::Phase1Inserted {
+                id,
+                var: VarId::new(v),
+                block,
+            });
+            stats.inserted += 1;
+        }
+        func.insts_mut(block).extend(fresh);
+    }
+
+    stats
+}
+
+/// [`run_recorded`] under `OptConfig::gvn`: the forward non-nullness runs
+/// both per-variable and per-value-number, the elimination removes every
+/// check either solution justifies (a strict superset of the baseline),
+/// and insertion points already covered by either solution's out-facts are
+/// suppressed. GVN-only kills are attributed `Redundancy::Gvn`; solver
+/// counters sum both forward analyses.
+pub fn run_recorded_gvn(
+    ctx: &AnalysisCtx<'_>,
+    func: &mut Function,
+    cfg: &mut CfgCache,
+    rec: &mut Recorder,
+) -> Phase1Stats {
+    let nv = func.num_vars();
+    let mut stats = Phase1Stats::default();
+    if nv == 0 {
+        return stats;
+    }
+    cfg.ensure(func);
+
+    // §4.1.1 — backward motion and insertion points (identical to the
+    // per-variable pipeline: motion is about check *positions*, which the
+    // value numbering does not change).
+    let motion = BackwardMotion {
+        func,
+        sets: compute_motion_sets(ctx, func),
+        num_facts: nv,
+    };
+    let sol_bwd = solve_cached(func, cfg, &motion);
+    stats.motion_iterations = sol_bwd.iterations;
+    stats.motion_pops = sol_bwd.worklist_pops;
+    let mut earliest = compute_earliest(func, cfg.preds(), &sol_bwd.outs);
+
+    // §4.1.2 — the per-variable forward analysis (the dual replay needs
+    // it to keep legacy-provable kills on their legacy provenance) ...
+    let nonnull = NonNullProblem {
+        func,
+        sets: compute_sets_assumed(ctx, func),
+        earliest: Some(&earliest),
+        entry: ctx.entry_facts(func, nv),
+        num_facts: nv,
+    };
+    let sol_fwd = solve_cached(func, cfg, &nonnull);
+
+    // ... and the value-numbered one, interprocedural facts seeded onto
+    // entry VNs and assumed gens onto their classes.
+    let vn = ValueNumbering::compute(func, &default_throw_point);
+    let gvn_problem = GvnNonNullProblem {
+        func,
+        vn: &vn,
+        sets: compute_gvn_sets(Some(ctx), func, &vn),
+        earliest: Some(&earliest),
+        entry: ctx.entry_facts(func, nv),
+    };
+    let sol_gvn = solve_cached(func, cfg, &gvn_problem);
+    stats.nonnull_iterations = sol_fwd.iterations + sol_gvn.iterations;
+    stats.nonnull_pops = sol_fwd.worklist_pops + sol_gvn.worklist_pops;
+
+    let base_sol = if rec.is_enabled() && ctx.assumptions().is_some() {
+        let base = NonNullProblem {
+            func,
+            sets: compute_sets(func),
+            earliest: Some(&earliest),
+            entry: None,
+            num_facts: nv,
+        };
+        Some(solve_cached(func, cfg, &base))
+    } else {
+        None
+    };
+
+    let r = eliminate_redundant_gvn(
+        Some(ctx),
+        func,
+        &vn,
+        &sol_gvn.ins,
+        &sol_fwd.ins,
+        base_sol.as_ref().map(|s| s.ins.as_slice()),
+        rec,
+        true,
+    );
+    stats.eliminated = r.eliminated;
+    stats.gvn_eliminated = r.gvn_only;
+
+    // Insertion, with the VN out-facts as an additional suppressor: if the
+    // class is already non-null at the block's exit, the hoisted check is
+    // as dead as its original.
+    for (bi, e) in earliest.iter_mut().enumerate().take(func.num_blocks()) {
+        e.subtract(&sol_fwd.outs[bi]);
+        let block = BlockId::new(bi);
+        let mut fresh = Vec::new();
+        for v in e.iter() {
+            if sol_gvn.outs[bi].contains(vn.exit_vn[bi][v] as usize) {
+                continue;
+            }
             let id = rec.fresh();
             fresh.push(Inst::NullCheck {
                 var: VarId::new(v),

@@ -15,6 +15,10 @@ use njc_dataflow::solve_cached;
 use njc_ir::{CfgCache, Function};
 use njc_observe::Recorder;
 
+use crate::gvn::{
+    compute_gvn_sets, default_throw_point, eliminate_redundant_gvn, GvnNonNullProblem,
+    ValueNumbering,
+};
 use crate::nonnull::{compute_sets, eliminate_redundant_recorded, NonNullProblem};
 
 /// Statistics from one Whaley-baseline application.
@@ -22,6 +26,9 @@ use crate::nonnull::{compute_sets, eliminate_redundant_recorded, NonNullProblem}
 pub struct WhaleyStats {
     /// Null checks removed.
     pub eliminated: usize,
+    /// The subset of `eliminated` only the value-numbered analysis could
+    /// justify (zero unless [`run_recorded_gvn`] ran).
+    pub gvn_eliminated: usize,
     /// Solver convergence depth.
     pub iterations: usize,
     /// Worklist pops spent by the non-nullness analysis.
@@ -56,8 +63,50 @@ pub fn run_recorded(func: &mut Function, cfg: &mut CfgCache, rec: &mut Recorder)
     let sol = solve_cached(func, cfg, &problem);
     WhaleyStats {
         eliminated: eliminate_redundant_recorded(func, &sol.ins, rec, false),
+        gvn_eliminated: 0,
         iterations: sol.iterations,
         pops: sol.worklist_pops,
+    }
+}
+
+/// [`run_recorded`] under `OptConfig::gvn`: solves the per-variable
+/// problem *and* the value-numbered one, then removes every check either
+/// justifies — a strict superset of the baseline's kills, with each
+/// GVN-only kill attributed to its congruence class
+/// (`Redundancy::Gvn`). Solver counters sum both analyses.
+pub fn run_recorded_gvn(
+    func: &mut Function,
+    cfg: &mut CfgCache,
+    rec: &mut Recorder,
+) -> WhaleyStats {
+    let nv = func.num_vars();
+    if nv == 0 {
+        return WhaleyStats::default();
+    }
+    cfg.ensure(func);
+    let problem = NonNullProblem {
+        func,
+        sets: compute_sets(func),
+        earliest: None,
+        entry: None,
+        num_facts: nv,
+    };
+    let lsol = solve_cached(func, cfg, &problem);
+    let vn = ValueNumbering::compute(func, &default_throw_point);
+    let gp = GvnNonNullProblem {
+        func,
+        vn: &vn,
+        sets: compute_gvn_sets(None, func, &vn),
+        earliest: None,
+        entry: None,
+    };
+    let gsol = solve_cached(func, cfg, &gp);
+    let r = eliminate_redundant_gvn(None, func, &vn, &gsol.ins, &lsol.ins, None, rec, false);
+    WhaleyStats {
+        eliminated: r.eliminated,
+        gvn_eliminated: r.gvn_only,
+        iterations: lsol.iterations + gsol.iterations,
+        pops: lsol.worklist_pops + gsol.worklist_pops,
     }
 }
 

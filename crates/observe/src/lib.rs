@@ -75,6 +75,19 @@ pub enum Redundancy {
     /// An interprocedural fact proved the variable non-null (the check is
     /// dead across call boundaries, not just within the function).
     Interproc(InterprocFact),
+    /// The value-numbered analysis (`OptConfig::gvn`) proved the variable's
+    /// congruence class non-null — a check, allocation, or assumed fact on
+    /// another member of the class (a copy source, a phi input, an earlier
+    /// load of the same field) covers this check, which the per-variable
+    /// analysis cannot see.
+    Gvn {
+        /// The lowest-numbered *other* live member of the class at the
+        /// kill point (the variable this check rode on), or the checked
+        /// variable itself if no other member is still bound.
+        representative: VarId,
+        /// Members of the congruence class live at the kill point.
+        class_size: u32,
+    },
 }
 
 /// Why phase 2 materialized a pending check as an explicit instruction
@@ -532,6 +545,13 @@ fn redundancy_json(why: &Redundancy) -> String {
                 format!("{{\"fact\":\"interproc-field\",\"field\":{}}}", field.0)
             }
         },
+        Redundancy::Gvn {
+            representative,
+            class_size,
+        } => format!(
+            "{{\"fact\":\"gvn\",\"representative\":{},\"class_size\":{class_size}}}",
+            representative.0
+        ),
     }
 }
 
@@ -779,6 +799,14 @@ fn describe_redundancy(var: &VarId, why: &Redundancy) -> String {
                  path (interprocedural fixpoint)"
             ),
         },
+        Redundancy::Gvn {
+            representative,
+            class_size,
+        } => format!(
+            "{var}'s congruence class is non-null — proven via {representative} \
+             ({class_size} live member{} share the value number)",
+            if *class_size == 1 { "" } else { "s" }
+        ),
     }
 }
 

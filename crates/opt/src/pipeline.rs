@@ -75,6 +75,14 @@ pub struct OptConfig {
     /// intraprocedural); when off the optimizer output is byte-identical
     /// to a build without this feature.
     pub interproc: bool,
+    /// Value-numbered forward non-nullness (`njc-core`'s `gvn` module):
+    /// run phase 1 / the Whaley baseline with a second, value-number
+    /// indexed non-nullness solution alongside the per-variable one, so
+    /// facts survive copies, phi merges, and re-loaded fields. Kills the
+    /// legacy analysis cannot justify are attributed `Redundancy::Gvn`.
+    /// Off in every preset; when off the optimizer output is
+    /// byte-identical to a build without this feature.
+    pub gvn: bool,
     /// Worker threads for the per-function stages. Functions are optimized
     /// independently (every pass reads the module only for class and field
     /// layout), so any thread count produces the same module and the same
@@ -152,6 +160,7 @@ impl ConfigKind {
                 sinking: true,
                 validate: false,
                 interproc: false,
+                gvn: false,
                 threads: 1,
             },
             ConfigKind::NoNullOptTrap => OptConfig {
@@ -167,6 +176,7 @@ impl ConfigKind {
                 sinking: true,
                 validate: false,
                 interproc: false,
+                gvn: false,
                 threads: 1,
             },
             ConfigKind::OldNullCheck => OptConfig {
@@ -182,6 +192,7 @@ impl ConfigKind {
                 sinking: true,
                 validate: false,
                 interproc: false,
+                gvn: false,
                 threads: 1,
             },
             ConfigKind::Phase1Only => OptConfig {
@@ -197,6 +208,7 @@ impl ConfigKind {
                 sinking: true,
                 validate: false,
                 interproc: false,
+                gvn: false,
                 threads: 1,
             },
             ConfigKind::Full => OptConfig {
@@ -212,6 +224,7 @@ impl ConfigKind {
                 sinking: true,
                 validate: false,
                 interproc: false,
+                gvn: false,
                 threads: 1,
             },
             ConfigKind::RefJit => OptConfig {
@@ -227,6 +240,7 @@ impl ConfigKind {
                 sinking: true,
                 validate: false,
                 interproc: false,
+                gvn: false,
                 threads: 1,
             },
             ConfigKind::AixSpeculation => OptConfig {
@@ -242,6 +256,7 @@ impl ConfigKind {
                 sinking: true,
                 validate: false,
                 interproc: false,
+                gvn: false,
                 threads: 1,
             },
             ConfigKind::AixNoSpeculation => OptConfig {
@@ -257,6 +272,7 @@ impl ConfigKind {
                 sinking: true,
                 validate: false,
                 interproc: false,
+                gvn: false,
                 threads: 1,
             },
             ConfigKind::AixNoNullOpt => OptConfig {
@@ -272,6 +288,7 @@ impl ConfigKind {
                 sinking: true,
                 validate: false,
                 interproc: false,
+                gvn: false,
                 threads: 1,
             },
             ConfigKind::AixIllegalImplicit => OptConfig {
@@ -290,6 +307,7 @@ impl ConfigKind {
                 sinking: true,
                 validate: false,
                 interproc: false,
+                gvn: false,
                 threads: 1,
             },
         }
@@ -774,8 +792,13 @@ fn optimize_function(
             NullOpt::None => {}
             NullOpt::Whaley => {
                 let orig = config.validate.then(|| func.clone());
-                let s = whaley::run_recorded(func, &mut cfg, rec);
+                let s = if config.gvn {
+                    whaley::run_recorded_gvn(func, &mut cfg, rec)
+                } else {
+                    whaley::run_recorded(func, &mut cfg, rec)
+                };
                 stats.null_checks.whaley.eliminated += s.eliminated;
+                stats.null_checks.whaley.gvn_eliminated += s.gvn_eliminated;
                 stats.null_checks.whaley.iterations += s.iterations;
                 stats.null_checks.whaley.pops += s.pops;
                 if let Some(orig) = &orig {
@@ -793,8 +816,13 @@ fn optimize_function(
             }
             NullOpt::Phase1 => {
                 let orig = config.validate.then(|| func.clone());
-                let s = phase1::run_recorded(&ctx, func, &mut cfg, rec);
+                let s = if config.gvn {
+                    phase1::run_recorded_gvn(&ctx, func, &mut cfg, rec)
+                } else {
+                    phase1::run_recorded(&ctx, func, &mut cfg, rec)
+                };
                 stats.null_checks.phase1.eliminated += s.eliminated;
+                stats.null_checks.phase1.gvn_eliminated += s.gvn_eliminated;
                 stats.null_checks.phase1.inserted += s.inserted;
                 stats.null_checks.phase1.motion_iterations += s.motion_iterations;
                 stats.null_checks.phase1.nonnull_iterations += s.nonnull_iterations;

@@ -232,6 +232,7 @@ impl ServiceRuntime {
         OptConfig {
             threads: 1, // workers are already the parallelism
             interproc: self.config.runtime.interproc,
+            gvn: self.config.runtime.gvn,
             ..kind.to_config(&self.platform)
         }
     }
@@ -249,6 +250,7 @@ impl ServiceRuntime {
             let mut c = rt.tier0.to_config(&platform);
             c.threads = 1;
             c.interproc = rt.interproc;
+            c.gvn = rt.gvn;
             c
         };
 

@@ -56,6 +56,10 @@ pub struct RuntimeConfig {
     /// module, so swapped-in bodies carry the same entry assumptions the
     /// single-shot compile would.
     pub interproc: bool,
+    /// Run the value-numbered forward non-nullness (`OptConfig::gvn`) in
+    /// every tier compile, so copies, phi merges, and re-loaded fields
+    /// keep their facts across recompiles too.
+    pub gvn: bool,
     /// Tier *down* as well as up: drop overrides whose sites have
     /// quiesced (windowed mid-run via
     /// [`ProfilePolicy::assess_tier_down`], cumulative at the fixpoint
@@ -87,6 +91,7 @@ impl RuntimeConfig {
             tier0: ConfigKind::OldNullCheck,
             tier1: ConfigKind::Full,
             interproc: false,
+            gvn: false,
             tier_down: true,
             controller_poll_micros: 200,
             install_delay_micros: 0,
@@ -381,6 +386,7 @@ impl TieredRuntime {
         OptConfig {
             threads: self.config.threads.max(1),
             interproc: self.config.interproc,
+            gvn: self.config.gvn,
             ..kind.to_config(&self.platform)
         }
     }

@@ -3,7 +3,7 @@
 
 use njc_ir::{CatchKind, Cond, ExceptionKind, FuncBuilder, Module, Op, Type};
 
-use crate::jbm::{if_then, lcg_step};
+use crate::jbm::{if_then, if_then_else, lcg_step};
 
 /// Figure 1 / Figure 7: a small method with a branch that only touches
 /// `this` on one path, called through a receiver that may be null.
@@ -351,6 +351,76 @@ pub fn null_seeded() -> Module {
     m
 }
 
+/// The re-load congruence shape behind §4.1.2's fact loss: the
+/// idiomatic `o.g != null && o.g.x` chained read loads the field twice,
+/// and the second read's null check is provably dead only when the
+/// forward analysis tracks facts by value number rather than by
+/// variable name. The chain alternates null and non-null links so the
+/// guard stays live at runtime, and the null store keeps the
+/// interprocedural field fact from claiming the kill first.
+pub fn reload_congruence() -> Module {
+    let mut m = Module::new("reload_congruence");
+    let d = m.add_class("D", &[("x", Type::Int)]);
+    let dx = m.field(d, "x").unwrap();
+    let c = m.add_class("C", &[("g", Type::Ref)]);
+    let cg = m.field(c, "g").unwrap();
+
+    // int probe(C p) { if (p.g != null) return p.g.x; return 0; }
+    let probe = {
+        let mut b = FuncBuilder::new("probe", &[Type::Ref], Type::Int);
+        let p = b.param(0);
+        let zero = b.iconst(0);
+        let acc = b.var(Type::Int);
+        b.assign(acc, zero);
+        let chain = b.new_block();
+        let join = b.new_block();
+        let peek = b.get_field_typed(p, cg, Type::Ref);
+        b.br_ifnull(peek, join, chain);
+        b.switch_to(chain);
+        let again = b.get_field_typed(p, cg, Type::Ref);
+        let v = b.get_field(again, dx); // check dead only via congruence
+        b.binop_into(acc, Op::Add, acc, v);
+        b.goto(join);
+        b.switch_to(join);
+        b.ret(Some(acc));
+        m.add_function(b.finish())
+    };
+
+    let mut b = FuncBuilder::new("main", &[], Type::Int);
+    let zero = b.iconst(0);
+    let n = b.iconst(50);
+    let acc = b.var(Type::Int);
+    b.assign(acc, zero);
+    b.for_loop(zero, n, 1, |b, i| {
+        let o = b.new_object(c);
+        let one = b.iconst(1);
+        let odd = b.binop(Op::And, i, one);
+        if_then_else(
+            b,
+            Cond::Eq,
+            odd,
+            zero,
+            |b| {
+                let inner = b.new_object(d);
+                b.put_field(inner, dx, i);
+                b.put_field(o, cg, inner);
+            },
+            |b| {
+                // Odd iterations store null: the guard is live and the
+                // field is not always-non-null interprocedurally.
+                let nul = b.null_ref();
+                b.put_field(o, cg, nul);
+            },
+        );
+        let r = b.call_static(probe, &[o], Some(Type::Int)).unwrap();
+        b.binop_into(acc, Op::Add, acc, r);
+    });
+    b.observe(acc);
+    b.ret(Some(acc));
+    m.add_function(b.finish());
+    m
+}
+
 /// All micro workloads with their names.
 pub fn all_micro() -> Vec<(&'static str, Module)> {
     vec![
@@ -360,6 +430,7 @@ pub fn all_micro() -> Vec<(&'static str, Module)> {
         ("figure6", figure6()),
         ("big_offset", big_offset()),
         ("null_seeded", null_seeded()),
+        ("reload_congruence", reload_congruence()),
     ]
 }
 

@@ -112,7 +112,18 @@ pub fn mtrt() -> Module {
                     let one = b.iconst(1);
                     b.binop_into(hits, Op::Add, hits, one);
                     b.binop_into(accf, Op::Add, accf, cx);
+                    // Hit path reads the vector directly (§3.3.2: mtrt
+                    // touches its small objects from many places).
+                    let cy = b.get_field_typed(c, fy, Type::Float);
+                    b.binop_into(accf, Op::Add, accf, cy);
                 });
+                // Unconditional read after the merge: its check is partially
+                // redundant (the hit path already checked `c`), so phase 1
+                // hoists one check to the sphere-loop header — a position
+                // with no adjacent access, convertible only by phase 2's
+                // forward motion (the mtrt effect the paper isolates).
+                let cz = b.get_field_typed(c, fz, Type::Float);
+                b.binop_into(accf, Op::Add, accf, cz);
             });
         });
         let scale = b.fconst(100.0);
@@ -226,6 +237,23 @@ pub fn jess() -> Module {
                         },
                     );
                 });
+                // Chained-pattern rule: peek at the successor fact the
+                // way jess rules test `cur.next != null &&
+                // cur.next.value ...` — the field is read twice with no
+                // intervening store, so the second read's null check is
+                // dead only under re-load congruence.
+                let peek = b.get_field_typed(cur, f_next, Type::Ref);
+                let chain = b.new_block();
+                let advance = b.new_block();
+                b.br_ifnull(peek, advance, chain);
+                b.switch_to(chain);
+                let again = b.get_field_typed(cur, f_next, Type::Ref);
+                let nv = b.get_field(again, f_value);
+                let one = b.iconst(1);
+                let bit = b.binop(Op::And, nv, one);
+                b.binop_into(fired, Op::Add, fired, bit);
+                b.goto(advance);
+                b.switch_to(advance);
                 let nxt = b.get_field_typed(cur, f_next, Type::Ref);
                 b.assign(cur, nxt);
             }

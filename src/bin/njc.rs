@@ -4,10 +4,11 @@
 //! njc <file.ir> [--config <name>] [--platform <name>] [--emit] [--run] [--all]
 //!               [--events-out PATH] [--trace-out PATH]
 //! njc explain <file.ir> [<fn> [<check-id>]] [--config <name>] [--platform <name>]
-//!               [--interproc] [--run] [--threads N] [--events-out PATH] [--trace-out PATH]
+//!               [--interproc] [--gvn] [--run] [--threads N] [--events-out PATH]
+//!               [--trace-out PATH]
 //! njc explain --smoke [--threads N]
 //! njc difftest [--smoke] [--seeds N] [--legacy-addressing] [--no-interproc]
-//!              [--fixtures DIR] [--out PATH]
+//!              [--no-gvn] [--fixtures DIR] [--out PATH]
 //! njc runtime <file.ir> [--platform <name>] [--profile-threshold R]
 //! njc runtime --smoke
 //! njc service <file.ir> [--platform <name>] [--tenants N]
@@ -94,7 +95,7 @@ use njc_vm::{SiteCounters, Vm, VmConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: njc <file.ir> [--config full|phase1|old|trap|none|speculation|no-speculation|illegal-implicit] [--platform ia32|aix|s390] [--emit] [--run] [--all] [--events-out PATH] [--trace-out PATH]\n       njc explain <file.ir> [<fn> [<check-id>]] [--config ...] [--platform ...] [--interproc] [--run] [--threads N] [--events-out PATH] [--trace-out PATH]\n       njc explain --smoke [--threads N]\n       njc difftest [--smoke] [--seeds N] [--legacy-addressing] [--no-interproc] [--fixtures DIR] [--out PATH]\n       njc runtime <file.ir> [--platform ia32|aix|s390] [--profile-threshold R]\n       njc runtime --smoke\n       njc service <file.ir> [--platform ia32|aix|s390] [--tenants N]\n       njc service --smoke [--tenants N]"
+        "usage: njc <file.ir> [--config full|phase1|old|trap|none|speculation|no-speculation|illegal-implicit] [--platform ia32|aix|s390] [--emit] [--run] [--all] [--events-out PATH] [--trace-out PATH]\n       njc explain <file.ir> [<fn> [<check-id>]] [--config ...] [--platform ...] [--interproc] [--gvn] [--run] [--threads N] [--events-out PATH] [--trace-out PATH]\n       njc explain --smoke [--threads N]\n       njc difftest [--smoke] [--seeds N] [--legacy-addressing] [--no-interproc] [--no-gvn] [--fixtures DIR] [--out PATH]\n       njc runtime <file.ir> [--platform ia32|aix|s390] [--profile-threshold R]\n       njc runtime --smoke\n       njc service <file.ir> [--platform ia32|aix|s390] [--tenants N]\n       njc service --smoke [--tenants N]"
     );
     ExitCode::FAILURE
 }
@@ -113,6 +114,8 @@ fn difftest_main(args: &[String]) -> ExitCode {
             "--legacy-addressing" => opts.legacy_wrapping = true,
             "--interproc" => opts.interproc = true,
             "--no-interproc" => opts.interproc = false,
+            "--gvn" => opts.gvn = true,
+            "--no-gvn" => opts.gvn = false,
             "--fixtures" => match it.next() {
                 Some(d) => opts.fixtures_dir = Some(std::path::PathBuf::from(d)),
                 None => return usage(),
@@ -649,6 +652,7 @@ fn explain_one(
     platform: &Platform,
     kind: ConfigKind,
     interproc: bool,
+    gvn: bool,
     fn_name: Option<&str>,
     check: Option<CheckId>,
     run: bool,
@@ -659,6 +663,7 @@ fn explain_one(
     let config = OptConfig {
         threads,
         interproc,
+        gvn,
         ..kind.to_config(platform)
     };
     let (stats, trace) = njc_opt::optimize_module_traced(&mut optimized, platform, &config);
@@ -717,15 +722,40 @@ fn explain_one(
 /// ledger and (b) have every dynamic trap and executed explicit check
 /// resolve to a provenance record.
 fn explain_smoke(threads: usize) -> ExitCode {
-    // The final cell turns the interprocedural inference on: its kills
-    // enter the ledger as phase 1 eliminations, so conservation and
-    // dynamic reconciliation must hold with facts exactly as without.
-    let cells: &[(ConfigKind, Platform, bool)] = &[
-        (ConfigKind::Full, Platform::windows_ia32(), false),
-        (ConfigKind::NoNullOptTrap, Platform::windows_ia32(), false),
-        (ConfigKind::OldNullCheck, Platform::linux_s390(), false),
-        (ConfigKind::AixNoSpeculation, Platform::aix_ppc(), false),
-        (ConfigKind::Full, Platform::windows_ia32(), true),
+    // The last cells turn the interprocedural inference and the
+    // value-numbered analysis on: their kills enter the ledger as phase 1
+    // (or Whaley) eliminations — GVN-only ones attributed to their
+    // congruence class — so conservation and dynamic reconciliation must
+    // hold with facts exactly as without.
+    let cells: &[(ConfigKind, Platform, bool, bool)] = &[
+        (ConfigKind::Full, Platform::windows_ia32(), false, false),
+        (
+            ConfigKind::NoNullOptTrap,
+            Platform::windows_ia32(),
+            false,
+            false,
+        ),
+        (
+            ConfigKind::OldNullCheck,
+            Platform::linux_s390(),
+            false,
+            false,
+        ),
+        (
+            ConfigKind::AixNoSpeculation,
+            Platform::aix_ppc(),
+            false,
+            false,
+        ),
+        (ConfigKind::Full, Platform::windows_ia32(), true, false),
+        (ConfigKind::Full, Platform::windows_ia32(), false, true),
+        (
+            ConfigKind::OldNullCheck,
+            Platform::linux_s390(),
+            false,
+            true,
+        ),
+        (ConfigKind::Full, Platform::windows_ia32(), true, true),
     ];
     let mut programs: Vec<(String, Module)> = njc_workloads::all()
         .into_iter()
@@ -738,15 +768,16 @@ fn explain_smoke(threads: usize) -> ExitCode {
     );
     let mut checked = 0usize;
     for (name, module) in &programs {
-        for (kind, platform, interproc) in cells {
+        for (kind, platform, interproc, gvn) in cells {
             match explain_one(
-                module, platform, *kind, *interproc, None, None, true, threads, true,
+                module, platform, *kind, *interproc, *gvn, None, None, true, threads, true,
             ) {
                 Ok(_) => checked += 1,
                 Err(e) => {
                     eprintln!(
-                        "explain --smoke: {name} × {kind:?}{} on {}: {e}",
+                        "explain --smoke: {name} × {kind:?}{}{} on {}: {e}",
                         if *interproc { "+interproc" } else { "" },
+                        if *gvn { "+gvn" } else { "" },
                         platform.name
                     );
                     return ExitCode::FAILURE;
@@ -772,6 +803,7 @@ fn explain_main(args: &[String]) -> ExitCode {
     let mut run = false;
     let mut smoke = false;
     let mut interproc = false;
+    let mut gvn = false;
     let mut threads = 1usize;
     let mut events_out: Option<std::path::PathBuf> = None;
     let mut trace_out: Option<std::path::PathBuf> = None;
@@ -787,6 +819,7 @@ fn explain_main(args: &[String]) -> ExitCode {
                 None => return usage(),
             },
             "--interproc" => interproc = true,
+            "--gvn" => gvn = true,
             "--run" => run = true,
             "--smoke" => smoke = true,
             "--threads" => match it.next().and_then(|s| s.parse().ok()) {
@@ -841,6 +874,7 @@ fn explain_main(args: &[String]) -> ExitCode {
         &platform,
         kind,
         interproc,
+        gvn,
         fn_name.as_deref(),
         check,
         run,

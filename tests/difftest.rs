@@ -8,6 +8,7 @@
 use njc::bench::difftest::{run_difftest, DiffOptions, Divergence};
 use njc_arch::Platform;
 use njc_ir::{Module, Type};
+use njc_opt::{optimize_module, ConfigKind, OptConfig};
 use njc_vm::{run_module, Fault};
 
 fn quick(smoke: bool, seeds: u64) -> DiffOptions {
@@ -103,6 +104,50 @@ fn load_fixture(path: &str) -> Module {
     }
     njc_ir::verify_module(&module).unwrap();
     module
+}
+
+#[test]
+fn handler_entry_copy_fixture_is_config_invariant() {
+    // The handler-entry fact fixture: a copy checked before the try
+    // region's first throw point is re-checked inside the handler. Every
+    // sound configuration — with and without the value-numbered analysis
+    // — must behave exactly like the unoptimized module on every
+    // platform model, whether or not it removes the handler's check.
+    let m = load_fixture("tests/fixtures/handler_entry_copy.njc");
+    for platform in [
+        Platform::windows_ia32(),
+        Platform::aix_ppc(),
+        Platform::linux_s390(),
+    ] {
+        let base = run_module(&m, platform, "main", &[]).unwrap();
+        for kind in [
+            ConfigKind::Full,
+            ConfigKind::Phase1Only,
+            ConfigKind::OldNullCheck,
+            ConfigKind::NoNullOptNoTrap,
+        ] {
+            for gvn in [false, true] {
+                let mut opt = m.clone();
+                optimize_module(
+                    &mut opt,
+                    &platform,
+                    &OptConfig {
+                        gvn,
+                        ..kind.to_config(&platform)
+                    },
+                );
+                let out = run_module(&opt, platform, "main", &[]).unwrap();
+                base.assert_equivalent(&out).unwrap_or_else(|e| {
+                    panic!(
+                        "{:?}{} on {}: {e}",
+                        kind,
+                        if gvn { "+gvn" } else { "" },
+                        platform.name
+                    )
+                });
+            }
+        }
+    }
 }
 
 #[test]

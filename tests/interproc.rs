@@ -109,6 +109,7 @@ fn interproc_kills_param_checks_in_helper() {
         &p,
         &OptConfig {
             interproc: true,
+            gvn: false,
             ..base
         },
     );
@@ -147,6 +148,7 @@ fn interproc_kills_param_checks_in_helper() {
         &p,
         &OptConfig {
             interproc: true,
+            gvn: false,
             ..bare
         },
     );
@@ -227,6 +229,7 @@ fn call_corpus_strictly_improves_and_stays_equivalent() {
                 p,
                 &OptConfig {
                     interproc: true,
+                    gvn: false,
                     ..base
                 },
             );
@@ -303,6 +306,7 @@ fn recursion_and_virtual_dispatch_survive_the_pipeline() {
         &p,
         &OptConfig {
             interproc: true,
+            gvn: false,
             ..base
         },
     );
@@ -434,6 +438,7 @@ fn mutual_recursion_keeps_param_facts() {
         &p,
         &OptConfig {
             interproc: true,
+            gvn: false,
             ..base
         },
     );
@@ -524,6 +529,7 @@ fn dynamic_call_targets_merge_conservatively() {
         &p,
         &OptConfig {
             interproc: true,
+            gvn: false,
             ..base
         },
     );

@@ -92,6 +92,7 @@ fn conservation_law_holds_with_interproc_on_call_corpus() {
             for kind in [ConfigKind::Full, ConfigKind::Phase1Only] {
                 let config = OptConfig {
                     interproc: true,
+                    gvn: false,
                     ..kind.to_config(&platform)
                 };
                 let mut plain = module.clone();
