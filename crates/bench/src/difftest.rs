@@ -35,6 +35,8 @@ use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
 
 use njc_arch::Platform;
+use njc_codegen::{lower_module, Machine, MachineFault, MachineOutcome};
+use njc_emit::{emit_module, ByteMachine};
 use njc_ir::{ExceptionKind, FuncBuilder, Module, Op, Type};
 use njc_opt::{ConfigKind, OptConfig};
 use njc_vm::{Fault, Value, Vm, VmConfig};
@@ -236,6 +238,10 @@ pub struct DiffReport {
     pub ill_typed_cells: usize,
     /// Cells whose VM panicked — always a failure.
     pub panicked_cells: usize,
+    /// Byte-level cells: sound optimized modules emitted to real x86-64
+    /// bytes and executed by the byte interpreter against the costed
+    /// machine simulator.
+    pub byte_cells: usize,
 }
 
 impl DiffReport {
@@ -262,6 +268,7 @@ impl DiffReport {
         );
         let _ = writeln!(out, "  \"ill_typed_cells\": {},", self.ill_typed_cells);
         let _ = writeln!(out, "  \"panicked_cells\": {},", self.panicked_cells);
+        let _ = writeln!(out, "  \"byte_cells\": {},", self.byte_cells);
         out.push_str("  \"divergences\": [\n");
         for (i, d) in self.divergences.iter().enumerate() {
             out.push_str("    {");
@@ -546,6 +553,52 @@ struct ProgramDiff {
     claim9: usize,
     ill_typed: usize,
     panicked: usize,
+    byte_cells: usize,
+}
+
+/// Compares the costed machine simulator's outcome against the byte
+/// interpreter's on the same emitted module. Returns a human-readable
+/// mismatch, or `None` when the two agree observably.
+fn byte_mismatch(
+    sim: &Result<MachineOutcome, MachineFault>,
+    byte: &Result<MachineOutcome, MachineFault>,
+) -> Option<String> {
+    match (sim, byte) {
+        (Ok(s), Ok(b)) => {
+            if s.result != b.result {
+                return Some(format!("result {:?} vs {:?}", s.result, b.result));
+            }
+            if s.exception != b.exception {
+                return Some(format!("exception {:?} vs {:?}", s.exception, b.exception));
+            }
+            if s.trace != b.trace {
+                return Some(format!("trace {:?} vs {:?}", s.trace, b.trace));
+            }
+            if s.stats.explicit_null_checks != b.stats.explicit_null_checks {
+                return Some(format!(
+                    "explicit checks {} vs {}",
+                    s.stats.explicit_null_checks, b.stats.explicit_null_checks
+                ));
+            }
+            if s.stats.traps_taken != b.stats.traps_taken {
+                return Some(format!(
+                    "traps {} vs {}",
+                    s.stats.traps_taken, b.stats.traps_taken
+                ));
+            }
+            if s.stats.missed_npes != b.stats.missed_npes {
+                return Some(format!(
+                    "missed NPEs {} vs {}",
+                    s.stats.missed_npes, b.stats.missed_npes
+                ));
+            }
+            None
+        }
+        (Err(se), Err(be)) => (std::mem::discriminant(se) != std::mem::discriminant(be))
+            .then(|| format!("fault {se} vs {be}")),
+        (Ok(_), Err(be)) => Some(format!("simulator completed, bytes faulted: {be}")),
+        (Err(se), Ok(_)) => Some(format!("simulator faulted ({se}), bytes completed")),
+    }
 }
 
 fn diff_program(
@@ -692,6 +745,57 @@ fn diff_program(
             }
         }
     }
+    // Byte column: every sound optimized cell is lowered to the linear
+    // ISA, emitted to real x86-64 bytes, and executed instruction-by-
+    // instruction by the byte interpreter; its observable behavior must
+    // match the costed machine simulator exactly. This catches encoder
+    // bugs (wrong displacement, dropped site entry, mis-dispatched trap)
+    // that the IR-level axes above cannot see.
+    if !vm_only {
+        for platform in &plats {
+            for kind in kinds {
+                let w = Workload {
+                    name: "difftest",
+                    suite: Suite::Micro,
+                    module: module.clone(),
+                    entry: "main",
+                    work_units: 1,
+                };
+                let compiled = njc_jit::compile(&w, platform, *kind);
+                let mm = lower_module(&compiled.module);
+                let em = emit_module(&mm, 1);
+                let ran = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    let sim = Machine::new(&mm, *platform).run("main");
+                    let byte = ByteMachine::new(&em, *platform).run("main");
+                    byte_mismatch(&sim, &byte)
+                }));
+                out.cells += 1;
+                out.byte_cells += 1;
+                let label = format!("{kind:?}+bytes");
+                match ran {
+                    Err(_) => {
+                        out.panicked += 1;
+                        out.divergences.push((
+                            label.clone(),
+                            format!("{}/{}", platform.name, label),
+                            String::new(),
+                            "machine or byte interpreter panicked".into(),
+                        ));
+                    }
+                    Ok(Some(detail)) => {
+                        out.divergences.push((
+                            label.clone(),
+                            format!("{}/{kind:?}+machine", platform.name),
+                            format!("{}/{}", platform.name, label),
+                            detail,
+                        ));
+                    }
+                    Ok(None) => {}
+                }
+            }
+        }
+    }
+
     // The expected-unsound configuration, on the AIX model only: a
     // divergence from the AIX baseline (or any silently missed NPE) is a
     // reproduction of the paper's §5.4 claim, not a failure.
@@ -779,6 +883,7 @@ fn diff_program(
 /// `optimize_module` is deterministic, so the re-run reproduces exactly the
 /// module the diverging cell executed.
 fn divergence_provenance(module: &Module, config: &str, cell: &str) -> Option<String> {
+    let config = config.strip_suffix("+bytes").unwrap_or(config);
     let (config, interproc) = match config.strip_suffix("+interproc") {
         Some(base) => (base, true),
         None => (config, false),
@@ -843,6 +948,7 @@ pub fn run_difftest(opts: &DiffOptions) -> DiffReport {
         report.claim9_confirmations += d.claim9;
         report.ill_typed_cells += d.ill_typed;
         report.panicked_cells += d.panicked;
+        report.byte_cells += d.byte_cells;
         if d.divergences.is_empty() {
             continue;
         }

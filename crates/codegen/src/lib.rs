@@ -48,4 +48,6 @@ pub mod table;
 pub use isa::{AluOp, FaluOp, MInst, Reg};
 pub use lower::{lower_function, lower_module};
 pub use machine::{MValue, Machine, MachineFault, MachineOutcome, MachineStats};
-pub use table::{ExceptionSiteTable, HandlerTable, MachineFunction, MachineModule};
+pub use table::{
+    ExceptionSiteTable, HandlerTable, MachineClass, MachineFunction, MachineModule, SiteInfo,
+};

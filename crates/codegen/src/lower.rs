@@ -17,9 +17,12 @@ use njc_ir::{
     BlockId, CallTarget, ConstValue, Function, Inst, Module, NullCheckKind, Op, Terminator, Type,
 };
 
+use njc_ir::{AccessKind, CheckId};
+
 use crate::isa::{AluOp, FaluOp, MInst, Reg};
 use crate::table::{
     ExceptionSiteTable, HandlerEntry, HandlerTable, MachineClass, MachineFunction, MachineModule,
+    SiteInfo,
 };
 
 fn alu_op(op: Op) -> AluOp {
@@ -78,9 +81,28 @@ pub fn lower_function(module: &Module, func: &Function) -> MachineFunction {
     for b in func.blocks() {
         block_pc[b.id.index()] = code.len();
         let start = code.len();
+        // Provenance for the next marked access: an implicit NullCheck
+        // emits no code, so its CheckId travels to the access that
+        // discharges it. Phase 2 over-marked accesses have no pending
+        // check and record [`CheckId::NONE`].
+        let mut pending_check = CheckId::NONE;
         for inst in &b.insts {
             let site = inst.is_exception_site();
             let at = code.len();
+            // Registers the marked access just pushed at `at` and consumes
+            // the pending implicit check's identity.
+            macro_rules! mark {
+                ($kind:expr, $off:expr) => {
+                    sites.insert(
+                        at,
+                        SiteInfo {
+                            check: std::mem::replace(&mut pending_check, CheckId::NONE),
+                            kind: $kind,
+                            offset: $off,
+                        },
+                    )
+                };
+            }
             match inst {
                 Inst::Const { dst, value } => code.push(MInst::LoadImm {
                     dst: r(*dst),
@@ -131,10 +153,12 @@ pub fn lower_function(module: &Module, func: &Function) -> MachineFunction {
                     a: r(*lhs),
                     b: r(*rhs),
                 }),
-                Inst::NullCheck { var, kind, .. } => match kind {
+                Inst::NullCheck { var, kind, id } => match kind {
                     NullCheckKind::Explicit => code.push(MInst::CheckNull { reg: r(*var) }),
                     NullCheckKind::Implicit => {
-                        // No code: the following marked access carries it.
+                        // No code: the following marked access carries it,
+                        // and inherits this check's provenance identity.
+                        pending_check = *id;
                     }
                 },
                 Inst::BoundCheck { index, length } => code.push(MInst::CheckBounds {
@@ -144,27 +168,29 @@ pub fn lower_function(module: &Module, func: &Function) -> MachineFunction {
                 Inst::GetField {
                     dst, obj, field, ..
                 } => {
+                    let off = module.field_offset(*field);
                     code.push(MInst::Load {
                         dst: r(*dst),
                         base: r(*obj),
                         index: None,
-                        imm: module.field_offset(*field),
+                        imm: off,
                     });
                     if site {
-                        sites.insert(at);
+                        mark!(AccessKind::Read, Some(off));
                     }
                 }
                 Inst::PutField {
                     obj, field, value, ..
                 } => {
+                    let off = module.field_offset(*field);
                     code.push(MInst::Store {
                         src: r(*value),
                         base: r(*obj),
                         index: None,
-                        imm: module.field_offset(*field),
+                        imm: off,
                     });
                     if site {
-                        sites.insert(at);
+                        mark!(AccessKind::Write, Some(off));
                     }
                 }
                 Inst::ArrayLength { dst, arr, .. } => {
@@ -175,7 +201,7 @@ pub fn lower_function(module: &Module, func: &Function) -> MachineFunction {
                         imm: 0,
                     });
                     if site {
-                        sites.insert(at);
+                        mark!(AccessKind::Read, Some(0));
                     }
                 }
                 Inst::ArrayLoad {
@@ -188,7 +214,7 @@ pub fn lower_function(module: &Module, func: &Function) -> MachineFunction {
                         imm: ARRAY_ELEMENTS_OFFSET,
                     });
                     if site {
-                        sites.insert(at);
+                        mark!(AccessKind::Read, None);
                     }
                 }
                 Inst::ArrayStore {
@@ -201,7 +227,7 @@ pub fn lower_function(module: &Module, func: &Function) -> MachineFunction {
                         imm: ARRAY_ELEMENTS_OFFSET,
                     });
                     if site {
-                        sites.insert(at);
+                        mark!(AccessKind::Write, None);
                     }
                 }
                 Inst::New { dst, class } => code.push(MInst::NewObj {
@@ -237,7 +263,8 @@ pub fn lower_function(module: &Module, func: &Function) -> MachineFunction {
                                 dst: dst.map(r),
                             });
                             if site {
-                                sites.insert(at);
+                                // The dispatch header load at offset 0.
+                                mark!(AccessKind::Read, Some(0));
                             }
                         }
                     }
@@ -402,6 +429,25 @@ mod tests {
         assert_eq!(load_pcs.len(), 2);
         assert!(!mf.sites.contains(load_pcs[0]));
         assert!(mf.sites.contains(load_pcs[1]));
+    }
+
+    #[test]
+    fn site_entries_carry_check_provenance() {
+        let m = test_module();
+        let f = parse_function(
+            "func f(v0: ref, v1: int) -> int {\n  locals v2: int\nbb0:\n  nullcheck! v0 #3\n  putfield v0, field0, v1 [site]\n  v2 = getfield v0, field0 [site]\n  return v2\n}",
+        )
+        .unwrap();
+        let mf = lower_function(&m, &f);
+        let entries: Vec<(usize, SiteInfo)> = mf.sites.iter().map(|(pc, i)| (pc, *i)).collect();
+        assert_eq!(entries.len(), 2);
+        // The implicit check's identity lands on the first marked access.
+        assert_eq!(entries[0].1.check, CheckId(3));
+        assert_eq!(entries[0].1.kind, AccessKind::Write);
+        assert_eq!(entries[0].1.offset, Some(8), "field0 sits past the header");
+        // The second marked access is over-marking: no owning check.
+        assert_eq!(entries[1].1.check, CheckId::NONE);
+        assert_eq!(entries[1].1.kind, AccessKind::Read);
     }
 
     #[test]

@@ -8,11 +8,11 @@
 //! ([`MachineFault::UnexpectedTrap`]).
 
 use njc_arch::Platform;
-use njc_ir::{Cond, ExceptionKind, Type};
+use njc_ir::{AccessKind, CheckId, Cond, ExceptionKind, Type};
 use njc_trap::{GuardedMemory, MemoryError};
 
 use crate::isa::{AluOp, FaluOp, MInst, Reg};
-use crate::table::MachineModule;
+use crate::table::{MachineFunction, MachineModule};
 
 /// Machine execution statistics.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -38,6 +38,15 @@ pub enum MachineFault {
         function: String,
         /// The faulting PC.
         pc: usize,
+        /// Whether the faulting instruction read or wrote memory.
+        kind: AccessKind,
+        /// The access's static byte offset, when it has one (`None` for
+        /// index-scaled accesses).
+        offset: Option<u64>,
+        /// The registered site nearest the faulting PC and the IR check it
+        /// discharges — the provenance lead `njc explain` reconciles the
+        /// escape against (`None` when the function has no sites at all).
+        nearest_site: Option<(usize, CheckId)>,
     },
     /// Access outside every allocation.
     WildAccess {
@@ -62,8 +71,32 @@ pub enum MachineFault {
 impl std::fmt::Display for MachineFault {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MachineFault::UnexpectedTrap { function, pc } => {
-                write!(f, "hardware trap at unregistered pc {pc} in {function}")
+            MachineFault::UnexpectedTrap {
+                function,
+                pc,
+                kind,
+                offset,
+                nearest_site,
+            } => {
+                write!(
+                    f,
+                    "hardware trap at unregistered pc {pc} in {function}: {} access",
+                    match kind {
+                        AccessKind::Read => "read",
+                        AccessKind::Write => "write",
+                    },
+                )?;
+                match offset {
+                    Some(off) => write!(f, " at static offset {off}")?,
+                    None => write!(f, " with a dynamic offset")?,
+                }
+                match nearest_site {
+                    Some((spc, check)) if check.is_some() => {
+                        write!(f, "; nearest site pc {spc} discharges check {check}")
+                    }
+                    Some((spc, _)) => write!(f, "; nearest site pc {spc} is over-marking"),
+                    None => write!(f, "; the function registers no sites"),
+                }
             }
             MachineFault::WildAccess { function, address } => {
                 write!(f, "wild access at {address:#x} in {function}")
@@ -379,10 +412,7 @@ impl<'m> Machine<'m> {
                                 self.charge(cost.trap_taken);
                                 raise!(ExceptionKind::NullPointer, pc);
                             }
-                            return Err(MachineFault::UnexpectedTrap {
-                                function: func.name.clone(),
-                                pc,
-                            });
+                            return Err(unexpected_trap(func, pc));
                         }
                         Err(MemoryError::WildAccess { address, .. }) => {
                             return Err(MachineFault::WildAccess {
@@ -408,10 +438,7 @@ impl<'m> Machine<'m> {
                                 self.charge(cost.trap_taken);
                                 raise!(ExceptionKind::NullPointer, pc);
                             }
-                            return Err(MachineFault::UnexpectedTrap {
-                                function: func.name.clone(),
-                                pc,
-                            });
+                            return Err(unexpected_trap(func, pc));
                         }
                         Err(MemoryError::WildAccess { address, .. }) => {
                             return Err(MachineFault::WildAccess {
@@ -512,10 +539,7 @@ impl<'m> Machine<'m> {
                                 self.charge(cost.trap_taken);
                                 raise!(ExceptionKind::NullPointer, pc);
                             }
-                            return Err(MachineFault::UnexpectedTrap {
-                                function: func.name.clone(),
-                                pc,
-                            });
+                            return Err(unexpected_trap(func, pc));
                         }
                         Err(MemoryError::WildAccess { address, .. }) => {
                             return Err(MachineFault::WildAccess {
@@ -575,6 +599,26 @@ impl<'m> Machine<'m> {
                 }
             }
         }
+    }
+}
+
+/// Builds the enriched [`MachineFault::UnexpectedTrap`] for a trap at
+/// `pc`: access kind and static offset read off the faulting instruction,
+/// plus the nearest registered site as a provenance lead.
+fn unexpected_trap(func: &MachineFunction, pc: usize) -> MachineFault {
+    let (kind, offset) = match &func.code[pc] {
+        MInst::Load { index, imm, .. } => (AccessKind::Read, index.is_none().then_some(*imm)),
+        MInst::Store { index, imm, .. } => (AccessKind::Write, index.is_none().then_some(*imm)),
+        // The only other trapping instruction is the virtual-dispatch
+        // header load at offset 0.
+        _ => (AccessKind::Read, Some(0)),
+    };
+    MachineFault::UnexpectedTrap {
+        function: func.name.clone(),
+        pc,
+        kind,
+        offset,
+        nearest_site: func.sites.nearest(pc).map(|(spc, info)| (spc, info.check)),
     }
 }
 

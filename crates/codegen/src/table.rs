@@ -9,16 +9,45 @@
 //! (Paper §3.3.2: *"we must mark such an instruction as an exception
 //! site"*.)
 
-use std::collections::HashSet;
+use std::collections::BTreeMap;
 
-use njc_ir::{CatchKind, Type};
+use njc_ir::{AccessKind, CatchKind, CheckId, Type};
 
 use crate::isa::Reg;
 
-/// The set of PCs whose memory access doubles as a null check.
+/// What one exception-site entry knows about its access — enough for the
+/// runtime to attribute a trap (or a silently-missed NPE) back to the IR
+/// check it discharges, and for a binary verifier to prove the access can
+/// actually fault on the null page.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SiteInfo {
+    /// The IR null check this site discharges ([`CheckId::NONE`] for
+    /// phase 2 over-marking, which guards accesses no check ever owned).
+    pub check: CheckId,
+    /// Whether the access reads or writes memory.
+    pub kind: AccessKind,
+    /// Static byte offset from the base register, when fixed (`None` for
+    /// index-scaled element accesses, whose offset is dynamic).
+    pub offset: Option<u64>,
+}
+
+impl SiteInfo {
+    /// An entry with no recorded provenance (tests, stripped tables).
+    pub fn anonymous(kind: AccessKind) -> Self {
+        SiteInfo {
+            check: CheckId::NONE,
+            kind,
+            offset: None,
+        }
+    }
+}
+
+/// The set of PCs whose memory access doubles as a null check, each with
+/// its [`SiteInfo`] provenance. Ordered by PC so iteration (and hence the
+/// emitted binary `.njc.exctab` section) is deterministic.
 #[derive(Clone, Default, Debug)]
 pub struct ExceptionSiteTable {
-    sites: HashSet<usize>,
+    sites: BTreeMap<usize, SiteInfo>,
 }
 
 impl ExceptionSiteTable {
@@ -28,13 +57,42 @@ impl ExceptionSiteTable {
     }
 
     /// Registers `pc` as an implicit null check site.
-    pub fn insert(&mut self, pc: usize) {
-        self.sites.insert(pc);
+    pub fn insert(&mut self, pc: usize, info: SiteInfo) {
+        self.sites.insert(pc, info);
     }
 
     /// Whether a trap at `pc` is a legal null check.
     pub fn contains(&self, pc: usize) -> bool {
-        self.sites.contains(&pc)
+        self.sites.contains_key(&pc)
+    }
+
+    /// The site entry at `pc`, if registered.
+    pub fn get(&self, pc: usize) -> Option<&SiteInfo> {
+        self.sites.get(&pc)
+    }
+
+    /// All entries in ascending PC order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &SiteInfo)> {
+        self.sites.iter().map(|(pc, info)| (*pc, info))
+    }
+
+    /// The registered site nearest to `pc` (ties break toward the earlier
+    /// PC) — the best provenance hint for a trap the table does *not*
+    /// cover.
+    pub fn nearest(&self, pc: usize) -> Option<(usize, &SiteInfo)> {
+        let below = self.sites.range(..=pc).next_back();
+        let above = self.sites.range(pc..).next();
+        match (below, above) {
+            (Some((bp, bi)), Some((ap, ai))) => {
+                if pc - bp <= ap - pc {
+                    Some((*bp, bi))
+                } else {
+                    Some((*ap, ai))
+                }
+            }
+            (Some((p, i)), None) | (None, Some((p, i))) => Some((*p, i)),
+            (None, None) => None,
+        }
     }
 
     /// Number of registered sites.
@@ -143,11 +201,28 @@ mod tests {
     fn site_table_membership() {
         let mut t = ExceptionSiteTable::new();
         assert!(t.is_empty());
-        t.insert(7);
-        t.insert(7);
+        t.insert(7, SiteInfo::anonymous(njc_ir::AccessKind::Read));
+        t.insert(7, SiteInfo::anonymous(njc_ir::AccessKind::Read));
         assert_eq!(t.len(), 1);
         assert!(t.contains(7));
         assert!(!t.contains(8));
+    }
+
+    #[test]
+    fn site_table_nearest_prefers_closer_entry() {
+        let mut t = ExceptionSiteTable::new();
+        assert!(t.nearest(3).is_none());
+        let info = |c: u32| SiteInfo {
+            check: CheckId(c),
+            kind: njc_ir::AccessKind::Read,
+            offset: Some(8),
+        };
+        t.insert(10, info(0));
+        t.insert(20, info(1));
+        assert_eq!(t.nearest(12).unwrap().0, 10);
+        assert_eq!(t.nearest(17).unwrap().0, 20);
+        assert_eq!(t.nearest(15).unwrap().0, 10, "tie breaks low");
+        assert_eq!(t.nearest(100).unwrap().1.check, CheckId(1));
     }
 
     #[test]

@@ -162,6 +162,35 @@ mod tests {
     }
 
     #[test]
+    fn panicking_compile_job_does_not_wedge_the_runtime() {
+        // Fault injection: every tier-1 compile of "hot" panics mid-job,
+        // as a buggy optimizer pass would. Before the workers recovered
+        // poisoned locks, one such panic wedged the whole runtime (the
+        // installs mutex stayed poisoned and every later lock().unwrap()
+        // cascaded). Now the job's unwind is caught, the function stays
+        // at tier 0, and the run completes with identical observable
+        // behavior.
+        let platform = Platform::windows_ia32();
+        let mut config = RuntimeConfig::for_platform(&platform);
+        config.panic_on_compile_of = Some("hot");
+        let rt = TieredRuntime::with_config(hot_field_workload(), platform, config);
+        let args = [Value::Int(3000), Value::Ref(0)];
+        let out = rt.run("main", &args).unwrap();
+        assert!(out.compile_panics > 0, "the injected panic must fire");
+        assert!(
+            !out.overrides.contains_key("hot"),
+            "no tier-1 install for the panicking function"
+        );
+        out.reconcile().unwrap();
+        out.verify_convergence().unwrap();
+
+        let clean = run_adaptive(3000);
+        assert_eq!(clean.compile_panics, 0);
+        clean.steady.assert_equivalent(&out.steady).unwrap();
+        clean.adaptive.assert_equivalent(&out.adaptive).unwrap();
+    }
+
+    #[test]
     fn long_run_swaps_mid_flight() {
         // Enough iterations that detection + recompile + install complete
         // while the loop is still turning. (The smoke gate in runtime_bench

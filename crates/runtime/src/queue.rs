@@ -26,7 +26,7 @@
 //! does.
 
 use std::collections::BTreeMap;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::Instant;
 
 use njc_core::ExplicitOverride;
@@ -177,7 +177,7 @@ impl RecompileQueue {
 
     /// Submits one request, coalescing on key. See [`Submitted`].
     pub fn submit(&self, req: RecompileRequest) -> Submitted {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if inner.closed {
             return Submitted::Rejected;
         }
@@ -217,7 +217,7 @@ impl RecompileQueue {
     /// compiles in effective-priority order, or `None` once the queue is
     /// closed and drained.
     pub fn pop_batch(&self) -> Option<Vec<PendingCompile>> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if !inner.pending.is_empty() {
                 return Some(Self::take_batch(&mut inner, &self.config));
@@ -225,7 +225,10 @@ impl RecompileQueue {
             if inner.closed {
                 return None;
             }
-            inner = self.ready.wait(inner).unwrap();
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -233,7 +236,7 @@ impl RecompileQueue {
     ///
     /// [`pop_batch`]: RecompileQueue::pop_batch
     pub fn try_pop_batch(&self) -> Option<Vec<PendingCompile>> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if inner.pending.is_empty() {
             return None;
         }
@@ -273,7 +276,7 @@ impl RecompileQueue {
     /// its queue-to-done latency.
     pub fn complete(&self, job: &PendingCompile) {
         let us = job.enqueued_at.elapsed().as_micros().min(u64::MAX as u128) as u64;
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.stats.completed += 1;
         inner.latencies_us.push(us);
     }
@@ -281,23 +284,37 @@ impl RecompileQueue {
     /// Closes the queue: pending work still drains, new submits reject,
     /// and blocked workers wake (getting `None` once drained).
     pub fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed = true;
         self.ready.notify_all();
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> QueueStats {
-        self.inner.lock().unwrap().stats
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .stats
     }
 
     /// Completed-compile latencies in microseconds, submission order.
     pub fn latencies_us(&self) -> Vec<u64> {
-        self.inner.lock().unwrap().latencies_us.clone()
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .latencies_us
+            .clone()
     }
 
     /// Pending compiles right now.
     pub fn pending_len(&self) -> usize {
-        self.inner.lock().unwrap().pending.len()
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pending
+            .len()
     }
 }
 

@@ -17,7 +17,7 @@
 //! the single-tenant LRU behavior.
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::cache::{CacheKey, CacheStats, CodeCache, CompiledArtifact};
 
@@ -121,7 +121,9 @@ impl ShardedCodeCache {
     /// Looks up `key` in its shard, refreshing recency and recording
     /// interest for the admission policy.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<CompiledArtifact>> {
-        let mut shard = self.shards[self.shard_of(key)].lock().unwrap();
+        let mut shard = self.shards[self.shard_of(key)]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         shard.touch(key);
         shard.cache.get(key)
     }
@@ -130,7 +132,9 @@ impl ShardedCodeCache {
     /// afterwards: a full shard admits the candidate only if it has been
     /// asked for at least as often as the LRU victim it would evict.
     pub fn insert(&self, key: CacheKey, artifact: Arc<CompiledArtifact>) -> bool {
-        let mut shard = self.shards[self.shard_of(&key)].lock().unwrap();
+        let mut shard = self.shards[self.shard_of(&key)]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let candidate_freq = shard.touch(&key);
         let full = shard.cache.len() >= shard.cache.capacity();
         if full && !shard.cache.contains(&key) {
@@ -153,7 +157,7 @@ impl ShardedCodeCache {
     pub fn contains(&self, key: &CacheKey) -> bool {
         self.shards[self.shard_of(key)]
             .lock()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .cache
             .contains(key)
     }
@@ -162,7 +166,7 @@ impl ShardedCodeCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().unwrap().cache.len())
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).cache.len())
             .sum()
     }
 
@@ -175,7 +179,11 @@ impl ShardedCodeCache {
     pub fn stats(&self) -> CacheStats {
         let mut total = CacheStats::default();
         for shard in &self.shards {
-            let s = shard.lock().unwrap().cache.stats();
+            let s = shard
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .cache
+                .stats();
             total.hits += s.hits;
             total.misses += s.misses;
             total.evictions += s.evictions;
@@ -190,7 +198,7 @@ impl ShardedCodeCache {
             .iter()
             .enumerate()
             .map(|(index, shard)| {
-                let shard = shard.lock().unwrap();
+                let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
                 let s = shard.cache.stats();
                 ShardStats {
                     index,

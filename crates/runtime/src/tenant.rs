@@ -42,8 +42,8 @@
 //! compilation, never what the program computes.
 
 use std::collections::{BTreeSet, HashMap};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 use njc_arch::Platform;
@@ -152,6 +152,11 @@ pub struct ServiceOutcome {
     /// `std::thread::available_parallelism()` of the host, for context
     /// next to throughput numbers.
     pub host_parallelism: usize,
+    /// Compile jobs that panicked mid-compile and were survived —
+    /// service workers and per-tenant fixpoint passes combined. The
+    /// fleet keeps running; the affected functions stay at their last
+    /// installed tier.
+    pub compile_panics: u64,
 }
 
 impl ServiceOutcome {
@@ -291,6 +296,7 @@ impl ServiceRuntime {
 
         let state_ref = &state;
         let queue_ref = &queue;
+        let worker_panics = AtomicU64::new(0);
         let cache_ref: &ShardedCodeCache = &self.cache;
         let lock_ref = &compile_lock;
         let install_delay = rt.install_delay_micros;
@@ -306,61 +312,78 @@ impl ServiceRuntime {
                         .with_config(vm_config)
                         .with_hooks(&t.hooks)
                         .run(&t.spec.entry, &t.spec.args);
-                    *t.result.lock().unwrap() = Some(out);
+                    *t.result.lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
                 });
             }
 
             // Workers: pop priority batches, compile once, install into
-            // every waiter.
+            // every waiter. Each job runs under `catch_unwind`: a
+            // panicking compile (a buggy optimizer pass) must not take
+            // the worker — or the fleet — down with it. The job was
+            // already popped from the queue, so nothing stays pending;
+            // every waiting tenant simply keeps its last installed tier.
             for _ in 0..self.config.workers.max(1) {
+                let panics = &worker_panics;
                 scope.spawn(move || {
                     while let Some(batch) = queue_ref.pop_batch() {
                         for job in batch {
-                            let first = job.waiters[0];
-                            let ft = &state_ref[first.tenant];
-                            let compiler = TierCompiler {
-                                tier1_base: &ft.tier1_base,
-                                cfg1: &ft.cfg1,
-                                kind: kind1,
-                                platform: &platform,
-                                cache: cache_ref,
-                                compile_lock: Some(lock_ref),
-                            };
-                            let (artifact, cache_hit) =
-                                compiler.compile(first.function_index, &job.overrides);
-                            if install_delay > 0 {
-                                // Fault injection: artifact done, install
-                                // channel stalls.
-                                std::thread::sleep(Duration::from_micros(install_delay));
+                            let survived =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    let first = job.waiters[0];
+                                    let ft = &state_ref[first.tenant];
+                                    let compiler = TierCompiler {
+                                        tier1_base: &ft.tier1_base,
+                                        cfg1: &ft.cfg1,
+                                        kind: kind1,
+                                        platform: &platform,
+                                        cache: cache_ref,
+                                        compile_lock: Some(lock_ref),
+                                        panic_injection: rt.panic_on_compile_of,
+                                    };
+                                    let (artifact, cache_hit) =
+                                        compiler.compile(first.function_index, &job.overrides);
+                                    if install_delay > 0 {
+                                        // Fault injection: artifact done,
+                                        // install channel stalls.
+                                        std::thread::sleep(Duration::from_micros(install_delay));
+                                    }
+                                    for (wi, w) in job.waiters.iter().enumerate() {
+                                        let t = &state_ref[w.tenant];
+                                        let snap = t.hooks.snapshot();
+                                        t.hooks.install(
+                                            w.function_index as u32,
+                                            Arc::clone(&artifact.body),
+                                        );
+                                        let event = RecompileEvent {
+                                            function: t
+                                                .tier1_base
+                                                .function(FunctionId::new(w.function_index))
+                                                .name()
+                                                .to_string(),
+                                            to_config: t.cfg1.name.to_string(),
+                                            overrides: job.overrides.len(),
+                                            // Only the first waiter of a
+                                            // fresh compile paid for it.
+                                            cache_hit: cache_hit || wi > 0,
+                                            mid_run: !t.hooks.is_finished(),
+                                            at_calls: snap.calls,
+                                        };
+                                        t.installs
+                                            .lock()
+                                            .unwrap_or_else(PoisonError::into_inner)
+                                            .push(Install {
+                                                index: w.function_index,
+                                                overrides: job.overrides.clone(),
+                                                artifact: Arc::clone(&artifact),
+                                                event,
+                                                baseline: snap.counters,
+                                            });
+                                    }
+                                    queue_ref.complete(&job);
+                                }));
+                            if survived.is_err() {
+                                panics.fetch_add(1, Ordering::Relaxed);
                             }
-                            for (wi, w) in job.waiters.iter().enumerate() {
-                                let t = &state_ref[w.tenant];
-                                let snap = t.hooks.snapshot();
-                                t.hooks
-                                    .install(w.function_index as u32, Arc::clone(&artifact.body));
-                                let event = RecompileEvent {
-                                    function: t
-                                        .tier1_base
-                                        .function(FunctionId::new(w.function_index))
-                                        .name()
-                                        .to_string(),
-                                    to_config: t.cfg1.name.to_string(),
-                                    overrides: job.overrides.len(),
-                                    // Only the first waiter of a fresh
-                                    // compile paid for it.
-                                    cache_hit: cache_hit || wi > 0,
-                                    mid_run: !t.hooks.is_finished(),
-                                    at_calls: snap.calls,
-                                };
-                                t.installs.lock().unwrap().push(Install {
-                                    index: w.function_index,
-                                    overrides: job.overrides.clone(),
-                                    artifact: Arc::clone(&artifact),
-                                    event,
-                                    baseline: snap.counters,
-                                });
-                            }
-                            queue_ref.complete(&job);
                         }
                     }
                 });
@@ -371,15 +394,20 @@ impl ServiceRuntime {
             // the dispatch channel swapped for the shared queue.
             let mut requested: Vec<HashMap<usize, ExplicitOverride>> =
                 vec![HashMap::new(); state.len()];
-            let live =
-                |t: &TenantState| !t.hooks.is_finished() && t.result.lock().unwrap().is_none();
+            let live = |t: &TenantState| {
+                !t.hooks.is_finished()
+                    && t.result
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .is_none()
+            };
             while state.iter().any(live) {
                 for (ti, t) in state.iter().enumerate() {
                     if !live(t) {
                         continue;
                     }
                     let snap = t.hooks.snapshot();
-                    let installed = t.installs.lock().unwrap();
+                    let installed = t.installs.lock().unwrap_or_else(PoisonError::into_inner);
                     for fi in 0..t.tier0.num_functions() {
                         let latest = installed.iter().rev().find(|i| i.index == fi);
                         let body: &Function = latest
@@ -454,7 +482,10 @@ impl ServiceRuntime {
                         });
                         if sub != Submitted::Rejected {
                             requested[ti].insert(fi, want);
-                            t.keys.lock().unwrap().insert(key);
+                            t.keys
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .insert(key);
                         }
                         // Rejected: backpressure — retry on a later poll
                         // if the profile still says so.
@@ -479,7 +510,9 @@ impl ServiceRuntime {
                     let i = next.fetch_add(1, Ordering::SeqCst);
                     let Some(t) = state_ref.get(i) else { break };
                     let r = finalize_tenant(t, platform, &rt, kind1, cache_ref, lock_ref);
-                    *fixpoint_ref[i].lock().unwrap() = Some(r);
+                    *fixpoint_ref[i]
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner) = Some(r);
                 });
             }
         });
@@ -488,7 +521,7 @@ impl ServiceRuntime {
         for (i, cell) in fixpoint.iter().enumerate() {
             let r = cell
                 .lock()
-                .unwrap()
+                .unwrap_or_else(PoisonError::into_inner)
                 .take()
                 .unwrap_or_else(|| panic!("tenant {i} fixpoint missing"));
             tenants.push(r?);
@@ -507,6 +540,11 @@ impl ServiceRuntime {
             }
         }
         let isolated_compiles = tenants.iter().map(|t| t.distinct_keys as u64).sum();
+        let compile_panics = worker_panics.load(Ordering::Relaxed)
+            + tenants
+                .iter()
+                .map(|t| t.outcome.compile_panics)
+                .sum::<u64>();
         Ok(ServiceOutcome {
             cache: self.cache.stats(),
             shards: self.cache.shard_stats(),
@@ -518,6 +556,7 @@ impl ServiceRuntime {
             host_parallelism: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            compile_panics,
             tenants,
         })
     }
@@ -537,10 +576,10 @@ fn finalize_tenant(
     let adaptive = t
         .result
         .lock()
-        .unwrap()
+        .unwrap_or_else(PoisonError::into_inner)
         .take()
         .expect("carrier stored the adaptive result")?;
-    let installs = std::mem::take(&mut *t.installs.lock().unwrap());
+    let installs = std::mem::take(&mut *t.installs.lock().unwrap_or_else(PoisonError::into_inner));
     let final_snap = t.hooks.snapshot();
     let compiler = TierCompiler {
         tier1_base: &t.tier1_base,
@@ -549,12 +588,14 @@ fn finalize_tenant(
         platform: &platform,
         cache,
         compile_lock: Some(compile_lock),
+        panic_injection: rt.panic_on_compile_of,
     };
     let Finalized {
         final_module,
         overrides,
         tier_traces,
         recompiles,
+        compile_panics,
     } = finalize_tiers(FinalizeInput {
         tier0: &t.tier0,
         tier0_trace: &t.tier0_trace,
@@ -570,7 +611,7 @@ fn finalize_tenant(
     // The fixpoint's settled artifacts also count toward the tenant's
     // isolated compile bill.
     {
-        let mut keys = t.keys.lock().unwrap();
+        let mut keys = t.keys.lock().unwrap_or_else(PoisonError::into_inner);
         for (name, ov) in &overrides {
             if let Some(fid) = t.tier1_base.function_by_name(name) {
                 keys.insert(CacheKey::new(
@@ -586,7 +627,7 @@ fn finalize_tenant(
     let steady = Vm::new(&final_module, platform)
         .with_config(rt.vm)
         .run(&t.spec.entry, &t.spec.args)?;
-    let distinct_keys = t.keys.lock().unwrap().len();
+    let distinct_keys = t.keys.lock().unwrap_or_else(PoisonError::into_inner).len();
     Ok(TenantOutcome {
         name: t.spec.name.clone(),
         outcome: RuntimeOutcome {
@@ -599,6 +640,7 @@ fn finalize_tenant(
             final_module,
             tier0_trace: t.tier0_trace.clone(),
             tier_traces,
+            compile_panics,
         },
         distinct_keys,
     })
@@ -645,6 +687,43 @@ mod tests {
             out.compiles_performed,
             out.isolated_compiles
         );
+    }
+
+    #[test]
+    fn fleet_survives_panicking_compile_jobs() {
+        // Fault injection: every tier-1 compile of "hot" panics inside a
+        // shared service worker, while holding the cross-tenant compile
+        // lock. Before poison recovery, that one panic poisoned the lock
+        // and every subsequent compile — for *every* tenant — panicked on
+        // lock().unwrap(): one buggy job took down the whole fleet. Now
+        // workers catch the unwind, poisoned locks are re-entered, and
+        // every tenant completes with unchanged observable behavior
+        // ("hot" simply stays at tier 0).
+        let platform = Platform::windows_ia32();
+        let mut config = ServiceConfig::for_platform(&platform);
+        config.runtime.panic_on_compile_of = Some("hot");
+        let service = ServiceRuntime::with_config(platform, config);
+        let specs: Vec<TenantSpec> = (0..4).map(|i| spec(&format!("t{i}"), 3000)).collect();
+        let out = service.run(&specs).unwrap();
+        assert_eq!(out.tenants.len(), 4, "every tenant completed");
+        assert!(out.compile_panics > 0, "the injected panic must fire");
+        out.verify().unwrap();
+
+        let clean = TieredRuntime::new(hot_field_workload(), platform)
+            .run("main", &[Value::Int(3000), Value::Ref(0)])
+            .unwrap();
+        for t in &out.tenants {
+            assert!(
+                !t.outcome.overrides.contains_key("hot"),
+                "{}: no tier-1 install for the panicking function",
+                t.name
+            );
+            clean.steady.assert_equivalent(&t.outcome.steady).unwrap();
+            clean
+                .adaptive
+                .assert_equivalent(&t.outcome.adaptive)
+                .unwrap();
+        }
     }
 
     #[test]

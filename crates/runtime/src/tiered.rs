@@ -19,7 +19,8 @@
 //! benchmark reports.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 use njc_arch::Platform;
@@ -75,6 +76,12 @@ pub struct RuntimeConfig {
     /// and installing it, in microseconds. Fault-injects a *delayed
     /// install channel* — observable behavior must not change.
     pub install_delay_micros: u64,
+    /// Fault injection: every tier-1 compile of the named function
+    /// panics mid-compile, as a buggy optimizer pass would. The runtime
+    /// must survive — workers catch the unwind, poisoned locks are
+    /// re-entered, the function simply stays at its last installed tier,
+    /// and observable behavior must not change.
+    pub panic_on_compile_of: Option<&'static str>,
     /// VM limits for both the adaptive and the measurement run.
     pub vm: VmConfig,
 }
@@ -95,6 +102,7 @@ impl RuntimeConfig {
             tier_down: true,
             controller_poll_micros: 200,
             install_delay_micros: 0,
+            panic_on_compile_of: None,
             vm: VmConfig::default(),
         }
     }
@@ -126,6 +134,10 @@ pub struct RuntimeOutcome {
     /// Every tier's provenance per function, install order (tier 0
     /// first). Input to tiered reconciliation.
     pub tier_traces: BTreeMap<String, Vec<FunctionTrace>>,
+    /// Compile jobs that panicked mid-compile and were survived: the
+    /// worker caught the unwind, any poisoned lock was re-entered, and
+    /// the function stayed at its last installed tier.
+    pub compile_panics: u64,
 }
 
 impl RuntimeOutcome {
@@ -285,6 +297,10 @@ pub(crate) struct TierCompiler<'a> {
     /// hits instead of duplicate work. `None` for the single-tenant
     /// runtime, whose worker jobs never share a key.
     pub(crate) compile_lock: Option<&'a Mutex<()>>,
+    /// [`RuntimeConfig::panic_on_compile_of`], threaded through so the
+    /// injected unwind happens exactly where a real optimizer bug would:
+    /// inside a compile job, past the cache lookup.
+    pub(crate) panic_injection: Option<&'static str>,
 }
 
 impl TierCompiler<'_> {
@@ -306,13 +322,18 @@ impl TierCompiler<'_> {
         if let Some(artifact) = self.cache.get(&key) {
             return (artifact, true);
         }
-        let _serialized = self.compile_lock.map(|l| l.lock().unwrap());
+        let _serialized = self
+            .compile_lock
+            .map(|l| l.lock().unwrap_or_else(PoisonError::into_inner));
         if self.compile_lock.is_some() {
             // Double-check: another holder may have landed this key while
             // we waited on the lock.
             if let Some(artifact) = self.cache.get(&key) {
                 return (artifact, true);
             }
+        }
+        if self.panic_injection == Some(self.tier1_base.function(fid).name()) {
+            panic!("injected compile-job panic");
         }
         let mut func = self.tier1_base.function(fid).clone();
         let (_stats, trace) = optimize_function_overridden(
@@ -422,8 +443,10 @@ impl TieredRuntime {
             platform: &self.platform,
             cache: &self.cache,
             compile_lock: None,
+            panic_injection: self.config.panic_on_compile_of,
         };
 
+        let compile_panics = AtomicU64::new(0);
         let installs: Mutex<Vec<Install>> = Mutex::new(Vec::new());
         let (job_tx, job_rx) = mpsc::channel::<Job>();
         let job_rx = Mutex::new(job_rx);
@@ -434,6 +457,7 @@ impl TieredRuntime {
         let hooks_ref = &hooks;
         let installs_ref = &installs;
         let job_rx_ref = &job_rx;
+        let panics_ref = &compile_panics;
         let install_delay = self.config.install_delay_micros;
 
         let adaptive = std::thread::scope(|scope| -> Result<Outcome, Fault> {
@@ -450,36 +474,53 @@ impl TieredRuntime {
                             // Holding the lock across recv serializes job
                             // pickup; recompiles are rare enough that this
                             // is simpler than a shared deque.
-                            let job = job_rx_ref.lock().unwrap().recv();
+                            let job = job_rx_ref
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .recv();
                             let Ok(job) = job else { break };
-                            let (artifact, cache_hit) =
-                                compiler_ref.compile(job.index, &job.overrides);
-                            if install_delay > 0 {
-                                // Fault injection: the install channel sits
-                                // on a finished artifact before publishing.
-                                std::thread::sleep(Duration::from_micros(install_delay));
+                            // A panicking compile job (a buggy optimizer
+                            // pass) must kill neither this worker nor —
+                            // via a poisoned mutex — the whole runtime:
+                            // catch the unwind, count it, move on. The
+                            // function stays at its current tier.
+                            let survived =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    let (artifact, cache_hit) =
+                                        compiler_ref.compile(job.index, &job.overrides);
+                                    if install_delay > 0 {
+                                        // Fault injection: the install channel sits
+                                        // on a finished artifact before publishing.
+                                        std::thread::sleep(Duration::from_micros(install_delay));
+                                    }
+                                    let snap = hooks_ref.snapshot();
+                                    hooks_ref.install(job.index as u32, Arc::clone(&artifact.body));
+                                    let event = RecompileEvent {
+                                        function: compiler_ref
+                                            .tier1_base
+                                            .function(FunctionId::new(job.index))
+                                            .name()
+                                            .to_string(),
+                                        to_config: compiler_ref.cfg1.name.to_string(),
+                                        overrides: job.overrides.len(),
+                                        cache_hit,
+                                        mid_run: !hooks_ref.is_finished(),
+                                        at_calls: snap.calls,
+                                    };
+                                    installs_ref
+                                        .lock()
+                                        .unwrap_or_else(PoisonError::into_inner)
+                                        .push(Install {
+                                            index: job.index,
+                                            overrides: job.overrides,
+                                            artifact,
+                                            event,
+                                            baseline: snap.counters,
+                                        });
+                                }));
+                            if survived.is_err() {
+                                panics_ref.fetch_add(1, Ordering::Relaxed);
                             }
-                            let snap = hooks_ref.snapshot();
-                            hooks_ref.install(job.index as u32, Arc::clone(&artifact.body));
-                            let event = RecompileEvent {
-                                function: compiler_ref
-                                    .tier1_base
-                                    .function(FunctionId::new(job.index))
-                                    .name()
-                                    .to_string(),
-                                to_config: compiler_ref.cfg1.name.to_string(),
-                                overrides: job.overrides.len(),
-                                cache_hit,
-                                mid_run: !hooks_ref.is_finished(),
-                                at_calls: snap.calls,
-                            };
-                            installs_ref.lock().unwrap().push(Install {
-                                index: job.index,
-                                overrides: job.overrides,
-                                artifact,
-                                event,
-                                baseline: snap.counters,
-                            });
                         }
                     })
                 })
@@ -490,7 +531,7 @@ impl TieredRuntime {
             // otherwise never be marked finished.
             while !hooks.is_finished() && !vm_handle.is_finished() {
                 let snap = hooks.snapshot();
-                let installed = installs.lock().unwrap();
+                let installed = installs.lock().unwrap_or_else(PoisonError::into_inner);
                 for fi in 0..tier0.num_functions() {
                     let latest = installed.iter().rev().find(|i| i.index == fi);
                     let body: &Function = latest
@@ -548,7 +589,9 @@ impl TieredRuntime {
         })?;
 
         let mid_run_swaps = hooks.swapped_calls();
-        let installs = installs.into_inner().unwrap();
+        let installs = installs
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
         let final_snap = hooks.snapshot();
 
         let finalized = finalize_tiers(FinalizeInput {
@@ -567,6 +610,7 @@ impl TieredRuntime {
             overrides,
             tier_traces,
             recompiles,
+            compile_panics: fixpoint_panics,
         } = finalized;
 
         // The measurement run: final bodies, no adaptation, fully
@@ -585,6 +629,7 @@ impl TieredRuntime {
             final_module,
             tier0_trace,
             tier_traces,
+            compile_panics: compile_panics.load(Ordering::Relaxed) + fixpoint_panics,
         })
     }
 }
@@ -615,6 +660,9 @@ pub(crate) struct Finalized {
     pub(crate) overrides: BTreeMap<String, ExplicitOverride>,
     pub(crate) tier_traces: BTreeMap<String, Vec<FunctionTrace>>,
     pub(crate) recompiles: Vec<RecompileEvent>,
+    /// Fixpoint compiles that panicked (and were survived): the function
+    /// keeps its last successfully installed body.
+    pub(crate) compile_panics: u64,
 }
 
 /// The post-run fixpoint pass: the adaptive run may have ended before the
@@ -663,6 +711,7 @@ pub(crate) fn finalize_tiers(input: FinalizeInput<'_>) -> Finalized {
         })
         .collect();
     let mut recompiles = Vec::new();
+    let mut compile_panics = 0u64;
     for install in installs {
         let st = &mut state[install.index];
         st.body = Some(Arc::clone(&install.artifact.body));
@@ -699,7 +748,17 @@ pub(crate) fn finalize_tiers(input: FinalizeInput<'_>) -> Finalized {
         if st.body.is_some() && want == st.overrides {
             continue; // already at the fixpoint
         }
-        let (artifact, cache_hit) = compiler.compile(fi, &want);
+        let compiled =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| compiler.compile(fi, &want)));
+        let (artifact, cache_hit) = match compiled {
+            Ok(c) => c,
+            Err(_) => {
+                // The fixpoint compile panicked: keep the last installed
+                // body (or tier 0) instead of wedging the whole run.
+                compile_panics += 1;
+                continue;
+            }
+        };
         recompiles.push(RecompileEvent {
             function: tier0_body.name().to_string(),
             to_config: compiler.cfg1.name.to_string(),
@@ -732,5 +791,6 @@ pub(crate) fn finalize_tiers(input: FinalizeInput<'_>) -> Finalized {
         overrides,
         tier_traces,
         recompiles,
+        compile_panics,
     }
 }

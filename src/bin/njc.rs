@@ -13,6 +13,9 @@
 //! njc runtime --smoke
 //! njc service <file.ir> [--platform <name>] [--tenants N]
 //! njc service --smoke [--tenants N]
+//! njc emit <file.ir> [--config <name>] [--platform <name>] [--threads N] [--out PATH]
+//! njc verify-binary <file.ir> [--config <name>] [--platform <name>] [--threads N]
+//! njc verify-binary --smoke [--threads N]
 //!
 //!   --config      full (default) | phase1 | old | trap | none | speculation |
 //!                 no-speculation | illegal-implicit
@@ -78,6 +81,24 @@
 //! tier-down — the burst tenants settle back to zero override slots while
 //! the hot-field tenants keep theirs.
 //!
+//! The `emit` subcommand lowers the optimized program all the way to x86-64
+//! machine bytes (`njc_emit`) and writes a minimal ELF64 relocatable whose
+//! `.njc.exctab` / `.njc.handlers` sections carry the exception-site table
+//! and handler ranges as first-class binary artifacts. Emission is
+//! deterministic: the same input produces byte-identical objects at any
+//! `--threads` count (checked on every invocation).
+//!
+//! The `verify-binary` subcommand is the binary-level soundness gate: it
+//! re-derives the instruction stream from the emitted bytes and proves
+//! (a) every exception-site entry decodes to a memory access that can
+//! genuinely fault on the null page under the platform trap model, (b) no
+//! eliminated check left a residual compare-and-branch, (c) handler ranges
+//! are well-formed and nest, and (d) the binary's explicit-check census
+//! (`test rax, rax` fingerprints) matches the optimizer's provenance
+//! ledger exactly. The ELF round-trip (`write_elf` → `parse_elf`) is also
+//! checked. `--smoke` runs the gate over the whole built-in corpus across
+//! platforms and configurations (the CI gate).
+//!
 //! The input file contains one or more functions in the textual IR syntax
 //! (see `njc_ir::parse`), separated by blank lines. Classes referenced as
 //! `classN`/`fieldN` are synthesized automatically: eight classes with
@@ -95,7 +116,7 @@ use njc_vm::{SiteCounters, Vm, VmConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: njc <file.ir> [--config full|phase1|old|trap|none|speculation|no-speculation|illegal-implicit] [--platform ia32|aix|s390] [--emit] [--run] [--all] [--events-out PATH] [--trace-out PATH]\n       njc explain <file.ir> [<fn> [<check-id>]] [--config ...] [--platform ...] [--interproc] [--gvn] [--run] [--threads N] [--events-out PATH] [--trace-out PATH]\n       njc explain --smoke [--threads N]\n       njc difftest [--smoke] [--seeds N] [--legacy-addressing] [--no-interproc] [--no-gvn] [--fixtures DIR] [--out PATH]\n       njc runtime <file.ir> [--platform ia32|aix|s390] [--profile-threshold R]\n       njc runtime --smoke\n       njc service <file.ir> [--platform ia32|aix|s390] [--tenants N]\n       njc service --smoke [--tenants N]"
+        "usage: njc <file.ir> [--config full|phase1|old|trap|none|speculation|no-speculation|illegal-implicit] [--platform ia32|aix|s390] [--emit] [--run] [--all] [--events-out PATH] [--trace-out PATH]\n       njc explain <file.ir> [<fn> [<check-id>]] [--config ...] [--platform ...] [--interproc] [--gvn] [--run] [--threads N] [--events-out PATH] [--trace-out PATH]\n       njc explain --smoke [--threads N]\n       njc difftest [--smoke] [--seeds N] [--legacy-addressing] [--no-interproc] [--no-gvn] [--fixtures DIR] [--out PATH]\n       njc runtime <file.ir> [--platform ia32|aix|s390] [--profile-threshold R]\n       njc runtime --smoke\n       njc service <file.ir> [--platform ia32|aix|s390] [--tenants N]\n       njc service --smoke [--tenants N]\n       njc emit <file.ir> [--config ...] [--platform ...] [--threads N] [--out PATH]\n       njc verify-binary <file.ir> [--config ...] [--platform ...] [--threads N]\n       njc verify-binary --smoke [--threads N]"
     );
     ExitCode::FAILURE
 }
@@ -129,10 +150,11 @@ fn difftest_main(args: &[String]) -> ExitCode {
     }
     let report = run_difftest(&opts);
     println!(
-        "difftest: {} programs, {} cells, {} divergences, {} claim-9 confirmations (Illegal \
-         Implicit missed NPEs), {} ill-typed cells survived, {} panics",
+        "difftest: {} programs, {} cells ({} byte-level), {} divergences, {} claim-9 \
+         confirmations (Illegal Implicit missed NPEs), {} ill-typed cells survived, {} panics",
         report.programs,
         report.cells,
+        report.byte_cells,
         report.divergences.len(),
         report.claim9_confirmations,
         report.ill_typed_cells,
@@ -712,6 +734,79 @@ fn explain_one(
                  resolved to provenance records"
             );
         }
+        // Machine-level reconciliation: the same module lowered to the
+        // linear ISA and executed over its exception site tables. A
+        // hardware trap escaping the table is a compiler soundness bug;
+        // the enriched fault carries enough provenance (function, PC,
+        // access kind, static offset, nearest surviving site) to pull the
+        // responsible check's life story out of the optimizer trace
+        // instead of surfacing a bare PC.
+        let mm = njc_codegen::lower_module(&optimized);
+        match njc_codegen::Machine::new(&mm, *platform).run("main") {
+            Ok(mout) => {
+                if !quiet {
+                    println!(
+                        "machine: {} traps dispatched through the site tables, {} explicit \
+                         checks executed",
+                        mout.stats.traps_taken, mout.stats.explicit_null_checks
+                    );
+                }
+            }
+            Err(njc_codegen::MachineFault::UnexpectedTrap {
+                function,
+                pc,
+                kind,
+                offset,
+                nearest_site,
+            }) => {
+                let mut msg = format!(
+                    "machine trap escaped the site table: {kind:?} access at pc {pc} in \
+                     `{function}`"
+                );
+                match offset {
+                    Some(off) => {
+                        let _ = std::fmt::Write::write_fmt(
+                            &mut msg,
+                            format_args!(" (static offset {off})"),
+                        );
+                    }
+                    None => msg.push_str(" (dynamic offset)"),
+                }
+                match nearest_site {
+                    Some((spc, check)) if check.is_some() => {
+                        let _ = std::fmt::Write::write_fmt(
+                            &mut msg,
+                            format_args!("\nnearest surviving site: pc {spc}, check {check}"),
+                        );
+                        if let Some(ft) = trace.function(&function) {
+                            let _ = std::fmt::Write::write_fmt(
+                                &mut msg,
+                                format_args!("\n{}", ft.explain(Some(check))),
+                            );
+                        }
+                    }
+                    Some((spc, _)) => {
+                        let _ = std::fmt::Write::write_fmt(
+                            &mut msg,
+                            format_args!("\nnearest surviving site: pc {spc} (over-marking)"),
+                        );
+                    }
+                    None => {
+                        if let Some(ft) = trace.function(&function) {
+                            let _ = std::fmt::Write::write_fmt(
+                                &mut msg,
+                                format_args!(
+                                    "\nno sites survive in `{function}`; its check stories:\n{}",
+                                    ft.explain(None)
+                                ),
+                            );
+                        }
+                    }
+                }
+                return Err(msg);
+            }
+            Err(f) => return Err(format!("machine fault while reconciling: {f}")),
+        }
     }
     Ok((stats, trace))
 }
@@ -1037,10 +1132,274 @@ fn run_one(
     ExitCode::SUCCESS
 }
 
+/// `emit_one`'s success payload: the emitted module, the per-function
+/// explicit-check census expectation (`explicit_final` from the
+/// provenance ledger), and the serialized ELF bytes.
+type Emitted = (
+    njc_emit::EmittedModule,
+    std::collections::BTreeMap<String, u64>,
+    Vec<u8>,
+);
+
+/// Optimizes, lowers, and emits `module`, checking the invariants every
+/// invocation: emission at `threads` is byte-identical to single-threaded
+/// emission, and the ELF container round-trips losslessly.
+fn emit_one(
+    module: &Module,
+    platform: &Platform,
+    kind: ConfigKind,
+    threads: usize,
+) -> Result<Emitted, String> {
+    let mut optimized = module.clone();
+    let config = kind.to_config(platform);
+    let (_, trace) = njc_opt::optimize_module_traced(&mut optimized, platform, &config);
+    let census: std::collections::BTreeMap<String, u64> = trace
+        .functions
+        .iter()
+        .map(|f| (f.function.clone(), f.ledger.explicit_final))
+        .collect();
+    let mm = njc_codegen::lower_module(&optimized);
+    let em = njc_emit::emit_module(&mm, threads);
+    if em != njc_emit::emit_module(&mm, 1) {
+        return Err(format!(
+            "emission is thread-count-dependent at --threads {threads}"
+        ));
+    }
+    let bytes = njc_emit::write_elf(&em);
+    match njc_emit::parse_elf(&bytes) {
+        Ok(parsed) if parsed == em => {}
+        Ok(_) => return Err("ELF round-trip altered the module".into()),
+        Err(e) => return Err(format!("emitted ELF does not parse back: {e}")),
+    }
+    Ok((em, census, bytes))
+}
+
+fn emit_main(args: &[String]) -> ExitCode {
+    let mut file = None;
+    let mut kind = ConfigKind::Full;
+    let mut platform = Platform::windows_ia32();
+    let mut threads = 4usize;
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--config" => match it.next().and_then(|s| parse_config(s)) {
+                Some(k) => kind = k,
+                None => return usage(),
+            },
+            "--platform" => match it.next().and_then(|s| parse_platform(s)) {
+                Some(p) => platform = p,
+                None => return usage(),
+            },
+            "--threads" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => threads = n,
+                _ => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(p) => out = Some(std::path::PathBuf::from(p)),
+                None => return usage(),
+            },
+            other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
+            _ => return usage(),
+        }
+    }
+    let Some(file) = file else { return usage() };
+    let source = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("njc emit: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let module = match load_module(&source) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("njc emit: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (em, _, bytes) = match emit_one(&module, &platform, kind, threads) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("njc emit: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out_path = out.unwrap_or_else(|| {
+        std::path::Path::new(&file)
+            .with_extension("o")
+            .to_path_buf()
+    });
+    if let Err(e) = std::fs::write(&out_path, &bytes) {
+        eprintln!("njc emit: cannot write {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "emitted {} functions, {} text bytes, {} exception sites ({} on {}) → {} ({} ELF bytes)",
+        em.functions.len(),
+        em.text.len(),
+        em.total_sites(),
+        kind.to_config(&platform).name,
+        platform.name,
+        out_path.display(),
+        bytes.len(),
+    );
+    ExitCode::SUCCESS
+}
+
+/// Verifies one emitted module and returns the findings (structural
+/// claims a/b/c from the parallel verifier plus the explicit-check
+/// census (d) against the optimizer's provenance ledger).
+fn verify_one_binary(
+    em: &njc_emit::EmittedModule,
+    census: &std::collections::BTreeMap<String, u64>,
+    platform: &Platform,
+    threads: usize,
+) -> (njc_emit::VerifyReport, Vec<njc_emit::VerifyFinding>) {
+    let report = njc_emit::verify_module(em, platform, threads);
+    let mut findings = report.findings.clone();
+    findings.extend(njc_emit::check_explicit_census(&report, census));
+    (report, findings)
+}
+
+fn verify_binary_smoke(threads: usize) -> ExitCode {
+    let platforms = [
+        Platform::windows_ia32(),
+        Platform::aix_ppc(),
+        Platform::linux_s390(),
+    ];
+    let mut cells = 0usize;
+    let mut total_sites = 0usize;
+    let mut failures = 0usize;
+    for platform in &platforms {
+        let kinds: Vec<ConfigKind> = if platform.trap.traps_on_read {
+            vec![
+                ConfigKind::NoNullOptNoTrap,
+                ConfigKind::OldNullCheck,
+                ConfigKind::Full,
+            ]
+        } else {
+            vec![
+                ConfigKind::NoNullOptNoTrap,
+                ConfigKind::AixSpeculation,
+                ConfigKind::AixNoSpeculation,
+            ]
+        };
+        for kind in kinds {
+            for w in njc_workloads::all() {
+                let (em, census, _) = match emit_one(&w.module, platform, kind, threads) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("FAIL {} on {} ({:?}): {e}", w.name, platform.name, kind);
+                        failures += 1;
+                        continue;
+                    }
+                };
+                let (report, findings) = verify_one_binary(&em, &census, platform, threads);
+                for f in &findings {
+                    eprintln!("FAIL {} on {} ({:?}): {f}", w.name, platform.name, kind);
+                }
+                failures += findings.len();
+                total_sites += report.sites;
+                cells += 1;
+            }
+        }
+    }
+    println!(
+        "verify-binary smoke: {cells} corpus cells, {total_sites} site entries, {failures} findings"
+    );
+    if failures == 0 {
+        println!("verify-binary smoke: CLEAN");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("verify-binary smoke: FAILED");
+        ExitCode::FAILURE
+    }
+}
+
+fn verify_binary_main(args: &[String]) -> ExitCode {
+    let mut file = None;
+    let mut kind = ConfigKind::Full;
+    let mut platform = Platform::windows_ia32();
+    let mut threads = 4usize;
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--config" => match it.next().and_then(|s| parse_config(s)) {
+                Some(k) => kind = k,
+                None => return usage(),
+            },
+            "--platform" => match it.next().and_then(|s| parse_platform(s)) {
+                Some(p) => platform = p,
+                None => return usage(),
+            },
+            "--threads" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => threads = n,
+                _ => return usage(),
+            },
+            other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
+            _ => return usage(),
+        }
+    }
+    if smoke {
+        return verify_binary_smoke(threads);
+    }
+    let Some(file) = file else { return usage() };
+    let source = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("njc verify-binary: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let module = match load_module(&source) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("njc verify-binary: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (em, census, _) = match emit_one(&module, &platform, kind, threads) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("njc verify-binary: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (report, findings) = verify_one_binary(&em, &census, &platform, threads);
+    println!(
+        "verified {} functions, {} site entries, {} handler ranges, {} silent-read sites ({} on {})",
+        report.functions,
+        report.sites,
+        report.handlers,
+        report.silent_read_sites,
+        kind.to_config(&platform).name,
+        platform.name,
+    );
+    if findings.is_empty() {
+        println!("verify-binary: CLEAN");
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            eprintln!("FINDING: {f}");
+        }
+        eprintln!("verify-binary: FAILED ({} findings)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("difftest") {
         return difftest_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("emit") {
+        return emit_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("verify-binary") {
+        return verify_binary_main(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("explain") {
         return explain_main(&args[1..]);

@@ -115,6 +115,93 @@ fn machine_detects_unsound_code() {
 }
 
 #[test]
+fn unexpected_trap_carries_reconcilable_provenance() {
+    // The enriched fault must identify the escape precisely enough to
+    // reconcile it against the intact site table: faulting function, PC,
+    // access kind, and static offset all name the exact entry that was
+    // deleted, and with the rest of the table left in place the nearest
+    // surviving site is offered as the provenance lead.
+    let w = njc_workloads::Workload {
+        name: "null_seeded",
+        suite: njc_workloads::Suite::Micro,
+        module: njc_workloads::micro::null_seeded(),
+        entry: "main",
+        work_units: 1,
+    };
+    let p = Platform::windows_ia32();
+    let compiled = compile(&w, &p, ConfigKind::Full);
+    let intact = lower_module(&compiled.module);
+
+    // First escape: strip every table, so the very first trap escapes.
+    let mut stripped = intact.clone();
+    for f in &mut stripped.functions {
+        f.sites = njc_codegen::ExceptionSiteTable::new();
+    }
+    let err = Machine::new(&stripped, p).run("main").unwrap_err();
+    let njc_codegen::MachineFault::UnexpectedTrap {
+        function,
+        pc,
+        kind,
+        offset,
+        nearest_site,
+    } = err
+    else {
+        panic!("expected UnexpectedTrap, got {err:?}");
+    };
+    assert!(
+        nearest_site.is_none(),
+        "a fully stripped function offers no lead"
+    );
+    // Reconcile against the intact table: the fault names exactly the
+    // entry that was deleted, down to access kind and static offset.
+    let fi = intact.function_by_name(&function).expect("known function");
+    let site = intact.functions[fi]
+        .sites
+        .get(pc)
+        .unwrap_or_else(|| panic!("pc {pc} of {function} is not a registered site"));
+    assert_eq!(site.kind, kind, "access kind matches the table entry");
+    assert_eq!(site.offset, offset, "static offset matches the table entry");
+    assert!(
+        site.offset.is_some_and(|o| o < p.trap.trap_area_bytes),
+        "the escaped access is inside the trap area: {:?}",
+        site.offset
+    );
+
+    // Second escape: delete only that one entry. The trap still escapes,
+    // but now the nearest surviving site is handed over as the lead.
+    let mut holed = intact.clone();
+    let table = &mut holed.functions[fi].sites;
+    let mut rebuilt = njc_codegen::ExceptionSiteTable::new();
+    for (spc, info) in table.iter() {
+        if spc != pc {
+            rebuilt.insert(spc, *info);
+        }
+    }
+    assert!(!rebuilt.is_empty(), "the function has surviving sites");
+    holed.functions[fi].sites = rebuilt;
+    let err = Machine::new(&holed, p).run("main").unwrap_err();
+    let njc_codegen::MachineFault::UnexpectedTrap {
+        pc: pc2,
+        nearest_site: Some((lead_pc, lead_check)),
+        ..
+    } = err
+    else {
+        panic!("expected a led UnexpectedTrap, got {err:?}");
+    };
+    assert_eq!(pc2, pc, "the same access escapes");
+    assert_ne!(lead_pc, pc, "the lead is a surviving neighbor");
+    assert!(
+        intact.functions[fi].sites.contains(lead_pc),
+        "the lead is a genuine registered site"
+    );
+    assert_eq!(
+        intact.functions[fi].sites.get(lead_pc).unwrap().check,
+        lead_check,
+        "the lead hands over the surviving entry's IR check"
+    );
+}
+
+#[test]
 fn illegal_implicit_misses_npes_at_machine_level_too() {
     let w = njc_workloads::Workload {
         name: "null_seeded",
