@@ -143,6 +143,7 @@ fn run_sweep(platform: Platform, n: usize, smoke: bool, failures: &mut Vec<Strin
                 module: w.module.clone(),
                 entry: "main".to_string(),
                 args: w.args.clone(),
+                recovery: njc_runtime::RecoveryPolicy::abort(),
             }
         })
         .collect();

@@ -39,6 +39,7 @@ use njc_codegen::{lower_module, Machine, MachineFault, MachineOutcome};
 use njc_emit::{emit_module, ByteMachine};
 use njc_ir::{ExceptionKind, FuncBuilder, Module, Op, Type};
 use njc_opt::{ConfigKind, OptConfig};
+use njc_recover::{RecoveryPolicy, RecoveryStrategy};
 use njc_vm::{Fault, Value, Vm, VmConfig};
 use njc_workloads::gen::{
     action_weight, build_call_module, build_module, gen_call_actions, gen_fault_actions, minimize,
@@ -72,6 +73,16 @@ pub struct DiffOptions {
     /// GVN-only kill that removes a needed check shows up as a divergence
     /// and is minimized like any other.
     pub gvn: bool,
+    /// Rerun every sound optimized cell under uniform trap-recovery
+    /// policies (`njc_recover`): a `+recover:strict` column that must be
+    /// observation-identical to the policy-free cell on every config ×
+    /// platform (deopt-and-recheck is a semantic no-op), plus
+    /// `NullObject`/`SkipEffect` columns whose differences are *expected*
+    /// on null-exercising programs — those are classified by which
+    /// observable moved (exception/result/trace/events/heap digest) and
+    /// reported as non-failing [`RecoveryObservation`]s, minimized like
+    /// divergences.
+    pub recover: bool,
     /// Where to write minimized `.njc` regression fixtures (skipped when
     /// `None`).
     pub fixtures_dir: Option<PathBuf>,
@@ -85,6 +96,7 @@ impl Default for DiffOptions {
             legacy_wrapping: false,
             interproc: true,
             gvn: true,
+            recover: true,
             fixtures_dir: None,
         }
     }
@@ -220,6 +232,28 @@ pub struct Divergence {
     pub provenance: Option<String>,
 }
 
+/// One *expected* behavioral difference under a non-strict recovery
+/// policy: `NullObject` and `SkipEffect` deliberately change what a
+/// null-exercising program does (that is their point), so the harness
+/// records *which* observable moved instead of failing.
+#[derive(Clone, Debug)]
+pub struct RecoveryObservation {
+    /// Program name.
+    pub program: String,
+    /// Cell label, `<Kind>@<platform>`.
+    pub config: String,
+    /// Strategy label (`nullobject` or `skipeffect`).
+    pub strategy: &'static str,
+    /// Which observables differed from the policy-free cell, `+`-joined
+    /// (`exception-suppressed`, `result`, `trace`, `events`,
+    /// `heap-digest`, `missed-npes`, or `fault-shape`).
+    pub class: String,
+    /// Minimized action list (generated programs only).
+    pub minimized: Option<String>,
+    /// Path of the emitted `.njc` fixture, if one was written.
+    pub fixture: Option<PathBuf>,
+}
+
 /// Aggregate result of a harness run.
 #[derive(Clone, Debug, Default)]
 pub struct DiffReport {
@@ -242,6 +276,13 @@ pub struct DiffReport {
     /// bytes and executed by the byte interpreter against the costed
     /// machine simulator.
     pub byte_cells: usize,
+    /// Recovery-policy cells: sound optimized cells rerun under uniform
+    /// `Strict`/`NullObject`/`SkipEffect` policies.
+    pub recovery_cells: usize,
+    /// Expected, classified differences under the non-strict policies.
+    /// Never gates CI red — `Strict` divergences land in
+    /// [`DiffReport::divergences`] instead, because those are real bugs.
+    pub recovery_observations: Vec<RecoveryObservation>,
 }
 
 impl DiffReport {
@@ -269,6 +310,32 @@ impl DiffReport {
         let _ = writeln!(out, "  \"ill_typed_cells\": {},", self.ill_typed_cells);
         let _ = writeln!(out, "  \"panicked_cells\": {},", self.panicked_cells);
         let _ = writeln!(out, "  \"byte_cells\": {},", self.byte_cells);
+        let _ = writeln!(out, "  \"recovery_cells\": {},", self.recovery_cells);
+        out.push_str("  \"recovery_observations\": [\n");
+        for (i, o) in self.recovery_observations.iter().enumerate() {
+            out.push_str("    {");
+            let _ = write!(
+                out,
+                "\"program\": \"{}\", \"config\": \"{}\", \"strategy\": \"{}\", \"class\": \"{}\"",
+                esc(&o.program),
+                esc(&o.config),
+                o.strategy,
+                esc(&o.class)
+            );
+            if let Some(m) = &o.minimized {
+                let _ = write!(out, ", \"minimized\": \"{}\"", esc(m));
+            }
+            if let Some(f) = &o.fixture {
+                let _ = write!(out, ", \"fixture\": \"{}\"", esc(&f.display().to_string()));
+            }
+            out.push('}');
+            out.push_str(if i + 1 < self.recovery_observations.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
         out.push_str("  \"divergences\": [\n");
         for (i, d) in self.divergences.iter().enumerate() {
             out.push_str("    {");
@@ -526,10 +593,22 @@ fn vm_config(opts: &DiffOptions) -> VmConfig {
     }
 }
 
-/// Runs one cell, converting panics and faults into a [`Verdict`].
-fn run_cell(module: &Module, platform: &Platform, cfg: VmConfig) -> Verdict {
+/// Runs one cell, converting panics and faults into a [`Verdict`]. A
+/// `policy` attaches a trap-recovery policy to the VM (the recovery
+/// columns); `None` is the ordinary abort-on-trap execution.
+fn run_cell(
+    module: &Module,
+    platform: &Platform,
+    cfg: VmConfig,
+    policy: Option<&RecoveryPolicy>,
+) -> Verdict {
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        Vm::new(module, *platform).with_config(cfg).run("main", &[])
+        let vm = Vm::new(module, *platform).with_config(cfg);
+        let vm = match policy {
+            Some(p) => vm.with_recovery(p),
+            None => vm,
+        };
+        vm.run("main", &[])
     }));
     match outcome {
         Err(_) => Verdict::Panicked,
@@ -554,6 +633,68 @@ struct ProgramDiff {
     ill_typed: usize,
     panicked: usize,
     byte_cells: usize,
+    recovery_cells: usize,
+    observations: Vec<RawObservation>,
+}
+
+/// A pre-report recovery observation: enough coordinates to re-run (and
+/// therefore minimize) the exact diverging cell.
+struct RawObservation {
+    kind: ConfigKind,
+    platform: usize,
+    strategy: RecoveryStrategy,
+    class: String,
+}
+
+/// Classifies which observables a recovery-policy run moved relative to
+/// the policy-free cell, `+`-joined in a fixed order.
+fn verdict_delta(base: &Verdict, v: &Verdict) -> String {
+    match (base, v) {
+        (
+            Verdict::Ok {
+                result: br,
+                exception: be,
+                trace: bt,
+                events: bev,
+                heap_digest: bh,
+                missed_npes: bm,
+            },
+            Verdict::Ok {
+                result: vr,
+                exception: ve,
+                trace: vt,
+                events: vev,
+                heap_digest: vh,
+                missed_npes: vm,
+            },
+        ) => {
+            let mut parts = Vec::new();
+            if be != ve {
+                parts.push(if ve.is_none() {
+                    "exception-suppressed"
+                } else {
+                    "exception"
+                });
+            }
+            if br != vr {
+                parts.push("result");
+            }
+            if bt != vt {
+                parts.push("trace");
+            }
+            if bev != vev {
+                parts.push("events");
+            }
+            if bh != vh {
+                parts.push("heap-digest");
+            }
+            if bm != vm {
+                parts.push("missed-npes");
+            }
+            parts.join("+")
+        }
+        _ => "fault-shape".into(),
+    }
 }
 
 /// Compares the costed machine simulator's outcome against the byte
@@ -626,7 +767,7 @@ fn diff_program(
     let mut verdicts: Vec<Vec<Verdict>> = Vec::new();
     for platform in &plats {
         let mut row = Vec::new();
-        row.push(run_cell(module, platform, cfg));
+        row.push(run_cell(module, platform, cfg, None));
         if !vm_only {
             for kind in kinds {
                 let w = Workload {
@@ -637,7 +778,7 @@ fn diff_program(
                     work_units: 1,
                 };
                 let compiled = njc_jit::compile(&w, platform, *kind);
-                row.push(run_cell(&compiled.module, platform, cfg));
+                row.push(run_cell(&compiled.module, platform, cfg, None));
             }
             for kind in &ikinds {
                 let w = Workload {
@@ -652,7 +793,7 @@ fn diff_program(
                     ..kind.to_config(platform)
                 };
                 let compiled = njc_jit::compile_config(&w, platform, *kind, &config);
-                row.push(run_cell(&compiled.module, platform, cfg));
+                row.push(run_cell(&compiled.module, platform, cfg, None));
             }
             for kind in &gkinds {
                 let w = Workload {
@@ -667,7 +808,7 @@ fn diff_program(
                     ..kind.to_config(platform)
                 };
                 let compiled = njc_jit::compile_config(&w, platform, *kind, &config);
-                row.push(run_cell(&compiled.module, platform, cfg));
+                row.push(run_cell(&compiled.module, platform, cfg, None));
             }
         }
         verdicts.push(row);
@@ -796,6 +937,77 @@ fn diff_program(
         }
     }
 
+    // Recovery columns: every sound optimized cell is rerun under a
+    // uniform per-strategy trap-recovery policy. `Strict` must be
+    // observation-identical to the policy-free cell on every config ×
+    // platform — deopt-and-recheck is a semantic no-op by contract, and
+    // a difference here is a real divergence that gates red. The
+    // behavior-changing strategies (`NullObject`, `SkipEffect`) are
+    // *expected* to differ on null-exercising programs; their deltas are
+    // classified by which observable moved and recorded as non-failing
+    // observations, later minimized like divergences.
+    if !vm_only && opts.recover {
+        for (p, platform) in plats.iter().enumerate() {
+            for (k, kind) in kinds.iter().enumerate() {
+                let base = verdicts[p][1 + k].clone();
+                if matches!(base, Verdict::Panicked) {
+                    continue; // already reported above
+                }
+                let w = Workload {
+                    name: "difftest",
+                    suite: Suite::Micro,
+                    module: module.clone(),
+                    entry: "main",
+                    work_units: 1,
+                };
+                let compiled = njc_jit::compile(&w, platform, *kind);
+                for strategy in [
+                    RecoveryStrategy::Strict,
+                    RecoveryStrategy::NullObject,
+                    RecoveryStrategy::SkipEffect,
+                ] {
+                    let policy = RecoveryPolicy::uniform(strategy);
+                    let v = run_cell(&compiled.module, platform, cfg, Some(&policy));
+                    out.cells += 1;
+                    out.recovery_cells += 1;
+                    let label = format!("{kind:?}+recover:{strategy}");
+                    if matches!(v, Verdict::Panicked) {
+                        out.panicked += 1;
+                        out.divergences.push((
+                            label.clone(),
+                            format!("{}/{label}", plats[p].name),
+                            String::new(),
+                            "VM panicked under a recovery policy".into(),
+                        ));
+                        continue;
+                    }
+                    if strategy == RecoveryStrategy::Strict {
+                        if v != base {
+                            out.divergences.push((
+                                label.clone(),
+                                format!("{}/{kind:?}", plats[p].name),
+                                format!("{}/{label}", plats[p].name),
+                                format!(
+                                    "strict recovery must be observationally invisible: \
+                                     {} vs {}",
+                                    base.summary(),
+                                    v.summary()
+                                ),
+                            ));
+                        }
+                    } else if v != base {
+                        out.observations.push(RawObservation {
+                            kind: *kind,
+                            platform: p,
+                            strategy,
+                            class: verdict_delta(&base, &v),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
     // The expected-unsound configuration, on the AIX model only: a
     // divergence from the AIX baseline (or any silently missed NPE) is a
     // reproduction of the paper's §5.4 claim, not a failure.
@@ -809,7 +1021,7 @@ fn diff_program(
             work_units: 1,
         };
         let compiled = njc_jit::compile(&w, &aix, ConfigKind::AixIllegalImplicit);
-        let v = run_cell(&compiled.module, &aix, cfg);
+        let v = run_cell(&compiled.module, &aix, cfg, None);
         out.cells += 1;
         match &v {
             Verdict::Panicked => {
@@ -846,7 +1058,7 @@ fn diff_program(
         if !asm.is_empty() {
             let checked = njc_interproc::assertion_module(module, &asm);
             for (p, platform) in plats.iter().enumerate() {
-                let v = run_cell(&checked, platform, cfg);
+                let v = run_cell(&checked, platform, cfg, None);
                 out.cells += 1;
                 let base = &verdicts[p][0];
                 if matches!(v, Verdict::Panicked) {
@@ -949,6 +1161,45 @@ pub fn run_difftest(opts: &DiffOptions) -> DiffReport {
         report.ill_typed_cells += d.ill_typed;
         report.panicked_cells += d.panicked;
         report.byte_cells += d.byte_cells;
+        report.recovery_cells += d.recovery_cells;
+        // Expected recovery deltas: minimize the first observation per
+        // strategy for action-language programs (the divergence class may
+        // legally narrow while shrinking — the predicate only demands
+        // *some* policy-visible difference survives) and emit a
+        // replayable fixture alongside the real-divergence ones.
+        let mut minimized_strategies = std::collections::BTreeSet::new();
+        for obs in &d.observations {
+            let config = format!("{:?}@{}", obs.kind, platforms()[obs.platform].name);
+            let (minimized, fixture) = match &prog.actions {
+                Some(actions) if minimized_strategies.insert(obs.strategy) => {
+                    let small =
+                        minimize(actions.clone(), action_weight, shrink_candidates, |cand| {
+                            recovery_observation_survives(&(prog.build)(cand), obs, opts)
+                        });
+                    let text = fixture_text(&prog.name, &small, &(prog.build)(&small));
+                    let path = opts.fixtures_dir.as_ref().map(|dir| {
+                        let path = dir.join(format!(
+                            "{}_recover_{}.njc",
+                            prog.name.replace(' ', "_"),
+                            obs.strategy
+                        ));
+                        let _ = std::fs::create_dir_all(dir);
+                        let _ = std::fs::write(&path, &text);
+                        path
+                    });
+                    (Some(format!("{small:?}")), path)
+                }
+                _ => (None, None),
+            };
+            report.recovery_observations.push(RecoveryObservation {
+                program: prog.name.clone(),
+                config,
+                strategy: obs.strategy.as_str(),
+                class: obs.class.clone(),
+                minimized,
+                fixture,
+            });
+        }
         if d.divergences.is_empty() {
             continue;
         }
@@ -992,6 +1243,33 @@ pub fn run_difftest(opts: &DiffOptions) -> DiffReport {
         }
     }
     report
+}
+
+/// Whether `module` still shows *some* policy-visible difference at the
+/// observation's exact (config, platform, strategy) coordinates — the
+/// minimization predicate for recovery observations.
+fn recovery_observation_survives(
+    module: &Module,
+    obs: &RawObservation,
+    opts: &DiffOptions,
+) -> bool {
+    let platform = platforms()[obs.platform];
+    let cfg = vm_config(opts);
+    let w = Workload {
+        name: "difftest",
+        suite: Suite::Micro,
+        module: module.clone(),
+        entry: "main",
+        work_units: 1,
+    };
+    let compiled = njc_jit::compile(&w, &platform, obs.kind);
+    let base = run_cell(&compiled.module, &platform, cfg, None);
+    if matches!(base, Verdict::Panicked) {
+        return false;
+    }
+    let policy = RecoveryPolicy::uniform(obs.strategy);
+    let v = run_cell(&compiled.module, &platform, cfg, Some(&policy));
+    !matches!(v, Verdict::Panicked) && v != base
 }
 
 /// Writes `DIFF_report.json` to `path`.
@@ -1115,8 +1393,8 @@ mod tests {
         let checked = njc_interproc::assertion_module(&m, &asm);
         let cfg = vm_config(&quick_opts());
         let p = Platform::windows_ia32();
-        let base = run_cell(&m, &p, cfg);
-        let v = run_cell(&checked, &p, cfg);
+        let base = run_cell(&m, &p, cfg, None);
+        let v = run_cell(&checked, &p, cfg, None);
         assert_ne!(v, base, "a false fact must be observable");
         // And the honest inference never claims that fact, so the real
         // oracle path stays clean on the same program.
@@ -1174,7 +1452,7 @@ mod tests {
             Platform::linux_s390(),
         ] {
             let cfg = vm_config(&quick_opts());
-            let base = run_cell(&m, &platform, cfg);
+            let base = run_cell(&m, &platform, cfg, None);
             let mut opt = m.clone();
             // Phase 2 off: over-marking would otherwise absorb the
             // planted kill (the unguarded access still traps to the same
@@ -1194,7 +1472,7 @@ mod tests {
             );
             // The honest analysis keeps the check: no divergence.
             assert_eq!(
-                run_cell(&opt, &platform, cfg),
+                run_cell(&opt, &platform, cfg, None),
                 base,
                 "honest +gvn cell must match on {}",
                 platform.name
@@ -1216,12 +1494,72 @@ mod tests {
                 .expect("an explicit check must survive the honest analysis");
             f.insts_mut(njc_ir::BlockId::new(bi)).remove(ii);
             assert_ne!(
-                run_cell(&planted, &platform, cfg),
+                run_cell(&planted, &platform, cfg, None),
                 base,
                 "a falsely-killed check must be observable on {}",
                 platform.name
             );
         }
+    }
+
+    #[test]
+    fn strict_recovery_column_is_invisible_and_nonstrict_deltas_classify() {
+        // The null-seeded probe traps under the implicit configs, so the
+        // behavior-changing strategies must produce classified
+        // observations — while the strict column stays silent (any strict
+        // divergence would have landed in `divergences`, failing the
+        // cross-platform probe test above).
+        let opts = quick_opts();
+        let kinds = sound_kinds(true);
+        let m = build_module(&[Action::NullSeededLoop(4, 2, vec![Action::Observe(0)])]);
+        let d = diff_program(&m, false, &kinds, &opts);
+        assert!(d.divergences.is_empty(), "{:?}", d.divergences.first());
+        assert!(d.recovery_cells > 0, "recovery columns must run");
+        assert!(
+            !d.observations.is_empty(),
+            "suppressing the seeded NPE must be observable"
+        );
+        for obs in &d.observations {
+            assert_ne!(obs.strategy, RecoveryStrategy::Strict);
+            assert!(!obs.class.is_empty(), "every observation is classified");
+        }
+        assert!(
+            d.observations.iter().any(|o| o.class.contains("exception")
+                || o.class.contains("trace")
+                || o.class.contains("result")),
+            "classes: {:?}",
+            d.observations.iter().map(|o| &o.class).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn recovery_observations_minimize_and_render() {
+        let fixtures = std::env::temp_dir().join("njc-recover-obs-fixtures");
+        let _ = std::fs::remove_dir_all(&fixtures);
+        let opts = DiffOptions {
+            seeds: 0,
+            fixtures_dir: Some(fixtures.clone()),
+            ..quick_opts()
+        };
+        let report = run_difftest(&opts);
+        assert!(report.is_clean(), "{:?}", report.divergences.first());
+        assert!(
+            !report.recovery_observations.is_empty(),
+            "the null-seeded probe must observe under non-strict policies"
+        );
+        let minimized: Vec<_> = report
+            .recovery_observations
+            .iter()
+            .filter(|o| o.minimized.is_some())
+            .collect();
+        assert!(!minimized.is_empty(), "action programs must minimize");
+        let with_fixture = minimized.iter().find(|o| o.fixture.is_some()).unwrap();
+        let text = std::fs::read_to_string(with_fixture.fixture.as_ref().unwrap()).unwrap();
+        assert!(text.contains("func "), "fixture is replayable IR");
+        let json = report.to_json();
+        assert!(json.contains("\"recovery_cells\""), "{json}");
+        assert!(json.contains("\"recovery_observations\""), "{json}");
+        let _ = std::fs::remove_dir_all(&fixtures);
     }
 
     #[test]

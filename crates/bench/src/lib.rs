@@ -14,6 +14,7 @@ pub mod claims;
 pub mod difftest;
 pub mod harness;
 pub mod paper;
+pub mod recover;
 pub mod runtime_diff;
 pub mod tables;
 

@@ -305,6 +305,7 @@ fn run_service_cell(
             module: module.clone(),
             entry: "main".to_string(),
             args: Vec::new(),
+            recovery: njc_runtime::RecoveryPolicy::abort(),
         })
         .collect();
     let service = catch_unwind(AssertUnwindSafe(|| {

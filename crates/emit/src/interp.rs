@@ -23,6 +23,42 @@ use crate::encode::{BinSite, EmittedFunction, EmittedModule};
 /// Call depth limit, matching the simulator's.
 const MAX_DEPTH: usize = 256;
 
+/// The machine state captured at a registered-site hardware trap, in the
+/// form the recovery subsystem needs to deoptimize the frame: the
+/// trapping function, the site's static provenance (check id, access
+/// kind, displacement), and the raw frame slots. Under the frame-slot
+/// ABI slot `i` holds virtual register `r{i}` at every
+/// virtual-instruction boundary, so `frame` **is** the interpreter
+/// locals array for the tier-0 body of the same function — deoptimizing
+/// is a copy, not a reconstruction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TrapSnapshot {
+    /// Name of the trapping function.
+    pub function: String,
+    /// Function-relative byte offset of the faulting instruction.
+    pub byte_off: u32,
+    /// The check the site discharges.
+    pub check: CheckId,
+    /// Read or write.
+    pub kind: njc_ir::AccessKind,
+    /// Static displacement of the access (`None` when index-scaled).
+    pub offset: Option<u64>,
+    /// Frame slots `r0..r{num_regs}` at the trapping pc, raw bits.
+    pub frame: Vec<u64>,
+}
+
+/// What [`ByteMachine::run_until_site_trap`] observed: either the entry
+/// ran to completion (possibly unwinding an exception) without any
+/// registered site trapping, or execution stopped at the first
+/// registered-site trap with the frame captured for deoptimization.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TrapOutcome {
+    /// No registered site trapped; the normal outcome.
+    Completed(MachineOutcome),
+    /// A registered site trapped; execution stopped there.
+    Trapped(TrapSnapshot),
+}
+
 /// Executes an [`EmittedModule`]'s bytes.
 pub struct ByteMachine<'m> {
     em: &'m EmittedModule,
@@ -55,6 +91,12 @@ struct Exec<'m> {
     rbp: u64,
     pc: usize,
     fidx: usize,
+    /// Snapshot mode: stop at the first registered-site trap and capture
+    /// the frame instead of unwinding.
+    deopt: bool,
+    /// The captured frame, when a registered site trapped in snapshot
+    /// mode.
+    snapshot: Option<TrapSnapshot>,
     /// Last compare/test operand pair, signed semantics decided by the
     /// consuming jump.
     cmp: (u64, u64),
@@ -92,6 +134,48 @@ impl<'m> ByteMachine<'m> {
     /// [`MachineFault`] on compiler bugs or resource exhaustion, exactly
     /// like the costed simulator.
     pub fn run(self, entry: &str) -> Result<MachineOutcome, MachineFault> {
+        let (exec, outcome, ret_ty) = self.exec(entry, false)?;
+        Ok(Self::outcome(exec, outcome, ret_ty))
+    }
+
+    /// Runs `entry` until the first registered-site hardware trap, whose
+    /// frame is captured as a [`TrapSnapshot`] for deoptimization, or to
+    /// completion when no registered site traps. Unregistered traps are
+    /// still [`MachineFault::UnexpectedTrap`] — snapshot mode changes
+    /// what happens at *marked* sites only.
+    ///
+    /// # Errors
+    /// [`MachineFault`] on compiler bugs or resource exhaustion.
+    pub fn run_until_site_trap(self, entry: &str) -> Result<TrapOutcome, MachineFault> {
+        let (exec, outcome, ret_ty) = self.exec(entry, true)?;
+        if let Some(snap) = exec.snapshot {
+            return Ok(TrapOutcome::Trapped(snap));
+        }
+        Ok(TrapOutcome::Completed(Self::outcome(exec, outcome, ret_ty)))
+    }
+
+    fn outcome(
+        exec: Exec<'_>,
+        outcome: Option<ExceptionKind>,
+        ret_ty: Option<Type>,
+    ) -> MachineOutcome {
+        let (result, exception) = match outcome {
+            None => (ret_ty.map(|t| from_bits(exec.rax, t)), None),
+            Some(kind) => (None, Some(kind)),
+        };
+        MachineOutcome {
+            result,
+            exception,
+            trace: exec.trace,
+            stats: exec.stats,
+        }
+    }
+
+    fn exec(
+        self,
+        entry: &str,
+        deopt: bool,
+    ) -> Result<(Exec<'m>, Option<ExceptionKind>, Option<Type>), MachineFault> {
         let fidx = self
             .em
             .function_by_name(entry)
@@ -116,21 +200,14 @@ impl<'m> ByteMachine<'m> {
             rbp: 0,
             pc: f.text_off as usize,
             fidx,
+            deopt,
+            snapshot: None,
 
             cmp: (0, 0),
         };
         let ret_ty = f.ret;
         let outcome = exec.run()?;
-        let (result, exception) = match outcome {
-            None => (ret_ty.map(|t| from_bits(exec.rax, t)), None),
-            Some(kind) => (None, Some(kind)),
-        };
-        Ok(MachineOutcome {
-            result,
-            exception,
-            trace: exec.trace,
-            stats: exec.stats,
-        })
+        Ok((exec, outcome, ret_ty))
     }
 }
 
@@ -172,6 +249,25 @@ impl Exec<'_> {
             .binary_search_by_key(&rel, |s| s.byte_off)
             .ok()
             .map(|i| &f.sites[i])
+    }
+
+    /// Captures the trapping frame for deoptimization: frame slots are
+    /// virtual registers under the frame-slot ABI, so the copy *is* the
+    /// interpreter locals array.
+    fn capture(&self, site: BinSite) -> TrapSnapshot {
+        let f = self.func();
+        let base = (self.rbp / 8) as usize;
+        let frame = (0..f.num_regs as usize)
+            .map(|i| self.stack.get(base + i).copied().unwrap_or(0))
+            .collect();
+        TrapSnapshot {
+            function: f.name.clone(),
+            byte_off: (self.pc - f.text_off as usize) as u32,
+            check: site.check,
+            kind: site.kind,
+            offset: site.offset,
+            frame,
+        }
     }
 
     fn unexpected_trap(&self, kind: njc_ir::AccessKind, offset: Option<u64>) -> MachineFault {
@@ -279,8 +375,12 @@ impl Exec<'_> {
                             self.rdx = out.value;
                         }
                         Err(MemoryError::Trap(_)) => {
-                            if self.site().is_some() {
+                            if let Some(&site) = self.site() {
                                 self.stats.traps_taken += 1;
+                                if self.deopt {
+                                    self.snapshot = Some(self.capture(site));
+                                    return Ok(None);
+                                }
                                 raise!(ExceptionKind::NullPointer);
                             }
                             return Err(self.unexpected_trap(
@@ -304,8 +404,12 @@ impl Exec<'_> {
                     match self.mem.write_u64(addr, self.rdx) {
                         Ok(()) => {}
                         Err(MemoryError::Trap(_)) => {
-                            if self.site().is_some() {
+                            if let Some(&site) = self.site() {
                                 self.stats.traps_taken += 1;
+                                if self.deopt {
+                                    self.snapshot = Some(self.capture(site));
+                                    return Ok(None);
+                                }
                                 raise!(ExceptionKind::NullPointer);
                             }
                             return Err(self.unexpected_trap(
@@ -559,6 +663,51 @@ mod tests {
             out.stats.explicit_null_checks,
             sim.stats.explicit_null_checks
         );
+    }
+
+    #[test]
+    fn snapshot_mode_captures_frame_at_site_trap() {
+        let mut m = Module::new("snapdemo");
+        m.add_class("C", &[("x", Type::Int), ("y", Type::Int)]);
+        m.add_function(
+            parse_function(
+                "func main() -> int {\n  locals v0: ref v1: int v2: int\nbb0:\n  v0 = const null\n  v1 = const 41\n  v2 = getfield v0, field1 [site]\n  return v2\n}",
+            )
+            .unwrap(),
+        );
+        let mm = lower_module(&m);
+        let em = emit_module(&mm, 1);
+        let out = ByteMachine::new(&em, Platform::windows_ia32())
+            .run_until_site_trap("main")
+            .unwrap();
+        let TrapOutcome::Trapped(snap) = out else {
+            panic!("expected a site trap, got {out:?}");
+        };
+        assert_eq!(snap.function, "main");
+        assert_eq!(snap.kind, njc_ir::AccessKind::Read);
+        assert_eq!(snap.offset, Some(16), "field1 lives at byte offset 16");
+        // Frame slot 1 holds r1 = 41; slot 0 holds the null base.
+        assert_eq!(snap.frame[0], 0);
+        assert_eq!(snap.frame[1], 41);
+        // A program with no trapping site completes with the same outcome
+        // run() produces.
+        let mut m2 = Module::new("clean");
+        m2.add_class("C", &[("x", Type::Int)]);
+        m2.add_function(
+            parse_function(
+                "func main() -> int {\n  locals v0: ref v1: int\nbb0:\n  v0 = new class0\n  v1 = getfield v0, field0 [site]\n  return v1\n}",
+            )
+            .unwrap(),
+        );
+        let mm2 = lower_module(&m2);
+        let em2 = emit_module(&mm2, 1);
+        let done = ByteMachine::new(&em2, Platform::windows_ia32())
+            .run_until_site_trap("main")
+            .unwrap();
+        let reference = ByteMachine::new(&em2, Platform::windows_ia32())
+            .run("main")
+            .unwrap();
+        assert_eq!(done, TrapOutcome::Completed(reference));
     }
 
     #[test]

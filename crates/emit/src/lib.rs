@@ -38,5 +38,5 @@ pub mod verify;
 pub use decode::{decode_one, Dec, DecodeError};
 pub use elf::{parse_elf, write_elf};
 pub use encode::{emit_module, BinHandler, BinSite, EmittedClass, EmittedFunction, EmittedModule};
-pub use interp::ByteMachine;
+pub use interp::{ByteMachine, TrapOutcome, TrapSnapshot};
 pub use verify::{check_explicit_census, verify_module, FindingKind, VerifyFinding, VerifyReport};

@@ -28,6 +28,7 @@ use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use njc_ir::{BlockId, CheckId, FieldId, Function, FunctionId, Inst, VarId};
+use njc_recover::RecoveryStrategy;
 
 // ---------------------------------------------------------------------------
 // Events
@@ -269,6 +270,25 @@ pub enum CheckEvent {
         block: BlockId,
         /// What performs the check instead.
         by: Cover,
+    },
+    /// The recovery subsystem intercepted hardware traps at this check's
+    /// implicit site at *run time* and dispatched a non-abort
+    /// [`RecoveryStrategy`]. Unlike every other variant this event is
+    /// dynamic — it is appended after execution by reconciliation (see
+    /// [`recovery_event`]), extending the check's compile-time life story
+    /// with what the trap handler actually did. Recovered traps still
+    /// count as traps; the dynamic conservation law
+    /// `traps = aborted + recovered` is enforced by
+    /// [`reconcile_recovered`].
+    Recovery {
+        /// The check whose implicit site trapped.
+        id: CheckId,
+        /// The strategy the handler dispatched (never
+        /// [`RecoveryStrategy::Abort`]; aborts are the pre-existing
+        /// unwind path, not recoveries).
+        strategy: RecoveryStrategy,
+        /// How many traps at the site were recovered this way.
+        count: u64,
     },
     /// A pass outside the four null check passes changed the number of
     /// checks in the stream (loop versioning duplicates blocks, DCE may
@@ -670,6 +690,15 @@ impl CheckEvent {
                     Cover::CrossBlock => "{\"kind\":\"cross-block\"}".to_string(),
                 }
             ),
+            CheckEvent::Recovery {
+                id,
+                strategy,
+                count,
+            } => format!(
+                "{{\"ev\":\"recovery\",\"id\":{},\"strategy\":\"{}\",\"count\":{count}}}",
+                id.0,
+                strategy.as_str()
+            ),
             CheckEvent::PassDelta { pass, delta } => {
                 format!("{{\"ev\":\"pass-delta\",\"pass\":\"{pass}\",\"delta\":{delta}}}")
             }
@@ -690,7 +719,8 @@ impl CheckEvent {
             | CheckEvent::Phase2Converted { id, .. }
             | CheckEvent::Phase2Explicit { id, .. }
             | CheckEvent::Phase2Postponed { id, .. }
-            | CheckEvent::Phase2Substituted { id, .. } => Some(*id),
+            | CheckEvent::Phase2Substituted { id, .. }
+            | CheckEvent::Recovery { id, .. } => Some(*id),
             CheckEvent::PassDelta { .. } => None,
         }
     }
@@ -769,6 +799,25 @@ impl CheckEvent {
                         "every path from here reaches a covering check or trap of {var} \
                          (backward dataflow)"
                     ),
+                }
+            ),
+            CheckEvent::Recovery {
+                strategy, count, ..
+            } => format!(
+                "recovered at run time: {count} hardware trap{} at this check's implicit site \
+                 {}",
+                if *count == 1 { "" } else { "s" },
+                match strategy {
+                    RecoveryStrategy::Abort =>
+                        "aborted to the unwinder (not a recovery)".to_string(),
+                    RecoveryStrategy::Strict =>
+                        "deoptimized the frame and re-executed under an explicit check, \
+                         re-raising the same NPE (strict)"
+                            .to_string(),
+                    RecoveryStrategy::NullObject =>
+                        "substituted the typed default and continued (nullobject)".to_string(),
+                    RecoveryStrategy::SkipEffect =>
+                        "skipped the faulting effect and continued (skipeffect)".to_string(),
                 }
             ),
             CheckEvent::PassDelta { pass, delta } => {
@@ -1115,6 +1164,101 @@ pub fn reconcile_tiered(
     }
 }
 
+/// Resolves a recovered trap at `(block, inst)` to a
+/// [`CheckEvent::Recovery`] carrying the check id of the site's
+/// provenance. Returns `None` when the site is unknown or was marked
+/// [`SiteProvenance::OverMark`] (an over-marked site has no owning
+/// check to attach the story to; it still reconciles, it just cannot be
+/// narrated per-check).
+pub fn recovery_event(
+    trace: &FunctionTrace,
+    block: BlockId,
+    inst: usize,
+    strategy: RecoveryStrategy,
+    count: u64,
+) -> Option<CheckEvent> {
+    let site = trace.resolve_site(block, inst)?;
+    let id = match site.provenance {
+        SiteProvenance::Converted(id) | SiteProvenance::Trivial(id) => id,
+        SiteProvenance::OverMark => return None,
+    };
+    Some(CheckEvent::Recovery {
+        id,
+        strategy,
+        count,
+    })
+}
+
+/// The dynamic conservation law for recovered traps, per site:
+///
+/// ```text
+/// recovered(site) <= traps(site),   and every recovered site has provenance
+/// ```
+///
+/// `recovered` and `traps` are `(block, inst) -> count` observations from
+/// the VM's instrumented run. A recovered trap at a site with no
+/// [`SiteRecord`] is refused — recovery dispatch only happens at marked
+/// implicit sites, so a recovery the site map cannot explain means the
+/// handler fired somewhere the compiler never registered. A site whose
+/// recovered count exceeds its trap count is likewise refused: recovery
+/// *consumes* traps, it does not mint them.
+///
+/// # Errors
+/// Returns one line per unexplained recovery.
+pub fn reconcile_recovered(
+    trace: &FunctionTrace,
+    recovered: &[(BlockId, usize, u64)],
+    traps: &[(BlockId, usize, u64)],
+) -> Result<(), Vec<String>> {
+    reconcile_recovered_tiered(&[trace], recovered, traps)
+}
+
+/// [`reconcile_recovered`] across tiers: a recovered site need only
+/// resolve against **some** installed tier's site map, mirroring
+/// [`reconcile_tiered`]. Trap counts are shared across tiers (the VM
+/// accumulates one counter map per run), so the `recovered <= traps`
+/// bound is checked against the union.
+///
+/// # Errors
+/// Returns one line per unexplained recovery.
+pub fn reconcile_recovered_tiered(
+    traces: &[&FunctionTrace],
+    recovered: &[(BlockId, usize, u64)],
+    traps: &[(BlockId, usize, u64)],
+) -> Result<(), Vec<String>> {
+    let mut missing = Vec::new();
+    if traces.is_empty() {
+        return Ok(());
+    }
+    for &(block, inst, n) in recovered {
+        if !traces.iter().any(|t| t.resolve_site(block, inst).is_some()) {
+            missing.push(format!(
+                "{}: {n} recovered trap{} at {block} inst {inst} with no matching site \
+                 provenance",
+                traces[0].function,
+                if n == 1 { "" } else { "s" }
+            ));
+            continue;
+        }
+        let trapped = traps
+            .iter()
+            .find(|&&(b, i, _)| b == block && i == inst)
+            .map_or(0, |&(_, _, t)| t);
+        if n > trapped {
+            missing.push(format!(
+                "{}: site {block} inst {inst} recovered {n} traps but only took {trapped} \
+                 (recovery consumes traps, it cannot mint them)",
+                traces[0].function
+            ));
+        }
+    }
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(missing)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Recompilation events
 // ---------------------------------------------------------------------------
@@ -1344,6 +1488,72 @@ mod tests {
         let errs = reconcile(&trace, &[(BlockId(1), 0)], &[]).unwrap_err();
         assert_eq!(errs.len(), 1);
         assert!(errs[0].contains("no provenance record"), "{}", errs[0]);
+    }
+
+    #[test]
+    fn recovery_event_resolves_check_and_renders() {
+        let trace = FunctionTrace {
+            function: "f".to_string(),
+            sites: vec![
+                SiteRecord {
+                    block: BlockId(0),
+                    inst_idx: 1,
+                    var: VarId(0),
+                    provenance: SiteProvenance::Converted(CheckId(3)),
+                },
+                SiteRecord {
+                    block: BlockId(2),
+                    inst_idx: 0,
+                    var: VarId(1),
+                    provenance: SiteProvenance::OverMark,
+                },
+            ],
+            ..FunctionTrace::default()
+        };
+        let ev = recovery_event(&trace, BlockId(0), 1, RecoveryStrategy::NullObject, 2).unwrap();
+        assert_eq!(
+            ev.to_json(),
+            "{\"ev\":\"recovery\",\"id\":3,\"strategy\":\"nullobject\",\"count\":2}"
+        );
+        assert_eq!(ev.check_id(), Some(CheckId(3)));
+        assert!(
+            ev.describe().contains("substituted the typed default"),
+            "{}",
+            ev.describe()
+        );
+        // Over-marked sites reconcile but cannot be narrated per-check.
+        assert!(recovery_event(&trace, BlockId(2), 0, RecoveryStrategy::Strict, 1).is_none());
+        // Unknown sites resolve to nothing.
+        assert!(recovery_event(&trace, BlockId(9), 9, RecoveryStrategy::Strict, 1).is_none());
+    }
+
+    #[test]
+    fn reconcile_recovered_enforces_provenance_and_bound() {
+        let trace = FunctionTrace {
+            function: "f".to_string(),
+            sites: vec![SiteRecord {
+                block: BlockId(0),
+                inst_idx: 1,
+                var: VarId(0),
+                provenance: SiteProvenance::Converted(CheckId(0)),
+            }],
+            ..FunctionTrace::default()
+        };
+        // Balanced: 2 traps, 2 recoveries at the known site.
+        reconcile_recovered(&trace, &[(BlockId(0), 1, 2)], &[(BlockId(0), 1, 2)]).unwrap();
+        // A recovered trap with no matching site provenance is refused.
+        let errs =
+            reconcile_recovered(&trace, &[(BlockId(1), 0, 1)], &[(BlockId(1), 0, 1)]).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(
+            errs[0].contains("no matching site provenance"),
+            "{}",
+            errs[0]
+        );
+        // recovered > traps is refused: recovery consumes traps.
+        let errs =
+            reconcile_recovered(&trace, &[(BlockId(0), 1, 3)], &[(BlockId(0), 1, 2)]).unwrap_err();
+        assert!(errs[0].contains("cannot mint"), "{}", errs[0]);
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Frame deoptimization: mapping a machine trap snapshot back to a
+//! resumable interpreter state.
+//!
+//! The emitter's frame-slot ABI keeps every virtual register `r{i}` in
+//! frame slot `i` (`[rbp + 8*i]`) at every virtual-instruction
+//! boundary, with nothing live in scratch registers across those
+//! boundaries. That discipline is exactly what makes deoptimization a
+//! *copy*, not a reconstruction: the machine frame at a trapping PC
+//! **is** the interpreter's locals array for the tier-0 form of the
+//! same function, one `u64` of raw bits per variable.
+//!
+//! Two pieces are needed to resume:
+//!
+//! 1. [`frame_locals`] — the raw frame slots, padded or truncated to
+//!    the IR function's variable count (a frame may carry fewer slots
+//!    than the IR has variables when the trap happens before later
+//!    temporaries are first written; those read as the slot's initial
+//!    zero, which matches the interpreter's default initialization).
+//! 2. [`find_resume_point`] — the `(block, instruction)` coordinate of
+//!    the faulting access in the *target* (tier-0) body, located by its
+//!    static trap slot `(offset, kind)`. The binary site table only
+//!    knows byte offsets; the slot key is the tier-independent name for
+//!    the same access, which is why it can bridge an optimized frame to
+//!    an unoptimized body.
+//!
+//! The interpreter side (`Vm::resume`) then re-executes from that
+//! coordinate with the copied locals, performing an explicit null check
+//! on the access base first — the `Strict` strategy's contract.
+
+use njc_ir::{AccessKind, BlockId, FieldId, Function};
+
+/// Where to resume interpretation after deoptimizing a trapped frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ResumePoint {
+    /// Block containing the faulting access in the resume-target body.
+    pub block: BlockId,
+    /// Instruction index of the faulting access within that block.
+    pub inst: usize,
+}
+
+/// Locates the instruction in `func` whose static trap slot is
+/// `(offset, kind)` — the resume coordinate for a trap attributed to
+/// that slot. Returns `None` when no access matches (the slot does not
+/// exist in this body) or when the slot is ambiguous (several accesses
+/// share it; resuming would guess, so we refuse).
+pub fn find_resume_point(
+    func: &Function,
+    kind: AccessKind,
+    offset: Option<u64>,
+    field_offset: impl Fn(FieldId) -> u64,
+) -> Option<ResumePoint> {
+    let offset = offset?;
+    let mut found = None;
+    for block in func.blocks() {
+        for (i, inst) in block.insts.iter().enumerate() {
+            let Some(slot) = inst.slot_access(&field_offset) else {
+                continue;
+            };
+            if slot.kind == kind && slot.offset == Some(offset) {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(ResumePoint {
+                    block: block.id,
+                    inst: i,
+                });
+            }
+        }
+    }
+    found
+}
+
+/// Adapts a raw machine frame (slot `i` = `r{i}` bits) to `func`'s
+/// variable count: extra slots beyond the IR's variables are dropped,
+/// missing ones read as zero (the slot's initial value).
+pub fn frame_locals(func: &Function, frame: &[u64]) -> Vec<u64> {
+    let n = func.var_types().len();
+    let mut locals = vec![0u64; n];
+    for (i, slot) in frame.iter().take(n).enumerate() {
+        locals[i] = *slot;
+    }
+    locals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use njc_ir::parse_function;
+
+    fn f() -> Function {
+        parse_function(
+            "func g(v0: ref, v1: int) -> int {\n\
+               locals v2: int v3: int\n\
+             bb0:\n\
+               nullcheck v0\n\
+               v2 = getfield v0, field0\n\
+               putfield v0, field1, v1\n\
+               goto bb1\n\
+             bb1:\n\
+               v3 = add.int v2, v1\n\
+               return v3\n\
+             }",
+        )
+        .unwrap()
+    }
+
+    fn off(fid: FieldId) -> u64 {
+        8 + 8 * u64::from(fid.0)
+    }
+
+    #[test]
+    fn resume_point_finds_unique_slot() {
+        let func = f();
+        let p = find_resume_point(&func, AccessKind::Read, Some(off(FieldId(0))), off).unwrap();
+        assert_eq!((p.block, p.inst), (BlockId(0), 1));
+        let p = find_resume_point(&func, AccessKind::Write, Some(off(FieldId(1))), off).unwrap();
+        assert_eq!((p.block, p.inst), (BlockId(0), 2));
+        assert!(
+            find_resume_point(&func, AccessKind::Write, Some(off(FieldId(0))), off).is_none(),
+            "no write at field0's offset"
+        );
+        assert!(
+            find_resume_point(&func, AccessKind::Read, None, off).is_none(),
+            "dynamic slots never resolve"
+        );
+    }
+
+    #[test]
+    fn ambiguous_slot_is_refused() {
+        let func = parse_function(
+            "func h(v0: ref) -> int {\n\
+             bb0:\n\
+               v1 = getfield v0, field0\n\
+               v2 = getfield v0, field0\n\
+               v3 = add.int v1, v2\n\
+               return v3\n\
+             }",
+        )
+        .unwrap();
+        assert!(find_resume_point(&func, AccessKind::Read, Some(off(FieldId(0))), off).is_none());
+    }
+
+    #[test]
+    fn frame_locals_pad_and_truncate() {
+        let func = f();
+        assert_eq!(func.var_types().len(), 4);
+        assert_eq!(frame_locals(&func, &[7, 8]), vec![7, 8, 0, 0]);
+        assert_eq!(frame_locals(&func, &[1, 2, 3, 4, 5, 6]), vec![1, 2, 3, 4]);
+    }
+}

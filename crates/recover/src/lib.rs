@@ -1,0 +1,274 @@
+//! Trap-recovery subsystem.
+//!
+//! The paper treats a null trap as the *end* of the optimized path: the
+//! runtime maps the faulting PC through the exception-site table, raises
+//! `NullPointerException`, and the surrounding handler (if any) takes
+//! over. NPEfix-style repair shows the trap can instead be a *decision
+//! point*. This crate defines the decision vocabulary:
+//!
+//! - [`RecoveryStrategy::Abort`] — today's behavior: raise the NPE at
+//!   the site and dispatch it through the ordinary handler search.
+//! - [`RecoveryStrategy::Strict`] — deoptimize the frame and re-execute
+//!   the faulting access under an explicit check. The base is still
+//!   null, so the explicit check raises the same NPE; the outcome is
+//!   observationally identical to `Abort`, only the cost model (one
+//!   extra explicit check on the recovery path) and the recovery
+//!   counters differ. This is the strategy the soundness oracle pins.
+//! - [`RecoveryStrategy::NullObject`] — substitute the access's typed
+//!   default value (0 / 0.0 / null) and continue, as if the base had
+//!   pointed at a zero-filled object.
+//! - [`RecoveryStrategy::SkipEffect`] — skip the faulting statement
+//!   entirely: a store writes nothing, a call never happens, and a load
+//!   destination keeps whatever value it held before.
+//!
+//! A [`RecoveryPolicy`] maps trap *slots* — `(function, static byte
+//! offset, access kind)`, the same key the tiered runtime uses for
+//! explicit-check overrides — to strategies, with a per-policy default.
+//! Dynamic-offset sites (array element accesses) have no static slot
+//! and always take the default. Recovery only ever dispatches on a trap
+//! at a **registered** site: explicit checks, unexpected traps, and
+//! AIX's silently-read guard page never consult the policy.
+//!
+//! [`deopt`] reconstructs a resumable interpreter state from a machine
+//! frame snapshot (the frame-slot ABI guarantees `r{i}` lives in slot
+//! `i`), and [`patterns`] is the JOG-style before/after rule DSL whose
+//! instances become committed differential fixtures.
+
+pub mod deopt;
+pub mod patterns;
+
+use std::collections::BTreeMap;
+
+use njc_ir::AccessKind;
+
+pub use deopt::{find_resume_point, frame_locals, ResumePoint};
+pub use patterns::{rules, PatternRule};
+
+/// What to do when a null trap arrives at a registered implicit site.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum RecoveryStrategy {
+    /// Raise the NPE at the site (current behavior, the default).
+    #[default]
+    Abort,
+    /// Deoptimize and re-execute under an explicit check — raises the
+    /// same NPE, observationally identical to [`RecoveryStrategy::Abort`].
+    Strict,
+    /// Substitute the typed default value and continue.
+    NullObject,
+    /// Skip the faulting statement; loads keep their stale destination.
+    SkipEffect,
+}
+
+impl RecoveryStrategy {
+    /// Stable lower-case name, as used in `+recover:<strategy>` columns
+    /// and JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecoveryStrategy::Abort => "abort",
+            RecoveryStrategy::Strict => "strict",
+            RecoveryStrategy::NullObject => "nullobject",
+            RecoveryStrategy::SkipEffect => "skipeffect",
+        }
+    }
+
+    /// Parses the stable name back; `None` for anything else.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "abort" => RecoveryStrategy::Abort,
+            "strict" => RecoveryStrategy::Strict,
+            "nullobject" => RecoveryStrategy::NullObject,
+            "skipeffect" => RecoveryStrategy::SkipEffect,
+            _ => return None,
+        })
+    }
+
+    /// All non-default strategies, in column order.
+    pub fn non_abort() -> [RecoveryStrategy; 3] {
+        [
+            RecoveryStrategy::Strict,
+            RecoveryStrategy::NullObject,
+            RecoveryStrategy::SkipEffect,
+        ]
+    }
+}
+
+impl std::fmt::Display for RecoveryStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Per-strategy recovery tallies, carried by `RunStats`, the tiered
+/// runtime outcome, and the service outcome.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RecoveryCounts {
+    /// Traps recovered by deopt-and-recheck.
+    pub strict: u64,
+    /// Traps recovered by substituting the typed default.
+    pub null_object: u64,
+    /// Traps recovered by skipping the faulting statement.
+    pub skip_effect: u64,
+}
+
+impl RecoveryCounts {
+    /// Bumps the tally for `strategy`. `Abort` is not a recovery and is
+    /// deliberately not representable here.
+    pub fn record(&mut self, strategy: RecoveryStrategy) {
+        match strategy {
+            RecoveryStrategy::Abort => {}
+            RecoveryStrategy::Strict => self.strict += 1,
+            RecoveryStrategy::NullObject => self.null_object += 1,
+            RecoveryStrategy::SkipEffect => self.skip_effect += 1,
+        }
+    }
+
+    /// Total recovered traps across strategies.
+    pub fn total(&self) -> u64 {
+        self.strict + self.null_object + self.skip_effect
+    }
+
+    /// Element-wise accumulation.
+    pub fn absorb(&mut self, other: &RecoveryCounts) {
+        self.strict += other.strict;
+        self.null_object += other.null_object;
+        self.skip_effect += other.skip_effect;
+    }
+}
+
+/// A static trap slot: the per-function analogue of the tiered
+/// runtime's override key, extended with the owning function because a
+/// policy spans a whole module.
+pub type SlotKey = (u32, u64, AccessKind);
+
+/// Maps trap slots to recovery strategies, with a module-wide default.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct RecoveryPolicy {
+    default: RecoveryStrategy,
+    slots: BTreeMap<SlotKey, RecoveryStrategy>,
+}
+
+impl RecoveryPolicy {
+    /// The do-nothing policy: every trap aborts (today's behavior).
+    pub fn abort() -> Self {
+        Self::default()
+    }
+
+    /// A policy applying `strategy` at every registered site.
+    pub fn uniform(strategy: RecoveryStrategy) -> Self {
+        RecoveryPolicy {
+            default: strategy,
+            slots: BTreeMap::new(),
+        }
+    }
+
+    /// Pins `strategy` for one static slot, overriding the default.
+    pub fn set_slot(&mut self, function: u32, offset: u64, kind: AccessKind, s: RecoveryStrategy) {
+        self.slots.insert((function, offset, kind), s);
+    }
+
+    /// The strategy for a trap at `(function, offset, kind)`. Dynamic
+    /// offsets (`None`, array element accesses) have no slot entry and
+    /// take the default.
+    pub fn strategy_for(
+        &self,
+        function: u32,
+        offset: Option<u64>,
+        kind: AccessKind,
+    ) -> RecoveryStrategy {
+        match offset {
+            Some(o) => self
+                .slots
+                .get(&(function, o, kind))
+                .copied()
+                .unwrap_or(self.default),
+            None => self.default,
+        }
+    }
+
+    /// The module-wide default strategy.
+    pub fn default_strategy(&self) -> RecoveryStrategy {
+        self.default
+    }
+
+    /// Whether any trap could do something other than abort — lets the
+    /// interpreter skip the policy plumbing entirely on the common path.
+    pub fn is_active(&self) -> bool {
+        self.default != RecoveryStrategy::Abort
+            || self.slots.values().any(|s| *s != RecoveryStrategy::Abort)
+    }
+
+    /// Pinned slots in key order (deterministic for JSON output).
+    pub fn slots(&self) -> impl Iterator<Item = (&SlotKey, &RecoveryStrategy)> {
+        self.slots.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_names_round_trip() {
+        for s in [
+            RecoveryStrategy::Abort,
+            RecoveryStrategy::Strict,
+            RecoveryStrategy::NullObject,
+            RecoveryStrategy::SkipEffect,
+        ] {
+            assert_eq!(RecoveryStrategy::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(RecoveryStrategy::parse("retry"), None);
+    }
+
+    #[test]
+    fn policy_slot_lookup_prefers_pin_over_default() {
+        let mut p = RecoveryPolicy::uniform(RecoveryStrategy::Strict);
+        p.set_slot(2, 16, AccessKind::Write, RecoveryStrategy::SkipEffect);
+        assert_eq!(
+            p.strategy_for(2, Some(16), AccessKind::Write),
+            RecoveryStrategy::SkipEffect
+        );
+        assert_eq!(
+            p.strategy_for(2, Some(16), AccessKind::Read),
+            RecoveryStrategy::Strict,
+            "kind is part of the key"
+        );
+        assert_eq!(
+            p.strategy_for(1, Some(16), AccessKind::Write),
+            RecoveryStrategy::Strict,
+            "function is part of the key"
+        );
+        assert_eq!(
+            p.strategy_for(2, None, AccessKind::Write),
+            RecoveryStrategy::Strict,
+            "dynamic offsets take the default"
+        );
+    }
+
+    #[test]
+    fn abort_policy_is_inactive_even_with_abort_pins() {
+        let mut p = RecoveryPolicy::abort();
+        assert!(!p.is_active());
+        p.set_slot(0, 8, AccessKind::Read, RecoveryStrategy::Abort);
+        assert!(!p.is_active());
+        p.set_slot(0, 8, AccessKind::Read, RecoveryStrategy::NullObject);
+        assert!(p.is_active());
+    }
+
+    #[test]
+    fn counts_record_and_total() {
+        let mut c = RecoveryCounts::default();
+        c.record(RecoveryStrategy::Abort);
+        assert_eq!(c.total(), 0, "abort is not a recovery");
+        c.record(RecoveryStrategy::Strict);
+        c.record(RecoveryStrategy::NullObject);
+        c.record(RecoveryStrategy::NullObject);
+        c.record(RecoveryStrategy::SkipEffect);
+        assert_eq!((c.strict, c.null_object, c.skip_effect), (1, 2, 1));
+        assert_eq!(c.total(), 4);
+        let mut sum = RecoveryCounts::default();
+        sum.absorb(&c);
+        sum.absorb(&c);
+        assert_eq!(sum.total(), 8);
+    }
+}

@@ -56,6 +56,7 @@ pub mod tiered;
 pub mod workload;
 
 pub use cache::{CacheKey, CacheStats, CodeCache, CompiledArtifact};
+pub use njc_recover::{RecoveryCounts, RecoveryPolicy, RecoveryStrategy};
 pub use njc_vm::{ProfileSnapshot, RuntimeHooks};
 pub use policy::{FunctionPlan, ProfilePolicy};
 pub use queue::{

@@ -51,6 +51,7 @@ use njc_core::ExplicitOverride;
 use njc_ir::{Function, FunctionId, Module};
 use njc_observe::{ModuleTrace, RecompileEvent};
 use njc_opt::{optimize_module_traced, prepare_module, OptConfig};
+use njc_recover::{RecoveryCounts, RecoveryPolicy};
 use njc_vm::{Fault, RuntimeHooks, Value, Vm, VmConfig};
 
 use crate::cache::{CacheKey, CacheStats};
@@ -107,6 +108,13 @@ pub struct TenantSpec {
     pub entry: String,
     /// Entry arguments.
     pub args: Vec<Value>,
+    /// Per-tenant trap-recovery policy, dispatched at registered
+    /// implicit sites that trap in this tenant's VM (adaptive and steady
+    /// runs both). [`RecoveryPolicy::abort`] reproduces the pre-recovery
+    /// behavior; tenants with different policies coexist on one service
+    /// because the policy shapes execution, never compiled artifacts —
+    /// cache keys are unaffected.
+    pub recovery: RecoveryPolicy,
 }
 
 /// One tenant's result: the full single-tenant outcome plus its isolated
@@ -157,6 +165,9 @@ pub struct ServiceOutcome {
     /// fleet keeps running; the affected functions stay at their last
     /// installed tier.
     pub compile_panics: u64,
+    /// Traps recovered per strategy, summed over every tenant (each
+    /// tenant's own split lives in its `outcome.recoveries`).
+    pub recoveries: RecoveryCounts,
 }
 
 impl ServiceOutcome {
@@ -311,6 +322,7 @@ impl ServiceRuntime {
                     let out = Vm::new(&t.tier0, platform)
                         .with_config(vm_config)
                         .with_hooks(&t.hooks)
+                        .with_recovery(&t.spec.recovery)
                         .run(&t.spec.entry, &t.spec.args);
                     *t.result.lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
                 });
@@ -545,6 +557,10 @@ impl ServiceRuntime {
                 .iter()
                 .map(|t| t.outcome.compile_panics)
                 .sum::<u64>();
+        let mut recoveries = RecoveryCounts::default();
+        for t in &tenants {
+            recoveries.absorb(&t.outcome.recoveries);
+        }
         Ok(ServiceOutcome {
             cache: self.cache.stats(),
             shards: self.cache.shard_stats(),
@@ -557,6 +573,7 @@ impl ServiceRuntime {
                 .map(|n| n.get())
                 .unwrap_or(1),
             compile_panics,
+            recoveries,
             tenants,
         })
     }
@@ -626,8 +643,11 @@ fn finalize_tenant(
 
     let steady = Vm::new(&final_module, platform)
         .with_config(rt.vm)
+        .with_recovery(&t.spec.recovery)
         .run(&t.spec.entry, &t.spec.args)?;
     let distinct_keys = t.keys.lock().unwrap_or_else(PoisonError::into_inner).len();
+    let mut recoveries = adaptive.stats.recoveries;
+    recoveries.absorb(&steady.stats.recoveries);
     Ok(TenantOutcome {
         name: t.spec.name.clone(),
         outcome: RuntimeOutcome {
@@ -641,6 +661,7 @@ fn finalize_tenant(
             tier0_trace: t.tier0_trace.clone(),
             tier_traces,
             compile_panics,
+            recoveries,
         },
         distinct_keys,
     })
@@ -658,6 +679,7 @@ mod tests {
             module: hot_field_workload(),
             entry: "main".to_string(),
             args: vec![Value::Int(iters), Value::Ref(0)],
+            recovery: RecoveryPolicy::abort(),
         }
     }
 

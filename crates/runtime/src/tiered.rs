@@ -26,10 +26,13 @@ use std::time::Duration;
 use njc_arch::Platform;
 use njc_core::ExplicitOverride;
 use njc_ir::{BlockId, CheckId, Function, FunctionId, Module};
-use njc_observe::{reconcile_tiered, FunctionTrace, ModuleTrace, RecompileEvent};
+use njc_observe::{
+    reconcile_recovered_tiered, reconcile_tiered, FunctionTrace, ModuleTrace, RecompileEvent,
+};
 use njc_opt::{
     optimize_function_overridden, optimize_module_traced, prepare_module, ConfigKind, OptConfig,
 };
+use njc_recover::{RecoveryCounts, RecoveryPolicy};
 use njc_vm::{Fault, Outcome, RuntimeHooks, SiteCounters, Value, Vm, VmConfig};
 
 use crate::cache::{CacheKey, CacheStats, CompiledArtifact};
@@ -138,6 +141,11 @@ pub struct RuntimeOutcome {
     /// worker caught the unwind, any poisoned lock was re-entered, and
     /// the function stayed at its last installed tier.
     pub compile_panics: u64,
+    /// Hardware traps recovered per strategy across the adaptive *and*
+    /// steady runs (both execute under the runtime's
+    /// [`RecoveryPolicy`]). Recovered traps still count in
+    /// `traps_taken`; this splits off the ones the policy kept alive.
+    pub recoveries: RecoveryCounts,
 }
 
 impl RuntimeOutcome {
@@ -173,6 +181,28 @@ impl RuntimeOutcome {
                 .map(|&(_, id)| CheckId(id))
                 .collect();
             if let Err(mut missing) = reconcile_tiered(&refs, &traps, &checks) {
+                failures.append(&mut missing);
+            }
+            // The recovered-trap conservation law: every recovered trap
+            // resolves to site provenance in some tier, and no site
+            // recovers more traps than it took.
+            let recovered: Vec<(BlockId, usize, u64)> = self
+                .adaptive
+                .site_counts
+                .recoveries
+                .iter()
+                .filter(|((f, _, _), _)| *f as usize == fi)
+                .map(|(&(_, b, i), &n)| (BlockId::new(b as usize), i as usize, n))
+                .collect();
+            let trap_counts: Vec<(BlockId, usize, u64)> = self
+                .adaptive
+                .site_counts
+                .traps
+                .iter()
+                .filter(|((f, _, _), _)| *f as usize == fi)
+                .map(|(&(_, b, i), &n)| (BlockId::new(b as usize), i as usize, n))
+                .collect();
+            if let Err(mut missing) = reconcile_recovered_tiered(&refs, &recovered, &trap_counts) {
                 failures.append(&mut missing);
             }
         }
@@ -366,6 +396,7 @@ pub struct TieredRuntime {
     platform: Platform,
     config: RuntimeConfig,
     cache: Arc<ShardedCodeCache>,
+    recovery: RecoveryPolicy,
 }
 
 impl TieredRuntime {
@@ -394,7 +425,18 @@ impl TieredRuntime {
             platform,
             cache,
             config,
+            recovery: RecoveryPolicy::abort(),
         }
+    }
+
+    /// Attaches a trap-recovery policy: both the adaptive and the steady
+    /// run dispatch it at registered implicit sites that trap. The
+    /// default ([`RecoveryPolicy::abort`]) reproduces the pre-recovery
+    /// behavior exactly.
+    #[must_use]
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
     }
 
     /// Code cache counters (cache-wide: a shared cache reports traffic
@@ -453,6 +495,7 @@ impl TieredRuntime {
         let mut requested: HashMap<usize, ExplicitOverride> = HashMap::new();
 
         let tier0_ref = &tier0;
+        let recovery_ref = &self.recovery;
         let compiler_ref = &compiler;
         let hooks_ref = &hooks;
         let installs_ref = &installs;
@@ -465,6 +508,7 @@ impl TieredRuntime {
                 Vm::new(tier0_ref, platform)
                     .with_config(vm_config)
                     .with_hooks(hooks_ref)
+                    .with_recovery(recovery_ref)
                     .run(entry, args)
             });
             let workers: Vec<_> = (0..self.config.threads.max(1))
@@ -617,8 +661,11 @@ impl TieredRuntime {
         // deterministic.
         let steady = Vm::new(&final_module, platform)
             .with_config(self.config.vm)
+            .with_recovery(&self.recovery)
             .run(entry, args)?;
 
+        let mut recoveries = adaptive.stats.recoveries;
+        recoveries.absorb(&steady.stats.recoveries);
         Ok(RuntimeOutcome {
             adaptive,
             steady,
@@ -630,6 +677,7 @@ impl TieredRuntime {
             tier0_trace,
             tier_traces,
             compile_panics: compile_panics.load(Ordering::Relaxed) + fixpoint_panics,
+            recoveries,
         })
     }
 }

@@ -28,6 +28,7 @@ use njc_ir::{
     AccessKind, BlockId, CallTarget, ExceptionKind, Function, FunctionId, Inst, Module,
     NullCheckKind, Op, Terminator, Type, VarId,
 };
+use njc_recover::{RecoveryCounts, RecoveryPolicy, RecoveryStrategy, ResumePoint};
 use njc_trap::{GuardedMemory, MemoryError};
 
 use crate::heap::Heap;
@@ -92,6 +93,12 @@ pub struct SiteCounters {
     /// (timing-independent) profile assessment attribute traps taken under
     /// different installed bodies to the same site.
     pub trap_slots: std::collections::BTreeMap<(u32, u64, AccessKind), u64>,
+    /// Traps *recovered* (any non-abort strategy) at marked sites, keyed
+    /// like [`traps`](SiteCounters::traps) by `(function index, block
+    /// index, instruction index)`. Every recovered trap is also counted in
+    /// `traps`/`trap_slots`, so per site `recovered ≤ traps` — the
+    /// conservation check `reconcile()` enforces.
+    pub recoveries: std::collections::BTreeMap<(u32, u32, u32), u64>,
 }
 
 /// A point-in-time copy of a running VM's dynamic profile, published by
@@ -233,6 +240,11 @@ pub struct RunStats {
     pub bound_checks: u64,
     /// Exceptions thrown (software or trap).
     pub exceptions_thrown: u64,
+    /// Traps recovered per strategy instead of aborting (all zero unless a
+    /// [`RecoveryPolicy`] is attached). Recovered traps still count in
+    /// [`traps_taken`](RunStats::traps_taken): `traps_taken` splits into
+    /// aborted + recovered.
+    pub recoveries: RecoveryCounts,
 }
 
 /// A non-recoverable execution failure — not a Java exception but a broken
@@ -414,6 +426,22 @@ enum BlockExit {
     Threw(ExceptionKind),
 }
 
+/// Result of a guarded memory operation, after trap classification and
+/// recovery dispatch.
+enum MemAccess<T> {
+    /// The access succeeded.
+    Val(T),
+    /// A Java exception was raised (abort/strict recovery, or a software
+    /// check upstream).
+    Threw(ExceptionKind),
+    /// `NullObject` recovery: the instruction should yield its typed
+    /// default value and continue.
+    Substitute,
+    /// `SkipEffect` recovery: the instruction is skipped entirely (a load
+    /// destination keeps its previous value).
+    Skip,
+}
+
 enum CallOutcome {
     Return(Option<Value>),
     Threw(ExceptionKind),
@@ -438,6 +466,9 @@ pub struct Vm<'m> {
     hooks: Option<&'m RuntimeHooks>,
     /// Safe points since the last profile publication to `hooks`.
     ticks_since_publish: u64,
+    /// Trap-recovery policy; `None` (or an inactive policy) means every
+    /// trap aborts, exactly as before the subsystem existed.
+    recovery: Option<&'m RecoveryPolicy>,
 }
 
 impl<'m> Vm<'m> {
@@ -457,6 +488,7 @@ impl<'m> Vm<'m> {
             cur_inst: 0,
             hooks: None,
             ticks_since_publish: 0,
+            recovery: None,
         }
     }
 
@@ -474,6 +506,15 @@ impl<'m> Vm<'m> {
         self
     }
 
+    /// Attaches a trap-recovery policy: a null trap at a *registered* site
+    /// dispatches its slot's [`RecoveryStrategy`] instead of
+    /// unconditionally raising the NPE. Explicit checks, unexpected traps,
+    /// and AIX's silent guard-page reads never consult the policy.
+    pub fn with_recovery(mut self, policy: &'m RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
+        self
+    }
+
     /// Runs `entry` with `args` and returns the outcome.
     ///
     /// # Errors
@@ -481,25 +522,63 @@ impl<'m> Vm<'m> {
     /// stack overflow). Java exceptions escaping the entry function are a
     /// *normal* outcome, recorded in [`Outcome::exception`].
     pub fn run(self, entry: &str, args: &[Value]) -> Result<Outcome, Fault> {
-        // The interpreter uses one native frame per simulated call frame, so
-        // the stack it needs scales with `max_depth` — run it on a dedicated
-        // thread with an explicit reservation instead of inheriting the
-        // caller's (test threads default to 2 MiB, too small for a
-        // `max_depth`-deep recursion of these large frames).
+        self.on_interp_thread(move |mut vm| {
+            let out = vm.run_to_completion(entry, args);
+            vm.finish(out)
+        })
+    }
+
+    /// Resumes a deoptimized frame of `function`: executes from
+    /// `point` with the supplied `locals` (typically reconstructed from a
+    /// machine frame snapshot via `njc_recover::frame_locals`), after
+    /// re-checking the resumed instruction's access base with **explicit**
+    /// check semantics — the `Strict` strategy's contract. A null base
+    /// raises the NPE at explicit-check cost with ordinary try-region
+    /// dispatch; a non-null base re-executes the access and the function
+    /// runs to completion from there.
+    ///
+    /// # Errors
+    /// [`Fault::NoSuchFunction`] when `function` is unknown; otherwise as
+    /// [`Vm::run`].
+    pub fn resume(
+        self,
+        function: &str,
+        point: ResumePoint,
+        locals: Vec<Value>,
+    ) -> Result<Outcome, Fault> {
+        self.on_interp_thread(move |mut vm| {
+            let id = vm
+                .module
+                .function_by_name(function)
+                .ok_or_else(|| Fault::NoSuchFunction(function.to_string()))?;
+            vm.cur_func = id.index() as u32;
+            let out = vm.call_resumed(id, locals, point);
+            vm.finish(out)
+        })
+    }
+
+    /// Runs `body` on the dedicated interpreter thread. One native frame
+    /// per simulated call frame means the stack scales with `max_depth`,
+    /// so the thread reserves its own stack instead of inheriting the
+    /// caller's (test threads default to 2 MiB, too small for a
+    /// `max_depth`-deep recursion of these large frames).
+    fn on_interp_thread<F>(self, body: F) -> Result<Outcome, Fault>
+    where
+        F: FnOnce(Self) -> Result<Outcome, Fault> + Send,
+    {
         const INTERP_STACK_BYTES: usize = 32 * 1024 * 1024;
         std::thread::scope(|scope| {
             std::thread::Builder::new()
                 .name("njc-vm-interp".to_string())
                 .stack_size(INTERP_STACK_BYTES)
-                .spawn_scoped(scope, || self.run_on_this_thread(entry, args))
+                .spawn_scoped(scope, move || body(self))
                 .expect("spawn interpreter thread")
                 .join()
                 .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
         })
     }
 
-    fn run_on_this_thread(mut self, entry: &str, args: &[Value]) -> Result<Outcome, Fault> {
-        let out = self.run_to_completion(entry, args);
+    fn finish(self, out: Result<CallOutcome, Fault>) -> Result<Outcome, Fault> {
         if let Some(h) = self.hooks {
             // Final (and on a fault, last-known) profile, then release any
             // controller polling for the end of the run.
@@ -644,12 +723,69 @@ impl<'m> Vm<'m> {
         }
     }
 
+    /// Runs one deoptimized frame of `id`: enters at `point` with the
+    /// reconstructed `locals`, re-checking the resumed access's base
+    /// explicitly before executing it, then continues normally.
+    fn call_resumed(
+        &mut self,
+        id: FunctionId,
+        mut locals: Vec<Value>,
+        point: ResumePoint,
+    ) -> Result<CallOutcome, Fault> {
+        let func = self.module.function(id);
+        debug_assert_eq!(locals.len(), func.var_types().len(), "{}", func.name());
+        let mut block_id = point.block;
+        let mut resume_at = Some(point.inst);
+        loop {
+            let exit = match resume_at.take() {
+                Some(start) => self.exec_block_from(func, block_id, &mut locals, 0, start, true)?,
+                None => self.exec_block(func, block_id, &mut locals, 0)?,
+            };
+            match exit {
+                BlockExit::Jump(next) => block_id = next,
+                BlockExit::Return(v) => return Ok(CallOutcome::Return(v)),
+                BlockExit::Threw(kind) => {
+                    let region = func.block(block_id).try_region;
+                    if let Some(tr) = region {
+                        let r = func.try_region(tr);
+                        if r.catch.catches(kind) {
+                            self.charge(self.platform.cost.throw_dispatch);
+                            if let Some(dst) = r.exception_code_dst {
+                                locals[dst.index()] = Value::Int(kind.code());
+                            }
+                            block_id = r.handler;
+                            continue;
+                        }
+                    }
+                    return Ok(CallOutcome::Threw(kind));
+                }
+            }
+        }
+    }
+
     fn exec_block(
         &mut self,
         func: &Function,
         block_id: BlockId,
         locals: &mut [Value],
         depth: usize,
+    ) -> Result<BlockExit, Fault> {
+        self.exec_block_from(func, block_id, locals, depth, 0, false)
+    }
+
+    /// Executes `block_id` from instruction `start`. With `recheck_first`,
+    /// the instruction at `start` has its access base re-checked with
+    /// explicit-check semantics before it executes — the deopt resume
+    /// contract (the access trapped in compiled code; the recovery path
+    /// re-executes it under an explicit check).
+    fn exec_block_from(
+        &mut self,
+        func: &Function,
+        block_id: BlockId,
+        locals: &mut [Value],
+        depth: usize,
+        start: usize,
+        recheck_first: bool,
     ) -> Result<BlockExit, Fault> {
         let block = func.block(block_id);
         self.safe_point();
@@ -660,9 +796,24 @@ impl<'m> Vm<'m> {
                 .entry((self.cur_func, block_id.index() as u32))
                 .or_insert(0) += 1;
         }
-        for (i, inst) in block.insts.iter().enumerate() {
+        for (i, inst) in block.insts.iter().enumerate().skip(start) {
             self.fuel()?;
             self.cur_inst = i as u32;
+            if recheck_first && i == start {
+                let base = inst
+                    .slot_access(|f| self.module.field_offset(f))
+                    .map(|s| s.base);
+                if let Some(base) = base {
+                    self.charge(self.platform.cost.explicit_null_check);
+                    self.stats.explicit_null_checks += 1;
+                    if locals[base.index()].is_null() {
+                        self.charge(self.platform.cost.throw_dispatch);
+                        self.stats.exceptions_thrown += 1;
+                        let kind = self.raise(ExceptionKind::NullPointer, func, block_id);
+                        return Ok(BlockExit::Threw(kind));
+                    }
+                }
+            }
             if let Some(kind) = self.exec_inst(func, block_id, inst, locals, depth)? {
                 self.stats.exceptions_thrown += 1;
                 return Ok(BlockExit::Threw(kind));
@@ -994,8 +1145,10 @@ impl<'m> Vm<'m> {
                 let fd = self.module.field_decl(*field);
                 let addr = base.wrapping_add(fd.offset);
                 match self.mem_read(func, block_id, addr, *exception_site)? {
-                    Ok(bits) => locals[dst.index()] = Value::from_bits(bits, fd.ty),
-                    Err(kind) => return Ok(Some(kind)),
+                    MemAccess::Val(bits) => locals[dst.index()] = Value::from_bits(bits, fd.ty),
+                    MemAccess::Threw(kind) => return Ok(Some(kind)),
+                    MemAccess::Substitute => locals[dst.index()] = Value::default_of(fd.ty),
+                    MemAccess::Skip => {}
                 }
             }
             Inst::PutField {
@@ -1015,8 +1168,11 @@ impl<'m> Vm<'m> {
                 let fd = self.module.field_decl(*field);
                 let addr = base.wrapping_add(fd.offset);
                 let bits = locals[value.index()].to_bits();
-                if let Err(kind) = self.mem_write(func, block_id, addr, bits, *exception_site)? {
-                    return Ok(Some(kind));
+                match self.mem_write(func, block_id, addr, bits, *exception_site)? {
+                    // Substitute and Skip agree for a store: the faulting
+                    // effect is dropped and execution continues.
+                    MemAccess::Val(()) | MemAccess::Substitute | MemAccess::Skip => {}
+                    MemAccess::Threw(kind) => return Ok(Some(kind)),
                 }
             }
             Inst::ArrayLength {
@@ -1033,8 +1189,11 @@ impl<'m> Vm<'m> {
                     .try_ref_addr()
                     .map_err(|e| Self::ill_typed(func, block_id, e))?;
                 match self.mem_read(func, block_id, base, *exception_site)? {
-                    Ok(bits) => locals[dst.index()] = Value::Int(bits as i64),
-                    Err(kind) => return Ok(Some(kind)),
+                    MemAccess::Val(bits) => locals[dst.index()] = Value::Int(bits as i64),
+                    MemAccess::Threw(kind) => return Ok(Some(kind)),
+                    // The null object's length is zero.
+                    MemAccess::Substitute => locals[dst.index()] = Value::Int(0),
+                    MemAccess::Skip => {}
                 }
             }
             Inst::ArrayLoad {
@@ -1063,12 +1222,21 @@ impl<'m> Vm<'m> {
                     AccessKind::Read,
                     *exception_site,
                 )? {
-                    Ok(addr) => addr,
-                    Err(kind) => return Ok(Some(kind)),
+                    MemAccess::Val(addr) => Some(addr),
+                    MemAccess::Threw(kind) => return Ok(Some(kind)),
+                    MemAccess::Substitute => {
+                        locals[dst.index()] = Value::default_of(*ty);
+                        None
+                    }
+                    MemAccess::Skip => None,
                 };
-                match self.mem_read(func, block_id, addr, *exception_site)? {
-                    Ok(bits) => locals[dst.index()] = Value::from_bits(bits, *ty),
-                    Err(kind) => return Ok(Some(kind)),
+                if let Some(addr) = addr {
+                    match self.mem_read(func, block_id, addr, *exception_site)? {
+                        MemAccess::Val(bits) => locals[dst.index()] = Value::from_bits(bits, *ty),
+                        MemAccess::Threw(kind) => return Ok(Some(kind)),
+                        MemAccess::Substitute => locals[dst.index()] = Value::default_of(*ty),
+                        MemAccess::Skip => {}
+                    }
                 }
             }
             Inst::ArrayStore {
@@ -1097,12 +1265,17 @@ impl<'m> Vm<'m> {
                     AccessKind::Write,
                     *exception_site,
                 )? {
-                    Ok(addr) => addr,
-                    Err(kind) => return Ok(Some(kind)),
+                    MemAccess::Val(addr) => Some(addr),
+                    MemAccess::Threw(kind) => return Ok(Some(kind)),
+                    // Both non-abort verdicts drop the store.
+                    MemAccess::Substitute | MemAccess::Skip => None,
                 };
-                let bits = locals[value.index()].to_bits();
-                if let Err(kind) = self.mem_write(func, block_id, addr, bits, *exception_site)? {
-                    return Ok(Some(kind));
+                if let Some(addr) = addr {
+                    let bits = locals[value.index()].to_bits();
+                    match self.mem_write(func, block_id, addr, bits, *exception_site)? {
+                        MemAccess::Val(()) | MemAccess::Substitute | MemAccess::Skip => {}
+                        MemAccess::Threw(kind) => return Ok(Some(kind)),
+                    }
                 }
             }
             Inst::New { dst, class } => {
@@ -1153,8 +1326,18 @@ impl<'m> Vm<'m> {
                             .try_ref_addr()
                             .map_err(|e| Self::ill_typed(func, block_id, e))?;
                         match self.mem_read(func, block_id, base, *exception_site)? {
-                            Err(kind) => return Ok(Some(kind)),
-                            Ok(bits) => {
+                            MemAccess::Threw(kind) => return Ok(Some(kind)),
+                            MemAccess::Substitute => {
+                                // The null object's method returns its
+                                // result type's default value.
+                                if let Some(d) = dst {
+                                    locals[d.index()] = Value::default_of(func.var_type(*d));
+                                }
+                                return Ok(None);
+                            }
+                            // The call never happens; dst keeps its value.
+                            MemAccess::Skip => return Ok(None),
+                            MemAccess::Val(bits) => {
                                 if bits == 0 {
                                     // A silently-read null method table: the
                                     // jump goes into the weeds.
@@ -1213,33 +1396,35 @@ impl<'m> Vm<'m> {
     }
 
     /// Classifies a [`MemoryError`]: a hardware trap at a *marked* site is
-    /// the `NullPointerException` the program owed (`Ok(kind)`); anywhere
-    /// else it is a compiler/program bug (`Err(fault)`).
-    fn mem_fault(
+    /// the `NullPointerException` the program owed — or, with an active
+    /// [`RecoveryPolicy`], the site's recovery verdict; anywhere else it is
+    /// a compiler/program bug (`Err(fault)`).
+    fn mem_fault<T>(
         &mut self,
         func: &Function,
         block_id: BlockId,
         err: MemoryError,
         site: bool,
-    ) -> Result<ExceptionKind, Fault> {
+    ) -> Result<MemAccess<T>, Fault> {
         match err {
             MemoryError::Trap(_) => {
                 self.stats.traps_taken += 1;
                 if site {
                     self.charge(self.platform.cost.trap_taken);
+                    // Slot provenance of the trapping instruction: counter
+                    // key (stable across recompiled tiers) and recovery
+                    // policy key alike.
+                    let slot = func
+                        .block(block_id)
+                        .insts
+                        .get(self.cur_inst as usize)
+                        .and_then(|inst| inst.slot_access(|f| self.module.field_offset(f)));
                     if self.config.count_sites {
                         *self
                             .site_counts
                             .traps
                             .entry((self.cur_func, block_id.index() as u32, self.cur_inst))
                             .or_insert(0) += 1;
-                        // Slot-keyed twin of the trap counter: stable across
-                        // recompiled tiers of the same function.
-                        let slot = func
-                            .block(block_id)
-                            .insts
-                            .get(self.cur_inst as usize)
-                            .and_then(|inst| inst.slot_access(|f| self.module.field_offset(f)));
                         if let Some(sa) = slot {
                             if let Some(off) = sa.offset {
                                 *self
@@ -1250,7 +1435,14 @@ impl<'m> Vm<'m> {
                             }
                         }
                     }
-                    Ok(self.raise(ExceptionKind::NullPointer, func, block_id))
+                    let strategy = match self.recovery.filter(|p| p.is_active()) {
+                        Some(p) => match slot {
+                            Some(sa) => p.strategy_for(self.cur_func, sa.offset, sa.kind),
+                            None => p.default_strategy(),
+                        },
+                        None => RecoveryStrategy::Abort,
+                    };
+                    Ok(self.recover_trap(strategy, func, block_id))
                 } else {
                     Err(Fault::UnexpectedTrap {
                         function: func.name().to_string(),
@@ -1265,10 +1457,52 @@ impl<'m> Vm<'m> {
         }
     }
 
+    /// Applies `strategy` to a trap already attributed to the marked site
+    /// at the current instruction. `Abort` raises the NPE exactly as
+    /// before recovery existed; the others count a recovery and turn the
+    /// trap into the strategy's verdict.
+    fn recover_trap<T>(
+        &mut self,
+        strategy: RecoveryStrategy,
+        func: &Function,
+        block_id: BlockId,
+    ) -> MemAccess<T> {
+        if strategy != RecoveryStrategy::Abort {
+            self.stats.recoveries.record(strategy);
+            if self.config.count_sites {
+                *self
+                    .site_counts
+                    .recoveries
+                    .entry((self.cur_func, block_id.index() as u32, self.cur_inst))
+                    .or_insert(0) += 1;
+            }
+        }
+        match strategy {
+            RecoveryStrategy::Abort => {
+                MemAccess::Threw(self.raise(ExceptionKind::NullPointer, func, block_id))
+            }
+            RecoveryStrategy::Strict => {
+                // Deoptimize and re-execute under an explicit check: the
+                // base is still null, so the recheck throws the same NPE —
+                // observationally identical to `Abort`, at the cost of the
+                // extra explicit check on the recovery path.
+                self.charge(self.platform.cost.explicit_null_check);
+                self.stats.explicit_null_checks += 1;
+                MemAccess::Threw(self.raise(ExceptionKind::NullPointer, func, block_id))
+            }
+            RecoveryStrategy::NullObject => {
+                // Materializing the typed default costs one ALU move.
+                self.charge(self.platform.cost.int_alu);
+                MemAccess::Substitute
+            }
+            RecoveryStrategy::SkipEffect => MemAccess::Skip,
+        }
+    }
+
     /// Array element address under the active addressing mode: checked
     /// arithmetic by default, the legacy wrapping form under the harness's
-    /// fault-injection flag. `Ok(Err(kind))` is a Java exception (a null
-    /// base whose wrapped address the guard page owes a trap).
+    /// fault-injection flag. A [`MemAccess::Threw`] is a Java exception (a
+    /// null base whose wrapped address the guard page owes a trap).
     #[allow(clippy::too_many_arguments)]
     fn element_addr(
         &mut self,
@@ -1278,25 +1512,25 @@ impl<'m> Vm<'m> {
         index: i64,
         kind: AccessKind,
         site: bool,
-    ) -> Result<Result<u64, ExceptionKind>, Fault> {
+    ) -> Result<MemAccess<u64>, Fault> {
         if self.config.legacy_wrapping_addressing {
-            return Ok(Ok(Heap::element_addr(base, index)));
+            return Ok(MemAccess::Val(Heap::element_addr(base, index)));
         }
         match Heap::element_addr_checked(base, index, kind, &self.platform.trap) {
-            Ok(addr) => Ok(Ok(addr)),
-            Err(err) => Ok(Err(self.mem_fault(func, block_id, err, site)?)),
+            Ok(addr) => Ok(MemAccess::Val(addr)),
+            Err(err) => self.mem_fault(func, block_id, err, site),
         }
     }
 
-    /// A guarded read; `Ok(Err(kind))` is a Java exception, `Err(fault)` a
-    /// broken program.
+    /// A guarded read; [`MemAccess::Threw`] is a Java exception,
+    /// `Err(fault)` a broken program.
     fn mem_read(
         &mut self,
         func: &Function,
         block_id: BlockId,
         addr: u64,
         site: bool,
-    ) -> Result<Result<u64, ExceptionKind>, Fault> {
+    ) -> Result<MemAccess<u64>, Fault> {
         match self.heap.mem.read_u64(addr) {
             Ok(out) => {
                 if out.from_guard {
@@ -1304,14 +1538,16 @@ impl<'m> Vm<'m> {
                     if site {
                         // The hardware was supposed to trap here but this
                         // platform does not trap reads: the NPE is missed.
+                        // No trap means no recovery dispatch either — a
+                        // silently-read slot never consults the policy.
                         self.stats.missed_npes += 1;
                     }
-                    Ok(Ok(0))
+                    Ok(MemAccess::Val(0))
                 } else {
-                    Ok(Ok(out.value))
+                    Ok(MemAccess::Val(out.value))
                 }
             }
-            Err(err) => Ok(Err(self.mem_fault(func, block_id, err, site)?)),
+            Err(err) => self.mem_fault(func, block_id, err, site),
         }
     }
 
@@ -1322,14 +1558,14 @@ impl<'m> Vm<'m> {
         addr: u64,
         bits: u64,
         site: bool,
-    ) -> Result<Result<(), ExceptionKind>, Fault> {
+    ) -> Result<MemAccess<()>, Fault> {
         match self.heap.mem.write_u64(addr, bits) {
             Ok(()) => {
                 // A discarded guard write only happens on models that trap
                 // neither reads nor writes; treat like the silent read.
-                Ok(Ok(()))
+                Ok(MemAccess::Val(()))
             }
-            Err(err) => Ok(Err(self.mem_fault(func, block_id, err, site)?)),
+            Err(err) => self.mem_fault(func, block_id, err, site),
         }
     }
 }

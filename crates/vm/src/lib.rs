@@ -432,6 +432,187 @@ mod tests {
     }
 
     #[test]
+    fn nullobject_recovery_substitutes_typed_default() {
+        let m = module_with(
+            "func main(v0: ref) -> int {\n  locals v1: int v2: int\nbb0:\n  v1 = getfield v0, field0 [site]\n  v2 = add.int v1, v1\n  return v2\n}",
+        );
+        let policy =
+            njc_recover::RecoveryPolicy::uniform(njc_recover::RecoveryStrategy::NullObject);
+        let out = Vm::new(&m, win())
+            .with_recovery(&policy)
+            .run("main", &[Value::Ref(0)])
+            .unwrap();
+        assert_eq!(out.exception, None, "trap recovered, no NPE");
+        assert_eq!(out.result, Some(Value::Int(0)), "default substituted");
+        assert_eq!(out.stats.traps_taken, 1, "the trap still happened");
+        assert_eq!(out.stats.recoveries.null_object, 1);
+        assert!(out.events.is_empty(), "no exception origin recorded");
+    }
+
+    #[test]
+    fn skipeffect_recovery_drops_store_and_keeps_stale_load_dst() {
+        let m = module_with(
+            "func main(v0: ref) -> int {\n  locals v1: int v2: int\nbb0:\n  v1 = const 42\n  putfield v0, field0, v1 [site]\n  v2 = const 7\n  v2 = getfield v0, field1 [site]\n  return v2\n}",
+        );
+        let policy =
+            njc_recover::RecoveryPolicy::uniform(njc_recover::RecoveryStrategy::SkipEffect);
+        let out = Vm::new(&m, win())
+            .with_recovery(&policy)
+            .run("main", &[Value::Ref(0)])
+            .unwrap();
+        assert_eq!(out.exception, None);
+        assert_eq!(
+            out.result,
+            Some(Value::Int(7)),
+            "skipped load keeps the stale destination"
+        );
+        assert_eq!(out.stats.recoveries.skip_effect, 2, "store + load skipped");
+    }
+
+    #[test]
+    fn strict_recovery_is_observationally_identical_to_abort() {
+        let m = module_with(
+            "func main(v0: ref) -> int {\n  locals v1: int v2: int\n  try0: handler bb1 catch npe -> v2\nbb0: [try0]\n  v1 = getfield v0, field0 [site]\n  return v1\nbb1:\n  return v2\n}",
+        );
+        let base = run_module(&m, win(), "main", &[Value::Ref(0)]).unwrap();
+        let policy = njc_recover::RecoveryPolicy::uniform(njc_recover::RecoveryStrategy::Strict);
+        let strict = Vm::new(&m, win())
+            .with_recovery(&policy)
+            .run("main", &[Value::Ref(0)])
+            .unwrap();
+        base.assert_equivalent(&strict).unwrap();
+        assert_eq!(base.events, strict.events);
+        assert_eq!(base.heap_digest, strict.heap_digest);
+        assert_eq!(strict.stats.recoveries.strict, 1);
+        assert_eq!(
+            strict.stats.explicit_null_checks,
+            base.stats.explicit_null_checks + 1,
+            "the deopt recheck is an explicit check"
+        );
+        assert!(
+            strict.stats.cycles > base.stats.cycles,
+            "strict recovery costs more than aborting"
+        );
+    }
+
+    #[test]
+    fn per_slot_policy_only_recovers_the_pinned_slot() {
+        let m = module_with(
+            "func main(v0: ref) -> int {\n  locals v1: int v2: int\n  try0: handler bb1 catch npe -> v2\nbb0: [try0]\n  v1 = getfield v0, field1 [site]\n  v1 = getfield v0, field0 [site]\n  return v1\nbb1:\n  return v2\n}",
+        );
+        // Recover only field1's read slot (offset 16); field0's abort.
+        let mut policy = njc_recover::RecoveryPolicy::abort();
+        policy.set_slot(
+            0,
+            16,
+            njc_ir::AccessKind::Read,
+            njc_recover::RecoveryStrategy::NullObject,
+        );
+        let out = Vm::new(&m, win())
+            .with_recovery(&policy)
+            .run("main", &[Value::Ref(0)])
+            .unwrap();
+        assert_eq!(out.stats.recoveries.null_object, 1, "field1 recovered");
+        assert_eq!(
+            out.result,
+            Some(Value::Int(ExceptionKind::NullPointer.code())),
+            "field0's trap still aborted into the handler"
+        );
+        assert_eq!(out.stats.traps_taken, 2);
+    }
+
+    #[test]
+    fn aix_silent_read_never_enters_recovery_dispatch() {
+        // The negative control: no trap means no recovery. A marked read
+        // on AIX silently yields zero and the NPE is *missed*, policy or
+        // not — the recovery counters must stay zero.
+        let m = module_with(
+            "func main(v0: ref) -> int {\n  locals v1: int\nbb0:\n  v1 = getfield v0, field0 [site]\n  return v1\n}",
+        );
+        let policy =
+            njc_recover::RecoveryPolicy::uniform(njc_recover::RecoveryStrategy::NullObject);
+        let out = Vm::new(&m, Platform::aix_ppc())
+            .with_recovery(&policy)
+            .run("main", &[Value::Ref(0)])
+            .unwrap();
+        assert_eq!(out.stats.recoveries.total(), 0, "no trap, no recovery");
+        assert_eq!(out.stats.missed_npes, 1, "the NPE is still missed");
+        assert_eq!(out.result, Some(Value::Int(0)), "silent garbage zero");
+    }
+
+    #[test]
+    fn recovery_sites_counted_when_instrumented() {
+        let m = module_with(
+            "func main(v0: ref) -> int {\n  locals v1: int\nbb0:\n  v1 = getfield v0, field0 [site]\n  return v1\n}",
+        );
+        let policy =
+            njc_recover::RecoveryPolicy::uniform(njc_recover::RecoveryStrategy::NullObject);
+        let out = Vm::new(&m, win())
+            .with_recovery(&policy)
+            .with_config(VmConfig {
+                count_sites: true,
+                ..VmConfig::default()
+            })
+            .run("main", &[Value::Ref(0)])
+            .unwrap();
+        assert_eq!(out.site_counts.recoveries.get(&(0, 0, 0)), Some(&1));
+        assert_eq!(
+            out.site_counts.traps.get(&(0, 0, 0)),
+            Some(&1),
+            "a recovered trap still counts as a trap at the same site"
+        );
+    }
+
+    #[test]
+    fn resume_reexecutes_under_explicit_check() {
+        let m = module_with(
+            "func main(v0: ref, v1: int) -> int {\n  locals v2: int v3: int\nbb0:\n  v2 = getfield v0, field0 [site]\n  v3 = add.int v2, v1\n  return v3\n}",
+        );
+        // Prime an object so the non-null resume can read it back.
+        let point = njc_recover::ResumePoint {
+            block: njc_ir::BlockId(0),
+            inst: 0,
+        };
+        // Null base: the resume recheck throws the NPE the trap owed.
+        let out = Vm::new(&m, win())
+            .resume(
+                "main",
+                point,
+                vec![Value::Ref(0), Value::Int(5), Value::Int(0), Value::Int(0)],
+            )
+            .unwrap();
+        assert_eq!(out.exception, Some(ExceptionKind::NullPointer));
+        assert_eq!(out.stats.explicit_null_checks, 1, "recheck is explicit");
+        assert_eq!(
+            out.stats.traps_taken, 0,
+            "no second trap on the resume path"
+        );
+    }
+
+    #[test]
+    fn resume_mid_block_uses_reconstructed_locals() {
+        // Resume past the first instruction: v2 arrives from the frame
+        // snapshot (99), the add executes, and the function returns 104 —
+        // proof the resumed frame really starts from the supplied state.
+        let m = module_with(
+            "func main(v0: ref, v1: int) -> int {\n  locals v2: int v3: int\nbb0:\n  v2 = getfield v0, field0 [site]\n  v3 = add.int v2, v1\n  return v3\n}",
+        );
+        let point = njc_recover::ResumePoint {
+            block: njc_ir::BlockId(0),
+            inst: 1,
+        };
+        let out = Vm::new(&m, win())
+            .resume(
+                "main",
+                point,
+                vec![Value::Ref(0), Value::Int(5), Value::Int(99), Value::Int(0)],
+            )
+            .unwrap();
+        assert_eq!(out.result, Some(Value::Int(104)));
+        assert_eq!(out.exception, None, "the add has no access base to recheck");
+    }
+
+    #[test]
     fn implicit_check_instruction_is_free_documentation() {
         let m = module_with(
             "func main(v0: ref) -> int {\n  locals v1: int\nbb0:\n  nullcheck! v0\n  v1 = getfield v0, field0 [site]\n  return v1\n}",

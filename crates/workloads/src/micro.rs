@@ -351,6 +351,105 @@ pub fn null_seeded() -> Module {
     m
 }
 
+/// The recovery corpus: a null-seeded program whose *per-strategy*
+/// observables all differ. Every iteration derefs a conditionally-null
+/// node inside an NPE-catching try region three ways — a field read
+/// (where `NullObject` substitutes a typed zero), a field write (where
+/// `SkipEffect` drops the store, visible to the next round's reads),
+/// and a one-hop chain walk (where a suppressed NPE changes the handler
+/// count). Under `Abort`/`Strict` the handlers run and the checksum
+/// matches the explicit-check build; under the lossy strategies the
+/// result, trace, and heap digest each move in a distinct way — exactly
+/// the surface the difftest `+recover:<strategy>` columns classify.
+pub fn recovery_sweep() -> Module {
+    let mut m = Module::new("recovery_sweep");
+    let c = m.add_class("Node", &[("v", Type::Int), ("next", Type::Ref)]);
+    let fv = m.field(c, "v").unwrap();
+    let fnext = m.field(c, "next").unwrap();
+
+    let mut b = FuncBuilder::new("main", &[], Type::Int);
+    let zero = b.iconst(0);
+    let n = b.iconst(24);
+    let nodes = b.new_array(Type::Ref, n);
+    let state = b.var(Type::Int);
+    let seed = b.iconst(77_777);
+    b.assign(state, seed);
+    // Seed: slots where (i & 3) == 1 stay null, the rest get nodes
+    // linked to their successor slot (which may be null).
+    b.for_loop(zero, n, 1, |b, i| {
+        lcg_step(b, state);
+        let three = b.iconst(3);
+        let one = b.iconst(1);
+        let low = b.binop(Op::And, i, three);
+        if_then(b, Cond::Ne, low, one, |b| {
+            let node = b.new_object(c);
+            b.put_field(node, fv, i);
+            b.array_store(nodes, i, node, Type::Ref);
+        });
+    });
+    let n1 = b.add_i(n, -1);
+    b.for_loop(zero, n1, 1, |b, i| {
+        let cur = b.array_load(nodes, i, Type::Ref);
+        let skip = b.new_block();
+        let link = b.new_block();
+        b.br_ifnull(cur, skip, link);
+        b.switch_to(link);
+        let one = b.iconst(1);
+        let i1 = b.add(i, one);
+        let nxt = b.array_load(nodes, i1, Type::Ref);
+        b.put_field(cur, fnext, nxt);
+        b.goto(skip);
+        b.switch_to(skip);
+    });
+
+    // Sweep rounds: read, increment-write, chain hop — each null arrival
+    // caught and counted. The write makes rounds interact: a skipped
+    // store changes what the next round reads.
+    let acc = b.var(Type::Int);
+    b.assign(acc, zero);
+    let npes = b.var(Type::Int);
+    b.assign(npes, zero);
+    let rounds = b.iconst(12);
+    b.for_loop(zero, rounds, 1, |b, _r| {
+        b.for_loop(zero, n, 1, |b, i| {
+            let handler = b.new_block();
+            let after = b.new_block();
+            let tryb = b.new_block();
+            let region =
+                b.add_try_region(handler, CatchKind::Only(ExceptionKind::NullPointer), None);
+            b.goto(tryb);
+            b.set_try_region(Some(region));
+            b.switch_to(tryb);
+            {
+                let node = b.array_load(nodes, i, Type::Ref);
+                let v = b.get_field(node, fv); // null slots throw here
+                b.binop_into(acc, Op::Add, acc, v);
+                let one = b.iconst(1);
+                let v1 = b.add(v, one);
+                b.put_field(node, fv, v1); // the store the skip drops
+                let nxt = b.get_field_typed(node, fnext, Type::Ref);
+                let v2 = b.get_field(nxt, fv); // chain hop may throw too
+                b.binop_into(acc, Op::Add, acc, v2);
+            }
+            b.goto(after);
+            b.set_try_region(None);
+            b.switch_to(handler);
+            let one = b.iconst(1);
+            b.binop_into(npes, Op::Add, npes, one);
+            b.goto(after);
+            b.switch_to(after);
+        });
+    });
+    let sixteen = b.iconst(16);
+    let hi = b.binop(Op::Shl, npes, sixteen);
+    let out = b.add(acc, hi);
+    b.observe(acc);
+    b.observe(npes);
+    b.ret(Some(out));
+    m.add_function(b.finish());
+    m
+}
+
 /// The re-load congruence shape behind §4.1.2's fact loss: the
 /// idiomatic `o.g != null && o.g.x` chained read loads the field twice,
 /// and the second read's null check is provably dead only when the
@@ -430,6 +529,7 @@ pub fn all_micro() -> Vec<(&'static str, Module)> {
         ("figure6", figure6()),
         ("big_offset", big_offset()),
         ("null_seeded", null_seeded()),
+        ("recovery_sweep", recovery_sweep()),
         ("reload_congruence", reload_congruence()),
     ]
 }
@@ -464,5 +564,19 @@ mod tests {
         let m = null_seeded();
         let main = m.function(m.function_by_name("main").unwrap());
         assert!(!main.try_regions().is_empty());
+    }
+
+    #[test]
+    fn recovery_sweep_has_npe_handlers_and_a_store_in_the_try() {
+        let m = recovery_sweep();
+        let main = m.function(m.function_by_name("main").unwrap());
+        assert!(!main.try_regions().is_empty());
+        let stores = main
+            .blocks()
+            .iter()
+            .flat_map(|blk| &blk.insts)
+            .filter(|i| matches!(i, njc_ir::Inst::PutField { .. }))
+            .count();
+        assert!(stores >= 3, "seed, link, and sweep stores: {stores}");
     }
 }

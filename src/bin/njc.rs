@@ -10,9 +10,12 @@
 //! njc difftest [--smoke] [--seeds N] [--legacy-addressing] [--no-interproc]
 //!              [--no-gvn] [--fixtures DIR] [--out PATH]
 //! njc runtime <file.ir> [--platform <name>] [--profile-threshold R]
+//!             [--recover <strategy>] [--json]
 //! njc runtime --smoke
-//! njc service <file.ir> [--platform <name>] [--tenants N]
+//! njc service <file.ir> [--platform <name>] [--tenants N] [--recover <strategy>]
+//!             [--json]
 //! njc service --smoke [--tenants N]
+//! njc recover [--smoke] [--seeds N] [--json] [--write-fixtures] [--fixtures DIR]
 //! njc emit <file.ir> [--config <name>] [--platform <name>] [--threads N] [--out PATH]
 //! njc verify-binary <file.ir> [--config <name>] [--platform <name>] [--threads N]
 //! njc verify-binary --smoke [--threads N]
@@ -81,6 +84,24 @@
 //! tier-down — the burst tenants settle back to zero override slots while
 //! the hot-field tenants keep theirs.
 //!
+//! The `recover` subcommand is the trap-recovery gate (`njc_bench::recover`,
+//! DESIGN.md §17): every JOG-style pattern rule instance runs as a
+//! differential cell — `vm(opt(before), policy = strategy)` must match
+//! `vm(opt(after), no policy)` over result, exception, trace, events, and
+//! heap digest — plus the strict identity sweep (a uniform `Strict` policy
+//! must be observationally invisible on every program), the committed
+//! fixture drift check (`tests/fixtures/recover_*.njc` must equal the
+//! regenerated text; `--write-fixtures` regenerates them), and the binary
+//! deopt round trip (emitted bytes run to the trapping site, the machine
+//! frame maps back to interpreter locals, and the resumed execution must
+//! match the pure-VM reference). `--json` prints a fully deterministic
+//! machine-readable report. The `runtime` and `service` subcommands accept
+//! `--recover <strategy>` (`abort|strict|nullobject|skipeffect`) to attach
+//! a uniform recovery policy — per-run for `runtime`, per-tenant for
+//! `service` — and `--json` for a machine-readable outcome whose
+//! nondeterministic counters ride on `"volatile"` lines, mirroring the
+//! BENCH_*.json discipline.
+//!
 //! The `emit` subcommand lowers the optimized program all the way to x86-64
 //! machine bytes (`njc_emit`) and writes a minimal ELF64 relocatable whose
 //! `.njc.exctab` / `.njc.handlers` sections carry the exception-site table
@@ -116,7 +137,7 @@ use njc_vm::{SiteCounters, Vm, VmConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: njc <file.ir> [--config full|phase1|old|trap|none|speculation|no-speculation|illegal-implicit] [--platform ia32|aix|s390] [--emit] [--run] [--all] [--events-out PATH] [--trace-out PATH]\n       njc explain <file.ir> [<fn> [<check-id>]] [--config ...] [--platform ...] [--interproc] [--gvn] [--run] [--threads N] [--events-out PATH] [--trace-out PATH]\n       njc explain --smoke [--threads N]\n       njc difftest [--smoke] [--seeds N] [--legacy-addressing] [--no-interproc] [--no-gvn] [--fixtures DIR] [--out PATH]\n       njc runtime <file.ir> [--platform ia32|aix|s390] [--profile-threshold R]\n       njc runtime --smoke\n       njc service <file.ir> [--platform ia32|aix|s390] [--tenants N]\n       njc service --smoke [--tenants N]\n       njc emit <file.ir> [--config ...] [--platform ...] [--threads N] [--out PATH]\n       njc verify-binary <file.ir> [--config ...] [--platform ...] [--threads N]\n       njc verify-binary --smoke [--threads N]"
+        "usage: njc <file.ir> [--config full|phase1|old|trap|none|speculation|no-speculation|illegal-implicit] [--platform ia32|aix|s390] [--emit] [--run] [--all] [--events-out PATH] [--trace-out PATH]\n       njc explain <file.ir> [<fn> [<check-id>]] [--config ...] [--platform ...] [--interproc] [--gvn] [--run] [--threads N] [--events-out PATH] [--trace-out PATH]\n       njc explain --smoke [--threads N]\n       njc difftest [--smoke] [--seeds N] [--legacy-addressing] [--no-interproc] [--no-gvn] [--fixtures DIR] [--out PATH]\n       njc runtime <file.ir> [--platform ia32|aix|s390] [--profile-threshold R] [--recover abort|strict|nullobject|skipeffect] [--json]\n       njc runtime --smoke\n       njc service <file.ir> [--platform ia32|aix|s390] [--tenants N] [--recover abort|strict|nullobject|skipeffect] [--json]\n       njc service --smoke [--tenants N]\n       njc recover [--smoke] [--seeds N] [--json] [--write-fixtures] [--fixtures DIR]\n       njc emit <file.ir> [--config ...] [--platform ...] [--threads N] [--out PATH]\n       njc verify-binary <file.ir> [--config ...] [--platform ...] [--threads N]\n       njc verify-binary --smoke [--threads N]"
     );
     ExitCode::FAILURE
 }
@@ -299,11 +320,89 @@ fn runtime_smoke() -> ExitCode {
     }
 }
 
+/// Renders per-strategy recovery counts as a JSON object.
+fn recovery_counts_json(c: &njc_runtime::RecoveryCounts) -> String {
+    format!(
+        "{{\"strict\":{},\"nullobject\":{},\"skipeffect\":{},\"total\":{}}}",
+        c.strict,
+        c.null_object,
+        c.skip_effect,
+        c.total()
+    )
+}
+
+/// Verifies a tiered-runtime outcome without printing (the `--json` path):
+/// tiered reconciliation — including that every recovered trap maps back to
+/// site provenance — and override convergence.
+fn verify_runtime_outcome(out: &njc_runtime::RuntimeOutcome) -> Vec<String> {
+    let mut failures = Vec::new();
+    if let Err(f) = out.reconcile() {
+        failures.extend(f.into_iter().map(|l| format!("reconcile: {l}")));
+    }
+    if let Err(f) = out.verify_convergence() {
+        failures.extend(f.into_iter().map(|l| format!("convergence: {l}")));
+    }
+    failures
+}
+
+/// Deterministic-modulo-volatile JSON for one tiered-runtime outcome: the
+/// steady state, overrides, and steady recovery counts are reproducible
+/// run-to-run; adaptive counters (swap timing, cache traffic, recoveries
+/// absorbed before an override landed) ride on the `"volatile"` line, which
+/// the CI byte-identity comparison strips — the BENCH_*.json discipline.
+fn runtime_json(
+    platform: &Platform,
+    recover: njc_runtime::RecoveryStrategy,
+    out: &njc_runtime::RuntimeOutcome,
+    verified: bool,
+) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"generated_by\": \"njc runtime\",");
+    let _ = writeln!(s, "  \"platform\": \"{}\",", platform.name);
+    let _ = writeln!(s, "  \"recover\": \"{}\",", recover.as_str());
+    let _ = writeln!(
+        s,
+        "  \"steady\": {{\"cycles\":{},\"traps_taken\":{},\"explicit_null_checks\":{},\"missed_npes\":{},\"recoveries\":{}}},",
+        out.steady.stats.cycles,
+        out.steady.stats.traps_taken,
+        out.steady.stats.explicit_null_checks,
+        out.steady.stats.missed_npes,
+        recovery_counts_json(&out.steady.stats.recoveries)
+    );
+    let overrides: Vec<String> = out
+        .overrides
+        .iter()
+        .map(|(name, ov)| format!("\"{name}\":{}", ov.len()))
+        .collect();
+    let _ = writeln!(s, "  \"overrides\": {{{}}},", overrides.join(","));
+    let _ = writeln!(s, "  \"compile_panics\": {},", out.compile_panics);
+    let _ = writeln!(s, "  \"verified\": {verified},");
+    let _ = writeln!(
+        s,
+        "  \"volatile\": {{\"adaptive_cycles\":{},\"adaptive_traps\":{},\"mid_run_swaps\":{},\"recompiles\":{},\"recoveries_total\":{},\"cache\":{{\"hits\":{},\"misses\":{},\"inserts\":{},\"evictions\":{}}}}}",
+        out.adaptive.stats.cycles,
+        out.adaptive.stats.traps_taken,
+        out.mid_run_swaps,
+        out.recompiles.len(),
+        recovery_counts_json(&out.recoveries),
+        out.cache.hits,
+        out.cache.misses,
+        out.cache.inserts,
+        out.cache.evictions
+    );
+    s.push_str("}\n");
+    s
+}
+
 fn runtime_main(args: &[String]) -> ExitCode {
     let mut file = None;
     let mut platform = Platform::windows_ia32();
     let mut threshold: Option<f64> = None;
     let mut smoke = false;
+    let mut json = false;
+    let mut recover = njc_runtime::RecoveryStrategy::Abort;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -315,6 +414,14 @@ fn runtime_main(args: &[String]) -> ExitCode {
                 Some(r) => threshold = Some(r),
                 None => return usage(),
             },
+            "--recover" => match it
+                .next()
+                .and_then(|s| njc_runtime::RecoveryStrategy::parse(s))
+            {
+                Some(s) => recover = s,
+                None => return usage(),
+            },
+            "--json" => json = true,
             "--smoke" => smoke = true,
             other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
             _ => return usage(),
@@ -342,7 +449,8 @@ fn runtime_main(args: &[String]) -> ExitCode {
     if let Some(r) = threshold {
         config.policy.trap_ratio = r;
     }
-    let rt = njc_runtime::TieredRuntime::with_config(module, platform, config);
+    let rt = njc_runtime::TieredRuntime::with_config(module, platform, config)
+        .with_recovery(njc_runtime::RecoveryPolicy::uniform(recover));
     let out = match rt.run("main", &[]) {
         Ok(o) => o,
         Err(f) => {
@@ -350,7 +458,23 @@ fn runtime_main(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let failures = report_runtime_outcome(&out);
+    let failures = if json {
+        let failures = verify_runtime_outcome(&out);
+        print!(
+            "{}",
+            runtime_json(&platform, recover, &out, failures.is_empty())
+        );
+        failures
+    } else {
+        let failures = report_runtime_outcome(&out);
+        if out.recoveries.total() > 0 {
+            println!(
+                "recovered:  {} strict, {} nullobject, {} skipeffect",
+                out.recoveries.strict, out.recoveries.null_object, out.recoveries.skip_effect
+            );
+        }
+        failures
+    };
     if failures.is_empty() {
         ExitCode::SUCCESS
     } else {
@@ -395,7 +519,7 @@ fn report_service_outcome(out: &njc_runtime::ServiceOutcome) {
 fn service_smoke(tenants: usize) -> ExitCode {
     use njc_runtime::{
         hot_field_workload, many_hot_workload, phase_shift_workload, write_hot_workload,
-        ServiceConfig, ServiceRuntime, TenantSpec, TieredRuntime, PHASE_NULL,
+        RecoveryPolicy, ServiceConfig, ServiceRuntime, TenantSpec, TieredRuntime, PHASE_NULL,
     };
     use njc_vm::Value;
 
@@ -450,6 +574,7 @@ fn service_smoke(tenants: usize) -> ExitCode {
                     module: module.clone(),
                     entry: "main".to_string(),
                     args: args.clone(),
+                    recovery: RecoveryPolicy::abort(),
                 }
             })
             .collect();
@@ -553,12 +678,74 @@ fn service_smoke(tenants: usize) -> ExitCode {
     }
 }
 
+/// Deterministic-modulo-volatile JSON for one service run: per-tenant
+/// steady rows are reproducible (each tenant's steady state matches its
+/// single-tenant reference byte-for-byte); fleet-level scheduling data —
+/// cache and queue traffic, dedup, compile counts, adaptive recoveries —
+/// ride on the `"volatile"` line.
+fn service_json(
+    platform: &Platform,
+    recover: njc_runtime::RecoveryStrategy,
+    out: &njc_runtime::ServiceOutcome,
+    verified: bool,
+) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"generated_by\": \"njc service\",");
+    let _ = writeln!(s, "  \"platform\": \"{}\",", platform.name);
+    let _ = writeln!(s, "  \"recover\": \"{}\",", recover.as_str());
+    let _ = writeln!(s, "  \"tenants\": {},", out.tenants.len());
+    s.push_str("  \"tenant_rows\": [\n");
+    for (i, t) in out.tenants.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"steady\": {{\"cycles\":{},\"traps_taken\":{},\"explicit_null_checks\":{},\"recoveries\":{}}}}}",
+            t.name,
+            t.outcome.steady.stats.cycles,
+            t.outcome.steady.stats.traps_taken,
+            t.outcome.steady.stats.explicit_null_checks,
+            recovery_counts_json(&t.outcome.steady.stats.recoveries)
+        );
+        s.push_str(if i + 1 < out.tenants.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ],\n");
+    let _ = writeln!(s, "  \"verified\": {verified},");
+    let _ = writeln!(
+        s,
+        "  \"volatile\": {{\"compiles_performed\":{},\"isolated_compiles\":{},\"dedup_hits\":{},\"recoveries_total\":{},\"cache\":{{\"hits\":{},\"misses\":{},\"inserts\":{},\"evictions\":{}}},\"queue\":{{\"submitted\":{},\"coalesced\":{},\"rejected\":{},\"batches\":{},\"aged_promotions\":{}}}}}",
+        out.compiles_performed,
+        out.isolated_compiles,
+        out.dedup_hits,
+        recovery_counts_json(&out.recoveries),
+        out.cache.hits,
+        out.cache.misses,
+        out.cache.inserts,
+        out.cache.evictions,
+        out.queue.submitted,
+        out.queue.coalesced,
+        out.queue.rejected,
+        out.queue.batches,
+        out.queue.aged_promotions
+    );
+    s.push_str("}\n");
+    s
+}
+
 fn service_main(args: &[String]) -> ExitCode {
-    use njc_runtime::{ServiceConfig, ServiceRuntime, TenantSpec};
+    use njc_runtime::{
+        RecoveryPolicy, RecoveryStrategy, ServiceConfig, ServiceRuntime, TenantSpec,
+    };
     let mut file = None;
     let mut platform = Platform::windows_ia32();
     let mut tenants: Option<usize> = None;
     let mut smoke = false;
+    let mut json = false;
+    let mut recover = RecoveryStrategy::Abort;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -570,6 +757,11 @@ fn service_main(args: &[String]) -> ExitCode {
                 Some(n) if n > 0 => tenants = Some(n),
                 _ => return usage(),
             },
+            "--recover" => match it.next().and_then(|s| RecoveryStrategy::parse(s)) {
+                Some(s) => recover = s,
+                None => return usage(),
+            },
+            "--json" => json = true,
             "--smoke" => smoke = true,
             other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
             _ => return usage(),
@@ -600,6 +792,7 @@ fn service_main(args: &[String]) -> ExitCode {
             module: module.clone(),
             entry: "main".to_string(),
             args: Vec::new(),
+            recovery: RecoveryPolicy::uniform(recover),
         })
         .collect();
     let service = ServiceRuntime::with_config(platform, ServiceConfig::for_platform(&platform));
@@ -610,6 +803,19 @@ fn service_main(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let verify = out.verify();
+    if json {
+        print!("{}", service_json(&platform, recover, &out, verify.is_ok()));
+        return match verify {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(errs) => {
+                for e in errs {
+                    eprintln!("njc service: FAIL: {e}");
+                }
+                ExitCode::FAILURE
+            }
+        };
+    }
     report_service_outcome(&out);
     for t in &out.tenants {
         println!(
@@ -621,7 +827,13 @@ fn service_main(args: &[String]) -> ExitCode {
             t.distinct_keys
         );
     }
-    match out.verify() {
+    if out.recoveries.total() > 0 {
+        println!(
+            "recovered: {} strict, {} nullobject, {} skipeffect across the fleet",
+            out.recoveries.strict, out.recoveries.null_object, out.recoveries.skip_effect
+        );
+    }
+    match verify {
         Ok(()) => {
             println!("verify: every tenant reconciled and converged");
             ExitCode::SUCCESS
@@ -1390,6 +1602,97 @@ fn verify_binary_main(args: &[String]) -> ExitCode {
     }
 }
 
+fn recover_main(args: &[String]) -> ExitCode {
+    use njc_bench::recover::{write_fixtures, RecoverReport, COMMITTED_SEEDS};
+    let mut json = false;
+    let mut write = false;
+    let mut smoke = false;
+    let mut seeds: Option<u64> = None;
+    let mut fixtures = std::path::PathBuf::from("tests/fixtures");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--write-fixtures" => write = true,
+            "--smoke" => smoke = true,
+            "--seeds" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => seeds = Some(n),
+                _ => return usage(),
+            },
+            "--fixtures" => match it.next() {
+                Some(p) => fixtures = std::path::PathBuf::from(p),
+                None => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            _ => return usage(),
+        }
+    }
+    if write {
+        return match write_fixtures(&fixtures, &COMMITTED_SEEDS) {
+            Ok(n) => {
+                println!(
+                    "njc recover: wrote {} fixture file(s) under {}",
+                    n,
+                    fixtures.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("njc recover: cannot write fixtures: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let seed_list: Vec<u64> = match seeds {
+        // --smoke and the default both run the committed corpus; --seeds N
+        // extends the sweep to fresh instances 0..N on top of it.
+        None => COMMITTED_SEEDS.to_vec(),
+        Some(n) => (0..n).collect(),
+    };
+    let _ = smoke; // --smoke is the committed-corpus run, which is the default
+    let report = RecoverReport::run(&seed_list, &fixtures);
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for c in &report.cells {
+            let status = if c.ok() { "ok" } else { "FAIL" };
+            print!(
+                "cell {} ({}) seed {}: {status}, {} recover(ies)",
+                c.rule, c.strategy, c.seed, c.recovered
+            );
+            if let Some(m) = &c.mismatch {
+                print!(" -- {m}");
+            }
+            if let Some(m) = &c.strict_mismatch {
+                print!(" -- strict sweep: {m}");
+            }
+            println!();
+        }
+        for d in &report.drift {
+            println!("drift: {d}");
+        }
+        match &report.deopt {
+            Ok(s) => println!("deopt round trip: {s}"),
+            Err(e) => println!("deopt round trip: FAIL: {e}"),
+        }
+        println!(
+            "recover: {} cell(s), {} drift finding(s), {}",
+            report.cells.len(),
+            report.drift.len(),
+            if report.is_clean() {
+                "clean"
+            } else {
+                "NOT CLEAN"
+            }
+        );
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("difftest") {
@@ -1409,6 +1712,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("service") {
         return service_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("recover") {
+        return recover_main(&args[1..]);
     }
     let mut file = None;
     let mut kind = ConfigKind::Full;

@@ -1,0 +1,380 @@
+//! Recovery dispatch at the trap-area boundary.
+//!
+//! The trap models guard exactly `[0, trap_area_bytes)` of the null
+//! page, and recovery only ever dispatches on a hardware trap at a
+//! *registered* implicit site. These tests pin the three edges of that
+//! rule on the paper's two trap-area platforms:
+//!
+//! * IA32/Windows: a read at static offset `area - 8` — the maximum
+//!   valid displacement — is an implicit site; a trap there must enter
+//!   recovery dispatch (per-slot and uniform policies alike), while the
+//!   fence offset `area` keeps its explicit check and never consults
+//!   the policy.
+//! * AIX/PowerPC under the `AixIllegalImplicit` negative-control
+//!   config: the implicit *write* at `area - 8` traps (writes trap on
+//!   AIX) and recovers; the implicit *read* of the guard page silently
+//!   yields zero — no trap, hence **no recovery dispatch**, and the
+//!   missed NPE stays missed whatever the policy says.
+//! * AIX sound configs have no implicit sites at all, so an active
+//!   policy is a observable no-op.
+//!
+//! The same dispatch rule is then checked end to end through the tiered
+//! runtime and the multi-tenant service: recoveries are counted per
+//! strategy, reconcile() accepts them (every recovered trap has site
+//! provenance), and a Strict fleet is observationally identical to an
+//! Abort fleet.
+
+use njc_arch::Platform;
+use njc_ir::{AccessKind, CatchKind, ExceptionKind, FuncBuilder, Module, Op, Type};
+use njc_opt::ConfigKind;
+use njc_recover::{RecoveryPolicy, RecoveryStrategy};
+use njc_runtime::{hot_field_workload, ServiceRuntime, TenantSpec, TieredRuntime};
+use njc_vm::{Value, Vm};
+
+/// The trap-area straddle module of `tests/trap_boundary.rs`: one field
+/// at the last protected offset (`area - 8`), one at the first
+/// unprotected offset (exactly `area`), four leaf accessors, and a
+/// `main` that sends null into each accessor inside its own NPE-catching
+/// try region. The last traced value is the handler count.
+fn boundary_module(area: u64) -> Module {
+    let mut m = Module::new("recover_boundary");
+    let class = m.add_class_with_offsets(
+        "Straddle",
+        &[("inside", Type::Int, area - 8), ("edge", Type::Int, area)],
+    );
+    let f_inside = m.field(class, "inside").unwrap();
+    let f_edge = m.field(class, "edge").unwrap();
+
+    let read_inside = {
+        let mut b = FuncBuilder::new("read_inside", &[Type::Ref], Type::Int);
+        let o = b.param(0);
+        let v = b.get_field(o, f_inside);
+        b.ret(Some(v));
+        m.add_function(b.finish())
+    };
+    let read_edge = {
+        let mut b = FuncBuilder::new("read_edge", &[Type::Ref], Type::Int);
+        let o = b.param(0);
+        let v = b.get_field(o, f_edge);
+        b.ret(Some(v));
+        m.add_function(b.finish())
+    };
+    let write_inside = {
+        let mut b = FuncBuilder::new_void("write_inside", &[Type::Ref, Type::Int]);
+        let o = b.param(0);
+        let v = b.param(1);
+        b.put_field(o, f_inside, v);
+        b.ret(None);
+        m.add_function(b.finish())
+    };
+    let write_edge = {
+        let mut b = FuncBuilder::new_void("write_edge", &[Type::Ref, Type::Int]);
+        let o = b.param(0);
+        let v = b.param(1);
+        b.put_field(o, f_edge, v);
+        b.ret(None);
+        m.add_function(b.finish())
+    };
+
+    let mut b = FuncBuilder::new("main", &[], Type::Int);
+    let obj = b.new_object(class);
+    let a = b.iconst(17);
+    let c = b.iconst(25);
+    b.call_static(write_inside, &[obj, a], None);
+    b.call_static(write_edge, &[obj, c], None);
+    let ri = b.call_static(read_inside, &[obj], Some(Type::Int)).unwrap();
+    let re = b.call_static(read_edge, &[obj], Some(Type::Int)).unwrap();
+    let acc = b.add(ri, re);
+
+    let npes = b.var(Type::Int);
+    let zero = b.iconst(0);
+    b.assign(npes, zero);
+    for callee in [read_inside, read_edge] {
+        let handler = b.new_block();
+        let after = b.new_block();
+        let tryb = b.new_block();
+        let region = b.add_try_region(handler, CatchKind::Only(ExceptionKind::NullPointer), None);
+        b.goto(tryb);
+        b.set_try_region(Some(region));
+        b.switch_to(tryb);
+        let nul = b.null_ref();
+        let v = b.call_static(callee, &[nul], Some(Type::Int)).unwrap();
+        b.binop_into(acc, Op::Add, acc, v);
+        b.goto(after);
+        b.set_try_region(None);
+        b.switch_to(handler);
+        let one = b.iconst(1);
+        b.binop_into(npes, Op::Add, npes, one);
+        b.goto(after);
+        b.switch_to(after);
+    }
+    for callee in [write_inside, write_edge] {
+        let handler = b.new_block();
+        let after = b.new_block();
+        let tryb = b.new_block();
+        let region = b.add_try_region(handler, CatchKind::Only(ExceptionKind::NullPointer), None);
+        b.goto(tryb);
+        b.set_try_region(Some(region));
+        b.switch_to(tryb);
+        let nul = b.null_ref();
+        let seven = b.iconst(7);
+        b.call_static(callee, &[nul, seven], None);
+        b.goto(after);
+        b.set_try_region(None);
+        b.switch_to(handler);
+        let one = b.iconst(1);
+        b.binop_into(npes, Op::Add, npes, one);
+        b.goto(after);
+        b.switch_to(after);
+    }
+    let sixteen = b.iconst(16);
+    let hi = b.binop(Op::Shl, npes, sixteen);
+    let out = b.add(acc, hi);
+    b.observe(acc);
+    b.observe(npes);
+    b.ret(Some(out));
+    m.add_function(b.finish());
+    m
+}
+
+fn optimized(platform: &Platform, kind: ConfigKind) -> Module {
+    let mut m = boundary_module(platform.trap.trap_area_bytes);
+    njc_opt::optimize_module(&mut m, platform, &kind.to_config(platform));
+    m
+}
+
+fn run(m: &Module, p: Platform, policy: Option<&RecoveryPolicy>) -> njc_vm::Outcome {
+    let vm = Vm::new(m, p);
+    let vm = match policy {
+        Some(pol) => vm.with_recovery(pol),
+        None => vm,
+    };
+    vm.run("main", &[]).unwrap()
+}
+
+/// IA32: traps at the maximum valid displacement (`area - 8`) enter
+/// Strict recovery — deopt-and-recheck, observationally invisible —
+/// while the fence offset resolves through its explicit check without
+/// consulting the policy. Reads and writes both trap on IA32, so both
+/// inside-area null arrivals recover.
+#[test]
+fn ia32_strict_recovery_at_max_displacement_is_invisible() {
+    let p = Platform::windows_ia32();
+    assert_eq!(p.trap.trap_area_bytes, 4096);
+    let m = optimized(&p, ConfigKind::Full);
+    let base = run(&m, p, None);
+    let policy = RecoveryPolicy::uniform(RecoveryStrategy::Strict);
+    let strict = run(&m, p, Some(&policy));
+
+    base.assert_equivalent(&strict)
+        .expect("strict recovery must be observationally invisible");
+    assert_eq!(
+        strict.stats.recoveries.strict, 2,
+        "both inside-area null arrivals (read and write) recover"
+    );
+    assert_eq!(strict.stats.recoveries.total(), 2);
+    assert_eq!(
+        strict.stats.explicit_null_checks,
+        base.stats.explicit_null_checks + 2,
+        "each recovery path pays one extra explicit check"
+    );
+    assert_eq!(
+        strict.stats.traps_taken, base.stats.traps_taken,
+        "recovered traps still count as traps"
+    );
+    assert_eq!(strict.stats.missed_npes, 0);
+}
+
+/// IA32 per-slot policy: pinning NullObject at exactly `(read_inside,
+/// area - 8, Read)` recovers that one site; a pin at the fence offset
+/// (`area`) is dead weight — there is no registered site there, so the
+/// explicit check raises its NPE as always.
+#[test]
+fn ia32_slot_policy_recovers_only_the_registered_boundary_site() {
+    let p = Platform::windows_ia32();
+    let area = p.trap.trap_area_bytes;
+    // Inlining would fold the accessors into `main` and move the slot
+    // key's owning function; pin it off so the per-function key is exact.
+    let mut m = boundary_module(area);
+    let cfg = njc_opt::OptConfig {
+        inline: false,
+        ..ConfigKind::Full.to_config(&p)
+    };
+    njc_opt::optimize_module(&mut m, &p, &cfg);
+    let inside_fn = m.function_by_name("read_inside").unwrap().index() as u32;
+    let edge_fn = m.function_by_name("read_edge").unwrap().index() as u32;
+
+    let mut policy = RecoveryPolicy::abort();
+    policy.set_slot(
+        inside_fn,
+        area - 8,
+        AccessKind::Read,
+        RecoveryStrategy::NullObject,
+    );
+    // A pin beyond the fence can never fire: offset == area is not a site.
+    policy.set_slot(
+        edge_fn,
+        area,
+        AccessKind::Read,
+        RecoveryStrategy::NullObject,
+    );
+    let out = run(&m, p, Some(&policy));
+
+    assert_eq!(
+        out.stats.recoveries.null_object, 1,
+        "only the inside slot dispatches"
+    );
+    assert_eq!(out.stats.recoveries.total(), 1);
+    // The substituted default suppresses the inside read's NPE: three of
+    // the four null arrivals still reach their handlers.
+    assert_eq!(
+        out.trace.last(),
+        Some(&Value::Int(3)),
+        "fence read, both writes still raise: {:?}",
+        out.trace
+    );
+    let base = run(&m, p, None);
+    assert_eq!(base.trace.last(), Some(&Value::Int(4)), "{:?}", base.trace);
+    assert_eq!(out.stats.missed_npes, 0, "a recovery is not a miss");
+}
+
+/// AIX under the negative-control config: the implicit *write* at the
+/// maximum valid displacement traps and recovers, while the implicit
+/// *read* of the guard page silently yields zero — a registered site
+/// with no trap never enters recovery dispatch, and its missed NPE
+/// stays missed no matter the policy.
+#[test]
+fn aix_write_site_recovers_and_silent_read_never_dispatches() {
+    let p = Platform::aix_ppc();
+    assert!(!p.trap.traps_on_read && p.trap.traps_on_write);
+    let m = optimized(&p, ConfigKind::AixIllegalImplicit);
+
+    let base = run(&m, p, None);
+    assert_eq!(base.stats.missed_npes, 1, "the silent read escapes");
+    assert_eq!(base.trace.last(), Some(&Value::Int(3)), "{:?}", base.trace);
+
+    for strategy in [RecoveryStrategy::SkipEffect, RecoveryStrategy::NullObject] {
+        let policy = RecoveryPolicy::uniform(strategy);
+        let out = run(&m, p, Some(&policy));
+        assert_eq!(
+            out.stats.recoveries.total(),
+            1,
+            "{strategy}: exactly the trapping write recovers"
+        );
+        // Both strategies suppress the write's NPE (for a store,
+        // substituting and skipping are the same no-op), dropping one
+        // handler run relative to the abort baseline.
+        assert_eq!(
+            out.trace.last(),
+            Some(&Value::Int(2)),
+            "{strategy}: {:?}",
+            out.trace
+        );
+        assert_eq!(
+            out.stats.missed_npes, 1,
+            "{strategy}: the silent read is untouched by recovery"
+        );
+        assert_eq!(
+            out.stats.traps_taken, base.stats.traps_taken,
+            "{strategy}: recovered traps still count as traps"
+        );
+    }
+}
+
+/// AIX sound configs have no implicit sites, so even a maximally
+/// aggressive policy never dispatches and the run is untouched.
+#[test]
+fn aix_sound_configs_never_dispatch_recovery() {
+    let p = Platform::aix_ppc();
+    for kind in [ConfigKind::AixSpeculation, ConfigKind::AixNoSpeculation] {
+        let m = optimized(&p, kind);
+        let base = run(&m, p, None);
+        let policy = RecoveryPolicy::uniform(RecoveryStrategy::NullObject);
+        let out = run(&m, p, Some(&policy));
+        assert_eq!(
+            out.stats.recoveries.total(),
+            0,
+            "{kind:?}: no sites, no dispatch"
+        );
+        base.assert_equivalent(&out)
+            .expect("an undispatched policy is a no-op");
+        assert_eq!(out.stats.missed_npes, 0, "{kind:?}");
+    }
+}
+
+/// End to end through the tiered runtime: a Strict policy recovers the
+/// adaptive run's hardware traps, the outcome counts them per strategy,
+/// reconcile() accepts every recovered trap against site provenance, and
+/// the steady state matches the no-policy reference observationally.
+#[test]
+fn tiered_runtime_counts_and_reconciles_strict_recoveries() {
+    let platform = Platform::windows_ia32();
+    let args = [Value::Int(3_000), Value::Ref(0)];
+    let reference = TieredRuntime::new(hot_field_workload(), platform)
+        .run("main", &args)
+        .unwrap();
+    let out = TieredRuntime::new(hot_field_workload(), platform)
+        .with_recovery(RecoveryPolicy::uniform(RecoveryStrategy::Strict))
+        .run("main", &args)
+        .unwrap();
+
+    assert!(
+        out.recoveries.strict > 0,
+        "the null burst's traps must recover: {:?}",
+        out.recoveries
+    );
+    assert_eq!(out.recoveries.null_object, 0);
+    assert_eq!(out.recoveries.skip_effect, 0);
+    out.reconcile()
+        .expect("every recovered trap resolves to site provenance");
+    out.verify_convergence().unwrap();
+    reference
+        .steady
+        .assert_equivalent(&out.steady)
+        .expect("strict recovery must not change steady-state behavior");
+    assert_eq!(reference.overrides, out.overrides, "tier-up is undisturbed");
+    assert_eq!(reference.recoveries.total(), 0, "no policy, no recoveries");
+}
+
+/// Per-tenant policies through the service: a mixed fleet (Strict,
+/// Abort) over the same workload counts recoveries only for the tenants
+/// whose policy is active, the fleet total aggregates them, and every
+/// tenant still reconciles and converges.
+#[test]
+fn service_counts_recoveries_per_tenant_and_aggregates() {
+    let platform = Platform::windows_ia32();
+    let module = hot_field_workload();
+    let args = vec![Value::Int(3_000), Value::Ref(0)];
+    let specs: Vec<TenantSpec> = (0..4)
+        .map(|i| TenantSpec {
+            name: format!("tenant-{i}"),
+            module: module.clone(),
+            entry: "main".to_string(),
+            args: args.clone(),
+            recovery: if i % 2 == 0 {
+                RecoveryPolicy::uniform(RecoveryStrategy::Strict)
+            } else {
+                RecoveryPolicy::abort()
+            },
+        })
+        .collect();
+    let out = ServiceRuntime::new(platform).run(&specs).unwrap();
+    out.verify().expect("every tenant reconciles and converges");
+
+    let mut fleet_strict = 0;
+    for t in &out.tenants {
+        let r = &t.outcome.recoveries;
+        if t.name.ends_with('0') || t.name.ends_with('2') {
+            assert!(r.strict > 0, "{}: active policy must recover", t.name);
+        } else {
+            assert_eq!(r.total(), 0, "{}: abort policy never recovers", t.name);
+        }
+        assert_eq!(r.null_object + r.skip_effect, 0, "{}", t.name);
+        fleet_strict += r.strict;
+    }
+    assert_eq!(
+        out.recoveries.strict, fleet_strict,
+        "fleet total aggregates per-tenant counts"
+    );
+    assert_eq!(out.recoveries.null_object + out.recoveries.skip_effect, 0);
+}

@@ -28,6 +28,7 @@ fn fleet(name: &str, module: &njc_ir::Module, args: &[Value], n: usize) -> Vec<T
             module: module.clone(),
             entry: "main".to_string(),
             args: args.to_vec(),
+            recovery: njc_runtime::RecoveryPolicy::abort(),
         })
         .collect()
 }
